@@ -1,0 +1,48 @@
+#pragma once
+
+// Shared helpers for the experiment harnesses (one binary per paper table
+// or figure). Each binary prints the corresponding table/series in ASCII
+// and, where wall-clock measurement is the point, uses google-benchmark.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "model/characterize.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workloads/workloads.h"
+
+namespace exten::bench {
+
+/// Runs the standard characterization flow used by all experiment
+/// harnesses: the full characterization suite, QR least squares with
+/// relative weighting (the repo's default configuration).
+inline model::CharacterizationResult characterize_default() {
+  std::cout << "characterizing the processor (this runs every test program\n"
+               "through the RTL-level reference estimator)...\n"
+            << std::flush;
+  const auto suite = workloads::characterization_suite();
+  const auto result = model::characterize(suite);
+  std::cout << "  " << suite.size() << " test programs, R^2 = "
+            << format_fixed(result.r_squared, 6)
+            << ", RMS fitting error = "
+            << format_fixed(result.rms_error_percent, 2) << " %\n\n";
+  return result;
+}
+
+/// Prints a section header.
+inline void heading(const std::string& title) {
+  std::cout << "\n" << title << "\n" << std::string(title.size(), '=')
+            << "\n\n";
+}
+
+/// Renders a crude horizontal bar for ASCII "figures".
+inline std::string bar(double value, double full_scale, int width = 40) {
+  const int n = value <= 0 ? 0
+                           : static_cast<int>(value / full_scale *
+                                              static_cast<double>(width));
+  return std::string(static_cast<std::size_t>(std::min(n, width)), '#');
+}
+
+}  // namespace exten::bench

@@ -1,0 +1,159 @@
+// Demonstrates the paper's Example 1 (§III, Fig. 1): on an extensible
+// processor the base core and the custom datapaths share the operand
+// buses, so
+//
+//   (a) a base-processor ADD activates the input stage of every
+//       non-isolated custom datapath (CIHW side effects), and
+//   (b) a custom instruction that reads/writes the generic register file
+//       exercises base-processor hardware (the N_cisef term),
+//
+// and a macro-model that ignores either effect misattributes energy.
+// This harness measures both on the RTL-level estimator.
+
+#include "bench/bench_common.h"
+#include "model/estimate.h"
+#include "model/profiler.h"
+#include "model/test_program.h"
+#include "sim/cpu.h"
+
+namespace {
+
+using namespace exten;
+
+double reference_uj(const model::TestProgram& program) {
+  return model::reference_energy(program).energy_uj();
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Paper Example 1: shared-bus side effects, measured");
+
+  // A base-only arithmetic loop; the processor variants differ only in
+  // what custom hardware sits on the operand buses.
+  const char* loop = R"(
+  li   s0, 2000
+  li   t0, 0x5a5a5a5a
+  li   t1, 0xa5a5a5a5
+w:
+  add  t2, t0, t1
+  xor  t0, t2, t1
+  sub  t1, t1, t2
+  addi s0, s0, -1
+  bnez s0, w
+  halt
+)";
+  const char* wide_dp = R"(
+instruction wide {
+  %ISOLATED%
+  reads rs1, rs2
+  writes rd
+  use mult width=32 count=2
+  use adder width=32 count=2
+  semantics { rd = rs1 * rs2 + rs1 + rs2; }
+}
+)";
+  auto spec_with = [&](const char* isolated) {
+    std::string spec = wide_dp;
+    spec.replace(spec.find("%ISOLATED%"), 10, isolated);
+    return spec;
+  };
+
+  const model::TestProgram bare = model::make_test_program("bare", loop);
+  const model::TestProgram open_dp =
+      model::make_test_program("open", loop, spec_with(""));
+  const model::TestProgram gated_dp =
+      model::make_test_program("gated", loop, spec_with("isolated"));
+
+  const double bare_uj = reference_uj(bare);
+  const double open_uj = reference_uj(open_dp);
+  const double gated_uj = reference_uj(gated_dp);
+
+  AsciiTable side({"Processor variant", "Energy (uJ)", "vs bare core"});
+  side.add_row({"bare base core", format_fixed(bare_uj, 3), "-"});
+  side.add_row({"+ custom datapath on the shared buses",
+                format_fixed(open_uj, 3),
+                "+" + format_fixed(100.0 * (open_uj / bare_uj - 1.0), 1) + " %"});
+  side.add_row({"+ the same datapath, operand-isolated",
+                format_fixed(gated_uj, 3),
+                "+" + format_fixed(100.0 * (gated_uj / bare_uj - 1.0), 1) + " %"});
+  side.print(std::cout);
+  std::cout << "\nThe program never executes the custom instruction, yet the "
+               "non-isolated\nvariant burns extra energy on every base "
+               "arithmetic instruction — the\noperand buses toggle the "
+               "datapath's input stage. Operand isolation\nreduces the "
+               "overhead to leakage. The macro-model tracks this through "
+               "the\nstructural variables (resource-usage analysis adds "
+               "side activation per\nbase arithmetic op on non-isolated "
+               "configurations).\n";
+
+  // Direction (b): custom instructions exercising the base core.
+  bench::heading("N_cisef: custom instructions on the generic register file");
+  const char* regfile_user = R"(
+state acc2 width=32
+instruction takes_regs {
+  reads rs1, rs2
+  use tie_add width=32
+  semantics { acc2 = acc2 + rs1 + rs2; }
+}
+instruction pure_state {
+  use tie_add width=32
+  semantics { acc2 = acc2 + 7; }
+}
+)";
+  const char* uses_regs_loop = R"(
+  li   s0, 2000
+w:
+  takes_regs t0, t1
+  addi s0, s0, -1
+  bnez s0, w
+  halt
+)";
+  const char* pure_state_loop = R"(
+  li   s0, 2000
+w:
+  pure_state
+  addi s0, s0, -1
+  bnez s0, w
+  halt
+)";
+  const model::TestProgram with_regs =
+      model::make_test_program("takes_regs", uses_regs_loop, regfile_user);
+  const model::TestProgram without_regs =
+      model::make_test_program("pure_state", pure_state_loop, regfile_user);
+
+  const model::ReferenceResult regs_ref = model::reference_energy(with_regs);
+  const model::ReferenceResult pure_ref =
+      model::reference_energy(without_regs);
+  const model::MacroModelVariables regs_vars = [&] {
+    sim::Cpu cpu({}, *with_regs.tie);
+    cpu.load_program(with_regs.image);
+    model::MacroModelProfiler profiler(*with_regs.tie);
+    cpu.add_observer(&profiler);
+    cpu.run();
+    return profiler.variables();
+  }();
+  const model::MacroModelVariables pure_vars = [&] {
+    sim::Cpu cpu({}, *without_regs.tie);
+    cpu.load_program(without_regs.image);
+    model::MacroModelProfiler profiler(*without_regs.tie);
+    cpu.add_observer(&profiler);
+    cpu.run();
+    return profiler.variables();
+  }();
+
+  AsciiTable cisef({"Custom instruction", "Energy (uJ)", "N_cisef"});
+  cisef.add_row({"reads rs1/rs2 (regfile ports + buses)",
+                 format_fixed(regs_ref.energy_uj(), 3),
+                 format_fixed(regs_vars[model::kVarCustomSideEffect], 0)});
+  cisef.add_row({"touches only custom state",
+                 format_fixed(pure_ref.energy_uj(), 3),
+                 format_fixed(pure_vars[model::kVarCustomSideEffect], 0)});
+  cisef.print(std::cout);
+  std::cout << "\nThe regfile-reading variant costs more on the RTL model "
+               "(register-file\nports and operand buses) and is the only one "
+               "the profiler charges to\nN_cisef — the paper's CI3 case "
+               "(custom instruction independent of the\nbase processor) in "
+               "the second row.\n";
+  return 0;
+}

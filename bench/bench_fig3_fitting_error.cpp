@@ -1,0 +1,33 @@
+// Reproduces the paper's Fig. 3: per-test-program fitting error of the
+// regression macro-model over the characterization suite.
+//
+// Paper shape: every program under ~8.9 % absolute error, RMS 3.8 %.
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace exten;
+  bench::heading("Fig. 3: fitting error of the test programs");
+
+  const model::CharacterizationResult result = bench::characterize_default();
+
+  AsciiTable table({"Test program", "Reference (uJ)", "Predicted (uJ)",
+                    "Error (%)", ""});
+  for (const model::ProgramObservation& obs : result.observations) {
+    table.add_row({obs.name, format_fixed(obs.reference_pj * 1e-6, 2),
+                   format_fixed(obs.predicted_pj * 1e-6, 2),
+                   format_fixed(obs.fitting_error_percent, 2),
+                   bench::bar(std::fabs(obs.fitting_error_percent), 20.0,
+                              20)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nRMS fitting error:  "
+            << format_fixed(result.rms_error_percent, 2) << " %  (paper: 3.8 %)\n"
+            << "max |fitting error|: "
+            << format_fixed(result.max_abs_error_percent, 2)
+            << " %  (paper: < 8.9 %)\n";
+  return 0;
+}

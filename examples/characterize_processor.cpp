@@ -1,0 +1,47 @@
+// Characterize the extensible processor and save the fitted macro-model.
+//
+//   $ ./examples/characterize_processor [output-file]
+//
+// This is the paper's Fig. 2, steps 1-8: run the characterization suite
+// through the instruction-set simulator (variable values) and the
+// RTL-level power estimator (reference energies), fit the 21 coefficients
+// by least squares, and serialize the result. The saved model file is what
+// examples/design_space_exploration.cpp loads for fast estimation.
+
+#include <fstream>
+#include <iostream>
+
+#include "model/characterize.h"
+#include "util/strings.h"
+#include "workloads/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace exten;
+  const std::string output = argc > 1 ? argv[1] : "xtc32.macromodel";
+
+  std::cout << "building the characterization suite..." << std::endl;
+  const auto suite = workloads::characterization_suite();
+  std::cout << "  " << suite.size() << " test programs\n"
+            << "characterizing (ISS + RTL-level reference per program)..."
+            << std::endl;
+
+  const model::CharacterizationResult result = model::characterize(suite);
+
+  std::cout << "\nfitted macro-model:\n";
+  result.model.coefficient_table().print(std::cout);
+  std::cout << "\nfit quality: R^2 = " << format_fixed(result.r_squared, 6)
+            << ", RMS fitting error = "
+            << format_fixed(result.rms_error_percent, 2)
+            << " %, max |fitting error| = "
+            << format_fixed(result.max_abs_error_percent, 2) << " %\n";
+
+  std::ofstream file(output);
+  if (!file) {
+    std::cerr << "cannot write " << output << "\n";
+    return 1;
+  }
+  file << result.model.serialize();
+  std::cout << "\nmodel written to " << output << "\n"
+            << "use it with examples/design_space_exploration.cpp\n";
+  return 0;
+}

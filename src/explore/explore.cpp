@@ -1,0 +1,76 @@
+#include "explore/explore.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace exten::explore {
+
+const Evaluation& ExploreResult::best() const {
+  EXTEN_CHECK(!ranked.empty(), "empty exploration result");
+  return ranked.front();
+}
+
+ExploreResult rank_candidates(std::span<const Candidate> candidates,
+                              const model::EnergyMacroModel& macro_model,
+                              Objective objective,
+                              const sim::ProcessorConfig& processor) {
+  EXTEN_CHECK(!candidates.empty(), "no candidates to rank");
+
+  ExploreResult result;
+  result.objective = objective;
+  result.ranked.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    const model::EnergyEstimate estimate =
+        model::estimate_energy(macro_model, candidate.program, processor);
+    Evaluation eval;
+    eval.name = candidate.name;
+    eval.energy_pj = estimate.energy_pj;
+    eval.cycles = estimate.stats.cycles;
+    eval.edp = estimate.energy_pj * 1e-6 *
+               (static_cast<double>(estimate.stats.cycles) * 1e-6);
+    eval.elapsed_seconds = estimate.elapsed_seconds;
+    result.ranked.push_back(std::move(eval));
+  }
+
+  // Pareto frontier on (energy, cycles): dominated iff some other point is
+  // no worse in both dimensions and strictly better in one.
+  for (Evaluation& a : result.ranked) {
+    a.pareto_optimal = std::none_of(
+        result.ranked.begin(), result.ranked.end(), [&](const Evaluation& b) {
+          const bool no_worse =
+              b.energy_pj <= a.energy_pj && b.cycles <= a.cycles;
+          const bool strictly_better =
+              b.energy_pj < a.energy_pj || b.cycles < a.cycles;
+          return &a != &b && no_worse && strictly_better;
+        });
+  }
+
+  std::stable_sort(result.ranked.begin(), result.ranked.end(),
+                   [objective](const Evaluation& a, const Evaluation& b) {
+                     switch (objective) {
+                       case Objective::kEnergy:
+                         return a.energy_pj < b.energy_pj;
+                       case Objective::kDelay:
+                         return a.cycles < b.cycles;
+                       case Objective::kEdp:
+                         return a.edp < b.edp;
+                     }
+                     return false;
+                   });
+  return result;
+}
+
+AsciiTable to_table(const ExploreResult& result) {
+  AsciiTable table(
+      {"Candidate", "Energy (uJ)", "Cycles", "EDP (uJ*Mcyc)", "Pareto"});
+  for (const Evaluation& eval : result.ranked) {
+    table.add_row({eval.name, format_fixed(eval.energy_uj(), 2),
+                   with_commas(eval.cycles), format_fixed(eval.edp, 3),
+                   eval.pareto_optimal ? "*" : ""});
+  }
+  return table;
+}
+
+}  // namespace exten::explore

@@ -1,0 +1,73 @@
+#pragma once
+
+// Design-space exploration on top of the macro-model — the use the paper
+// builds toward (§I: evaluating "energy-performance trade-offs among
+// different candidate custom instructions" inside an ASIP design cycle).
+//
+// Given a set of candidates (the same application compiled against
+// different instruction-set extensions), every candidate is evaluated with
+// the *fast* path only (ISS + resource-usage analysis + macro-model dot
+// product), ranked by the chosen objective, and marked Pareto-optimal on
+// the energy/delay frontier. Nothing is synthesized and the RTL-level
+// estimator never runs.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/estimate.h"
+#include "model/macro_model.h"
+#include "model/test_program.h"
+#include "sim/config.h"
+#include "util/table.h"
+
+namespace exten::explore {
+
+/// One design point: an application bundled with a candidate extension.
+struct Candidate {
+  std::string name;
+  model::TestProgram program;
+};
+
+/// Ranking objective.
+enum class Objective {
+  kEnergy,  ///< total energy
+  kDelay,   ///< total cycles
+  kEdp,     ///< energy-delay product
+};
+
+/// Evaluation of one candidate.
+struct Evaluation {
+  std::string name;
+  double energy_pj = 0.0;
+  std::uint64_t cycles = 0;
+  /// Energy-delay product in uJ * Mcycles.
+  double edp = 0.0;
+  /// On the energy/delay Pareto frontier of the evaluated set.
+  bool pareto_optimal = false;
+  /// Wall-clock seconds the evaluation itself took (always milliseconds).
+  double elapsed_seconds = 0.0;
+
+  double energy_uj() const { return energy_pj * 1e-6; }
+};
+
+struct ExploreResult {
+  /// Sorted by the requested objective, best first.
+  std::vector<Evaluation> ranked;
+  Objective objective = Objective::kEdp;
+
+  /// The winner (ranked.front()); throws exten::Error when empty.
+  const Evaluation& best() const;
+};
+
+/// Evaluates and ranks every candidate with the macro-model fast path.
+/// Throws exten::Error when `candidates` is empty or a program faults.
+ExploreResult rank_candidates(std::span<const Candidate> candidates,
+                              const model::EnergyMacroModel& macro_model,
+                              Objective objective = Objective::kEdp,
+                              const sim::ProcessorConfig& processor = {});
+
+/// Renders a ranked result (name, energy, cycles, EDP, Pareto mark).
+AsciiTable to_table(const ExploreResult& result);
+
+}  // namespace exten::explore

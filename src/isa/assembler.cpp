@@ -1,0 +1,597 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "isa/encoding.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace exten::isa {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+/// Symbol environment for expression evaluation. During pass 1 labels may be
+/// unknown; expressions are then deferred to pass 2.
+class SymbolEnv {
+ public:
+  void define(const std::string& name, std::int64_t value) {
+    values_[name] = value;
+  }
+  std::optional<std::int64_t> lookup(std::string_view name) const {
+    auto it = values_.find(std::string(name));
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::int64_t> values_;
+};
+
+/// Recursive-descent evaluator for operand expressions.
+/// Grammar:  expr := term (('+'|'-') term)*
+///           term := NUMBER | SYMBOL | '%hi' '(' expr ')' | '%lo' '(' expr ')'
+///                 | '(' expr ')' | '-' term
+class ExprParser {
+ public:
+  ExprParser(std::string_view text, const SymbolEnv& env)
+      : text_(text), env_(env) {}
+
+  std::int64_t parse() {
+    const std::int64_t value = parse_expr();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw Error("trailing characters in expression '", text_, "'");
+    }
+    return value;
+  }
+
+ private:
+  std::int64_t parse_expr() {
+    std::int64_t value = parse_term();
+    for (;;) {
+      skip_ws();
+      if (peek() == '+') {
+        ++pos_;
+        value += parse_term();
+      } else if (peek() == '-') {
+        ++pos_;
+        value -= parse_term();
+      } else {
+        return value;
+      }
+    }
+  }
+
+  std::int64_t parse_term() {
+    skip_ws();
+    if (peek() == '-') {
+      ++pos_;
+      return -parse_term();
+    }
+    if (peek() == '(') {
+      ++pos_;
+      const std::int64_t value = parse_expr();
+      expect(')');
+      return value;
+    }
+    if (peek() == '%') {
+      return parse_hi_lo();
+    }
+    return parse_atom();
+  }
+
+  std::int64_t parse_hi_lo() {
+    ++pos_;  // consume '%'
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    const std::string_view name = text_.substr(start, pos_ - start);
+    skip_ws();
+    expect('(');
+    const std::int64_t inner = parse_expr();
+    expect(')');
+    const auto u = static_cast<std::uint32_t>(inner);
+    if (name == "hi") return static_cast<std::int64_t>(u & ~0x3fffu);
+    if (name == "lo") return static_cast<std::int64_t>(u & 0x3fffu);
+    throw Error("unknown operator %", name, " in expression '", text_, "'");
+  }
+
+  std::int64_t parse_atom() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.' || c == 'x' || c == 'X') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty()) {
+      throw Error("expected number or symbol in expression '", text_,
+                  "' at offset ", start);
+    }
+    std::int64_t number = 0;
+    if (parse_int(token, &number)) return number;
+    if (auto value = env_.lookup(token)) return *value;
+    throw Error("undefined symbol '", token, "'");
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) {
+      throw Error("expected '", c, "' in expression '", text_, "'");
+    }
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  const SymbolEnv& env_;
+  std::size_t pos_ = 0;
+};
+
+std::int64_t eval_expr(std::string_view text, const SymbolEnv& env) {
+  return ExprParser(text, env).parse();
+}
+
+// ---------------------------------------------------------------------------
+// Statement model
+// ---------------------------------------------------------------------------
+
+enum class Section { Text, Data };
+
+struct Statement {
+  int line = 0;
+  Section section = Section::Text;
+  std::uint32_t address = 0;        // resolved in pass 1
+  std::string mnemonic;             // lower-cased; empty for pure labels
+  std::vector<std::string> operands;
+  std::size_t size = 0;             // bytes emitted
+};
+
+/// Splits "op a, b, c" into mnemonic and operand list. Operand commas inside
+/// parentheses do not occur in this grammar, so a flat comma split is fine.
+void split_statement(std::string_view text, std::string* mnemonic,
+                     std::vector<std::string>* operands) {
+  text = trim(text);
+  std::size_t i = 0;
+  while (i < text.size() &&
+         !std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  *mnemonic = to_lower(text.substr(0, i));
+  operands->clear();
+  const std::string_view rest = trim(text.substr(i));
+  if (rest.empty()) return;
+  for (std::string_view field : split(rest, ',', /*keep_empty=*/true)) {
+    operands->push_back(std::string(trim(field)));
+  }
+}
+
+/// Splits "E(rs)" memory operands into offset expression and register token.
+void split_mem_operand(std::string_view operand, std::string* offset,
+                       std::string* reg) {
+  const std::size_t open = operand.rfind('(');
+  EXTEN_CHECK(open != std::string_view::npos && operand.back() == ')',
+              "malformed memory operand '", operand, "', expected off(reg)");
+  *offset = std::string(trim(operand.substr(0, open)));
+  if (offset->empty()) *offset = "0";
+  *reg = std::string(trim(operand.substr(open + 1, operand.size() - open - 2)));
+}
+
+// ---------------------------------------------------------------------------
+// Assembler driver
+// ---------------------------------------------------------------------------
+
+class Assembler {
+ public:
+  explicit Assembler(const AssemblerOptions& options) : options_(options) {}
+
+  ProgramImage run(std::string_view source) {
+    pass1(source);
+    return pass2();
+  }
+
+ private:
+  struct SectionState {
+    std::uint32_t cursor = 0;
+  };
+
+  void pass1(std::string_view source) {
+    sections_[Section::Text].cursor = options_.text_base;
+    sections_[Section::Data].cursor = options_.data_base;
+    Section current = Section::Text;
+
+    int line_number = 0;
+    for (std::string_view raw_line : split_lines(source)) {
+      ++line_number;
+      std::string_view line = raw_line;
+      // Strip comments.
+      if (const std::size_t hash = line.find_first_of("#;");
+          hash != std::string_view::npos) {
+        line = line.substr(0, hash);
+      }
+      line = trim(line);
+      if (line.empty()) continue;
+
+      try {
+        // Peel off any leading labels.
+        while (true) {
+          const std::size_t colon = line.find(':');
+          if (colon == std::string_view::npos) break;
+          const std::string_view label = trim(line.substr(0, colon));
+          // A colon inside an expression can't occur in this grammar, but a
+          // label must be a plain identifier; otherwise treat ':' as error.
+          EXTEN_CHECK(is_identifier(label), "invalid label '", label, "'");
+          EXTEN_CHECK(!symbols_.lookup(label).has_value(),
+                      "duplicate label '", label, "'");
+          symbols_.define(std::string(label), sections_[current].cursor);
+          label_names_.emplace_back(label);
+          line = trim(line.substr(colon + 1));
+          if (line.empty()) break;
+        }
+        if (line.empty()) continue;
+
+        Statement st;
+        st.line = line_number;
+        split_statement(line, &st.mnemonic, &st.operands);
+
+        if (st.mnemonic == ".text") {
+          current = Section::Text;
+          continue;
+        }
+        if (st.mnemonic == ".data") {
+          current = Section::Data;
+          continue;
+        }
+        if (st.mnemonic == ".equ") {
+          EXTEN_CHECK(st.operands.size() == 2, ".equ needs NAME, VALUE");
+          symbols_.define(st.operands[0], eval_expr(st.operands[1], symbols_));
+          continue;
+        }
+        if (st.mnemonic == ".org") {
+          EXTEN_CHECK(st.operands.size() == 1, ".org needs one operand");
+          const std::int64_t addr = eval_expr(st.operands[0], symbols_);
+          EXTEN_CHECK(addr >= 0 && addr <= 0xffffffffll, ".org address 0x",
+                      std::hex, addr, " out of range");
+          sections_[current].cursor = static_cast<std::uint32_t>(addr);
+          st.section = current;
+          st.address = sections_[current].cursor;
+          st.size = 0;
+          statements_.push_back(st);
+          continue;
+        }
+
+        st.section = current;
+        st.address = sections_[current].cursor;
+        st.size = statement_size(st);
+        sections_[current].cursor += static_cast<std::uint32_t>(st.size);
+        statements_.push_back(std::move(st));
+      } catch (const Error& e) {
+        throw Error("line ", line_number, ": ", e.what());
+      }
+    }
+  }
+
+  std::size_t statement_size(const Statement& st) {
+    const std::string& m = st.mnemonic;
+    if (m == ".align") {
+      EXTEN_CHECK(st.operands.size() == 1, ".align needs one operand");
+      const std::int64_t align = eval_expr(st.operands[0], symbols_);
+      EXTEN_CHECK(align > 0 && (align & (align - 1)) == 0,
+                  ".align requires a power of two, got ", align);
+      const std::uint32_t cursor = st.address;
+      const auto mask = static_cast<std::uint32_t>(align - 1);
+      return ((cursor + mask) & ~mask) - cursor;
+    }
+    if (m == ".word") return 4 * st.operands.size();
+    if (m == ".half") return 2 * st.operands.size();
+    if (m == ".byte") return st.operands.size();
+    if (m == ".space") {
+      EXTEN_CHECK(st.operands.size() == 1, ".space needs one operand");
+      const std::int64_t n = eval_expr(st.operands[0], symbols_);
+      EXTEN_CHECK(n >= 0, ".space size must be non-negative, got ", n);
+      return static_cast<std::size_t>(n);
+    }
+    EXTEN_CHECK(m[0] != '.', "unknown directive '", m, "'");
+    if (m == "li") return 8;  // always lui + ori for deterministic sizing
+    return 4;                 // every real instruction and other pseudos
+  }
+
+  ProgramImage pass2() {
+    ProgramImage image;
+    for (const auto& name : label_names_) {
+      image.define_symbol(name, static_cast<std::uint32_t>(
+                                    symbols_.lookup(name).value()));
+    }
+
+    // Group consecutive statements into contiguous segments.
+    struct Builder {
+      std::uint32_t base = 0;
+      std::uint32_t next = 0;
+      std::vector<std::uint8_t> bytes;
+      bool open = false;
+    };
+    std::map<Section, Builder> builders;
+    std::vector<Segment> finished;
+
+    auto flush = [&](Builder& b) {
+      if (b.open && !b.bytes.empty()) {
+        finished.push_back(Segment{b.base, std::move(b.bytes)});
+      }
+      b.bytes = {};
+      b.open = false;
+    };
+
+    for (const Statement& st : statements_) {
+      Builder& b = builders[st.section];
+      if (!b.open || st.address != b.next) {
+        flush(b);
+        b.base = st.address;
+        b.next = st.address;
+        b.open = true;
+      }
+      try {
+        std::vector<std::uint8_t> bytes = emit(st);
+        EXTEN_CHECK(bytes.size() == st.size, "internal: statement '",
+                    st.mnemonic, "' emitted ", bytes.size(),
+                    " bytes, pass 1 sized ", st.size);
+        b.bytes.insert(b.bytes.end(), bytes.begin(), bytes.end());
+        b.next += static_cast<std::uint32_t>(bytes.size());
+      } catch (const Error& e) {
+        throw Error("line ", st.line, ": ", e.what());
+      }
+    }
+    for (auto& [section, b] : builders) flush(b);
+    for (Segment& s : finished) image.add_segment(std::move(s));
+
+    if (auto start = image.symbol("_start")) {
+      image.set_entry_point(*start);
+    } else {
+      image.set_entry_point(options_.text_base);
+    }
+    return image;
+  }
+
+  std::vector<std::uint8_t> emit(const Statement& st) {
+    const std::string& m = st.mnemonic;
+    if (m == ".org") return {};
+    if (m == ".align") return std::vector<std::uint8_t>(st.size, 0);
+    if (m == ".space") return std::vector<std::uint8_t>(st.size, 0);
+    if (m == ".word" || m == ".half" || m == ".byte") {
+      const std::size_t width = m == ".word" ? 4 : (m == ".half" ? 2 : 1);
+      std::vector<std::uint8_t> out;
+      out.reserve(width * st.operands.size());
+      for (const std::string& operand : st.operands) {
+        const auto value =
+            static_cast<std::uint64_t>(eval_expr(operand, symbols_));
+        for (std::size_t i = 0; i < width; ++i) {
+          out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+        }
+      }
+      return out;
+    }
+    return emit_instruction(st);
+  }
+
+  std::vector<std::uint8_t> emit_instruction(const Statement& st) {
+    std::vector<DecodedInstr> instrs = expand(st);
+    std::vector<std::uint8_t> out;
+    out.reserve(4 * instrs.size());
+    for (const DecodedInstr& d : instrs) {
+      const std::uint32_t word = encode(d);
+      out.push_back(static_cast<std::uint8_t>(word));
+      out.push_back(static_cast<std::uint8_t>(word >> 8));
+      out.push_back(static_cast<std::uint8_t>(word >> 16));
+      out.push_back(static_cast<std::uint8_t>(word >> 24));
+    }
+    return out;
+  }
+
+  std::int32_t eval32(const std::string& text) {
+    const std::int64_t v = eval_expr(text, symbols_);
+    EXTEN_CHECK(v >= INT32_MIN && v <= 0xffffffffll, "value ", v,
+                " does not fit in 32 bits");
+    return static_cast<std::int32_t>(v);
+  }
+
+  /// Word offset from the instruction after `st` to the target expression.
+  std::int32_t branch_offset(const Statement& st, const std::string& target,
+                             std::size_t instr_index) {
+    const std::int64_t dest = eval_expr(target, symbols_);
+    const std::int64_t next =
+        static_cast<std::int64_t>(st.address) + 4 * (instr_index + 1);
+    const std::int64_t delta = dest - next;
+    EXTEN_CHECK(delta % 4 == 0, "branch target 0x", std::hex, dest,
+                " is not word aligned");
+    return static_cast<std::int32_t>(delta / 4);
+  }
+
+  std::vector<DecodedInstr> expand(const Statement& st) {
+    const std::string& m = st.mnemonic;
+    const auto& ops = st.operands;
+    auto need = [&](std::size_t n) {
+      EXTEN_CHECK(ops.size() == n, m, " expects ", n, " operand(s), got ",
+                  ops.size());
+    };
+
+    // Pseudo-instructions first.
+    if (m == "li") {
+      need(2);
+      const unsigned rd = parse_register(ops[0]);
+      const auto value = static_cast<std::uint32_t>(eval32(ops[1]));
+      return {make_utype(Opcode::kLui, rd,
+                         static_cast<std::int32_t>(value & ~0x3fffu)),
+              make_itype(Opcode::kOri, rd, rd,
+                         static_cast<std::int32_t>(value & 0x3fffu))};
+    }
+    if (m == "mv") {
+      need(2);
+      return {make_itype(Opcode::kAddi, parse_register(ops[0]),
+                         parse_register(ops[1]), 0)};
+    }
+    if (m == "not") {
+      need(2);
+      return {make_rtype(Opcode::kNor, parse_register(ops[0]),
+                         parse_register(ops[1]), kZeroRegister)};
+    }
+    if (m == "neg") {
+      need(2);
+      return {make_rtype(Opcode::kSub, parse_register(ops[0]), kZeroRegister,
+                         parse_register(ops[1]))};
+    }
+    if (m == "ret") {
+      need(0);
+      return {make_rtype(Opcode::kJr, 0, kLinkRegister, 0)};
+    }
+    if (m == "b") {
+      need(1);
+      return {make_jump(Opcode::kJ, branch_offset(st, ops[0], 0))};
+    }
+    if (m == "call") {
+      need(1);
+      DecodedInstr d = make_jump(Opcode::kJal, branch_offset(st, ops[0], 0));
+      d.rd = kLinkRegister;
+      return {d};
+    }
+
+    // Base-ISA instructions.
+    if (auto op = find_opcode(m)) {
+      const OpcodeInfo& info = opcode_info(*op);
+      switch (info.format) {
+        case Format::RType:
+          if (*op == Opcode::kJr) {
+            need(1);
+            return {make_rtype(*op, 0, parse_register(ops[0]), 0)};
+          }
+          if (*op == Opcode::kJalr) {
+            need(1);
+            DecodedInstr d = make_rtype(*op, kLinkRegister,
+                                        parse_register(ops[0]), 0);
+            return {d};
+          }
+          need(3);
+          return {make_rtype(*op, parse_register(ops[0]),
+                             parse_register(ops[1]), parse_register(ops[2]))};
+        case Format::IType:
+          if (info.cls == InstrClass::Load) {
+            need(2);
+            std::string offset, base;
+            split_mem_operand(ops[1], &offset, &base);
+            return {make_itype(*op, parse_register(ops[0]),
+                               parse_register(base), eval32(offset))};
+          }
+          if (info.cls == InstrClass::Store) {
+            need(2);
+            std::string offset, base;
+            split_mem_operand(ops[1], &offset, &base);
+            return {make_store(*op, parse_register(ops[0]),
+                               parse_register(base), eval32(offset))};
+          }
+          need(3);
+          return {make_itype(*op, parse_register(ops[0]),
+                             parse_register(ops[1]), eval32(ops[2]))};
+        case Format::UType:
+          need(2);
+          return {make_utype(*op, parse_register(ops[0]), eval32(ops[1]))};
+        case Format::BranchType: {
+          const bool zero_form = (*op == Opcode::kBeqz || *op == Opcode::kBnez);
+          if (zero_form) {
+            need(2);
+            return {make_branch(*op, parse_register(ops[0]), kZeroRegister,
+                                branch_offset(st, ops[1], 0))};
+          }
+          need(3);
+          return {make_branch(*op, parse_register(ops[0]),
+                              parse_register(ops[1]),
+                              branch_offset(st, ops[2], 0))};
+        }
+        case Format::JType:
+          need(1);
+          {
+            DecodedInstr d = make_jump(*op, branch_offset(st, ops[0], 0));
+            if (*op == Opcode::kJal) d.rd = kLinkRegister;
+            return {d};
+          }
+        case Format::None:
+          need(0);
+          return {DecodedInstr{.op = *op}};
+        case Format::CustomType:
+          break;  // "custom" raw mnemonic falls through to custom handling
+      }
+    }
+
+    // Custom instructions: mnemonic registered by the TIE compiler. The
+    // operands bind positionally to the fields the instruction declares,
+    // in rd, rs1, rs2 order.
+    auto it = options_.custom_mnemonics.find(m);
+    EXTEN_CHECK(it != options_.custom_mnemonics.end(),
+                "unknown mnemonic '", m, "'");
+    const CustomMnemonic& sig = it->second;
+    need(sig.operand_count());
+    unsigned rd = 0, rs1 = 0, rs2 = 0;
+    std::size_t next = 0;
+    if (sig.has_rd) rd = parse_register(ops[next++]);
+    if (sig.has_rs1) rs1 = parse_register(ops[next++]);
+    if (sig.has_rs2) rs2 = parse_register(ops[next++]);
+    return {make_custom(sig.func, rd, rs1, rs2)};
+  }
+
+  AssemblerOptions options_;
+  SymbolEnv symbols_;
+  std::vector<std::string> label_names_;
+  std::vector<Statement> statements_;
+  std::map<Section, SectionState> sections_;
+};
+
+}  // namespace
+
+unsigned parse_register(std::string_view token) {
+  token = trim(token);
+  EXTEN_CHECK(!token.empty(), "empty register operand");
+  const std::string lower = to_lower(token);
+  auto numbered = [&](std::string_view prefix, unsigned base,
+                      unsigned count) -> std::optional<unsigned> {
+    if (!starts_with(lower, prefix)) return std::nullopt;
+    std::int64_t n = 0;
+    if (!parse_int(lower.substr(prefix.size()), &n)) return std::nullopt;
+    if (n < 0 || n >= static_cast<std::int64_t>(count)) return std::nullopt;
+    return base + static_cast<unsigned>(n);
+  };
+  if (lower == "zero") return 0;
+  if (lower == "ra") return kLinkRegister;
+  if (lower == "sp") return kStackRegister;
+  if (auto r = numbered("r", 0, kNumRegisters)) return *r;
+  if (auto r = numbered("a", 10, 8)) return *r;
+  if (auto r = numbered("t", 20, 10)) return *r;
+  if (auto r = numbered("s", 30, 10)) return *r;
+  throw Error("unknown register '", token, "'");
+}
+
+std::string register_name(unsigned reg) { return "r" + std::to_string(reg); }
+
+ProgramImage assemble(std::string_view source,
+                      const AssemblerOptions& options) {
+  return Assembler(options).run(source);
+}
+
+}  // namespace exten::isa

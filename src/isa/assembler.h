@@ -1,0 +1,83 @@
+#pragma once
+
+// Two-pass assembler for XTC-32 assembly source.
+//
+// Syntax overview:
+//   # comment  or  ; comment
+//   label:                         (also allowed on the same line as code)
+//   .text / .data                  section switch (independent counters)
+//   .org ADDR                      start a new segment at ADDR
+//   .align N                       align to N bytes (power of two, zero fill)
+//   .word  E [, E ...]             32-bit little-endian values
+//   .half  E [, E ...]             16-bit values
+//   .byte  E [, E ...]             8-bit values
+//   .space N                       N zero bytes
+//   .equ NAME, E                   assembler constant
+//   add  rd, rs1, rs2              R-type
+//   addi rd, rs1, E                I-type
+//   lw   rd, E(rs1)                load (also lh/lhu/lb/lbu)
+//   sw   rv, E(rs1)                store (also sh/sb)
+//   lui  rd, E                     E's low 14 bits must be zero
+//   beq  rs1, rs2, LABEL           branches take label or expression targets
+//   j    LABEL / jal LABEL / jr rs / jalr rs
+//   NAME rd, rs1, rs2              custom instruction (registered mnemonic)
+//
+// Pseudo-instructions: li rd, E (always expands to lui+ori, 8 bytes),
+// mv rd, rs; not rd, rs; neg rd, rs; b LABEL; call LABEL; ret.
+//
+// Register names: r0..r63 plus aliases zero (r0), ra (r1), sp (r2),
+// a0..a7 (r10..r17), t0..t9 (r20..r29), s0..s9 (r30..r39).
+//
+// Operand expressions support +, -, parentheses, decimal/hex/binary
+// literals, symbols, and %hi(E) / %lo(E) for 32-bit constant composition.
+//
+// The entry point is the `_start` symbol if defined, otherwise the start of
+// the first .text segment.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "isa/program.h"
+
+namespace exten::isa {
+
+/// Operand signature of a custom instruction: which encoding fields its
+/// assembly operands map to, in rd, rs1, rs2 order. An instruction that
+/// only reads rs1 (e.g. "setalpha t0") takes one operand, bound to rs1.
+struct CustomMnemonic {
+  std::uint8_t func = 0;
+  bool has_rd = false;
+  bool has_rs1 = false;
+  bool has_rs2 = false;
+
+  unsigned operand_count() const {
+    return static_cast<unsigned>(has_rd) + static_cast<unsigned>(has_rs1) +
+           static_cast<unsigned>(has_rs2);
+  }
+};
+
+/// Options controlling assembly.
+struct AssemblerOptions {
+  std::uint32_t text_base = kTextBase;
+  std::uint32_t data_base = kDataBase;
+  /// Custom instruction mnemonics, provided by the TIE compiler for a given
+  /// processor configuration.
+  std::map<std::string, CustomMnemonic, std::less<>> custom_mnemonics;
+};
+
+/// Assembles `source` into a program image.
+/// Throws exten::Error with a "line N: ..." message on any syntax, range,
+/// or symbol error.
+ProgramImage assemble(std::string_view source,
+                      const AssemblerOptions& options = {});
+
+/// Parses a register name ("r7", "sp", "a0", ...). Throws exten::Error on
+/// an unknown name. Exposed for tests and the disassembler.
+unsigned parse_register(std::string_view token);
+
+/// Canonical display name for a register number (r-number form).
+std::string register_name(unsigned reg);
+
+}  // namespace exten::isa

@@ -1,0 +1,83 @@
+#include "isa/disassembler.h"
+
+#include <sstream>
+
+#include "isa/assembler.h"
+
+namespace exten::isa {
+
+namespace {
+
+std::string offset_target(std::int32_t words) {
+  const std::int32_t bytes = (words + 1) * 4;
+  std::ostringstream os;
+  os << "pc" << (bytes >= 0 ? "+" : "") << bytes;
+  return os.str();
+}
+
+}  // namespace
+
+std::string disassemble(const DecodedInstr& instr,
+                        const DisassemblerOptions& options) {
+  const OpcodeInfo& info = opcode_info(instr.op);
+  std::ostringstream os;
+
+  switch (info.format) {
+    case Format::RType:
+      if (instr.op == Opcode::kJr || instr.op == Opcode::kJalr) {
+        os << info.mnemonic << ' ' << register_name(instr.rs1);
+      } else {
+        os << info.mnemonic << ' ' << register_name(instr.rd) << ", "
+           << register_name(instr.rs1) << ", " << register_name(instr.rs2);
+      }
+      break;
+    case Format::IType:
+      if (info.cls == InstrClass::Load) {
+        os << info.mnemonic << ' ' << register_name(instr.rd) << ", "
+           << instr.imm << '(' << register_name(instr.rs1) << ')';
+      } else if (info.cls == InstrClass::Store) {
+        os << info.mnemonic << ' ' << register_name(instr.rs2) << ", "
+           << instr.imm << '(' << register_name(instr.rs1) << ')';
+      } else {
+        os << info.mnemonic << ' ' << register_name(instr.rd) << ", "
+           << register_name(instr.rs1) << ", " << instr.imm;
+      }
+      break;
+    case Format::UType:
+      os << info.mnemonic << ' ' << register_name(instr.rd) << ", 0x"
+         << std::hex << static_cast<std::uint32_t>(instr.imm);
+      break;
+    case Format::BranchType:
+      if (instr.op == Opcode::kBeqz || instr.op == Opcode::kBnez) {
+        os << info.mnemonic << ' ' << register_name(instr.rs1) << ", "
+           << offset_target(instr.imm);
+      } else {
+        os << info.mnemonic << ' ' << register_name(instr.rs1) << ", "
+           << register_name(instr.rs2) << ", " << offset_target(instr.imm);
+      }
+      break;
+    case Format::JType:
+      os << info.mnemonic << ' ' << offset_target(instr.imm);
+      break;
+    case Format::CustomType: {
+      auto it = options.custom_mnemonics.find(instr.func);
+      const std::string name = it != options.custom_mnemonics.end()
+                                   ? it->second
+                                   : "custom." + std::to_string(instr.func);
+      os << name << ' ' << register_name(instr.rd) << ", "
+         << register_name(instr.rs1) << ", " << register_name(instr.rs2);
+      break;
+    }
+    case Format::None:
+      os << info.mnemonic;
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble_word(std::uint32_t word,
+                             const DisassemblerOptions& options) {
+  return disassemble(decode(word), options);
+}
+
+}  // namespace exten::isa

@@ -1,0 +1,30 @@
+#pragma once
+
+// Disassembly of XTC-32 instruction words back to assembler syntax.
+// Used by tests (round-trip property), trace dumps, and debug tooling.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "isa/encoding.h"
+
+namespace exten::isa {
+
+/// Options for disassembly.
+struct DisassemblerOptions {
+  /// Reverse mapping func -> custom mnemonic; unknown funcs are rendered as
+  /// "custom.<func>".
+  std::map<std::uint8_t, std::string> custom_mnemonics;
+};
+
+/// Renders one decoded instruction in the assembler's input syntax.
+/// Branch/jump targets are rendered as relative word offsets ("pc+N").
+std::string disassemble(const DecodedInstr& instr,
+                        const DisassemblerOptions& options = {});
+
+/// Decodes and renders a raw word.
+std::string disassemble_word(std::uint32_t word,
+                             const DisassemblerOptions& options = {});
+
+}  // namespace exten::isa

@@ -1,0 +1,238 @@
+#include "isa/encoding.h"
+
+#include "util/error.h"
+
+namespace exten::isa {
+
+namespace {
+
+constexpr std::uint32_t kRegMask = 0x3f;    // 6 bits
+constexpr std::uint32_t kFuncMask = 0xff;   // 8 bits
+constexpr std::uint32_t kImm14Mask = 0x3fff;
+constexpr std::uint32_t kImm18Mask = 0x3ffff;
+constexpr std::uint32_t kImm26Mask = 0x3ffffff;
+
+void check_reg(unsigned reg, const char* what) {
+  EXTEN_CHECK(reg < kNumRegisters, what, " register r", reg,
+              " out of range (0..", kNumRegisters - 1, ")");
+}
+
+std::int32_t sign_extend(std::uint32_t value, unsigned bits) {
+  const std::uint32_t sign_bit = 1u << (bits - 1);
+  const std::uint32_t mask = (1u << bits) - 1;
+  value &= mask;
+  if (value & sign_bit) value |= ~mask;
+  return static_cast<std::int32_t>(value);
+}
+
+bool imm_is_unsigned(Opcode op) {
+  // Logical immediates are zero-extended so that LUI+ORI composes 32-bit
+  // constants; shift immediates are 0..31.
+  switch (op) {
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kXori:
+    case Opcode::kSlli:
+    case Opcode::kSrli:
+    case Opcode::kSrai:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::uint32_t encode(const DecodedInstr& instr) {
+  const OpcodeInfo& info = opcode_info(instr.op);
+  const auto opbits = static_cast<std::uint32_t>(instr.op) << 26;
+
+  switch (info.format) {
+    case Format::RType: {
+      check_reg(instr.rd, "rd");
+      check_reg(instr.rs1, "rs1");
+      check_reg(instr.rs2, "rs2");
+      return opbits | (static_cast<std::uint32_t>(instr.rd) << 20) |
+             (static_cast<std::uint32_t>(instr.rs1) << 14) |
+             (static_cast<std::uint32_t>(instr.rs2) << 8);
+    }
+    case Format::IType: {
+      check_reg(instr.rd, "rd");
+      check_reg(instr.rs1, "rs1");
+      if (info.cls == InstrClass::Store) check_reg(instr.rs2, "store value");
+      if (imm_is_unsigned(instr.op)) {
+        EXTEN_CHECK(instr.imm >= 0 && instr.imm <= kImm14UMax, info.mnemonic,
+                    ": unsigned imm14 ", instr.imm, " out of range");
+      } else {
+        EXTEN_CHECK(instr.imm >= kImm14Min && instr.imm <= kImm14Max,
+                    info.mnemonic, ": imm14 ", instr.imm, " out of range");
+      }
+      // Stores reuse the rd field for the value register (held in rs2 of the
+      // decoded form).
+      const std::uint32_t reg_field =
+          info.cls == InstrClass::Store ? instr.rs2 : instr.rd;
+      return opbits | (reg_field << 20) |
+             (static_cast<std::uint32_t>(instr.rs1) << 14) |
+             (static_cast<std::uint32_t>(instr.imm) & kImm14Mask);
+    }
+    case Format::UType: {
+      check_reg(instr.rd, "rd");
+      // instr.imm carries the full value (raw18 << 14); validate shape.
+      EXTEN_CHECK((instr.imm & 0x3fff) == 0, "lui: imm ", instr.imm,
+                  " has nonzero low 14 bits");
+      const std::uint32_t raw18 =
+          (static_cast<std::uint32_t>(instr.imm) >> 14) & kImm18Mask;
+      return opbits | (static_cast<std::uint32_t>(instr.rd) << 20) | raw18;
+    }
+    case Format::BranchType: {
+      check_reg(instr.rs1, "rs1");
+      check_reg(instr.rs2, "rs2");
+      EXTEN_CHECK(instr.imm >= kImm14Min && instr.imm <= kImm14Max,
+                  info.mnemonic, ": branch offset ", instr.imm,
+                  " words out of range");
+      return opbits | (static_cast<std::uint32_t>(instr.rs1) << 20) |
+             (static_cast<std::uint32_t>(instr.rs2) << 14) |
+             (static_cast<std::uint32_t>(instr.imm) & kImm14Mask);
+    }
+    case Format::JType: {
+      EXTEN_CHECK(instr.imm >= kImm26Min && instr.imm <= kImm26Max,
+                  info.mnemonic, ": jump offset ", instr.imm,
+                  " words out of range");
+      return opbits | (static_cast<std::uint32_t>(instr.imm) & kImm26Mask);
+    }
+    case Format::CustomType: {
+      check_reg(instr.rd, "rd");
+      check_reg(instr.rs1, "rs1");
+      check_reg(instr.rs2, "rs2");
+      return opbits | (static_cast<std::uint32_t>(instr.rd) << 20) |
+             (static_cast<std::uint32_t>(instr.rs1) << 14) |
+             (static_cast<std::uint32_t>(instr.rs2) << 8) |
+             (static_cast<std::uint32_t>(instr.func) & kFuncMask);
+    }
+    case Format::None:
+      return opbits;
+  }
+  throw Error("encode: unhandled format for ", info.mnemonic);
+}
+
+DecodedInstr decode(std::uint32_t word) {
+  const std::uint32_t primary = word >> 26;
+  EXTEN_CHECK(primary < static_cast<std::uint32_t>(Opcode::kOpcodeCount),
+              "illegal instruction: undefined primary opcode ", primary,
+              " in word 0x", std::hex, word);
+  const auto op = static_cast<Opcode>(primary);
+  const OpcodeInfo& info = opcode_info(op);
+
+  DecodedInstr d;
+  d.op = op;
+  switch (info.format) {
+    case Format::RType:
+      d.rd = (word >> 20) & kRegMask;
+      d.rs1 = (word >> 14) & kRegMask;
+      d.rs2 = (word >> 8) & kRegMask;
+      break;
+    case Format::IType: {
+      const std::uint8_t reg_field = (word >> 20) & kRegMask;
+      d.rs1 = (word >> 14) & kRegMask;
+      if (info.cls == InstrClass::Store) {
+        d.rs2 = reg_field;
+      } else {
+        d.rd = reg_field;
+      }
+      if (imm_is_unsigned(op)) {
+        d.imm = static_cast<std::int32_t>(word & kImm14Mask);
+      } else {
+        d.imm = sign_extend(word & kImm14Mask, 14);
+      }
+      break;
+    }
+    case Format::UType:
+      d.rd = (word >> 20) & kRegMask;
+      d.imm = static_cast<std::int32_t>((word & kImm18Mask) << 14);
+      break;
+    case Format::BranchType:
+      d.rs1 = (word >> 20) & kRegMask;
+      d.rs2 = (word >> 14) & kRegMask;
+      d.imm = sign_extend(word & kImm14Mask, 14);
+      break;
+    case Format::JType:
+      d.imm = sign_extend(word & kImm26Mask, 26);
+      break;
+    case Format::CustomType:
+      d.rd = (word >> 20) & kRegMask;
+      d.rs1 = (word >> 14) & kRegMask;
+      d.rs2 = (word >> 8) & kRegMask;
+      d.func = word & kFuncMask;
+      break;
+    case Format::None:
+      break;
+  }
+  return d;
+}
+
+DecodedInstr make_rtype(Opcode op, unsigned rd, unsigned rs1, unsigned rs2) {
+  DecodedInstr d;
+  d.op = op;
+  d.rd = static_cast<std::uint8_t>(rd);
+  d.rs1 = static_cast<std::uint8_t>(rs1);
+  d.rs2 = static_cast<std::uint8_t>(rs2);
+  return d;
+}
+
+DecodedInstr make_itype(Opcode op, unsigned rd, unsigned rs1,
+                        std::int32_t imm) {
+  DecodedInstr d;
+  d.op = op;
+  d.rd = static_cast<std::uint8_t>(rd);
+  d.rs1 = static_cast<std::uint8_t>(rs1);
+  d.imm = imm;
+  return d;
+}
+
+DecodedInstr make_store(Opcode op, unsigned value_reg, unsigned base_reg,
+                        std::int32_t imm) {
+  DecodedInstr d;
+  d.op = op;
+  d.rs2 = static_cast<std::uint8_t>(value_reg);
+  d.rs1 = static_cast<std::uint8_t>(base_reg);
+  d.imm = imm;
+  return d;
+}
+
+DecodedInstr make_utype(Opcode op, unsigned rd, std::int32_t imm) {
+  DecodedInstr d;
+  d.op = op;
+  d.rd = static_cast<std::uint8_t>(rd);
+  d.imm = imm;
+  return d;
+}
+
+DecodedInstr make_branch(Opcode op, unsigned rs1, unsigned rs2,
+                         std::int32_t word_offset) {
+  DecodedInstr d;
+  d.op = op;
+  d.rs1 = static_cast<std::uint8_t>(rs1);
+  d.rs2 = static_cast<std::uint8_t>(rs2);
+  d.imm = word_offset;
+  return d;
+}
+
+DecodedInstr make_jump(Opcode op, std::int32_t word_offset) {
+  DecodedInstr d;
+  d.op = op;
+  d.imm = word_offset;
+  return d;
+}
+
+DecodedInstr make_custom(unsigned func, unsigned rd, unsigned rs1,
+                         unsigned rs2) {
+  DecodedInstr d;
+  d.op = Opcode::kCustom;
+  d.func = static_cast<std::uint8_t>(func);
+  d.rd = static_cast<std::uint8_t>(rd);
+  d.rs1 = static_cast<std::uint8_t>(rs1);
+  d.rs2 = static_cast<std::uint8_t>(rs2);
+  return d;
+}
+
+}  // namespace exten::isa

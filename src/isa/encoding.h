@@ -1,0 +1,50 @@
+#pragma once
+
+// Binary encoding and decoding of XTC-32 instruction words.
+
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace exten::isa {
+
+/// A decoded instruction. Field meanings depend on the opcode's format:
+///  - RType:   rd, rs1, rs2
+///  - IType:   rd, rs1, imm (stores: rs2 = value register, rs1 = base)
+///  - UType:   rd, imm (already shifted: imm = raw18 << 14)
+///  - Branch:  rs1, rs2, imm (word offset from the *next* instruction)
+///  - JType:   imm (word offset from the next instruction)
+///  - Custom:  rd, rs1, rs2, func (extension id)
+struct DecodedInstr {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t func = 0;
+  std::int32_t imm = 0;
+
+  bool operator==(const DecodedInstr&) const = default;
+};
+
+/// Encodes a decoded instruction into a 32-bit word.
+/// Throws exten::Error if a field is out of range for the format
+/// (register >= 64, immediate outside the format's range, …).
+std::uint32_t encode(const DecodedInstr& instr);
+
+/// Decodes a 32-bit word. Throws exten::Error on an undefined primary
+/// opcode (the processor would raise an illegal-instruction exception).
+DecodedInstr decode(std::uint32_t word);
+
+/// Convenience constructors used by the assembler, tests and workloads.
+DecodedInstr make_rtype(Opcode op, unsigned rd, unsigned rs1, unsigned rs2);
+DecodedInstr make_itype(Opcode op, unsigned rd, unsigned rs1, std::int32_t imm);
+DecodedInstr make_store(Opcode op, unsigned value_reg, unsigned base_reg,
+                        std::int32_t imm);
+DecodedInstr make_utype(Opcode op, unsigned rd, std::int32_t imm18);
+DecodedInstr make_branch(Opcode op, unsigned rs1, unsigned rs2,
+                         std::int32_t word_offset);
+DecodedInstr make_jump(Opcode op, std::int32_t word_offset);
+DecodedInstr make_custom(unsigned func, unsigned rd, unsigned rs1,
+                         unsigned rs2);
+
+}  // namespace exten::isa

@@ -1,0 +1,126 @@
+#include "isa/image_io.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace exten::isa {
+
+namespace {
+
+constexpr std::string_view kHeader = "exten-image v1";
+
+void write_hex32(std::ostream& os, std::uint32_t value) {
+  os << "0x" << std::hex << std::setw(8) << std::setfill('0') << value
+     << std::dec << std::setfill(' ');
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::uint32_t parse_u32(std::string_view token, int line) {
+  std::int64_t value = 0;
+  EXTEN_CHECK(parse_int(token, &value) && value >= 0 && value <= 0xffffffffll,
+              "line ", line, ": bad 32-bit value '", token, "'");
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
+void write_image(std::ostream& os, const ProgramImage& image) {
+  os << kHeader << '\n';
+  os << "entry ";
+  write_hex32(os, image.entry_point());
+  os << '\n';
+  for (const auto& [name, value] : image.symbols()) {
+    os << "symbol " << name << ' ';
+    write_hex32(os, value);
+    os << '\n';
+  }
+  for (const Segment& segment : image.segments()) {
+    os << "segment ";
+    write_hex32(os, segment.base);
+    os << ' ' << segment.bytes.size() << '\n';
+    for (std::size_t i = 0; i < segment.bytes.size(); ++i) {
+      os << std::hex << std::setw(2) << std::setfill('0')
+         << static_cast<unsigned>(segment.bytes[i]) << std::dec
+         << std::setfill(' ');
+      if ((i + 1) % 32 == 0 || i + 1 == segment.bytes.size()) os << '\n';
+    }
+  }
+}
+
+std::string image_to_string(const ProgramImage& image) {
+  std::ostringstream os;
+  write_image(os, image);
+  return os.str();
+}
+
+ProgramImage parse_image(std::string_view text) {
+  const std::vector<std::string_view> lines = split_lines(text);
+  EXTEN_CHECK(!lines.empty() && trim(lines[0]) == kHeader,
+              "bad image header (expected '", kHeader, "')");
+
+  ProgramImage image;
+  bool entry_seen = false;
+  std::size_t li = 1;
+  while (li < lines.size()) {
+    const std::string_view line = trim(lines[li]);
+    const int line_number = static_cast<int>(li) + 1;
+    ++li;
+    if (line.empty()) continue;
+    const auto fields = split(line, ' ');
+    if (fields[0] == "entry") {
+      EXTEN_CHECK(fields.size() == 2, "line ", line_number,
+                  ": entry needs one value");
+      image.set_entry_point(parse_u32(fields[1], line_number));
+      entry_seen = true;
+    } else if (fields[0] == "symbol") {
+      EXTEN_CHECK(fields.size() == 3, "line ", line_number,
+                  ": symbol needs NAME VALUE");
+      image.define_symbol(std::string(fields[1]),
+                          parse_u32(fields[2], line_number));
+    } else if (fields[0] == "segment") {
+      EXTEN_CHECK(fields.size() == 3, "line ", line_number,
+                  ": segment needs BASE SIZE");
+      Segment segment;
+      segment.base = parse_u32(fields[1], line_number);
+      const std::uint32_t size = parse_u32(fields[2], line_number);
+      segment.bytes.reserve(size);
+      // Consume hex data lines until `size` bytes are read.
+      while (segment.bytes.size() < size) {
+        EXTEN_CHECK(li < lines.size(), "line ", line_number, ": segment at 0x",
+                    std::hex, segment.base, std::dec, " truncated: got ",
+                    segment.bytes.size(), " of ", size, " bytes");
+        const std::string_view data = trim(lines[li]);
+        const int data_line = static_cast<int>(li) + 1;
+        ++li;
+        EXTEN_CHECK(data.size() % 2 == 0, "line ", data_line,
+                    ": odd-length hex line");
+        for (std::size_t i = 0; i < data.size(); i += 2) {
+          const int hi = hex_digit(data[i]);
+          const int lo = hex_digit(data[i + 1]);
+          EXTEN_CHECK(hi >= 0 && lo >= 0, "line ", data_line,
+                      ": bad hex byte '", data.substr(i, 2), "'");
+          segment.bytes.push_back(static_cast<std::uint8_t>(hi * 16 + lo));
+        }
+        EXTEN_CHECK(segment.bytes.size() <= size, "line ", data_line,
+                    ": segment data overruns declared size ", size);
+      }
+      image.add_segment(std::move(segment));
+    } else {
+      throw Error("line ", line_number, ": unknown record '", fields[0], "'");
+    }
+  }
+  EXTEN_CHECK(entry_seen, "image has no entry record");
+  return image;
+}
+
+}  // namespace exten::isa

@@ -1,0 +1,34 @@
+#pragma once
+
+// Serialization of program images to a simple, diff-friendly text format,
+// used by the command-line tools (xtc-asm emits it, xtc-run / xtc-dis /
+// xtc-energy consume it).
+//
+// Format:
+//   exten-image v1
+//   entry 0x00001000
+//   symbol _start 0x00001000
+//   segment 0x00001000 64
+//   0011223344...                 (hex, 32 bytes per line)
+//
+// Order: header, entry, symbols (sorted), segments with their data.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "isa/program.h"
+
+namespace exten::isa {
+
+/// Writes `image` in the text format above.
+void write_image(std::ostream& os, const ProgramImage& image);
+
+/// Convenience: returns the serialized text.
+std::string image_to_string(const ProgramImage& image);
+
+/// Parses the text format. Throws exten::Error with a line-numbered
+/// message on any syntax or consistency problem.
+ProgramImage parse_image(std::string_view text);
+
+}  // namespace exten::isa

@@ -1,0 +1,99 @@
+#include "isa/isa.h"
+
+#include <array>
+#include <cassert>
+#include <unordered_map>
+
+namespace exten::isa {
+
+namespace {
+
+using enum Format;
+using enum InstrClass;
+
+// One row per opcode, in enumerator order. reads/writes flags describe
+// register-file port usage for hazard detection and energy accounting.
+constexpr std::array<OpcodeInfo, kOpcodeCount> kOpcodeTable = {{
+    //  opcode        mnemonic  format      class       rs1    rs2    rd
+    {Opcode::kAdd, "add", RType, Arithmetic, true, true, true},
+    {Opcode::kSub, "sub", RType, Arithmetic, true, true, true},
+    {Opcode::kAnd, "and", RType, Arithmetic, true, true, true},
+    {Opcode::kOr, "or", RType, Arithmetic, true, true, true},
+    {Opcode::kXor, "xor", RType, Arithmetic, true, true, true},
+    {Opcode::kNor, "nor", RType, Arithmetic, true, true, true},
+    {Opcode::kAndn, "andn", RType, Arithmetic, true, true, true},
+    {Opcode::kSll, "sll", RType, Arithmetic, true, true, true},
+    {Opcode::kSrl, "srl", RType, Arithmetic, true, true, true},
+    {Opcode::kSra, "sra", RType, Arithmetic, true, true, true},
+    {Opcode::kSlt, "slt", RType, Arithmetic, true, true, true},
+    {Opcode::kSltu, "sltu", RType, Arithmetic, true, true, true},
+    {Opcode::kMul, "mul", RType, Arithmetic, true, true, true},
+    {Opcode::kMulh, "mulh", RType, Arithmetic, true, true, true},
+    {Opcode::kMin, "min", RType, Arithmetic, true, true, true},
+    {Opcode::kMax, "max", RType, Arithmetic, true, true, true},
+    {Opcode::kMinu, "minu", RType, Arithmetic, true, true, true},
+    {Opcode::kMaxu, "maxu", RType, Arithmetic, true, true, true},
+    {Opcode::kAddi, "addi", IType, Arithmetic, true, false, true},
+    {Opcode::kAndi, "andi", IType, Arithmetic, true, false, true},
+    {Opcode::kOri, "ori", IType, Arithmetic, true, false, true},
+    {Opcode::kXori, "xori", IType, Arithmetic, true, false, true},
+    {Opcode::kSlli, "slli", IType, Arithmetic, true, false, true},
+    {Opcode::kSrli, "srli", IType, Arithmetic, true, false, true},
+    {Opcode::kSrai, "srai", IType, Arithmetic, true, false, true},
+    {Opcode::kSlti, "slti", IType, Arithmetic, true, false, true},
+    {Opcode::kSltiu, "sltiu", IType, Arithmetic, true, false, true},
+    {Opcode::kLui, "lui", UType, Arithmetic, false, false, true},
+    {Opcode::kLw, "lw", IType, Load, true, false, true},
+    {Opcode::kLh, "lh", IType, Load, true, false, true},
+    {Opcode::kLhu, "lhu", IType, Load, true, false, true},
+    {Opcode::kLb, "lb", IType, Load, true, false, true},
+    {Opcode::kLbu, "lbu", IType, Load, true, false, true},
+    // Stores carry the value register in the rd field slot of the encoding
+    // but semantically *read* it; reads_rs2 marks the value read.
+    {Opcode::kSw, "sw", IType, Store, true, true, false},
+    {Opcode::kSh, "sh", IType, Store, true, true, false},
+    {Opcode::kSb, "sb", IType, Store, true, true, false},
+    {Opcode::kJ, "j", JType, Jump, false, false, false},
+    {Opcode::kJal, "jal", JType, Jump, false, false, true},
+    {Opcode::kJr, "jr", RType, Jump, true, false, false},
+    {Opcode::kJalr, "jalr", RType, Jump, true, false, true},
+    {Opcode::kBeq, "beq", BranchType, Branch, true, true, false},
+    {Opcode::kBne, "bne", BranchType, Branch, true, true, false},
+    {Opcode::kBlt, "blt", BranchType, Branch, true, true, false},
+    {Opcode::kBge, "bge", BranchType, Branch, true, true, false},
+    {Opcode::kBltu, "bltu", BranchType, Branch, true, true, false},
+    {Opcode::kBgeu, "bgeu", BranchType, Branch, true, true, false},
+    {Opcode::kBeqz, "beqz", BranchType, Branch, true, false, false},
+    {Opcode::kBnez, "bnez", BranchType, Branch, true, false, false},
+    {Opcode::kNop, "nop", None, Misc, false, false, false},
+    {Opcode::kHalt, "halt", None, Misc, false, false, false},
+    {Opcode::kCustom, "custom", CustomType, Custom, true, true, true},
+}};
+
+const std::unordered_map<std::string_view, Opcode>& mnemonic_map() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string_view, Opcode>();
+    for (const auto& info : kOpcodeTable) m->emplace(info.mnemonic, info.opcode);
+    return m;
+  }();
+  return *map;
+}
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(Opcode op) {
+  const auto index = static_cast<std::size_t>(op);
+  assert(index < kOpcodeTable.size());
+  const OpcodeInfo& info = kOpcodeTable[index];
+  assert(info.opcode == op && "opcode table out of order");
+  return info;
+}
+
+std::optional<Opcode> find_opcode(std::string_view mnemonic) {
+  const auto& map = mnemonic_map();
+  auto it = map.find(mnemonic);
+  if (it == map.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace exten::isa

@@ -1,0 +1,169 @@
+#pragma once
+
+// XTC-32: the base instruction-set architecture of our extensible processor.
+//
+// XTC-32 is a from-scratch 32-bit in-order RISC ISA standing in for the
+// Xtensa base ISA of the paper. It has ~45 base opcodes in six macro-model
+// classes (arithmetic, load, store, jump, branch, misc), 64 general-purpose
+// 32-bit registers (r0 hardwired to zero, r1 the link register), and one
+// CUSTOM primary opcode whose 8-bit `func` field selects a TIE-lite custom
+// instruction (up to 256 extensions per configuration).
+//
+// Encoding (32 bits, little-endian in memory):
+//   [31:26] primary opcode
+//   R-type:  [25:20] rd   [19:14] rs1  [13:8] rs2  [7:0] zero
+//   I-type:  [25:20] rd   [19:14] rs1  [13:0] imm14 (signed for arithmetic
+//            and memory offsets; zero-extended for ANDI/ORI/XORI)
+//   U-type:  [25:20] rd   [17:0]  imm18 (LUI: rd = imm18 << 14)
+//   Branch:  [25:20] rs1  [19:14] rs2  [13:0] imm14 word offset from the
+//            instruction after the branch
+//   J-type:  [25:0] imm26 signed word offset from the next instruction
+//   Custom:  [25:20] rd   [19:14] rs1  [13:8] rs2  [7:0] func (extension id)
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace exten::isa {
+
+/// Number of architected general-purpose registers (Xtensa T1040 config:
+/// 64 32-bit registers).
+inline constexpr unsigned kNumRegisters = 64;
+/// r0 always reads zero; writes are ignored.
+inline constexpr unsigned kZeroRegister = 0;
+/// Link register used by JAL/JALR.
+inline constexpr unsigned kLinkRegister = 1;
+/// Stack pointer by software convention (used by workloads).
+inline constexpr unsigned kStackRegister = 2;
+
+/// Macro-model instruction classes (paper §IV-B.1). Branches are a single
+/// static class; the taken/untaken split is resolved dynamically by the
+/// simulator when it accounts cycles.
+enum class InstrClass : std::uint8_t {
+  Arithmetic,  ///< ALU / shift / compare / multiply on the base datapath
+  Load,        ///< memory loads
+  Store,       ///< memory stores
+  Jump,        ///< unconditional control transfer
+  Branch,      ///< conditional control transfer
+  Custom,      ///< TIE-lite extension instruction
+  Misc,        ///< NOP / HALT (counted with arithmetic for energy purposes)
+};
+
+/// Instruction word formats.
+enum class Format : std::uint8_t {
+  RType,
+  IType,
+  UType,
+  BranchType,
+  JType,
+  CustomType,
+  None,  ///< NOP / HALT
+};
+
+/// Base-ISA opcodes. The enumerator value is the 6-bit primary opcode.
+enum class Opcode : std::uint8_t {
+  // R-type arithmetic.
+  kAdd = 0,
+  kSub,
+  kAnd,
+  kOr,
+  kXor,
+  kNor,
+  kAndn,
+  kSll,
+  kSrl,
+  kSra,
+  kSlt,
+  kSltu,
+  kMul,
+  kMulh,
+  kMin,
+  kMax,
+  kMinu,
+  kMaxu,
+  // I-type arithmetic.
+  kAddi,
+  kAndi,
+  kOri,
+  kXori,
+  kSlli,
+  kSrli,
+  kSrai,
+  kSlti,
+  kSltiu,
+  kLui,
+  // Loads.
+  kLw,
+  kLh,
+  kLhu,
+  kLb,
+  kLbu,
+  // Stores.
+  kSw,
+  kSh,
+  kSb,
+  // Jumps.
+  kJ,
+  kJal,
+  kJr,
+  kJalr,
+  // Branches.
+  kBeq,
+  kBne,
+  kBlt,
+  kBge,
+  kBltu,
+  kBgeu,
+  kBeqz,
+  kBnez,
+  // Misc.
+  kNop,
+  kHalt,
+  // Extension entry point.
+  kCustom,
+
+  kOpcodeCount,
+};
+
+inline constexpr unsigned kOpcodeCount =
+    static_cast<unsigned>(Opcode::kOpcodeCount);
+
+/// Static properties of one opcode.
+struct OpcodeInfo {
+  Opcode opcode;
+  std::string_view mnemonic;
+  Format format;
+  InstrClass cls;
+  bool reads_rs1;
+  bool reads_rs2;
+  bool writes_rd;
+};
+
+/// Returns the static descriptor for `op`. Precondition: op is a valid
+/// opcode (not kOpcodeCount).
+const OpcodeInfo& opcode_info(Opcode op);
+
+/// Looks up an opcode by mnemonic (lower case). Returns nullopt for unknown
+/// mnemonics (including pseudo-instructions, which only the assembler knows).
+std::optional<Opcode> find_opcode(std::string_view mnemonic);
+
+/// True if `op` is a conditional branch.
+inline bool is_branch(Opcode op) {
+  return opcode_info(op).cls == InstrClass::Branch;
+}
+
+/// True if `op` is a load.
+inline bool is_load(Opcode op) { return opcode_info(op).cls == InstrClass::Load; }
+
+/// Maximum/minimum signed 14-bit immediate.
+inline constexpr std::int32_t kImm14Max = (1 << 13) - 1;
+inline constexpr std::int32_t kImm14Min = -(1 << 13);
+/// Maximum unsigned 14-bit immediate (logical immediates).
+inline constexpr std::int32_t kImm14UMax = (1 << 14) - 1;
+/// Maximum unsigned 18-bit immediate (LUI).
+inline constexpr std::int32_t kImm18UMax = (1 << 18) - 1;
+/// Signed 26-bit jump offset bounds (in words).
+inline constexpr std::int32_t kImm26Max = (1 << 25) - 1;
+inline constexpr std::int32_t kImm26Min = -(1 << 25);
+
+}  // namespace exten::isa

@@ -1,0 +1,52 @@
+#include "isa/program.h"
+
+#include "util/error.h"
+
+namespace exten::isa {
+
+void ProgramImage::add_segment(Segment segment) {
+  for (const Segment& existing : segments_) {
+    const bool disjoint =
+        segment.end() <= existing.base || existing.end() <= segment.base;
+    EXTEN_CHECK(disjoint, "segment [0x", std::hex, segment.base, ", 0x",
+                segment.end(), ") overlaps [0x", existing.base, ", 0x",
+                existing.end(), ")");
+  }
+  if (!segment.bytes.empty()) segments_.push_back(std::move(segment));
+}
+
+void ProgramImage::define_symbol(const std::string& name,
+                                 std::uint32_t value) {
+  auto [it, inserted] = symbols_.emplace(name, value);
+  EXTEN_CHECK(inserted || it->second == value, "symbol '", name,
+              "' redefined: 0x", std::hex, it->second, " vs 0x", value);
+}
+
+std::optional<std::uint32_t> ProgramImage::symbol(
+    const std::string& name) const {
+  auto it = symbols_.find(name);
+  if (it == symbols_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t ProgramImage::total_bytes() const {
+  std::size_t total = 0;
+  for (const Segment& s : segments_) total += s.bytes.size();
+  return total;
+}
+
+std::optional<std::uint32_t> ProgramImage::read_word(
+    std::uint32_t address) const {
+  for (const Segment& s : segments_) {
+    if (address >= s.base && address + 4 <= s.end()) {
+      const std::size_t off = address - s.base;
+      return static_cast<std::uint32_t>(s.bytes[off]) |
+             (static_cast<std::uint32_t>(s.bytes[off + 1]) << 8) |
+             (static_cast<std::uint32_t>(s.bytes[off + 2]) << 16) |
+             (static_cast<std::uint32_t>(s.bytes[off + 3]) << 24);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace exten::isa

@@ -1,0 +1,66 @@
+#pragma once
+
+// Program images: the loadable output of the assembler and the input of the
+// simulator. An image is a set of byte segments at absolute addresses plus
+// an entry point and a symbol table.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace exten::isa {
+
+/// Default memory layout used by the assembler and workloads.
+/// Anything at or above kUncachedBase bypasses the caches (device region).
+inline constexpr std::uint32_t kTextBase = 0x0000'1000;
+inline constexpr std::uint32_t kDataBase = 0x0002'0000;
+inline constexpr std::uint32_t kStackTop = 0x000f'fff0;
+inline constexpr std::uint32_t kUncachedBase = 0x8000'0000;
+
+/// One contiguous run of initialized bytes.
+struct Segment {
+  std::uint32_t base = 0;
+  std::vector<std::uint8_t> bytes;
+
+  std::uint32_t end() const {
+    return base + static_cast<std::uint32_t>(bytes.size());
+  }
+};
+
+/// A fully linked program.
+class ProgramImage {
+ public:
+  /// Appends a segment. Throws exten::Error if it overlaps an existing one.
+  void add_segment(Segment segment);
+
+  /// Defines a symbol. Throws exten::Error on duplicate definition with a
+  /// different value.
+  void define_symbol(const std::string& name, std::uint32_t value);
+
+  /// Looks up a symbol value.
+  std::optional<std::uint32_t> symbol(const std::string& name) const;
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  const std::map<std::string, std::uint32_t>& symbols() const {
+    return symbols_;
+  }
+
+  std::uint32_t entry_point() const { return entry_point_; }
+  void set_entry_point(std::uint32_t entry) { entry_point_ = entry; }
+
+  /// Total number of initialized bytes across segments.
+  std::size_t total_bytes() const;
+
+  /// Reads a 32-bit little-endian word from the image; nullopt if any of the
+  /// four bytes is uninitialized.
+  std::optional<std::uint32_t> read_word(std::uint32_t address) const;
+
+ private:
+  std::vector<Segment> segments_;
+  std::map<std::string, std::uint32_t> symbols_;
+  std::uint32_t entry_point_ = kTextBase;
+};
+
+}  // namespace exten::isa

@@ -1,0 +1,190 @@
+#include "linalg/least_squares.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace exten::linalg {
+
+namespace {
+constexpr double kRankTolerance = 1e-10;
+}  // namespace
+
+QrDecomposition::QrDecomposition(const Matrix& a)
+    : m_(a.rows()), n_(a.cols()), qr_(a), tau_(a.cols()) {
+  EXTEN_CHECK(m_ >= n_, "QR needs rows >= cols, got ", m_, "x", n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m_; ++i) norm += qr_(i, k) * qr_(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      tau_[k] = 0.0;
+      continue;
+    }
+    const double alpha = qr_(k, k) >= 0.0 ? -norm : norm;
+    const double v0 = qr_(k, k) - alpha;
+    // v = (v0, a_{k+1,k}, ..., a_{m-1,k}); store v/v0 below the diagonal and
+    // alpha (= R_kk) on the diagonal.
+    tau_[k] = -v0 / alpha;  // tau = 2 / (v^T v) * v0^2 rearranged
+    for (std::size_t i = k + 1; i < m_; ++i) qr_(i, k) /= v0;
+    qr_(k, k) = alpha;
+    // Apply H = I - tau * v v^T (with v normalized to v0 = 1) to the
+    // trailing columns.
+    for (std::size_t c = k + 1; c < n_; ++c) {
+      double dot = qr_(k, c);
+      for (std::size_t i = k + 1; i < m_; ++i) dot += qr_(i, k) * qr_(i, c);
+      dot *= tau_[k];
+      qr_(k, c) -= dot;
+      for (std::size_t i = k + 1; i < m_; ++i) qr_(i, c) -= dot * qr_(i, k);
+    }
+  }
+}
+
+bool QrDecomposition::full_rank() const {
+  double max_diag = 0.0;
+  for (std::size_t k = 0; k < n_; ++k) {
+    max_diag = std::fmax(max_diag, std::fabs(qr_(k, k)));
+  }
+  if (max_diag == 0.0) return false;
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (std::fabs(qr_(k, k)) < kRankTolerance * max_diag) return false;
+  }
+  return true;
+}
+
+double QrDecomposition::condition_estimate() const {
+  double max_diag = 0.0;
+  double min_diag = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double d = std::fabs(qr_(k, k));
+    max_diag = std::fmax(max_diag, d);
+    min_diag = std::fmin(min_diag, d);
+  }
+  if (min_diag == 0.0) return std::numeric_limits<double>::infinity();
+  return max_diag / min_diag;
+}
+
+Vector QrDecomposition::solve(const Vector& b) const {
+  EXTEN_CHECK(b.size() == m_, "QR solve rhs size ", b.size(), " != ", m_);
+  if (!full_rank()) {
+    throw Error("QR solve: matrix is numerically rank-deficient (condition ",
+                condition_estimate(), ")");
+  }
+  // y = Q^T b.
+  Vector y = b;
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double dot = y[k];
+    for (std::size_t i = k + 1; i < m_; ++i) dot += qr_(i, k) * y[i];
+    dot *= tau_[k];
+    y[k] -= dot;
+    for (std::size_t i = k + 1; i < m_; ++i) y[i] -= dot * qr_(i, k);
+  }
+  // Back-substitute R x = y[0..n-1].
+  Vector x(n_);
+  for (std::size_t ri = n_; ri-- > 0;) {
+    double acc = y[ri];
+    for (std::size_t c = ri + 1; c < n_; ++c) acc -= qr_(ri, c) * x[c];
+    x[ri] = acc / qr_(ri, ri);
+  }
+  return x;
+}
+
+namespace {
+
+/// Builds the ridge-augmented system [A; sqrt(lambda) I], [b; 0].
+void ridge_augment(const Matrix& a, const Vector& b, double lambda,
+                   Matrix* a_out, Vector* b_out) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  *a_out = Matrix(m + n, n);
+  *b_out = Vector(m + n);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) (*a_out)(r, c) = a(r, c);
+    (*b_out)[r] = b[r];
+  }
+  const double s = std::sqrt(lambda);
+  for (std::size_t k = 0; k < n; ++k) (*a_out)(m + k, k) = s;
+}
+
+/// Solves with columns in `pinned` forced to zero by dropping them.
+Vector solve_with_pins(const Matrix& a, const Vector& b, double lambda,
+                       const std::vector<bool>& pinned, double* condition) {
+  std::vector<std::size_t> keep;
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    if (!pinned[c]) keep.push_back(c);
+  }
+  EXTEN_CHECK(!keep.empty(), "nonnegative fit pinned every coefficient");
+  Matrix sub(a.rows(), keep.size());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t j = 0; j < keep.size(); ++j) sub(r, j) = a(r, keep[j]);
+  }
+  Matrix sys = sub;
+  Vector rhs = b;
+  if (lambda > 0.0) ridge_augment(sub, b, lambda, &sys, &rhs);
+  QrDecomposition qr(sys);
+  if (condition != nullptr) *condition = qr.condition_estimate();
+  const Vector partial = qr.solve(rhs);
+  Vector full(a.cols(), 0.0);
+  for (std::size_t j = 0; j < keep.size(); ++j) full[keep[j]] = partial[j];
+  return full;
+}
+
+}  // namespace
+
+LeastSquaresFit solve_least_squares(const Matrix& a, const Vector& b,
+                                    const LeastSquaresOptions& options) {
+  EXTEN_CHECK(a.rows() == b.size(), "least squares: ", a.rows(),
+              " rows vs rhs size ", b.size());
+  EXTEN_CHECK(a.rows() >= a.cols() || options.ridge_lambda > 0.0,
+              "least squares: underdetermined system ", a.rows(), "x",
+              a.cols(), " needs ridge regularization");
+
+  LeastSquaresFit fit;
+  std::vector<bool> pinned(a.cols(), false);
+  fit.coefficients =
+      solve_with_pins(a, b, options.ridge_lambda, pinned, &fit.condition);
+
+  if (options.nonnegative) {
+    // Simple active-set iteration: pin the most negative coefficient and
+    // re-fit until all free coefficients are non-negative. Terminates in at
+    // most n iterations because pins only grow.
+    for (std::size_t iter = 0; iter < a.cols(); ++iter) {
+      std::size_t worst = a.cols();
+      double worst_value = -1e-12;
+      for (std::size_t c = 0; c < a.cols(); ++c) {
+        if (!pinned[c] && fit.coefficients[c] < worst_value) {
+          worst_value = fit.coefficients[c];
+          worst = c;
+        }
+      }
+      if (worst == a.cols()) break;
+      pinned[worst] = true;
+      fit.coefficients =
+          solve_with_pins(a, b, options.ridge_lambda, pinned, &fit.condition);
+    }
+  }
+
+  fit.residuals = b - a * fit.coefficients;
+  double ss_res = fit.residuals.dot(fit.residuals);
+  double mean = 0.0;
+  for (double x : b) mean += x;
+  mean /= static_cast<double>(b.size());
+  double ss_tot = 0.0;
+  for (double x : b) ss_tot += (x - mean) * (x - mean);
+  fit.rmse = std::sqrt(ss_res / static_cast<double>(b.size()));
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+Vector pseudo_inverse_solve(const Matrix& a, const Vector& b) {
+  EXTEN_CHECK(a.rows() >= a.cols(), "pseudo-inverse: underdetermined system ",
+              a.rows(), "x", a.cols());
+  const Matrix at = a.transpose();
+  return solve_linear(at * a, at * b);
+}
+
+}  // namespace exten::linalg

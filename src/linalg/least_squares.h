@@ -1,0 +1,69 @@
+#pragma once
+
+// Least-squares solvers for macro-model fitting.
+//
+// The paper (Eq. (5)) solves  c = (A^T A)^{-1} A^T e  — the pseudo-inverse /
+// normal-equations form. We provide that exact path plus a Householder-QR
+// path with better numerical behaviour; both are tested to agree on
+// well-conditioned systems. Optional ridge regularization supports the
+// regression-robustness ablation.
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+
+namespace exten::linalg {
+
+/// Options for solve_least_squares.
+struct LeastSquaresOptions {
+  /// Tikhonov/ridge penalty lambda (0 = ordinary least squares).
+  double ridge_lambda = 0.0;
+  /// If true, clamp fitted coefficients at >= 0. Energy coefficients are
+  /// physically non-negative; the solver re-fits with offending columns
+  /// pinned to zero (simple active-set iteration).
+  bool nonnegative = false;
+};
+
+/// Result of a least-squares fit with diagnostics.
+struct LeastSquaresFit {
+  Vector coefficients;        ///< Fitted c (size = A.cols()).
+  Vector residuals;           ///< e - A c (size = A.rows()).
+  double rmse = 0.0;          ///< sqrt(mean squared residual).
+  double r_squared = 0.0;     ///< Coefficient of determination.
+  double condition = 0.0;     ///< max|R_ii| / min|R_ii| from QR (inf if rank-deficient).
+};
+
+/// Householder QR factorization of an m x n matrix (m >= n).
+class QrDecomposition {
+ public:
+  /// Factorizes A = Q R. Throws exten::Error when m < n.
+  explicit QrDecomposition(const Matrix& a);
+
+  /// Minimum-residual solution of A x = b (least squares).
+  /// Throws exten::Error when A is numerically rank-deficient.
+  Vector solve(const Vector& b) const;
+
+  /// Ratio of extreme |R_ii| magnitudes — a cheap condition estimate.
+  double condition_estimate() const;
+
+  /// True if all |R_ii| exceed the rank tolerance.
+  bool full_rank() const;
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  Matrix qr_;          ///< Packed Householder vectors + R.
+  Vector tau_;         ///< Householder scalar factors.
+};
+
+/// Full-featured least-squares fit via QR with diagnostics.
+/// Throws exten::Error if A has more columns than rows or is rank-deficient
+/// (unless ridge_lambda > 0, which always regularizes to full rank).
+LeastSquaresFit solve_least_squares(const Matrix& a, const Vector& b,
+                                    const LeastSquaresOptions& options = {});
+
+/// The paper's Eq. (5): c = (A^T A)^{-1} A^T e via the normal equations.
+/// Kept as the literal reproduction of the paper's method.
+Vector pseudo_inverse_solve(const Matrix& a, const Vector& b);
+
+}  // namespace exten::linalg

@@ -1,0 +1,196 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace exten::linalg {
+
+double Vector::norm() const { return std::sqrt(dot(*this)); }
+
+double Vector::dot(const Vector& other) const {
+  EXTEN_CHECK(size() == other.size(), "dot: size mismatch ", size(), " vs ",
+              other.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) acc += data_[i] * other.data_[i];
+  return acc;
+}
+
+Vector Vector::operator+(const Vector& other) const {
+  EXTEN_CHECK(size() == other.size(), "vector add: size mismatch");
+  Vector out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = data_[i] + other.data_[i];
+  return out;
+}
+
+Vector Vector::operator-(const Vector& other) const {
+  EXTEN_CHECK(size() == other.size(), "vector sub: size mismatch");
+  Vector out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = data_[i] - other.data_[i];
+  return out;
+}
+
+Vector Vector::operator*(double scalar) const {
+  Vector out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = data_[i] * scalar;
+  return out;
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    EXTEN_CHECK(row.size() == cols_, "ragged initializer: row arity ",
+                row.size(), " != ", cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::row(std::size_t r) const {
+  EXTEN_CHECK(r < rows_, "row ", r, " out of range (", rows_, ")");
+  Vector out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  EXTEN_CHECK(c < cols_, "col ", c, " out of range (", cols_, ")");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::set_row(std::size_t r, const Vector& values) {
+  EXTEN_CHECK(r < rows_, "row ", r, " out of range (", rows_, ")");
+  EXTEN_CHECK(values.size() == cols_, "set_row arity ", values.size(),
+              " != ", cols_);
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = values[c];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  EXTEN_CHECK(cols_ == other.rows_, "matmul shape mismatch: ", rows_, "x",
+              cols_, " * ", other.rows_, "x", other.cols_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  EXTEN_CHECK(cols_ == v.size(), "matvec shape mismatch: ", rows_, "x", cols_,
+              " * ", v.size());
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  EXTEN_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+              "matrix add shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  EXTEN_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+              "matrix sub shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * scalar;
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  EXTEN_CHECK(a.rows_ == b.rows_ && a.cols_ == b.cols_,
+              "max_abs_diff shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    worst = std::fmax(worst, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return worst;
+}
+
+Vector solve_linear(Matrix m, Vector b) {
+  EXTEN_CHECK(m.rows() == m.cols(), "solve_linear needs a square matrix, got ",
+              m.rows(), "x", m.cols());
+  EXTEN_CHECK(m.rows() == b.size(), "solve_linear rhs size mismatch");
+  const std::size_t n = m.rows();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k.
+    std::size_t pivot = k;
+    double best = std::fabs(m(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      if (std::fabs(m(r, k)) > best) {
+        best = std::fabs(m(r, k));
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      throw Error("solve_linear: matrix is singular at pivot ", k,
+                  " (|pivot| = ", best, ")");
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(m(k, c), m(pivot, c));
+      std::swap(b[k], b[pivot]);
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = m(r, k) / m(k, k);
+      if (factor == 0.0) continue;
+      for (std::size_t c = k; c < n; ++c) m(r, c) -= factor * m(k, c);
+      b[r] -= factor * b[k];
+    }
+  }
+
+  Vector x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= m(ri, c) * x[c];
+    x[ri] = acc / m(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace exten::linalg

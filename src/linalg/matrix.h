@@ -1,0 +1,103 @@
+#pragma once
+
+// Dense double-precision matrix/vector types for the regression machinery.
+//
+// The macro-model fit (paper Eq. (5)) works with an N x 21 observation
+// matrix, so this is deliberately a small, cache-friendly, row-major dense
+// implementation — no sparse structure or expression templates needed.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace exten::linalg {
+
+class Matrix;
+
+/// Dense column vector.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, double fill = 0.0) : data_(n, fill) {}
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  /// Euclidean norm.
+  double norm() const;
+  /// Dot product; sizes must match.
+  double dot(const Vector& other) const;
+
+  Vector operator+(const Vector& other) const;
+  Vector operator-(const Vector& other) const;
+  Vector operator*(double scalar) const;
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists; all rows must have equal arity.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Copies row r into a Vector.
+  Vector row(std::size_t r) const;
+  /// Copies column c into a Vector.
+  Vector col(std::size_t c) const;
+  /// Overwrites row r from a Vector of matching arity.
+  void set_row(std::size_t r, const Vector& values);
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& other) const;
+  Vector operator*(const Vector& v) const;
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Max |a_ij - b_ij|; matrices must have equal shape.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the square system M x = b by Gaussian elimination with partial
+/// pivoting. Throws exten::Error on singular (or numerically singular) M.
+Vector solve_linear(Matrix m, Vector b);
+
+}  // namespace exten::linalg

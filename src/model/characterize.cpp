@@ -1,0 +1,129 @@
+#include "model/characterize.h"
+
+#include <cmath>
+
+#include "linalg/least_squares.h"
+#include "model/profiler.h"
+#include "power/estimator.h"
+#include "sim/cpu.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace exten::model {
+
+ProgramObservation observe_program(const TestProgram& program,
+                                   const CharacterizeOptions& options) {
+  EXTEN_CHECK(program.tie != nullptr, "program '", program.name,
+              "' has no TIE configuration");
+  sim::Cpu cpu(options.processor, *program.tie);
+  cpu.load_program(program.image);
+
+  MacroModelProfiler profiler(*program.tie);
+  power::RtlPowerEstimator reference(*program.tie, options.technology);
+  cpu.add_observer(&profiler);
+  cpu.add_observer(&reference);
+
+  const sim::RunResult run = cpu.run(options.max_instructions);
+
+  ProgramObservation obs;
+  obs.name = program.name;
+  obs.variables = profiler.variables();
+  obs.reference_pj = reference.energy_pj();
+  obs.instructions = run.instructions;
+  obs.cycles = run.cycles;
+  return obs;
+}
+
+namespace internal {
+
+/// Step 8: regression. Builds A (N x 21) and e (N) from the observations
+/// and solves per the options. With relative weighting, row r and e_r are
+/// scaled by 1/e_r so every program contributes its *percent* residual.
+/// Returns the coefficients and (via out-param) the condition estimate.
+linalg::Vector fit_coefficients(std::span<const ProgramObservation> observations,
+                                const CharacterizeOptions& options,
+                                double* condition_out) {
+  linalg::Matrix a(observations.size(), kNumVariables);
+  linalg::Vector e(observations.size());
+  for (std::size_t r = 0; r < observations.size(); ++r) {
+    const double reference = observations[r].reference_pj;
+    EXTEN_CHECK(reference > 0.0, "program '", observations[r].name,
+                "' has non-positive reference energy ", reference);
+    const double weight =
+        options.relative_weighting ? 1.0 / reference : 1.0;
+    linalg::Vector row = observations[r].variables.to_vector();
+    for (std::size_t c = 0; c < kNumVariables; ++c) row[c] *= weight;
+    a.set_row(r, row);
+    e[r] = reference * weight;
+  }
+
+  if (options.method == FitMethod::kPseudoInverse) {
+    if (condition_out != nullptr) *condition_out = 0.0;
+    return linalg::pseudo_inverse_solve(a, e);
+  }
+  linalg::LeastSquaresOptions ls;
+  ls.ridge_lambda = options.ridge_lambda;
+  ls.nonnegative = options.nonnegative;
+  const linalg::LeastSquaresFit fit = linalg::solve_least_squares(a, e, ls);
+  if (condition_out != nullptr) *condition_out = fit.condition;
+  return fit.coefficients;
+}
+
+}  // namespace internal
+
+CharacterizationResult characterize(std::span<const TestProgram> programs,
+                                    const CharacterizeOptions& options) {
+  EXTEN_CHECK(programs.size() >= kNumVariables,
+              "characterization needs at least ", kNumVariables,
+              " test programs (one per macro-model variable), got ",
+              programs.size());
+
+  // Step 3-7: gather observations.
+  std::vector<ProgramObservation> observations;
+  observations.reserve(programs.size());
+  for (const TestProgram& program : programs) {
+    observations.push_back(observe_program(program, options));
+  }
+
+  double condition = 0.0;
+  linalg::Vector coefficients =
+      internal::fit_coefficients(observations, options, &condition);
+
+  CharacterizationResult result{EnergyMacroModel(std::move(coefficients)),
+                                std::move(observations)};
+  result.condition = condition;
+
+  // Diagnostics on the unweighted data.
+  StreamingStats errors;
+  double ss_res = 0.0;
+  double energy_mean = 0.0;
+  for (ProgramObservation& obs : result.observations) {
+    obs.predicted_pj = result.model.estimate_pj(obs.variables);
+    obs.fitting_error_percent = percent_error(obs.predicted_pj, obs.reference_pj);
+    errors.add(obs.fitting_error_percent);
+    const double residual = obs.reference_pj - obs.predicted_pj;
+    ss_res += residual * residual;
+    energy_mean += obs.reference_pj;
+  }
+  energy_mean /= static_cast<double>(result.observations.size());
+  double ss_tot = 0.0;
+  for (const ProgramObservation& obs : result.observations) {
+    ss_tot += (obs.reference_pj - energy_mean) * (obs.reference_pj - energy_mean);
+  }
+  result.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  result.rms_error_percent = errors.rms();
+  result.max_abs_error_percent = errors.max_abs();
+  result.mean_abs_error_percent = errors.mean_abs();
+  return result;
+}
+
+
+EnergyMacroModel fit_from_observations(
+    std::span<const ProgramObservation> observations,
+    const CharacterizeOptions& options) {
+  EXTEN_CHECK(!observations.empty(), "no observations to fit");
+  return EnergyMacroModel(
+      internal::fit_coefficients(observations, options, nullptr));
+}
+
+}  // namespace exten::model

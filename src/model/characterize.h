@@ -1,0 +1,87 @@
+#pragma once
+
+// Characterization: fitting the macro-model coefficients by regression
+// (paper Fig. 2, steps 1-8).
+//
+// For every test program, the driver runs the instruction-set simulator
+// with two observers attached: the MacroModelProfiler (variable values —
+// the row of A) and the RtlPowerEstimator (ground-truth energy — the entry
+// of e). It then solves A c = e by least squares (Eq. (5)) and reports
+// per-program fitting errors (the paper's Fig. 3).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/macro_model.h"
+#include "model/test_program.h"
+#include "power/technology.h"
+#include "sim/config.h"
+
+namespace exten::model {
+
+/// Regression back-end.
+enum class FitMethod {
+  kQr,             ///< Householder QR (numerically robust; the default)
+  kPseudoInverse,  ///< the paper's literal Eq. (5): (A^T A)^{-1} A^T e
+};
+
+struct CharacterizeOptions {
+  sim::ProcessorConfig processor;
+  power::TechnologyParams technology;
+  FitMethod method = FitMethod::kQr;
+  /// Ridge penalty; 0 = ordinary least squares (kQr only).
+  double ridge_lambda = 0.0;
+  /// Clamp coefficients at >= 0 (kQr only).
+  bool nonnegative = false;
+  /// Weight each observation by 1 / reference energy, so the fit minimizes
+  /// *relative* error and a long-running test program cannot dominate the
+  /// residual. This is what keeps per-program fitting errors uniformly
+  /// small across a suite whose energies span two orders of magnitude.
+  bool relative_weighting = true;
+  /// Per-program instruction budget.
+  std::uint64_t max_instructions = 200'000'000;
+};
+
+/// One test program's contribution to the regression, with its residual.
+struct ProgramObservation {
+  std::string name;
+  MacroModelVariables variables;
+  double reference_pj = 0.0;  ///< RTL-level ground truth
+  double predicted_pj = 0.0;  ///< macro-model value after the fit
+  double fitting_error_percent = 0.0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+};
+
+struct CharacterizationResult {
+  EnergyMacroModel model;
+  std::vector<ProgramObservation> observations;
+  double r_squared = 0.0;
+  double condition = 0.0;
+  double rms_error_percent = 0.0;
+  double max_abs_error_percent = 0.0;
+  double mean_abs_error_percent = 0.0;
+};
+
+/// Runs the full characterization flow over the test-program suite.
+/// Throws exten::Error when the suite is smaller than the variable count
+/// (the regression would be underdetermined) or does not excite enough of
+/// the variable space for a full-rank fit.
+CharacterizationResult characterize(std::span<const TestProgram> programs,
+                                    const CharacterizeOptions& options = {});
+
+/// Profiles one program: runs the ISS with the MacroModelProfiler and the
+/// RtlPowerEstimator attached and returns the observation (predicted_pj and
+/// fitting_error_percent left at 0). Exposed for tests and ablations.
+ProgramObservation observe_program(const TestProgram& program,
+                                   const CharacterizeOptions& options = {});
+
+/// The regression step alone: fits a macro-model from pre-computed
+/// observations (no simulation). Throws exten::Error on rank deficiency,
+/// like characterize(). Used by cross-validation and the ablations.
+EnergyMacroModel fit_from_observations(
+    std::span<const ProgramObservation> observations,
+    const CharacterizeOptions& options = {});
+
+}  // namespace exten::model

@@ -1,0 +1,68 @@
+#include "model/estimate.h"
+
+#include <chrono>
+
+#include "model/profiler.h"
+#include "power/estimator.h"
+#include "sim/cpu.h"
+#include "util/error.h"
+
+namespace exten::model {
+
+namespace {
+double seconds_since(
+    std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double>(elapsed).count();
+}
+}  // namespace
+
+EnergyEstimate estimate_energy(const EnergyMacroModel& model,
+                               const TestProgram& program,
+                               const sim::ProcessorConfig& processor,
+                               std::uint64_t max_instructions) {
+  EXTEN_CHECK(program.tie != nullptr, "program '", program.name,
+              "' has no TIE configuration");
+  const auto start = std::chrono::steady_clock::now();
+
+  sim::Cpu cpu(processor, *program.tie);
+  cpu.load_program(program.image);
+  MacroModelProfiler profiler(*program.tie);
+  sim::StatsCollector stats;
+  cpu.add_observer(&profiler);
+  cpu.add_observer(&stats);
+  cpu.run(max_instructions);
+
+  EnergyEstimate estimate;
+  estimate.variables = profiler.variables();
+  estimate.energy_pj = model.estimate_pj(estimate.variables);
+  estimate.stats = stats.stats();
+  estimate.elapsed_seconds = seconds_since(start);
+  return estimate;
+}
+
+ReferenceResult reference_energy(const TestProgram& program,
+                                 const sim::ProcessorConfig& processor,
+                                 const power::TechnologyParams& technology,
+                                 std::uint64_t max_instructions) {
+  EXTEN_CHECK(program.tie != nullptr, "program '", program.name,
+              "' has no TIE configuration");
+  const auto start = std::chrono::steady_clock::now();
+
+  sim::Cpu cpu(processor, *program.tie);
+  cpu.load_program(program.image);
+  power::RtlPowerEstimator rtl(*program.tie, technology);
+  sim::StatsCollector stats;
+  cpu.add_observer(&rtl);
+  cpu.add_observer(&stats);
+  cpu.run(max_instructions);
+
+  ReferenceResult result;
+  result.energy_pj = rtl.energy_pj();
+  result.stats = stats.stats();
+  result.breakdown = rtl.block_breakdown();
+  result.elapsed_seconds = seconds_since(start);
+  return result;
+}
+
+}  // namespace exten::model

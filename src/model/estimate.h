@@ -1,0 +1,56 @@
+#pragma once
+
+// Fast application energy estimation with a characterized macro-model
+// (paper Fig. 2, steps 9-11), and the slow RTL-level reference path used
+// for accuracy comparisons (the Table II / Fig. 4 experiments).
+
+#include <map>
+#include <string>
+
+#include "model/macro_model.h"
+#include "model/test_program.h"
+#include "power/technology.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace exten::model {
+
+/// Result of the fast macro-model path: ISS + resource-usage analysis +
+/// dot product with the fitted coefficients. No custom processor is
+/// synthesized and no RTL-level simulation runs.
+struct EnergyEstimate {
+  double energy_pj = 0.0;
+  MacroModelVariables variables;
+  sim::ExecutionStats stats;
+  /// Wall-clock seconds spent (ISS + profiling + evaluation).
+  double elapsed_seconds = 0.0;
+
+  double energy_uj() const { return energy_pj * 1e-6; }
+};
+
+/// Result of the slow reference path: ISS + RTL-level power estimation of
+/// the synthesized extended processor.
+struct ReferenceResult {
+  double energy_pj = 0.0;
+  sim::ExecutionStats stats;
+  double elapsed_seconds = 0.0;
+  /// Per-block energy breakdown from the structural model.
+  std::map<std::string, double> breakdown;
+
+  double energy_uj() const { return energy_pj * 1e-6; }
+};
+
+/// Estimates application energy with the macro-model (fast path).
+EnergyEstimate estimate_energy(const EnergyMacroModel& model,
+                               const TestProgram& program,
+                               const sim::ProcessorConfig& processor = {},
+                               std::uint64_t max_instructions = 200'000'000);
+
+/// Computes the ground-truth energy with the RTL-level estimator
+/// (slow path; stands in for ModelSim + WattWatcher).
+ReferenceResult reference_energy(const TestProgram& program,
+                                 const sim::ProcessorConfig& processor = {},
+                                 const power::TechnologyParams& technology = {},
+                                 std::uint64_t max_instructions = 200'000'000);
+
+}  // namespace exten::model

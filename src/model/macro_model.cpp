@@ -1,0 +1,77 @@
+#include "model/macro_model.h"
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace exten::model {
+
+namespace {
+constexpr std::string_view kSerializeHeader = "exten-macro-model v1";
+}  // namespace
+
+EnergyMacroModel::EnergyMacroModel(linalg::Vector coefficients)
+    : coefficients_(std::move(coefficients)) {
+  EXTEN_CHECK(coefficients_.size() == kNumVariables,
+              "macro-model needs ", kNumVariables, " coefficients, got ",
+              coefficients_.size());
+}
+
+double EnergyMacroModel::estimate_pj(const MacroModelVariables& vars) const {
+  double energy = 0.0;
+  for (std::size_t i = 0; i < kNumVariables; ++i) {
+    energy += coefficients_[i] * vars[i];
+  }
+  return energy;
+}
+
+double EnergyMacroModel::coefficient(std::size_t index) const {
+  EXTEN_CHECK(index < kNumVariables, "coefficient index ", index,
+              " out of range");
+  return coefficients_[index];
+}
+
+AsciiTable EnergyMacroModel::coefficient_table() const {
+  AsciiTable table({"Energy coefficient", "Description", "Value (pJ)"});
+  for (std::size_t i = 0; i < kNumVariables; ++i) {
+    table.add_row({std::string(variable_name(i)),
+                   std::string(variable_description(i)),
+                   format_fixed(coefficients_[i], 1)});
+  }
+  return table;
+}
+
+std::string EnergyMacroModel::serialize() const {
+  std::ostringstream os;
+  os << kSerializeHeader << '\n';
+  for (std::size_t i = 0; i < kNumVariables; ++i) {
+    os << variable_name(i) << ' ' << format_fixed(coefficients_[i], 6) << '\n';
+  }
+  return os.str();
+}
+
+EnergyMacroModel EnergyMacroModel::deserialize(std::string_view text) {
+  const std::vector<std::string_view> lines = split_lines(text);
+  EXTEN_CHECK(!lines.empty() && trim(lines[0]) == kSerializeHeader,
+              "bad macro-model header (expected '", kSerializeHeader, "')");
+  linalg::Vector coefficients(kNumVariables);
+  std::size_t seen = 0;
+  for (std::size_t li = 1; li < lines.size(); ++li) {
+    const std::string_view line = trim(lines[li]);
+    if (line.empty()) continue;
+    const auto fields = split(line, ' ');
+    EXTEN_CHECK(fields.size() == 2, "bad macro-model line '", line, "'");
+    EXTEN_CHECK(seen < kNumVariables, "too many macro-model coefficients");
+    EXTEN_CHECK(fields[0] == variable_name(seen),
+                "macro-model coefficient order: expected '",
+                variable_name(seen), "', got '", fields[0], "'");
+    coefficients[seen] = std::stod(std::string(fields[1]));
+    ++seen;
+  }
+  EXTEN_CHECK(seen == kNumVariables, "macro-model has ", seen,
+              " coefficients, expected ", kNumVariables);
+  return EnergyMacroModel(std::move(coefficients));
+}
+
+}  // namespace exten::model

@@ -1,0 +1,42 @@
+#pragma once
+
+// EnergyMacroModel: a characterized macro-model — the 21 fitted energy
+// coefficients — plus estimation, serialization, and reporting.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "linalg/matrix.h"
+#include "model/variables.h"
+#include "util/table.h"
+
+namespace exten::model {
+
+class EnergyMacroModel {
+ public:
+  /// Builds a model from 21 coefficients (pJ per unit of each variable).
+  explicit EnergyMacroModel(linalg::Vector coefficients);
+
+  /// Estimated energy in pJ for the given variable values (Eq. (2)).
+  double estimate_pj(const MacroModelVariables& vars) const;
+  double estimate_uj(const MacroModelVariables& vars) const {
+    return estimate_pj(vars) * 1e-6;
+  }
+
+  const linalg::Vector& coefficients() const { return coefficients_; }
+  double coefficient(std::size_t index) const;
+
+  /// Renders the paper's Table I: coefficient name, description, value.
+  AsciiTable coefficient_table() const;
+
+  /// Text serialization: one "name value" line per coefficient, with a
+  /// version header. Round-trips through deserialize().
+  std::string serialize() const;
+  static EnergyMacroModel deserialize(std::string_view text);
+
+ private:
+  linalg::Vector coefficients_;
+};
+
+}  // namespace exten::model

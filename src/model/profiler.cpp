@@ -1,0 +1,59 @@
+#include "model/profiler.h"
+
+namespace exten::model {
+
+void MacroModelProfiler::on_retire(const sim::RetiredInstruction& r) {
+  using isa::InstrClass;
+
+  // Instruction-level variables: base-occupancy cycles per class. Custom
+  // instructions are excluded — their base-core usage enters only through
+  // N_cisef, and their datapath usage through the structural variables
+  // (paper Eq. (3)).
+  switch (r.cls) {
+    case InstrClass::Arithmetic:
+    case InstrClass::Misc:  // NOP/HALT exercise fetch/decode like arithmetic
+      vars_[kVarArith] += r.base_cycles;
+      break;
+    case InstrClass::Load:
+      vars_[kVarLoad] += r.base_cycles;
+      break;
+    case InstrClass::Store:
+      vars_[kVarStore] += r.base_cycles;
+      break;
+    case InstrClass::Jump:
+      vars_[kVarJump] += r.base_cycles;
+      break;
+    case InstrClass::Branch:
+      vars_[r.branch_taken ? kVarBranchTaken : kVarBranchUntaken] +=
+          r.base_cycles;
+      break;
+    case InstrClass::Custom:
+      if (r.custom != nullptr && r.custom->uses_generic_regfile()) {
+        vars_[kVarCustomSideEffect] += r.base_cycles;  // latency cycles
+      }
+      break;
+  }
+
+  // Dynamic non-idealities (event counts).
+  if (r.icache_miss) vars_[kVarIcacheMiss] += 1;
+  if (r.dcache_miss) vars_[kVarDcacheMiss] += 1;
+  if (r.uncached_fetch) vars_[kVarUncachedFetch] += 1;
+  vars_[kVarInterlock] += r.interlock_cycles;
+
+  // Structural variables: complexity-weighted active cycles of custom
+  // hardware.
+  if (r.custom != nullptr) {
+    for (std::size_t c = 0; c < tie::kComponentClassCount; ++c) {
+      vars_[kVarStructuralBase + c] += r.custom->execution_weights[c];
+    }
+  } else if (r.cls == InstrClass::Arithmetic && !tie_.instructions().empty()) {
+    // Side activation of non-isolated datapaths via the shared operand
+    // buses (paper Example 1, CIHW activation by a base ADD).
+    const auto& shared = tie_.shared_bus_weights();
+    for (std::size_t c = 0; c < tie::kComponentClassCount; ++c) {
+      vars_[kVarStructuralBase + c] += kSideActivationWeight * shared[c];
+    }
+  }
+}
+
+}  // namespace exten::model

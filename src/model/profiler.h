@@ -1,0 +1,44 @@
+#pragma once
+
+// MacroModelProfiler: extracts the 21 macro-model variable values from a
+// program's dynamic execution.
+//
+// This combines the paper's "instruction set simulation" statistics
+// gathering (Fig. 2, steps 6/9) and the "dynamic resource usage analysis"
+// (steps 7/10): for every retired instruction it updates the
+// instruction-level counters, and for custom instructions (and the
+// operand-bus side effects of base arithmetic instructions on non-isolated
+// datapaths) it accumulates complexity-weighted custom-hardware activity.
+
+#include "model/variables.h"
+#include "sim/events.h"
+#include "tie/compiler.h"
+
+namespace exten::model {
+
+/// Weight applied to the input-stage activity a base-processor arithmetic
+/// instruction induces on non-isolated custom datapaths (the resource-usage
+/// analyzer's model of paper Example 1's side activation). Side-activated
+/// input stages see operand toggles but no clock enables, so only a small
+/// fraction of the component's active-cycle energy is burned; 0.10 is the
+/// gating fraction times a typical operand-bus toggle rate.
+inline constexpr double kSideActivationWeight = 0.10;
+
+class MacroModelProfiler : public sim::RetireObserver {
+ public:
+  /// `tie` is the configuration the profiled program runs on (needed for
+  /// the shared-bus side-effect weights); it must outlive the profiler.
+  explicit MacroModelProfiler(const tie::TieConfiguration& tie) : tie_(tie) {}
+
+  void on_run_begin() override { vars_ = MacroModelVariables{}; }
+
+  void on_retire(const sim::RetiredInstruction& r) override;
+
+  const MacroModelVariables& variables() const { return vars_; }
+
+ private:
+  const tie::TieConfiguration& tie_;
+  MacroModelVariables vars_;
+};
+
+}  // namespace exten::model

@@ -1,0 +1,39 @@
+#include "model/test_program.h"
+
+#include "isa/assembler.h"
+#include "util/error.h"
+
+namespace exten::model {
+
+TestProgram make_test_program(
+    std::string name, std::string_view asm_source,
+    std::shared_ptr<const tie::TieConfiguration> tie) {
+  EXTEN_CHECK(tie != nullptr, "test program '", name,
+              "' needs a (possibly empty) TIE configuration");
+  try {
+    isa::AssemblerOptions options;
+    options.custom_mnemonics = tie->assembler_mnemonics();
+    TestProgram program;
+    program.image = isa::assemble(asm_source, options);
+    program.name = std::move(name);
+    program.tie = std::move(tie);
+    return program;
+  } catch (const Error& e) {
+    throw Error("program '", name, "': ", e.what());
+  }
+}
+
+TestProgram make_test_program(std::string name, std::string_view asm_source,
+                              std::string_view tie_source) {
+  std::shared_ptr<const tie::TieConfiguration> config;
+  try {
+    config = std::make_shared<tie::TieConfiguration>(
+        tie_source.empty() ? tie::TieConfiguration{}
+                           : tie::compile_tie_source(tie_source));
+  } catch (const Error& e) {
+    throw Error("program '", name, "' (TIE): ", e.what());
+  }
+  return make_test_program(std::move(name), asm_source, std::move(config));
+}
+
+}  // namespace exten::model

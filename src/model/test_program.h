@@ -1,0 +1,40 @@
+#pragma once
+
+// TestProgram: a program bundled with the processor extension it runs on.
+//
+// During characterization each test program may target a different custom
+// processor (paper: "custom processors are generated during
+// characterization"); during estimation an application carries the custom
+// instructions whose energy/performance trade-off is being evaluated.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "isa/program.h"
+#include "tie/compiler.h"
+
+namespace exten::model {
+
+struct TestProgram {
+  std::string name;
+  isa::ProgramImage image;
+  /// The instruction-set extension this program was assembled against.
+  /// Shared so many programs can target one configuration. Never null
+  /// (base-only programs use an empty configuration).
+  std::shared_ptr<const tie::TieConfiguration> tie;
+};
+
+/// Compiles `tie_source` (may be empty for a base-only program), assembles
+/// `asm_source` with the extension's mnemonics registered, and bundles the
+/// result. Throws exten::Error on any TIE or assembly error, prefixed with
+/// the program name.
+TestProgram make_test_program(std::string name, std::string_view asm_source,
+                              std::string_view tie_source = {});
+
+/// Variant reusing an already-compiled configuration.
+TestProgram make_test_program(
+    std::string name, std::string_view asm_source,
+    std::shared_ptr<const tie::TieConfiguration> tie);
+
+}  // namespace exten::model

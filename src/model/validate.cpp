@@ -1,0 +1,96 @@
+#include "model/validate.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace exten::model {
+
+namespace {
+
+/// Deterministic Fisher-Yates permutation of 0..n-1. Suites are often laid
+/// out family-major (all the ALU mixes, then all the memory programs, ...);
+/// a plain round-robin fold assignment would then hold out whole families
+/// at once. Shuffling decorrelates fold membership from suite layout while
+/// keeping the split reproducible.
+std::vector<std::size_t> shuffled_indices(std::size_t n) {
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  Rng rng(0x5eedf01d);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(indices[i - 1], indices[rng.next_below(i)]);
+  }
+  return indices;
+}
+
+}  // namespace
+
+CrossValidationResult cross_validate(
+    std::span<const TestProgram> programs, std::size_t folds,
+    const CharacterizeOptions& options,
+    std::vector<ProgramObservation> observations) {
+  EXTEN_CHECK(folds >= 2, "cross-validation needs at least 2 folds, got ",
+              folds);
+  EXTEN_CHECK(programs.size() >= folds, "cannot split ", programs.size(),
+              " programs into ", folds, " folds");
+
+  if (observations.empty()) {
+    observations.reserve(programs.size());
+    for (const TestProgram& program : programs) {
+      observations.push_back(observe_program(program, options));
+    }
+  }
+  EXTEN_CHECK(observations.size() == programs.size(),
+              "observation count ", observations.size(),
+              " does not match program count ", programs.size());
+
+  CrossValidationResult result;
+  StreamingStats errors;
+  StreamingStats fit_rms;
+  const std::vector<std::size_t> order = shuffled_indices(observations.size());
+
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    std::vector<ProgramObservation> training;
+    std::vector<std::size_t> held_out;
+    for (std::size_t position = 0; position < order.size(); ++position) {
+      const std::size_t i = order[position];
+      if (position % folds == fold) {
+        held_out.push_back(i);
+      } else {
+        training.push_back(observations[i]);
+      }
+    }
+
+    const EnergyMacroModel fold_model =
+        fit_from_observations(training, options);
+
+    // In-sample RMS of this fold's training fit.
+    StreamingStats training_errors;
+    for (const ProgramObservation& obs : training) {
+      training_errors.add(percent_error(fold_model.estimate_pj(obs.variables),
+                                        obs.reference_pj));
+    }
+    fit_rms.add(training_errors.rms());
+
+    for (std::size_t index : held_out) {
+      const ProgramObservation& obs = observations[index];
+      HoldOutPrediction prediction;
+      prediction.name = obs.name;
+      prediction.fold = fold;
+      prediction.reference_pj = obs.reference_pj;
+      prediction.predicted_pj = fold_model.estimate_pj(obs.variables);
+      prediction.error_percent =
+          percent_error(prediction.predicted_pj, prediction.reference_pj);
+      errors.add(prediction.error_percent);
+      result.predictions.push_back(std::move(prediction));
+    }
+  }
+
+  result.mean_abs_error_percent = errors.mean_abs();
+  result.rms_error_percent = errors.rms();
+  result.max_abs_error_percent = errors.max_abs();
+  result.mean_fit_rms_percent = fit_rms.mean();
+  return result;
+}
+
+}  // namespace exten::model

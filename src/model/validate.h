@@ -1,0 +1,53 @@
+#pragma once
+
+// Cross-validation of the macro-model fit.
+//
+// In-sample fitting error (the paper's Fig. 3) understates how a
+// macro-model behaves on programs it never saw. k-fold cross-validation
+// refits the model k times, each time holding out one fold of the
+// characterization suite, and reports the held-out prediction errors —
+// the honest generalization number for a characterization campaign.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/characterize.h"
+
+namespace exten::model {
+
+/// One held-out prediction.
+struct HoldOutPrediction {
+  std::string name;
+  std::size_t fold = 0;
+  double reference_pj = 0.0;
+  double predicted_pj = 0.0;
+  double error_percent = 0.0;
+};
+
+struct CrossValidationResult {
+  std::vector<HoldOutPrediction> predictions;  ///< one per program
+  double mean_abs_error_percent = 0.0;
+  double rms_error_percent = 0.0;
+  double max_abs_error_percent = 0.0;
+  /// In-sample RMS averaged over the folds, for comparison.
+  double mean_fit_rms_percent = 0.0;
+};
+
+/// Runs k-fold cross-validation over `programs`.
+///
+/// Folds are assigned by a deterministic shuffle (so family-major suite
+/// layouts don't put whole program families into one fold); each fold's
+/// training set must still cover the variable space, so k should be small
+/// relative to the suite size (folds whose training fit is rank-deficient
+/// throw exten::Error — use a larger suite or fewer folds).
+///
+/// `observations` may be supplied to reuse already-profiled programs
+/// (from characterize() / observe_program()); when empty, every program
+/// is profiled here.
+CrossValidationResult cross_validate(
+    std::span<const TestProgram> programs, std::size_t folds,
+    const CharacterizeOptions& options = {},
+    std::vector<ProgramObservation> observations = {});
+
+}  // namespace exten::model

@@ -1,0 +1,55 @@
+#include "model/variables.h"
+
+#include "util/error.h"
+
+namespace exten::model {
+
+namespace {
+constexpr std::string_view kNames[kNumVariables] = {
+    "N_a",     "N_l",     "N_s",      "N_j",     "N_bt",    "N_bu",
+    "N_icm",   "N_dcm",   "N_unc",    "N_ilk",   "N_cisef", "mult",
+    "adder",   "logic",   "shifter",  "custreg", "tie_mult", "tie_mac",
+    "tie_add", "tie_csa", "table",
+};
+constexpr std::string_view kDescriptions[kNumVariables] = {
+    "arithmetic instruction",
+    "load instruction",
+    "store instruction",
+    "jump instruction",
+    "branch taken",
+    "branch untaken",
+    "instruction cache miss",
+    "data cache miss",
+    "uncached instruction fetch",
+    "processor interlock",
+    "side effects due to custom instructions",
+    "multiplier",
+    "+/-/comparator",
+    "logic/reduction/mux",
+    "shifter",
+    "custom register",
+    "TIE mult",
+    "TIE mac",
+    "TIE add",
+    "TIE csa",
+    "table",
+};
+}  // namespace
+
+std::string_view variable_name(std::size_t index) {
+  EXTEN_CHECK(index < kNumVariables, "variable index ", index, " out of range");
+  return kNames[index];
+}
+
+std::string_view variable_description(std::size_t index) {
+  EXTEN_CHECK(index < kNumVariables, "variable index ", index, " out of range");
+  return kDescriptions[index];
+}
+
+linalg::Vector MacroModelVariables::to_vector() const {
+  linalg::Vector v(kNumVariables);
+  for (std::size_t i = 0; i < kNumVariables; ++i) v[i] = values[i];
+  return v;
+}
+
+}  // namespace exten::model

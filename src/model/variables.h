@@ -1,0 +1,79 @@
+#pragma once
+
+// The macro-model template: 21 variables (paper §IV-B.1, Eqs. (2)-(4)).
+//
+//   E = E_inst + E_struct
+//
+//   E_inst   = c_a N_a + c_l N_l + c_s N_s + c_j N_j + c_bt N_bt
+//            + c_bu N_bu + c_icm N_icm + c_dcm N_dcm + c_unc N_unc
+//            + c_ilk N_ilk + c_cisef N_cisef
+//
+//   E_struct = sum over the 10 component categories j of
+//              c_j * sum_i (active cycles of block i of category j) * C_j(W_i)
+//
+// Instruction-level variables count base-core usage; structural variables
+// count complexity-weighted custom-hardware active cycles (due to both
+// custom instructions and operand-bus side effects of base instructions).
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+#include "linalg/matrix.h"
+#include "tie/components.h"
+
+namespace exten::model {
+
+/// Indices into the 21-variable macro-model template.
+enum VariableIndex : std::size_t {
+  kVarArith = 0,        ///< N_a:  cycles of arithmetic-class instructions
+  kVarLoad,             ///< N_l:  cycles of loads
+  kVarStore,            ///< N_s:  cycles of stores
+  kVarJump,             ///< N_j:  cycles of jumps
+  kVarBranchTaken,      ///< N_bt: cycles of taken branches
+  kVarBranchUntaken,    ///< N_bu: cycles of untaken branches
+  kVarIcacheMiss,       ///< N_icm: instruction-cache misses
+  kVarDcacheMiss,       ///< N_dcm: data-cache misses
+  kVarUncachedFetch,    ///< N_unc: uncached instruction fetches
+  kVarInterlock,        ///< N_ilk: processor interlocks
+  kVarCustomSideEffect, ///< N_cisef: custom-instruction cycles touching the
+                        ///<          generic register file
+  kVarStructuralBase,   ///< first structural variable (category 0)
+};
+
+/// Count of instruction-level variables (paper Eq. (3)).
+inline constexpr std::size_t kNumInstructionVars = kVarStructuralBase;
+/// Total macro-model variables (paper: 21).
+inline constexpr std::size_t kNumVariables =
+    kNumInstructionVars + tie::kComponentClassCount;
+static_assert(kNumVariables == 21, "the paper's template has 21 variables");
+
+/// Structural variable index for a component category.
+inline constexpr std::size_t structural_index(tie::ComponentClass cls) {
+  return kVarStructuralBase + static_cast<std::size_t>(cls);
+}
+
+/// Short name for reports ("N_a", "icache_miss", "tie_mac", ...).
+std::string_view variable_name(std::size_t index);
+/// Human-readable description (Table I's "Description" column).
+std::string_view variable_description(std::size_t index);
+
+/// One program's variable values (the row of matrix A in Eq. (5)).
+struct MacroModelVariables {
+  std::array<double, kNumVariables> values{};
+
+  double& operator[](std::size_t i) { return values[i]; }
+  double operator[](std::size_t i) const { return values[i]; }
+
+  /// Converts to a linalg vector (for regression / dot products).
+  linalg::Vector to_vector() const;
+
+  MacroModelVariables& operator+=(const MacroModelVariables& other) {
+    for (std::size_t i = 0; i < kNumVariables; ++i) {
+      values[i] += other.values[i];
+    }
+    return *this;
+  }
+};
+
+}  // namespace exten::model

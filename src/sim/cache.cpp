@@ -1,0 +1,81 @@
+#include "sim/cache.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace exten::sim {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  EXTEN_CHECK(std::has_single_bit(config.line_bytes) && config.line_bytes >= 4,
+              "cache line size ", config.line_bytes,
+              " must be a power of two >= 4");
+  EXTEN_CHECK(config.ways >= 1, "cache needs at least one way");
+  EXTEN_CHECK(config.size_bytes % (config.line_bytes * config.ways) == 0,
+              "cache size ", config.size_bytes,
+              " not divisible by line_bytes*ways");
+  const std::uint32_t sets = config.num_sets();
+  EXTEN_CHECK(sets >= 1 && std::has_single_bit(sets),
+              "cache set count ", sets, " must be a power of two >= 1");
+  set_shift_ = static_cast<std::uint32_t>(std::countr_zero(config.line_bytes));
+  set_mask_ = sets - 1;
+  lines_.resize(static_cast<std::size_t>(sets) * config.ways);
+}
+
+CacheOutcome Cache::lookup(std::uint32_t addr, bool allocate) {
+  const std::uint32_t set = (addr >> set_shift_) & set_mask_;
+  const std::uint32_t tag = addr >> set_shift_ >> std::countr_zero(set_mask_ + 1);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+
+  Line* hit = nullptr;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      hit = &line;
+      break;
+    }
+  }
+
+  auto refresh = [&](Line& used) {
+    // Age everyone in the set, then mark `used` freshest.
+    for (std::uint32_t w = 0; w < config_.ways; ++w) ++base[w].lru;
+    used.lru = 0;
+  };
+
+  if (hit != nullptr) {
+    ++hits_;
+    refresh(*hit);
+    return CacheOutcome::kHit;
+  }
+  ++misses_;
+  if (allocate) {
+    // Victim: first invalid way, otherwise the stalest (largest lru).
+    Line* victim = base;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      Line& line = base[w];
+      if (!line.valid) {
+        victim = &line;
+        break;
+      }
+      if (line.lru > victim->lru) victim = &line;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    refresh(*victim);
+  }
+  return CacheOutcome::kMiss;
+}
+
+CacheOutcome Cache::access(std::uint32_t addr) {
+  return lookup(addr, /*allocate=*/true);
+}
+
+CacheOutcome Cache::probe(std::uint32_t addr) {
+  return lookup(addr, /*allocate=*/false);
+}
+
+void Cache::flush() {
+  for (Line& line : lines_) line = Line{};
+}
+
+}  // namespace exten::sim

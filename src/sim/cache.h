@@ -1,0 +1,65 @@
+#pragma once
+
+// Set-associative cache performance model with true-LRU replacement.
+//
+// This models hit/miss behaviour only (no data storage — the simulator's
+// Memory is the backing store and is always coherent). The default
+// configuration matches the paper's Xtensa T1040 setup: 4-way, 16 KiB,
+// 32-byte lines, for both instruction and data caches.
+
+#include <cstdint>
+#include <vector>
+
+namespace exten::sim {
+
+/// Geometry of one cache.
+struct CacheConfig {
+  std::uint32_t size_bytes = 16 * 1024;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t ways = 4;
+
+  std::uint32_t num_sets() const {
+    return size_bytes / (line_bytes * ways);
+  }
+};
+
+/// Result of one cache access.
+enum class CacheOutcome : std::uint8_t { kHit, kMiss };
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Looks up `addr`; on a miss the line is allocated (victim = LRU way).
+  CacheOutcome access(std::uint32_t addr);
+
+  /// Looks up `addr` without allocating on miss (write-around stores).
+  /// A hit still refreshes LRU state.
+  CacheOutcome probe(std::uint32_t addr);
+
+  /// Invalidates all lines.
+  void flush();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    std::uint32_t tag = 0;
+    std::uint32_t lru = 0;  ///< lower = more recently used
+  };
+
+  /// Finds the way holding `tag` in `set`, or the LRU victim.
+  CacheOutcome lookup(std::uint32_t addr, bool allocate);
+
+  CacheConfig config_;
+  std::uint32_t set_shift_ = 0;   ///< log2(line_bytes)
+  std::uint32_t set_mask_ = 0;    ///< num_sets - 1
+  std::vector<Line> lines_;       ///< sets x ways, row-major
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace exten::sim

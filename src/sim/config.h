@@ -1,0 +1,44 @@
+#pragma once
+
+// Processor configuration: the "configurable options" of the extensible
+// processor (paper §II). Defaults model the paper's Xtensa T1040 setup:
+// 187 MHz, 64x32b register file, 4-way 16 KiB instruction and data caches.
+
+#include <cstdint>
+
+#include "sim/cache.h"
+
+namespace exten::sim {
+
+/// Timing and structural parameters of the base processor.
+struct ProcessorConfig {
+  /// Clock frequency (used to convert cycle counts to time in reports).
+  double clock_mhz = 187.0;
+
+  CacheConfig icache;
+  CacheConfig dcache;
+
+  /// Extra cycles on an instruction-cache miss (line refill from memory).
+  unsigned icache_miss_penalty = 18;
+  /// Extra cycles on a data-cache load miss.
+  unsigned dcache_miss_penalty = 18;
+  /// Extra cycles for an uncached instruction fetch (device region).
+  unsigned uncached_fetch_penalty = 9;
+  /// Extra cycles for an uncached data access.
+  unsigned uncached_data_penalty = 9;
+
+  /// Pipeline bubbles after a taken branch (fetch redirect).
+  unsigned taken_branch_penalty = 2;
+  /// Pipeline bubbles after an unconditional jump.
+  unsigned jump_penalty = 1;
+  /// Stall cycles for a load-use interlock (consumer immediately follows
+  /// the producing load).
+  unsigned load_use_interlock = 1;
+
+  /// Addresses at or above this bypass the caches.
+  std::uint32_t uncached_base = 0x8000'0000;
+
+  bool is_uncached(std::uint32_t addr) const { return addr >= uncached_base; }
+};
+
+}  // namespace exten::sim

@@ -1,0 +1,95 @@
+#pragma once
+
+// The XTC-32 instruction-set simulator with cycle-approximate accounting
+// for a 5-stage in-order pipeline.
+//
+// Functional semantics are exact; timing is modeled at the level the
+// macro-model needs (paper §III): per-class occupancy, instruction/data
+// cache misses, uncached fetches, load-use interlocks, taken-branch and
+// jump bubbles, and multi-cycle custom-instruction EX occupancy.
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+#include "sim/cache.h"
+#include "sim/config.h"
+#include "sim/events.h"
+#include "sim/memory.h"
+#include "tie/compiler.h"
+#include "tie/state.h"
+
+namespace exten::sim {
+
+/// Outcome of Cpu::run.
+struct RunResult {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  bool halted = false;  ///< false when the instruction budget ran out
+};
+
+class Cpu {
+ public:
+  /// Builds a processor instance: base config + instruction-set extension.
+  /// The TieConfiguration must outlive the Cpu.
+  Cpu(const ProcessorConfig& config, const tie::TieConfiguration& tie);
+
+  /// Loads a program image (copies segments to memory, sets the PC, and
+  /// initializes the stack pointer to isa::kStackTop).
+  void load_program(const isa::ProgramImage& image);
+
+  /// Registers an observer of the retirement stream (not owned).
+  void add_observer(RetireObserver* observer);
+
+  /// Runs until HALT or until `max_instructions` retire.
+  /// Throws exten::Error on simulation faults (illegal instruction,
+  /// alignment fault, fetch from unmapped non-zero region is permitted and
+  /// yields NOPs only if genuinely zero-initialized — in practice programs
+  /// fault with "illegal instruction" on wild jumps).
+  RunResult run(std::uint64_t max_instructions = 200'000'000);
+
+  /// Architectural register access (r0 reads as zero).
+  std::uint32_t reg(unsigned index) const;
+  void set_reg(unsigned index, std::uint32_t value);
+
+  std::uint32_t pc() const { return pc_; }
+  void set_pc(std::uint32_t pc) { pc_ = pc; }
+
+  Memory& memory() { return memory_; }
+  const Memory& memory() const { return memory_; }
+
+  tie::TieState& tie_state() { return tie_state_; }
+  Cache& icache() { return icache_; }
+  Cache& dcache() { return dcache_; }
+
+  std::uint64_t cycles() const { return cycles_; }
+
+  const ProcessorConfig& config() const { return config_; }
+  const tie::TieConfiguration& tie_config() const { return tie_; }
+
+ private:
+  /// Executes one instruction; returns false on HALT.
+  bool step(RetiredInstruction* retired);
+
+  std::uint32_t fetch(RetiredInstruction* retired);
+  void execute(const isa::DecodedInstr& d, RetiredInstruction* retired);
+
+  ProcessorConfig config_;
+  const tie::TieConfiguration& tie_;
+  Memory memory_;
+  Cache icache_;
+  Cache dcache_;
+  tie::TieState tie_state_;
+
+  std::uint32_t regs_[isa::kNumRegisters] = {};
+  std::uint32_t pc_ = isa::kTextBase;
+  std::uint64_t cycles_ = 0;
+
+  // Load-use interlock tracking: destination of the previous instruction
+  // if it was a load, else an impossible register index.
+  unsigned pending_load_rd_ = isa::kNumRegisters;
+
+  std::vector<RetireObserver*> observers_;
+};
+
+}  // namespace exten::sim

@@ -1,0 +1,82 @@
+#pragma once
+
+// The retirement event stream.
+//
+// The instruction-set simulator publishes one RetiredInstruction record per
+// executed instruction through the RetireObserver interface. Both consumers
+// of dynamic execution — the macro-model's statistics/resource-usage
+// collectors (fast path) and the RTL-level power estimator (slow,
+// ground-truth path) — observe the *same* stream, mirroring the paper's
+// flow where ISS statistics and RTL power simulation are driven by the same
+// program run (Fig. 2).
+
+#include <cstdint>
+
+#include "isa/encoding.h"
+
+namespace exten::tie {
+struct CustomInstruction;
+}  // namespace exten::tie
+
+namespace exten::sim {
+
+/// Everything known about one retired instruction.
+struct RetiredInstruction {
+  std::uint32_t pc = 0;
+  isa::DecodedInstr instr;
+  isa::InstrClass cls = isa::InstrClass::Misc;
+
+  /// Dynamic branch outcome (meaningful only for cls == Branch).
+  bool branch_taken = false;
+
+  /// Cycles the instruction occupies without stalls (1, or the custom
+  /// instruction's latency).
+  unsigned base_cycles = 1;
+  /// Total cycles consumed including every stall and penalty.
+  unsigned total_cycles = 1;
+
+  // Dynamic non-idealities attributable to this instruction.
+  bool icache_miss = false;
+  bool dcache_miss = false;
+  bool uncached_fetch = false;
+  bool uncached_data = false;
+  unsigned interlock_cycles = 0;
+  /// Pipeline bubbles from a fetch redirect (taken branch / jump).
+  unsigned redirect_cycles = 0;
+  /// Stall cycles waiting on memory (cache refills, uncached transactions).
+  unsigned memory_stall_cycles = 0;
+
+  /// Source operand and result values (for switching-activity estimation).
+  std::uint32_t rs1_value = 0;
+  std::uint32_t rs2_value = 0;
+  /// rd value for register writers; the stored value for stores.
+  std::uint32_t result = 0;
+
+  /// Effective address for loads/stores.
+  std::uint32_t mem_addr = 0;
+  bool is_mem = false;
+
+  /// Non-null for custom instructions: the executed extension.
+  const tie::CustomInstruction* custom = nullptr;
+};
+
+/// Observer of the retirement stream.
+class RetireObserver {
+ public:
+  virtual ~RetireObserver() = default;
+
+  /// Called once before the first instruction of a run.
+  virtual void on_run_begin() {}
+
+  /// Called for every retired instruction, in program order.
+  virtual void on_retire(const RetiredInstruction& retired) = 0;
+
+  /// Called once after the last instruction of a run, with final totals.
+  virtual void on_run_end(std::uint64_t total_instructions,
+                          std::uint64_t total_cycles) {
+    (void)total_instructions;
+    (void)total_cycles;
+  }
+};
+
+}  // namespace exten::sim

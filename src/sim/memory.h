@@ -1,0 +1,46 @@
+#pragma once
+
+// Sparse byte-addressable memory for the simulator.
+//
+// Memory is organized as 4 KiB pages allocated on first touch, so a 32-bit
+// address space costs only what the program actually uses. Reads of
+// untouched memory return zero. Accesses must be naturally aligned;
+// misaligned accesses throw (the processor would raise an alignment fault).
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace exten::sim {
+
+class Memory {
+ public:
+  static constexpr std::uint32_t kPageBytes = 4096;
+
+  std::uint8_t read8(std::uint32_t addr) const;
+  std::uint16_t read16(std::uint32_t addr) const;
+  std::uint32_t read32(std::uint32_t addr) const;
+
+  void write8(std::uint32_t addr, std::uint8_t value);
+  void write16(std::uint32_t addr, std::uint16_t value);
+  void write32(std::uint32_t addr, std::uint32_t value);
+
+  /// Copies every segment of a program image into memory.
+  void load(const isa::ProgramImage& image);
+
+  /// Number of resident pages (for tests / diagnostics).
+  std::size_t resident_pages() const { return pages_.size(); }
+
+ private:
+  using Page = std::vector<std::uint8_t>;
+
+  const Page* find_page(std::uint32_t addr) const;
+  Page& touch_page(std::uint32_t addr);
+
+  std::unordered_map<std::uint32_t, Page> pages_;
+};
+
+}  // namespace exten::sim

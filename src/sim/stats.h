@@ -1,0 +1,90 @@
+#pragma once
+
+// Plain execution statistics (instruction mix, CPI, cache behaviour).
+//
+// This is the general-purpose performance profile of a run; the
+// macro-model-specific variable extraction lives in model/profiler.h and
+// consumes the same retirement stream.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/events.h"
+
+namespace exten::sim {
+
+/// Aggregate counters for one program run.
+struct ExecutionStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+
+  /// Retired-instruction counts per static class (index = isa::InstrClass).
+  std::array<std::uint64_t, 7> class_counts{};
+  /// Base-occupancy cycles per static class.
+  std::array<std::uint64_t, 7> class_cycles{};
+
+  std::uint64_t branches_taken = 0;
+  std::uint64_t branches_untaken = 0;
+
+  std::uint64_t icache_misses = 0;
+  std::uint64_t dcache_misses = 0;
+  std::uint64_t uncached_fetches = 0;
+  std::uint64_t interlock_events = 0;
+  std::uint64_t interlock_cycles = 0;
+
+  /// Executions per custom instruction name.
+  std::map<std::string, std::uint64_t> custom_counts;
+
+  double cpi() const {
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(cycles) / static_cast<double>(instructions);
+  }
+
+  /// Seconds at the given clock (MHz).
+  double seconds_at(double clock_mhz) const {
+    return static_cast<double>(cycles) / (clock_mhz * 1e6);
+  }
+};
+
+/// RetireObserver that accumulates ExecutionStats.
+class StatsCollector : public RetireObserver {
+ public:
+  void on_run_begin() override { stats_ = ExecutionStats{}; }
+
+  void on_retire(const RetiredInstruction& r) override {
+    ++stats_.instructions;
+    const auto cls = static_cast<std::size_t>(r.cls);
+    ++stats_.class_counts[cls];
+    stats_.class_cycles[cls] += r.base_cycles;
+    if (r.cls == isa::InstrClass::Branch) {
+      if (r.branch_taken) {
+        ++stats_.branches_taken;
+      } else {
+        ++stats_.branches_untaken;
+      }
+    }
+    if (r.icache_miss) ++stats_.icache_misses;
+    if (r.dcache_miss) ++stats_.dcache_misses;
+    if (r.uncached_fetch) ++stats_.uncached_fetches;
+    if (r.interlock_cycles > 0) {
+      ++stats_.interlock_events;
+      stats_.interlock_cycles += r.interlock_cycles;
+    }
+    if (r.custom != nullptr) ++stats_.custom_counts[r.custom->name];
+  }
+
+  void on_run_end(std::uint64_t instructions, std::uint64_t cycles) override {
+    stats_.cycles = cycles;
+    (void)instructions;
+  }
+
+  const ExecutionStats& stats() const { return stats_; }
+
+ private:
+  ExecutionStats stats_;
+};
+
+}  // namespace exten::sim

@@ -1,0 +1,73 @@
+#include "sim/tracer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "tie/compiler.h"
+
+namespace exten::sim {
+
+TraceWriter::TraceWriter(std::ostream& os, Options options)
+    : os_(os), options_(std::move(options)) {}
+
+void TraceWriter::on_run_begin() {
+  cycle_ = 0;
+  lines_ = 0;
+}
+
+void TraceWriter::on_retire(const RetiredInstruction& r) {
+  cycle_ += r.total_cycles;
+  if (options_.max_lines != 0 && lines_ >= options_.max_lines) return;
+  ++lines_;
+
+  os_ << '[' << std::setw(9) << cycle_ << "] 0x" << std::hex << std::setw(8)
+      << std::setfill('0') << r.pc << std::dec << std::setfill(' ') << ' ';
+  const std::string text = isa::disassemble(r.instr, options_.disassembler);
+  os_ << std::left << std::setw(32) << text << std::right;
+
+  if (options_.show_values) {
+    const isa::OpcodeInfo& info = isa::opcode_info(r.instr.op);
+    const bool writes =
+        r.custom != nullptr ? r.custom->writes_rd : info.writes_rd;
+    if (writes) {
+      os_ << " rd=0x" << std::hex << r.result << std::dec;
+    }
+    if (r.is_mem) {
+      os_ << " mem=0x" << std::hex << r.mem_addr << std::dec;
+    }
+  }
+  if (options_.show_events) {
+    if (r.icache_miss) os_ << " IMISS";
+    if (r.dcache_miss) os_ << " DMISS";
+    if (r.uncached_fetch) os_ << " UNCACHED";
+    if (r.interlock_cycles > 0) os_ << " INTERLOCK";
+    if (r.cls == isa::InstrClass::Branch) {
+      os_ << (r.branch_taken ? " TAKEN" : " NOT-TAKEN");
+    }
+  }
+  os_ << '\n';
+}
+
+std::vector<PcProfile::Entry> PcProfile::hottest(std::size_t n) const {
+  std::vector<Entry> entries;
+  entries.reserve(counts_.size());
+  for (const auto& [pc, slot] : counts_) {
+    entries.push_back({pc, slot.executions, slot.cycles});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.cycles > b.cycles; });
+  if (entries.size() > n) entries.resize(n);
+  return entries;
+}
+
+double PcProfile::concentration(std::size_t n) const {
+  std::uint64_t total = 0;
+  for (const auto& [pc, slot] : counts_) total += slot.cycles;
+  if (total == 0) return 0.0;
+  std::uint64_t top = 0;
+  for (const Entry& entry : hottest(n)) top += entry.cycles;
+  return static_cast<double>(top) / static_cast<double>(total);
+}
+
+}  // namespace exten::sim

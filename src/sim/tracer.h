@@ -1,0 +1,85 @@
+#pragma once
+
+// Debug/analysis observers: a human-readable execution tracer and a
+// per-PC hotspot profiler. Both plug into the same retirement stream the
+// energy tooling uses (sim::RetireObserver).
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/disassembler.h"
+#include "sim/events.h"
+
+namespace exten::sim {
+
+/// Streams one line per retired instruction:
+///
+///   cycle      pc        disassembly                 annotations
+///   [     42] 0x0000101c add r20, r21, r22           rd=0x7
+///   [     61] 0x00001020 lw r20, 0(r30)              rd=0x2a mem=0x20000 DMISS
+class TraceWriter : public RetireObserver {
+ public:
+  struct Options {
+    /// Stop printing after this many instructions (0 = unlimited). The
+    /// observer keeps counting either way.
+    std::uint64_t max_lines = 0;
+    /// Annotate cache misses, interlocks and uncached fetches.
+    bool show_events = true;
+    /// Annotate result values and memory addresses.
+    bool show_values = true;
+    /// Custom-instruction names for disassembly.
+    isa::DisassemblerOptions disassembler;
+  };
+
+  explicit TraceWriter(std::ostream& os) : TraceWriter(os, Options()) {}
+  TraceWriter(std::ostream& os, Options options);
+
+  void on_run_begin() override;
+  void on_retire(const RetiredInstruction& r) override;
+
+  std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::ostream& os_;
+  Options options_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t lines_ = 0;
+};
+
+/// Accumulates executions and cycles per PC; reports hotspots.
+class PcProfile : public RetireObserver {
+ public:
+  struct Entry {
+    std::uint32_t pc = 0;
+    std::uint64_t executions = 0;
+    std::uint64_t cycles = 0;
+  };
+
+  void on_run_begin() override { counts_.clear(); }
+  void on_retire(const RetiredInstruction& r) override {
+    Slot& slot = counts_[r.pc];
+    ++slot.executions;
+    slot.cycles += r.total_cycles;
+  }
+
+  /// The `n` PCs with the most cycles, descending.
+  std::vector<Entry> hottest(std::size_t n) const;
+
+  /// Total cycles attributed to the top `n` PCs divided by all cycles
+  /// (how loop-dominated the program is).
+  double concentration(std::size_t n) const;
+
+  std::size_t distinct_pcs() const { return counts_.size(); }
+
+ private:
+  struct Slot {
+    std::uint64_t executions = 0;
+    std::uint64_t cycles = 0;
+  };
+  std::map<std::uint32_t, Slot> counts_;
+};
+
+}  // namespace exten::sim

@@ -1,0 +1,301 @@
+#include "tie/compiler.h"
+
+#include <algorithm>
+#include <set>
+
+#include "isa/isa.h"
+#include "util/error.h"
+
+namespace exten::tie {
+
+namespace {
+
+/// Pseudo-instruction names reserved by the assembler.
+constexpr std::string_view kReservedMnemonics[] = {
+    "li", "mv", "not", "neg", "ret", "b", "call"};
+
+bool is_power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Collects every symbol referenced by an instruction's semantics, both in
+/// expressions and assignment targets.
+ReferencedSymbols collect_instruction_refs(const InstructionDecl& decl) {
+  ReferencedSymbols refs;
+  for (const Assignment& stmt : decl.semantics) {
+    if (stmt.value) collect_refs(*stmt.value, &refs);
+    if (stmt.index) collect_refs(*stmt.index, &refs);
+    switch (stmt.target) {
+      case Assignment::Target::kState:
+        refs.states.push_back(stmt.name);
+        break;
+      case Assignment::Target::kRegfileElem:
+        refs.regfiles.push_back(stmt.name);
+        break;
+      case Assignment::Target::kRd:
+        break;
+    }
+  }
+  return refs;
+}
+
+void dedup(std::vector<std::string>* names) {
+  std::sort(names->begin(), names->end());
+  names->erase(std::unique(names->begin(), names->end()), names->end());
+}
+
+}  // namespace
+
+const CustomInstruction& TieConfiguration::instruction(
+    std::uint8_t func) const {
+  EXTEN_CHECK(func < instructions_.size(),
+              "illegal custom instruction: func ", unsigned{func},
+              " not defined (configuration has ", instructions_.size(),
+              " extensions)");
+  return instructions_[func];
+}
+
+const CustomInstruction* TieConfiguration::find(std::string_view name) const {
+  for (const CustomInstruction& ci : instructions_) {
+    if (ci.name == name) return &ci;
+  }
+  return nullptr;
+}
+
+std::map<std::string, isa::CustomMnemonic, std::less<>>
+TieConfiguration::assembler_mnemonics() const {
+  std::map<std::string, isa::CustomMnemonic, std::less<>> out;
+  for (const CustomInstruction& ci : instructions_) {
+    isa::CustomMnemonic sig;
+    sig.func = ci.func;
+    sig.has_rd = ci.writes_rd;
+    sig.has_rs1 = ci.reads_rs1;
+    sig.has_rs2 = ci.reads_rs2;
+    out[ci.name] = sig;
+  }
+  return out;
+}
+
+std::map<std::uint8_t, std::string> TieConfiguration::disassembler_mnemonics()
+    const {
+  std::map<std::uint8_t, std::string> out;
+  for (const CustomInstruction& ci : instructions_) out[ci.func] = ci.name;
+  return out;
+}
+
+TieState TieConfiguration::make_state() const {
+  TieState state;
+  for (const StateDecl& d : state_decls_) state.declare_state(d.name, d.width);
+  for (const RegfileDecl& d : regfile_decls_) {
+    state.declare_regfile(d.name, d.width, d.size);
+  }
+  return state;
+}
+
+std::uint32_t TieConfiguration::execute(std::uint8_t func, std::uint32_t rs1,
+                                        std::uint32_t rs2,
+                                        TieState* state) const {
+  const CustomInstruction& ci = instruction(func);
+  EvalContext ctx;
+  ctx.rs1 = rs1;
+  ctx.rs2 = rs2;
+  ctx.state = state;
+  ctx.tables = &tables_;
+  tie::execute(ci.semantics, ctx);
+  return ci.writes_rd ? ctx.rd : 0;
+}
+
+TieConfiguration TieConfiguration::compile(const TieSpec& spec) {
+  TieConfiguration config;
+
+  // --- Custom state declarations ------------------------------------------
+  std::set<std::string> state_names;
+  std::set<std::string> regfile_names;
+  std::set<std::string> table_names;
+
+  for (const StateDecl& d : spec.states) {
+    EXTEN_CHECK(d.width >= 1 && d.width <= 64, "line ", d.line, ": state '",
+                d.name, "' width ", d.width, " out of range 1..64");
+    EXTEN_CHECK(state_names.insert(d.name).second, "line ", d.line,
+                ": duplicate state '", d.name, "'");
+    config.state_decls_.push_back(d);
+  }
+  for (const RegfileDecl& d : spec.regfiles) {
+    EXTEN_CHECK(d.width >= 1 && d.width <= 64, "line ", d.line, ": regfile '",
+                d.name, "' width ", d.width, " out of range 1..64");
+    EXTEN_CHECK(d.size >= 1 && d.size <= 256, "line ", d.line, ": regfile '",
+                d.name, "' size ", d.size, " out of range 1..256");
+    EXTEN_CHECK(!state_names.count(d.name) && regfile_names.insert(d.name).second,
+                "line ", d.line, ": duplicate symbol '", d.name, "'");
+    config.regfile_decls_.push_back(d);
+  }
+  for (const TableDecl& d : spec.tables) {
+    EXTEN_CHECK(d.width >= 1 && d.width <= 64, "line ", d.line, ": table '",
+                d.name, "' width ", d.width, " out of range 1..64");
+    EXTEN_CHECK(is_power_of_two(d.values.size()), "line ", d.line,
+                ": table '", d.name, "' size ", d.values.size(),
+                " must be a power of two");
+    EXTEN_CHECK(!state_names.count(d.name) && !regfile_names.count(d.name) &&
+                    table_names.insert(d.name).second,
+                "line ", d.line, ": duplicate symbol '", d.name, "'");
+    for (std::size_t i = 0; i < d.values.size(); ++i) {
+      EXTEN_CHECK(d.values[i] == mask_to_width(d.values[i], d.width), "line ",
+                  d.line, ": table '", d.name, "' value [", i, "] = ",
+                  d.values[i], " does not fit in ", d.width, " bits");
+    }
+    TableData data;
+    data.width = d.width;
+    data.values = d.values;
+    config.tables_.emplace(d.name, std::move(data));
+  }
+
+  // --- Instructions ---------------------------------------------------------
+  EXTEN_CHECK(spec.instructions.size() <= 256,
+              "too many custom instructions: ", spec.instructions.size(),
+              " (max 256)");
+  std::set<std::string> instr_names;
+
+  for (const InstructionDecl& decl : spec.instructions) {
+    EXTEN_CHECK(instr_names.insert(decl.name).second, "line ", decl.line,
+                ": duplicate instruction '", decl.name, "'");
+    EXTEN_CHECK(!isa::find_opcode(decl.name), "line ", decl.line,
+                ": instruction '", decl.name,
+                "' collides with a base-ISA mnemonic");
+    for (std::string_view reserved : kReservedMnemonics) {
+      EXTEN_CHECK(decl.name != reserved, "line ", decl.line,
+                  ": instruction '", decl.name,
+                  "' collides with an assembler pseudo-instruction");
+    }
+    EXTEN_CHECK(decl.latency >= 1 && decl.latency <= kMaxLatency, "line ",
+                decl.line, ": instruction '", decl.name, "' latency ",
+                decl.latency, " out of range 1..", kMaxLatency);
+    EXTEN_CHECK(!decl.semantics.empty(), "line ", decl.line,
+                ": instruction '", decl.name, "' has no semantics");
+
+    // Operand usage must match the semantics.
+    ReferencedSymbols refs = collect_instruction_refs(decl);
+    dedup(&refs.states);
+    dedup(&refs.regfiles);
+    dedup(&refs.tables);
+    EXTEN_CHECK(!refs.rs1 || decl.reads_rs1, "line ", decl.line, ": '",
+                decl.name, "' semantics read rs1 without 'reads rs1'");
+    EXTEN_CHECK(!refs.rs2 || decl.reads_rs2, "line ", decl.line, ": '",
+                decl.name, "' semantics read rs2 without 'reads rs2'");
+    const bool assigns_rd =
+        std::any_of(decl.semantics.begin(), decl.semantics.end(),
+                    [](const Assignment& s) {
+                      return s.target == Assignment::Target::kRd;
+                    });
+    EXTEN_CHECK(!assigns_rd || decl.writes_rd, "line ", decl.line, ": '",
+                decl.name, "' semantics assign rd without 'writes rd'");
+    EXTEN_CHECK(!decl.writes_rd || assigns_rd, "line ", decl.line, ": '",
+                decl.name, "' declares 'writes rd' but never assigns rd");
+
+    CustomInstruction ci;
+    ci.name = decl.name;
+    ci.func = static_cast<std::uint8_t>(config.instructions_.size());
+    ci.latency = decl.latency;
+    ci.reads_rs1 = decl.reads_rs1;
+    ci.reads_rs2 = decl.reads_rs2;
+    ci.writes_rd = decl.writes_rd;
+    ci.isolated = decl.isolated;
+    for (const Assignment& stmt : decl.semantics) {
+      ci.semantics.push_back(stmt.clone());
+    }
+
+    // Explicit component uses.
+    bool has_explicit_custreg = false;
+    bool has_explicit_table = false;
+    for (const ComponentUse& use : decl.uses) {
+      EXTEN_CHECK(use.width >= 1 && use.width <= kMaxComponentWidth, "line ",
+                  decl.line, ": '", decl.name, "' component ",
+                  component_class_name(use.cls), " width ", use.width,
+                  " out of range");
+      EXTEN_CHECK(use.count >= 1 && use.count <= 64, "line ", decl.line,
+                  ": '", decl.name, "' component count ", use.count,
+                  " out of range 1..64");
+      if (use.cls == ComponentClass::kTable) {
+        EXTEN_CHECK(use.entries >= 2, "line ", decl.line, ": '", decl.name,
+                    "' table component needs entries=N (>= 2)");
+      }
+      for (unsigned cycle : use.active_cycles) {
+        EXTEN_CHECK(cycle < decl.latency, "line ", decl.line, ": '",
+                    decl.name, "' component active cycle ", cycle,
+                    " >= latency ", decl.latency);
+      }
+      has_explicit_custreg |= use.cls == ComponentClass::kCustomReg;
+      has_explicit_table |= use.cls == ComponentClass::kTable;
+      ci.components.push_back(use);
+    }
+
+    // Implicit components derived from semantics (unless explicitly
+    // declared): custom-register storage for every state/regfile touched,
+    // and a table block per distinct table referenced.
+    if (!has_explicit_custreg) {
+      for (const std::string& name : refs.states) {
+        auto it = std::find_if(spec.states.begin(), spec.states.end(),
+                               [&](const StateDecl& s) { return s.name == name; });
+        EXTEN_CHECK(it != spec.states.end(), "line ", decl.line, ": '",
+                    decl.name, "' references undeclared state '", name, "'");
+        ComponentUse use;
+        use.cls = ComponentClass::kCustomReg;
+        use.width = it->width;
+        ci.components.push_back(use);
+      }
+      for (const std::string& name : refs.regfiles) {
+        auto it = std::find_if(
+            spec.regfiles.begin(), spec.regfiles.end(),
+            [&](const RegfileDecl& r) { return r.name == name; });
+        EXTEN_CHECK(it != spec.regfiles.end(), "line ", decl.line, ": '",
+                    decl.name, "' references undeclared regfile '", name, "'");
+        ComponentUse use;
+        use.cls = ComponentClass::kCustomReg;
+        use.width = it->width;
+        ci.components.push_back(use);
+      }
+    }
+    if (!has_explicit_table) {
+      for (const std::string& name : refs.tables) {
+        auto it = std::find_if(spec.tables.begin(), spec.tables.end(),
+                               [&](const TableDecl& t) { return t.name == name; });
+        EXTEN_CHECK(it != spec.tables.end(), "line ", decl.line, ": '",
+                    decl.name, "' references undeclared table '", name, "'");
+        ComponentUse use;
+        use.cls = ComponentClass::kTable;
+        use.width = it->width;
+        use.entries = static_cast<unsigned>(it->values.size());
+        ci.components.push_back(use);
+      }
+    }
+    EXTEN_CHECK(!ci.components.empty(), "line ", decl.line, ": instruction '",
+                decl.name,
+                "' has no datapath components (add 'use' declarations)");
+
+    // Weight vectors.
+    for (const ComponentUse& use : ci.components) {
+      const auto cls = static_cast<std::size_t>(use.cls);
+      const double unit = use.total_complexity();
+      ci.execution_weights[cls] +=
+          unit * static_cast<double>(use.cycles_active(ci.latency));
+      const bool in_input_stage =
+          use.active_cycles.empty() ||
+          std::find(use.active_cycles.begin(), use.active_cycles.end(), 0u) !=
+              use.active_cycles.end();
+      if (in_input_stage) ci.input_stage_weights[cls] += unit;
+      ci.total_complexity += unit;
+    }
+
+    if (!ci.isolated) {
+      for (std::size_t c = 0; c < kComponentClassCount; ++c) {
+        config.shared_bus_weights_[c] += ci.input_stage_weights[c];
+      }
+    }
+    config.instructions_.push_back(std::move(ci));
+  }
+
+  return config;
+}
+
+TieConfiguration compile_tie_source(std::string_view source) {
+  return TieConfiguration::compile(parse_tie(source));
+}
+
+}  // namespace exten::tie

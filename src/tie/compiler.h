@@ -1,0 +1,126 @@
+#pragma once
+
+// The TIE-lite compiler: validates a parsed specification and binds it into
+// a TieConfiguration — the object the assembler, the simulator, the
+// resource-usage analyzer, and the RTL power model all consume.
+//
+// This mirrors the role of the Tensilica TIE compiler in the paper (§II):
+// "The TIE compiler processes the custom instruction specification and
+// facilitates seamless integration of the added custom hardware with the
+// base processor configuration."
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "tie/components.h"
+#include "tie/expr.h"
+#include "tie/spec.h"
+#include "tie/state.h"
+
+namespace exten::tie {
+
+/// Upper bound on the latency of a custom instruction (EX-stage occupancy).
+inline constexpr unsigned kMaxLatency = 16;
+
+/// A fully validated, executable custom instruction.
+struct CustomInstruction {
+  std::string name;
+  std::uint8_t func = 0;  ///< extension id in the CUSTOM opcode's func field
+  unsigned latency = 1;
+  bool reads_rs1 = false;
+  bool reads_rs2 = false;
+  bool writes_rd = false;
+  bool isolated = false;
+
+  /// True when the instruction touches the *generic* register file
+  /// (contributes to the macro-model side-effect variable N_cisef).
+  bool uses_generic_regfile() const {
+    return reads_rs1 || reads_rs2 || writes_rd;
+  }
+
+  /// All datapath components: explicit `use` declarations plus implicit
+  /// custom-register and table components derived from the semantics.
+  std::vector<ComponentUse> components;
+
+  std::vector<Assignment> semantics;
+
+  /// Per-category weighted active-cycle contribution of ONE execution:
+  /// sum over components of count x C(W) x (cycles active). This is what the
+  /// dynamic resource-usage analysis accumulates per retired instruction.
+  std::array<double, kComponentClassCount> execution_weights{};
+
+  /// Per-category weighted contribution of the datapath's *input stage*
+  /// (components active in cycle 0), charged when a base-processor
+  /// instruction toggles the shared operand buses of a non-isolated
+  /// datapath (paper Example 1, side effects).
+  std::array<double, kComponentClassCount> input_stage_weights{};
+
+  /// Total complexity of the datapath (area proxy used in reports).
+  double total_complexity = 0.0;
+};
+
+/// A compiled processor extension: the set of custom instructions plus the
+/// custom architectural state and lookup tables they reference.
+class TieConfiguration {
+ public:
+  /// An empty configuration (base processor only).
+  TieConfiguration() = default;
+
+  const std::vector<CustomInstruction>& instructions() const {
+    return instructions_;
+  }
+  bool empty() const { return instructions_.empty(); }
+
+  /// Instruction by extension id. Throws exten::Error for an unassigned id
+  /// (the processor would raise an illegal-instruction exception).
+  const CustomInstruction& instruction(std::uint8_t func) const;
+
+  /// Instruction by name; nullptr when absent.
+  const CustomInstruction* find(std::string_view name) const;
+
+  /// Mnemonic tables for the assembler / disassembler.
+  std::map<std::string, isa::CustomMnemonic, std::less<>> assembler_mnemonics()
+      const;
+  std::map<std::uint8_t, std::string> disassembler_mnemonics() const;
+
+  /// Creates the run-time custom state (all states/regfiles declared,
+  /// zero-initialized).
+  TieState make_state() const;
+
+  const std::map<std::string, TableData>& tables() const { return tables_; }
+
+  /// Executes the semantics of instruction `func`: returns the rd result
+  /// (0 when the instruction does not write rd) and mutates custom state.
+  std::uint32_t execute(std::uint8_t func, std::uint32_t rs1,
+                        std::uint32_t rs2, TieState* state) const;
+
+  /// Sum of per-category input-stage weights over all non-isolated
+  /// instructions; this is the custom hardware "visible" to base-processor
+  /// operand-bus traffic.
+  const std::array<double, kComponentClassCount>& shared_bus_weights() const {
+    return shared_bus_weights_;
+  }
+
+  /// Builds a configuration from a parsed spec. Validates every rule (see
+  /// compiler.cpp) and throws exten::Error with a descriptive message on
+  /// the first violation.
+  static TieConfiguration compile(const TieSpec& spec);
+
+ private:
+  std::vector<CustomInstruction> instructions_;
+  std::vector<RegfileDecl> regfile_decls_;
+  std::vector<StateDecl> state_decls_;
+  std::map<std::string, TableData> tables_;
+  std::array<double, kComponentClassCount> shared_bus_weights_{};
+};
+
+/// Parses and compiles TIE-lite source in one step.
+TieConfiguration compile_tie_source(std::string_view source);
+
+}  // namespace exten::tie

@@ -1,0 +1,56 @@
+#include "tie/components.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace exten::tie {
+
+namespace {
+constexpr std::array<std::string_view, kComponentClassCount> kNames = {
+    "mult", "adder", "logic", "shifter", "custreg",
+    "tie_mult", "tie_mac", "tie_add", "tie_csa", "table"};
+}  // namespace
+
+std::string_view component_class_name(ComponentClass cls) {
+  const auto index = static_cast<std::size_t>(cls);
+  EXTEN_CHECK(index < kComponentClassCount, "bad component class ", index);
+  return kNames[index];
+}
+
+std::optional<ComponentClass> find_component_class(std::string_view name) {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == name) return static_cast<ComponentClass>(i);
+  }
+  return std::nullopt;
+}
+
+bool is_quadratic(ComponentClass cls) {
+  switch (cls) {
+    case ComponentClass::kMultiplier:
+    case ComponentClass::kTieMult:
+    case ComponentClass::kTieMac:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double complexity(ComponentClass cls, unsigned width, unsigned entries) {
+  EXTEN_CHECK(width >= 1 && width <= kMaxComponentWidth,
+              "component width ", width, " out of range 1..",
+              kMaxComponentWidth);
+  // Normalized so a "typical" 32-bit linear primitive (or an 8-bit-wide,
+  // 256-entry table) has C = 1; the per-category unit energies then carry
+  // the pJ magnitude, matching the paper's Table I convention.
+  const double w = static_cast<double>(width) / 32.0;
+  if (cls == ComponentClass::kTable) {
+    EXTEN_CHECK(entries >= 2, "table needs >= 2 entries, got ", entries);
+    return (static_cast<double>(width) / 8.0) *
+           std::log2(static_cast<double>(entries)) / 8.0;
+  }
+  if (is_quadratic(cls)) return w * w;
+  return w;
+}
+
+}  // namespace exten::tie

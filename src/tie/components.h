@@ -1,0 +1,90 @@
+#pragma once
+
+// The custom-hardware component library.
+//
+// TIE-lite datapaths are compositions of primitives drawn from the ten
+// component categories of the paper (§IV-B.1, "Structural Macro-model
+// Variables"): (1) multiplier, (2) adder/subtractor/comparator, (3) bit-wise
+// logic / reduction logic / multiplexers, (4) shifter, (5) custom registers,
+// and the specialized TIE modules (6) TIE mult, (7) TIE mac, (8) TIE add,
+// (9) TIE csa, (10) table.
+//
+// Each category has a bit-width complexity factor C(W): linear for
+// adder-like structures, quadratic for multiplier arrays, and
+// entries-scaled for lookup tables. Structural macro-model variables
+// accumulate (active cycles) x C(W); the RTL power model charges
+// (unit energy) x C(W) x (activity factor) per active cycle, which is what
+// makes the linear macro-model template well-posed.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace exten::tie {
+
+/// The ten component categories of the paper, in Table I order.
+enum class ComponentClass : std::uint8_t {
+  kMultiplier = 0,  ///< generic multiplier array
+  kAdderCmp,        ///< adder / subtractor / comparator
+  kLogic,           ///< bit-wise logic, reduction logic, multiplexers
+  kShifter,         ///< barrel shifter
+  kCustomReg,       ///< custom register / register file storage
+  kTieMult,         ///< specialized TIE multiplier module
+  kTieMac,          ///< specialized TIE multiply-accumulate module
+  kTieAdd,          ///< specialized TIE adder module
+  kTieCsa,          ///< specialized TIE carry-save adder module
+  kTable,           ///< lookup table
+  kClassCount,
+};
+
+inline constexpr std::size_t kComponentClassCount =
+    static_cast<std::size_t>(ComponentClass::kClassCount);
+
+/// Short name used in TIE-lite `use` declarations and reports.
+std::string_view component_class_name(ComponentClass cls);
+
+/// Reverse lookup for the parser; nullopt for unknown names.
+std::optional<ComponentClass> find_component_class(std::string_view name);
+
+/// True for categories whose area/energy grows quadratically with width
+/// (multiplier arrays).
+bool is_quadratic(ComponentClass cls);
+
+/// Bit-width complexity factor C(W) (paper §IV-B.1), normalized so a
+/// typical primitive has C = 1 and the per-category unit energies carry
+/// the pJ magnitude:
+///  - quadratic classes:  (W/32)^2   (multiplier arrays)
+///  - kTable:             (W/8) * log2(entries) / 8
+///  - all other classes:  W/32       (linear)
+/// Preconditions: width >= 1; for kTable, entries >= 2.
+double complexity(ComponentClass cls, unsigned width, unsigned entries = 0);
+
+/// One primitive instantiated inside a custom-instruction datapath.
+struct ComponentUse {
+  ComponentClass cls = ComponentClass::kLogic;
+  unsigned width = 32;    ///< bit-width of the primitive
+  unsigned count = 1;     ///< identical parallel instances
+  unsigned entries = 0;   ///< table entries (kTable only)
+  /// Pipeline cycles (0-based, < instruction latency) in which this
+  /// primitive is active. Empty means "active in every cycle".
+  std::vector<unsigned> active_cycles;
+
+  /// Active cycles per instruction execution given the latency.
+  unsigned cycles_active(unsigned latency) const {
+    return active_cycles.empty()
+               ? latency
+               : static_cast<unsigned>(active_cycles.size());
+  }
+
+  /// Total complexity contribution of this use (count x C(W)).
+  double total_complexity() const {
+    return static_cast<double>(count) * complexity(cls, width, entries);
+  }
+};
+
+/// Upper bound on primitive widths accepted by the TIE compiler.
+inline constexpr unsigned kMaxComponentWidth = 128;
+
+}  // namespace exten::tie

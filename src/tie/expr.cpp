@@ -1,0 +1,212 @@
+#include "tie/expr.h"
+
+#include <bit>
+
+#include "tie/state.h"
+#include "util/error.h"
+
+namespace exten::tie {
+
+ExprPtr Expr::clone() const {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = kind;
+  copy->literal = literal;
+  copy->name = name;
+  copy->op = op;
+  copy->args.reserve(args.size());
+  for (const ExprPtr& arg : args) copy->args.push_back(arg->clone());
+  return copy;
+}
+
+Assignment Assignment::clone() const {
+  Assignment copy;
+  copy.target = target;
+  copy.name = name;
+  copy.index = index ? index->clone() : nullptr;
+  copy.value = value ? value->clone() : nullptr;
+  return copy;
+}
+
+std::uint64_t sign_extend64(std::uint64_t value, unsigned bits) {
+  EXTEN_CHECK(bits >= 1 && bits <= 64, "sext width ", bits,
+              " out of range 1..64");
+  if (bits == 64) return value;
+  const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
+  value &= (std::uint64_t{1} << bits) - 1;
+  return (value ^ sign) - sign;
+}
+
+namespace {
+
+std::uint64_t eval_call(const Expr& expr, EvalContext& ctx) {
+  const auto argc = expr.args.size();
+  auto arg = [&](std::size_t i) { return eval(*expr.args[i], ctx); };
+  auto need = [&](std::size_t n) {
+    EXTEN_CHECK(argc == n, "builtin ", expr.name, " expects ", n,
+                " argument(s), got ", argc);
+  };
+
+  if (expr.name == "sext") {
+    need(2);
+    return sign_extend64(arg(0), static_cast<unsigned>(arg(1)));
+  }
+  if (expr.name == "zext") {
+    need(2);
+    return mask_to_width(arg(0), static_cast<unsigned>(arg(1)));
+  }
+  if (expr.name == "sel") {
+    need(3);
+    return arg(0) != 0 ? arg(1) : arg(2);
+  }
+  if (expr.name == "min") {
+    need(2);
+    const std::uint64_t a = arg(0), b = arg(1);
+    return a < b ? a : b;
+  }
+  if (expr.name == "max") {
+    need(2);
+    const std::uint64_t a = arg(0), b = arg(1);
+    return a > b ? a : b;
+  }
+  if (expr.name == "mins") {
+    need(2);
+    const auto a = static_cast<std::int64_t>(arg(0));
+    const auto b = static_cast<std::int64_t>(arg(1));
+    return static_cast<std::uint64_t>(a < b ? a : b);
+  }
+  if (expr.name == "maxs") {
+    need(2);
+    const auto a = static_cast<std::int64_t>(arg(0));
+    const auto b = static_cast<std::int64_t>(arg(1));
+    return static_cast<std::uint64_t>(a > b ? a : b);
+  }
+  if (expr.name == "abs") {
+    need(1);
+    const auto a = static_cast<std::int64_t>(arg(0));
+    return static_cast<std::uint64_t>(a < 0 ? -a : a);
+  }
+  if (expr.name == "popcount") {
+    need(1);
+    return static_cast<std::uint64_t>(std::popcount(arg(0)));
+  }
+  if (expr.name == "asr") {
+    need(3);
+    const unsigned width = static_cast<unsigned>(arg(2));
+    const std::int64_t v =
+        static_cast<std::int64_t>(sign_extend64(arg(0), width));
+    const unsigned sh = static_cast<unsigned>(arg(1)) & 63;
+    return static_cast<std::uint64_t>(v >> sh);
+  }
+  throw Error("unknown builtin function '", expr.name, "'");
+}
+
+std::uint64_t eval_binary(const Expr& expr, EvalContext& ctx) {
+  const std::uint64_t a = eval(*expr.args[0], ctx);
+  const std::uint64_t b = eval(*expr.args[1], ctx);
+  const std::string& op = expr.op;
+  if (op == "+") return a + b;
+  if (op == "-") return a - b;
+  if (op == "*") return a * b;
+  if (op == "&") return a & b;
+  if (op == "|") return a | b;
+  if (op == "^") return a ^ b;
+  if (op == "<<") return b >= 64 ? 0 : a << b;
+  if (op == ">>") return b >= 64 ? 0 : a >> b;
+  if (op == "==") return a == b ? 1 : 0;
+  if (op == "!=") return a != b ? 1 : 0;
+  if (op == "<") return a < b ? 1 : 0;
+  if (op == "<=") return a <= b ? 1 : 0;
+  if (op == ">") return a > b ? 1 : 0;
+  if (op == ">=") return a >= b ? 1 : 0;
+  throw Error("unknown binary operator '", op, "'");
+}
+
+}  // namespace
+
+std::uint64_t eval(const Expr& expr, EvalContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kRs1:
+      return ctx.rs1;
+    case ExprKind::kRs2:
+      return ctx.rs2;
+    case ExprKind::kState:
+      EXTEN_CHECK(ctx.state != nullptr, "no TIE state bound");
+      return ctx.state->read_state(expr.name);
+    case ExprKind::kRegfile: {
+      EXTEN_CHECK(ctx.state != nullptr, "no TIE state bound");
+      EXTEN_CHECK(expr.args.size() == 1, "regfile ref needs an index");
+      const std::uint64_t index = eval(*expr.args[0], ctx);
+      return ctx.state->read_regfile(expr.name, index);
+    }
+    case ExprKind::kTable: {
+      EXTEN_CHECK(ctx.tables != nullptr, "no TIE tables bound");
+      auto it = ctx.tables->find(expr.name);
+      EXTEN_CHECK(it != ctx.tables->end(), "unknown table '", expr.name, "'");
+      EXTEN_CHECK(expr.args.size() == 1, "table ref needs an index");
+      return it->second.lookup(eval(*expr.args[0], ctx));
+    }
+    case ExprKind::kUnary: {
+      EXTEN_CHECK(expr.args.size() == 1, "unary op needs one operand");
+      const std::uint64_t v = eval(*expr.args[0], ctx);
+      if (expr.op == "~") return ~v;
+      if (expr.op == "-") return ~v + 1;
+      throw Error("unknown unary operator '", expr.op, "'");
+    }
+    case ExprKind::kBinary:
+      EXTEN_CHECK(expr.args.size() == 2, "binary op needs two operands");
+      return eval_binary(expr, ctx);
+    case ExprKind::kCall:
+      return eval_call(expr, ctx);
+  }
+  throw Error("corrupt expression node");
+}
+
+void execute(const std::vector<Assignment>& body, EvalContext& ctx) {
+  for (const Assignment& stmt : body) {
+    EXTEN_CHECK(stmt.value != nullptr, "assignment without value");
+    const std::uint64_t value = eval(*stmt.value, ctx);
+    switch (stmt.target) {
+      case Assignment::Target::kRd:
+        ctx.rd = static_cast<std::uint32_t>(value);
+        break;
+      case Assignment::Target::kState:
+        EXTEN_CHECK(ctx.state != nullptr, "no TIE state bound");
+        ctx.state->write_state(stmt.name, value);
+        break;
+      case Assignment::Target::kRegfileElem: {
+        EXTEN_CHECK(ctx.state != nullptr, "no TIE state bound");
+        EXTEN_CHECK(stmt.index != nullptr, "regfile assignment needs index");
+        const std::uint64_t index = eval(*stmt.index, ctx);
+        ctx.state->write_regfile(stmt.name, index, value);
+        break;
+      }
+    }
+  }
+}
+
+void collect_refs(const Expr& expr, ReferencedSymbols* out) {
+  switch (expr.kind) {
+    case ExprKind::kRs1:
+      out->rs1 = true;
+      break;
+    case ExprKind::kRs2:
+      out->rs2 = true;
+      break;
+    case ExprKind::kState:
+      out->states.push_back(expr.name);
+      break;
+    case ExprKind::kRegfile:
+      out->regfiles.push_back(expr.name);
+      break;
+    case ExprKind::kTable:
+      out->tables.push_back(expr.name);
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& arg : expr.args) collect_refs(*arg, out);
+}
+
+}  // namespace exten::tie

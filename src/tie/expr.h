@@ -1,0 +1,118 @@
+#pragma once
+
+// Abstract syntax and evaluation for the TIE-lite semantics language.
+//
+// Custom-instruction behaviour is written as a sequence of assignments over
+// a small expression language:
+//
+//   semantics {
+//     acc = acc + sext(rs1, 24) * sext(rs2, 24);
+//     rd  = sbox[(rs1 ^ rs2) & 0xff];
+//   }
+//
+// Values are 64-bit; reads from states/register files/tables are masked to
+// the declared width, and writes are masked to the target width. Operators
+// (by increasing precedence): | , ^ , & , == != < <= > >= , << >> , + - ,
+// * , unary ~ - ; calls: sext(e,b) zext(e,b) sel(c,a,b) min max mins maxs
+// abs(e) popcount(e) asr(e,sh,b).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace exten::tie {
+
+class TieState;
+
+/// Expression node kinds.
+enum class ExprKind : std::uint8_t {
+  kLiteral,   ///< integer literal (value in `literal`)
+  kRs1,       ///< first generic-register operand
+  kRs2,       ///< second generic-register operand
+  kState,     ///< scalar custom state read (`name`)
+  kRegfile,   ///< custom register file read (`name`, index = args[0])
+  kTable,     ///< lookup table read (`name`, index = args[0])
+  kUnary,     ///< unary op (`op`, operand = args[0])
+  kBinary,    ///< binary op (`op`, operands = args[0..1])
+  kCall,      ///< builtin function (`name`, arguments = args)
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One expression-tree node.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+  std::uint64_t literal = 0;
+  std::string name;  ///< symbol / function name
+  std::string op;    ///< operator spelling for kUnary / kBinary
+  std::vector<ExprPtr> args;
+
+  /// Deep copy.
+  ExprPtr clone() const;
+};
+
+/// An assignment statement inside `semantics { ... }`.
+struct Assignment {
+  enum class Target : std::uint8_t { kRd, kState, kRegfileElem };
+  Target target = Target::kRd;
+  std::string name;   ///< state / regfile name (empty for rd)
+  ExprPtr index;      ///< regfile element index (kRegfileElem only)
+  ExprPtr value;
+
+  Assignment clone() const;
+};
+
+/// A read-only lookup table bound into a configuration.
+struct TableData {
+  unsigned width = 8;
+  std::vector<std::uint64_t> values;
+
+  std::uint64_t lookup(std::uint64_t index) const {
+    // Hardware tables wrap the index to the table size (power of two
+    // enforced by the compiler).
+    return values[static_cast<std::size_t>(index) & (values.size() - 1)];
+  }
+};
+
+/// Runtime environment for semantics evaluation.
+struct EvalContext {
+  std::uint32_t rs1 = 0;
+  std::uint32_t rs2 = 0;
+  std::uint32_t rd = 0;  ///< result accumulator (written by `rd = ...`)
+  TieState* state = nullptr;
+  const std::map<std::string, TableData>* tables = nullptr;
+};
+
+/// Evaluates an expression. Throws exten::Error on references to
+/// undeclared symbols (the compiler validates specs so this only fires on
+/// malformed hand-built ASTs).
+std::uint64_t eval(const Expr& expr, EvalContext& ctx);
+
+/// Executes a statement list in order, mutating ctx (rd and custom state).
+void execute(const std::vector<Assignment>& body, EvalContext& ctx);
+
+/// Names referenced by an expression tree, used by the TIE compiler for
+/// validation and implicit component derivation.
+struct ReferencedSymbols {
+  bool rs1 = false;
+  bool rs2 = false;
+  std::vector<std::string> states;
+  std::vector<std::string> regfiles;
+  std::vector<std::string> tables;
+};
+
+/// Scans an expression (recursively) and accumulates referenced symbols.
+void collect_refs(const Expr& expr, ReferencedSymbols* out);
+
+/// Masks `value` to `width` bits (width 64 passes through).
+inline std::uint64_t mask_to_width(std::uint64_t value, unsigned width) {
+  return width >= 64 ? value : (value & ((std::uint64_t{1} << width) - 1));
+}
+
+/// Sign-extends the low `bits` of `value` to 64 bits.
+std::uint64_t sign_extend64(std::uint64_t value, unsigned bits);
+
+}  // namespace exten::tie

@@ -1,0 +1,506 @@
+#include <cctype>
+#include <optional>
+#include <set>
+
+#include "tie/spec.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace exten::tie {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokKind : std::uint8_t { kIdent, kNumber, kPunct, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  std::uint64_t number = 0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token next() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  /// Consumes the current token if it is the given punctuation.
+  bool accept_punct(std::string_view punct) {
+    if (current_.kind == TokKind::kPunct && current_.text == punct) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes the current token if it is the given identifier.
+  bool accept_ident(std::string_view ident) {
+    if (current_.kind == TokKind::kIdent && current_.text == ident) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_punct(std::string_view punct) {
+    if (!accept_punct(punct)) {
+      throw Error("line ", current_.line, ": expected '", punct, "', got '",
+                  current_.text, "'");
+    }
+  }
+
+  std::string expect_ident(const char* what) {
+    if (current_.kind != TokKind::kIdent) {
+      throw Error("line ", current_.line, ": expected ", what, ", got '",
+                  current_.text, "'");
+    }
+    return next().text;
+  }
+
+  std::uint64_t expect_number(const char* what) {
+    bool negative = false;
+    if (current_.kind == TokKind::kPunct && current_.text == "-") {
+      negative = true;
+      advance();
+    }
+    if (current_.kind != TokKind::kNumber) {
+      throw Error("line ", current_.line, ": expected ", what, ", got '",
+                  current_.text, "'");
+    }
+    const std::uint64_t v = next().number;
+    return negative ? ~v + 1 : v;
+  }
+
+  int line() const { return current_.line; }
+
+ private:
+  void advance() {
+    skip_ws_and_comments();
+    current_.line = line_;
+    if (pos_ >= source_.size()) {
+      current_ = Token{TokKind::kEnd, "<end of input>", 0, line_};
+      return;
+    }
+    const char c = source_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < source_.size() &&
+             (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+              source_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_ = Token{TokKind::kIdent,
+                       std::string(source_.substr(start, pos_ - start)), 0,
+                       line_};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start = pos_;
+      while (pos_ < source_.size() &&
+             (std::isalnum(static_cast<unsigned char>(source_[pos_])))) {
+        ++pos_;
+      }
+      const std::string text(source_.substr(start, pos_ - start));
+      std::int64_t value = 0;
+      if (!parse_int(text, &value)) {
+        throw Error("line ", line_, ": bad number '", text, "'");
+      }
+      current_ = Token{TokKind::kNumber, text,
+                       static_cast<std::uint64_t>(value), line_};
+      return;
+    }
+    // Multi-character operators first.
+    static constexpr std::string_view kTwoChar[] = {"<<", ">>", "==", "!=",
+                                                    "<=", ">="};
+    for (std::string_view op : kTwoChar) {
+      if (source_.substr(pos_, 2) == op) {
+        pos_ += 2;
+        current_ = Token{TokKind::kPunct, std::string(op), 0, line_};
+        return;
+      }
+    }
+    ++pos_;
+    current_ = Token{TokKind::kPunct, std::string(1, c), 0, line_};
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      while (pos_ < source_.size() &&
+             std::isspace(static_cast<unsigned char>(source_[pos_]))) {
+        if (source_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ < source_.size() &&
+          (source_[pos_] == '#' ||
+           (source_[pos_] == '/' && pos_ + 1 < source_.size() &&
+            source_[pos_ + 1] == '/'))) {
+        while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token current_;
+};
+
+// ---------------------------------------------------------------------------
+// Semantics expression parser (precedence climbing)
+// ---------------------------------------------------------------------------
+
+/// Declared symbol kinds visible to the semantics parser.
+struct SymbolKinds {
+  std::set<std::string> states;
+  std::set<std::string> regfiles;
+  std::set<std::string> tables;
+};
+
+class SemanticsParser {
+ public:
+  SemanticsParser(Lexer& lex, const SymbolKinds& symbols)
+      : lex_(lex), symbols_(symbols) {}
+
+  /// Parses `{ stmt* }`.
+  std::vector<Assignment> parse_body() {
+    lex_.expect_punct("{");
+    std::vector<Assignment> body;
+    while (!lex_.accept_punct("}")) {
+      body.push_back(parse_statement());
+    }
+    return body;
+  }
+
+  ExprPtr parse_expression() { return parse_binary(0); }
+
+ private:
+  Assignment parse_statement() {
+    Assignment stmt;
+    const int line = lex_.line();
+    const std::string target = lex_.expect_ident("assignment target");
+    if (target == "rd") {
+      stmt.target = Assignment::Target::kRd;
+    } else if (symbols_.states.count(target)) {
+      stmt.target = Assignment::Target::kState;
+      stmt.name = target;
+    } else if (symbols_.regfiles.count(target)) {
+      stmt.target = Assignment::Target::kRegfileElem;
+      stmt.name = target;
+      lex_.expect_punct("[");
+      stmt.index = parse_expression();
+      lex_.expect_punct("]");
+    } else {
+      throw Error("line ", line, ": assignment target '", target,
+                  "' is not rd, a state, or a regfile");
+    }
+    lex_.expect_punct("=");
+    stmt.value = parse_expression();
+    lex_.expect_punct(";");
+    return stmt;
+  }
+
+  // Precedence levels, low to high.
+  static int precedence(std::string_view op) {
+    if (op == "|") return 1;
+    if (op == "^") return 2;
+    if (op == "&") return 3;
+    if (op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+        op == ">=") {
+      return 4;
+    }
+    if (op == "<<" || op == ">>") return 5;
+    if (op == "+" || op == "-") return 6;
+    if (op == "*") return 7;
+    return -1;
+  }
+
+  ExprPtr parse_binary(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    for (;;) {
+      const Token& t = lex_.peek();
+      if (t.kind != TokKind::kPunct) return lhs;
+      const int prec = precedence(t.text);
+      if (prec < 0 || prec < min_prec) return lhs;
+      const std::string op = lex_.next().text;
+      ExprPtr rhs = parse_binary(prec + 1);
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = op;
+      node->args.push_back(std::move(lhs));
+      node->args.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (lex_.peek().kind == TokKind::kPunct &&
+        (lex_.peek().text == "~" || lex_.peek().text == "-")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->op = lex_.next().text;
+      node->args.push_back(parse_unary());
+      return node;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = lex_.peek();
+    if (t.kind == TokKind::kNumber) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kLiteral;
+      node->literal = lex_.next().number;
+      return node;
+    }
+    if (t.kind == TokKind::kPunct && t.text == "(") {
+      lex_.next();
+      ExprPtr inner = parse_expression();
+      lex_.expect_punct(")");
+      return inner;
+    }
+    if (t.kind != TokKind::kIdent) {
+      throw Error("line ", t.line, ": expected expression, got '", t.text,
+                  "'");
+    }
+    const int line = t.line;
+    const std::string name = lex_.next().text;
+    auto node = std::make_unique<Expr>();
+    if (name == "rs1") {
+      node->kind = ExprKind::kRs1;
+      return node;
+    }
+    if (name == "rs2") {
+      node->kind = ExprKind::kRs2;
+      return node;
+    }
+    if (lex_.accept_punct("(")) {
+      node->kind = ExprKind::kCall;
+      node->name = name;
+      if (!lex_.accept_punct(")")) {
+        node->args.push_back(parse_expression());
+        while (lex_.accept_punct(",")) {
+          node->args.push_back(parse_expression());
+        }
+        lex_.expect_punct(")");
+      }
+      return node;
+    }
+    if (lex_.accept_punct("[")) {
+      if (symbols_.regfiles.count(name)) {
+        node->kind = ExprKind::kRegfile;
+      } else if (symbols_.tables.count(name)) {
+        node->kind = ExprKind::kTable;
+      } else {
+        throw Error("line ", line, ": '", name,
+                    "' is not a declared regfile or table");
+      }
+      node->name = name;
+      node->args.push_back(parse_expression());
+      lex_.expect_punct("]");
+      return node;
+    }
+    if (symbols_.states.count(name)) {
+      node->kind = ExprKind::kState;
+      node->name = name;
+      return node;
+    }
+    throw Error("line ", line, ": unknown identifier '", name,
+                "' in expression");
+  }
+
+  Lexer& lex_;
+  const SymbolKinds& symbols_;
+};
+
+// ---------------------------------------------------------------------------
+// Top-level TIE-lite parser
+// ---------------------------------------------------------------------------
+
+class TieParser {
+ public:
+  explicit TieParser(std::string_view source) : lex_(source) {}
+
+  TieSpec parse() {
+    TieSpec spec;
+    for (;;) {
+      const Token& t = lex_.peek();
+      if (t.kind == TokKind::kEnd) break;
+      if (t.kind != TokKind::kIdent) {
+        throw Error("line ", t.line, ": expected declaration, got '", t.text,
+                    "'");
+      }
+      if (t.text == "regfile") {
+        parse_regfile(&spec);
+      } else if (t.text == "state") {
+        parse_state(&spec);
+      } else if (t.text == "table") {
+        parse_table(&spec);
+      } else if (t.text == "instruction") {
+        parse_instruction(&spec);
+      } else {
+        throw Error("line ", t.line, ": unknown declaration '", t.text, "'");
+      }
+    }
+    return spec;
+  }
+
+ private:
+  /// Parses `key=NUMBER`, verifying the key name.
+  std::uint64_t parse_kv(const char* key) {
+    const std::string ident = lex_.expect_ident(key);
+    if (ident != key) {
+      throw Error("line ", lex_.line(), ": expected '", key, "=', got '",
+                  ident, "'");
+    }
+    lex_.expect_punct("=");
+    return lex_.expect_number(key);
+  }
+
+  void parse_regfile(TieSpec* spec) {
+    lex_.next();  // 'regfile'
+    RegfileDecl d;
+    d.line = lex_.line();
+    d.name = lex_.expect_ident("regfile name");
+    d.width = static_cast<unsigned>(parse_kv("width"));
+    d.size = static_cast<unsigned>(parse_kv("size"));
+    symbols_.regfiles.insert(d.name);
+    spec->regfiles.push_back(std::move(d));
+  }
+
+  void parse_state(TieSpec* spec) {
+    lex_.next();  // 'state'
+    StateDecl d;
+    d.line = lex_.line();
+    d.name = lex_.expect_ident("state name");
+    d.width = static_cast<unsigned>(parse_kv("width"));
+    symbols_.states.insert(d.name);
+    spec->states.push_back(std::move(d));
+  }
+
+  void parse_table(TieSpec* spec) {
+    lex_.next();  // 'table'
+    TableDecl d;
+    d.line = lex_.line();
+    d.name = lex_.expect_ident("table name");
+    const auto size = static_cast<std::size_t>(parse_kv("size"));
+    d.width = static_cast<unsigned>(parse_kv("width"));
+    lex_.expect_punct("{");
+    if (!lex_.accept_punct("}")) {
+      d.values.push_back(lex_.expect_number("table value"));
+      while (lex_.accept_punct(",")) {
+        d.values.push_back(lex_.expect_number("table value"));
+      }
+      lex_.expect_punct("}");
+    }
+    if (d.values.size() != size) {
+      throw Error("line ", d.line, ": table '", d.name, "' declares size ",
+                  size, " but lists ", d.values.size(), " values");
+    }
+    symbols_.tables.insert(d.name);
+    spec->tables.push_back(std::move(d));
+  }
+
+  void parse_instruction(TieSpec* spec) {
+    lex_.next();  // 'instruction'
+    InstructionDecl d;
+    d.line = lex_.line();
+    d.name = lex_.expect_ident("instruction name");
+    lex_.expect_punct("{");
+    while (!lex_.accept_punct("}")) {
+      const int line = lex_.line();
+      const std::string item = lex_.expect_ident("instruction item");
+      if (item == "latency") {
+        d.latency = static_cast<unsigned>(lex_.expect_number("latency"));
+      } else if (item == "reads") {
+        parse_operand_list(line, /*reads=*/true, &d);
+      } else if (item == "writes") {
+        parse_operand_list(line, /*reads=*/false, &d);
+      } else if (item == "isolated") {
+        d.isolated = true;
+      } else if (item == "use") {
+        d.uses.push_back(parse_use(line));
+      } else if (item == "semantics") {
+        SemanticsParser sem(lex_, symbols_);
+        d.semantics = sem.parse_body();
+      } else {
+        throw Error("line ", line, ": unknown instruction item '", item, "'");
+      }
+    }
+    spec->instructions.push_back(std::move(d));
+  }
+
+  void parse_operand_list(int line, bool reads, InstructionDecl* d) {
+    for (;;) {
+      const std::string operand = lex_.expect_ident("operand");
+      if (reads && operand == "rs1") {
+        d->reads_rs1 = true;
+      } else if (reads && operand == "rs2") {
+        d->reads_rs2 = true;
+      } else if (!reads && operand == "rd") {
+        d->writes_rd = true;
+      } else {
+        throw Error("line ", line, ": invalid ", reads ? "reads" : "writes",
+                    " operand '", operand, "'");
+      }
+      if (!lex_.accept_punct(",")) break;
+    }
+  }
+
+  ComponentUse parse_use(int line) {
+    ComponentUse use;
+    const std::string cls_name = lex_.expect_ident("component class");
+    const auto cls = find_component_class(cls_name);
+    if (!cls) {
+      throw Error("line ", line, ": unknown component class '", cls_name,
+                  "'");
+    }
+    use.cls = *cls;
+    // Optional key=value attributes in any order.
+    for (;;) {
+      const Token& t = lex_.peek();
+      if (t.kind != TokKind::kIdent ||
+          (t.text != "width" && t.text != "count" && t.text != "entries" &&
+           t.text != "cycles")) {
+        break;
+      }
+      const std::string key = lex_.next().text;
+      lex_.expect_punct("=");
+      if (key == "cycles") {
+        use.active_cycles.push_back(
+            static_cast<unsigned>(lex_.expect_number("cycle")));
+        while (lex_.accept_punct(",")) {
+          use.active_cycles.push_back(
+              static_cast<unsigned>(lex_.expect_number("cycle")));
+        }
+      } else {
+        const auto value = static_cast<unsigned>(lex_.expect_number(key.c_str()));
+        if (key == "width") use.width = value;
+        if (key == "count") use.count = value;
+        if (key == "entries") use.entries = value;
+      }
+    }
+    return use;
+  }
+
+  Lexer lex_;
+  SymbolKinds symbols_;
+};
+
+}  // namespace
+
+TieSpec parse_tie(std::string_view source) { return TieParser(source).parse(); }
+
+}  // namespace exten::tie

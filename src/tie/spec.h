@@ -1,0 +1,88 @@
+#pragma once
+
+// Parsed (unvalidated) form of a TIE-lite specification.
+//
+// A specification is a text document declaring custom architectural state
+// and custom instructions:
+//
+//   # GF(2^8) multiply-accumulate extension
+//   state acc width=32
+//   table gflog size=256 width=8 { 0, 0, 1, 25, 2, ... }
+//
+//   instruction gfmac {
+//     latency 1
+//     reads rs1, rs2
+//     use table  width=8 entries=256 count=2
+//     use adder  width=8
+//     use logic  width=8
+//     semantics {
+//       acc = acc ^ gflog[rs1 ^ rs2];
+//     }
+//   }
+//
+// Parsing produces the structures below; the TIE compiler (tie/compiler.h)
+// validates them and binds them into an executable configuration.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tie/components.h"
+#include "tie/expr.h"
+
+namespace exten::tie {
+
+/// `regfile NAME width=W size=N`
+struct RegfileDecl {
+  std::string name;
+  unsigned width = 32;
+  unsigned size = 1;
+  int line = 0;
+};
+
+/// `state NAME width=W`
+struct StateDecl {
+  std::string name;
+  unsigned width = 32;
+  int line = 0;
+};
+
+/// `table NAME size=N width=W { v0, v1, ... }`
+struct TableDecl {
+  std::string name;
+  unsigned width = 8;
+  std::vector<std::uint64_t> values;
+  int line = 0;
+};
+
+/// `instruction NAME { ... }`
+struct InstructionDecl {
+  std::string name;
+  unsigned latency = 1;
+  bool reads_rs1 = false;
+  bool reads_rs2 = false;
+  bool writes_rd = false;
+  /// Operand isolation: when set, the datapath's inputs are gated and base
+  /// instructions driving the shared operand buses do not activate it.
+  bool isolated = false;
+  std::vector<ComponentUse> uses;
+  std::vector<Assignment> semantics;
+  int line = 0;
+};
+
+/// A whole TIE-lite document.
+struct TieSpec {
+  std::vector<RegfileDecl> regfiles;
+  std::vector<StateDecl> states;
+  std::vector<TableDecl> tables;
+  std::vector<InstructionDecl> instructions;
+};
+
+/// Parses TIE-lite source text. Declarations must precede use (the
+/// semantics parser classifies identifiers as state/regfile/table from the
+/// declarations already seen). Throws exten::Error with a line-prefixed
+/// message on any syntax error.
+TieSpec parse_tie(std::string_view source);
+
+}  // namespace exten::tie

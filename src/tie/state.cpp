@@ -1,0 +1,92 @@
+#include "tie/state.h"
+
+#include "tie/expr.h"
+#include "util/error.h"
+
+namespace exten::tie {
+
+void TieState::declare_state(const std::string& name, unsigned width) {
+  EXTEN_CHECK(width >= 1 && width <= 64, "state '", name, "': width ", width,
+              " out of range 1..64");
+  EXTEN_CHECK(!has_state(name) && !has_regfile(name), "duplicate TIE symbol '",
+              name, "'");
+  states_.emplace(name, Scalar{width, 0});
+}
+
+void TieState::declare_regfile(const std::string& name, unsigned width,
+                               unsigned size) {
+  EXTEN_CHECK(width >= 1 && width <= 64, "regfile '", name, "': width ",
+              width, " out of range 1..64");
+  EXTEN_CHECK(size >= 1 && size <= 256, "regfile '", name, "': size ", size,
+              " out of range 1..256");
+  EXTEN_CHECK(!has_state(name) && !has_regfile(name), "duplicate TIE symbol '",
+              name, "'");
+  regfiles_.emplace(name, RegFile{width, std::vector<std::uint64_t>(size, 0)});
+}
+
+const TieState::Scalar& TieState::scalar(const std::string& name) const {
+  auto it = states_.find(name);
+  EXTEN_CHECK(it != states_.end(), "unknown TIE state '", name, "'");
+  return it->second;
+}
+
+const TieState::RegFile& TieState::file(const std::string& name) const {
+  auto it = regfiles_.find(name);
+  EXTEN_CHECK(it != regfiles_.end(), "unknown TIE regfile '", name, "'");
+  return it->second;
+}
+
+std::uint64_t TieState::read_state(const std::string& name) const {
+  const Scalar& s = scalar(name);
+  return mask_to_width(s.value, s.width);
+}
+
+void TieState::write_state(const std::string& name, std::uint64_t value) {
+  auto it = states_.find(name);
+  EXTEN_CHECK(it != states_.end(), "unknown TIE state '", name, "'");
+  it->second.value = mask_to_width(value, it->second.width);
+}
+
+std::uint64_t TieState::read_regfile(const std::string& name,
+                                     std::uint64_t index) const {
+  const RegFile& f = file(name);
+  return f.regs[static_cast<std::size_t>(index) % f.regs.size()];
+}
+
+void TieState::write_regfile(const std::string& name, std::uint64_t index,
+                             std::uint64_t value) {
+  auto it = regfiles_.find(name);
+  EXTEN_CHECK(it != regfiles_.end(), "unknown TIE regfile '", name, "'");
+  RegFile& f = it->second;
+  f.regs[static_cast<std::size_t>(index) % f.regs.size()] =
+      mask_to_width(value, f.width);
+}
+
+bool TieState::has_state(const std::string& name) const {
+  return states_.count(name) != 0;
+}
+
+bool TieState::has_regfile(const std::string& name) const {
+  return regfiles_.count(name) != 0;
+}
+
+unsigned TieState::state_width(const std::string& name) const {
+  return scalar(name).width;
+}
+
+unsigned TieState::regfile_width(const std::string& name) const {
+  return file(name).width;
+}
+
+unsigned TieState::regfile_size(const std::string& name) const {
+  return static_cast<unsigned>(file(name).regs.size());
+}
+
+void TieState::reset() {
+  for (auto& [name, s] : states_) s.value = 0;
+  for (auto& [name, f] : regfiles_) {
+    for (auto& r : f.regs) r = 0;
+  }
+}
+
+}  // namespace exten::tie

@@ -1,0 +1,68 @@
+#pragma once
+
+// Runtime storage for TIE-lite custom architectural state.
+//
+// A processor configuration may declare scalar `state` variables and custom
+// `regfile`s. The simulator owns one TieState per run; the TIE compiler
+// creates it pre-sized from the specification.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace exten::tie {
+
+/// Custom architectural state (scalar states + custom register files).
+class TieState {
+ public:
+  /// Declares a scalar state variable of `width` bits (1..64), initial 0.
+  /// Throws exten::Error on duplicates or bad width.
+  void declare_state(const std::string& name, unsigned width);
+
+  /// Declares a register file with `size` entries of `width` bits each.
+  void declare_regfile(const std::string& name, unsigned width,
+                       unsigned size);
+
+  /// Reads a scalar state (masked to its width). Throws on unknown name.
+  std::uint64_t read_state(const std::string& name) const;
+
+  /// Writes a scalar state (value masked to its width).
+  void write_state(const std::string& name, std::uint64_t value);
+
+  /// Reads a register file element; the index wraps to the file size.
+  std::uint64_t read_regfile(const std::string& name,
+                             std::uint64_t index) const;
+
+  /// Writes a register file element; the index wraps to the file size.
+  void write_regfile(const std::string& name, std::uint64_t index,
+                     std::uint64_t value);
+
+  bool has_state(const std::string& name) const;
+  bool has_regfile(const std::string& name) const;
+
+  unsigned state_width(const std::string& name) const;
+  unsigned regfile_width(const std::string& name) const;
+  unsigned regfile_size(const std::string& name) const;
+
+  /// Resets every state and regfile element to zero.
+  void reset();
+
+ private:
+  struct Scalar {
+    unsigned width = 32;
+    std::uint64_t value = 0;
+  };
+  struct RegFile {
+    unsigned width = 32;
+    std::vector<std::uint64_t> regs;
+  };
+
+  const Scalar& scalar(const std::string& name) const;
+  const RegFile& file(const std::string& name) const;
+
+  std::map<std::string, Scalar> states_;
+  std::map<std::string, RegFile> regfiles_;
+};
+
+}  // namespace exten::tie

@@ -1,0 +1,51 @@
+#pragma once
+
+// Error handling for the exten library.
+//
+// All fatal, caller-visible failures are reported as exten::Error, a
+// std::runtime_error carrying a formatted message. Helper macros build
+// messages from streamable parts so call sites stay terse:
+//
+//   if (width > kMaxWidth)
+//     throw Error("component ", name, ": width ", width, " exceeds ", kMaxWidth);
+//
+// EXTEN_CHECK is used for invariant/precondition checks that must survive
+// release builds (user input validation); assert() remains for internal
+// logic errors.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace exten {
+
+/// Exception type used for all library errors (parse errors, validation
+/// failures, numerical failures, simulation faults).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+
+  /// Builds the message by streaming every argument.
+  template <typename... Parts>
+  explicit Error(const Parts&... parts) : std::runtime_error(concat(parts...)) {}
+
+ private:
+  template <typename... Parts>
+  static std::string concat(const Parts&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    return os.str();
+  }
+};
+
+/// Throws exten::Error with the given streamed message when `cond` is false.
+#define EXTEN_CHECK(cond, ...)                          \
+  do {                                                  \
+    if (!(cond)) {                                      \
+      throw ::exten::Error("check failed: " #cond ": ", \
+                           __VA_ARGS__);                \
+    }                                                   \
+  } while (false)
+
+}  // namespace exten

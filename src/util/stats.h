@@ -1,0 +1,65 @@
+#pragma once
+
+// Streaming statistics accumulators used by the regression diagnostics and
+// the experiment harnesses (fitting errors, estimation errors, timings).
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace exten {
+
+/// Single-pass accumulator for mean / variance / extrema (Welford).
+class StreamingStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    sum_sq_ += x * x;
+    sum_abs_ += std::fabs(x);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean_abs() const { return n_ ? sum_abs_ / static_cast<double>(n_) : 0.0; }
+
+  /// Root mean square of the samples (not centred).
+  double rms() const {
+    return n_ ? std::sqrt(sum_sq_ / static_cast<double>(n_)) : 0.0;
+  }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Largest absolute sample.
+  double max_abs() const {
+    return n_ ? std::fmax(std::fabs(min_), std::fabs(max_)) : 0.0;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_sq_ = 0.0;
+  double sum_abs_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Signed relative error in percent: 100 * (estimate - reference) / reference.
+inline double percent_error(double estimate, double reference) {
+  if (reference == 0.0) return estimate == 0.0 ? 0.0 : 100.0;
+  return 100.0 * (estimate - reference) / reference;
+}
+
+}  // namespace exten

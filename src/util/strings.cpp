@@ -1,0 +1,133 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace exten {
+
+namespace {
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+         c == '\v';
+}
+}  // namespace
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  while (b < s.size() && is_space(s[b])) ++b;
+  std::size_t e = s.size();
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep,
+                                    bool keep_empty) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      std::string_view field = s.substr(start, i - start);
+      if (keep_empty || !field.empty()) out.push_back(field);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_lines(std::string_view s) {
+  std::vector<std::string_view> lines = split(s, '\n', /*keep_empty=*/true);
+  for (auto& line : lines) {
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  }
+  // split() with keep_empty produces one trailing empty field for a final
+  // newline; drop it so "a\nb\n" yields {"a", "b"}.
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool is_identifier(std::string_view s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c)) || c == '.';
+  };
+  if (!head(s[0])) return false;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (!tail(s[i])) return false;
+  }
+  return true;
+}
+
+bool parse_int(std::string_view s, std::int64_t* out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  bool negative = false;
+  if (s[0] == '-' || s[0] == '+') {
+    negative = (s[0] == '-');
+    s.remove_prefix(1);
+    if (s.empty()) return false;
+  }
+  int base = 10;
+  if (starts_with(s, "0x") || starts_with(s, "0X")) {
+    base = 16;
+    s.remove_prefix(2);
+  } else if (starts_with(s, "0b") || starts_with(s, "0B")) {
+    base = 2;
+    s.remove_prefix(2);
+  }
+  if (s.empty()) return false;
+  std::uint64_t magnitude = 0;
+  auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), magnitude, base);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  // Allow the full unsigned range for positive literals (useful for
+  // 0xffffffff-style masks); reject magnitudes that can't be negated.
+  if (negative) {
+    if (magnitude > static_cast<std::uint64_t>(INT64_MAX) + 1) return false;
+    *out = static_cast<std::int64_t>(~magnitude + 1);
+  } else {
+    *out = static_cast<std::int64_t>(magnitude);
+  }
+  return true;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace exten

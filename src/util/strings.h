@@ -1,0 +1,44 @@
+#pragma once
+
+// Small string utilities shared by the assembler, the TIE-lite parser and
+// the reporting code. All functions are pure and allocation-light.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exten {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits `s` on `sep`, optionally dropping empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep,
+                                    bool keep_empty = false);
+
+/// Splits `s` into lines (handles both "\n" and "\r\n").
+std::vector<std::string_view> split_lines(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix / suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// ASCII lower-casing (locale independent).
+std::string to_lower(std::string_view s);
+
+/// True if `s` is a valid identifier: [A-Za-z_][A-Za-z0-9_.]*
+bool is_identifier(std::string_view s);
+
+/// Parses a signed 64-bit integer with 0x/0b/decimal prefixes and an
+/// optional leading '-'. Returns false on any syntax error or overflow.
+bool parse_int(std::string_view s, std::int64_t* out);
+
+/// Formats `value` with `digits` fractional digits ("%.3f"-style).
+std::string format_fixed(double value, int digits);
+
+/// Formats a byte count or plain count with thousands separators
+/// (e.g. 1234567 -> "1,234,567"). Used by report printers.
+std::string with_commas(std::uint64_t value);
+
+}  // namespace exten

@@ -1,0 +1,42 @@
+#pragma once
+
+// ASCII table and CSV output used by the benchmark harnesses to print the
+// paper's tables and figure series in a readable, diff-friendly form.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace exten {
+
+/// Column-aligned ASCII table with a header row.
+///
+///   AsciiTable t({"Application", "Estimate (uJ)", "Error (%)"});
+///   t.add_row({"Ins_sort", "336.9", "-2.2"});
+///   t.print(std::cout);
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with box-drawing rules. First column left-aligned, the rest
+  /// right-aligned (numeric convention).
+  void print(std::ostream& os) const;
+
+  /// Renders the same content as CSV (header + rows).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a CSV field (quotes fields containing comma/quote/newline).
+std::string csv_escape(const std::string& field);
+
+}  // namespace exten

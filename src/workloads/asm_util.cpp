@@ -1,0 +1,39 @@
+#include "workloads/asm_util.h"
+
+#include <sstream>
+
+namespace exten::workloads::detail {
+
+namespace {
+template <typename T>
+std::string directive(const char* name, std::span<const T> values) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i % 16 == 0) os << (i ? "\n" : "") << name << ' ';
+    else os << ", ";
+    os << static_cast<std::uint64_t>(values[i]);
+  }
+  os << '\n';
+  return os.str();
+}
+}  // namespace
+
+std::string words_directive(std::span<const std::uint32_t> values) {
+  return directive(".word", values);
+}
+
+std::string bytes_directive(std::span<const std::uint8_t> values) {
+  return directive(".byte", values);
+}
+
+std::vector<std::uint32_t> random_words(Rng& rng, std::size_t n,
+                                        std::uint32_t lo, std::uint32_t hi) {
+  std::vector<std::uint32_t> out(n);
+  for (auto& value : out) {
+    value = lo + static_cast<std::uint32_t>(
+                     rng.next_below(static_cast<std::uint64_t>(hi) - lo + 1));
+  }
+  return out;
+}
+
+}  // namespace exten::workloads::detail

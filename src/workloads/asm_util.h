@@ -1,0 +1,24 @@
+#pragma once
+
+// Internal helpers for generating assembly sources with embedded data.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace exten::workloads::detail {
+
+/// Renders ".word v, v, ..." lines (16 values per line).
+std::string words_directive(std::span<const std::uint32_t> values);
+
+/// Renders ".byte v, v, ..." lines.
+std::string bytes_directive(std::span<const std::uint8_t> values);
+
+/// n uniform random words in [lo, hi].
+std::vector<std::uint32_t> random_words(Rng& rng, std::size_t n,
+                                        std::uint32_t lo, std::uint32_t hi);
+
+}  // namespace exten::workloads::detail

@@ -1,0 +1,278 @@
+// Extra application kernels beyond the paper's Table II set — the
+// multimedia/DSP/crypto workloads the paper's introduction motivates.
+// Each ships with its natural TIE-lite extension and a C++ reference
+// implementation the tests verify against:
+//
+//   fir    - 8-tap FIR filter on the `mac` extension
+//   crc32  - table-driven CRC-32 with a `crcstep` custom instruction
+//   sad    - sum-of-absolute-differences motion-estimation kernel on a
+//            packed `sad4` custom instruction
+
+#include <array>
+#include <sstream>
+
+#include "util/error.h"
+#include "workloads/asm_util.h"
+#include "workloads/tie_library.h"
+#include "workloads/workloads.h"
+
+namespace exten::workloads {
+
+using detail::random_words;
+using detail::words_directive;
+
+// ---------------------------------------------------------------------------
+// References
+// ---------------------------------------------------------------------------
+
+std::uint32_t crc32_reference(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = 0xffffffffu;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xedb88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+std::vector<std::int32_t> fir_reference(std::span<const std::int16_t> samples,
+                                        std::span<const std::int16_t> taps) {
+  EXTEN_CHECK(samples.size() >= taps.size(), "fir: too few samples");
+  std::vector<std::int32_t> out(samples.size() - taps.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::int64_t acc = 0;
+    for (std::size_t j = 0; j < taps.size(); ++j) {
+      acc += static_cast<std::int64_t>(samples[i + j]) * taps[j];
+    }
+    out[i] = static_cast<std::int32_t>(acc);
+  }
+  return out;
+}
+
+std::uint32_t sad_reference(std::span<const std::uint8_t> a,
+                            std::span<const std::uint8_t> b) {
+  EXTEN_CHECK(a.size() == b.size(), "sad: size mismatch");
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// TIE specifications
+// ---------------------------------------------------------------------------
+
+std::string tie_crc_spec() {
+  // CRC-32 (reflected, poly 0xEDB88320) byte-step table.
+  std::ostringstream spec;
+  spec << "# table-driven CRC-32 byte step\nstate crc width=32\n";
+  spec << "table crctab size=256 width=32 {\n  ";
+  for (unsigned i = 0; i < 256; ++i) {
+    std::uint32_t entry = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      entry = (entry >> 1) ^ (0xedb88320u & (0u - (entry & 1u)));
+    }
+    if (i) spec << (i % 8 == 0 ? ",\n  " : ", ");
+    spec << entry;
+  }
+  spec << "\n}\n";
+  spec << R"(
+instruction crcinit {
+  use logic width=32
+  semantics { crc = 0xffffffff; }
+}
+
+instruction crcstep {
+  reads rs1
+  use logic width=32
+  use shifter width=32
+  semantics { crc = (crc >> 8) ^ crctab[(crc ^ rs1) & 255]; }
+}
+
+instruction crcfin {
+  writes rd
+  use logic width=32
+  semantics { rd = ~crc; }
+}
+)";
+  return spec.str();
+}
+
+std::string tie_sad_spec() {
+  return R"(# packed 4x8-bit sum-of-absolute-differences accumulator
+state sacc width=32
+
+instruction sadclr {
+  use logic width=8
+  semantics { sacc = 0; }
+}
+
+instruction sad4 {
+  reads rs1, rs2
+  use adder width=8 count=8
+  use logic width=32
+  use tie_add width=32
+  semantics {
+    sacc = sacc
+      + sel((rs1 & 255) < (rs2 & 255),
+            (rs2 & 255) - (rs1 & 255), (rs1 & 255) - (rs2 & 255))
+      + sel(((rs1 >> 8) & 255) < ((rs2 >> 8) & 255),
+            ((rs2 >> 8) & 255) - ((rs1 >> 8) & 255),
+            ((rs1 >> 8) & 255) - ((rs2 >> 8) & 255))
+      + sel(((rs1 >> 16) & 255) < ((rs2 >> 16) & 255),
+            ((rs2 >> 16) & 255) - ((rs1 >> 16) & 255),
+            ((rs1 >> 16) & 255) - ((rs2 >> 16) & 255))
+      + sel(((rs1 >> 24) & 255) < ((rs2 >> 24) & 255),
+            ((rs2 >> 24) & 255) - ((rs1 >> 24) & 255),
+            ((rs1 >> 24) & 255) - ((rs2 >> 24) & 255));
+  }
+}
+
+instruction sadrd {
+  writes rd
+  use logic width=32
+  semantics { rd = sacc; }
+}
+)";
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+model::TestProgram make_fir(unsigned n, std::uint64_t seed) {
+  constexpr unsigned kTaps = 8;
+  EXTEN_CHECK(n > kTaps, "fir needs more than ", kTaps, " samples");
+  Rng rng(seed);
+  std::vector<std::uint32_t> samples(n);
+  for (auto& s : samples) {
+    s = static_cast<std::uint32_t>(rng.next_in(-2000, 2000)) & 0xffff;
+  }
+  std::vector<std::uint32_t> taps(kTaps);
+  for (auto& t : taps) {
+    t = static_cast<std::uint32_t>(rng.next_in(-128, 127)) & 0xffff;
+  }
+
+  std::ostringstream os;
+  os << "# 8-tap FIR over " << n << " samples (mac extension)\n"
+     << ".text\n_start:\n";
+  os << R"(  li   s0, samples         # x
+  li   s2, fir_out
+  li   s3, )" << (n - kTaps + 1) << R"(        # outputs
+out_loop:
+  beqz s3, done
+  clrmac
+  li   s4, taps
+  mv   s5, s0
+  li   s6, )" << kTaps << R"(
+tap_loop:
+  lh   t1, 0(s5)
+  lh   t2, 0(s4)
+  mac  t1, t2
+  addi s5, s5, 2
+  addi s4, s4, 2
+  addi s6, s6, -1
+  bnez s6, tap_loop
+  rdmac t3
+  sw   t3, 0(s2)
+  addi s2, s2, 4
+  addi s0, s0, 2
+  addi s3, s3, -1
+  j    out_loop
+done:
+  halt
+
+.data
+.align 4
+samples:
+)";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    os << (i % 16 == 0 ? (i ? "\n.half " : ".half ") : ", ") << samples[i];
+  }
+  os << "\ntaps:\n.half ";
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    if (i) os << ", ";
+    os << taps[i];
+  }
+  os << "\n.align 4\nfir_out:\n.space " << 4 * (n - kTaps + 1) << "\n";
+  return model::make_test_program("FIR8", os.str(), tie_mac_spec());
+}
+
+model::TestProgram make_crc32(unsigned bytes, std::uint64_t seed) {
+  Rng rng(seed);
+  if (bytes % 4) bytes += 4 - bytes % 4;
+  const auto data = random_words(rng, bytes / 4, 0, 0xffffffff);
+  std::ostringstream os;
+  os << "# CRC-32 over " << bytes << " bytes (crcstep extension)\n"
+     << ".text\n_start:\n";
+  os << R"(  crcinit
+  li   s0, payload
+  li   s1, )" << bytes << R"(
+loop:
+  lbu  t0, 0(s0)
+  crcstep t0
+  addi s0, s0, 1
+  addi s1, s1, -1
+  bnez s1, loop
+  crcfin t1
+  li   t2, crc_out
+  sw   t1, 0(t2)
+  halt
+
+.data
+payload:
+)" << words_directive(data) << "crc_out:\n.space 4\n";
+  return model::make_test_program("CRC32", os.str(), tie_crc_spec());
+}
+
+model::TestProgram make_sad(unsigned blocks, std::uint64_t seed) {
+  // 16x16 pixel blocks, 64 packed words per block pair.
+  Rng rng(seed);
+  const unsigned words_per_block = 64;
+  const auto cur = random_words(rng, blocks * words_per_block, 0, 0xffffffff);
+  const auto ref = random_words(rng, blocks * words_per_block, 0, 0xffffffff);
+  std::ostringstream os;
+  os << "# motion-estimation SAD over " << blocks
+     << " 16x16 blocks (sad4 extension)\n.text\n_start:\n";
+  os << R"(  li   s0, cur_frame
+  li   s1, ref_frame
+  li   s2, sad_out
+  li   s3, )" << blocks << R"(
+block_loop:
+  beqz s3, done
+  sadclr
+  li   s4, )" << words_per_block << R"(
+word_loop:
+  lw   t0, 0(s0)
+  lw   t1, 0(s1)
+  sad4 t0, t1
+  addi s0, s0, 4
+  addi s1, s1, 4
+  addi s4, s4, -1
+  bnez s4, word_loop
+  sadrd t2
+  sw   t2, 0(s2)
+  addi s2, s2, 4
+  addi s3, s3, -1
+  j    block_loop
+done:
+  halt
+
+.data
+cur_frame:
+)" << words_directive(cur) << "ref_frame:\n"
+     << words_directive(ref) << "sad_out:\n.space " << 4 * blocks << "\n";
+  return model::make_test_program("SAD16", os.str(), tie_sad_spec());
+}
+
+std::vector<model::TestProgram> extras_suite(std::uint64_t seed) {
+  std::vector<model::TestProgram> suite;
+  suite.push_back(make_fir(160, seed + 1));
+  suite.push_back(make_crc32(512, seed + 2));
+  suite.push_back(make_sad(6, seed + 3));
+  return suite;
+}
+
+}  // namespace exten::workloads

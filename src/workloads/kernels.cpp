@@ -1,0 +1,421 @@
+// The ten application benchmarks of the paper's Table II, written in
+// XTC-32 assembly with data generated per seed. Each kernel leaves a
+// verifiable result in memory (the functional tests check it) and ends
+// with HALT.
+
+#include <sstream>
+
+#include "workloads/asm_util.h"
+#include "workloads/tie_library.h"
+#include "workloads/workloads.h"
+
+namespace exten::workloads {
+
+using detail::random_words;
+using detail::words_directive;
+
+namespace {
+
+std::string header(const std::string& comment) {
+  return "# " + comment + "\n.text\n_start:\n";
+}
+
+}  // namespace
+
+model::TestProgram make_ins_sort(unsigned n, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto data = random_words(rng, n, 0, 0x7fffffff);
+  std::ostringstream os;
+  os << header("insertion sort of " + std::to_string(n) + " words");
+  os << R"(  li   s0, array        # base pointer
+  li   s1, 1             # i = 1
+  li   s2, )" << n << R"(             # n
+outer:
+  bge  s1, s2, done
+  slli t0, s1, 2
+  add  t0, s0, t0        # &a[i]
+  lw   t1, 0(t0)         # key = a[i]
+  mv   t2, s1            # j = i
+inner:
+  beqz t2, place
+  addi t3, t2, -1
+  slli t4, t3, 2
+  add  t4, s0, t4
+  lw   t5, 0(t4)         # a[j-1]
+  bge  t1, t5, place     # stop when key >= a[j-1]
+  slli t6, t2, 2
+  add  t6, s0, t6
+  sw   t5, 0(t6)         # a[j] = a[j-1]
+  mv   t2, t3
+  j    inner
+place:
+  slli t6, t2, 2
+  add  t6, s0, t6
+  sw   t1, 0(t6)         # a[j] = key
+  addi s1, s1, 1
+  j    outer
+done:
+  halt
+
+.data
+array:
+)" << words_directive(data);
+  return model::make_test_program("Ins_sort", os.str());
+}
+
+model::TestProgram make_gcd(unsigned pairs, std::uint64_t seed) {
+  Rng rng(seed);
+  // Pairs with a shared factor keep iteration counts moderate and results
+  // interesting.
+  std::vector<std::uint32_t> data;
+  data.reserve(2 * pairs);
+  for (unsigned i = 0; i < pairs; ++i) {
+    const auto g = static_cast<std::uint32_t>(rng.next_in(1, 64));
+    data.push_back(g * static_cast<std::uint32_t>(rng.next_in(1, 700)));
+    data.push_back(g * static_cast<std::uint32_t>(rng.next_in(1, 700)));
+  }
+  std::ostringstream os;
+  os << header("subtraction GCD over " + std::to_string(pairs) + " pairs");
+  os << R"(  li   s0, pairs
+  li   s1, )" << pairs << R"(
+  li   s2, results
+pair_loop:
+  beqz s1, done
+  lw   t0, 0(s0)
+  lw   t1, 4(s0)
+gcd_loop:
+  beq  t0, t1, gcd_done
+  bltu t0, t1, t1_bigger
+  sub  t0, t0, t1
+  j    gcd_loop
+t1_bigger:
+  sub  t1, t1, t0
+  j    gcd_loop
+gcd_done:
+  sw   t0, 0(s2)
+  addi s2, s2, 4
+  addi s0, s0, 8
+  addi s1, s1, -1
+  j    pair_loop
+done:
+  halt
+
+.data
+pairs:
+)" << words_directive(data) << R"(results:
+.space )" << 4 * pairs << "\n";
+  return model::make_test_program("Gcd", os.str());
+}
+
+model::TestProgram make_alphablend(unsigned n, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto img_a = random_words(rng, n, 0, 0xffff);
+  const auto img_b = random_words(rng, n, 0, 0xffff);
+  std::ostringstream os;
+  os << header("alpha blend of two " + std::to_string(n) + "-pixel images");
+  os << R"(  li   t0, 180
+  setalpha t0
+  li   s0, img_a
+  li   s1, img_b
+  li   s2, img_out
+  li   s3, )" << n << R"(
+loop:
+  beqz s3, done
+  lw   t1, 0(s0)
+  lw   t2, 0(s1)
+  blend t3, t1, t2
+  sw   t3, 0(s2)
+  addi s0, s0, 4
+  addi s1, s1, 4
+  addi s2, s2, 4
+  addi s3, s3, -1
+  j    loop
+done:
+  halt
+
+.data
+img_a:
+)" << words_directive(img_a) << "img_b:\n"
+     << words_directive(img_b) << "img_out:\n.space " << 4 * n << "\n";
+  return model::make_test_program("Alphablend", os.str(), tie_blend_spec());
+}
+
+model::TestProgram make_add4(unsigned n, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto vec_a = random_words(rng, n, 0, 0xffffffff);
+  const auto vec_b = random_words(rng, n, 0, 0xffffffff);
+  std::ostringstream os;
+  os << header("packed 4x8-bit vector add over " + std::to_string(n) +
+               " words");
+  os << R"(  li   s0, vec_a
+  li   s1, vec_b
+  li   s2, vec_out
+  li   s3, )" << n << R"(
+loop:
+  beqz s3, done
+  lw   t1, 0(s0)
+  lw   t2, 0(s1)
+  add4 t3, t1, t2
+  sw   t3, 0(s2)
+  addi s0, s0, 4
+  addi s1, s1, 4
+  addi s2, s2, 4
+  addi s3, s3, -1
+  j    loop
+done:
+  halt
+
+.data
+vec_a:
+)" << words_directive(vec_a) << "vec_b:\n"
+     << words_directive(vec_b) << "vec_out:\n.space " << 4 * n << "\n";
+  return model::make_test_program("Add4", os.str(), tie_add4_spec());
+}
+
+model::TestProgram make_bubsort(unsigned n, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto data = random_words(rng, n, 0, 0x7fffffff);
+  std::ostringstream os;
+  os << header("bubble sort of " + std::to_string(n) + " words");
+  os << R"(  li   s0, array
+  li   s1, )" << n << R"(        # outer bound
+outer:
+  addi s1, s1, -1
+  beqz s1, done
+  mv   s2, s0            # walk pointer
+  mv   s3, s1            # inner count
+inner:
+  lw   t0, 0(s2)
+  lw   t1, 4(s2)
+  bge  t1, t0, no_swap
+  sw   t1, 0(s2)
+  sw   t0, 4(s2)
+no_swap:
+  addi s2, s2, 4
+  addi s3, s3, -1
+  bnez s3, inner
+  j    outer
+done:
+  halt
+
+.data
+array:
+)" << words_directive(data);
+  return model::make_test_program("Bubsort", os.str());
+}
+
+model::TestProgram make_des(unsigned n, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto blocks = random_words(rng, n, 0, 0xffffffff);
+  std::ostringstream os;
+  os << header("DES-style S-box rounds over " + std::to_string(n) +
+               " blocks");
+  os << R"(  li   s4, 0x3a94b7c1     # round key 1
+  li   s5, 0x5ce02d88     # round key 2
+  li   s0, blocks
+  li   s2, blocks_out
+  li   s3, )" << n << R"(
+loop:
+  beqz s3, done
+  lw   t1, 0(s0)
+  sboxp t2, t1, s4        # substitution round 1
+  sboxp t3, t2, s5        # substitution round 2
+  xor  t3, t3, t1         # Feistel-style mix
+  sw   t3, 0(s2)
+  addi s0, s0, 4
+  addi s2, s2, 4
+  addi s3, s3, -1
+  j    loop
+done:
+  halt
+
+.data
+blocks:
+)" << words_directive(blocks) << "blocks_out:\n.space " << 4 * n << "\n";
+  return model::make_test_program("DES", os.str(), tie_sbox_spec());
+}
+
+model::TestProgram make_accumulate(unsigned n, std::uint64_t seed) {
+  Rng rng(seed);
+  // Keep pairwise sums within 32 bits; the kernel consumes two words per
+  // csa3, so n must be even (rounded up here).
+  if (n % 2) ++n;
+  const auto data = random_words(rng, n, 0, 0x00ffffff);
+  std::ostringstream os;
+  os << header("carry-save accumulation of " + std::to_string(n) + " words");
+  os << R"(  csaclr
+  li   s0, samples
+  li   s3, )" << n / 2 << R"(
+loop:
+  beqz s3, done
+  lw   t1, 0(s0)
+  lw   t2, 4(s0)
+  csa3 t1, t2
+  addi s0, s0, 8
+  addi s3, s3, -1
+  j    loop
+done:
+  csaflush t0
+  li   t9, sum_out
+  sw   t0, 0(t9)
+  halt
+
+.data
+samples:
+)" << words_directive(data) << "sum_out:\n.space 4\n";
+  return model::make_test_program("Accumulate", os.str(), tie_csa_spec());
+}
+
+model::TestProgram make_drawline(unsigned lines, std::uint64_t seed) {
+  Rng rng(seed);
+  // Endpoint quads (x0,y0,x1,y1) with x0<x1 and slope <= 1 so the simple
+  // Bresenham variant below is exact.
+  std::vector<std::uint32_t> endpoints;
+  endpoints.reserve(4 * lines);
+  for (unsigned i = 0; i < lines; ++i) {
+    const auto x0 = static_cast<std::uint32_t>(rng.next_in(0, 40));
+    const auto dx = static_cast<std::uint32_t>(rng.next_in(8, 80));
+    const auto y0 = static_cast<std::uint32_t>(rng.next_in(0, 40));
+    const auto dy = static_cast<std::uint32_t>(rng.next_below(dx + 1));
+    endpoints.push_back(x0);
+    endpoints.push_back(y0);
+    endpoints.push_back(x0 + dx);
+    endpoints.push_back(y0 + dy);
+  }
+  std::ostringstream os;
+  os << header("Bresenham rasterization of " + std::to_string(lines) +
+               " lines into a 128-wide framebuffer");
+  os << R"(  li   s0, endpoints
+  li   s1, )" << lines << R"(
+line_loop:
+  beqz s1, done
+  lw   t0, 0(s0)          # x0
+  lw   t1, 4(s0)          # y0
+  lw   t2, 8(s0)          # x1
+  lw   t3, 12(s0)         # y1
+  absdiff t4, t2, t0      # dx
+  absdiff t5, t3, t1      # dy
+  slli t6, t5, 1
+  sub  t6, t6, t4         # err = 2*dy - dx
+pixel_loop:
+  # plot(x0, y0): framebuffer[y0*128 + x0] = 1
+  slli t7, t1, 7
+  add  t7, t7, t0
+  li   t8, framebuffer
+  add  t7, t8, t7
+  li   t8, 1
+  sb   t8, 0(t7)
+  bge  t0, t2, line_done
+  bltz_check:
+  blt  t6, zero, err_neg
+  addi t1, t1, 1          # y++
+  slli t9, t4, 1
+  sub  t6, t6, t9         # err -= 2*dx
+err_neg:
+  slli t9, t5, 1
+  add  t6, t6, t9         # err += 2*dy
+  addi t0, t0, 1          # x++
+  j    pixel_loop
+line_done:
+  addi s0, s0, 16
+  addi s1, s1, -1
+  j    line_loop
+done:
+  halt
+
+.data
+endpoints:
+)" << words_directive(endpoints)
+     << "framebuffer:\n.space " << 128 * 128 << "\n";
+  return model::make_test_program("Drawline", os.str(), tie_absdiff_spec());
+}
+
+model::TestProgram make_multi_accumulate(unsigned n, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto sig_a = random_words(rng, n, 0, 0x7fff);
+  const auto sig_b = random_words(rng, n, 0, 0x7fff);
+  const unsigned block = 16;
+  std::ostringstream os;
+  os << header("blocked multiply-accumulate over " + std::to_string(n) +
+               " sample pairs");
+  os << R"(  li   s0, sig_a
+  li   s1, sig_b
+  li   s2, mac_out
+  li   s3, )" << n / block << R"(      # blocks
+block_loop:
+  beqz s3, done
+  clrmac
+  li   s4, )" << block << R"(          # samples per block
+mac_loop:
+  lw   t1, 0(s0)
+  lw   t2, 0(s1)
+  mac  t1, t2
+  addi s0, s0, 4
+  addi s1, s1, 4
+  addi s4, s4, -1
+  bnez s4, mac_loop
+  rdmac t3
+  sw   t3, 0(s2)
+  rdmach t4
+  sw   t4, 4(s2)
+  addi s2, s2, 8
+  addi s3, s3, -1
+  j    block_loop
+done:
+  halt
+
+.data
+sig_a:
+)" << words_directive(sig_a) << "sig_b:\n"
+     << words_directive(sig_b) << "mac_out:\n.space "
+     << 8 * (n / block) << "\n";
+  return model::make_test_program("Multi_accumulate", os.str(),
+                                  tie_mac_spec());
+}
+
+model::TestProgram make_seq_mult(unsigned n, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto factors = random_words(rng, n, 1, 0x3fff);
+  std::ostringstream os;
+  os << header("sequential dependent multiplies over " + std::to_string(n) +
+               " factors");
+  os << R"(  li   s0, factors
+  li   s2, prod_out
+  li   s3, )" << n << R"(
+  li   t0, 3              # running product (kept in range by masking)
+loop:
+  beqz s3, done
+  lw   t1, 0(s0)
+  smul t0, t0, t1
+  andi t0, t0, 0x3fff     # keep the chain in 14 bits
+  ori  t0, t0, 1          # never zero
+  sw   t0, 0(s2)
+  addi s0, s0, 4
+  addi s2, s2, 4
+  addi s3, s3, -1
+  j    loop
+done:
+  halt
+
+.data
+factors:
+)" << words_directive(factors) << "prod_out:\n.space " << 4 * n << "\n";
+  return model::make_test_program("Seq_mult", os.str(), tie_smul_spec());
+}
+
+std::vector<model::TestProgram> application_suite(std::uint64_t seed) {
+  std::vector<model::TestProgram> suite;
+  suite.push_back(make_ins_sort(96, seed + 1));
+  suite.push_back(make_gcd(160, seed + 2));
+  suite.push_back(make_alphablend(400, seed + 3));
+  suite.push_back(make_add4(520, seed + 4));
+  suite.push_back(make_bubsort(72, seed + 5));
+  suite.push_back(make_des(320, seed + 6));
+  suite.push_back(make_accumulate(480, seed + 7));
+  suite.push_back(make_drawline(24, seed + 8));
+  suite.push_back(make_multi_accumulate(320, seed + 9));
+  suite.push_back(make_seq_mult(280, seed + 10));
+  return suite;
+}
+
+}  // namespace exten::workloads

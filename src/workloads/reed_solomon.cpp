@@ -1,0 +1,361 @@
+// Reed-Solomon encoder + syndrome kernel with four custom-instruction
+// choices (the paper's Fig. 4 design-space study).
+//
+// Per message block of K=15 bytes the kernel computes P=8 parity bytes with
+// a systematic LFSR encoder over GF(2^8) (generator polynomial with roots
+// alpha^0..alpha^7, field polynomial 0x11d), builds the 23-byte codeword
+// (padded to 24), injects a byte error in every other block, and computes
+// the 8 syndromes S_i = C(alpha^i).
+//
+// Configurations:
+//   kBase   - GF multiply in software (log/antilog tables in memory)
+//   kGfMul  - gfmul custom instruction
+//   kGfMac  - gfmul + gfmac (syndromes in power-sum form, accumulating in
+//             custom state)
+//   kGfMac2 - gfmul + gfmac2 (two-way packed power-sum syndromes)
+
+#include <array>
+#include <sstream>
+
+#include "util/error.h"
+#include "workloads/asm_util.h"
+#include "workloads/tie_library.h"
+#include "workloads/workloads.h"
+
+namespace exten::workloads {
+
+namespace {
+
+constexpr unsigned kMsgBytes = 15;   // K
+constexpr unsigned kParityBytes = 8; // P
+constexpr unsigned kPaddedCw = 24;   // K + P padded to even
+
+/// Coefficients c_0..c_7 of the monic generator polynomial
+/// g(x) = x^8 + c_7 x^7 + ... + c_0 with roots alpha^0..alpha^7.
+std::array<std::uint8_t, 8> generator_coefficients() {
+  // poly starts as {1} (constant 1) and is multiplied by (x + alpha^i).
+  std::array<std::uint8_t, 9> poly{};
+  poly[0] = 1;
+  unsigned degree = 0;
+  for (unsigned i = 0; i < kParityBytes; ++i) {
+    const std::uint8_t root = gf_pow_alpha(i);
+    // poly *= (x + root): new[j] = old[j-1] + root*old[j].
+    std::array<std::uint8_t, 9> next{};
+    for (unsigned j = 0; j <= degree; ++j) {
+      next[j + 1] ^= poly[j];
+      next[j] ^= gf_mul_reference(root, poly[j]);
+    }
+    ++degree;
+    poly = next;
+  }
+  std::array<std::uint8_t, 8> coeffs{};
+  for (unsigned j = 0; j < 8; ++j) coeffs[j] = poly[j];
+  return coeffs;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> rs_generator_poly() {
+  // The LFSR taps in kernel order: G[i] = c_{7-i}.
+  const auto c = generator_coefficients();
+  std::vector<std::uint8_t> taps(8);
+  for (unsigned i = 0; i < 8; ++i) taps[i] = c[7 - i];
+  return taps;
+}
+
+std::vector<std::uint8_t> rs_encode_reference(
+    std::span<const std::uint8_t> msg) {
+  EXTEN_CHECK(msg.size() == kMsgBytes, "rs_encode_reference: message must be ",
+              kMsgBytes, " bytes, got ", msg.size());
+  const std::vector<std::uint8_t> taps = rs_generator_poly();
+  std::vector<std::uint8_t> parity(kParityBytes, 0);
+  for (std::uint8_t m : msg) {
+    const std::uint8_t fb = m ^ parity[0];
+    for (unsigned j = 0; j + 1 < kParityBytes; ++j) {
+      parity[j] = parity[j + 1] ^ gf_mul_reference(fb, taps[j]);
+    }
+    parity[kParityBytes - 1] = gf_mul_reference(fb, taps[kParityBytes - 1]);
+  }
+  return parity;
+}
+
+std::vector<std::uint8_t> rs_syndromes_reference(
+    std::span<const std::uint8_t> padded_cw) {
+  EXTEN_CHECK(padded_cw.size() == kPaddedCw,
+              "rs_syndromes_reference: codeword must be ", kPaddedCw,
+              " bytes, got ", padded_cw.size());
+  std::vector<std::uint8_t> syndromes(kParityBytes, 0);
+  for (unsigned i = 0; i < kParityBytes; ++i) {
+    const std::uint8_t a = gf_pow_alpha(i);
+    std::uint8_t s = 0;
+    for (std::uint8_t c : padded_cw) {
+      s = static_cast<std::uint8_t>(gf_mul_reference(s, a) ^ c);
+    }
+    syndromes[i] = s;
+  }
+  return syndromes;
+}
+
+model::TestProgram make_reed_solomon(RsConfig config, unsigned blocks,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+
+  // GF multiply fragment: inputs in a0/a1, result in a2.
+  const bool has_gfmul_instr = config != RsConfig::kBase;
+  // Encoder multiply: a2 = s6 (feedback) * a1 (tap).
+  const std::string enc_mul = has_gfmul_instr
+                                  ? "  gfmul a2, s6, a1\n"
+                                  : "  mv   a0, s6\n  call gfmul_sw\n";
+
+  // --- Syndrome inner body: a = s7 (alpha^i), result into s8 --------------
+  std::string synd_body;
+  switch (config) {
+    case RsConfig::kBase:
+      // NOTE: gfmul_sw clobbers t5..t8, so this loop keeps its state in
+      // t0..t2 (untouched by the software multiply).
+      synd_body = R"(  li   s8, 0
+  li   t0, cw
+  li   t1, 24
+hor_loop:
+  mv   a0, s8
+  mv   a1, s7
+  call gfmul_sw
+  lbu  t2, 0(t0)
+  xor  s8, a2, t2
+  addi t0, t0, 1
+  addi t1, t1, -1
+  bnez t1, hor_loop
+)";
+      break;
+    case RsConfig::kGfMul:
+      synd_body = R"(  li   s8, 0
+  li   t0, cw
+  li   t1, 24
+hor_loop:
+  gfmul s8, s8, s7
+  lbu  t2, 0(t0)
+  xor  s8, s8, t2
+  addi t0, t0, 1
+  addi t1, t1, -1
+  bnez t1, hor_loop
+)";
+      break;
+    case RsConfig::kGfMac:
+      synd_body = R"(  clrgf
+  li   t5, cw+23
+  li   t6, 24
+  li   t8, 1              # pow = a^0
+ps_loop:
+  lbu  t7, 0(t5)
+  gfmac t7, t8            # gacc ^= c_j * pow
+  gfmul t8, t8, s7        # pow *= a
+  addi t5, t5, -1
+  addi t6, t6, -1
+  bnez t6, ps_loop
+  rdgf s8
+)";
+      break;
+    case RsConfig::kGfMac2:
+      // Pairs are loaded with one halfword access: cw is 4-aligned and the
+      // pair base offsets are even. The halfword at cw+22-j packs
+      // c_{j+1} | c_j << 8, so the packed powers are phi | pow << 8.
+      synd_body = R"(  clrgf2
+  li   t5, cw+22
+  li   t6, 12             # coefficient pairs
+  li   t8, 1              # pow = a^(2k)
+ps2_loop:
+  gfmul t3, t8, s7        # phi = pow * a
+  lhu  t7, 0(t5)          # c_{j+1} | c_j << 8
+  slli t4, t8, 8
+  or   t4, t4, t3         # phi | pow << 8
+  gfmac2 t7, t4
+  gfmul t8, t3, s7        # pow = phi * a
+  addi t5, t5, -2
+  addi t6, t6, -1
+  bnez t6, ps2_loop
+  rdgf2 t7
+  srli t4, t7, 8
+  xor  s8, t7, t4
+  andi s8, s8, 255
+)";
+      break;
+  }
+
+  // --- Program -------------------------------------------------------------
+  std::ostringstream os;
+  os << "# Reed-Solomon encode + syndromes, " << blocks << " blocks\n"
+     << ".text\n_start:\n";
+  os << "  li   s0, msg\n  li   s1, " << blocks << R"(
+  li   s2, parity_out
+  li   s3, synd_out
+block_loop:
+  beqz s1, all_done
+
+  # encode: systematic LFSR over the generator polynomial
+  li   s4, parity_work
+  sw   zero, 0(s4)
+  sw   zero, 4(s4)
+  li   s5, )" << kMsgBytes << R"(
+enc_loop:
+  lbu  t0, 0(s0)
+  lbu  t1, 0(s4)
+  xor  s6, t0, t1         # feedback
+  li   s7, 0              # tap index j
+par_loop:
+  li   t9, 7
+  beq  s7, t9, par_last
+  add  t2, s4, s7
+  lbu  t3, 1(t2)          # parity[j+1]
+  li   t4, gpoly
+  add  t4, t4, s7
+  lbu  a1, 0(t4)          # G[j]
+)" << enc_mul << R"(  xor  t3, t3, a2
+  add  t2, s4, s7
+  sb   t3, 0(t2)
+  addi s7, s7, 1
+  j    par_loop
+par_last:
+  li   t4, gpoly
+  lbu  a1, 7(t4)
+)" << enc_mul << R"(  addi t2, s4, 7
+  sb   a2, 0(t2)
+  addi s0, s0, 1
+  addi s5, s5, -1
+  bnez s5, enc_loop
+
+  # build the padded codeword and emit parity
+  addi t0, s0, -)" << kMsgBytes << R"(
+  li   t1, cw
+  li   t2, )" << kMsgBytes << R"(
+copy_msg:
+  lbu  t3, 0(t0)
+  sb   t3, 0(t1)
+  addi t0, t0, 1
+  addi t1, t1, 1
+  addi t2, t2, -1
+  bnez t2, copy_msg
+  li   t2, 8
+  mv   t0, s4
+copy_par:
+  lbu  t3, 0(t0)
+  sb   t3, 0(t1)
+  sb   t3, 0(s2)
+  addi t0, t0, 1
+  addi t1, t1, 1
+  addi s2, s2, 1
+  addi t2, t2, -1
+  bnez t2, copy_par
+  sb   zero, 0(t1)        # pad to 24 bytes
+
+  # inject a byte error in every other block
+  andi t0, s1, 1
+  beqz t0, no_err
+  li   t1, cw
+  lbu  t2, 5(t1)
+  xori t2, t2, 0x27
+  sb   t2, 5(t1)
+no_err:
+
+  # syndromes S_0..S_7
+  li   s5, 0
+synd_loop:
+  li   t9, 8
+  beq  s5, t9, synd_done
+  li   t4, alphas
+  add  t4, t4, s5
+  lbu  s7, 0(t4)          # a = alpha^i
+)" << synd_body << R"(  add  t4, s3, s5
+  sb   s8, 0(t4)
+  addi s5, s5, 1
+  j    synd_loop
+synd_done:
+  addi s3, s3, 8
+  addi s1, s1, -1
+  j    block_loop
+all_done:
+  halt
+)";
+
+  // Software GF multiply for the base configuration.
+  if (!has_gfmul_instr) {
+    os << R"(
+# a2 = a0 * a1 over GF(2^8), via log/antilog tables in memory
+gfmul_sw:
+  beqz a0, gm_zero
+  beqz a1, gm_zero
+  li   t8, gflog
+  add  t7, t8, a0
+  lbu  t6, 0(t7)
+  add  t7, t8, a1
+  lbu  t5, 0(t7)
+  add  t6, t6, t5
+  li   t8, gfalog
+  add  t7, t8, t6
+  lbu  a2, 0(t7)
+  ret
+gm_zero:
+  li   a2, 0
+  ret
+)";
+  }
+
+  // --- Data ------------------------------------------------------------------
+  std::vector<std::uint8_t> msg_bytes(blocks * kMsgBytes);
+  for (auto& b : msg_bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+  const std::vector<std::uint8_t> taps = rs_generator_poly();
+  std::vector<std::uint8_t> alphas(kParityBytes);
+  for (unsigned i = 0; i < kParityBytes; ++i) alphas[i] = gf_pow_alpha(i);
+
+  os << "\n.data\nmsg:\n" << detail::bytes_directive(msg_bytes);
+  os << "gpoly:\n" << detail::bytes_directive(taps);
+  os << "alphas:\n" << detail::bytes_directive(alphas);
+  os << "parity_out:\n.space " << blocks * kParityBytes << "\n";
+  os << "synd_out:\n.space " << blocks * kParityBytes << "\n";
+  os << ".align 4\ncw:\n.space 24\nparity_work:\n.space 8\n";
+
+  if (!has_gfmul_instr) {
+    std::vector<std::uint8_t> log_table(256, 0);
+    std::vector<std::uint8_t> alog_table(512, 1);
+    std::uint8_t x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      alog_table[i] = x;
+      log_table[x] = static_cast<std::uint8_t>(i);
+      x = gf_mul_reference(x, 2);
+    }
+    for (unsigned i = 255; i < 512; ++i) alog_table[i] = alog_table[i - 255];
+    os << "gflog:\n" << detail::bytes_directive(log_table);
+    os << "gfalog:\n" << detail::bytes_directive(alog_table);
+  }
+
+  std::string tie_source;
+  std::string name;
+  switch (config) {
+    case RsConfig::kBase:
+      name = "RS_base";
+      break;
+    case RsConfig::kGfMul:
+      name = "RS_gfmul";
+      tie_source = tie_gfmul_spec();
+      break;
+    case RsConfig::kGfMac:
+      name = "RS_gfmac";
+      tie_source = tie_gfmul_spec() + "\n" + tie_gfmac_spec();
+      break;
+    case RsConfig::kGfMac2:
+      name = "RS_gfmac2";
+      tie_source = tie_gfmul_spec() + "\n" + tie_gfmac2_spec();
+      break;
+  }
+  return model::make_test_program(name, os.str(), tie_source);
+}
+
+std::vector<model::TestProgram> reed_solomon_variants(std::uint64_t seed) {
+  std::vector<model::TestProgram> variants;
+  variants.push_back(make_reed_solomon(RsConfig::kBase, 40, seed));
+  variants.push_back(make_reed_solomon(RsConfig::kGfMul, 40, seed));
+  variants.push_back(make_reed_solomon(RsConfig::kGfMac, 40, seed));
+  variants.push_back(make_reed_solomon(RsConfig::kGfMac2, 40, seed));
+  return variants;
+}
+
+}  // namespace exten::workloads

@@ -1,0 +1,727 @@
+// The characterization test-program suite (paper Fig. 2, step 2; Fig. 3).
+//
+// Regression macro-modeling only requires that the suite have "diversity in
+// instruction statistics so as to cover the instruction space" plus custom
+// instructions covering every hardware-library component category. The
+// programs below each stress one region of the variable space: ALU mixes,
+// memory streams, cache-thrashing strides, branch-dominated loops,
+// call/return chains, load-use interlocks, I-cache-hostile straight-line
+// code, uncached code regions, and one loop per TIE component category.
+
+#include <sstream>
+
+#include "workloads/asm_util.h"
+#include "workloads/tie_library.h"
+#include "workloads/workloads.h"
+
+namespace exten::workloads {
+
+using detail::random_words;
+using detail::words_directive;
+
+namespace {
+
+/// A counted loop wrapping `body`; preserves s9 as the counter.
+std::string counted_loop(unsigned iterations, const std::string& body) {
+  std::ostringstream os;
+  os << "  li   s9, " << iterations << "\nmain_loop:\n"
+     << body << "  addi s9, s9, -1\n  bnez s9, main_loop\n  halt\n";
+  return os.str();
+}
+
+std::string data_block(const std::string& label,
+                       const std::vector<std::uint32_t>& values) {
+  return label + ":\n" + words_directive(values);
+}
+
+/// Emits the probe lookup table declaration.
+std::string emit_probe_table(const std::vector<unsigned>& values) {
+  std::ostringstream os;
+  os << "table ptab size=" << values.size() << " width=8 {\n  ";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << (i % 16 == 0 ? ",\n  " : ", ");
+    os << values[i];
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+/// Emits `n` arithmetic-class instructions over t0..t7 with rotating
+/// registers. The op mix includes shifts and multiplies at roughly the
+/// proportion real integer kernels show, so the fitted per-class
+/// coefficient reflects a representative blend of ALU / shifter /
+/// multiplier energies.
+std::string alu_block(Rng& rng, unsigned n) {
+  static constexpr const char* kOps[] = {"add", "sub", "and", "or",  "xor",
+                                         "nor", "andn", "slt", "add", "sub",
+                                         "sll", "srl",  "mul"};
+  std::ostringstream os;
+  for (unsigned i = 0; i < n; ++i) {
+    const char* op = kOps[rng.next_below(13)];
+    const unsigned rd = 20 + rng.next_below(8);
+    const unsigned rs1 = 20 + rng.next_below(8);
+    const unsigned rs2 = 20 + rng.next_below(8);
+    os << "  " << op << "  r" << rd << ", r" << rs1 << ", r" << rs2 << "\n";
+  }
+  return os.str();
+}
+
+/// Seeds t0..t7. Low-entropy seeding (byte-range values) mirrors the data
+/// profile of media/byte-processing applications; high-entropy seeding
+/// stresses switching activity.
+std::string seed_registers(Rng& rng, bool low_entropy = false) {
+  std::ostringstream os;
+  for (unsigned r = 20; r < 28; ++r) {
+    const std::uint32_t value =
+        low_entropy ? static_cast<std::uint32_t>(rng.next_below(256))
+                    : rng.next_u32();
+    os << "  li   r" << r << ", " << value << "\n";
+  }
+  return os.str();
+}
+
+model::TestProgram synth(const std::string& name, const std::string& body,
+                         const std::string& tie_source = {}) {
+  return model::make_test_program(name, "# characterization: " + name +
+                                            "\n.text\n_start:\n" + body,
+                                  tie_source);
+}
+
+// --- Base-ISA programs -----------------------------------------------------
+
+model::TestProgram tp_alu_mix(Rng& rng, unsigned iters, const char* name) {
+  const std::string body =
+      seed_registers(rng) + counted_loop(iters, alu_block(rng, 40));
+  return synth(name, body);
+}
+
+model::TestProgram tp_shift_mix(Rng& rng) {
+  // Shift-heavy (but not shift-only: real kernels interleave shifts with
+  // masking and adds, and a pure-class loop would sit at the edge of what
+  // the single arithmetic-class coefficient can represent).
+  std::ostringstream loop_body;
+  for (unsigned i = 0; i < 24; ++i) {
+    const unsigned rd = 20 + rng.next_below(8);
+    const unsigned rs = 20 + rng.next_below(8);
+    if (i % 2 == 0) {
+      const char* op = (i % 4 == 0) ? "slli" : "srli";
+      loop_body << "  " << op << " r" << rd << ", r" << rs << ", "
+                << (1 + rng.next_below(30)) << "\n";
+    } else {
+      loop_body << "  " << ((i % 4 == 1) ? "and " : "add ") << " r" << rd
+                << ", r" << rs << ", r" << (20 + rng.next_below(8)) << "\n";
+    }
+  }
+  return synth("shift_mix",
+               seed_registers(rng) + counted_loop(900, loop_body.str()));
+}
+
+model::TestProgram tp_mul_chain(Rng& rng) {
+  // Multiply-heavy with the address/update arithmetic a real MAC-style
+  // kernel carries alongside its multiplies.
+  std::ostringstream loop_body;
+  for (unsigned i = 0; i < 16; ++i) {
+    const unsigned rd = 20 + rng.next_below(8);
+    const unsigned rs1 = 20 + rng.next_below(8);
+    const unsigned rs2 = 20 + rng.next_below(8);
+    if (i % 2 == 0) {
+      loop_body << (i % 4 == 0 ? "  mul  r" : "  mulh r") << rd << ", r"
+                << rs1 << ", r" << rs2 << "\n";
+    } else {
+      loop_body << "  add  r" << rd << ", r" << rs1 << ", r" << rs2 << "\n";
+    }
+  }
+  return synth("mul_chain",
+               seed_registers(rng) + counted_loop(1100, loop_body.str()));
+}
+
+model::TestProgram tp_mem_stream(Rng& rng) {
+  const auto data = random_words(rng, 1024, 0, 0xffffffff);
+  const std::string body = R"(  li   s0, buffer
+  li   s1, 1024
+read_loop:
+  lw   t0, 0(s0)
+  lw   t1, 4(s0)
+  lw   t2, 8(s0)
+  lw   t3, 12(s0)
+  add  t4, t0, t1
+  add  t5, t2, t3
+  addi s0, s0, 16
+  addi s1, s1, -4
+  bnez s1, read_loop
+  li   s0, buffer
+  li   s1, 1024
+read_loop2:
+  lw   t0, 0(s0)
+  addi s0, s0, 4
+  add  t6, t6, t0
+  addi s1, s1, -1
+  bnez s1, read_loop2
+  halt
+.data
+)" + data_block("buffer", data);
+  return synth("mem_stream", body);
+}
+
+model::TestProgram tp_stride_miss(Rng&) {
+  // Stride of one line over a region 8x the cache: every load misses.
+  const std::string body = R"(  li   s8, 6
+outer:
+  li   s0, region
+  li   s1, 4096
+miss_loop:
+  lw   t0, 0(s0)
+  addi s0, s0, 32
+  add  t1, t1, t0
+  addi s1, s1, -1
+  bnez s1, miss_loop
+  addi s8, s8, -1
+  bnez s8, outer
+  halt
+.data
+region:
+.space 131072
+)";
+  return synth("stride_miss", body);
+}
+
+model::TestProgram tp_store_stream(Rng& rng) {
+  std::ostringstream os;
+  os << "  li   t0, " << rng.next_u32() << "\n" << R"(  li   s8, 10
+outer:
+  li   s0, outbuf
+  li   s1, 512
+store_loop:
+  sw   t0, 0(s0)
+  sw   t0, 4(s0)
+  sw   t0, 8(s0)
+  sh   t0, 12(s0)
+  sb   t0, 14(s0)
+  addi t0, t0, 0x155
+  addi s0, s0, 16
+  addi s1, s1, -4
+  bnez s1, store_loop
+  addi s8, s8, -1
+  bnez s8, outer
+  halt
+.data
+outbuf:
+.space 2048
+)";
+  return synth("store_stream", os.str());
+}
+
+model::TestProgram tp_branch_taken(Rng&) {
+  // Nested tight loops: almost every branch is taken.
+  const std::string body = R"(  li   s0, 700
+outer:
+  li   s1, 12
+inner:
+  addi s1, s1, -1
+  bnez s1, inner
+  addi s0, s0, -1
+  bnez s0, outer
+  halt
+)";
+  return synth("branch_taken", body);
+}
+
+model::TestProgram tp_branch_untaken(Rng& rng) {
+  // Long runs of never-taken compares against an unmatched sentinel.
+  std::ostringstream loop_body;
+  loop_body << "  li   t0, 1\n";
+  for (unsigned i = 0; i < 24; ++i) {
+    const unsigned rs = 21 + rng.next_below(6);
+    loop_body << "  beq  t0, r" << rs << ", never\n";
+    loop_body << "  addi t0, t0, 2\n";
+  }
+  std::string body = seed_registers(rng) + counted_loop(650, loop_body.str());
+  body += "never:\n  halt\n";
+  return synth("branch_untaken", body);
+}
+
+model::TestProgram tp_call_ret(Rng&) {
+  const std::string body = R"(  li   s0, 1500
+loop:
+  call leaf1
+  call leaf2
+  addi s0, s0, -1
+  bnez s0, loop
+  halt
+leaf1:
+  addi t0, t0, 7
+  ret
+leaf2:
+  xor  t1, t0, s0
+  jr   ra
+)";
+  return synth("call_ret", body);
+}
+
+model::TestProgram tp_interlock(Rng& rng) {
+  const auto data = random_words(rng, 256, 0, 0xffffffff);
+  const std::string body = R"(  li   s8, 12
+outer:
+  li   s0, ptrs
+  li   s1, 256
+chase:
+  lw   t0, 0(s0)          # load ...
+  add  t1, t1, t0         # ... immediately used: interlock
+  lw   t2, 4(s0)
+  xor  t3, t2, t1         # interlock again
+  addi s0, s0, 8
+  addi s1, s1, -2
+  bnez s1, chase
+  addi s8, s8, -1
+  bnez s8, outer
+  halt
+.data
+)" + data_block("ptrs", data);
+  return synth("interlock_heavy", body);
+}
+
+model::TestProgram tp_icache_thrash(Rng& rng) {
+  // ~24 KiB of straight-line code (6000 instructions) against a 16 KiB
+  // I-cache, looped: every pass misses throughout.
+  std::ostringstream body;
+  body << seed_registers(rng) << "  li   s9, 5\nbig_loop:\n";
+  for (unsigned i = 0; i < 1500; ++i) {
+    body << "  add  t0, t0, t1\n  xor  t1, t1, t2\n  sub  t2, t2, t0\n"
+         << "  or   t3, t0, t2\n";
+  }
+  body << "  addi s9, s9, -1\n  bnez s9, big_loop\n  halt\n";
+  return synth("icache_thrash", body.str());
+}
+
+model::TestProgram tp_uncached_code(Rng&) {
+  // A loop executed from the uncached region: every fetch pays the bus.
+  const std::string body = R"(  li   t0, ucode
+  li   t1, 420            # iterations, consumed by the uncached loop
+  jr   t0
+.org 0x80002000
+ucode:
+  addi t2, t2, 3
+  xor  t3, t3, t2
+  addi t1, t1, -1
+  bnez t1, ucode
+  halt
+)";
+  return synth("uncached_code", body);
+}
+
+model::TestProgram tp_mixed_baseline(Rng& rng) {
+  const auto data = random_words(rng, 512, 0, 0xffffffff);
+  const std::string body = seed_registers(rng) + R"(  li   s8, 18
+outer:
+  li   s0, mixbuf
+  li   s1, 128
+work:
+  lw   t0, 0(s0)
+  add  t1, t1, t0
+  slli t2, t0, 3
+  xor  t1, t1, t2
+  mul  t3, t0, t1
+  sw   t3, 256(s0)
+  blt  t3, zero, skip
+  addi t4, t4, 1
+skip:
+  addi s0, s0, 4
+  addi s1, s1, -1
+  bnez s1, work
+  call helper
+  addi s8, s8, -1
+  bnez s8, outer
+  halt
+helper:
+  srai t5, t3, 4
+  ret
+.data
+)" + data_block("mixbuf", data) + ".space 4096\n";
+  return synth("mixed_baseline", body);
+}
+
+// --- Custom-instruction programs (one per component-category focus) -------
+
+std::string repeat_body(const std::string& body, unsigned n);
+
+model::TestProgram tp_tie(const char* name, const std::string& tie_source,
+                          Rng& rng, const std::string& loop_body,
+                          unsigned iters, const std::string& prologue = {},
+                          bool low_entropy = false) {
+  // Unroll 3x: custom-instruction density dominates the loop overhead, so
+  // structural columns carry strong signal in these rows.
+  std::string body = seed_registers(rng, low_entropy) + prologue +
+                     counted_loop(iters, repeat_body(loop_body, 3));
+  return synth(name, body, tie_source);
+}
+
+model::TestProgram tp_cust_mac(Rng& rng) {
+  return tp_tie("cust_mac", tie_mac_spec(), rng,
+                "  mac  t0, t1\n  add  t0, t0, t2\n  mac  t2, t0\n"
+                "  rdmac t3\n  xor  t1, t1, t3\n",
+                800, "  clrmac\n");
+}
+
+model::TestProgram tp_cust_smul(Rng& rng) {
+  return tp_tie("cust_smul", tie_smul_spec(), rng,
+                "  smul t0, t0, t1\n  smul t2, t2, t3\n  addi t0, t0, 5\n"
+                "  smul t4, t0, t2\n",
+                900, {}, /*low_entropy=*/true);
+}
+
+model::TestProgram tp_cust_dotp(Rng& rng) {
+  return tp_tie("cust_dotp", tie_dotp_spec(), rng,
+                "  dotp2 t0, t1, t2\n  add  t3, t3, t0\n  slli t1, t1, 1\n"
+                "  dotp2 t4, t2, t3\n",
+                850);
+}
+
+model::TestProgram tp_cust_csa(Rng& rng) {
+  return tp_tie("cust_csa", tie_csa_spec(), rng,
+                "  csa3 t0, t1\n  csa3 t2, t3\n  addi t0, t0, 13\n"
+                "  csaflush t4\n",
+                800, "  csaclr\n");
+}
+
+model::TestProgram tp_cust_funnel(Rng& rng) {
+  return tp_tie("cust_funnel", tie_funnel_spec(), rng,
+                "  funnel t0, t1, t2\n  xor  t1, t1, t0\n"
+                "  funnel t3, t2, t0\n  addi t2, t2, 0x31\n",
+                850, "  li   t9, 13\n  setsh t9\n");
+}
+
+model::TestProgram tp_cust_add4(Rng& rng) {
+  return tp_tie("cust_add4", tie_add4_spec(), rng,
+                "  add4 t0, t0, t1\n  sub4 t2, t2, t3\n  add4 t4, t0, t2\n"
+                "  xor  t1, t1, t4\n",
+                900, {}, /*low_entropy=*/true);
+}
+
+model::TestProgram tp_cust_blend(Rng& rng) {
+  return tp_tie("cust_blend", tie_blend_spec(), rng,
+                "  blend t0, t1, t2\n  addi t1, t1, 0x77\n"
+                "  blend t3, t2, t0\n  xor  t2, t2, t3\n",
+                800, "  li   t9, 97\n  setalpha t9\n");
+}
+
+model::TestProgram tp_cust_sbox(Rng& rng) {
+  return tp_tie("cust_sbox", tie_sbox_spec(), rng,
+                "  sbox  t0, t0, t1\n  sboxp t2, t2, t3\n"
+                "  xor  t3, t3, t0\n",
+                850, {}, /*low_entropy=*/true);
+}
+
+model::TestProgram tp_cust_absdiff(Rng& rng) {
+  return tp_tie("cust_absdiff", tie_absdiff_spec(), rng,
+                "  absdiff t0, t1, t2\n  add  t3, t3, t0\n"
+                "  absdiff t4, t3, t1\n  addi t1, t1, 0x99\n",
+                900);
+}
+
+model::TestProgram tp_cust_gf(Rng& rng) {
+  return tp_tie("cust_gf", tie_gfmac_spec(), rng,
+                "  gfmac t0, t1\n  gfmac t2, t3\n  rdgf t4\n"
+                "  add  t0, t0, t4\n",
+                850, "  clrgf\n");
+}
+
+/// Repeats a loop body `n` times (unrolling: raises the custom-instruction
+/// density so structural columns dominate their rows).
+std::string repeat_body(const std::string& body, unsigned n) {
+  std::string out;
+  out.reserve(body.size() * n);
+  for (unsigned i = 0; i < n; ++i) out += body;
+  return out;
+}
+
+model::TestProgram tp_alu_low_entropy(Rng& rng) {
+  const std::string body = seed_registers(rng, /*low_entropy=*/true) +
+                           counted_loop(800, alu_block(rng, 32));
+  return synth("alu_low_entropy", body);
+}
+
+model::TestProgram tp_byte_stream(Rng& rng) {
+  // Byte-granularity processing through a lookup table — the data profile
+  // of codec/crypto kernels (low-entropy values, table-indexed byte loads).
+  std::vector<std::uint32_t> table_words(64);
+  for (auto& w : table_words) w = rng.next_u32() & 0x3f3f3f3f;
+  std::vector<std::uint32_t> src_words(256);
+  for (auto& w : src_words) w = rng.next_u32() & 0x0f0f0f0f;
+  const std::string body = R"(  li   s8, 8
+outer:
+  li   s0, bsrc
+  li   s1, 1024
+  li   s2, btab
+  li   s3, bscratch
+byte_loop:
+  lbu  t0, 0(s0)
+  addi s0, s0, 1
+  add  t1, s2, t0
+  lbu  t2, 0(t1)
+  addi s1, s1, -1
+  xor  t3, t3, t2
+  add  t4, s3, t0
+  sb   t2, 0(t4)
+  bnez s1, byte_loop
+  addi s8, s8, -1
+  bnez s8, outer
+  halt
+.data
+btab:
+)" + words_directive(table_words) +
+                           "bsrc:\n" + words_directive(src_words) +
+                           "bscratch:\n.space 256\n";
+  return synth("byte_stream", body);
+}
+
+/// Width-variant specs: the same component categories at different bit
+/// widths, so the regression sees structural columns at more than one
+/// C(W) ratio (de-correlating the component categories).
+constexpr const char* kMac12Spec = R"(
+state macc12 width=32
+instruction mac12 {
+  reads rs1, rs2
+  use tie_mac width=12
+  semantics { macc12 = macc12 + sext(rs1, 12) * sext(rs2, 12); }
+}
+instruction rdmac12 {
+  writes rd
+  use logic width=32
+  semantics { rd = macc12; }
+}
+)";
+
+constexpr const char* kFsh32Spec = R"(
+instruction fsh32 {
+  reads rs1, rs2
+  writes rd
+  use shifter width=32
+  semantics { rd = (rs1 << 7) | (rs2 >> 25); }
+}
+)";
+
+model::TestProgram tp_cust_mac12(Rng& rng) {
+  return tp_tie("cust_mac12", kMac12Spec, rng,
+                "  mac12 t0, t1\n  mac12 t2, t3\n  rdmac12 t4\n"
+                "  xor  t0, t0, t4\n",
+                850);
+}
+
+model::TestProgram tp_cust_fsh32(Rng& rng) {
+  return tp_tie("cust_fsh32", kFsh32Spec, rng,
+                "  fsh32 t0, t1, t2\n  fsh32 t3, t0, t1\n"
+                "  add  t1, t1, t3\n",
+                900);
+}
+
+/// Probe extension: one minimal instruction per component category, so the
+/// characterization matrix has near-solo excitation of every structural
+/// column (the paper's "cover all the custom hardware library components"
+/// requirement, taken to its cleanest form).
+std::string probe_spec() {
+  std::string spec = R"(
+state pacc width=32
+state preg width=32
+
+instruction p_mult  { reads rs1, rs2  writes rd  use mult width=32
+  semantics { rd = rs1 * rs2; } }
+instruction p_add   { reads rs1, rs2  writes rd  use adder width=32
+  semantics { rd = rs1 + rs2; } }
+instruction p_logic { reads rs1, rs2  writes rd  use logic width=32
+  semantics { rd = (rs1 & rs2) | (rs1 ^ (rs2 >> 1)); } }
+instruction p_shift { reads rs1, rs2  writes rd  use shifter width=32
+  semantics { rd = rs1 << (rs2 & 31); } }
+instruction p_str   { reads rs1
+  use custreg width=32
+  semantics { preg = preg ^ rs1; } }
+instruction p_ldr   { writes rd  use custreg width=32
+  semantics { rd = preg; } }
+instruction p_tmul  { reads rs1, rs2  writes rd  use tie_mult width=32
+  semantics { rd = sext(rs1, 16) * sext(rs2, 16); } }
+instruction p_tmac  { reads rs1, rs2
+  use tie_mac width=32
+  use custreg width=32
+  semantics { pacc = pacc + rs1 * rs2; } }
+instruction p_tadd  { reads rs1, rs2  writes rd  use tie_add width=32
+  semantics { rd = rs1 + rs2 + 1; } }
+instruction p_tcsa  { reads rs1, rs2  writes rd  use tie_csa width=32
+  semantics { rd = rs1 ^ rs2 ^ ((rs1 & rs2) << 1); } }
+)";
+  std::vector<unsigned> identity(256);
+  for (unsigned i = 0; i < 256; ++i) identity[i] = (i * 167 + 13) & 0xff;
+  spec += emit_probe_table(identity);
+  spec += R"(
+instruction p_table { reads rs1  writes rd
+  semantics { rd = ptab[rs1 & 255]; } }
+
+# Wide variants: the cheap categories (logic, table, custom register) are
+# only ~10 pJ/cycle per unit, below the regression noise floor of a single
+# instance next to a ~450 pJ base core. Wide arrays give the columns
+# measurable solo signal, the way a characterization engineer would size a
+# probe structure.
+instruction p_wlogic { reads rs1, rs2  writes rd
+  use logic width=32 count=12
+  semantics { rd = (rs1 & rs2) | (rs1 ^ (rs2 >> 3)); } }
+instruction p_wtab  { reads rs1  writes rd
+  use table width=8 entries=256 count=8
+  semantics { rd = ptab[rs1 & 255] | (ptab[(rs1 >> 8) & 255] << 8); } }
+instruction p_wstr  { reads rs1
+  use custreg width=32 count=8
+  semantics { preg = preg ^ (rs1 << 2) ^ rs1; } }
+)";
+  return spec;
+}
+
+/// Dense probe loops with different category emphases.
+model::TestProgram tp_probe(const char* name, Rng& rng,
+                            const std::string& unit, unsigned unroll,
+                            unsigned iters) {
+  return tp_tie(name, probe_spec(), rng, repeat_body(unit, unroll), iters);
+}
+
+/// Mixed-proportion programs over the full extension library: each mixes
+/// several custom instructions in a different ratio, breaking the
+/// per-program collinearity of structural columns.
+model::TestProgram tp_cust_mix_a(Rng& rng) {
+  return tp_tie("cust_mix_a", tie_full_library_spec(), rng,
+                "  mac  t0, t1\n  mac  t1, t2\n  mac  t2, t3\n"
+                "  funnel t4, t0, t1\n  absdiff t5, t4, t2\n"
+                "  add  t0, t0, t5\n",
+                600, "  clrmac\n  li   t9, 9\n  setsh t9\n");
+}
+
+model::TestProgram tp_cust_mix_b(Rng& rng) {
+  return tp_tie("cust_mix_b", tie_full_library_spec(), rng,
+                "  smul t0, t0, t1\n  sbox t2, t2, t0\n  sbox t3, t3, t2\n"
+                "  csa3 t2, t3\n  addi t1, t1, 0x2b\n",
+                650, "  csaclr\n", /*low_entropy=*/true);
+}
+
+model::TestProgram tp_cust_mix_c(Rng& rng) {
+  return tp_tie("cust_mix_c", tie_full_library_spec(), rng,
+                "  dotp2 t0, t1, t2\n  dotp2 t3, t2, t0\n"
+                "  add4 t4, t0, t3\n  blend t5, t4, t1\n"
+                "  blend t6, t5, t2\n  xor  t1, t1, t6\n",
+                600, "  li   t9, 201\n  setalpha t9\n");
+}
+
+model::TestProgram tp_full_mix(Rng& rng) {
+  const auto data = random_words(rng, 256, 0, 0xffffffff);
+  const std::string prologue =
+      "  clrmac\n  li   t9, 21\n  setsh t9\n  li   t9, 140\n  setalpha t9\n"
+      "  li   s0, fmbuf\n";
+  const std::string loop_body = R"(  lw   t0, 0(s0)
+  lw   t1, 4(s0)
+  mac  t0, t1
+  add4 t2, t0, t1
+  funnel t3, t2, t0
+  sbox t4, t3, t1
+  blend t5, t4, t0
+  rdmac t6
+  sw   t6, 8(s0)
+  andi s1, s9, 0xfc
+  add  s0, s0, s1
+  li   s2, fmbuf
+  bltu s0, s2, reset
+  j    cont
+reset:
+  li   s0, fmbuf
+cont:
+  li   s2, fmbuf_end
+  bltu s0, s2, ok
+  li   s0, fmbuf
+ok:
+)";
+  std::string body = seed_registers(rng) + prologue +
+                     counted_loop(700, loop_body) + ".data\n" +
+                     data_block("fmbuf", data) + "fmbuf_end:\n.space 64\n";
+  return synth("full_mix", body, tie_full_library_spec());
+}
+
+}  // namespace
+
+std::vector<model::TestProgram> characterization_suite(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<model::TestProgram> suite;
+  // Base-ISA coverage (varied mixes and iteration scales).
+  suite.push_back(tp_alu_mix(rng, 1200, "alu_mix_a"));
+  suite.push_back(tp_alu_mix(rng, 350, "alu_mix_b"));
+  suite.push_back(tp_shift_mix(rng));
+  suite.push_back(tp_mul_chain(rng));
+  suite.push_back(tp_mem_stream(rng));
+  suite.push_back(tp_stride_miss(rng));
+  suite.push_back(tp_store_stream(rng));
+  suite.push_back(tp_branch_taken(rng));
+  suite.push_back(tp_branch_untaken(rng));
+  suite.push_back(tp_call_ret(rng));
+  suite.push_back(tp_interlock(rng));
+  suite.push_back(tp_icache_thrash(rng));
+  suite.push_back(tp_uncached_code(rng));
+  suite.push_back(tp_mixed_baseline(rng));
+  suite.push_back(tp_alu_low_entropy(rng));
+  suite.push_back(tp_byte_stream(rng));
+  // Custom-hardware coverage: every component category.
+  suite.push_back(tp_cust_mac(rng));
+  suite.push_back(tp_cust_smul(rng));
+  suite.push_back(tp_cust_dotp(rng));
+  suite.push_back(tp_cust_csa(rng));
+  suite.push_back(tp_cust_funnel(rng));
+  suite.push_back(tp_cust_add4(rng));
+  suite.push_back(tp_cust_blend(rng));
+  suite.push_back(tp_cust_sbox(rng));
+  suite.push_back(tp_cust_absdiff(rng));
+  suite.push_back(tp_cust_gf(rng));
+  // Width variants and mixed proportions (de-correlate structural columns).
+  suite.push_back(tp_cust_mac12(rng));
+  suite.push_back(tp_cust_fsh32(rng));
+  suite.push_back(tp_cust_mix_a(rng));
+  suite.push_back(tp_cust_mix_b(rng));
+  suite.push_back(tp_cust_mix_c(rng));
+  // Per-category probes at three different emphases.
+  suite.push_back(tp_probe("probe_compute", rng,
+                           "  p_mult t0, t1, t2\n  p_tmul t3, t1, t2\n"
+                           "  p_add  t4, t0, t3\n  p_tadd t5, t4, t1\n"
+                           "  p_tcsa t6, t5, t2\n  p_shift t7, t0, t1\n",
+                           3, 500));
+  suite.push_back(tp_probe("probe_storage", rng,
+                           "  p_str  t0\n  p_tmac t1, t2\n"
+                           "  p_table t3, t1\n  p_logic t4, t3, t2\n"
+                           "  p_ldr  t5\n",
+                           3, 500));
+  suite.push_back(tp_probe("probe_cheap", rng,
+                           "  p_wlogic t0, t1, t2\n  p_wtab t3, t0\n"
+                           "  p_wstr t3\n  p_ldr t4\n  p_wlogic t5, t4, t3\n"
+                           "  p_wtab t6, t5\n",
+                           3, 500));
+  // Near-solo programs for the categories that remain collinear in the
+  // mixed programs (adder, custom register, TIE mult, table).
+  suite.push_back(tp_probe("probe_adder", rng,
+                           "  p_add t0, t1, t2\n  p_add t3, t2, t0\n"
+                           "  p_add t4, t0, t3\n  p_add t5, t4, t1\n"
+                           "  p_add t6, t5, t2\n  xor  t1, t1, t6\n",
+                           3, 500));
+  suite.push_back(tp_probe("probe_custreg", rng,
+                           "  p_wstr t0\n  p_wstr t1\n  p_ldr t2\n"
+                           "  p_wstr t2\n  p_ldr t3\n  add  t0, t0, t3\n",
+                           3, 500));
+  suite.push_back(tp_probe("probe_tmul", rng,
+                           "  p_tmul t0, t1, t2\n  p_tmul t3, t2, t0\n"
+                           "  p_tmul t4, t0, t3\n  p_tmul t5, t4, t1\n"
+                           "  addi t1, t1, 0x5d\n",
+                           3, 500));
+  suite.push_back(tp_probe("probe_table", rng,
+                           "  p_wtab t0, t1\n  p_wtab t2, t0\n"
+                           "  p_wtab t3, t2\n  p_table t4, t3\n"
+                           "  add  t1, t1, t4\n",
+                           3, 500));
+  suite.push_back(tp_probe("probe_skew", rng,
+                           "  p_mult t0, t1, t2\n  p_mult t3, t2, t0\n"
+                           "  p_mult t4, t0, t3\n  p_table t5, t4\n"
+                           "  p_table t6, t5\n  p_tmac t0, t5\n"
+                           "  p_tcsa t7, t6, t1\n  p_str t7\n",
+                           2, 500));
+  suite.push_back(tp_full_mix(rng));
+  return suite;
+}
+
+}  // namespace exten::workloads

@@ -1,0 +1,397 @@
+#include "workloads/tie_library.h"
+
+#include <sstream>
+#include <vector>
+
+namespace exten::workloads {
+
+namespace {
+
+/// Emits `table NAME size=N width=W { ... }`.
+std::string emit_table(const std::string& name, unsigned width,
+                       const std::vector<unsigned>& values) {
+  std::ostringstream os;
+  os << "table " << name << " size=" << values.size() << " width=" << width
+     << " {\n  ";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << (i % 16 == 0 ? ",\n  " : ", ");
+    os << values[i];
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+/// GF(2^8) log/antilog tables for generator polynomial 0x11d with a
+/// 512-entry antilog (so log sums index it without a modulo).
+/// `prefix` namespaces the table names per specification.
+std::string gf_tables(const std::string& prefix) {
+  std::vector<unsigned> alog(512, 1);
+  std::vector<unsigned> log(256, 0);
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    alog[i] = x;
+    log[x] = i;
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11d;
+  }
+  for (unsigned i = 255; i < 512; ++i) alog[i] = alog[i - 255];
+  return emit_table(prefix + "log", 8, log) +
+         emit_table(prefix + "alog", 8, alog);
+}
+
+/// The shared body of a GF multiply expression over `a` and `b` byte
+/// expressions, using the tables named with `prefix`.
+std::string gf_mul_expr(const std::string& prefix, const std::string& a,
+                        const std::string& b) {
+  return "sel(((" + a + ") == 0) | ((" + b + ") == 0), 0, " + prefix +
+         "alog[" + prefix + "log[" + a + "] + " + prefix + "log[" + b +
+         "]])";
+}
+
+std::vector<unsigned> sbox_values() {
+  std::vector<unsigned> values(256);
+  for (unsigned i = 0; i < 256; ++i) {
+    values[i] = aes_sbox(static_cast<std::uint8_t>(i));
+  }
+  return values;
+}
+
+}  // namespace
+
+std::uint8_t gf_mul_reference(std::uint8_t a, std::uint8_t b) {
+  unsigned product = 0;
+  unsigned aa = a;
+  for (unsigned bb = b; bb != 0; bb >>= 1) {
+    if (bb & 1) product ^= aa;
+    aa <<= 1;
+    if (aa & 0x100) aa ^= 0x11d;
+  }
+  return static_cast<std::uint8_t>(product);
+}
+
+std::uint8_t gf_pow_alpha(unsigned exponent) {
+  std::uint8_t result = 1;
+  for (unsigned i = 0; i < exponent % 255; ++i) {
+    result = gf_mul_reference(result, 2);
+  }
+  return result;
+}
+
+std::uint8_t aes_sbox(std::uint8_t index) {
+  // Multiplicative inverse in GF(2^8) with the AES polynomial 0x11b,
+  // followed by the AES affine transform.
+  auto mul11b = [](unsigned a, unsigned b) {
+    unsigned p = 0;
+    for (; b != 0; b >>= 1) {
+      if (b & 1) p ^= a;
+      a <<= 1;
+      if (a & 0x100) a ^= 0x11b;
+    }
+    return p & 0xff;
+  };
+  unsigned inv = 0;
+  if (index != 0) {
+    for (unsigned candidate = 1; candidate < 256; ++candidate) {
+      if (mul11b(index, candidate) == 1) {
+        inv = candidate;
+        break;
+      }
+    }
+  }
+  unsigned s = inv;
+  unsigned result = s;
+  for (int i = 0; i < 4; ++i) {
+    s = ((s << 1) | (s >> 7)) & 0xff;
+    result ^= s;
+  }
+  return static_cast<std::uint8_t>(result ^ 0x63);
+}
+
+std::string tie_mac_spec() {
+  return R"(# 24x24 -> 48 multiply-accumulate (TIE mac module)
+state macc width=48
+
+instruction mac {
+  latency 2
+  reads rs1, rs2
+  use tie_mac width=24
+  semantics { macc = macc + sext(rs1, 24) * sext(rs2, 24); }
+}
+
+instruction rdmac {
+  writes rd
+  use logic width=32
+  semantics { rd = macc; }
+}
+
+instruction rdmach {
+  writes rd
+  use logic width=16
+  semantics { rd = macc >> 32; }
+}
+
+instruction clrmac {
+  use logic width=8
+  semantics { macc = 0; }
+}
+)";
+}
+
+std::string tie_smul_spec() {
+  return R"(# 16x16 -> 32 specialized multiply (TIE mult module)
+instruction smul {
+  reads rs1, rs2
+  writes rd
+  use tie_mult width=16
+  semantics { rd = sext(rs1, 16) * sext(rs2, 16); }
+}
+)";
+}
+
+std::string tie_dotp_spec() {
+  return R"(# dual 16-bit dot product step (generic multiplier + TIE add)
+instruction dotp2 {
+  reads rs1, rs2
+  writes rd
+  use mult width=16 count=2
+  use tie_add width=32
+  semantics {
+    rd = sext(rs1, 16) * sext(rs2, 16) + asr(rs1, 16, 32) * asr(rs2, 16, 32);
+  }
+}
+)";
+}
+
+std::string tie_csa_spec() {
+  return R"(# carry-save accumulation (TIE csa module + custom registers)
+# Invariant maintained by csa3: csum + ccarry == sum of all inputs (mod 2^32).
+state csum width=32
+state ccarry width=32
+state csa_ts width=32
+state csa_tc width=32
+
+instruction csa3 {
+  reads rs1, rs2
+  use tie_csa width=32 count=2
+  use custreg width=32 count=2
+  semantics {
+    csa_ts = csum ^ ccarry ^ rs1;
+    csa_tc = ((csum & ccarry) | (csum & rs1) | (ccarry & rs1)) << 1;
+    csum = csa_ts ^ csa_tc ^ rs2;
+    ccarry = ((csa_ts & csa_tc) | (csa_ts & rs2) | (csa_tc & rs2)) << 1;
+  }
+}
+
+instruction csaflush {
+  writes rd
+  use adder width=32
+  semantics { rd = csum + ccarry; }
+}
+
+instruction csaclr {
+  use logic width=8
+  semantics {
+    csum = 0;
+    ccarry = 0;
+  }
+}
+)";
+}
+
+std::string tie_funnel_spec() {
+  return R"(# 64-bit funnel shifter with the shift amount in custom state
+state fsh width=6
+
+instruction setsh {
+  reads rs1
+  use logic width=8
+  semantics { fsh = rs1 & 63; }
+}
+
+instruction funnel {
+  reads rs1, rs2
+  writes rd
+  use shifter width=64
+  semantics { rd = (rs1 << fsh) | (rs2 >> (32 - fsh)); }
+}
+)";
+}
+
+std::string tie_add4_spec() {
+  return R"(# packed 4x8-bit SIMD add / subtract
+instruction add4 {
+  reads rs1, rs2
+  writes rd
+  use adder width=8 count=4
+  use logic width=32
+  semantics {
+    rd = (((rs1 & 255) + (rs2 & 255)) & 255)
+       | (((((rs1 >> 8) & 255) + ((rs2 >> 8) & 255)) & 255) << 8)
+       | (((((rs1 >> 16) & 255) + ((rs2 >> 16) & 255)) & 255) << 16)
+       | (((((rs1 >> 24) & 255) + ((rs2 >> 24) & 255)) & 255) << 24);
+  }
+}
+
+instruction sub4 {
+  reads rs1, rs2
+  writes rd
+  use adder width=8 count=4
+  use logic width=32
+  semantics {
+    rd = (((rs1 & 255) - (rs2 & 255)) & 255)
+       | (((((rs1 >> 8) & 255) - ((rs2 >> 8) & 255)) & 255) << 8)
+       | (((((rs1 >> 16) & 255) - ((rs2 >> 16) & 255)) & 255) << 16)
+       | (((((rs1 >> 24) & 255) - ((rs2 >> 24) & 255)) & 255) << 24);
+  }
+}
+)";
+}
+
+std::string tie_blend_spec() {
+  return R"(# two-channel 8-bit alpha blend with the alpha in custom state
+state alpha width=9
+
+instruction setalpha {
+  reads rs1
+  use logic width=9
+  semantics { alpha = rs1 & 511; }
+}
+
+instruction blend {
+  latency 2
+  reads rs1, rs2
+  writes rd
+  use mult width=8 count=2 cycles=0
+  use adder width=16 count=2 cycles=1
+  use logic width=16
+  semantics {
+    rd = (((alpha * (rs1 & 255) + (256 - alpha) * (rs2 & 255)) >> 8) & 255)
+       | (((((alpha * ((rs1 >> 8) & 255)
+            + (256 - alpha) * ((rs2 >> 8) & 255)) >> 8) & 255)) << 8);
+  }
+}
+)";
+}
+
+std::string tie_sbox_spec() {
+  std::string spec = "# byte substitution through a 256-entry S-box\n";
+  spec += emit_table("sboxtab", 8, sbox_values());
+  spec += R"(
+instruction sbox {
+  reads rs1, rs2
+  writes rd
+  use logic width=8
+  semantics { rd = sboxtab[(rs1 ^ rs2) & 255]; }
+}
+
+instruction sboxp {
+  latency 2
+  reads rs1, rs2
+  writes rd
+  use table width=8 entries=256 count=4 cycles=0
+  use logic width=32 cycles=1
+  semantics {
+    rd = sboxtab[(rs1 ^ rs2) & 255]
+       | (sboxtab[((rs1 >> 8) ^ (rs2 >> 8)) & 255] << 8)
+       | (sboxtab[((rs1 >> 16) ^ (rs2 >> 16)) & 255] << 16)
+       | (sboxtab[((rs1 >> 24) ^ (rs2 >> 24)) & 255] << 24);
+  }
+}
+)";
+  return spec;
+}
+
+std::string tie_absdiff_spec() {
+  return R"(# |rs1 - rs2| (subtract + compare + mux)
+instruction absdiff {
+  reads rs1, rs2
+  writes rd
+  use adder width=32 count=2
+  use logic width=32
+  semantics { rd = sel(rs1 < rs2, rs2 - rs1, rs1 - rs2); }
+}
+)";
+}
+
+std::string tie_gfmul_spec() {
+  std::string spec = "# GF(2^8) multiply via log/antilog tables\n";
+  spec += gf_tables("gm");
+  spec += "\ninstruction gfmul {\n"
+          "  reads rs1, rs2\n"
+          "  writes rd\n"
+          "  use adder width=9\n"
+          "  semantics { rd = " +
+          gf_mul_expr("gm", "rs1 & 255", "rs2 & 255") + "; }\n}\n";
+  return spec;
+}
+
+std::string tie_gfmac_spec() {
+  std::string spec = "# GF(2^8) multiply-accumulate into custom state\n";
+  spec += "state gacc width=8\n";
+  spec += gf_tables("gc");
+  spec += "\ninstruction gfmac {\n"
+          "  reads rs1, rs2\n"
+          "  use adder width=9\n"
+          "  use logic width=8\n"
+          "  semantics { gacc = gacc ^ " +
+          gf_mul_expr("gc", "rs1 & 255", "rs2 & 255") + "; }\n}\n";
+  spec += R"(
+instruction rdgf {
+  writes rd
+  use logic width=8
+  semantics { rd = gacc; }
+}
+
+instruction clrgf {
+  use logic width=8
+  semantics { gacc = 0; }
+}
+
+instruction ldgf {
+  reads rs1
+  use logic width=8
+  semantics { gacc = rs1 & 255; }
+}
+)";
+  return spec;
+}
+
+std::string tie_gfmac2_spec() {
+  std::string spec =
+      "# two-way packed GF(2^8) multiply-accumulate (wider datapath)\n";
+  spec += "state gacc2 width=16\n";
+  spec += gf_tables("g2");
+  spec += "\ninstruction gfmac2 {\n"
+          "  latency 2\n"
+          "  reads rs1, rs2\n"
+          "  use table width=8 entries=512 count=2 cycles=0\n"
+          "  use adder width=9 count=2 cycles=0\n"
+          "  use logic width=16 cycles=1\n"
+          "  semantics {\n"
+          "    gacc2 = gacc2 ^ ((" +
+          gf_mul_expr("g2", "rs1 & 255", "rs2 & 255") + ")\n           | ((" +
+          gf_mul_expr("g2", "(rs1 >> 8) & 255", "(rs2 >> 8) & 255") +
+          ") << 8));\n  }\n}\n";
+  spec += R"(
+instruction rdgf2 {
+  writes rd
+  use logic width=16
+  semantics { rd = gacc2; }
+}
+
+instruction clrgf2 {
+  use logic width=8
+  semantics { gacc2 = 0; }
+}
+)";
+  return spec;
+}
+
+std::string tie_full_library_spec() {
+  return tie_mac_spec() + "\n" + tie_smul_spec() + "\n" + tie_dotp_spec() +
+         "\n" + tie_csa_spec() + "\n" + tie_funnel_spec() + "\n" +
+         tie_add4_spec() + "\n" + tie_blend_spec() + "\n" + tie_sbox_spec() +
+         "\n" + tie_absdiff_spec() + "\n" + tie_gfmac_spec();
+}
+
+}  // namespace exten::workloads

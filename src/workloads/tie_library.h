@@ -1,0 +1,74 @@
+#pragma once
+
+// TIE-lite specifications used by the workload suite.
+//
+// Together these exercise every component category of the custom-hardware
+// library (paper §IV-B.1): multiplier, adder/comparator, logic, shifter,
+// custom register, TIE mult, TIE mac, TIE add, TIE csa, and table — a
+// requirement for characterization ("the test program suite also
+// incorporates custom instructions so as to cover all the custom hardware
+// library components").
+
+#include <cstdint>
+#include <string>
+
+namespace exten::workloads {
+
+/// `mac` / `rdmac` / `clrmac`: 24x24 multiply-accumulate into a 48-bit
+/// accumulator (TIE mac + custom register).
+std::string tie_mac_spec();
+
+/// `smul`: 16x16 -> 32 specialized multiply (TIE mult).
+std::string tie_smul_spec();
+
+/// `dotp2`: dual 16-bit products summed (generic multiplier + TIE add).
+std::string tie_dotp_spec();
+
+/// `csa3` / `csaflush`: carry-save accumulation of operand pairs
+/// (TIE csa + custom registers).
+std::string tie_csa_spec();
+
+/// `funnel` / `setsh`: 64-bit funnel shift with the shift amount in custom
+/// state (shifter + custom register).
+std::string tie_funnel_spec();
+
+/// `add4` / `sub4`: packed 4x8-bit SIMD add/subtract (adders + logic).
+std::string tie_add4_spec();
+
+/// `blend` / `setalpha`: 8-bit alpha blend of two pixels
+/// (multiplier + adder + logic + custom register).
+std::string tie_blend_spec();
+
+/// `sbox` / `sboxp`: byte substitution through a 256-entry table plus a
+/// permutation step (table + logic + shifter). The table is an AES-style
+/// S-box, standing in for DES S-box lookups.
+std::string tie_sbox_spec();
+
+/// `absdiff`: |rs1 - rs2| (adder/comparator + mux logic).
+std::string tie_absdiff_spec();
+
+/// `gfmul`: GF(2^8) multiply via log/antilog tables (tables + adder).
+std::string tie_gfmul_spec();
+
+/// `gfmac` / `rdgf` / `clrgf`: GF(2^8) multiply-accumulate into custom
+/// state (tables + adder + logic + custom register).
+std::string tie_gfmac_spec();
+
+/// `gfmac2` / `rdgf2` / `clrgf2`: two-way parallel GF(2^8) MAC operating on
+/// packed byte pairs (wider datapath variant for the Fig. 4 study).
+std::string tie_gfmac2_spec();
+
+/// An "everything" configuration combining the specs above into one
+/// processor (used by characterization programs that mix extensions).
+std::string tie_full_library_spec();
+
+/// GF(2^8) arithmetic helpers (generator polynomial 0x11d, the one used by
+/// RS(255,223)); exposed so tests and the Reed-Solomon reference
+/// implementation agree with the TIE tables.
+std::uint8_t gf_mul_reference(std::uint8_t a, std::uint8_t b);
+std::uint8_t gf_pow_alpha(unsigned exponent);
+
+/// The AES S-box value (reference for the sbox table).
+std::uint8_t aes_sbox(std::uint8_t index);
+
+}  // namespace exten::workloads

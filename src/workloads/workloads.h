@@ -1,0 +1,128 @@
+#pragma once
+
+// The workload suite: characterization test programs, the ten application
+// benchmarks of the paper's Table II, and the Reed-Solomon design-space
+// study of Fig. 4.
+//
+// Every workload is an XTC-32 assembly program (with embedded data) bundled
+// with the TIE-lite extension it targets. Kernels are exposed individually
+// (for functional tests) and as suites (for the experiment harnesses).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/test_program.h"
+
+namespace exten::workloads {
+
+// ---------------------------------------------------------------------------
+// Suites
+// ---------------------------------------------------------------------------
+
+/// The characterization suite: 25+ programs with diverse instruction
+/// statistics covering the base ISA classes, the dynamic non-idealities
+/// (cache misses, uncached fetches, interlocks), and every custom-hardware
+/// component category. `seed` controls embedded data generation.
+std::vector<model::TestProgram> characterization_suite(std::uint64_t seed = 7);
+
+/// The ten applications of Table II (disjoint from the test programs).
+std::vector<model::TestProgram> application_suite(std::uint64_t seed = 11);
+
+/// The four Reed-Solomon custom-instruction choices of Fig. 4, in the
+/// paper's order: base-only, +gfmul, +gfmac, +gfmac2.
+std::vector<model::TestProgram> reed_solomon_variants(std::uint64_t seed = 3);
+
+// ---------------------------------------------------------------------------
+// Individual applications (Table II)
+// ---------------------------------------------------------------------------
+
+/// Insertion sort of `n` random words (base ISA only).
+model::TestProgram make_ins_sort(unsigned n, std::uint64_t seed);
+
+/// Euclid's GCD over `pairs` random operand pairs (base ISA only).
+model::TestProgram make_gcd(unsigned pairs, std::uint64_t seed);
+
+/// Alpha blend of two `n`-pixel images using the `blend` extension.
+model::TestProgram make_alphablend(unsigned n, std::uint64_t seed);
+
+/// Packed 4x8-bit vector addition over `n` words using `add4`.
+model::TestProgram make_add4(unsigned n, std::uint64_t seed);
+
+/// Bubble sort of `n` random words (base ISA only).
+model::TestProgram make_bubsort(unsigned n, std::uint64_t seed);
+
+/// DES-style rounds: S-box substitution + permutation over `n` blocks
+/// using the `sbox`/`sboxp` extension.
+model::TestProgram make_des(unsigned n, std::uint64_t seed);
+
+/// Accumulate `n` words through the carry-save extension (`csa3`).
+model::TestProgram make_accumulate(unsigned n, std::uint64_t seed);
+
+/// Bresenham line rasterization of `lines` random lines using `absdiff`.
+model::TestProgram make_drawline(unsigned lines, std::uint64_t seed);
+
+/// Multiply-accumulate over `n` sample pairs using the `mac` extension.
+model::TestProgram make_multi_accumulate(unsigned n, std::uint64_t seed);
+
+/// Sequence of dependent multiplies over `n` values using `smul`.
+model::TestProgram make_seq_mult(unsigned n, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Reed-Solomon (Fig. 4)
+// ---------------------------------------------------------------------------
+
+/// Custom-instruction choice for the Reed-Solomon kernel.
+enum class RsConfig {
+  kBase,    ///< software GF(2^8) arithmetic, base ISA only
+  kGfMul,   ///< gfmul custom instruction
+  kGfMac,   ///< gfmac custom multiply-accumulate
+  kGfMac2,  ///< gfmac2 two-way packed multiply-accumulate
+};
+
+/// RS(n=15 data + 8 parity per block)-style encoder + syndrome computation
+/// over `blocks` random message blocks, with the chosen extension.
+model::TestProgram make_reed_solomon(RsConfig config, unsigned blocks,
+                                     std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Extra applications (the DSP/crypto workloads the paper's intro motivates)
+// ---------------------------------------------------------------------------
+
+/// 8-tap FIR filter over `n` 16-bit samples using the `mac` extension.
+model::TestProgram make_fir(unsigned n, std::uint64_t seed);
+
+/// Table-driven CRC-32 over `bytes` payload bytes using a `crcstep`
+/// custom instruction (rounded up to a whole word).
+model::TestProgram make_crc32(unsigned bytes, std::uint64_t seed);
+
+/// Motion-estimation sum-of-absolute-differences over 16x16 blocks using
+/// a packed `sad4` custom instruction.
+model::TestProgram make_sad(unsigned blocks, std::uint64_t seed);
+
+/// The three extra applications above, bundled.
+std::vector<model::TestProgram> extras_suite(std::uint64_t seed = 17);
+
+/// TIE specifications of the extra extensions (exposed for tests/examples).
+std::string tie_crc_spec();
+std::string tie_sad_spec();
+
+/// C++ reference implementations the extra kernels must agree with.
+std::uint32_t crc32_reference(std::span<const std::uint8_t> data);
+std::vector<std::int32_t> fir_reference(std::span<const std::int16_t> samples,
+                                        std::span<const std::int16_t> taps);
+std::uint32_t sad_reference(std::span<const std::uint8_t> a,
+                            std::span<const std::uint8_t> b);
+
+/// Reference implementations the kernels must agree with (used by tests).
+/// The LFSR taps G[0..7] in kernel order (G[i] = c_{7-i} of the monic
+/// generator polynomial with roots alpha^0..alpha^7).
+std::vector<std::uint8_t> rs_generator_poly();
+/// Parity bytes for one 15-byte message block.
+std::vector<std::uint8_t> rs_encode_reference(std::span<const std::uint8_t> msg);
+/// Syndromes S_0..S_7 of a 24-byte (padded) codeword.
+std::vector<std::uint8_t> rs_syndromes_reference(
+    std::span<const std::uint8_t> padded_cw);
+
+}  // namespace exten::workloads

@@ -1,0 +1,406 @@
+// Tests for the two-pass assembler and the disassembler: syntax, labels,
+// directives, pseudo-instructions, expression evaluation, custom
+// mnemonics, and round-trip properties.
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/disassembler.h"
+#include "isa/encoding.h"
+#include "util/error.h"
+
+namespace exten::isa {
+namespace {
+
+std::uint32_t first_word(const ProgramImage& image) {
+  const auto word = image.read_word(kTextBase);
+  EXPECT_TRUE(word.has_value());
+  return word.value_or(0);
+}
+
+DecodedInstr first_instr(const std::string& source) {
+  return decode(first_word(assemble(source)));
+}
+
+// --- register parsing ---------------------------------------------------------
+
+TEST(Registers, NumericAndAliases) {
+  EXPECT_EQ(parse_register("r0"), 0u);
+  EXPECT_EQ(parse_register("r63"), 63u);
+  EXPECT_EQ(parse_register("zero"), 0u);
+  EXPECT_EQ(parse_register("ra"), kLinkRegister);
+  EXPECT_EQ(parse_register("sp"), kStackRegister);
+  EXPECT_EQ(parse_register("a0"), 10u);
+  EXPECT_EQ(parse_register("a7"), 17u);
+  EXPECT_EQ(parse_register("t0"), 20u);
+  EXPECT_EQ(parse_register("t9"), 29u);
+  EXPECT_EQ(parse_register("s0"), 30u);
+  EXPECT_EQ(parse_register("s9"), 39u);
+  EXPECT_EQ(parse_register("  T3 "), 23u);  // trims and lower-cases
+}
+
+TEST(Registers, RejectsBadNames) {
+  EXPECT_THROW(parse_register("r64"), Error);
+  EXPECT_THROW(parse_register("x5"), Error);
+  EXPECT_THROW(parse_register("a8"), Error);
+  EXPECT_THROW(parse_register(""), Error);
+}
+
+// --- basic instructions ---------------------------------------------------------
+
+TEST(Assembler, RType) {
+  const DecodedInstr d = first_instr("add r3, r4, r5\n");
+  EXPECT_EQ(d.op, Opcode::kAdd);
+  EXPECT_EQ(d.rd, 3);
+  EXPECT_EQ(d.rs1, 4);
+  EXPECT_EQ(d.rs2, 5);
+}
+
+TEST(Assembler, ITypeWithHexImmediate) {
+  const DecodedInstr d = first_instr("addi t0, t1, 0x7f\n");
+  EXPECT_EQ(d.op, Opcode::kAddi);
+  EXPECT_EQ(d.imm, 0x7f);
+}
+
+TEST(Assembler, LoadStoreMemoryOperands) {
+  const DecodedInstr load = first_instr("lw a0, 8(sp)\n");
+  EXPECT_EQ(load.op, Opcode::kLw);
+  EXPECT_EQ(load.rd, 10);
+  EXPECT_EQ(load.rs1, kStackRegister);
+  EXPECT_EQ(load.imm, 8);
+
+  const DecodedInstr store = first_instr("sw a1, -4(sp)\n");
+  EXPECT_EQ(store.op, Opcode::kSw);
+  EXPECT_EQ(store.rs2, 11);  // value register
+  EXPECT_EQ(store.imm, -4);
+}
+
+TEST(Assembler, EmptyOffsetDefaultsToZero) {
+  const DecodedInstr d = first_instr("lw a0, (sp)\n");
+  EXPECT_EQ(d.imm, 0);
+}
+
+TEST(Assembler, BranchTargetsResolveToWordOffsets) {
+  const ProgramImage image = assemble(R"(
+start:
+  beq r1, r2, target
+  nop
+target:
+  halt
+)");
+  const DecodedInstr d = decode(first_word(image));
+  EXPECT_EQ(d.op, Opcode::kBeq);
+  EXPECT_EQ(d.imm, 1);  // skip one instruction
+}
+
+TEST(Assembler, BackwardBranch) {
+  const ProgramImage image = assemble(R"(
+loop:
+  addi r3, r3, -1
+  bnez r3, loop
+  halt
+)");
+  const auto word = image.read_word(kTextBase + 4);
+  const DecodedInstr d = decode(word.value());
+  EXPECT_EQ(d.op, Opcode::kBnez);
+  EXPECT_EQ(d.imm, -2);
+}
+
+TEST(Assembler, JumpAndLink) {
+  const ProgramImage image = assemble(R"(
+  jal func
+  halt
+func:
+  ret
+)");
+  const DecodedInstr d = decode(first_word(image));
+  EXPECT_EQ(d.op, Opcode::kJal);
+  EXPECT_EQ(d.imm, 1);
+  const DecodedInstr ret = decode(image.read_word(kTextBase + 8).value());
+  EXPECT_EQ(ret.op, Opcode::kJr);
+  EXPECT_EQ(ret.rs1, kLinkRegister);
+}
+
+// --- pseudo-instructions ---------------------------------------------------------
+
+TEST(Assembler, LiExpandsToLuiOri) {
+  const ProgramImage image = assemble("li t0, 0x12345678\n  halt\n");
+  const DecodedInstr lui = decode(first_word(image));
+  const DecodedInstr ori = decode(image.read_word(kTextBase + 4).value());
+  EXPECT_EQ(lui.op, Opcode::kLui);
+  EXPECT_EQ(ori.op, Opcode::kOri);
+  // lui loads the high 18 bits; ori the low 14.
+  const std::uint32_t rebuilt = static_cast<std::uint32_t>(lui.imm) |
+                                static_cast<std::uint32_t>(ori.imm);
+  EXPECT_EQ(rebuilt, 0x12345678u);
+}
+
+TEST(Assembler, LiHandlesNegativeAndSmallValues) {
+  const ProgramImage image = assemble("li t0, -1\n  li t1, 5\n  halt\n");
+  const DecodedInstr lui = decode(first_word(image));
+  const DecodedInstr ori = decode(image.read_word(kTextBase + 4).value());
+  const std::uint32_t value = static_cast<std::uint32_t>(lui.imm) |
+                              static_cast<std::uint32_t>(ori.imm);
+  EXPECT_EQ(value, 0xffffffffu);
+}
+
+TEST(Assembler, MvNotNegExpansions) {
+  EXPECT_EQ(first_instr("mv t0, t1\n").op, Opcode::kAddi);
+  const DecodedInstr n = first_instr("not t0, t1\n");
+  EXPECT_EQ(n.op, Opcode::kNor);
+  EXPECT_EQ(n.rs2, kZeroRegister);
+  const DecodedInstr neg = first_instr("neg t0, t1\n");
+  EXPECT_EQ(neg.op, Opcode::kSub);
+  EXPECT_EQ(neg.rs1, kZeroRegister);
+}
+
+TEST(Assembler, CallAndB) {
+  const ProgramImage image = assemble(R"(
+  b over
+  nop
+over:
+  call over
+  halt
+)");
+  EXPECT_EQ(decode(first_word(image)).op, Opcode::kJ);
+  const DecodedInstr call = decode(image.read_word(kTextBase + 8).value());
+  EXPECT_EQ(call.op, Opcode::kJal);
+  EXPECT_EQ(call.imm, -1);
+}
+
+// --- directives ------------------------------------------------------------------
+
+TEST(Assembler, DataSectionAndWordDirective) {
+  const ProgramImage image = assemble(R"(
+  halt
+.data
+values: .word 1, 2, 0x30
+)");
+  EXPECT_EQ(image.symbol("values").value(), kDataBase);
+  EXPECT_EQ(image.read_word(kDataBase).value(), 1u);
+  EXPECT_EQ(image.read_word(kDataBase + 8).value(), 0x30u);
+}
+
+TEST(Assembler, ByteHalfAndSpace) {
+  const ProgramImage image = assemble(R"(
+  halt
+.data
+b: .byte 1, 2, 3, 4
+h: .half 0x1234, 0x5678
+gap: .space 8
+end_marker: .word 0xdeadbeef
+)");
+  EXPECT_EQ(image.read_word(image.symbol("b").value()).value(), 0x04030201u);
+  EXPECT_EQ(image.read_word(image.symbol("h").value()).value(), 0x56781234u);
+  EXPECT_EQ(image.symbol("end_marker").value(),
+            image.symbol("gap").value() + 8);
+  EXPECT_EQ(image.read_word(image.symbol("end_marker").value()).value(),
+            0xdeadbeefu);
+}
+
+TEST(Assembler, AlignPadsToBoundary) {
+  const ProgramImage image = assemble(R"(
+  halt
+.data
+.byte 1
+.align 8
+aligned: .word 7
+)");
+  EXPECT_EQ(image.symbol("aligned").value() % 8, 0u);
+}
+
+TEST(Assembler, EquDefinesConstants) {
+  const DecodedInstr d = first_instr(".equ LEN, 40\naddi t0, t1, LEN\n");
+  EXPECT_EQ(d.imm, 40);
+}
+
+TEST(Assembler, OrgStartsNewSegment) {
+  const ProgramImage image = assemble(R"(
+  halt
+.org 0x80001000
+ucode:
+  nop
+)");
+  EXPECT_EQ(image.symbol("ucode").value(), 0x80001000u);
+  EXPECT_TRUE(image.read_word(0x80001000u).has_value());
+  ASSERT_EQ(image.segments().size(), 2u);
+}
+
+TEST(Assembler, EntryPointFollowsStart) {
+  const ProgramImage with = assemble("nop\n_start:\n  halt\n");
+  EXPECT_EQ(with.entry_point(), kTextBase + 4);
+  const ProgramImage without = assemble("halt\n");
+  EXPECT_EQ(without.entry_point(), kTextBase);
+}
+
+// --- expressions -----------------------------------------------------------------
+
+TEST(Assembler, AdditiveExpressions) {
+  const DecodedInstr d = first_instr(".equ A, 10\naddi t0, t1, A + 2 - 4\n");
+  EXPECT_EQ(d.imm, 8);
+}
+
+TEST(Assembler, HiLoOperators) {
+  const ProgramImage image = assemble(R"(
+.equ ADDR, 0x12345678
+  lui t0, %hi(ADDR)
+  ori t0, t0, %lo(ADDR)
+  halt
+)");
+  const DecodedInstr lui = decode(first_word(image));
+  const DecodedInstr ori = decode(image.read_word(kTextBase + 4).value());
+  EXPECT_EQ(static_cast<std::uint32_t>(lui.imm) |
+                static_cast<std::uint32_t>(ori.imm),
+            0x12345678u);
+}
+
+TEST(Assembler, SymbolPlusOffsetInDirective) {
+  const ProgramImage image = assemble(R"(
+  halt
+.data
+base: .space 16
+ptr: .word base + 12
+)");
+  EXPECT_EQ(image.read_word(image.symbol("ptr").value()).value(),
+            image.symbol("base").value() + 12);
+}
+
+// --- errors ----------------------------------------------------------------------
+
+TEST(AssemblerErrors, ReportLineNumbers) {
+  try {
+    assemble("nop\nbogus_op t0, t1\n");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus_op"), std::string::npos);
+  }
+}
+
+TEST(AssemblerErrors, UndefinedSymbol) {
+  EXPECT_THROW(assemble("j nowhere\n"), Error);
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  EXPECT_THROW(assemble("add t0, t1\n"), Error);
+  EXPECT_THROW(assemble("nop t0\n"), Error);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  EXPECT_THROW(assemble("x:\nnop\nx:\nnop\n"), Error);
+}
+
+TEST(AssemblerErrors, ImmediateOutOfRange) {
+  EXPECT_THROW(assemble("addi t0, t1, 9000\n"), Error);
+}
+
+TEST(AssemblerErrors, UnknownDirective) {
+  EXPECT_THROW(assemble(".bogus 1\n"), Error);
+}
+
+TEST(AssemblerErrors, MalformedMemoryOperand) {
+  EXPECT_THROW(assemble("lw t0, t1\n"), Error);
+}
+
+// --- custom mnemonics ---------------------------------------------------------
+
+TEST(Assembler, CustomMnemonicsBindPositionally) {
+  AssemblerOptions options;
+  options.custom_mnemonics["mac3"] = CustomMnemonic{5, true, true, true};
+  options.custom_mnemonics["sink"] = CustomMnemonic{6, false, true, false};
+  const ProgramImage image = assemble("mac3 t0, t1, t2\nsink a0\nhalt\n",
+                                      options);
+  const DecodedInstr full = decode(image.read_word(kTextBase).value());
+  EXPECT_EQ(full.op, Opcode::kCustom);
+  EXPECT_EQ(full.func, 5);
+  EXPECT_EQ(full.rd, 20);
+  EXPECT_EQ(full.rs1, 21);
+  EXPECT_EQ(full.rs2, 22);
+  const DecodedInstr one = decode(image.read_word(kTextBase + 4).value());
+  EXPECT_EQ(one.func, 6);
+  EXPECT_EQ(one.rd, 0);
+  EXPECT_EQ(one.rs1, 10);
+}
+
+TEST(Assembler, CustomMnemonicWrongArityThrows) {
+  AssemblerOptions options;
+  options.custom_mnemonics["sink"] = CustomMnemonic{6, false, true, false};
+  EXPECT_THROW(assemble("sink a0, a1\n", options), Error);
+}
+
+// --- comments / labels -----------------------------------------------------------
+
+TEST(Assembler, CommentsAndInlineLabels) {
+  const ProgramImage image = assemble(R"(
+# full line comment
+start:  nop          ; trailing comment
+more: final: halt
+)");
+  EXPECT_EQ(image.symbol("start").value(), kTextBase);
+  EXPECT_EQ(image.symbol("more").value(), kTextBase + 4);
+  EXPECT_EQ(image.symbol("final").value(), kTextBase + 4);
+}
+
+// --- disassembler ----------------------------------------------------------------
+
+TEST(Disassembler, RendersCommonForms) {
+  EXPECT_EQ(disassemble(make_rtype(Opcode::kAdd, 3, 4, 5)), "add r3, r4, r5");
+  EXPECT_EQ(disassemble(make_itype(Opcode::kLw, 10, 2, 8)), "lw r10, 8(r2)");
+  EXPECT_EQ(disassemble(make_store(Opcode::kSw, 11, 2, -4)),
+            "sw r11, -4(r2)");
+  EXPECT_EQ(disassemble(make_branch(Opcode::kBeq, 1, 2, 1)),
+            "beq r1, r2, pc+8");
+  EXPECT_EQ(disassemble(make_jump(Opcode::kJ, -1)), "j pc+0");
+  EXPECT_EQ(disassemble(DecodedInstr{.op = Opcode::kNop}), "nop");
+}
+
+TEST(Disassembler, CustomUsesRegisteredNames) {
+  DisassemblerOptions options;
+  options.custom_mnemonics[3] = "gfmul";
+  EXPECT_EQ(disassemble(make_custom(3, 1, 2, 3), options),
+            "gfmul r1, r2, r3");
+  EXPECT_EQ(disassemble(make_custom(9, 1, 2, 3), options),
+            "custom.9 r1, r2, r3");
+}
+
+/// Round trip: assemble a program, disassemble each word, re-assemble the
+/// mnemonic forms that are position independent, and compare encodings.
+TEST(Disassembler, ReassemblesPositionIndependentForms) {
+  const char* lines[] = {
+      "add r3, r4, r5", "sub r1, r2, r3",  "sll r9, r8, r7",
+      "addi r3, r4, -100", "ori r3, r4, 1234", "lw r10, 44(r2)",
+      "sw r11, -8(r2)", "lb r5, 0(r6)",     "nop",
+  };
+  for (const char* line : lines) {
+    const ProgramImage image = assemble(std::string(line) + "\n");
+    const std::uint32_t word = image.read_word(kTextBase).value();
+    const std::string text = disassemble_word(word);
+    const ProgramImage again = assemble(text + "\n");
+    EXPECT_EQ(again.read_word(kTextBase).value(), word) << line;
+  }
+}
+
+// --- ProgramImage ---------------------------------------------------------------
+
+TEST(ProgramImage, OverlappingSegmentsRejected) {
+  ProgramImage image;
+  image.add_segment(Segment{100, {1, 2, 3, 4}});
+  EXPECT_THROW(image.add_segment(Segment{102, {9}}), Error);
+  EXPECT_NO_THROW(image.add_segment(Segment{104, {9}}));
+}
+
+TEST(ProgramImage, SymbolRedefinitionRejected) {
+  ProgramImage image;
+  image.define_symbol("x", 4);
+  EXPECT_NO_THROW(image.define_symbol("x", 4));
+  EXPECT_THROW(image.define_symbol("x", 8), Error);
+}
+
+TEST(ProgramImage, ReadWordAcrossGapIsNullopt) {
+  ProgramImage image;
+  image.add_segment(Segment{100, {1, 2}});
+  EXPECT_FALSE(image.read_word(100).has_value());
+}
+
+}  // namespace
+}  // namespace exten::isa

@@ -1,0 +1,137 @@
+// Tests for the CLI helper layer shared by the xtc-* tools: flag parsing,
+// file IO, and program loading (assembly vs image, with and without TIE).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "isa/image_io.h"
+#include "tools/tool_common.h"
+#include "util/error.h"
+
+namespace exten::tools {
+namespace {
+
+/// Builds argv-style arguments from a list of strings.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    pointers_.push_back(const_cast<char*>("tool"));
+    for (std::string& arg : storage_) {
+      pointers_.push_back(arg.data());
+    }
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(Args, PositionalAndFlags) {
+  ArgvBuilder argv({"input.s", "--out", "a.img", "--list"});
+  const Args args(argv.argc(), argv.argv());
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.s");
+  EXPECT_TRUE(args.has("out"));
+  EXPECT_EQ(args.value("out").value(), "a.img");
+  EXPECT_TRUE(args.has("list"));
+  EXPECT_FALSE(args.value("list").has_value());  // bare flag has no value
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Args, FlagsConsumeOptionalValuesGreedily) {
+  // Flags take the next token as their value unless it is another flag —
+  // this is what lets --trace / --profile accept optional counts. The
+  // consequence: positionals must precede bare flags.
+  ArgvBuilder argv({"input.s", "--trace", "20"});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.value("trace").value(), "20");
+}
+
+TEST(Args, FlagFollowedByFlagTakesNoValue) {
+  ArgvBuilder argv({"--trace", "--profile", "7"});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_TRUE(args.has("trace"));
+  EXPECT_FALSE(args.value("trace").has_value());
+  EXPECT_EQ(args.value("profile").value(), "7");
+}
+
+class CliFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("exten_cli_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliFiles, ReadWriteRoundTrip) {
+  const std::string file = path("data.txt");
+  write_file(file, "hello\nworld\n");
+  EXPECT_EQ(read_file(file), "hello\nworld\n");
+}
+
+TEST_F(CliFiles, ReadMissingFileThrows) {
+  EXPECT_THROW(read_file(path("nope.txt")), Error);
+}
+
+TEST_F(CliFiles, LoadProgramFromAssembly) {
+  const std::string source = path("prog.s");
+  write_file(source, "_start:\n  nop\n  halt\n");
+  ArgvBuilder argv({source});
+  const Args args(argv.argc(), argv.argv());
+  const LoadedProgram loaded = load_program(source, args);
+  EXPECT_TRUE(loaded.tie->empty());
+  EXPECT_TRUE(loaded.image.read_word(isa::kTextBase).has_value());
+}
+
+TEST_F(CliFiles, LoadProgramFromImageByExtension) {
+  const isa::ProgramImage image = isa::assemble("li t0, 7\nhalt\n");
+  const std::string img_path = path("prog.img");
+  write_file(img_path, isa::image_to_string(image));
+  ArgvBuilder argv({img_path});
+  const Args args(argv.argc(), argv.argv());
+  const LoadedProgram loaded = load_program(img_path, args);
+  EXPECT_EQ(loaded.image.entry_point(), image.entry_point());
+  EXPECT_EQ(loaded.image.total_bytes(), image.total_bytes());
+}
+
+TEST_F(CliFiles, LoadProgramWithTieSpec) {
+  const std::string tie_path = path("ext.tie");
+  write_file(tie_path, R"(
+instruction dbl { reads rs1 writes rd use logic width=32
+  semantics { rd = rs1 << 1; } }
+)");
+  const std::string source = path("prog.s");
+  write_file(source, "  li t0, 21\n  dbl t1, t0\n  halt\n");
+  ArgvBuilder argv({source, "--tie", tie_path});
+  const Args args(argv.argc(), argv.argv());
+  const LoadedProgram loaded = load_program(source, args);
+  EXPECT_FALSE(loaded.tie->empty());
+  EXPECT_NE(loaded.tie->find("dbl"), nullptr);
+}
+
+TEST_F(CliFiles, LoadProgramRejectsBadTie) {
+  const std::string tie_path = path("bad.tie");
+  write_file(tie_path, "instruction { broken");
+  const std::string source = path("prog.s");
+  write_file(source, "halt\n");
+  ArgvBuilder argv({source, "--tie", tie_path});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_THROW(load_program(source, args), Error);
+}
+
+}  // namespace
+}  // namespace exten::tools

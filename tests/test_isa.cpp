@@ -1,0 +1,196 @@
+// Unit and property tests for the XTC-32 ISA definition and the binary
+// encoder / decoder.
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.h"
+#include "isa/isa.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace exten::isa {
+namespace {
+
+// --- Opcode table -----------------------------------------------------------
+
+TEST(Isa, OpcodeTableIsConsistent) {
+  for (unsigned i = 0; i < kOpcodeCount; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const OpcodeInfo& info = opcode_info(op);
+    EXPECT_EQ(info.opcode, op);
+    EXPECT_FALSE(info.mnemonic.empty());
+  }
+}
+
+TEST(Isa, MnemonicLookupRoundTrips) {
+  for (unsigned i = 0; i < kOpcodeCount; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const auto found = find_opcode(opcode_info(op).mnemonic);
+    ASSERT_TRUE(found.has_value()) << opcode_info(op).mnemonic;
+    EXPECT_EQ(*found, op);
+  }
+}
+
+TEST(Isa, UnknownMnemonicIsNullopt) {
+  EXPECT_FALSE(find_opcode("frobnicate").has_value());
+  EXPECT_FALSE(find_opcode("").has_value());
+  EXPECT_FALSE(find_opcode("ADD").has_value());  // lookup is lower-case
+}
+
+TEST(Isa, ClassPredicates) {
+  EXPECT_TRUE(is_branch(Opcode::kBeq));
+  EXPECT_FALSE(is_branch(Opcode::kJ));
+  EXPECT_TRUE(is_load(Opcode::kLbu));
+  EXPECT_FALSE(is_load(Opcode::kSw));
+}
+
+TEST(Isa, StoreReadsValueRegister) {
+  const OpcodeInfo& sw_info = opcode_info(Opcode::kSw);
+  EXPECT_TRUE(sw_info.reads_rs1);
+  EXPECT_TRUE(sw_info.reads_rs2);
+  EXPECT_FALSE(sw_info.writes_rd);
+}
+
+TEST(Isa, ClassCountsCoverSixMacroModelClasses) {
+  int arith = 0, load = 0, store = 0, jump = 0, branch = 0;
+  for (unsigned i = 0; i < kOpcodeCount; ++i) {
+    switch (opcode_info(static_cast<Opcode>(i)).cls) {
+      case InstrClass::Arithmetic: ++arith; break;
+      case InstrClass::Load: ++load; break;
+      case InstrClass::Store: ++store; break;
+      case InstrClass::Jump: ++jump; break;
+      case InstrClass::Branch: ++branch; break;
+      default: break;
+    }
+  }
+  EXPECT_GE(arith, 20);
+  EXPECT_EQ(load, 5);
+  EXPECT_EQ(store, 3);
+  EXPECT_EQ(jump, 4);
+  EXPECT_EQ(branch, 8);
+}
+
+// --- Encoding round trips ------------------------------------------------------
+
+/// Property: encode(decode_form) then decode must reproduce the decoded
+/// form exactly, for every opcode and many random field values.
+class EncodeRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EncodeRoundTrip, AllFieldValues) {
+  const auto op = static_cast<Opcode>(GetParam());
+  const OpcodeInfo& info = opcode_info(op);
+  Rng rng(GetParam() * 977 + 5);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    DecodedInstr d;
+    d.op = op;
+    switch (info.format) {
+      case Format::RType:
+        d = make_rtype(op, rng.next_below(64), rng.next_below(64),
+                       rng.next_below(64));
+        break;
+      case Format::IType: {
+        std::int32_t imm;
+        switch (op) {
+          case Opcode::kAndi:
+          case Opcode::kOri:
+          case Opcode::kXori:
+            imm = static_cast<std::int32_t>(rng.next_below(kImm14UMax + 1));
+            break;
+          case Opcode::kSlli:
+          case Opcode::kSrli:
+          case Opcode::kSrai:
+            imm = static_cast<std::int32_t>(rng.next_below(32));
+            break;
+          default:
+            imm = static_cast<std::int32_t>(rng.next_in(kImm14Min, kImm14Max));
+            break;
+        }
+        if (info.cls == InstrClass::Store) {
+          d = make_store(op, rng.next_below(64), rng.next_below(64), imm);
+        } else {
+          d = make_itype(op, rng.next_below(64), rng.next_below(64), imm);
+        }
+        break;
+      }
+      case Format::UType:
+        d = make_utype(op, rng.next_below(64),
+                       static_cast<std::int32_t>(rng.next_below(kImm18UMax + 1)
+                                                 << 14));
+        break;
+      case Format::BranchType:
+        d = make_branch(op, rng.next_below(64), rng.next_below(64),
+                        static_cast<std::int32_t>(
+                            rng.next_in(kImm14Min, kImm14Max)));
+        if (op == Opcode::kBeqz || op == Opcode::kBnez) d.rs2 = 0;
+        break;
+      case Format::JType:
+        d = make_jump(op, static_cast<std::int32_t>(
+                              rng.next_in(kImm26Min, kImm26Max)));
+        break;
+      case Format::CustomType:
+        d = make_custom(rng.next_below(256), rng.next_below(64),
+                        rng.next_below(64), rng.next_below(64));
+        break;
+      case Format::None:
+        break;
+    }
+    const std::uint32_t word = encode(d);
+    const DecodedInstr back = decode(word);
+    EXPECT_EQ(back, d) << info.mnemonic << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodeRoundTrip,
+                         ::testing::Range(0u, kOpcodeCount));
+
+// --- Field range validation ----------------------------------------------------
+
+TEST(Encode, RejectsRegisterOutOfRange) {
+  EXPECT_THROW(encode(make_rtype(Opcode::kAdd, 64, 0, 0)), Error);
+  EXPECT_THROW(encode(make_rtype(Opcode::kAdd, 0, 99, 0)), Error);
+}
+
+TEST(Encode, RejectsImmediateOutOfRange) {
+  EXPECT_THROW(encode(make_itype(Opcode::kAddi, 1, 2, kImm14Max + 1)), Error);
+  EXPECT_THROW(encode(make_itype(Opcode::kAddi, 1, 2, kImm14Min - 1)), Error);
+  EXPECT_THROW(encode(make_itype(Opcode::kOri, 1, 2, -1)), Error);
+  EXPECT_THROW(encode(make_itype(Opcode::kOri, 1, 2, kImm14UMax + 1)), Error);
+}
+
+TEST(Encode, RejectsBranchOffsetOutOfRange) {
+  EXPECT_THROW(encode(make_branch(Opcode::kBeq, 1, 2, kImm14Max + 1)), Error);
+  EXPECT_THROW(encode(make_jump(Opcode::kJ, kImm26Max + 1)), Error);
+}
+
+TEST(Encode, LuiRequiresClearedLowBits) {
+  EXPECT_NO_THROW(encode(make_utype(Opcode::kLui, 3, 0x4000)));
+  EXPECT_THROW(encode(make_utype(Opcode::kLui, 3, 0x4001)), Error);
+}
+
+TEST(Decode, UndefinedPrimaryOpcodeThrows) {
+  const std::uint32_t bad = 0xffffffffu;  // primary 63, undefined
+  EXPECT_THROW(decode(bad), Error);
+}
+
+TEST(Decode, SignExtendsNegativeImmediates) {
+  const DecodedInstr d = decode(encode(make_itype(Opcode::kAddi, 1, 2, -5)));
+  EXPECT_EQ(d.imm, -5);
+}
+
+TEST(Decode, ZeroExtendsLogicalImmediates) {
+  const DecodedInstr d =
+      decode(encode(make_itype(Opcode::kOri, 1, 2, 0x3fff)));
+  EXPECT_EQ(d.imm, 0x3fff);
+}
+
+TEST(Decode, StoreFieldsMapToValueAndBase) {
+  const DecodedInstr d =
+      decode(encode(make_store(Opcode::kSw, /*value=*/7, /*base=*/9, 12)));
+  EXPECT_EQ(d.rs2, 7);
+  EXPECT_EQ(d.rs1, 9);
+  EXPECT_EQ(d.imm, 12);
+}
+
+}  // namespace
+}  // namespace exten::isa

@@ -1,0 +1,330 @@
+// Unit and property tests for the linalg module: matrix/vector algebra,
+// Householder QR, least squares (OLS / ridge / nonnegative), and the
+// paper's pseudo-inverse formulation (Eq. (5)).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/least_squares.h"
+#include "linalg/matrix.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace exten::linalg {
+namespace {
+
+Matrix random_matrix(Rng& rng, std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = rng.next_double() * 10.0 - 5.0;
+    }
+  }
+  return m;
+}
+
+Vector random_vector(Rng& rng, std::size_t n) {
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.next_double() * 10.0 - 5.0;
+  return v;
+}
+
+// --- Vector ------------------------------------------------------------------
+
+TEST(Vector, DotAndNorm) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  Vector b{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 11.0);
+}
+
+TEST(Vector, DotSizeMismatchThrows) {
+  Vector a{1.0};
+  Vector b{1.0, 2.0};
+  EXPECT_THROW(a.dot(b), Error);
+}
+
+TEST(Vector, Arithmetic) {
+  Vector a{1.0, 2.0};
+  Vector b{10.0, 20.0};
+  const Vector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 11.0);
+  const Vector diff = b - a;
+  EXPECT_DOUBLE_EQ(diff[1], 18.0);
+  const Vector scaled = a * 3.0;
+  EXPECT_DOUBLE_EQ(scaled[1], 6.0);
+}
+
+// --- Matrix ------------------------------------------------------------------
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), Error);
+}
+
+TEST(Matrix, IdentityMultiplicationIsNoop) {
+  Rng rng(3);
+  const Matrix m = random_matrix(rng, 4, 4);
+  const Matrix mi = m * Matrix::identity(4);
+  EXPECT_LT(Matrix::max_abs_diff(m, mi), 1e-12);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(4);
+  const Matrix m = random_matrix(rng, 3, 5);
+  const Matrix mtt = m.transpose().transpose();
+  EXPECT_LT(Matrix::max_abs_diff(m, mtt), 1e-15);
+}
+
+TEST(Matrix, MatVecAgreesWithMatMul) {
+  Rng rng(5);
+  const Matrix m = random_matrix(rng, 4, 3);
+  const Vector v = random_vector(rng, 3);
+  const Vector direct = m * v;
+  // Via a 3x1 matrix.
+  Matrix col(3, 1);
+  for (std::size_t i = 0; i < 3; ++i) col(i, 0) = v[i];
+  const Matrix product = m * col;
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(direct[i], product(i, 0), 1e-12);
+  }
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, Error);
+  EXPECT_THROW(a * Vector(2), Error);
+}
+
+TEST(Matrix, RowColRoundTrip) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Vector r = m.row(1);
+  EXPECT_DOUBLE_EQ(r[2], 6.0);
+  const Vector c = m.col(2);
+  EXPECT_DOUBLE_EQ(c[0], 3.0);
+  m.set_row(0, Vector{7.0, 8.0, 9.0});
+  EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+}
+
+// --- solve_linear -----------------------------------------------------------
+
+TEST(SolveLinear, RecoversKnownSolution) {
+  const Matrix m{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector b{5.0, 10.0};
+  const Vector x = solve_linear(m, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, NeedsPivoting) {
+  // Zero on the initial pivot position forces a row swap.
+  const Matrix m{{0.0, 1.0}, {1.0, 0.0}};
+  const Vector b{2.0, 3.0};
+  const Vector x = solve_linear(m, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularThrows) {
+  const Matrix m{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(solve_linear(m, Vector{1.0, 2.0}), Error);
+}
+
+class SolveLinearRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveLinearRandom, ResidualIsTiny) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 3 + rng.next_below(8);
+  Matrix m = random_matrix(rng, n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) += 8.0;  // well conditioned
+  const Vector b = random_vector(rng, n);
+  const Vector x = solve_linear(m, b);
+  const Vector residual = b - m * x;
+  EXPECT_LT(residual.norm(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolveLinearRandom, ::testing::Range(0, 12));
+
+// --- QR ---------------------------------------------------------------------
+
+TEST(Qr, ExactSolutionOnSquareSystem) {
+  const Matrix a{{4.0, 1.0}, {2.0, 3.0}};
+  QrDecomposition qr(a);
+  EXPECT_TRUE(qr.full_rank());
+  const Vector x = qr.solve(Vector{9.0, 13.0});
+  EXPECT_NEAR(x[0], 1.4, 1e-12);
+  EXPECT_NEAR(x[1], 3.4, 1e-12);
+}
+
+TEST(Qr, UnderdeterminedRejected) {
+  EXPECT_THROW(QrDecomposition(Matrix(2, 3)), Error);
+}
+
+TEST(Qr, RankDeficientDetected) {
+  Matrix a(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    a(r, 0) = static_cast<double>(r + 1);
+    a(r, 1) = 2.0 * static_cast<double>(r + 1);  // column 1 = 2 * column 0
+  }
+  QrDecomposition qr(a);
+  EXPECT_FALSE(qr.full_rank());
+  EXPECT_THROW(qr.solve(Vector(4)), Error);
+}
+
+class QrRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(QrRecovery, RecoversPlantedCoefficients) {
+  // Property: for consistent overdetermined systems (b exactly = A c),
+  // least squares must recover c.
+  Rng rng(static_cast<std::uint64_t>(100 + GetParam()));
+  const std::size_t rows = 12 + rng.next_below(20);
+  const std::size_t cols = 2 + rng.next_below(6);
+  const Matrix a = random_matrix(rng, rows, cols);
+  const Vector truth = random_vector(rng, cols);
+  const Vector b = a * truth;
+  QrDecomposition qr(a);
+  const Vector x = qr.solve(b);
+  for (std::size_t i = 0; i < cols; ++i) {
+    EXPECT_NEAR(x[i], truth[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QrRecovery, ::testing::Range(0, 16));
+
+TEST(Qr, ConditionEstimateOrdersSystems) {
+  const Matrix good{{1.0, 0.0}, {0.0, 1.0}};
+  Matrix bad{{1.0, 0.0}, {0.0, 1e-6}};
+  EXPECT_LT(QrDecomposition(good).condition_estimate(),
+            QrDecomposition(bad).condition_estimate());
+}
+
+// --- solve_least_squares -------------------------------------------------------
+
+TEST(LeastSquares, MinimizesResidualNotInterpolates) {
+  // Fit y = c0 * x to three points that no line fits exactly.
+  Matrix a(3, 1);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;
+  a(2, 0) = 3.0;
+  const Vector b{1.1, 1.9, 3.2};
+  const LeastSquaresFit fit = solve_least_squares(a, b);
+  // Closed form: c = sum(x y) / sum(x^2) = (1.1 + 3.8 + 9.6) / 14.
+  EXPECT_NEAR(fit.coefficients[0], 14.5 / 14.0, 1e-12);
+  EXPECT_GT(fit.r_squared, 0.9);
+  EXPECT_EQ(fit.residuals.size(), 3u);
+}
+
+TEST(LeastSquares, PerfectFitHasUnitR2) {
+  Rng rng(42);
+  const Matrix a = random_matrix(rng, 10, 3);
+  const Vector truth{1.0, -2.0, 0.5};
+  const LeastSquaresFit fit = solve_least_squares(a, a * truth);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+}
+
+TEST(LeastSquares, ResidualOrthogonalToColumns) {
+  // The defining property of an OLS solution: A^T r = 0.
+  Rng rng(77);
+  const Matrix a = random_matrix(rng, 15, 4);
+  const Vector b = random_vector(rng, 15);
+  const LeastSquaresFit fit = solve_least_squares(a, b);
+  const Vector atr = a.transpose() * fit.residuals;
+  EXPECT_LT(atr.norm(), 1e-8);
+}
+
+TEST(LeastSquares, RidgeShrinksCoefficients) {
+  Rng rng(13);
+  const Matrix a = random_matrix(rng, 20, 4);
+  const Vector b = random_vector(rng, 20);
+  const LeastSquaresFit ols = solve_least_squares(a, b);
+  LeastSquaresOptions opts;
+  opts.ridge_lambda = 100.0;
+  const LeastSquaresFit ridge = solve_least_squares(a, b, opts);
+  double ols_norm = 0, ridge_norm = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ols_norm += ols.coefficients[i] * ols.coefficients[i];
+    ridge_norm += ridge.coefficients[i] * ridge.coefficients[i];
+  }
+  EXPECT_LT(ridge_norm, ols_norm);
+}
+
+TEST(LeastSquares, RidgeHandlesRankDeficiency) {
+  // Duplicate columns: OLS would be rank-deficient, ridge regularizes.
+  Matrix a(6, 2);
+  for (std::size_t r = 0; r < 6; ++r) {
+    a(r, 0) = static_cast<double>(r);
+    a(r, 1) = static_cast<double>(r);
+  }
+  Vector b(6);
+  for (std::size_t r = 0; r < 6; ++r) b[r] = 2.0 * static_cast<double>(r);
+  EXPECT_THROW(solve_least_squares(a, b), Error);
+  LeastSquaresOptions opts;
+  opts.ridge_lambda = 1e-6;
+  const LeastSquaresFit fit = solve_least_squares(a, b, opts);
+  // Symmetric split: each column gets ~1.0.
+  EXPECT_NEAR(fit.coefficients[0], 1.0, 1e-3);
+  EXPECT_NEAR(fit.coefficients[1], 1.0, 1e-3);
+}
+
+TEST(LeastSquares, NonnegativeClampsAndRefits) {
+  // Planted model with a negative coefficient: the nonnegative fit must
+  // pin it to zero and keep the others close.
+  Rng rng(21);
+  Matrix a = random_matrix(rng, 40, 3);
+  for (std::size_t r = 0; r < 40; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = std::fabs(a(r, c));
+  }
+  const Vector truth{2.0, -1.5, 3.0};
+  const Vector b = a * truth;
+  LeastSquaresOptions opts;
+  opts.nonnegative = true;
+  const LeastSquaresFit fit = solve_least_squares(a, b, opts);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(fit.coefficients[i], 0.0);
+  }
+  EXPECT_EQ(fit.coefficients[1], 0.0);
+}
+
+TEST(LeastSquares, UnderdeterminedWithoutRidgeThrows) {
+  EXPECT_THROW(solve_least_squares(Matrix(2, 5), Vector(2)), Error);
+}
+
+TEST(LeastSquares, RhsSizeMismatchThrows) {
+  EXPECT_THROW(solve_least_squares(Matrix(4, 2), Vector(3)), Error);
+}
+
+// --- pseudo_inverse_solve (the paper's Eq. (5)) -----------------------------
+
+class PseudoInverseAgreesWithQr : public ::testing::TestWithParam<int> {};
+
+TEST_P(PseudoInverseAgreesWithQr, OnWellConditionedSystems) {
+  Rng rng(static_cast<std::uint64_t>(500 + GetParam()));
+  const std::size_t rows = 15 + rng.next_below(15);
+  const std::size_t cols = 2 + rng.next_below(5);
+  const Matrix a = random_matrix(rng, rows, cols);
+  const Vector b = random_vector(rng, rows);
+  const Vector via_normal = pseudo_inverse_solve(a, b);
+  const Vector via_qr = solve_least_squares(a, b).coefficients;
+  for (std::size_t i = 0; i < cols; ++i) {
+    EXPECT_NEAR(via_normal[i], via_qr[i], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PseudoInverseAgreesWithQr,
+                         ::testing::Range(0, 10));
+
+TEST(PseudoInverse, UnderdeterminedThrows) {
+  EXPECT_THROW(pseudo_inverse_solve(Matrix(2, 4), Vector(2)), Error);
+}
+
+}  // namespace
+}  // namespace exten::linalg

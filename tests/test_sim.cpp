@@ -1,0 +1,554 @@
+// Tests for the simulator: sparse memory, set-associative caches, the
+// functional semantics of every base instruction, and the cycle model
+// (interlocks, branch penalties, cache-miss and uncached costs).
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/cache.h"
+#include "sim/cpu.h"
+#include "sim/memory.h"
+#include "sim/stats.h"
+#include "util/error.h"
+
+namespace exten::sim {
+namespace {
+
+const tie::TieConfiguration& empty_tie() {
+  static const tie::TieConfiguration config;
+  return config;
+}
+
+/// Assembles and runs a program on a default processor; returns the Cpu for
+/// post-mortem inspection.
+struct RanProgram {
+  std::unique_ptr<Cpu> cpu;
+  RunResult result;
+  ExecutionStats stats;
+};
+
+RanProgram run_asm(const std::string& source,
+                   const ProcessorConfig& config = {}) {
+  RanProgram ran;
+  ran.cpu = std::make_unique<Cpu>(config, empty_tie());
+  ran.cpu->load_program(isa::assemble(source));
+  StatsCollector collector;
+  ran.cpu->add_observer(&collector);
+  ran.result = ran.cpu->run(2'000'000);
+  ran.stats = collector.stats();
+  return ran;
+}
+
+// --- Memory ------------------------------------------------------------------
+
+TEST(Memory, UntouchedReadsZero) {
+  Memory m;
+  EXPECT_EQ(m.read32(0x1234'0000), 0u);
+  EXPECT_EQ(m.read8(0xffff'ffff), 0u);
+  EXPECT_EQ(m.resident_pages(), 0u);
+}
+
+TEST(Memory, ByteHalfWordRoundTrip) {
+  Memory m;
+  m.write32(0x1000, 0xdeadbeef);
+  EXPECT_EQ(m.read32(0x1000), 0xdeadbeefu);
+  EXPECT_EQ(m.read8(0x1000), 0xefu);       // little endian
+  EXPECT_EQ(m.read8(0x1003), 0xdeu);
+  EXPECT_EQ(m.read16(0x1002), 0xdeadu);
+  m.write8(0x1001, 0x00);
+  EXPECT_EQ(m.read32(0x1000), 0xdead00efu);
+  m.write16(0x2000, 0x1234);
+  EXPECT_EQ(m.read16(0x2000), 0x1234u);
+}
+
+TEST(Memory, AlignmentFaults) {
+  Memory m;
+  EXPECT_THROW(m.read32(0x1001), Error);
+  EXPECT_THROW(m.read16(0x1001), Error);
+  EXPECT_THROW(m.write32(0x1002, 0), Error);
+  EXPECT_THROW(m.write16(0x1003, 0), Error);
+}
+
+TEST(Memory, CrossPageBytes) {
+  Memory m;
+  // Bytes straddling a page boundary via byte writes.
+  m.write8(Memory::kPageBytes - 1, 0xaa);
+  m.write8(Memory::kPageBytes, 0xbb);
+  EXPECT_EQ(m.read8(Memory::kPageBytes - 1), 0xaau);
+  EXPECT_EQ(m.read8(Memory::kPageBytes), 0xbbu);
+  EXPECT_EQ(m.resident_pages(), 2u);
+}
+
+TEST(Memory, LoadsProgramImage) {
+  isa::ProgramImage image;
+  image.add_segment(isa::Segment{0x3000, {1, 2, 3, 4}});
+  Memory m;
+  m.load(image);
+  EXPECT_EQ(m.read32(0x3000), 0x04030201u);
+}
+
+// --- Cache ---------------------------------------------------------------------
+
+TEST(Cache, GeometryValidation) {
+  EXPECT_THROW(Cache(CacheConfig{1000, 32, 4}), Error);   // not divisible
+  EXPECT_THROW(Cache(CacheConfig{16384, 3, 4}), Error);   // line not pow2
+  EXPECT_NO_THROW(Cache(CacheConfig{16384, 32, 4}));
+  EXPECT_EQ(CacheConfig{}.num_sets(), 128u);
+}
+
+TEST(Cache, HitAfterMiss) {
+  Cache c(CacheConfig{1024, 32, 2});
+  EXPECT_EQ(c.access(0x100), CacheOutcome::kMiss);
+  EXPECT_EQ(c.access(0x100), CacheOutcome::kHit);
+  EXPECT_EQ(c.access(0x104), CacheOutcome::kHit);  // same line
+  EXPECT_EQ(c.access(0x120), CacheOutcome::kMiss); // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEviction) {
+  // 2-way, 16 sets of 32B lines: addresses 0x0, 0x200, 0x400 map to set 0.
+  Cache c(CacheConfig{1024, 32, 2});
+  c.access(0x000);
+  c.access(0x200);
+  c.access(0x000);            // refresh way holding 0x000
+  c.access(0x400);            // evicts LRU = 0x200
+  EXPECT_EQ(c.access(0x000), CacheOutcome::kHit);
+  EXPECT_EQ(c.access(0x200), CacheOutcome::kMiss);
+}
+
+TEST(Cache, ProbeDoesNotAllocate) {
+  Cache c(CacheConfig{1024, 32, 2});
+  EXPECT_EQ(c.probe(0x100), CacheOutcome::kMiss);
+  EXPECT_EQ(c.probe(0x100), CacheOutcome::kMiss);  // still not resident
+  c.access(0x100);
+  EXPECT_EQ(c.probe(0x100), CacheOutcome::kHit);
+}
+
+TEST(Cache, FlushInvalidates) {
+  Cache c(CacheConfig{1024, 32, 2});
+  c.access(0x40);
+  c.flush();
+  EXPECT_EQ(c.access(0x40), CacheOutcome::kMiss);
+}
+
+class CacheSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(CacheSweep, SequentialFillThenFullHits) {
+  // Property: a working set equal to the cache size, touched sequentially,
+  // misses exactly size/line times and then hits on every revisit.
+  const auto [size, ways] = GetParam();
+  Cache c(CacheConfig{size, 32, ways});
+  const std::uint32_t lines = size / 32;
+  for (std::uint32_t i = 0; i < lines; ++i) c.access(i * 32);
+  EXPECT_EQ(c.misses(), lines);
+  for (std::uint32_t i = 0; i < lines; ++i) {
+    EXPECT_EQ(c.access(i * 32), CacheOutcome::kHit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    ::testing::Combine(::testing::Values(1024u, 4096u, 16384u),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+// --- Functional semantics ---------------------------------------------------------
+
+struct AluCase {
+  const char* op;
+  std::uint32_t a;
+  std::uint32_t b;
+  std::uint32_t expected;
+};
+
+class AluSemantics : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluSemantics, RTypeResult) {
+  const AluCase& c = GetParam();
+  std::string source = "li t0, " + std::to_string(c.a) + "\nli t1, " +
+                       std::to_string(c.b) + "\n" + c.op +
+                       " t2, t0, t1\nhalt\n";
+  auto ran = run_asm(source);
+  EXPECT_EQ(ran.cpu->reg(22), c.expected) << c.op;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, AluSemantics,
+    ::testing::Values(
+        AluCase{"add", 7, 5, 12}, AluCase{"add", 0xffffffffu, 1, 0},
+        AluCase{"sub", 5, 7, 0xfffffffeu}, AluCase{"and", 0xff, 0x0f, 0x0f},
+        AluCase{"or", 0xf0, 0x0f, 0xff}, AluCase{"xor", 0xff, 0xf0, 0x0f},
+        AluCase{"nor", 0, 0, 0xffffffffu},
+        AluCase{"andn", 0xff, 0x0f, 0xf0},
+        AluCase{"sll", 1, 31, 0x80000000u}, AluCase{"sll", 1, 32, 1},
+        AluCase{"srl", 0x80000000u, 31, 1},
+        AluCase{"sra", 0x80000000u, 31, 0xffffffffu},
+        AluCase{"slt", 0xffffffffu, 0, 1},  // signed: -1 < 0
+        AluCase{"sltu", 0xffffffffu, 0, 0},
+        AluCase{"mul", 100000, 100000, 0x540be400u},
+        AluCase{"mulh", 0xffffffffu, 0xffffffffu, 0},  // (-1)*(-1) = 1
+        AluCase{"min", 0xffffffffu, 1, 0xffffffffu},
+        AluCase{"max", 0xffffffffu, 1, 1},
+        AluCase{"minu", 0xffffffffu, 1, 1},
+        AluCase{"maxu", 0xffffffffu, 1, 0xffffffffu}));
+
+TEST(CpuSemantics, ImmediatesAndLui) {
+  auto ran = run_asm(R"(
+  addi t0, zero, -7
+  lui  t1, 0x8000
+  ori  t1, t1, 0x21
+  slti t2, t0, 0
+  sltiu t3, t0, 1
+  xori t4, t0, 0xff
+  halt
+)");
+  EXPECT_EQ(ran.cpu->reg(20), 0xfffffff9u);
+  EXPECT_EQ(ran.cpu->reg(21), 0x8021u);
+  EXPECT_EQ(ran.cpu->reg(22), 1u);
+  EXPECT_EQ(ran.cpu->reg(23), 0u);  // 0xfffffff9 not < 1 unsigned
+  EXPECT_EQ(ran.cpu->reg(24), 0xffffff06u);
+}
+
+TEST(CpuSemantics, ZeroRegisterIsImmutable) {
+  auto ran = run_asm("addi r0, r0, 5\nadd t0, r0, r0\nhalt\n");
+  EXPECT_EQ(ran.cpu->reg(0), 0u);
+  EXPECT_EQ(ran.cpu->reg(20), 0u);
+}
+
+TEST(CpuSemantics, LoadStoreWidthsAndSignExtension) {
+  auto ran = run_asm(R"(
+  li   t0, buf
+  li   t1, 0x800081ff
+  sw   t1, 0(t0)
+  lb   t2, 0(t0)        # 0xff sign-extended
+  lbu  t3, 0(t0)
+  lh   t4, 0(t0)        # 0x81ff sign-extended
+  lhu  t5, 0(t0)
+  lw   t6, 0(t0)
+  sh   t1, 4(t0)
+  lhu  t7, 4(t0)
+  sb   t1, 6(t0)
+  lbu  t8, 6(t0)
+  halt
+.data
+buf: .space 16
+)");
+  EXPECT_EQ(ran.cpu->reg(22), 0xffffffffu);
+  EXPECT_EQ(ran.cpu->reg(23), 0xffu);
+  EXPECT_EQ(ran.cpu->reg(24), 0xffff81ffu);
+  EXPECT_EQ(ran.cpu->reg(25), 0x81ffu);
+  EXPECT_EQ(ran.cpu->reg(26), 0x800081ffu);
+  EXPECT_EQ(ran.cpu->reg(27), 0x81ffu);
+  EXPECT_EQ(ran.cpu->reg(28), 0xffu);
+}
+
+TEST(CpuSemantics, BranchDirections) {
+  auto ran = run_asm(R"(
+  li   t0, 5
+  li   t1, -3
+  li   t9, 0
+  blt  t1, t0, sgn_ok     # signed: -3 < 5
+  halt
+sgn_ok:
+  addi t9, t9, 1
+  bltu t0, t1, uns_ok     # unsigned: 5 < 0xfffffffd
+  halt
+uns_ok:
+  addi t9, t9, 1
+  beq  t0, t0, eq_ok
+  halt
+eq_ok:
+  addi t9, t9, 1
+  bne  t0, t0, bad
+  bge  t0, t1, ge_ok
+  halt
+ge_ok:
+  addi t9, t9, 1
+  beqz zero, z_ok
+  halt
+z_ok:
+  addi t9, t9, 1
+  bnez t0, nz_ok
+  halt
+nz_ok:
+  addi t9, t9, 1
+bad:
+  halt
+)");
+  EXPECT_EQ(ran.cpu->reg(29), 6u);
+}
+
+TEST(CpuSemantics, CallChainLinksAndReturns) {
+  auto ran = run_asm(R"(
+  li   t0, 0
+  call f1
+  addi t0, t0, 100
+  halt
+f1:
+  addi t0, t0, 1
+  mv   s0, ra
+  call f2
+  mv   ra, s0
+  ret
+f2:
+  addi t0, t0, 10
+  jr   ra
+)");
+  EXPECT_EQ(ran.cpu->reg(20), 111u);
+  EXPECT_TRUE(ran.result.halted);
+}
+
+TEST(CpuSemantics, JalrIndirectCall) {
+  auto ran = run_asm(R"(
+  li   t1, target
+  jalr t1
+  halt
+target:
+  addi t0, t0, 9
+  ret
+)");
+  EXPECT_EQ(ran.cpu->reg(20), 9u);
+}
+
+TEST(Cpu, IllegalInstructionFaults) {
+  Cpu cpu({}, empty_tie());
+  isa::ProgramImage image;
+  image.add_segment(isa::Segment{isa::kTextBase, {0xff, 0xff, 0xff, 0xff}});
+  image.set_entry_point(isa::kTextBase);
+  cpu.load_program(image);
+  EXPECT_THROW(cpu.run(), Error);
+}
+
+TEST(Cpu, RunawayBudgetFaults) {
+  Cpu cpu({}, empty_tie());
+  cpu.load_program(isa::assemble("loop: j loop\n"));
+  EXPECT_THROW(cpu.run(100), Error);
+}
+
+TEST(Cpu, StackPointerInitialized) {
+  Cpu cpu({}, empty_tie());
+  cpu.load_program(isa::assemble("halt\n"));
+  EXPECT_EQ(cpu.reg(isa::kStackRegister), isa::kStackTop);
+}
+
+// --- Cycle model ----------------------------------------------------------------
+
+TEST(CycleModel, StraightLineCpiIsOne) {
+  // After the initial I-cache miss, sequential arithmetic runs at CPI 1.
+  auto ran = run_asm(R"(
+  add t0, t1, t2
+  add t0, t1, t2
+  add t0, t1, t2
+  add t0, t1, t2
+  add t0, t1, t2
+  add t0, t1, t2
+  halt
+)");
+  const ProcessorConfig config;
+  // 7 instructions + one icache miss penalty (all fit one line).
+  EXPECT_EQ(ran.result.cycles, 7 + config.icache_miss_penalty);
+  EXPECT_EQ(ran.stats.icache_misses, 1u);
+}
+
+TEST(CycleModel, LoadUseInterlockCostsOneCycle) {
+  ProcessorConfig config;
+  auto dependent = run_asm(R"(
+  li  t1, buf
+  lw  t0, 0(t1)
+  add t2, t0, t0     # immediate use: interlock
+  halt
+.data
+buf: .word 1
+)",
+                           config);
+  auto spaced = run_asm(R"(
+  li  t1, buf
+  lw  t0, 0(t1)
+  nop
+  add t2, t0, t0     # one instruction of slack: no interlock
+  halt
+.data
+buf: .word 1
+)",
+                        config);
+  EXPECT_EQ(dependent.stats.interlock_events, 1u);
+  EXPECT_EQ(spaced.stats.interlock_events, 0u);
+  // The nop costs 1 cycle but removes the 1-cycle interlock: equal cycles.
+  EXPECT_EQ(dependent.result.cycles, spaced.result.cycles);
+}
+
+TEST(CycleModel, StoreValueInterlocks) {
+  auto ran = run_asm(R"(
+  li  t1, buf
+  lw  t0, 0(t1)
+  sw  t0, 4(t1)      # store value depends on the load
+  halt
+.data
+buf: .word 42
+)");
+  EXPECT_EQ(ran.stats.interlock_events, 1u);
+  const std::uint32_t buf = isa::kDataBase;
+  EXPECT_EQ(ran.cpu->memory().read32(buf + 4), 42u);
+}
+
+TEST(CycleModel, TakenBranchPenalty) {
+  ProcessorConfig config;
+  auto taken = run_asm(R"(
+  li   t0, 1
+  bnez t0, over
+  nop
+over:
+  halt
+)",
+                       config);
+  auto untaken = run_asm(R"(
+  li   t0, 0
+  bnez t0, over
+  nop
+over:
+  halt
+)",
+                         config);
+  // Taken: 4 retired (skips nop) + penalty. Untaken: 5 retired, no penalty.
+  EXPECT_EQ(taken.stats.branches_taken, 1u);
+  EXPECT_EQ(untaken.stats.branches_untaken, 1u);
+  EXPECT_EQ(taken.result.instructions, 4u);
+  EXPECT_EQ(untaken.result.instructions, 5u);
+  EXPECT_EQ(taken.result.cycles,
+            untaken.result.cycles - 1 + config.taken_branch_penalty);
+}
+
+TEST(CycleModel, DcacheMissPenaltyOnLoads) {
+  ProcessorConfig config;
+  auto ran = run_asm(R"(
+  li  t1, buf
+  lw  t0, 0(t1)      # miss
+  lw  t2, 4(t1)      # same line: hit
+  lw  t3, 32(t1)     # next line: miss
+  halt
+.data
+.align 32
+buf: .space 64
+)",
+                     config);
+  EXPECT_EQ(ran.stats.dcache_misses, 2u);
+}
+
+TEST(CycleModel, StoresDoNotAllocate) {
+  auto ran = run_asm(R"(
+  li  t1, buf
+  sw  t0, 0(t1)      # write-around: no allocation
+  lw  t2, 0(t1)      # still a miss
+  lw  t3, 0(t1)      # now resident
+  halt
+.data
+.align 32
+buf: .space 32
+)");
+  EXPECT_EQ(ran.stats.dcache_misses, 1u);
+}
+
+TEST(CycleModel, UncachedFetchCounted) {
+  ProcessorConfig config;
+  auto ran = run_asm(R"(
+  li   t0, ucode
+  jr   t0
+.org 0x80004000
+ucode:
+  nop
+  nop
+  halt
+)",
+                     config);
+  EXPECT_EQ(ran.stats.uncached_fetches, 3u);
+  EXPECT_EQ(ran.stats.icache_misses, 1u);  // the cached prologue line
+}
+
+TEST(CycleModel, IcacheMissPerLine) {
+  // 16 sequential instructions = 2 lines of 32 bytes.
+  std::string source;
+  for (int i = 0; i < 15; ++i) source += "nop\n";
+  source += "halt\n";
+  auto ran = run_asm(source);
+  EXPECT_EQ(ran.stats.icache_misses, 2u);
+}
+
+TEST(CycleModel, CustomLatencyOccupiesEx) {
+  const tie::TieConfiguration config = tie::compile_tie_source(R"(
+instruction slow3 {
+  latency 3
+  reads rs1, rs2
+  writes rd
+  use adder width=32
+  semantics { rd = rs1 + rs2; }
+}
+)");
+  isa::AssemblerOptions aopts;
+  aopts.custom_mnemonics = config.assembler_mnemonics();
+  Cpu cpu({}, config);
+  cpu.load_program(isa::assemble(R"(
+  slow3 t2, t0, t1
+  slow3 t3, t2, t1
+  halt
+)",
+                                 aopts));
+  StatsCollector stats;
+  cpu.add_observer(&stats);
+  const RunResult result = cpu.run();
+  // 2 customs x 3 cycles + halt + icache miss.
+  EXPECT_EQ(result.cycles, 6u + 1u + ProcessorConfig{}.icache_miss_penalty);
+  EXPECT_EQ(stats.stats().custom_counts.at("slow3"), 2u);
+}
+
+TEST(StatsCollector, ClassAndCpiAccounting) {
+  auto ran = run_asm(R"(
+  li   t1, buf
+  lw   t0, 0(t1)
+  sw   t0, 4(t1)
+  add  t2, t1, t1
+  j    next
+next:
+  beqz zero, over
+over:
+  halt
+.data
+buf: .word 5
+)");
+  using isa::InstrClass;
+  EXPECT_EQ(ran.stats.class_counts[static_cast<int>(InstrClass::Load)], 1u);
+  EXPECT_EQ(ran.stats.class_counts[static_cast<int>(InstrClass::Store)], 1u);
+  EXPECT_EQ(ran.stats.class_counts[static_cast<int>(InstrClass::Jump)], 1u);
+  EXPECT_EQ(ran.stats.class_counts[static_cast<int>(InstrClass::Branch)], 1u);
+  // li expands to 2 arithmetic instructions; plus add.
+  EXPECT_EQ(ran.stats.class_counts[static_cast<int>(InstrClass::Arithmetic)],
+            3u);
+  EXPECT_GT(ran.stats.cpi(), 1.0);
+  EXPECT_GT(ran.stats.seconds_at(187.0), 0.0);
+}
+
+TEST(Cpu, ObserverSeesEveryRetirement) {
+  class Counter : public RetireObserver {
+   public:
+    int begins = 0, retires = 0, ends = 0;
+    std::uint64_t final_cycles = 0;
+    void on_run_begin() override { ++begins; }
+    void on_retire(const RetiredInstruction&) override { ++retires; }
+    void on_run_end(std::uint64_t, std::uint64_t cycles) override {
+      ++ends;
+      final_cycles = cycles;
+    }
+  };
+  Counter counter;
+  Cpu cpu({}, empty_tie());
+  cpu.load_program(isa::assemble("nop\nnop\nhalt\n"));
+  cpu.add_observer(&counter);
+  const RunResult result = cpu.run();
+  EXPECT_EQ(counter.begins, 1);
+  EXPECT_EQ(counter.retires, 3);
+  EXPECT_EQ(counter.ends, 1);
+  EXPECT_EQ(counter.final_cycles, result.cycles);
+}
+
+}  // namespace
+}  // namespace exten::sim

@@ -1,0 +1,577 @@
+// Tests for the TIE-lite subsystem: component library, custom state,
+// semantics expression evaluation, the parser, and the compiler's
+// validation and integration.
+
+#include <gtest/gtest.h>
+
+#include "tie/compiler.h"
+#include "tie/components.h"
+#include "tie/expr.h"
+#include "tie/spec.h"
+#include "tie/state.h"
+#include "util/error.h"
+#include "workloads/tie_library.h"
+
+namespace exten::tie {
+namespace {
+
+// --- components -------------------------------------------------------------
+
+TEST(Components, NamesRoundTrip) {
+  for (std::size_t i = 0; i < kComponentClassCount; ++i) {
+    const auto cls = static_cast<ComponentClass>(i);
+    const auto found = find_component_class(component_class_name(cls));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, cls);
+  }
+  EXPECT_FALSE(find_component_class("warp_core").has_value());
+}
+
+TEST(Components, QuadraticClasses) {
+  EXPECT_TRUE(is_quadratic(ComponentClass::kMultiplier));
+  EXPECT_TRUE(is_quadratic(ComponentClass::kTieMult));
+  EXPECT_TRUE(is_quadratic(ComponentClass::kTieMac));
+  EXPECT_FALSE(is_quadratic(ComponentClass::kAdderCmp));
+  EXPECT_FALSE(is_quadratic(ComponentClass::kTable));
+}
+
+TEST(Components, ComplexityNormalization) {
+  // 32-bit linear primitive has C = 1; quadratic scales with (W/32)^2.
+  EXPECT_DOUBLE_EQ(complexity(ComponentClass::kAdderCmp, 32), 1.0);
+  EXPECT_DOUBLE_EQ(complexity(ComponentClass::kAdderCmp, 16), 0.5);
+  EXPECT_DOUBLE_EQ(complexity(ComponentClass::kMultiplier, 32), 1.0);
+  EXPECT_DOUBLE_EQ(complexity(ComponentClass::kMultiplier, 16), 0.25);
+  // 256-entry 8-bit table has C = 1.
+  EXPECT_DOUBLE_EQ(complexity(ComponentClass::kTable, 8, 256), 1.0);
+  EXPECT_DOUBLE_EQ(complexity(ComponentClass::kTable, 16, 256), 2.0);
+}
+
+TEST(Components, ComplexityMonotoneInWidth) {
+  for (std::size_t i = 0; i < kComponentClassCount; ++i) {
+    const auto cls = static_cast<ComponentClass>(i);
+    const unsigned entries = cls == ComponentClass::kTable ? 256 : 0;
+    double prev = 0.0;
+    for (unsigned w = 4; w <= 64; w *= 2) {
+      const double c = complexity(cls, w, entries);
+      EXPECT_GT(c, prev) << component_class_name(cls) << " width " << w;
+      prev = c;
+    }
+  }
+}
+
+TEST(Components, ComplexityRejectsBadWidths) {
+  EXPECT_THROW(complexity(ComponentClass::kAdderCmp, 0), Error);
+  EXPECT_THROW(complexity(ComponentClass::kAdderCmp, 1000), Error);
+  EXPECT_THROW(complexity(ComponentClass::kTable, 8, 0), Error);
+}
+
+TEST(Components, CyclesActiveUsesScheduleOrLatency) {
+  ComponentUse use;
+  EXPECT_EQ(use.cycles_active(3), 3u);
+  use.active_cycles = {0, 2};
+  EXPECT_EQ(use.cycles_active(3), 2u);
+}
+
+// --- TieState -----------------------------------------------------------------
+
+TEST(TieState, ScalarMaskedToWidth) {
+  TieState state;
+  state.declare_state("acc", 12);
+  state.write_state("acc", 0xffffu);
+  EXPECT_EQ(state.read_state("acc"), 0xfffu);
+  EXPECT_EQ(state.state_width("acc"), 12u);
+}
+
+TEST(TieState, RegfileIndexWraps) {
+  TieState state;
+  state.declare_regfile("v", 16, 4);
+  state.write_regfile("v", 1, 42);
+  EXPECT_EQ(state.read_regfile("v", 1), 42u);
+  EXPECT_EQ(state.read_regfile("v", 5), 42u);  // 5 mod 4 == 1
+  state.write_regfile("v", 7, 9);              // 7 mod 4 == 3
+  EXPECT_EQ(state.read_regfile("v", 3), 9u);
+}
+
+TEST(TieState, DuplicateAndUnknownNames) {
+  TieState state;
+  state.declare_state("x", 8);
+  EXPECT_THROW(state.declare_state("x", 8), Error);
+  EXPECT_THROW(state.declare_regfile("x", 8, 2), Error);
+  EXPECT_THROW(state.read_state("nope"), Error);
+  EXPECT_THROW(state.write_regfile("nope", 0, 0), Error);
+}
+
+TEST(TieState, ResetZeroesEverything) {
+  TieState state;
+  state.declare_state("a", 32);
+  state.declare_regfile("f", 32, 2);
+  state.write_state("a", 7);
+  state.write_regfile("f", 0, 8);
+  state.reset();
+  EXPECT_EQ(state.read_state("a"), 0u);
+  EXPECT_EQ(state.read_regfile("f", 0), 0u);
+}
+
+// --- expression evaluation -----------------------------------------------------
+
+/// Compiles a one-instruction spec and executes it.
+std::uint32_t run_semantics(const std::string& decls,
+                            const std::string& instr_body, std::uint32_t rs1,
+                            std::uint32_t rs2, TieState* state_out = nullptr) {
+  const std::string source = decls +
+                             "\ninstruction t_op {\n  reads rs1, rs2\n"
+                             "  writes rd\n  use logic width=32\n"
+                             "  semantics { " +
+                             instr_body + " }\n}\n";
+  const TieConfiguration config = compile_tie_source(source);
+  TieState state = config.make_state();
+  const std::uint32_t rd = config.execute(0, rs1, rs2, &state);
+  if (state_out != nullptr) *state_out = std::move(state);
+  return rd;
+}
+
+struct ExprCase {
+  const char* expr;
+  std::uint32_t rs1;
+  std::uint32_t rs2;
+  std::uint32_t expected;
+};
+
+class SemanticsExpr : public ::testing::TestWithParam<ExprCase> {};
+
+TEST_P(SemanticsExpr, Evaluates) {
+  const ExprCase& c = GetParam();
+  EXPECT_EQ(run_semantics("", std::string("rd = ") + c.expr + ";", c.rs1,
+                          c.rs2),
+            c.expected)
+      << c.expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Operators, SemanticsExpr,
+    ::testing::Values(
+        ExprCase{"rs1 + rs2", 3, 4, 7},
+        ExprCase{"rs1 - rs2", 3, 4, 0xffffffffu},
+        ExprCase{"rs1 * rs2", 6, 7, 42},
+        ExprCase{"rs1 & rs2", 0xf0, 0x3c, 0x30},
+        ExprCase{"rs1 | rs2", 0xf0, 0x0f, 0xff},
+        ExprCase{"rs1 ^ rs2", 0xff, 0x0f, 0xf0},
+        ExprCase{"rs1 << rs2", 1, 5, 32},
+        ExprCase{"rs1 >> rs2", 64, 3, 8},
+        ExprCase{"~rs1", 0, 0, 0xffffffffu},
+        ExprCase{"-rs1", 1, 0, 0xffffffffu},
+        ExprCase{"rs1 == rs2", 5, 5, 1},
+        ExprCase{"rs1 != rs2", 5, 5, 0},
+        ExprCase{"rs1 < rs2", 3, 9, 1},
+        ExprCase{"rs1 >= rs2", 3, 9, 0},
+        ExprCase{"sel(rs1 < rs2, 10, 20)", 1, 2, 10},
+        ExprCase{"sel(rs1 < rs2, 10, 20)", 2, 1, 20},
+        ExprCase{"sext(rs1, 8)", 0x80, 0, 0xffffff80u},
+        ExprCase{"zext(rs1, 8)", 0x1ff, 0, 0xff},
+        ExprCase{"min(rs1, rs2)", 3, 9, 3},
+        ExprCase{"max(rs1, rs2)", 3, 9, 9},
+        ExprCase{"mins(rs1, rs2)", 0xffffffffu, 1, 1},  // zero-extended operands
+        ExprCase{"maxs(sext(rs1,32), sext(rs2,32))", 0xffffffffu, 1, 1},
+        ExprCase{"abs(sext(rs1, 8))", 0xfe, 0, 2},
+        ExprCase{"popcount(rs1)", 0xf0f0, 0, 8},
+        ExprCase{"asr(rs1, 4, 8)", 0x80, 0, 0xfffffff8u},
+        ExprCase{"rs1 + rs2 * 2", 1, 3, 7},           // precedence: * > +
+        ExprCase{"rs1 | rs2 & 12", 1, 6, 5},          // & > |
+        ExprCase{"(rs1 + rs2) * 2", 1, 3, 8},
+        ExprCase{"rs1 + rs2 >> 1", 3, 5, 4}));        // + > >>
+
+TEST(Semantics, SequentialAssignmentsSeeEarlierWrites) {
+  TieState state;
+  const std::uint32_t rd = run_semantics(
+      "state tmp width=32",
+      "tmp = rs1 + rs2; rd = tmp * 2;", 3, 4, &state);
+  EXPECT_EQ(rd, 14u);
+  EXPECT_EQ(state.read_state("tmp"), 7u);
+}
+
+TEST(Semantics, TableLookupWraps) {
+  const std::uint32_t rd = run_semantics(
+      "table quad size=4 width=8 { 10, 20, 30, 40 }",
+      "rd = quad[rs1] + quad[rs1 + 4];", 1, 0);
+  EXPECT_EQ(rd, 40u);  // quad[1] + quad[5 mod 4] = 20 + 20
+}
+
+TEST(Semantics, RegfileElementAssignment) {
+  const std::string source = R"(
+regfile vec width=16 size=4
+instruction t_op {
+  reads rs1, rs2
+  semantics { vec[rs1] = rs2 + 1; }
+}
+)";
+  const TieConfiguration config = compile_tie_source(source);
+  TieState state = config.make_state();
+  config.execute(0, 2, 99, &state);
+  EXPECT_EQ(state.read_regfile("vec", 2), 100u);
+}
+
+TEST(Semantics, ShiftBeyond63IsZero) {
+  EXPECT_EQ(run_semantics("", "rd = rs1 << 100;", 0xff, 0), 0u);
+  EXPECT_EQ(run_semantics("", "rd = rs1 >> 70;", 0xff, 0), 0u);
+}
+
+// --- parser -----------------------------------------------------------------
+
+TEST(Parser, FullFeatureSpec) {
+  const TieSpec spec = parse_tie(R"(
+# comment
+regfile acc width=48 size=2
+state flag width=1
+table lut size=4 width=4 { 1, 2, 3, 4 }
+
+instruction fancy {
+  latency 3
+  reads rs1, rs2
+  writes rd
+  isolated
+  use mult width=16 count=2 cycles=0,1
+  use adder width=32
+  semantics {
+    rd = lut[rs1 & 3] + acc[0];
+    flag = rs1 == rs2;
+  }
+}
+)");
+  ASSERT_EQ(spec.regfiles.size(), 1u);
+  EXPECT_EQ(spec.regfiles[0].width, 48u);
+  ASSERT_EQ(spec.states.size(), 1u);
+  ASSERT_EQ(spec.tables.size(), 1u);
+  EXPECT_EQ(spec.tables[0].values.size(), 4u);
+  ASSERT_EQ(spec.instructions.size(), 1u);
+  const InstructionDecl& instr = spec.instructions[0];
+  EXPECT_EQ(instr.latency, 3u);
+  EXPECT_TRUE(instr.isolated);
+  EXPECT_TRUE(instr.reads_rs1);
+  EXPECT_TRUE(instr.writes_rd);
+  ASSERT_EQ(instr.uses.size(), 2u);
+  EXPECT_EQ(instr.uses[0].count, 2u);
+  EXPECT_EQ(instr.uses[0].active_cycles.size(), 2u);
+  EXPECT_EQ(instr.semantics.size(), 2u);
+}
+
+TEST(Parser, LineNumbersInErrors) {
+  try {
+    parse_tie("state ok width=8\nbanana\n");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, TableSizeMismatchRejected) {
+  EXPECT_THROW(parse_tie("table t size=4 width=8 { 1, 2 }\n"), Error);
+}
+
+TEST(Parser, UnknownIdentifierInSemanticsRejected) {
+  EXPECT_THROW(parse_tie(R"(
+instruction bad {
+  reads rs1
+  semantics { rd = mystery; }
+}
+)"),
+               Error);
+}
+
+TEST(Parser, AssignmentToUndeclaredTargetRejected) {
+  EXPECT_THROW(parse_tie(R"(
+instruction bad {
+  reads rs1
+  semantics { ghost = rs1; }
+}
+)"),
+               Error);
+}
+
+// --- compiler validation ---------------------------------------------------------
+
+TEST(Compiler, RejectsBaseMnemonicCollision) {
+  EXPECT_THROW(compile_tie_source(R"(
+instruction add {
+  reads rs1, rs2
+  writes rd
+  use adder width=32
+  semantics { rd = rs1 + rs2; }
+}
+)"),
+               Error);
+}
+
+TEST(Compiler, RejectsPseudoMnemonicCollision) {
+  EXPECT_THROW(compile_tie_source(R"(
+instruction li {
+  reads rs1
+  writes rd
+  use logic width=8
+  semantics { rd = rs1; }
+}
+)"),
+               Error);
+}
+
+TEST(Compiler, RejectsSemanticsOperandMismatch) {
+  // Reads rs2 in semantics without declaring it.
+  EXPECT_THROW(compile_tie_source(R"(
+instruction bad {
+  reads rs1
+  writes rd
+  use logic width=8
+  semantics { rd = rs1 + rs2; }
+}
+)"),
+               Error);
+  // Declares writes rd but never assigns it.
+  EXPECT_THROW(compile_tie_source(R"(
+state s width=8
+instruction bad2 {
+  reads rs1
+  writes rd
+  use logic width=8
+  semantics { s = rs1; }
+}
+)"),
+               Error);
+}
+
+TEST(Compiler, RejectsBadLatencyAndCycles) {
+  EXPECT_THROW(compile_tie_source(R"(
+instruction bad {
+  latency 99
+  reads rs1
+  writes rd
+  use logic width=8
+  semantics { rd = rs1; }
+}
+)"),
+               Error);
+  EXPECT_THROW(compile_tie_source(R"(
+instruction bad2 {
+  latency 2
+  reads rs1
+  writes rd
+  use logic width=8 cycles=5
+  semantics { rd = rs1; }
+}
+)"),
+               Error);
+}
+
+TEST(Compiler, RejectsNonPowerOfTwoTable) {
+  EXPECT_THROW(compile_tie_source(
+                   "table t size=3 width=8 { 1, 2, 3 }\n"
+                   "instruction u { reads rs1 writes rd\n"
+                   "  semantics { rd = t[rs1]; } }\n"),
+               Error);
+}
+
+TEST(Compiler, RejectsTableValueOverflow) {
+  EXPECT_THROW(compile_tie_source("table t size=2 width=4 { 1, 300 }\n"),
+               Error);
+}
+
+TEST(Compiler, ImplicitCustregAndTableComponents) {
+  const TieConfiguration config = compile_tie_source(R"(
+state acc width=24
+table lut size=256 width=8 { )" + [] {
+    std::string v;
+    for (int i = 0; i < 256; ++i) {
+      v += std::to_string(i & 0xff);
+      if (i != 255) v += ", ";
+    }
+    return v;
+  }() + R"( }
+instruction look {
+  reads rs1
+  use adder width=24
+  semantics { acc = acc + lut[rs1 & 255]; }
+}
+)");
+  const CustomInstruction& ci = *config.find("look");
+  bool has_custreg = false, has_table = false, has_adder = false;
+  for (const ComponentUse& use : ci.components) {
+    has_custreg |= use.cls == ComponentClass::kCustomReg && use.width == 24;
+    has_table |= use.cls == ComponentClass::kTable && use.entries == 256;
+    has_adder |= use.cls == ComponentClass::kAdderCmp;
+  }
+  EXPECT_TRUE(has_custreg);
+  EXPECT_TRUE(has_table);
+  EXPECT_TRUE(has_adder);
+}
+
+TEST(Compiler, ExecutionWeightsScaleWithLatencyAndSchedule) {
+  const TieConfiguration config = compile_tie_source(R"(
+instruction two_cycle {
+  latency 2
+  reads rs1, rs2
+  writes rd
+  use mult width=32 cycles=0
+  use adder width=32
+  semantics { rd = rs1 * rs2; }
+}
+)");
+  const CustomInstruction& ci = *config.find("two_cycle");
+  // mult: active 1 cycle, C(32) = 1 -> weight 1. adder: active both cycles.
+  EXPECT_DOUBLE_EQ(
+      ci.execution_weights[static_cast<std::size_t>(ComponentClass::kMultiplier)],
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      ci.execution_weights[static_cast<std::size_t>(ComponentClass::kAdderCmp)],
+      2.0);
+  // Both are in the input stage (mult scheduled at 0; adder always-on).
+  EXPECT_DOUBLE_EQ(
+      ci.input_stage_weights[static_cast<std::size_t>(ComponentClass::kMultiplier)],
+      1.0);
+}
+
+TEST(Compiler, IsolatedDatapathExcludedFromSharedBus) {
+  const TieConfiguration config = compile_tie_source(R"(
+instruction open_dp {
+  reads rs1
+  writes rd
+  use adder width=32
+  semantics { rd = rs1 + 1; }
+}
+instruction gated_dp {
+  isolated
+  reads rs1
+  writes rd
+  use adder width=32
+  semantics { rd = rs1 + 2; }
+}
+)");
+  // Only the non-isolated datapath's adder shows on the shared bus.
+  EXPECT_DOUBLE_EQ(
+      config.shared_bus_weights()[static_cast<std::size_t>(
+          ComponentClass::kAdderCmp)],
+      1.0);
+}
+
+TEST(Compiler, FuncAssignmentAndLookup) {
+  const TieConfiguration config = compile_tie_source(R"(
+instruction first { reads rs1 writes rd use logic width=8
+  semantics { rd = rs1; } }
+instruction second { reads rs1 writes rd use logic width=8
+  semantics { rd = rs1 + 1; } }
+)");
+  EXPECT_EQ(config.instruction(0).name, "first");
+  EXPECT_EQ(config.instruction(1).name, "second");
+  EXPECT_THROW(config.instruction(2), Error);
+  EXPECT_EQ(config.find("second")->func, 1);
+  EXPECT_EQ(config.find("third"), nullptr);
+}
+
+TEST(Compiler, MnemonicTablesMatchSignatures) {
+  const TieConfiguration config = compile_tie_source(R"(
+state s width=8
+instruction sink { reads rs1 use logic width=8 semantics { s = rs1; } }
+instruction source { writes rd use logic width=8 semantics { rd = s; } }
+)");
+  const auto mnemonics = config.assembler_mnemonics();
+  const auto& sink = mnemonics.at("sink");
+  EXPECT_FALSE(sink.has_rd);
+  EXPECT_TRUE(sink.has_rs1);
+  EXPECT_FALSE(sink.has_rs2);
+  const auto& source = mnemonics.at("source");
+  EXPECT_TRUE(source.has_rd);
+  EXPECT_FALSE(source.has_rs1);
+  const auto disasm = config.disassembler_mnemonics();
+  EXPECT_EQ(disasm.at(0), "sink");
+}
+
+TEST(Compiler, UsesGenericRegfileFlag) {
+  const TieConfiguration config = compile_tie_source(R"(
+state s width=8
+instruction touches { reads rs1 use logic width=8 semantics { s = rs1; } }
+instruction internal { use logic width=8 semantics { s = s + 1; } }
+)");
+  EXPECT_TRUE(config.find("touches")->uses_generic_regfile());
+  EXPECT_FALSE(config.find("internal")->uses_generic_regfile());
+}
+
+TEST(Compiler, EmptyConfigurationBehaves) {
+  const TieConfiguration config;
+  EXPECT_TRUE(config.empty());
+  EXPECT_TRUE(config.assembler_mnemonics().empty());
+  EXPECT_THROW(config.instruction(0), Error);
+}
+
+TEST(Compiler, DuplicateInstructionNamesRejected) {
+  EXPECT_THROW(compile_tie_source(R"(
+instruction dup { reads rs1 writes rd use logic width=8
+  semantics { rd = rs1; } }
+instruction dup { reads rs1 writes rd use logic width=8
+  semantics { rd = rs1; } }
+)"),
+               Error);
+}
+
+TEST(Compiler, InstructionWithoutComponentsRejected) {
+  EXPECT_THROW(compile_tie_source(R"(
+instruction bare { reads rs1 writes rd semantics { rd = rs1; } }
+)"),
+               Error);
+}
+
+
+// --- parameterized rejection suite ----------------------------------------------
+
+class BadSpec : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadSpec, IsRejectedWithError) {
+  EXPECT_THROW(compile_tie_source(GetParam()), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, BadSpec,
+    ::testing::Values(
+        // state width out of range
+        "state s width=0\n",
+        "state s width=65\n",
+        // regfile size out of range
+        "regfile f width=8 size=0\n",
+        "regfile f width=8 size=512\n",
+        // duplicate symbols across kinds
+        "state x width=8\nregfile x width=8 size=2\n",
+        "state x width=8\ntable x size=2 width=8 { 1, 2 }\n",
+        // component width / count out of range
+        "instruction u { reads rs1 writes rd use adder width=0\n"
+        "  semantics { rd = rs1; } }\n",
+        "instruction u { reads rs1 writes rd use adder width=8 count=0\n"
+        "  semantics { rd = rs1; } }\n",
+        // table component without entries
+        "instruction u { reads rs1 writes rd use table width=8\n"
+        "  semantics { rd = rs1; } }\n",
+        // latency zero
+        "instruction u { latency 0 reads rs1 writes rd use logic width=8\n"
+        "  semantics { rd = rs1; } }\n",
+        // missing semantics
+        "instruction u { reads rs1 writes rd use logic width=8 }\n",
+        // unknown component class
+        "instruction u { reads rs1 writes rd use flux width=8\n"
+        "  semantics { rd = rs1; } }\n",
+        // garbage
+        "instruction { }", "%%%", "state\n"));
+
+TEST(Compiler, GfMac2PackedSemantics) {
+  // The packed two-way GF MAC accumulates both byte lanes independently.
+  const TieConfiguration config =
+      compile_tie_source(exten::workloads::tie_gfmac2_spec());
+  TieState state = config.make_state();
+  const auto gfmac2 = config.find("gfmac2")->func;
+  const auto rdgf2 = config.find("rdgf2")->func;
+  // lanes: (3 * 5) | (7 * 9) << 8 over GF(2^8)/0x11d.
+  config.execute(gfmac2, 3u | (7u << 8), 5u | (9u << 8), &state);
+  const std::uint32_t acc = config.execute(rdgf2, 0, 0, &state);
+  EXPECT_EQ(acc & 0xff, exten::workloads::gf_mul_reference(3, 5));
+  EXPECT_EQ((acc >> 8) & 0xff, exten::workloads::gf_mul_reference(7, 9));
+  // Accumulation is XOR: applying the same product twice cancels.
+  config.execute(gfmac2, 3u | (7u << 8), 5u | (9u << 8), &state);
+  EXPECT_EQ(config.execute(rdgf2, 0, 0, &state), 0u);
+}
+
+}  // namespace
+}  // namespace exten::tie

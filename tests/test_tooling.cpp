@@ -1,0 +1,241 @@
+// Tests for the tooling layer: program-image serialization (image_io),
+// the execution tracer and PC profiler, and the design-space exploration
+// module.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "explore/explore.h"
+#include "isa/assembler.h"
+#include "isa/image_io.h"
+#include "sim/cpu.h"
+#include "sim/tracer.h"
+#include "util/error.h"
+#include "workloads/tie_library.h"
+#include "workloads/workloads.h"
+
+namespace exten {
+namespace {
+
+// --- image_io ------------------------------------------------------------------
+
+TEST(ImageIo, RoundTripsAssembledProgram) {
+  const isa::ProgramImage image = isa::assemble(R"(
+_start:
+  li   t0, 0x1234
+  halt
+.data
+values: .word 1, 2, 3
+.org 0x80001000
+device: .byte 0xaa
+)");
+  const std::string text = isa::image_to_string(image);
+  const isa::ProgramImage back = isa::parse_image(text);
+
+  EXPECT_EQ(back.entry_point(), image.entry_point());
+  EXPECT_EQ(back.symbols(), image.symbols());
+  ASSERT_EQ(back.segments().size(), image.segments().size());
+  for (std::size_t i = 0; i < image.segments().size(); ++i) {
+    EXPECT_EQ(back.segments()[i].base, image.segments()[i].base);
+    EXPECT_EQ(back.segments()[i].bytes, image.segments()[i].bytes);
+  }
+}
+
+TEST(ImageIo, RoundTripsEveryWorkloadImage) {
+  // Property: serialization must be lossless for every program we ship.
+  for (const model::TestProgram& program : workloads::application_suite()) {
+    const std::string text = isa::image_to_string(program.image);
+    const isa::ProgramImage back = isa::parse_image(text);
+    EXPECT_EQ(back.entry_point(), program.image.entry_point()) << program.name;
+    EXPECT_EQ(back.total_bytes(), program.image.total_bytes()) << program.name;
+    for (const isa::Segment& segment : program.image.segments()) {
+      for (std::uint32_t off = 0; off + 4 <= segment.bytes.size(); off += 4) {
+        EXPECT_EQ(back.read_word(segment.base + off),
+                  program.image.read_word(segment.base + off))
+            << program.name;
+      }
+    }
+  }
+}
+
+TEST(ImageIo, RejectsCorruptInput) {
+  EXPECT_THROW(isa::parse_image("not an image"), Error);
+  EXPECT_THROW(isa::parse_image("exten-image v1\nsegment 0x0 4\nzz\n"), Error);
+  EXPECT_THROW(isa::parse_image("exten-image v1\nsegment 0x0 8\n00\n"), Error);
+  EXPECT_THROW(isa::parse_image("exten-image v1\nbogus record\n"), Error);
+  // No entry record.
+  EXPECT_THROW(isa::parse_image("exten-image v1\nsymbol a 0x0\n"), Error);
+}
+
+TEST(ImageIo, RejectsOverrunningSegmentData) {
+  EXPECT_THROW(isa::parse_image(
+                   "exten-image v1\nentry 0x0\nsegment 0x0 2\n001122\n"),
+               Error);
+}
+
+// --- tracer ---------------------------------------------------------------------
+
+struct TracedRun {
+  std::string trace;
+  std::uint64_t lines = 0;
+};
+
+TracedRun trace_program(const std::string& source,
+                        sim::TraceWriter::Options options = {}) {
+  static const tie::TieConfiguration empty;
+  sim::Cpu cpu({}, empty);
+  cpu.load_program(isa::assemble(source));
+  std::ostringstream os;
+  sim::TraceWriter tracer(os, std::move(options));
+  cpu.add_observer(&tracer);
+  cpu.run();
+  return {os.str(), tracer.lines_written()};
+}
+
+TEST(Tracer, EmitsOneLinePerInstruction) {
+  const TracedRun run = trace_program("nop\nadd t0, t1, t2\nhalt\n");
+  EXPECT_EQ(run.lines, 3u);
+  EXPECT_NE(run.trace.find("add r20, r21, r22"), std::string::npos);
+  EXPECT_NE(run.trace.find("halt"), std::string::npos);
+  EXPECT_NE(run.trace.find("0x00001000"), std::string::npos);
+}
+
+TEST(Tracer, AnnotatesEventsAndValues) {
+  const TracedRun run = trace_program(R"(
+  li   t1, buf
+  lw   t0, 0(t1)
+  beqz t0, somewhere
+somewhere:
+  halt
+.data
+buf: .word 0
+)");
+  EXPECT_NE(run.trace.find("IMISS"), std::string::npos);
+  EXPECT_NE(run.trace.find("DMISS"), std::string::npos);
+  EXPECT_NE(run.trace.find("TAKEN"), std::string::npos);
+  EXPECT_NE(run.trace.find("mem=0x"), std::string::npos);
+  EXPECT_NE(run.trace.find("rd=0x"), std::string::npos);
+}
+
+TEST(Tracer, MaxLinesCapsOutput) {
+  sim::TraceWriter::Options options;
+  options.max_lines = 2;
+  const TracedRun run = trace_program("nop\nnop\nnop\nnop\nhalt\n", options);
+  EXPECT_EQ(run.lines, 2u);
+}
+
+TEST(Tracer, QuietModesSuppressAnnotations) {
+  sim::TraceWriter::Options options;
+  options.show_events = false;
+  options.show_values = false;
+  const TracedRun run = trace_program(R"(
+  li   t1, buf
+  lw   t0, 0(t1)
+  halt
+.data
+buf: .word 0
+)",
+                                      options);
+  EXPECT_EQ(run.trace.find("DMISS"), std::string::npos);
+  EXPECT_EQ(run.trace.find("rd=0x"), std::string::npos);
+}
+
+TEST(PcProfile, FindsTheLoop) {
+  static const tie::TieConfiguration empty;
+  sim::Cpu cpu({}, empty);
+  cpu.load_program(isa::assemble(R"(
+  li   s0, 100
+loop:
+  addi s0, s0, -1
+  bnez s0, loop
+  halt
+)"));
+  sim::PcProfile profile;
+  cpu.add_observer(&profile);
+  cpu.run();
+  ASSERT_GE(profile.distinct_pcs(), 4u);
+  const auto top = profile.hottest(2);
+  ASSERT_EQ(top.size(), 2u);
+  // The two loop instructions dominate: 100 executions each.
+  EXPECT_EQ(top[0].executions, 100u);
+  EXPECT_EQ(top[1].executions, 100u);
+  EXPECT_GT(profile.concentration(2), 0.8);
+  // The taken branch costs more cycles than the addi.
+  EXPECT_GT(top[0].cycles, top[1].cycles);
+}
+
+// --- explore ---------------------------------------------------------------------
+
+model::EnergyMacroModel flat_model() {
+  // A synthetic but monotone model: every cycle-ish variable costs 100 pJ.
+  linalg::Vector coefficients(model::kNumVariables, 0.0);
+  for (std::size_t i = 0; i < model::kNumInstructionVars; ++i) {
+    coefficients[i] = 100.0;
+  }
+  coefficients[model::kVarIcacheMiss] = 2000.0;
+  coefficients[model::kVarDcacheMiss] = 2000.0;
+  for (std::size_t i = model::kNumInstructionVars; i < model::kNumVariables;
+       ++i) {
+    coefficients[i] = 50.0;
+  }
+  return model::EnergyMacroModel(std::move(coefficients));
+}
+
+TEST(Explore, RanksReedSolomonVariants) {
+  std::vector<explore::Candidate> candidates;
+  for (model::TestProgram& variant : workloads::reed_solomon_variants(5)) {
+    std::string name = variant.name;
+    candidates.push_back({std::move(name), std::move(variant)});
+  }
+  const model::EnergyMacroModel macro_model = flat_model();
+
+  const explore::ExploreResult by_delay = explore::rank_candidates(
+      candidates, macro_model, explore::Objective::kDelay);
+  ASSERT_EQ(by_delay.ranked.size(), 4u);
+  // Cycle order: gfmac2 < gfmul/gfmac < base.
+  EXPECT_EQ(by_delay.best().name, "RS_gfmac2");
+  EXPECT_EQ(by_delay.ranked.back().name, "RS_base");
+  for (std::size_t i = 1; i < by_delay.ranked.size(); ++i) {
+    EXPECT_GE(by_delay.ranked[i].cycles, by_delay.ranked[i - 1].cycles);
+  }
+
+  const explore::ExploreResult by_energy = explore::rank_candidates(
+      candidates, macro_model, explore::Objective::kEnergy);
+  for (std::size_t i = 1; i < by_energy.ranked.size(); ++i) {
+    EXPECT_GE(by_energy.ranked[i].energy_pj,
+              by_energy.ranked[i - 1].energy_pj);
+  }
+
+  // The best-by-EDP point must be Pareto optimal.
+  const explore::ExploreResult by_edp = explore::rank_candidates(
+      candidates, macro_model, explore::Objective::kEdp);
+  EXPECT_TRUE(by_edp.best().pareto_optimal);
+  // The strictly-worst point (base: most cycles AND most energy) is
+  // dominated.
+  for (const explore::Evaluation& eval : by_edp.ranked) {
+    if (eval.name == "RS_base") {
+      EXPECT_FALSE(eval.pareto_optimal);
+    }
+  }
+}
+
+TEST(Explore, EmptyCandidateListRejected) {
+  const model::EnergyMacroModel macro_model = flat_model();
+  EXPECT_THROW(
+      explore::rank_candidates({}, macro_model, explore::Objective::kEdp),
+      Error);
+}
+
+TEST(Explore, TableRendersAllCandidates) {
+  std::vector<explore::Candidate> candidates;
+  candidates.push_back(
+      {"only", model::make_test_program("only", "nop\nhalt\n")});
+  const explore::ExploreResult result =
+      explore::rank_candidates(candidates, flat_model());
+  EXPECT_EQ(explore::to_table(result).row_count(), 1u);
+  EXPECT_TRUE(result.best().pareto_optimal);
+}
+
+}  // namespace
+}  // namespace exten

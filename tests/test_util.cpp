@@ -1,0 +1,269 @@
+// Unit tests for the util module: error handling, string utilities,
+// deterministic RNG, streaming statistics, table rendering.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace exten {
+namespace {
+
+// --- Error -----------------------------------------------------------------
+
+TEST(Error, FormatsStreamedParts) {
+  Error e("width ", 42, " exceeds ", 3.5);
+  EXPECT_STREQ(e.what(), "width 42 exceeds 3.5");
+}
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    EXTEN_CHECK(1 == 2, "one is not ", "two");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("one is not two"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckMacroPassesWhenTrue) {
+  EXPECT_NO_THROW(EXTEN_CHECK(2 + 2 == 4, "unreachable"));
+}
+
+// --- trim / split ------------------------------------------------------------
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\r\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, SplitDropsEmptyFieldsByDefault) {
+  const auto fields = split("a,,b,c,", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFieldsWhenAsked) {
+  const auto fields = split("a,,b", ',', /*keep_empty=*/true);
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST(Strings, SplitLinesHandlesCrLfAndTrailingNewline) {
+  const auto lines = split_lines("one\r\ntwo\nthree\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "two");
+  EXPECT_EQ(lines[2], "three");
+}
+
+TEST(Strings, SplitLinesKeepsInteriorEmptyLines) {
+  const auto lines = split_lines("a\n\nb");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("prefix_rest", "prefix"));
+  EXPECT_FALSE(starts_with("pre", "prefix"));
+  EXPECT_TRUE(ends_with("file.cpp", ".cpp"));
+  EXPECT_FALSE(ends_with("cpp", "file.cpp"));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("MiXeD_42"), "mixed_42");
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("_start"));
+  EXPECT_TRUE(is_identifier("loop2"));
+  EXPECT_TRUE(is_identifier("a.b"));
+  EXPECT_FALSE(is_identifier("2start"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("has space"));
+}
+
+// --- parse_int -----------------------------------------------------------------
+
+struct ParseIntCase {
+  const char* text;
+  bool ok;
+  std::int64_t value;
+};
+
+class ParseIntTest : public ::testing::TestWithParam<ParseIntCase> {};
+
+TEST_P(ParseIntTest, ParsesOrRejects) {
+  const ParseIntCase& c = GetParam();
+  std::int64_t out = 0;
+  EXPECT_EQ(parse_int(c.text, &out), c.ok) << c.text;
+  if (c.ok) {
+    EXPECT_EQ(out, c.value) << c.text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParseIntTest,
+    ::testing::Values(
+        ParseIntCase{"0", true, 0}, ParseIntCase{"42", true, 42},
+        ParseIntCase{"-17", true, -17}, ParseIntCase{"+9", true, 9},
+        ParseIntCase{"0x10", true, 16}, ParseIntCase{"0XfF", true, 255},
+        ParseIntCase{"0b101", true, 5}, ParseIntCase{"-0x8", true, -8},
+        ParseIntCase{"0xffffffff", true, 0xffffffffll},
+        ParseIntCase{" 12 ", true, 12}, ParseIntCase{"", false, 0},
+        ParseIntCase{"-", false, 0}, ParseIntCase{"0x", false, 0},
+        ParseIntCase{"12x", false, 0}, ParseIntCase{"abc", false, 0},
+        ParseIntCase{"1 2", false, 0}));
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 4000.0, 0.5, 0.03);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(5);
+  const std::uint64_t first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(5);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+// --- StreamingStats -------------------------------------------------------------
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.rms(), 0.0);
+  EXPECT_EQ(s.max_abs(), 0.0);
+}
+
+TEST(StreamingStats, BasicMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, RmsAndMeanAbsWithSigns) {
+  StreamingStats s;
+  s.add(-3.0);
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.mean_abs(), 3.5);
+  EXPECT_DOUBLE_EQ(s.rms(), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(s.max_abs(), 4.0);
+}
+
+TEST(StreamingStats, PercentError) {
+  EXPECT_DOUBLE_EQ(percent_error(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percent_error(90.0, 100.0), -10.0);
+  EXPECT_DOUBLE_EQ(percent_error(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percent_error(5.0, 0.0), 100.0);
+}
+
+// --- AsciiTable ---------------------------------------------------------------
+
+TEST(AsciiTable, RejectsWrongArity) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(AsciiTable, RendersAlignedColumns) {
+  AsciiTable t({"Name", "Value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "23"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| Name   |"), std::string::npos);
+  EXPECT_NE(out.find("| longer |    23 |"), std::string::npos);
+  // Header rule above and below plus bottom rule.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '+'), 3 * 3);
+}
+
+TEST(AsciiTable, CsvEscaping) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(AsciiTable, CsvOutput) {
+  AsciiTable t({"k", "v"});
+  t.add_row({"a,b", "1"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "k,v\n\"a,b\",1\n");
+}
+
+}  // namespace
+}  // namespace exten

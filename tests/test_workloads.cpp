@@ -1,0 +1,716 @@
+// Functional verification of the workload suite: every application kernel
+// must compute the right answer (checked against independent C++
+// references), the characterization suite must assemble/run/cover the
+// variable space, and the Reed-Solomon kernels must agree with the
+// reference encoder/syndrome implementations in all four configurations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "model/profiler.h"
+#include "model/variables.h"
+#include "sim/cpu.h"
+#include "sim/stats.h"
+#include "util/rng.h"
+#include "workloads/tie_library.h"
+#include "workloads/workloads.h"
+
+namespace exten::workloads {
+namespace {
+
+struct Executed {
+  std::unique_ptr<sim::Cpu> cpu;
+  sim::ExecutionStats stats;
+  model::MacroModelVariables vars;
+  const isa::ProgramImage* image;
+};
+
+Executed execute(const model::TestProgram& program) {
+  Executed e;
+  e.cpu = std::make_unique<sim::Cpu>(sim::ProcessorConfig{}, *program.tie);
+  e.cpu->load_program(program.image);
+  sim::StatsCollector stats;
+  model::MacroModelProfiler profiler(*program.tie);
+  e.cpu->add_observer(&stats);
+  e.cpu->add_observer(&profiler);
+  e.cpu->run(20'000'000);
+  e.stats = stats.stats();
+  e.vars = profiler.variables();
+  return e;
+}
+
+std::vector<std::uint32_t> read_words(const sim::Cpu& cpu, std::uint32_t base,
+                                      std::size_t count) {
+  std::vector<std::uint32_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = cpu.memory().read32(base + 4 * static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+// --- GF / sbox references ----------------------------------------------------
+
+TEST(GfReference, MultiplicationFieldAxioms) {
+  // Spot-check field properties: commutativity, identity, zero, and a
+  // known value of the 0x11d field.
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_EQ(gf_mul_reference(a, b), gf_mul_reference(b, a));
+    EXPECT_EQ(gf_mul_reference(a, 1), a);
+    EXPECT_EQ(gf_mul_reference(a, 0), 0);
+  }
+  EXPECT_EQ(gf_mul_reference(0x80, 2), 0x1d);  // overflow reduces by 0x11d
+}
+
+TEST(GfReference, DistributesOverXor) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto c = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_EQ(gf_mul_reference(a, b ^ c),
+              gf_mul_reference(a, b) ^ gf_mul_reference(a, c));
+  }
+}
+
+TEST(GfReference, AlphaPowersCycle) {
+  EXPECT_EQ(gf_pow_alpha(0), 1);
+  EXPECT_EQ(gf_pow_alpha(1), 2);
+  EXPECT_EQ(gf_pow_alpha(255), 1);  // order divides 255
+  EXPECT_EQ(gf_pow_alpha(8), 0x1d); // 2^8 reduced
+}
+
+TEST(SboxReference, MatchesKnownAesValues) {
+  EXPECT_EQ(aes_sbox(0x00), 0x63);
+  EXPECT_EQ(aes_sbox(0x01), 0x7c);
+  EXPECT_EQ(aes_sbox(0x53), 0xed);
+  EXPECT_EQ(aes_sbox(0xff), 0x16);
+}
+
+TEST(SboxReference, IsAPermutation) {
+  std::array<bool, 256> seen{};
+  for (unsigned i = 0; i < 256; ++i) seen[aes_sbox(static_cast<std::uint8_t>(i))] = true;
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+// --- TIE semantics against C++ references ------------------------------------
+
+TEST(TieLibrary, GfmulInstructionMatchesReference) {
+  const tie::TieConfiguration config =
+      tie::compile_tie_source(tie_gfmul_spec());
+  tie::TieState state = config.make_state();
+  Rng rng(8);
+  for (int i = 0; i < 300; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(256));
+    EXPECT_EQ(config.execute(config.find("gfmul")->func, a, b, &state),
+              gf_mul_reference(static_cast<std::uint8_t>(a),
+                               static_cast<std::uint8_t>(b)));
+  }
+}
+
+TEST(TieLibrary, Add4MatchesPerLaneAddition) {
+  const tie::TieConfiguration config =
+      tie::compile_tie_source(tie_add4_spec());
+  tie::TieState state = config.make_state();
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t a = rng.next_u32();
+    const std::uint32_t b = rng.next_u32();
+    const std::uint32_t got =
+        config.execute(config.find("add4")->func, a, b, &state);
+    for (int lane = 0; lane < 4; ++lane) {
+      const std::uint32_t ea =
+          ((a >> (8 * lane)) + (b >> (8 * lane))) & 0xff;
+      EXPECT_EQ((got >> (8 * lane)) & 0xff, ea);
+    }
+  }
+}
+
+TEST(TieLibrary, MacAccumulates) {
+  const tie::TieConfiguration config = tie::compile_tie_source(tie_mac_spec());
+  tie::TieState state = config.make_state();
+  const auto mac = config.find("mac")->func;
+  const auto rdmac = config.find("rdmac")->func;
+  config.execute(mac, 1000, 2000, &state);
+  config.execute(mac, 3000, 3000, &state);
+  EXPECT_EQ(config.execute(rdmac, 0, 0, &state), 1000u * 2000 + 3000u * 3000);
+  config.execute(config.find("clrmac")->func, 0, 0, &state);
+  EXPECT_EQ(config.execute(rdmac, 0, 0, &state), 0u);
+}
+
+TEST(TieLibrary, MacHandlesNegativeOperands) {
+  const tie::TieConfiguration config = tie::compile_tie_source(tie_mac_spec());
+  tie::TieState state = config.make_state();
+  // -5 * 7 accumulated twice = -70; the 48-bit accumulator holds it in
+  // two's complement.
+  const std::uint32_t minus5 = 0xfffffffbu;
+  config.execute(config.find("mac")->func, minus5, 7, &state);
+  config.execute(config.find("mac")->func, minus5, 7, &state);
+  EXPECT_EQ(state.read_state("macc"), (std::uint64_t{1} << 48) - 70);
+}
+
+TEST(TieLibrary, CsaMaintainsSumInvariant) {
+  const tie::TieConfiguration config = tie::compile_tie_source(tie_csa_spec());
+  tie::TieState state = config.make_state();
+  Rng rng(10);
+  std::uint32_t expected = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t a = rng.next_u32();
+    const std::uint32_t b = rng.next_u32();
+    expected += a + b;
+    config.execute(config.find("csa3")->func, a, b, &state);
+    const std::uint32_t flushed = config.execute(
+        config.find("csaflush")->func, 0, 0, &state);
+    EXPECT_EQ(flushed, expected);
+  }
+}
+
+TEST(TieLibrary, FunnelShift) {
+  const tie::TieConfiguration config =
+      tie::compile_tie_source(tie_funnel_spec());
+  tie::TieState state = config.make_state();
+  config.execute(config.find("setsh")->func, 8, 0, &state);
+  const std::uint32_t got = config.execute(
+      config.find("funnel")->func, 0x12345678u, 0x9abcdef0u, &state);
+  EXPECT_EQ(got, (0x12345678u << 8) | (0x9abcdef0u >> 24));
+}
+
+TEST(TieLibrary, BlendInterpolates) {
+  const tie::TieConfiguration config =
+      tie::compile_tie_source(tie_blend_spec());
+  tie::TieState state = config.make_state();
+  config.execute(config.find("setalpha")->func, 256, 0, &state);
+  // alpha = 256: result = rs1 channels exactly.
+  EXPECT_EQ(config.execute(config.find("blend")->func, 0x1234u, 0x9876u,
+                           &state),
+            0x1234u);
+  config.execute(config.find("setalpha")->func, 0, 0, &state);
+  EXPECT_EQ(config.execute(config.find("blend")->func, 0x1234u, 0x9876u,
+                           &state),
+            0x9876u);
+}
+
+TEST(TieLibrary, FullLibraryCompilesAndCoversAllCategories) {
+  const tie::TieConfiguration config =
+      tie::compile_tie_source(tie_full_library_spec());
+  std::array<double, tie::kComponentClassCount> coverage{};
+  for (const tie::CustomInstruction& ci : config.instructions()) {
+    for (std::size_t c = 0; c < tie::kComponentClassCount; ++c) {
+      coverage[c] += ci.execution_weights[c];
+    }
+  }
+  for (std::size_t c = 0; c < tie::kComponentClassCount; ++c) {
+    EXPECT_GT(coverage[c], 0.0)
+        << tie::component_class_name(static_cast<tie::ComponentClass>(c));
+  }
+}
+
+// --- application kernels --------------------------------------------------------
+
+TEST(Apps, InsSortSortsAscending) {
+  const auto program = make_ins_sort(64, 77);
+  const Executed e = execute(program);
+  const auto base = program.image.symbol("array").value();
+  const auto data = read_words(*e.cpu, base, 64);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+TEST(Apps, BubsortSortsAscending) {
+  const auto program = make_bubsort(48, 78);
+  const Executed e = execute(program);
+  const auto data =
+      read_words(*e.cpu, program.image.symbol("array").value(), 48);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+TEST(Apps, SortsPreserveMultiset) {
+  const auto program = make_ins_sort(64, 79);
+  // Initial contents from the image; final from memory.
+  std::vector<std::uint32_t> before(64);
+  const auto base = program.image.symbol("array").value();
+  for (std::size_t i = 0; i < 64; ++i) {
+    before[i] = program.image.read_word(base + 4 * i).value();
+  }
+  const Executed e = execute(program);
+  auto after = read_words(*e.cpu, base, 64);
+  std::sort(before.begin(), before.end());
+  EXPECT_EQ(after, before);
+}
+
+TEST(Apps, GcdComputesGcds) {
+  const auto program = make_gcd(32, 80);
+  const Executed e = execute(program);
+  const auto pairs_base = program.image.symbol("pairs").value();
+  const auto results =
+      read_words(*e.cpu, program.image.symbol("results").value(), 32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::uint32_t a =
+        program.image.read_word(pairs_base + 8 * i).value();
+    const std::uint32_t b =
+        program.image.read_word(pairs_base + 8 * i + 4).value();
+    EXPECT_EQ(results[i], std::gcd(a, b)) << "pair " << i;
+  }
+}
+
+TEST(Apps, AlphablendMatchesFormula) {
+  const auto program = make_alphablend(32, 81);
+  const Executed e = execute(program);
+  const auto a_base = program.image.symbol("img_a").value();
+  const auto b_base = program.image.symbol("img_b").value();
+  const auto out = read_words(*e.cpu, program.image.symbol("img_out").value(), 32);
+  const unsigned alpha = 180;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::uint32_t pa = program.image.read_word(a_base + 4 * i).value();
+    const std::uint32_t pb = program.image.read_word(b_base + 4 * i).value();
+    std::uint32_t expected = 0;
+    for (int lane = 0; lane < 2; ++lane) {
+      const unsigned ca = (pa >> (8 * lane)) & 0xff;
+      const unsigned cb = (pb >> (8 * lane)) & 0xff;
+      expected |= (((alpha * ca + (256 - alpha) * cb) >> 8) & 0xff)
+                  << (8 * lane);
+    }
+    EXPECT_EQ(out[i], expected) << "pixel " << i;
+  }
+}
+
+TEST(Apps, Add4MatchesLaneSum) {
+  const auto program = make_add4(40, 82);
+  const Executed e = execute(program);
+  const auto a_base = program.image.symbol("vec_a").value();
+  const auto b_base = program.image.symbol("vec_b").value();
+  const auto out =
+      read_words(*e.cpu, program.image.symbol("vec_out").value(), 40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const std::uint32_t a = program.image.read_word(a_base + 4 * i).value();
+    const std::uint32_t b = program.image.read_word(b_base + 4 * i).value();
+    std::uint32_t expected = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      expected |= (((a >> (8 * lane)) + (b >> (8 * lane))) & 0xff)
+                  << (8 * lane);
+    }
+    EXPECT_EQ(out[i], expected);
+  }
+}
+
+TEST(Apps, DesRoundsMatchReference) {
+  const auto program = make_des(24, 83);
+  const Executed e = execute(program);
+  const auto in_base = program.image.symbol("blocks").value();
+  const auto out =
+      read_words(*e.cpu, program.image.symbol("blocks_out").value(), 24);
+  auto sboxp = [](std::uint32_t x, std::uint32_t key) {
+    std::uint32_t r = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      const auto idx =
+          static_cast<std::uint8_t>(((x >> (8 * lane)) ^ (key >> (8 * lane))) & 0xff);
+      r |= static_cast<std::uint32_t>(aes_sbox(idx)) << (8 * lane);
+    }
+    return r;
+  };
+  for (std::size_t i = 0; i < 24; ++i) {
+    const std::uint32_t block = program.image.read_word(in_base + 4 * i).value();
+    const std::uint32_t expected =
+        sboxp(sboxp(block, 0x3a94b7c1u), 0x5ce02d88u) ^ block;
+    EXPECT_EQ(out[i], expected) << "block " << i;
+  }
+}
+
+TEST(Apps, AccumulateSumsArray) {
+  const auto program = make_accumulate(64, 84);
+  const Executed e = execute(program);
+  const auto base = program.image.symbol("samples").value();
+  std::uint32_t expected = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    expected += program.image.read_word(base + 4 * i).value();
+  }
+  EXPECT_EQ(e.cpu->memory().read32(program.image.symbol("sum_out").value()),
+            expected);
+}
+
+TEST(Apps, DrawlinePlotsEndpoints) {
+  const auto program = make_drawline(8, 85);
+  const Executed e = execute(program);
+  const auto ep_base = program.image.symbol("endpoints").value();
+  const auto fb = program.image.symbol("framebuffer").value();
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint32_t x0 = program.image.read_word(ep_base + 16 * i).value();
+    const std::uint32_t y0 =
+        program.image.read_word(ep_base + 16 * i + 4).value();
+    const std::uint32_t x1 =
+        program.image.read_word(ep_base + 16 * i + 8).value();
+    EXPECT_EQ(e.cpu->memory().read8(fb + y0 * 128 + x0), 1) << "line " << i;
+    // The x1 column is plotted at some y; scan the column.
+    bool found = false;
+    for (unsigned y = 0; y < 128 && !found; ++y) {
+      found = e.cpu->memory().read8(fb + y * 128 + x1) == 1;
+    }
+    EXPECT_TRUE(found) << "line " << i;
+  }
+}
+
+TEST(Apps, DrawlinePixelCountMatchesBresenham) {
+  // For slope <= 1 lines, Bresenham plots exactly dx+1 pixels per line.
+  const auto program = make_drawline(6, 86);
+  const Executed e = execute(program);
+  const auto ep_base = program.image.symbol("endpoints").value();
+  std::size_t expected_pixels = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::uint32_t x0 = program.image.read_word(ep_base + 16 * i).value();
+    const std::uint32_t x1 =
+        program.image.read_word(ep_base + 16 * i + 8).value();
+    expected_pixels += x1 - x0 + 1;
+  }
+  const auto fb = program.image.symbol("framebuffer").value();
+  std::size_t plotted = 0;
+  for (unsigned off = 0; off < 128 * 128; ++off) {
+    plotted += e.cpu->memory().read8(fb + off);
+  }
+  // Lines may overlap; plotted <= expected, and most pixels are distinct.
+  EXPECT_LE(plotted, expected_pixels);
+  EXPECT_GE(plotted, expected_pixels / 2);
+}
+
+TEST(Apps, MultiAccumulateBlocksMatchMac) {
+  const unsigned n = 64, block = 16;
+  const auto program = make_multi_accumulate(n, 87);
+  const Executed e = execute(program);
+  const auto a_base = program.image.symbol("sig_a").value();
+  const auto b_base = program.image.symbol("sig_b").value();
+  const auto out_base = program.image.symbol("mac_out").value();
+  for (unsigned blk = 0; blk < n / block; ++blk) {
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < block; ++i) {
+      const std::uint64_t a =
+          program.image.read_word(a_base + 4 * (blk * block + i)).value();
+      const std::uint64_t b =
+          program.image.read_word(b_base + 4 * (blk * block + i)).value();
+      acc += a * b;
+    }
+    const std::uint32_t lo = e.cpu->memory().read32(out_base + 8 * blk);
+    const std::uint32_t hi = e.cpu->memory().read32(out_base + 8 * blk + 4);
+    EXPECT_EQ(lo, static_cast<std::uint32_t>(acc));
+    EXPECT_EQ(hi, static_cast<std::uint32_t>(acc >> 32) & 0xffff);
+  }
+}
+
+TEST(Apps, SeqMultChainMatches) {
+  const auto program = make_seq_mult(50, 88);
+  const Executed e = execute(program);
+  const auto f_base = program.image.symbol("factors").value();
+  const auto out =
+      read_words(*e.cpu, program.image.symbol("prod_out").value(), 50);
+  std::uint32_t running = 3;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const std::uint32_t f = program.image.read_word(f_base + 4 * i).value();
+    const std::int64_t product =
+        static_cast<std::int64_t>(static_cast<std::int16_t>(running)) *
+        static_cast<std::int16_t>(f);
+    running = (static_cast<std::uint32_t>(product) & 0x3fff) | 1;
+    EXPECT_EQ(out[i], running) << "step " << i;
+  }
+}
+
+TEST(Apps, SuiteHasTenNamedPrograms) {
+  const auto suite = application_suite();
+  ASSERT_EQ(suite.size(), 10u);
+  EXPECT_EQ(suite[0].name, "Ins_sort");
+  EXPECT_EQ(suite[5].name, "DES");
+  EXPECT_EQ(suite[9].name, "Seq_mult");
+  for (const auto& program : suite) {
+    const Executed e = execute(program);
+    EXPECT_GT(e.stats.instructions, 500u) << program.name;
+  }
+}
+
+// --- characterization suite -----------------------------------------------------
+
+TEST(CharSuite, AllProgramsRunToCompletion) {
+  for (const auto& program : characterization_suite()) {
+    const Executed e = execute(program);
+    EXPECT_GT(e.stats.instructions, 100u) << program.name;
+    EXPECT_LT(e.stats.instructions, 2'000'000u) << program.name;
+  }
+}
+
+TEST(CharSuite, CoversEveryMacroModelVariable) {
+  model::MacroModelVariables total;
+  for (const auto& program : characterization_suite()) {
+    total += execute(program).vars;
+  }
+  for (std::size_t i = 0; i < model::kNumVariables; ++i) {
+    EXPECT_GT(total[i], 0.0) << model::variable_name(i);
+  }
+}
+
+TEST(CharSuite, DeterministicForSeed) {
+  const auto a = characterization_suite(123);
+  const auto b = characterization_suite(123);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].image.segments().size(), b[i].image.segments().size());
+    EXPECT_EQ(a[i].image.total_bytes(), b[i].image.total_bytes());
+  }
+}
+
+// --- Reed-Solomon ---------------------------------------------------------------
+
+TEST(ReedSolomon, GeneratorPolyAnnihilatesItsRoots) {
+  // g(alpha^i) == 0 for i = 0..7: evaluate the monic polynomial.
+  const auto taps = rs_generator_poly();  // G[i] = c_{7-i}
+  for (unsigned i = 0; i < 8; ++i) {
+    const std::uint8_t x = gf_pow_alpha(i);
+    // value = x^8 + sum_j c_j x^j, with c_j = taps[7-j].
+    std::uint8_t value = 1;
+    for (int k = 0; k < 8; ++k) value = gf_mul_reference(value, x);
+    std::uint8_t xp = 1;
+    for (unsigned j = 0; j < 8; ++j) {
+      value ^= gf_mul_reference(taps[7 - j], xp);
+      xp = gf_mul_reference(xp, x);
+    }
+    EXPECT_EQ(value, 0) << "root alpha^" << i;
+  }
+}
+
+TEST(ReedSolomon, EncodedCodewordHasZeroSyndromes) {
+  Rng rng(33);
+  std::vector<std::uint8_t> msg(15);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_below(256));
+  const auto parity = rs_encode_reference(msg);
+  std::vector<std::uint8_t> cw(msg.begin(), msg.end());
+  cw.insert(cw.end(), parity.begin(), parity.end());
+  cw.push_back(0);  // pad
+  const auto syndromes = rs_syndromes_reference(cw);
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(syndromes[i], 0) << "S_" << i;
+  }
+}
+
+TEST(ReedSolomon, ErrorMakesSyndromesNonZero) {
+  std::vector<std::uint8_t> msg(15, 0x41);
+  const auto parity = rs_encode_reference(msg);
+  std::vector<std::uint8_t> cw(msg.begin(), msg.end());
+  cw.insert(cw.end(), parity.begin(), parity.end());
+  cw.push_back(0);
+  cw[5] ^= 0x27;
+  const auto syndromes = rs_syndromes_reference(cw);
+  bool any = false;
+  for (std::uint8_t s : syndromes) any |= s != 0;
+  EXPECT_TRUE(any);
+}
+
+class RsKernel : public ::testing::TestWithParam<RsConfig> {};
+
+TEST_P(RsKernel, MatchesReferenceEncoderAndSyndromes) {
+  const unsigned blocks = 6;
+  const auto program = make_reed_solomon(GetParam(), blocks, 91);
+  const Executed e = execute(program);
+  const auto msg_base = program.image.symbol("msg").value();
+  const auto parity_base = program.image.symbol("parity_out").value();
+  const auto synd_base = program.image.symbol("synd_out").value();
+
+  for (unsigned blk = 0; blk < blocks; ++blk) {
+    std::vector<std::uint8_t> msg(15);
+    for (unsigned i = 0; i < 15; ++i) {
+      msg[i] = e.cpu->memory().read8(msg_base + blk * 15 + i);
+    }
+    const auto parity = rs_encode_reference(msg);
+    for (unsigned i = 0; i < 8; ++i) {
+      EXPECT_EQ(e.cpu->memory().read8(parity_base + blk * 8 + i), parity[i])
+          << "block " << blk << " parity byte " << i;
+    }
+    // Rebuild the padded codeword (with the kernel's error injection for
+    // odd countdown values: blocks are processed with s1 = blocks..1, and
+    // the error hits when s1 is odd).
+    std::vector<std::uint8_t> cw(msg.begin(), msg.end());
+    cw.insert(cw.end(), parity.begin(), parity.end());
+    cw.push_back(0);
+    const unsigned countdown = blocks - blk;
+    if (countdown % 2 == 1) cw[5] ^= 0x27;
+    const auto syndromes = rs_syndromes_reference(cw);
+    for (unsigned i = 0; i < 8; ++i) {
+      EXPECT_EQ(e.cpu->memory().read8(synd_base + blk * 8 + i), syndromes[i])
+          << "block " << blk << " syndrome " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, RsKernel,
+                         ::testing::Values(RsConfig::kBase, RsConfig::kGfMul,
+                                           RsConfig::kGfMac,
+                                           RsConfig::kGfMac2));
+
+TEST(ReedSolomon, CustomConfigsReduceCycles) {
+  const auto variants = reed_solomon_variants(91);
+  ASSERT_EQ(variants.size(), 4u);
+  std::vector<std::uint64_t> cycles;
+  for (const auto& program : variants) {
+    cycles.push_back(execute(program).stats.cycles);
+  }
+  // Every extension beats the base config; the packed variant beats the
+  // scalar MAC variant.
+  EXPECT_GT(cycles[0], cycles[1]);
+  EXPECT_GT(cycles[0], cycles[2]);
+  EXPECT_GT(cycles[2], cycles[3]);
+}
+
+
+// --- extra applications (FIR / CRC-32 / SAD) ------------------------------------
+
+TEST(Extras, FirMatchesReference) {
+  const unsigned n = 64;
+  const auto program = make_fir(n, 55);
+  const Executed e = execute(program);
+  const auto s_base = program.image.symbol("samples").value();
+  const auto t_base = program.image.symbol("taps").value();
+  const auto o_base = program.image.symbol("fir_out").value();
+
+  std::vector<std::int16_t> samples(n), taps(8);
+  for (unsigned i = 0; i < n; ++i) {
+    samples[i] = static_cast<std::int16_t>(e.cpu->memory().read16(s_base + 2 * i));
+  }
+  for (unsigned i = 0; i < 8; ++i) {
+    taps[i] = static_cast<std::int16_t>(e.cpu->memory().read16(t_base + 2 * i));
+  }
+  const auto expected = fir_reference(samples, taps);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(static_cast<std::int32_t>(
+                  e.cpu->memory().read32(o_base + 4 * static_cast<std::uint32_t>(i))),
+              expected[i])
+        << "output " << i;
+  }
+}
+
+TEST(Extras, Crc32MatchesReference) {
+  const unsigned bytes = 256;
+  const auto program = make_crc32(bytes, 56);
+  const Executed e = execute(program);
+  const auto p_base = program.image.symbol("payload").value();
+  std::vector<std::uint8_t> payload(bytes);
+  for (unsigned i = 0; i < bytes; ++i) {
+    payload[i] = e.cpu->memory().read8(p_base + i);
+  }
+  EXPECT_EQ(e.cpu->memory().read32(program.image.symbol("crc_out").value()),
+            crc32_reference(payload));
+}
+
+TEST(Extras, Crc32KnownVector) {
+  // "123456789" -> 0xCBF43926 (the canonical CRC-32 check value).
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32_reference(digits), 0xcbf43926u);
+}
+
+TEST(Extras, SadMatchesReference) {
+  const unsigned blocks = 3;
+  const auto program = make_sad(blocks, 57);
+  const Executed e = execute(program);
+  const auto c_base = program.image.symbol("cur_frame").value();
+  const auto r_base = program.image.symbol("ref_frame").value();
+  const auto o_base = program.image.symbol("sad_out").value();
+  const unsigned block_bytes = 64 * 4;
+  for (unsigned blk = 0; blk < blocks; ++blk) {
+    std::vector<std::uint8_t> cur(block_bytes), ref(block_bytes);
+    for (unsigned i = 0; i < block_bytes; ++i) {
+      cur[i] = e.cpu->memory().read8(c_base + blk * block_bytes + i);
+      ref[i] = e.cpu->memory().read8(r_base + blk * block_bytes + i);
+    }
+    EXPECT_EQ(e.cpu->memory().read32(o_base + 4 * blk),
+              sad_reference(cur, ref))
+        << "block " << blk;
+  }
+}
+
+TEST(Extras, SuiteRunsAndUsesItsExtensions) {
+  for (const auto& program : extras_suite()) {
+    const Executed e = execute(program);
+    EXPECT_GT(e.stats.instructions, 500u) << program.name;
+    EXPECT_FALSE(e.stats.custom_counts.empty()) << program.name;
+  }
+}
+
+
+// --- seed sweeps: the generators must be correct for any seed -------------------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, SortsStayCorrect) {
+  const std::uint64_t seed = GetParam();
+  const auto program = make_ins_sort(40, seed);
+  const Executed e = execute(program);
+  const auto data =
+      read_words(*e.cpu, program.image.symbol("array").value(), 40);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end())) << "seed " << seed;
+}
+
+TEST_P(SeedSweep, GcdStaysCorrect) {
+  const std::uint64_t seed = GetParam();
+  const auto program = make_gcd(16, seed);
+  const Executed e = execute(program);
+  const auto pairs_base = program.image.symbol("pairs").value();
+  const auto results =
+      read_words(*e.cpu, program.image.symbol("results").value(), 16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint32_t a = program.image.read_word(pairs_base + 8 * i).value();
+    const std::uint32_t b =
+        program.image.read_word(pairs_base + 8 * i + 4).value();
+    EXPECT_EQ(results[i], std::gcd(a, b)) << "seed " << seed << " pair " << i;
+  }
+}
+
+TEST_P(SeedSweep, AccumulateStaysCorrect) {
+  const std::uint64_t seed = GetParam();
+  const auto program = make_accumulate(32, seed);
+  const Executed e = execute(program);
+  const auto base = program.image.symbol("samples").value();
+  std::uint32_t expected = 0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    expected += program.image.read_word(base + 4 * i).value();
+  }
+  EXPECT_EQ(e.cpu->memory().read32(program.image.symbol("sum_out").value()),
+            expected)
+      << "seed " << seed;
+}
+
+TEST_P(SeedSweep, Crc32StaysCorrect) {
+  const std::uint64_t seed = GetParam();
+  const auto program = make_crc32(128, seed);
+  const Executed e = execute(program);
+  const auto p_base = program.image.symbol("payload").value();
+  std::vector<std::uint8_t> payload(128);
+  for (unsigned i = 0; i < 128; ++i) {
+    payload[i] = e.cpu->memory().read8(p_base + i);
+  }
+  EXPECT_EQ(e.cpu->memory().read32(program.image.symbol("crc_out").value()),
+            crc32_reference(payload))
+      << "seed " << seed;
+}
+
+TEST_P(SeedSweep, ReedSolomonParityStaysCorrect) {
+  const std::uint64_t seed = GetParam();
+  const auto program = make_reed_solomon(RsConfig::kGfMul, 3, seed);
+  const Executed e = execute(program);
+  const auto msg_base = program.image.symbol("msg").value();
+  const auto parity_base = program.image.symbol("parity_out").value();
+  for (unsigned blk = 0; blk < 3; ++blk) {
+    std::vector<std::uint8_t> msg(15);
+    for (unsigned i = 0; i < 15; ++i) {
+      msg[i] = e.cpu->memory().read8(msg_base + blk * 15 + i);
+    }
+    const auto parity = rs_encode_reference(msg);
+    for (unsigned i = 0; i < 8; ++i) {
+      EXPECT_EQ(e.cpu->memory().read8(parity_base + blk * 8 + i), parity[i])
+          << "seed " << seed << " block " << blk;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1000u, 31337u,
+                                           0xdeadbeefu, 0xffffffffffffffffull));
+
+}  // namespace
+}  // namespace exten::workloads

@@ -1,0 +1,116 @@
+#pragma once
+
+// Shared helpers for the xtc-* command-line tools: file IO, flag parsing,
+// and loading a program (assembly source or serialized image) together
+// with its optional TIE-lite extension.
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "isa/image_io.h"
+#include "tie/compiler.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace exten::tools {
+
+/// Reads a whole file; throws exten::Error when unreadable.
+inline std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXTEN_CHECK(file.good(), "cannot read '", path, "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+/// Writes a whole file; throws exten::Error on failure.
+inline void write_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary);
+  EXTEN_CHECK(file.good(), "cannot write '", path, "'");
+  file << content;
+  EXTEN_CHECK(file.good(), "write to '", path, "' failed");
+}
+
+/// Minimal flag parser: positional arguments plus --flag / --flag VALUE.
+/// A flag greedily consumes the next token as its value unless that token
+/// is itself a flag (this is what lets --trace / --profile take optional
+/// counts); positional arguments therefore must precede bare flags.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (starts_with(arg, "--")) {
+        const std::string name = arg.substr(2);
+        if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+          flags_[name] = argv[++i];
+        } else {
+          flags_[name] = "";
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& name) const { return flags_.count(name) != 0; }
+
+  std::optional<std::string> value(const std::string& name) const {
+    auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;
+};
+
+/// A loaded program: image + extension (never null).
+struct LoadedProgram {
+  isa::ProgramImage image;
+  std::shared_ptr<const tie::TieConfiguration> tie;
+};
+
+/// Loads `path` as assembly (default) or a serialized image (".img" or
+/// --image), applying the optional --tie specification.
+inline LoadedProgram load_program(const std::string& path, const Args& args) {
+  LoadedProgram loaded;
+  auto config = std::make_shared<tie::TieConfiguration>();
+  if (auto tie_path = args.value("tie")) {
+    *config = tie::compile_tie_source(read_file(*tie_path));
+  }
+  loaded.tie = config;
+
+  const std::string content = read_file(path);
+  const bool is_image = args.has("image") || ends_with(path, ".img");
+  if (is_image) {
+    loaded.image = isa::parse_image(content);
+  } else {
+    isa::AssemblerOptions options;
+    options.custom_mnemonics = config->assembler_mnemonics();
+    loaded.image = isa::assemble(content, options);
+  }
+  return loaded;
+}
+
+/// Standard tool main wrapper: catches exten::Error and prints it.
+template <typename Body>
+int tool_main(const char* tool, Body&& body) {
+  try {
+    return body();
+  } catch (const Error& e) {
+    std::cerr << tool << ": error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace exten::tools

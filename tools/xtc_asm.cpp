@@ -1,0 +1,60 @@
+// xtc-asm: assemble XTC-32 source into a program image.
+//
+//   xtc-asm program.s [--tie spec.tie] [--out program.img] [--list]
+//
+// --tie   registers a TIE-lite extension's mnemonics
+// --out   image output path (default: input with .img appended)
+// --list  print a listing (addresses + disassembly) to stdout
+
+#include "isa/disassembler.h"
+#include "tools/tool_common.h"
+
+int main(int argc, char** argv) {
+  using namespace exten;
+  return tools::tool_main("xtc-asm", [&] {
+    const tools::Args args(argc, argv);
+    if (args.positional().size() != 1) {
+      std::cerr << "usage: xtc-asm program.s [--tie spec.tie] "
+                   "[--out program.img] [--list]\n";
+      return 2;
+    }
+    const std::string input = args.positional()[0];
+
+    auto config = std::make_shared<tie::TieConfiguration>();
+    if (auto tie_path = args.value("tie")) {
+      *config = tie::compile_tie_source(tools::read_file(*tie_path));
+    }
+    isa::AssemblerOptions options;
+    options.custom_mnemonics = config->assembler_mnemonics();
+    const isa::ProgramImage image =
+        isa::assemble(tools::read_file(input), options);
+
+    const std::string output =
+        args.value("out").value_or(input + ".img");
+    tools::write_file(output, isa::image_to_string(image));
+    std::cout << "wrote " << output << " (" << image.total_bytes()
+              << " bytes in " << image.segments().size()
+              << " segment(s), entry 0x" << std::hex << image.entry_point()
+              << std::dec << ")\n";
+
+    if (args.has("list")) {
+      isa::DisassemblerOptions disasm;
+      disasm.custom_mnemonics = config->disassembler_mnemonics();
+      for (const isa::Segment& segment : image.segments()) {
+        for (std::uint32_t offset = 0; offset + 4 <= segment.bytes.size();
+             offset += 4) {
+          const std::uint32_t addr = segment.base + offset;
+          const auto word = image.read_word(addr);
+          if (!word) continue;
+          std::printf("0x%08x  %08x  ", addr, *word);
+          try {
+            std::printf("%s\n", isa::disassemble_word(*word, disasm).c_str());
+          } catch (const Error&) {
+            std::printf(".word 0x%08x\n", *word);  // data, not code
+          }
+        }
+      }
+    }
+    return 0;
+  });
+}

@@ -1,0 +1,60 @@
+// xtc-characterize: run the characterization flow and save the fitted
+// macro-model (the CLI twin of examples/characterize_processor, with
+// fitting options exposed).
+//
+//   xtc-characterize [--out xtc32.macromodel] [--method qr|pinv]
+//                    [--nonnegative] [--ridge LAMBDA] [--seed N]
+//                    [--table]
+
+#include "model/characterize.h"
+#include "tools/tool_common.h"
+#include "workloads/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace exten;
+  return tools::tool_main("xtc-characterize", [&] {
+    const tools::Args args(argc, argv);
+
+    model::CharacterizeOptions options;
+    if (auto method = args.value("method")) {
+      if (*method == "qr") {
+        options.method = model::FitMethod::kQr;
+      } else if (*method == "pinv") {
+        options.method = model::FitMethod::kPseudoInverse;
+      } else {
+        throw Error("unknown --method '", *method, "' (qr|pinv)");
+      }
+    }
+    options.nonnegative = args.has("nonnegative");
+    if (auto ridge = args.value("ridge")) {
+      options.ridge_lambda = std::stod(*ridge);
+    }
+
+    std::uint64_t seed = 7;
+    if (auto v = args.value("seed")) {
+      std::int64_t n = 0;
+      EXTEN_CHECK(parse_int(*v, &n) && n >= 0, "bad --seed '", *v, "'");
+      seed = static_cast<std::uint64_t>(n);
+    }
+
+    std::cout << "characterizing (this runs the full suite through the "
+                 "RTL-level estimator)...\n";
+    const auto suite = workloads::characterization_suite(seed);
+    const model::CharacterizationResult result =
+        model::characterize(suite, options);
+
+    std::cout << "  " << suite.size() << " programs, R^2 = "
+              << format_fixed(result.r_squared, 6) << ", RMS fit error "
+              << format_fixed(result.rms_error_percent, 2) << " %, max "
+              << format_fixed(result.max_abs_error_percent, 2) << " %\n";
+    if (args.has("table")) {
+      result.model.coefficient_table().print(std::cout);
+    }
+
+    const std::string output =
+        args.value("out").value_or("xtc32.macromodel");
+    tools::write_file(output, result.model.serialize());
+    std::cout << "model written to " << output << "\n";
+    return 0;
+  });
+}

@@ -1,0 +1,74 @@
+// xtc-energy: estimate a program's energy.
+//
+//   xtc-energy program.s|program.img [--tie spec.tie]
+//              [--model xtc32.macromodel] [--reference] [--breakdown]
+//
+// With --model, uses the fitted macro-model (fast path: ISS +
+// resource-usage analysis + dot product) — produce the model file with
+// examples/characterize_processor or xtc-characterize.
+// With --reference (or no model), runs the RTL-level structural estimator
+// (slow path, ground truth); --breakdown prints per-block energies.
+
+#include "model/estimate.h"
+#include "tools/tool_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace exten;
+  return tools::tool_main("xtc-energy", [&] {
+    const tools::Args args(argc, argv);
+    if (args.positional().size() != 1) {
+      std::cerr << "usage: xtc-energy program.s|program.img [--tie spec.tie] "
+                   "[--model FILE] [--reference] [--breakdown]\n";
+      return 2;
+    }
+    tools::LoadedProgram loaded =
+        tools::load_program(args.positional()[0], args);
+    model::TestProgram program;
+    program.name = args.positional()[0];
+    program.image = std::move(loaded.image);
+    program.tie = loaded.tie;
+
+    const bool want_reference = args.has("reference") || !args.has("model");
+
+    if (args.has("model")) {
+      const auto path = args.value("model");
+      EXTEN_CHECK(path.has_value(), "--model needs a file path");
+      const model::EnergyMacroModel macro_model =
+          model::EnergyMacroModel::deserialize(tools::read_file(*path));
+      const model::EnergyEstimate estimate =
+          model::estimate_energy(macro_model, program);
+      std::cout << "macro-model estimate: "
+                << format_fixed(estimate.energy_uj(), 3) << " uJ  ("
+                << with_commas(estimate.stats.cycles) << " cycles, "
+                << format_fixed(estimate.elapsed_seconds * 1e3, 2)
+                << " ms to estimate)\n";
+    }
+
+    if (want_reference) {
+      const model::ReferenceResult reference =
+          model::reference_energy(program);
+      std::cout << "RTL-level reference:  "
+                << format_fixed(reference.energy_uj(), 3) << " uJ  ("
+                << with_commas(reference.stats.cycles) << " cycles, "
+                << format_fixed(reference.elapsed_seconds * 1e3, 2)
+                << " ms to simulate, "
+                << format_fixed(
+                       reference.energy_pj * 1e-12 /
+                           reference.stats.seconds_at(187.0) * 1e3,
+                       1)
+                << " mW @ 187 MHz)\n";
+      if (args.has("breakdown")) {
+        AsciiTable table({"Block", "Energy (uJ)", "Share (%)"});
+        for (const auto& [name, pj] : reference.breakdown) {
+          if (pj <= 0.0) continue;
+          table.add_row({name, format_fixed(pj * 1e-6, 3),
+                         format_fixed(100.0 * pj / reference.energy_pj, 1)});
+        }
+        std::cout << "\n";
+        table.print(std::cout);
+      }
+    }
+    return 0;
+  });
+}

@@ -1,0 +1,77 @@
+// xtc-explore: rank candidate instruction-set extensions for an
+// application using only the macro-model fast path.
+//
+//   xtc-explore manifest.txt --model xtc32.macromodel
+//               [--objective energy|delay|edp]
+//
+// The manifest lists one candidate per line:
+//
+//   # name         assembly            tie spec (optional: '-' = base only)
+//   base           rs_base.s           -
+//   gfmul          rs_gfmul.s          gfmul.tie
+//
+// Paths are relative to the manifest's directory.
+
+#include "explore/explore.h"
+#include "tools/tool_common.h"
+
+int main(int argc, char** argv) {
+  using namespace exten;
+  return tools::tool_main("xtc-explore", [&] {
+    const tools::Args args(argc, argv);
+    if (args.positional().size() != 1 || !args.has("model")) {
+      std::cerr << "usage: xtc-explore manifest.txt --model FILE "
+                   "[--objective energy|delay|edp]\n";
+      return 2;
+    }
+    const std::string manifest_path = args.positional()[0];
+    const std::string dir =
+        manifest_path.find('/') == std::string::npos
+            ? std::string(".")
+            : manifest_path.substr(0, manifest_path.rfind('/'));
+
+    explore::Objective objective = explore::Objective::kEdp;
+    if (auto o = args.value("objective")) {
+      if (*o == "energy") objective = explore::Objective::kEnergy;
+      else if (*o == "delay") objective = explore::Objective::kDelay;
+      else if (*o == "edp") objective = explore::Objective::kEdp;
+      else throw Error("unknown --objective '", *o, "'");
+    }
+
+    const model::EnergyMacroModel macro_model =
+        model::EnergyMacroModel::deserialize(
+            tools::read_file(args.value("model").value()));
+
+    std::vector<explore::Candidate> candidates;
+    int line_number = 0;
+    const std::string manifest = tools::read_file(manifest_path);
+    for (std::string_view line : split_lines(manifest)) {
+      ++line_number;
+      line = trim(line);
+      if (line.empty() || line[0] == '#') continue;
+      std::vector<std::string_view> fields;
+      for (std::string_view f : split(line, ' ')) {
+        if (!trim(f).empty()) fields.push_back(trim(f));
+      }
+      EXTEN_CHECK(fields.size() == 2 || fields.size() == 3, "manifest line ",
+                  line_number, ": expected NAME ASM [TIE]");
+      const std::string name(fields[0]);
+      const std::string asm_path = dir + "/" + std::string(fields[1]);
+      std::string tie_source;
+      if (fields.size() == 3 && fields[2] != "-") {
+        tie_source = tools::read_file(dir + "/" + std::string(fields[2]));
+      }
+      candidates.push_back(
+          {name, model::make_test_program(name, tools::read_file(asm_path),
+                                          tie_source)});
+    }
+    EXTEN_CHECK(!candidates.empty(), "manifest lists no candidates");
+
+    const explore::ExploreResult result =
+        explore::rank_candidates(candidates, macro_model, objective);
+    explore::to_table(result).print(std::cout);
+    std::cout << "\nbest by the chosen objective: " << result.best().name
+              << "\n";
+    return 0;
+  });
+}

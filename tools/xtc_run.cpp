@@ -1,0 +1,105 @@
+// xtc-run: execute a program on the XTC-32 simulator.
+//
+//   xtc-run program.s|program.img [--tie spec.tie] [--trace [N]]
+//           [--profile [N]] [--max-instructions N] [--dump-regs]
+//
+// Prints the execution statistics (instructions, cycles, CPI, cache
+// behaviour, custom-instruction counts); --trace streams a disassembled
+// trace, --profile prints the hottest PCs.
+
+#include "sim/cpu.h"
+#include "sim/stats.h"
+#include "sim/tracer.h"
+#include "tools/tool_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace exten;
+  return tools::tool_main("xtc-run", [&] {
+    const tools::Args args(argc, argv);
+    if (args.positional().size() != 1) {
+      std::cerr << "usage: xtc-run program.s|program.img [--tie spec.tie] "
+                   "[--trace N] [--profile N] [--max-instructions N] "
+                   "[--dump-regs]\n";
+      return 2;
+    }
+    const tools::LoadedProgram loaded =
+        tools::load_program(args.positional()[0], args);
+
+    sim::Cpu cpu({}, *loaded.tie);
+    cpu.load_program(loaded.image);
+
+    sim::StatsCollector stats;
+    cpu.add_observer(&stats);
+
+    std::unique_ptr<sim::TraceWriter> tracer;
+    if (args.has("trace")) {
+      sim::TraceWriter::Options topt;
+      std::int64_t lines = 0;
+      if (auto v = args.value("trace"); v && parse_int(*v, &lines)) {
+        topt.max_lines = static_cast<std::uint64_t>(lines);
+      }
+      topt.disassembler.custom_mnemonics =
+          loaded.tie->disassembler_mnemonics();
+      tracer = std::make_unique<sim::TraceWriter>(std::cout, topt);
+      cpu.add_observer(tracer.get());
+    }
+    sim::PcProfile profile;
+    if (args.has("profile")) cpu.add_observer(&profile);
+
+    std::uint64_t budget = 200'000'000;
+    if (auto v = args.value("max-instructions")) {
+      std::int64_t n = 0;
+      EXTEN_CHECK(parse_int(*v, &n) && n > 0, "bad --max-instructions '", *v,
+                  "'");
+      budget = static_cast<std::uint64_t>(n);
+    }
+    const sim::RunResult result = cpu.run(budget);
+
+    const sim::ExecutionStats& s = stats.stats();
+    AsciiTable table({"Statistic", "Value"});
+    table.add_row({"instructions", with_commas(s.instructions)});
+    table.add_row({"cycles", with_commas(s.cycles)});
+    table.add_row({"CPI", format_fixed(s.cpi(), 3)});
+    table.add_row({"time @ 187 MHz (ms)",
+                   format_fixed(s.seconds_at(187.0) * 1e3, 3)});
+    table.add_row({"icache misses", with_commas(s.icache_misses)});
+    table.add_row({"dcache misses", with_commas(s.dcache_misses)});
+    table.add_row({"uncached fetches", with_commas(s.uncached_fetches)});
+    table.add_row({"interlocks", with_commas(s.interlock_events)});
+    table.add_row({"branches taken/untaken",
+                   with_commas(s.branches_taken) + " / " +
+                       with_commas(s.branches_untaken)});
+    for (const auto& [name, count] : s.custom_counts) {
+      table.add_row({"custom " + name, with_commas(count)});
+    }
+    table.print(std::cout);
+    (void)result;
+
+    if (args.has("profile")) {
+      std::int64_t top = 10;
+      if (auto v = args.value("profile")) parse_int(*v, &top);
+      std::cout << "\nhottest PCs (" << profile.distinct_pcs()
+                << " distinct):\n";
+      for (const auto& entry :
+           profile.hottest(static_cast<std::size_t>(top))) {
+        std::printf("  0x%08x  %12llu cycles  %10llu executions\n", entry.pc,
+                    static_cast<unsigned long long>(entry.cycles),
+                    static_cast<unsigned long long>(entry.executions));
+      }
+      std::printf("  top-%lld concentration: %.1f %%\n",
+                  static_cast<long long>(top),
+                  100.0 * profile.concentration(static_cast<std::size_t>(top)));
+    }
+
+    if (args.has("dump-regs")) {
+      std::cout << "\nregisters:\n";
+      for (unsigned r = 0; r < isa::kNumRegisters; r += 4) {
+        std::printf("  r%-2u 0x%08x  r%-2u 0x%08x  r%-2u 0x%08x  r%-2u 0x%08x\n",
+                    r, cpu.reg(r), r + 1, cpu.reg(r + 1), r + 2,
+                    cpu.reg(r + 2), r + 3, cpu.reg(r + 3));
+      }
+    }
+    return 0;
+  });
+}
