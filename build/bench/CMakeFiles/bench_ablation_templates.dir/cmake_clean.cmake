@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_templates.dir/bench_ablation_templates.cpp.o"
+  "CMakeFiles/bench_ablation_templates.dir/bench_ablation_templates.cpp.o.d"
+  "bench_ablation_templates"
+  "bench_ablation_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

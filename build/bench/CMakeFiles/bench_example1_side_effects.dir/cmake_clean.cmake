@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example1_side_effects.dir/bench_example1_side_effects.cpp.o"
+  "CMakeFiles/bench_example1_side_effects.dir/bench_example1_side_effects.cpp.o.d"
+  "bench_example1_side_effects"
+  "bench_example1_side_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example1_side_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

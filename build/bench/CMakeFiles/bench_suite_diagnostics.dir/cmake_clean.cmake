@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_suite_diagnostics.dir/bench_suite_diagnostics.cpp.o"
+  "CMakeFiles/bench_suite_diagnostics.dir/bench_suite_diagnostics.cpp.o.d"
+  "bench_suite_diagnostics"
+  "bench_suite_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_suite_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_processor.dir/characterize_processor.cpp.o"
+  "CMakeFiles/characterize_processor.dir/characterize_processor.cpp.o.d"
+  "characterize_processor"
+  "characterize_processor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_processor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

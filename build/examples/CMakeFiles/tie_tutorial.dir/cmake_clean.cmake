@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tie_tutorial.dir/tie_tutorial.cpp.o"
+  "CMakeFiles/tie_tutorial.dir/tie_tutorial.cpp.o.d"
+  "tie_tutorial"
+  "tie_tutorial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tie_tutorial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

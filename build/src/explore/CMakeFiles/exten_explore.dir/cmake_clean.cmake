@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exten_explore.dir/explore.cpp.o"
+  "CMakeFiles/exten_explore.dir/explore.cpp.o.d"
+  "libexten_explore.a"
+  "libexten_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exten_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

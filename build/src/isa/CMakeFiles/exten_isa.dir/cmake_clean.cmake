@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exten_isa.dir/assembler.cpp.o"
+  "CMakeFiles/exten_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/exten_isa.dir/disassembler.cpp.o"
+  "CMakeFiles/exten_isa.dir/disassembler.cpp.o.d"
+  "CMakeFiles/exten_isa.dir/encoding.cpp.o"
+  "CMakeFiles/exten_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/exten_isa.dir/image_io.cpp.o"
+  "CMakeFiles/exten_isa.dir/image_io.cpp.o.d"
+  "CMakeFiles/exten_isa.dir/isa.cpp.o"
+  "CMakeFiles/exten_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/exten_isa.dir/program.cpp.o"
+  "CMakeFiles/exten_isa.dir/program.cpp.o.d"
+  "libexten_isa.a"
+  "libexten_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exten_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

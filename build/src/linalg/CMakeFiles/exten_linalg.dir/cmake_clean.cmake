@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exten_linalg.dir/least_squares.cpp.o"
+  "CMakeFiles/exten_linalg.dir/least_squares.cpp.o.d"
+  "CMakeFiles/exten_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/exten_linalg.dir/matrix.cpp.o.d"
+  "libexten_linalg.a"
+  "libexten_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exten_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/characterize.cpp" "src/model/CMakeFiles/exten_model.dir/characterize.cpp.o" "gcc" "src/model/CMakeFiles/exten_model.dir/characterize.cpp.o.d"
+  "/root/repo/src/model/estimate.cpp" "src/model/CMakeFiles/exten_model.dir/estimate.cpp.o" "gcc" "src/model/CMakeFiles/exten_model.dir/estimate.cpp.o.d"
+  "/root/repo/src/model/macro_model.cpp" "src/model/CMakeFiles/exten_model.dir/macro_model.cpp.o" "gcc" "src/model/CMakeFiles/exten_model.dir/macro_model.cpp.o.d"
+  "/root/repo/src/model/profiler.cpp" "src/model/CMakeFiles/exten_model.dir/profiler.cpp.o" "gcc" "src/model/CMakeFiles/exten_model.dir/profiler.cpp.o.d"
+  "/root/repo/src/model/test_program.cpp" "src/model/CMakeFiles/exten_model.dir/test_program.cpp.o" "gcc" "src/model/CMakeFiles/exten_model.dir/test_program.cpp.o.d"
+  "/root/repo/src/model/validate.cpp" "src/model/CMakeFiles/exten_model.dir/validate.cpp.o" "gcc" "src/model/CMakeFiles/exten_model.dir/validate.cpp.o.d"
+  "/root/repo/src/model/variables.cpp" "src/model/CMakeFiles/exten_model.dir/variables.cpp.o" "gcc" "src/model/CMakeFiles/exten_model.dir/variables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/exten_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/exten_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/exten_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tie/CMakeFiles/exten_tie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/exten_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/exten_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exten_model.dir/characterize.cpp.o"
+  "CMakeFiles/exten_model.dir/characterize.cpp.o.d"
+  "CMakeFiles/exten_model.dir/estimate.cpp.o"
+  "CMakeFiles/exten_model.dir/estimate.cpp.o.d"
+  "CMakeFiles/exten_model.dir/macro_model.cpp.o"
+  "CMakeFiles/exten_model.dir/macro_model.cpp.o.d"
+  "CMakeFiles/exten_model.dir/profiler.cpp.o"
+  "CMakeFiles/exten_model.dir/profiler.cpp.o.d"
+  "CMakeFiles/exten_model.dir/test_program.cpp.o"
+  "CMakeFiles/exten_model.dir/test_program.cpp.o.d"
+  "CMakeFiles/exten_model.dir/validate.cpp.o"
+  "CMakeFiles/exten_model.dir/validate.cpp.o.d"
+  "CMakeFiles/exten_model.dir/variables.cpp.o"
+  "CMakeFiles/exten_model.dir/variables.cpp.o.d"
+  "libexten_model.a"
+  "libexten_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exten_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

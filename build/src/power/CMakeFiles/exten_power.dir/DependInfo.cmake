@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/estimator.cpp" "src/power/CMakeFiles/exten_power.dir/estimator.cpp.o" "gcc" "src/power/CMakeFiles/exten_power.dir/estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/exten_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/exten_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tie/CMakeFiles/exten_tie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/exten_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

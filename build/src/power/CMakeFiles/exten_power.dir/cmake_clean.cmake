@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exten_power.dir/estimator.cpp.o"
+  "CMakeFiles/exten_power.dir/estimator.cpp.o.d"
+  "libexten_power.a"
+  "libexten_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exten_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

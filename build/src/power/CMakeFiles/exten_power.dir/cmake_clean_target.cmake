@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexten_power.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exten_sim.dir/cache.cpp.o"
+  "CMakeFiles/exten_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/exten_sim.dir/cpu.cpp.o"
+  "CMakeFiles/exten_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/exten_sim.dir/memory.cpp.o"
+  "CMakeFiles/exten_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/exten_sim.dir/tracer.cpp.o"
+  "CMakeFiles/exten_sim.dir/tracer.cpp.o.d"
+  "libexten_sim.a"
+  "libexten_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exten_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tie/compiler.cpp" "src/tie/CMakeFiles/exten_tie.dir/compiler.cpp.o" "gcc" "src/tie/CMakeFiles/exten_tie.dir/compiler.cpp.o.d"
+  "/root/repo/src/tie/components.cpp" "src/tie/CMakeFiles/exten_tie.dir/components.cpp.o" "gcc" "src/tie/CMakeFiles/exten_tie.dir/components.cpp.o.d"
+  "/root/repo/src/tie/expr.cpp" "src/tie/CMakeFiles/exten_tie.dir/expr.cpp.o" "gcc" "src/tie/CMakeFiles/exten_tie.dir/expr.cpp.o.d"
+  "/root/repo/src/tie/parser.cpp" "src/tie/CMakeFiles/exten_tie.dir/parser.cpp.o" "gcc" "src/tie/CMakeFiles/exten_tie.dir/parser.cpp.o.d"
+  "/root/repo/src/tie/state.cpp" "src/tie/CMakeFiles/exten_tie.dir/state.cpp.o" "gcc" "src/tie/CMakeFiles/exten_tie.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/exten_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/exten_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exten_tie.dir/compiler.cpp.o"
+  "CMakeFiles/exten_tie.dir/compiler.cpp.o.d"
+  "CMakeFiles/exten_tie.dir/components.cpp.o"
+  "CMakeFiles/exten_tie.dir/components.cpp.o.d"
+  "CMakeFiles/exten_tie.dir/expr.cpp.o"
+  "CMakeFiles/exten_tie.dir/expr.cpp.o.d"
+  "CMakeFiles/exten_tie.dir/parser.cpp.o"
+  "CMakeFiles/exten_tie.dir/parser.cpp.o.d"
+  "CMakeFiles/exten_tie.dir/state.cpp.o"
+  "CMakeFiles/exten_tie.dir/state.cpp.o.d"
+  "libexten_tie.a"
+  "libexten_tie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exten_tie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exten_util.dir/strings.cpp.o"
+  "CMakeFiles/exten_util.dir/strings.cpp.o.d"
+  "CMakeFiles/exten_util.dir/table.cpp.o"
+  "CMakeFiles/exten_util.dir/table.cpp.o.d"
+  "libexten_util.a"
+  "libexten_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exten_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/asm_util.cpp" "src/workloads/CMakeFiles/exten_workloads.dir/asm_util.cpp.o" "gcc" "src/workloads/CMakeFiles/exten_workloads.dir/asm_util.cpp.o.d"
+  "/root/repo/src/workloads/extras.cpp" "src/workloads/CMakeFiles/exten_workloads.dir/extras.cpp.o" "gcc" "src/workloads/CMakeFiles/exten_workloads.dir/extras.cpp.o.d"
+  "/root/repo/src/workloads/kernels.cpp" "src/workloads/CMakeFiles/exten_workloads.dir/kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/exten_workloads.dir/kernels.cpp.o.d"
+  "/root/repo/src/workloads/reed_solomon.cpp" "src/workloads/CMakeFiles/exten_workloads.dir/reed_solomon.cpp.o" "gcc" "src/workloads/CMakeFiles/exten_workloads.dir/reed_solomon.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/exten_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/exten_workloads.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/tie_library.cpp" "src/workloads/CMakeFiles/exten_workloads.dir/tie_library.cpp.o" "gcc" "src/workloads/CMakeFiles/exten_workloads.dir/tie_library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/exten_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/exten_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/exten_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/exten_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tie/CMakeFiles/exten_tie.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/exten_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exten_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exten_workloads.dir/asm_util.cpp.o"
+  "CMakeFiles/exten_workloads.dir/asm_util.cpp.o.d"
+  "CMakeFiles/exten_workloads.dir/extras.cpp.o"
+  "CMakeFiles/exten_workloads.dir/extras.cpp.o.d"
+  "CMakeFiles/exten_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/exten_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/exten_workloads.dir/reed_solomon.cpp.o"
+  "CMakeFiles/exten_workloads.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/exten_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/exten_workloads.dir/synthetic.cpp.o.d"
+  "CMakeFiles/exten_workloads.dir/tie_library.cpp.o"
+  "CMakeFiles/exten_workloads.dir/tie_library.cpp.o.d"
+  "libexten_workloads.a"
+  "libexten_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exten_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

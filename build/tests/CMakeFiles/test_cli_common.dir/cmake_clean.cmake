@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cli_common.dir/test_cli_common.cpp.o"
+  "CMakeFiles/test_cli_common.dir/test_cli_common.cpp.o.d"
+  "test_cli_common"
+  "test_cli_common.pdb"
+  "test_cli_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cli_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/test_properties.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/exten_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/exten_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/exten_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/exten_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/exten_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/exten_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tie/CMakeFiles/exten_tie.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/exten_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exten_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tie.dir/test_tie.cpp.o"
+  "CMakeFiles/test_tie.dir/test_tie.cpp.o.d"
+  "test_tie"
+  "test_tie.pdb"
+  "test_tie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc-asm.dir/xtc_asm.cpp.o"
+  "CMakeFiles/xtc-asm.dir/xtc_asm.cpp.o.d"
+  "xtc-asm"
+  "xtc-asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc-asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

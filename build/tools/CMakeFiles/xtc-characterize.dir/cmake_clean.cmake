@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc-characterize.dir/xtc_characterize.cpp.o"
+  "CMakeFiles/xtc-characterize.dir/xtc_characterize.cpp.o.d"
+  "xtc-characterize"
+  "xtc-characterize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc-characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc-energy.dir/xtc_energy.cpp.o"
+  "CMakeFiles/xtc-energy.dir/xtc_energy.cpp.o.d"
+  "xtc-energy"
+  "xtc-energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc-energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc-explore.dir/xtc_explore.cpp.o"
+  "CMakeFiles/xtc-explore.dir/xtc_explore.cpp.o.d"
+  "xtc-explore"
+  "xtc-explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc-explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc-run.dir/xtc_run.cpp.o"
+  "CMakeFiles/xtc-run.dir/xtc_run.cpp.o.d"
+  "xtc-run"
+  "xtc-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
