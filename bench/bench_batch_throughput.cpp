@@ -1,0 +1,120 @@
+// bench_batch_throughput: jobs/sec of the batch-estimation service at
+// 1, 2, 4 and 8 worker threads, with a cold and a warm (content-
+// addressed) cache.
+//
+// The batch is 8 distinct Reed-Solomon estimation jobs (the paper's
+// Fig. 4 design space, two data seeds). Cold numbers measure parallel
+// ISS throughput; warm numbers measure the cache fast path the DSE
+// re-ranking loop rides on. A machine-readable JSON snapshot prints at
+// the end so BENCH_*.json files can track the speedup across PRs.
+//
+// The snapshot records hardware_concurrency: on an N-core host the cold
+// speedup at T<=N threads should approach T (the jobs are balanced and
+// share no mutable state); on a single-core host it stays ~1.0 and only
+// the warm-cache numbers are meaningful.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "service/batch_estimator.h"
+#include "util/json.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace exten;
+
+model::EnergyMacroModel synthetic_model() {
+  // Throughput does not depend on coefficient values; a flat synthetic
+  // model avoids the multi-minute characterization run.
+  linalg::Vector coefficients(model::kNumVariables, 100.0);
+  return model::EnergyMacroModel(std::move(coefficients));
+}
+
+std::vector<service::BatchJob> build_batch() {
+  std::vector<service::BatchJob> jobs;
+  for (std::uint64_t seed : {5ull, 23ull}) {
+    for (model::TestProgram& variant :
+         workloads::reed_solomon_variants(seed)) {
+      service::BatchJob job;
+      job.name = variant.name + "/s" + std::to_string(seed);
+      job.program = std::move(variant);
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+struct Measurement {
+  unsigned threads = 1;
+  service::BatchMetrics cold;
+  service::BatchMetrics warm;
+};
+
+double jobs_per_second(const service::BatchMetrics& m) {
+  return m.wall_seconds <= 0.0
+             ? 0.0
+             : static_cast<double>(m.jobs) / m.wall_seconds;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Batch estimation throughput (8-job Reed-Solomon batch)");
+
+  const std::vector<service::BatchJob> jobs = build_batch();
+  const model::EnergyMacroModel macro_model = synthetic_model();
+
+  std::vector<Measurement> measurements;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    service::BatchOptions options;
+    options.num_threads = threads;
+    service::BatchEstimator estimator(macro_model, options);
+
+    Measurement m;
+    m.threads = threads;
+    m.cold = estimator.estimate(jobs).metrics;  // every job simulates
+    m.warm = estimator.estimate(jobs).metrics;  // every job hits the cache
+    measurements.push_back(m);
+  }
+
+  const double serial_cold_wall = measurements.front().cold.wall_seconds;
+
+  AsciiTable table({"Threads", "Cold wall (s)", "Cold jobs/s", "Speedup vs 1T",
+                    "Warm wall (s)", "Warm jobs/s", "Warm hit rate"});
+  for (const Measurement& m : measurements) {
+    table.add_row({std::to_string(m.threads),
+                   format_fixed(m.cold.wall_seconds, 3),
+                   format_fixed(jobs_per_second(m.cold), 2),
+                   format_fixed(serial_cold_wall / m.cold.wall_seconds, 2),
+                   format_fixed(m.warm.wall_seconds, 4),
+                   format_fixed(jobs_per_second(m.warm), 1),
+                   format_fixed(m.warm.hit_rate() * 100.0, 1) + " %"});
+  }
+  table.print(std::cout);
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("benchmark", std::string_view("batch_throughput"));
+  w.field("jobs", static_cast<std::uint64_t>(jobs.size()));
+  w.field("hardware_concurrency",
+          static_cast<int>(service::resolve_thread_count(0)));
+  w.array_field("measurements");
+  for (const Measurement& m : measurements) {
+    w.element_object();
+    w.field("threads", static_cast<int>(m.threads));
+    w.field("cold_wall_seconds", m.cold.wall_seconds);
+    w.field("cold_jobs_per_second", jobs_per_second(m.cold));
+    w.field("cold_speedup_vs_1_thread",
+            serial_cold_wall / m.cold.wall_seconds);
+    w.field("cold_cache_hit_rate", m.cold.hit_rate());
+    w.field("warm_wall_seconds", m.warm.wall_seconds);
+    w.field("warm_jobs_per_second", jobs_per_second(m.warm));
+    w.field("warm_cache_hit_rate", m.warm.hit_rate());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::cout << "\njson " << w.str() << "\n";
+  return 0;
+}

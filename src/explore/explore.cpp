@@ -16,21 +16,38 @@ ExploreResult rank_candidates(std::span<const Candidate> candidates,
                               const model::EnergyMacroModel& macro_model,
                               Objective objective,
                               const sim::ProcessorConfig& processor) {
+  service::BatchEstimator estimator(macro_model);
+  return rank_candidates(candidates, estimator, objective, processor);
+}
+
+ExploreResult rank_candidates(std::span<const Candidate> candidates,
+                              service::BatchEstimator& estimator,
+                              Objective objective,
+                              const sim::ProcessorConfig& processor) {
   EXTEN_CHECK(!candidates.empty(), "no candidates to rank");
+
+  std::vector<service::BatchJob> jobs;
+  jobs.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    jobs.push_back({candidate.name, candidate.program, processor});
+  }
+  const service::BatchResult batch = estimator.estimate(jobs);
 
   ExploreResult result;
   result.objective = objective;
   result.ranked.reserve(candidates.size());
-  for (const Candidate& candidate : candidates) {
-    const model::EnergyEstimate estimate =
-        model::estimate_energy(macro_model, candidate.program, processor);
+  // Results arrive in job order, so the ranking below is bit-identical to
+  // a serial evaluation. A faulting candidate fails the whole ranking
+  // (the historical contract); the batch itself is unaffected.
+  for (const service::JobResult& job : batch.results) {
+    if (!job.ok) throw Error("candidate '", job.name, "': ", job.error);
     Evaluation eval;
-    eval.name = candidate.name;
-    eval.energy_pj = estimate.energy_pj;
-    eval.cycles = estimate.stats.cycles;
-    eval.edp = estimate.energy_pj * 1e-6 *
-               (static_cast<double>(estimate.stats.cycles) * 1e-6);
-    eval.elapsed_seconds = estimate.elapsed_seconds;
+    eval.name = job.name;
+    eval.energy_pj = job.estimate.energy_pj;
+    eval.cycles = job.estimate.stats.cycles;
+    eval.edp = job.estimate.energy_pj * 1e-6 *
+               (static_cast<double>(job.estimate.stats.cycles) * 1e-6);
+    eval.elapsed_seconds = job.estimate.elapsed_seconds;
     result.ranked.push_back(std::move(eval));
   }
 

@@ -18,6 +18,7 @@
 #include "model/estimate.h"
 #include "model/macro_model.h"
 #include "model/test_program.h"
+#include "service/batch_estimator.h"
 #include "sim/config.h"
 #include "util/table.h"
 
@@ -45,7 +46,8 @@ struct Evaluation {
   double edp = 0.0;
   /// On the energy/delay Pareto frontier of the evaluated set.
   bool pareto_optimal = false;
-  /// Wall-clock seconds the evaluation itself took (always milliseconds).
+  /// Wall-clock seconds the evaluation itself took (ISS + profiling +
+  /// macro-model evaluation), as reported by EnergyEstimate.
   double elapsed_seconds = 0.0;
 
   double energy_uj() const { return energy_pj * 1e-6; }
@@ -61,9 +63,21 @@ struct ExploreResult {
 };
 
 /// Evaluates and ranks every candidate with the macro-model fast path.
-/// Throws exten::Error when `candidates` is empty or a program faults.
+/// Candidates are evaluated in parallel on a transient service::
+/// BatchEstimator (hardware-concurrency threads); the ranking is
+/// identical to a serial evaluation — result order never depends on
+/// scheduling. Throws exten::Error when `candidates` is empty or a
+/// program faults.
 ExploreResult rank_candidates(std::span<const Candidate> candidates,
                               const model::EnergyMacroModel& macro_model,
+                              Objective objective = Objective::kEdp,
+                              const sim::ProcessorConfig& processor = {});
+
+/// Same, on a caller-provided estimator — reuses its thread pool and its
+/// content-addressed cache across calls, so re-ranking overlapping
+/// candidate sets (the DSE inner loop) skips redundant ISS runs.
+ExploreResult rank_candidates(std::span<const Candidate> candidates,
+                              service::BatchEstimator& estimator,
                               Objective objective = Objective::kEdp,
                               const sim::ProcessorConfig& processor = {});
 

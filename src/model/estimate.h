@@ -41,6 +41,12 @@ struct ReferenceResult {
 };
 
 /// Estimates application energy with the macro-model (fast path).
+///
+/// Thread safety: safe to call concurrently from many threads. Every
+/// mutable object (Cpu, Memory, caches, profiler, stats collector) is
+/// created per call; the shared inputs — the macro-model, the program
+/// image and its TieConfiguration — are only read. The same TestProgram
+/// may be evaluated on several threads at once.
 EnergyEstimate estimate_energy(const EnergyMacroModel& model,
                                const TestProgram& program,
                                const sim::ProcessorConfig& processor = {},

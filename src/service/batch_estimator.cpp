@@ -1,0 +1,109 @@
+#include "service/batch_estimator.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <latch>
+
+#include "util/error.h"
+
+namespace exten::service {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double>(elapsed).count();
+}
+}  // namespace
+
+bool BatchResult::all_ok() const {
+  for (const JobResult& r : results) {
+    if (!r.ok) return false;
+  }
+  return true;
+}
+
+BatchEstimator::BatchEstimator(model::EnergyMacroModel model,
+                               BatchOptions options)
+    : model_(std::move(model)),
+      model_digest_(hash_macro_model(model_)),
+      options_(options),
+      cache_(options.cache_capacity),
+      pool_(options.num_threads, options.queue_capacity) {}
+
+JobResult BatchEstimator::run_job(const BatchJob& job) {
+  const auto start = std::chrono::steady_clock::now();
+  JobResult result;
+  result.name = job.name;
+  try {
+    EXTEN_CHECK(job.program.tie != nullptr, "job '", job.name,
+                "' has no TIE configuration");
+    const Digest key = combine_digests(
+        {hash_program_image(job.program.image),
+         hash_tie_configuration(*job.program.tie),
+         hash_processor_config(job.processor), model_digest_});
+    if (std::optional<model::EnergyEstimate> cached = cache_.lookup(key)) {
+      result.estimate = std::move(*cached);
+      result.cache_hit = true;
+    } else {
+      result.estimate = model::estimate_energy(
+          model_, job.program, job.processor, options_.max_instructions);
+      cache_.insert(key, result.estimate);
+    }
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  result.worker_seconds = seconds_since(start);
+  return result;
+}
+
+BatchResult BatchEstimator::estimate(std::span<const BatchJob> jobs) {
+  const auto start = std::chrono::steady_clock::now();
+  BatchResult batch;
+  batch.metrics.jobs = jobs.size();
+  batch.metrics.threads = pool_.num_threads();
+  batch.results.resize(jobs.size());
+  if (jobs.empty()) return batch;
+
+  std::latch done(static_cast<std::ptrdiff_t>(jobs.size()));
+  std::atomic<bool> rejected{false};
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // submit() blocks on the bounded queue (backpressure) — with a live
+    // pool it only returns false after shutdown.
+    const bool accepted = pool_.submit([this, &jobs, &batch, &done, i] {
+      batch.results[i] = run_job(jobs[i]);
+      done.count_down();
+    });
+    if (!accepted) {
+      rejected = true;
+      for (std::size_t j = i; j < jobs.size(); ++j) done.count_down();
+      break;
+    }
+  }
+  done.wait();
+  EXTEN_CHECK(!rejected.load(), "batch estimator pool is shut down");
+
+  for (const JobResult& r : batch.results) {
+    if (r.ok) {
+      ++batch.metrics.succeeded;
+    } else {
+      ++batch.metrics.failed;
+    }
+    if (r.cache_hit) {
+      ++batch.metrics.cache_hits;
+    } else if (r.ok) {
+      ++batch.metrics.cache_misses;
+    }
+    batch.metrics.total_worker_seconds += r.worker_seconds;
+  }
+  batch.metrics.wall_seconds = seconds_since(start);
+  return batch;
+}
+
+JobResult BatchEstimator::estimate_one(const BatchJob& job) {
+  BatchResult batch = estimate(std::span<const BatchJob>(&job, 1));
+  return std::move(batch.results.front());
+}
+
+}  // namespace exten::service

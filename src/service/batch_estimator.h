@@ -1,0 +1,135 @@
+#pragma once
+
+// BatchEstimator: the serving facade of the energy-estimation service.
+//
+// The paper's point (§I) is that the macro-model makes energy estimation
+// fast enough to sit inside a design-space-exploration loop. This layer
+// makes it fast enough to sit inside a *large* one: N estimation jobs fan
+// out across a fixed thread pool (each worker builds its own Cpu/Memory/
+// cache instances — see the thread-safety notes in sim/cpu.h and
+// model/estimate.h), results land in job order regardless of scheduling,
+// and a content-addressed cache makes re-evaluating an already-seen
+// (program, TIE, processor) triple free.
+//
+// Error isolation: a job that throws (assembly referencing an unmapped
+// address, an illegal instruction, a TIE fault, ...) is captured into its
+// JobResult; the rest of the batch is unaffected.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/estimate.h"
+#include "model/macro_model.h"
+#include "model/test_program.h"
+#include "service/eval_cache.h"
+#include "service/thread_pool.h"
+#include "sim/config.h"
+
+namespace exten::service {
+
+struct BatchOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned num_threads = 0;
+  /// Maximum cached evaluations (LRU); 0 disables the cache.
+  std::size_t cache_capacity = 1024;
+  /// Job-queue depth; 0 = 2x worker count.
+  std::size_t queue_capacity = 0;
+  /// Per-job instruction budget forwarded to the simulator.
+  std::uint64_t max_instructions = 200'000'000;
+};
+
+/// One estimation request.
+struct BatchJob {
+  std::string name;
+  model::TestProgram program;
+  sim::ProcessorConfig processor{};
+};
+
+/// Outcome of one job. Exactly one of {ok, !error.empty()} holds.
+struct JobResult {
+  std::string name;
+  bool ok = false;
+  /// exten::Error (or std::exception) message when !ok.
+  std::string error;
+  /// Result was served from the evaluation cache.
+  bool cache_hit = false;
+  /// Valid when ok. On a cache hit this is the original evaluation,
+  /// including its elapsed_seconds (the cost that was *avoided*).
+  model::EnergyEstimate estimate;
+  /// Wall-clock seconds this job spent in its worker (hash + cache
+  /// lookup + simulation; microseconds on a hit).
+  double worker_seconds = 0.0;
+};
+
+/// Per-batch metrics (the cache counters are scoped to the batch, not the
+/// cache lifetime — see BatchEstimator::cache_stats for the latter).
+struct BatchMetrics {
+  std::size_t jobs = 0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// End-to-end wall-clock seconds for the batch.
+  double wall_seconds = 0.0;
+  /// Sum of worker_seconds over jobs — what one thread would have paid.
+  double total_worker_seconds = 0.0;
+  unsigned threads = 1;
+
+  double hit_rate() const {
+    const std::uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
+  }
+  /// Parallel + cache speedup realized vs. running the same work serially.
+  double speedup_vs_serial() const {
+    return wall_seconds <= 0.0 ? 1.0 : total_worker_seconds / wall_seconds;
+  }
+};
+
+struct BatchResult {
+  /// results[i] corresponds to jobs[i] — deterministic, scheduling-free
+  /// ordering.
+  std::vector<JobResult> results;
+  BatchMetrics metrics;
+
+  /// True when every job succeeded.
+  bool all_ok() const;
+};
+
+/// Thread safety: estimate() may be called from several threads at once
+/// (jobs interleave on the shared pool; each call still returns its own
+/// ordered results). The estimator must outlive every call.
+class BatchEstimator {
+ public:
+  explicit BatchEstimator(model::EnergyMacroModel model,
+                          BatchOptions options = {});
+
+  /// Evaluates every job and returns results in job order. Per-job errors
+  /// are captured, never thrown; throws only on internal service failure
+  /// (pool already shut down).
+  BatchResult estimate(std::span<const BatchJob> jobs);
+
+  /// Convenience: single job.
+  JobResult estimate_one(const BatchJob& job);
+
+  const model::EnergyMacroModel& model() const { return model_; }
+  unsigned num_threads() const { return pool_.num_threads(); }
+
+  /// Lifetime cache counters (across batches).
+  CacheStats cache_stats() const { return cache_.stats(); }
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  JobResult run_job(const BatchJob& job);
+
+  model::EnergyMacroModel model_;
+  Digest model_digest_;
+  BatchOptions options_;
+  EvalCache cache_;
+  ThreadPool pool_;
+};
+
+}  // namespace exten::service

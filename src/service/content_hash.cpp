@@ -1,0 +1,191 @@
+#include "service/content_hash.h"
+
+#include <cstring>
+
+#include "tie/expr.h"
+
+namespace exten::service {
+
+namespace {
+
+// FNV-1a 64-bit offset bases / prime. The second stream starts from a
+// different basis (the fractional bits of sqrt(2)) so the two 64-bit
+// halves are effectively independent.
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+constexpr std::uint64_t kBasisHi = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kBasisLo = 0x6a09e667f3bcc908ull;
+
+void hash_expr(ContentHasher& h, const tie::Expr& expr) {
+  h.u8(static_cast<std::uint8_t>(expr.kind));
+  h.u64(expr.literal);
+  h.str(expr.name);
+  h.str(expr.op);
+  h.u64(expr.args.size());
+  for (const tie::ExprPtr& arg : expr.args) hash_expr(h, *arg);
+}
+
+void hash_assignment(ContentHasher& h, const tie::Assignment& a) {
+  h.u8(static_cast<std::uint8_t>(a.target));
+  h.str(a.name);
+  h.u8(a.index != nullptr);
+  if (a.index) hash_expr(h, *a.index);
+  hash_expr(h, *a.value);
+}
+
+void hash_component(ContentHasher& h, const tie::ComponentUse& use) {
+  h.u8(static_cast<std::uint8_t>(use.cls));
+  h.u32(use.width);
+  h.u32(use.count);
+  h.u32(use.entries);
+  h.u64(use.active_cycles.size());
+  for (unsigned cycle : use.active_cycles) h.u32(cycle);
+}
+
+}  // namespace
+
+std::string Digest::hex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? hi : lo;
+    const int shift = 56 - 8 * (i % 8);
+    const std::uint8_t byte = static_cast<std::uint8_t>(word >> shift);
+    out[2 * static_cast<std::size_t>(i)] = kDigits[byte >> 4];
+    out[2 * static_cast<std::size_t>(i) + 1] = kDigits[byte & 0xf];
+  }
+  return out;
+}
+
+ContentHasher::ContentHasher() : hi_(kBasisHi), lo_(kBasisLo) {}
+
+void ContentHasher::bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hi_ = (hi_ ^ p[i]) * kFnvPrime;
+    lo_ = (lo_ ^ p[i]) * kFnvPrime;
+    // Extra avalanche on the second stream keeps the halves decorrelated.
+    lo_ ^= lo_ >> 29;
+  }
+}
+
+void ContentHasher::u8(std::uint8_t v) { bytes(&v, 1); }
+
+void ContentHasher::u32(std::uint32_t v) {
+  std::uint8_t buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  bytes(buf, sizeof(buf));
+}
+
+void ContentHasher::u64(std::uint64_t v) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  bytes(buf, sizeof(buf));
+}
+
+void ContentHasher::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ContentHasher::str(std::string_view s) {
+  u64(s.size());
+  bytes(s.data(), s.size());
+}
+
+void ContentHasher::digest_of(const Digest& d) {
+  u64(d.hi);
+  u64(d.lo);
+}
+
+Digest hash_program_image(const isa::ProgramImage& image) {
+  ContentHasher h;
+  h.u32(image.entry_point());
+  h.u64(image.segments().size());
+  for (const isa::Segment& segment : image.segments()) {
+    h.u32(segment.base);
+    h.u64(segment.bytes.size());
+    h.bytes(segment.bytes.data(), segment.bytes.size());
+  }
+  h.u64(image.symbols().size());
+  for (const auto& [name, value] : image.symbols()) {
+    h.str(name);
+    h.u32(value);
+  }
+  return h.digest();
+}
+
+Digest hash_tie_configuration(const tie::TieConfiguration& tie) {
+  ContentHasher h;
+  h.u64(tie.instructions().size());
+  for (const tie::CustomInstruction& ci : tie.instructions()) {
+    h.str(ci.name);
+    h.u8(ci.func);
+    h.u32(ci.latency);
+    h.u8(static_cast<std::uint8_t>((ci.reads_rs1 << 0) | (ci.reads_rs2 << 1) |
+                                   (ci.writes_rd << 2) | (ci.isolated << 3)));
+    h.u64(ci.components.size());
+    for (const tie::ComponentUse& use : ci.components) hash_component(h, use);
+    h.u64(ci.semantics.size());
+    for (const tie::Assignment& a : ci.semantics) hash_assignment(h, a);
+    for (double w : ci.execution_weights) h.f64(w);
+    for (double w : ci.input_stage_weights) h.f64(w);
+    h.f64(ci.total_complexity);
+  }
+  h.u64(tie.state_decls().size());
+  for (const tie::StateDecl& d : tie.state_decls()) {
+    h.str(d.name);
+    h.u32(d.width);
+  }
+  h.u64(tie.regfile_decls().size());
+  for (const tie::RegfileDecl& d : tie.regfile_decls()) {
+    h.str(d.name);
+    h.u32(d.width);
+    h.u32(d.size);
+  }
+  h.u64(tie.tables().size());
+  for (const auto& [name, table] : tie.tables()) {
+    h.str(name);
+    h.u32(table.width);
+    h.u64(table.values.size());
+    for (std::uint64_t v : table.values) h.u64(v);
+  }
+  return h.digest();
+}
+
+Digest hash_processor_config(const sim::ProcessorConfig& config) {
+  ContentHasher h;
+  h.f64(config.clock_mhz);
+  for (const sim::CacheConfig* cache : {&config.icache, &config.dcache}) {
+    h.u32(cache->size_bytes);
+    h.u32(cache->line_bytes);
+    h.u32(cache->ways);
+  }
+  h.u32(config.icache_miss_penalty);
+  h.u32(config.dcache_miss_penalty);
+  h.u32(config.uncached_fetch_penalty);
+  h.u32(config.uncached_data_penalty);
+  h.u32(config.taken_branch_penalty);
+  h.u32(config.jump_penalty);
+  h.u32(config.load_use_interlock);
+  h.u32(config.uncached_base);
+  return h.digest();
+}
+
+Digest hash_macro_model(const model::EnergyMacroModel& model) {
+  ContentHasher h;
+  h.u64(model.coefficients().size());
+  for (std::size_t i = 0; i < model.coefficients().size(); ++i) {
+    h.f64(model.coefficient(i));
+  }
+  return h.digest();
+}
+
+Digest combine_digests(std::initializer_list<Digest> digests) {
+  ContentHasher h;
+  for (const Digest& d : digests) h.digest_of(d);
+  return h.digest();
+}
+
+}  // namespace exten::service

@@ -1,0 +1,97 @@
+#pragma once
+
+// Content addressing for the batch-estimation service.
+//
+// An evaluation of (program image, TIE configuration, processor config,
+// macro-model) is a pure function of those inputs: the simulator is
+// deterministic and estimate_energy() builds all mutable state per call.
+// That makes results cacheable under a content hash of the inputs — the
+// key ingredient that lets design-space exploration re-rank overlapping
+// candidate sets without re-running the ISS.
+//
+// The digest is 128 bits built from two independently-seeded FNV-1a-64
+// streams. This is not a cryptographic hash: the service trusts its
+// callers, and 128 bits is far beyond birthday-collision range for any
+// realistic cache population.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "isa/program.h"
+#include "model/macro_model.h"
+#include "sim/config.h"
+#include "tie/compiler.h"
+
+namespace exten::service {
+
+/// A 128-bit content digest.
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Digest& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const Digest& other) const { return !(*this == other); }
+
+  /// 32 lowercase hex characters.
+  std::string hex() const;
+};
+
+/// Hash functor for unordered containers keyed by Digest.
+struct DigestHash {
+  std::size_t operator()(const Digest& d) const {
+    // The digest is already uniformly mixed; fold the halves.
+    return static_cast<std::size_t>(d.hi ^ (d.lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Streaming hasher. Feed typed values (each update is length/type
+/// delimited by construction: fixed-width encodings, and strings are
+/// prefixed with their size) and take the digest at the end.
+class ContentHasher {
+ public:
+  ContentHasher();
+
+  void bytes(const void* data, std::size_t size);
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Hashes the IEEE-754 bit pattern (all coefficient/weight values in the
+  /// model are computed deterministically, so bit equality is the right
+  /// notion of "same input").
+  void f64(double v);
+  /// Size-prefixed so concatenated strings cannot alias each other.
+  void str(std::string_view s);
+  void digest_of(const Digest& d);
+
+  Digest digest() const { return Digest{hi_, lo_}; }
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+/// Content hash of a linked program image: entry point, segments (base
+/// address + bytes) and symbol table.
+Digest hash_program_image(const isa::ProgramImage& image);
+
+/// Content hash of a compiled TIE configuration: every custom instruction
+/// (opcode binding, latency, operand flags, datapath components, semantics
+/// expression trees, derived weights), every custom state / register-file
+/// declaration and every lookup table. Two specs that differ anywhere a
+/// simulation or the resource-usage analysis could observe hash apart.
+Digest hash_tie_configuration(const tie::TieConfiguration& tie);
+
+/// Content hash of the processor configuration (all timing/geometry knobs).
+Digest hash_processor_config(const sim::ProcessorConfig& config);
+
+/// Content hash of the fitted macro-model coefficients.
+Digest hash_macro_model(const model::EnergyMacroModel& model);
+
+/// Order-sensitive combination of several digests.
+Digest combine_digests(std::initializer_list<Digest> digests);
+
+}  // namespace exten::service

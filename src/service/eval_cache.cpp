@@ -1,0 +1,56 @@
+#include "service/eval_cache.h"
+
+namespace exten::service {
+
+EvalCache::EvalCache(std::size_t capacity) : capacity_(capacity) {
+  stats_.capacity = capacity;
+  if (capacity_ > 0) index_.reserve(capacity_);
+}
+
+std::optional<model::EnergyEstimate> EvalCache::lookup(const Digest& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh to MRU
+  return it->second->second;
+}
+
+void EvalCache::insert(const Digest& key, model::EnergyEstimate estimate) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent miss on the same key: both threads computed the (equal)
+    // result; refresh rather than grow.
+    it->second->second = std::move(estimate);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(key, std::move(estimate));
+  index_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+}
+
+CacheStats EvalCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats snapshot = stats_;
+  snapshot.entries = lru_.size();
+  return snapshot;
+}
+
+void EvalCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace exten::service

@@ -1,0 +1,80 @@
+#pragma once
+
+// Content-addressed evaluation cache.
+//
+// Maps Digest(program image, TIE configuration, processor config,
+// macro-model) -> EnergyEstimate with LRU eviction. Because an estimation
+// run is a pure function of the hashed inputs (see content_hash.h), a hit
+// is exactly as good as re-running the ISS — which is what makes repeated
+// design-space exploration over overlapping candidate sets cheap.
+//
+// Thread safety: all methods are safe to call concurrently (one internal
+// mutex; an evaluation is microseconds of copying against the
+// milliseconds-to-seconds of a simulation, so a sharded design is not
+// warranted yet). Note there is no in-flight dedup: two threads missing on
+// the same key simultaneously both compute and both insert (last write
+// wins, results are identical by construction).
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "model/estimate.h"
+#include "service/content_hash.h"
+
+namespace exten::service {
+
+/// Counter snapshot (monotonic over the cache's lifetime, except entries).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+
+  double hit_rate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+class EvalCache {
+ public:
+  /// `capacity` = maximum resident entries; 0 disables caching entirely
+  /// (every lookup misses, inserts are dropped).
+  explicit EvalCache(std::size_t capacity);
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Returns a copy of the cached estimate and refreshes its LRU position;
+  /// std::nullopt on miss. Counts a hit or a miss.
+  std::optional<model::EnergyEstimate> lookup(const Digest& key);
+
+  /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+  /// when at capacity.
+  void insert(const Digest& key, model::EnergyEstimate estimate);
+
+  CacheStats stats() const;
+
+  /// Drops every entry (counters other than `entries` are preserved).
+  void clear();
+
+ private:
+  // MRU at the front of lru_; map values point into the list.
+  using LruList = std::list<std::pair<Digest, model::EnergyEstimate>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;
+  std::unordered_map<Digest, LruList::iterator, DigestHash> index_;
+  CacheStats stats_;
+};
+
+}  // namespace exten::service

@@ -1,0 +1,52 @@
+#include "service/thread_pool.h"
+
+namespace exten::service {
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads, std::size_t queue_capacity)
+    : queue_(queue_capacity > 0
+                 ? queue_capacity
+                 : 2 * static_cast<std::size_t>(
+                           resolve_thread_count(num_threads))) {
+  const unsigned n = resolve_thread_count(num_threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> job) {
+  return queue_.push(std::move(job));
+}
+
+void ThreadPool::shutdown() {
+  queue_.close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::uint64_t ThreadPool::escaped_exceptions() const {
+  std::lock_guard<std::mutex> lock(escaped_mu_);
+  return escaped_exceptions_;
+}
+
+void ThreadPool::worker_loop() {
+  while (std::optional<std::function<void()>> job = queue_.pop()) {
+    try {
+      (*job)();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(escaped_mu_);
+      ++escaped_exceptions_;
+    }
+  }
+}
+
+}  // namespace exten::service

@@ -1,0 +1,62 @@
+#pragma once
+
+// Fixed-size worker pool over a BoundedQueue<std::function<void()>>.
+//
+// Deliberately minimal: the pool runs opaque closures and guarantees that
+// a throwing job never takes down its worker thread (the exception is
+// swallowed and counted). Callers that care about per-job errors — the
+// BatchEstimator does — capture them inside the closure; an escaped
+// exception here indicates a bug in the submitting layer, not in the job.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "service/job_queue.h"
+
+namespace exten::service {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = std::thread::hardware_concurrency,
+  /// itself clamped to >= 1). `queue_capacity` 0 selects 2x the worker
+  /// count, enough to keep every worker fed while bounding memory.
+  explicit ThreadPool(unsigned num_threads = 0, std::size_t queue_capacity = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Graceful shutdown: drains queued jobs, then joins.
+  ~ThreadPool();
+
+  /// Enqueues a job; blocks while the queue is full (backpressure).
+  /// Returns false after shutdown() — the job is dropped, not run.
+  bool submit(std::function<void()> job);
+
+  /// Closes the queue, lets workers drain every queued job, joins them.
+  /// Idempotent; submit() fails afterwards.
+  void shutdown();
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Jobs whose exceptions escaped into a worker (see file comment).
+  std::uint64_t escaped_exceptions() const;
+
+ private:
+  void worker_loop();
+
+  BoundedQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  mutable std::mutex escaped_mu_;
+  std::uint64_t escaped_exceptions_ = 0;
+};
+
+/// `requested` threads resolved against the host (0 -> hardware
+/// concurrency, never less than 1).
+unsigned resolve_thread_count(unsigned requested);
+
+}  // namespace exten::service

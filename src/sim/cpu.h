@@ -28,6 +28,12 @@ struct RunResult {
   bool halted = false;  ///< false when the instruction budget ran out
 };
 
+/// Thread safety: a Cpu instance is confined to one thread (no internal
+/// locking), but instances share no mutable state — each owns its Memory,
+/// caches, register file and TieState. Many Cpus may run concurrently on
+/// different threads against the same const TieConfiguration and the same
+/// ProgramImage (load_program copies the image into private memory); this
+/// is what the service-layer thread pool relies on.
 class Cpu {
  public:
   /// Builds a processor instance: base config + instruction-set extension.

@@ -67,6 +67,11 @@ struct CustomInstruction {
 
 /// A compiled processor extension: the set of custom instructions plus the
 /// custom architectural state and lookup tables they reference.
+///
+/// Thread safety: a TieConfiguration is immutable after compile() and may
+/// be shared freely across threads. execute() is const and mutates only
+/// the caller-supplied TieState, so concurrent executions against
+/// *distinct* TieState instances are safe (each sim::Cpu owns its own).
 class TieConfiguration {
  public:
   /// An empty configuration (base processor only).
@@ -94,6 +99,13 @@ class TieConfiguration {
   TieState make_state() const;
 
   const std::map<std::string, TableData>& tables() const { return tables_; }
+
+  /// Declared custom state / register files (for content hashing and
+  /// reports). Widths matter: semantics results are masked to them.
+  const std::vector<StateDecl>& state_decls() const { return state_decls_; }
+  const std::vector<RegfileDecl>& regfile_decls() const {
+    return regfile_decls_;
+  }
 
   /// Executes the semantics of instruction `func`: returns the rd result
   /// (0 when the instruction does not write rd) and mutates custom state.

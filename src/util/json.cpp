@@ -1,0 +1,403 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace exten {
+
+// ---------------------------------------------------------------------------
+// JsonValue accessors
+// ---------------------------------------------------------------------------
+
+namespace {
+const char* kind_name(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+void require_kind(const JsonValue& v, JsonValue::Kind want) {
+  EXTEN_CHECK(v.kind() == want, "JSON value is ", kind_name(v.kind()),
+              ", expected ", kind_name(want));
+}
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  require_kind(*this, Kind::kBool);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  require_kind(*this, Kind::kNumber);
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  require_kind(*this, Kind::kString);
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  require_kind(*this, Kind::kArray);
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  require_kind(*this, Kind::kObject);
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string_view fallback) const {
+  const JsonValue* member = find(key);
+  if (member == nullptr || member->is_null()) return std::string(fallback);
+  return member->as_string();
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_space();
+    EXTEN_CHECK(pos_ == text_.size(), "JSON: trailing characters at offset ",
+                pos_);
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) {
+    throw Error("JSON: ", what, " at offset ", pos_);
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c, const char* what) {
+    if (!consume(c)) fail(what);
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_space();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't':
+      case 'f':
+      case 'n': return parse_literal();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_literal() {
+    JsonValue v;
+    if (consume_word("true")) {
+      v.kind_ = JsonValue::Kind::kBool;
+      v.bool_ = true;
+    } else if (consume_word("false")) {
+      v.kind_ = JsonValue::Kind::kBool;
+      v.bool_ = false;
+    } else if (consume_word("null")) {
+      v.kind_ = JsonValue::Kind::kNull;
+    } else {
+      fail("invalid literal");
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) { /* sign */ }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double parsed = 0.0;
+    const auto [end, ec] = std::from_chars(text_.data() + start,
+                                           text_.data() + pos_, parsed);
+    if (ec != std::errc{} || end != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.number_ = parsed;
+    return v;
+  }
+
+  JsonValue parse_string() {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kString;
+    v.string_ = parse_raw_string();
+    return v;
+  }
+
+  std::string parse_raw_string() {
+    expect('"', "expected '\"'");
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // needed for the paths/names the tools exchange).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_array() {
+    expect('[', "expected '['");
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    skip_space();
+    if (consume(']')) return v;
+    while (true) {
+      v.array_.push_back(parse_value());
+      skip_space();
+      if (consume(']')) break;
+      expect(',', "expected ',' or ']'");
+    }
+    return v;
+  }
+
+  JsonValue parse_object() {
+    expect('{', "expected '{'");
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    skip_space();
+    if (consume('}')) return v;
+    while (true) {
+      skip_space();
+      std::string key = parse_raw_string();
+      skip_space();
+      expect(':', "expected ':'");
+      v.object_[std::move(key)] = parse_value();
+      skip_space();
+      if (consume('}')) break;
+      expect(',', "expected ',' or '}'");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::format_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Integral values print without a fractional part; everything else gets
+  // enough digits to round-trip.
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void JsonWriter::comma() {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ << ",";
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::key_prefix(std::string_view key) {
+  comma();
+  out_ << "\"" << json_escape(key) << "\":";
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ << "{";
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  out_ << "}";
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ << "[";
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  out_ << "]";
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::field(std::string_view key, double value) {
+  key_prefix(key);
+  out_ << format_number(value);
+}
+
+void JsonWriter::field(std::string_view key, std::uint64_t value) {
+  key_prefix(key);
+  out_ << value;
+}
+
+void JsonWriter::field(std::string_view key, int value) {
+  key_prefix(key);
+  out_ << value;
+}
+
+void JsonWriter::field(std::string_view key, bool value) {
+  key_prefix(key);
+  out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::field(std::string_view key, std::string_view value) {
+  key_prefix(key);
+  out_ << "\"" << json_escape(value) << "\"";
+}
+
+void JsonWriter::object_field(std::string_view key) {
+  key_prefix(key);
+  out_ << "{";
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::array_field(std::string_view key) {
+  key_prefix(key);
+  out_ << "[";
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::element(double value) {
+  comma();
+  out_ << format_number(value);
+}
+
+void JsonWriter::element(std::string_view value) {
+  comma();
+  out_ << "\"" << json_escape(value) << "\"";
+}
+
+void JsonWriter::element_object() { begin_object(); }
+
+}  // namespace exten

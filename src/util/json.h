@@ -1,0 +1,108 @@
+#pragma once
+
+// Minimal JSON support for the service tooling (no third-party deps).
+//
+// Parser: full JSON values (null, bool, number, string with escapes,
+// array, object) via recursive descent; throws exten::Error with a byte
+// offset on malformed input. Numbers are held as double — ample for the
+// counters and paths the batch tools exchange.
+//
+// Writer side: JsonWriter builds objects/arrays with correct escaping;
+// the tools use it for the metrics blocks and bench snapshots.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exten {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; each throws exten::Error on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Convenience: member `key` as a string, or `fallback` when absent.
+  /// Throws when present but not a string.
+  std::string string_or(std::string_view key, std::string_view fallback) const;
+
+  /// Parses exactly one JSON value (trailing non-space input is an error).
+  static JsonValue parse(std::string_view text);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes).
+std::string json_escape(std::string_view s);
+
+/// Streaming writer for flat-ish JSON (objects/arrays nest freely).
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.field("jobs", 8);
+///   w.field("hit_rate", 0.5);
+///   w.end_object();
+///   std::cout << w.str();
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Named members (inside an object).
+  void field(std::string_view key, double value);
+  void field(std::string_view key, std::uint64_t value);
+  void field(std::string_view key, int value);
+  void field(std::string_view key, bool value);
+  void field(std::string_view key, std::string_view value);
+  /// Opens a nested container as a named member.
+  void object_field(std::string_view key);
+  void array_field(std::string_view key);
+
+  /// Unnamed elements (inside an array).
+  void element(double value);
+  void element(std::string_view value);
+  void element_object();
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void comma();
+  void key_prefix(std::string_view key);
+  static std::string format_number(double value);
+
+  std::ostringstream out_;
+  std::vector<bool> needs_comma_;
+};
+
+}  // namespace exten

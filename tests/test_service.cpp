@@ -1,0 +1,502 @@
+// Tests for the service layer: bounded job queue (shutdown semantics),
+// thread pool (error containment), content hashing (cache keying),
+// the LRU evaluation cache, the BatchEstimator facade (deterministic
+// ordering, per-job error isolation, cache hit accounting) and the
+// parallel rank_candidates rewiring.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "explore/explore.h"
+#include "model/test_program.h"
+#include "service/batch_estimator.h"
+#include "service/content_hash.h"
+#include "service/eval_cache.h"
+#include "service/job_queue.h"
+#include "service/thread_pool.h"
+#include "util/error.h"
+#include "util/json.h"
+#include "workloads/workloads.h"
+
+namespace exten::service {
+namespace {
+
+// --- fixtures --------------------------------------------------------------
+
+model::EnergyMacroModel flat_model() {
+  linalg::Vector coefficients(model::kNumVariables, 0.0);
+  for (std::size_t i = 0; i < model::kNumInstructionVars; ++i) {
+    coefficients[i] = 100.0;
+  }
+  for (std::size_t i = model::kNumInstructionVars; i < model::kNumVariables;
+       ++i) {
+    coefficients[i] = 50.0;
+  }
+  return model::EnergyMacroModel(std::move(coefficients));
+}
+
+constexpr const char* kTinyAsm = R"(
+  li   t1, buf
+  lw   t0, 0(t1)
+  add  t2, t0, t0
+  sw   t2, 4(t1)
+  halt
+.data
+buf: .word 7
+)";
+
+// Misaligned load: the simulator raises an alignment fault (exten::Error).
+constexpr const char* kFaultingAsm = R"(
+  li   t1, 1
+  lw   t0, 0(t1)
+  halt
+)";
+
+constexpr const char* kMacTie = R"(
+state acc width=32
+instruction cma {
+  latency 2
+  reads rs1, rs2
+  use tie_mac width=32
+  semantics { acc = acc + rs1 * rs2; }
+}
+)";
+
+// Same instruction name/shape, different datapath width: must hash apart.
+constexpr const char* kMacTie16 = R"(
+state acc width=32
+instruction cma {
+  latency 2
+  reads rs1, rs2
+  use tie_mac width=16
+  semantics { acc = acc + rs1 * rs2; }
+}
+)";
+
+// --- BoundedQueue ----------------------------------------------------------
+
+TEST(BoundedQueue, FifoOrderAndSize) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  queue.pop();
+  EXPECT_TRUE(queue.try_push(3));
+}
+
+TEST(BoundedQueue, CloseRefusesProducersAndDrainsConsumers) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.push(1));
+  ASSERT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_FALSE(queue.push(3));      // refused after close
+  EXPECT_FALSE(queue.try_push(3));
+  EXPECT_EQ(queue.pop(), 1);        // queued items still drain...
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), std::nullopt);  // ...then end-of-stream
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(2);
+  std::atomic<bool> saw_end{false};
+  std::thread consumer([&] {
+    while (queue.pop().has_value()) {
+    }
+    saw_end = true;
+  });
+  // Give the consumer a chance to block on the empty queue, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(saw_end);
+}
+
+TEST(BoundedQueue, FullQueueBlocksProducerUntilPop) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+  std::atomic<bool> produced{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(2));  // blocks until the consumer pops
+    produced = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(produced);
+  EXPECT_EQ(queue.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(produced);
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryJob) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(pool.submit([&counter] { ++counter; }));
+    }
+    pool.shutdown();  // graceful: drains all 100
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownFails) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // idempotent
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+TEST(ThreadPool, ThrowingJobDoesNotKillWorker) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(1);
+  EXPECT_TRUE(pool.submit([] { throw Error("boom"); }));
+  EXPECT_TRUE(pool.submit([&counter] { ++counter; }));
+  pool.shutdown();
+  EXPECT_EQ(counter.load(), 1);  // the worker survived the throw
+  EXPECT_EQ(pool.escaped_exceptions(), 1u);
+}
+
+// --- content hashing -------------------------------------------------------
+
+TEST(ContentHash, DeterministicAndHexFormatted) {
+  const model::TestProgram program = model::make_test_program("p", kTinyAsm);
+  const Digest a = hash_program_image(program.image);
+  const Digest b = hash_program_image(program.image);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hex().size(), 32u);
+  EXPECT_NE(a, Digest{});
+}
+
+TEST(ContentHash, DistinctProgramsHashApart) {
+  const model::TestProgram a = model::make_test_program("a", kTinyAsm);
+  const model::TestProgram b = model::make_test_program("b", kFaultingAsm);
+  EXPECT_NE(hash_program_image(a.image), hash_program_image(b.image));
+}
+
+TEST(ContentHash, IdenticalTieSpecsCollideDistinctSpecsDoNot) {
+  const tie::TieConfiguration mac32a = tie::compile_tie_source(kMacTie);
+  const tie::TieConfiguration mac32b = tie::compile_tie_source(kMacTie);
+  const tie::TieConfiguration mac16 = tie::compile_tie_source(kMacTie16);
+  const tie::TieConfiguration empty;
+  // Same spec, compiled twice: content-equal, must share a cache slot.
+  EXPECT_EQ(hash_tie_configuration(mac32a), hash_tie_configuration(mac32b));
+  // A single width change anywhere must produce a different key.
+  EXPECT_NE(hash_tie_configuration(mac32a), hash_tie_configuration(mac16));
+  EXPECT_NE(hash_tie_configuration(mac32a), hash_tie_configuration(empty));
+}
+
+TEST(ContentHash, ProcessorConfigAndModelFeedTheKey) {
+  sim::ProcessorConfig base;
+  sim::ProcessorConfig small_icache;
+  small_icache.icache.size_bytes = 4 * 1024;
+  EXPECT_NE(hash_processor_config(base), hash_processor_config(small_icache));
+
+  const Digest model_a = hash_macro_model(flat_model());
+  linalg::Vector coefficients(model::kNumVariables, 1.0);
+  const Digest model_b =
+      hash_macro_model(model::EnergyMacroModel(std::move(coefficients)));
+  EXPECT_NE(model_a, model_b);
+
+  // Order matters in the combined key.
+  EXPECT_NE(combine_digests({model_a, model_b}),
+            combine_digests({model_b, model_a}));
+}
+
+// --- EvalCache -------------------------------------------------------------
+
+model::EnergyEstimate dummy_estimate(double pj) {
+  model::EnergyEstimate e;
+  e.energy_pj = pj;
+  return e;
+}
+
+Digest key_of(std::uint64_t n) {
+  ContentHasher h;
+  h.u64(n);
+  return h.digest();
+}
+
+TEST(EvalCache, MissThenInsertThenHit) {
+  EvalCache cache(8);
+  EXPECT_EQ(cache.lookup(key_of(1)), std::nullopt);
+  cache.insert(key_of(1), dummy_estimate(42.0));
+  const auto hit = cache.lookup(key_of(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->energy_pj, 42.0);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(EvalCache, LruEvictionPrefersStaleEntries) {
+  EvalCache cache(2);
+  cache.insert(key_of(1), dummy_estimate(1.0));
+  cache.insert(key_of(2), dummy_estimate(2.0));
+  ASSERT_TRUE(cache.lookup(key_of(1)).has_value());  // 1 becomes MRU
+  cache.insert(key_of(3), dummy_estimate(3.0));      // evicts 2, not 1
+  EXPECT_TRUE(cache.lookup(key_of(1)).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(2)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(3)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(EvalCache, ZeroCapacityDisablesCaching) {
+  EvalCache cache(0);
+  cache.insert(key_of(1), dummy_estimate(1.0));
+  EXPECT_FALSE(cache.lookup(key_of(1)).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(EvalCache, ClearDropsEntriesKeepsCounters) {
+  EvalCache cache(8);
+  cache.insert(key_of(1), dummy_estimate(1.0));
+  ASSERT_TRUE(cache.lookup(key_of(1)).has_value());
+  cache.clear();
+  EXPECT_FALSE(cache.lookup(key_of(1)).has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// --- BatchEstimator --------------------------------------------------------
+
+std::vector<BatchJob> tiny_batch(std::size_t copies) {
+  std::vector<BatchJob> jobs;
+  for (std::size_t i = 0; i < copies; ++i) {
+    BatchJob job;
+    job.name = "tiny" + std::to_string(i);
+    job.program = model::make_test_program(job.name, kTinyAsm, kMacTie);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+TEST(BatchEstimator, ResultsArriveInJobOrder) {
+  BatchOptions options;
+  options.num_threads = 4;
+  BatchEstimator estimator(flat_model(), options);
+  const std::vector<BatchJob> jobs = tiny_batch(16);
+  const BatchResult batch = estimator.estimate(jobs);
+  ASSERT_EQ(batch.results.size(), 16u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(batch.results[i].name, jobs[i].name);
+    EXPECT_TRUE(batch.results[i].ok);
+  }
+  EXPECT_TRUE(batch.all_ok());
+  EXPECT_EQ(batch.metrics.jobs, 16u);
+  EXPECT_EQ(batch.metrics.succeeded, 16u);
+  EXPECT_EQ(batch.metrics.threads, 4u);
+}
+
+TEST(BatchEstimator, RepeatedBatchIsAllCacheHitsWithIdenticalResults) {
+  BatchOptions options;
+  options.num_threads = 4;
+  BatchEstimator estimator(flat_model(), options);
+  // Distinct names, identical content: the content hash ignores job names,
+  // so within the first batch some jobs may already hit (scheduling-
+  // dependent); across batches every job must hit.
+  const std::vector<BatchJob> jobs = tiny_batch(1);
+  const BatchResult first = estimator.estimate(jobs);
+  const BatchResult second = estimator.estimate(jobs);
+  ASSERT_TRUE(first.all_ok());
+  ASSERT_TRUE(second.all_ok());
+  EXPECT_EQ(first.metrics.cache_hits, 0u);
+  EXPECT_EQ(second.metrics.cache_hits, 1u);
+  EXPECT_EQ(second.metrics.cache_misses, 0u);
+  EXPECT_DOUBLE_EQ(second.metrics.hit_rate(), 1.0);
+  EXPECT_TRUE(second.results[0].cache_hit);
+  // The cached estimate is the original one, bit for bit.
+  EXPECT_EQ(second.results[0].estimate.energy_pj,
+            first.results[0].estimate.energy_pj);
+  EXPECT_EQ(second.results[0].estimate.stats.cycles,
+            first.results[0].estimate.stats.cycles);
+}
+
+TEST(BatchEstimator, DistinctTieSpecsDoNotShareCacheSlots) {
+  BatchEstimator estimator(flat_model());
+  std::vector<BatchJob> jobs;
+  BatchJob mac32;
+  mac32.name = "mac32";
+  mac32.program = model::make_test_program("mac32", kTinyAsm, kMacTie);
+  BatchJob mac16;
+  mac16.name = "mac16";
+  mac16.program = model::make_test_program("mac16", kTinyAsm, kMacTie16);
+  jobs.push_back(std::move(mac32));
+  jobs.push_back(std::move(mac16));
+
+  const BatchResult batch = estimator.estimate(jobs);
+  ASSERT_TRUE(batch.all_ok());
+  // Same assembly, different TIE spec: both must be computed, not served
+  // from one another's slot.
+  EXPECT_EQ(batch.metrics.cache_hits, 0u);
+  EXPECT_EQ(batch.metrics.cache_misses, 2u);
+  EXPECT_EQ(estimator.cache_stats().entries, 2u);
+}
+
+TEST(BatchEstimator, FaultingJobDoesNotPoisonTheBatch) {
+  BatchOptions options;
+  options.num_threads = 2;
+  BatchEstimator estimator(flat_model(), options);
+  std::vector<BatchJob> jobs = tiny_batch(1);
+  BatchJob faulty;
+  faulty.name = "misaligned";
+  faulty.program = model::make_test_program("misaligned", kFaultingAsm);
+  jobs.insert(jobs.begin() + 0, std::move(faulty));
+  jobs.push_back(tiny_batch(1)[0]);
+
+  const BatchResult batch = estimator.estimate(jobs);
+  ASSERT_EQ(batch.results.size(), 3u);
+  EXPECT_FALSE(batch.results[0].ok);
+  EXPECT_FALSE(batch.results[0].error.empty());
+  EXPECT_TRUE(batch.results[1].ok);
+  EXPECT_TRUE(batch.results[2].ok);
+  EXPECT_EQ(batch.metrics.failed, 1u);
+  EXPECT_EQ(batch.metrics.succeeded, 2u);
+  EXPECT_FALSE(batch.all_ok());
+}
+
+TEST(BatchEstimator, MissingTieConfigurationIsCapturedPerJob) {
+  BatchEstimator estimator(flat_model());
+  BatchJob job;
+  job.name = "no-tie";
+  job.program.name = "no-tie";  // tie left null
+  const JobResult result = estimator.estimate_one(job);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no TIE configuration"), std::string::npos);
+}
+
+TEST(BatchEstimator, EmptyBatchIsANoOp) {
+  BatchEstimator estimator(flat_model());
+  const BatchResult batch = estimator.estimate({});
+  EXPECT_TRUE(batch.results.empty());
+  EXPECT_EQ(batch.metrics.jobs, 0u);
+  EXPECT_TRUE(batch.all_ok());
+}
+
+// --- explore rewiring ------------------------------------------------------
+
+TEST(ExploreService, ParallelAndSerialRankingsAreIdentical) {
+  std::vector<explore::Candidate> candidates;
+  for (model::TestProgram& variant : workloads::reed_solomon_variants(5)) {
+    std::string name = variant.name;
+    candidates.push_back({std::move(name), std::move(variant)});
+  }
+  const model::EnergyMacroModel macro_model = flat_model();
+
+  BatchOptions serial;
+  serial.num_threads = 1;
+  BatchOptions parallel;
+  parallel.num_threads = 4;
+  BatchEstimator serial_estimator(macro_model, serial);
+  BatchEstimator parallel_estimator(macro_model, parallel);
+
+  const explore::ExploreResult a = explore::rank_candidates(
+      candidates, serial_estimator, explore::Objective::kEdp);
+  const explore::ExploreResult b = explore::rank_candidates(
+      candidates, parallel_estimator, explore::Objective::kEdp);
+
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].name, b.ranked[i].name);
+    // Bit-identical, not approximately equal: the simulation is
+    // deterministic and the ordering is scheduling-independent.
+    EXPECT_EQ(a.ranked[i].energy_pj, b.ranked[i].energy_pj);
+    EXPECT_EQ(a.ranked[i].cycles, b.ranked[i].cycles);
+    EXPECT_EQ(a.ranked[i].edp, b.ranked[i].edp);
+    EXPECT_EQ(a.ranked[i].pareto_optimal, b.ranked[i].pareto_optimal);
+  }
+}
+
+TEST(ExploreService, ReRankingReusesTheCache) {
+  std::vector<explore::Candidate> candidates;
+  for (model::TestProgram& variant : workloads::reed_solomon_variants(5)) {
+    std::string name = variant.name;
+    candidates.push_back({std::move(name), std::move(variant)});
+  }
+  BatchEstimator estimator(flat_model());
+  explore::rank_candidates(candidates, estimator, explore::Objective::kEdp);
+  const CacheStats after_first = estimator.cache_stats();
+  // Re-ranking by a different objective re-evaluates nothing.
+  explore::rank_candidates(candidates, estimator, explore::Objective::kEnergy);
+  const CacheStats after_second = estimator.cache_stats();
+  EXPECT_EQ(after_second.hits, after_first.hits + candidates.size());
+  EXPECT_EQ(after_second.insertions, after_first.insertions);
+}
+
+TEST(ExploreService, FaultingCandidateStillThrows) {
+  std::vector<explore::Candidate> candidates;
+  candidates.push_back(
+      {"bad", model::make_test_program("bad", kFaultingAsm)});
+  BatchEstimator estimator(flat_model());
+  EXPECT_THROW(explore::rank_candidates(candidates, estimator), Error);
+}
+
+// --- util/json (service tooling dependency) --------------------------------
+
+TEST(Json, ParsesRequestLine) {
+  const JsonValue v = JsonValue::parse(
+      R"({"name": "rs \"q\"", "asm": "rs.s", "tie": null, "n": 4.5,)"
+      R"( "flags": [true, false]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.string_or("name", ""), "rs \"q\"");
+  EXPECT_EQ(v.string_or("asm", ""), "rs.s");
+  EXPECT_EQ(v.string_or("tie", "-"), "-");  // null falls back
+  EXPECT_EQ(v.string_or("absent", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(v.find("n")->as_number(), 4.5);
+  ASSERT_EQ(v.find("flags")->as_array().size(), 2u);
+  EXPECT_TRUE(v.find("flags")->as_array()[0].as_bool());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse("{"), Error);
+  EXPECT_THROW(JsonValue::parse("{\"a\": }"), Error);
+  EXPECT_THROW(JsonValue::parse("[1, 2,]"), Error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), Error);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), Error);
+  EXPECT_THROW(JsonValue::parse("nul"), Error);
+}
+
+TEST(Json, WriterEmitsParseableOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("jobs", std::uint64_t{8});
+  w.field("hit_rate", 0.75);
+  w.field("tool", std::string_view("xtc-batch \"v1\"\n"));
+  w.array_field("threads");
+  w.element(1.0);
+  w.element(4.0);
+  w.end_array();
+  w.end_object();
+
+  const JsonValue v = JsonValue::parse(w.str());
+  EXPECT_DOUBLE_EQ(v.find("jobs")->as_number(), 8.0);
+  EXPECT_DOUBLE_EQ(v.find("hit_rate")->as_number(), 0.75);
+  EXPECT_EQ(v.find("tool")->as_string(), "xtc-batch \"v1\"\n");
+  EXPECT_EQ(v.find("threads")->as_array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace exten::service

@@ -69,6 +69,16 @@ class Args {
     return it->second;
   }
 
+  /// Throws when a flag outside `known` was given — catches typos like
+  /// --thread for --threads, which would otherwise be silently ignored.
+  void require_known(std::initializer_list<std::string_view> known) const {
+    for (const auto& [name, unused] : flags_) {
+      bool ok = false;
+      for (std::string_view k : known) ok = ok || k == name;
+      EXTEN_CHECK(ok, "unknown flag '--", name, "'");
+    }
+  }
+
  private:
   std::vector<std::string> positional_;
   std::map<std::string, std::string> flags_;

@@ -1,0 +1,185 @@
+// xtc-batch: drive the concurrent batch-estimation service from the
+// command line.
+//
+//   xtc-batch jobs.jsonl --model xtc32.macromodel
+//             [--threads N] [--cache N] [--repeat N] [--json]
+//
+// The jobs file is JSON lines — one request object per line (blank lines
+// and lines starting with '#' are skipped):
+//
+//   {"name": "base",  "asm": "rs_base.s"}
+//   {"name": "gfmac", "asm": "rs_gfmac.s", "tie": "gfmac.tie"}
+//
+//   name  job label (defaults to the asm path)
+//   asm   assembly source, relative to the jobs file's directory
+//   tie   optional TIE-lite spec path ("-" or null = base processor only)
+//
+// Per-job results print as a table (or as JSON lines with --json),
+// followed by a summary metrics block in JSON: job counts, cache hit
+// rate, wall-clock seconds, and the realized speedup vs. running the
+// same work on one thread. --repeat re-submits the identical batch,
+// demonstrating the content-addressed cache (the second pass should
+// report a 100% hit rate).
+
+#include <iostream>
+#include <map>
+
+#include "service/batch_estimator.h"
+#include "tools/tool_common.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace exten;
+
+std::vector<service::BatchJob> load_jobs(const std::string& jobs_path) {
+  const std::string dir = jobs_path.find('/') == std::string::npos
+                              ? std::string(".")
+                              : jobs_path.substr(0, jobs_path.rfind('/'));
+  // Jobs naming the same spec share one compiled TieConfiguration, the
+  // same sharing the cache key hashing exploits.
+  std::map<std::string, std::shared_ptr<const tie::TieConfiguration>>
+      tie_by_path;
+
+  std::vector<service::BatchJob> jobs;
+  int line_number = 0;
+  // Keep the file contents alive: split_lines returns views into it.
+  const std::string text = tools::read_file(jobs_path);
+  for (std::string_view line : split_lines(text)) {
+    ++line_number;
+    line = trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    JsonValue request;
+    try {
+      request = JsonValue::parse(line);
+    } catch (const Error& e) {
+      throw Error(jobs_path, ":", line_number, ": ", e.what());
+    }
+    EXTEN_CHECK(request.is_object(), jobs_path, ":", line_number,
+                ": request must be a JSON object");
+    const std::string asm_rel = request.string_or("asm", "");
+    EXTEN_CHECK(!asm_rel.empty(), jobs_path, ":", line_number,
+                ": missing \"asm\" member");
+    const std::string tie_rel = request.string_or("tie", "-");
+
+    std::shared_ptr<const tie::TieConfiguration> tie_config;
+    if (tie_rel == "-") {
+      tie_config = std::make_shared<const tie::TieConfiguration>();
+    } else {
+      auto [it, inserted] = tie_by_path.try_emplace(tie_rel);
+      if (inserted) {
+        it->second = std::make_shared<const tie::TieConfiguration>(
+            tie::compile_tie_source(tools::read_file(dir + "/" + tie_rel)));
+      }
+      tie_config = it->second;
+    }
+
+    service::BatchJob job;
+    job.name = request.string_or("name", asm_rel);
+    job.program = model::make_test_program(
+        job.name, tools::read_file(dir + "/" + asm_rel), tie_config);
+    jobs.push_back(std::move(job));
+  }
+  EXTEN_CHECK(!jobs.empty(), jobs_path, ": no job requests");
+  return jobs;
+}
+
+void print_results_table(const service::BatchResult& batch) {
+  AsciiTable table(
+      {"Job", "Status", "Energy (uJ)", "Cycles", "Cache", "Eval (s)"});
+  for (const service::JobResult& r : batch.results) {
+    if (r.ok) {
+      table.add_row({r.name, "ok", format_fixed(r.estimate.energy_uj(), 2),
+                     with_commas(r.estimate.stats.cycles),
+                     r.cache_hit ? "hit" : "miss",
+                     format_fixed(r.estimate.elapsed_seconds, 3)});
+    } else {
+      table.add_row({r.name, "error: " + r.error, "-", "-", "-", "-"});
+    }
+  }
+  table.print(std::cout);
+}
+
+void print_results_json(const service::BatchResult& batch) {
+  for (const service::JobResult& r : batch.results) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("name", std::string_view(r.name));
+    w.field("ok", r.ok);
+    if (r.ok) {
+      w.field("energy_pj", r.estimate.energy_pj);
+      w.field("cycles", static_cast<std::uint64_t>(r.estimate.stats.cycles));
+      w.field("cache_hit", r.cache_hit);
+      w.field("eval_seconds", r.estimate.elapsed_seconds);
+    } else {
+      w.field("error", std::string_view(r.error));
+    }
+    w.end_object();
+    std::cout << w.str() << "\n";
+  }
+}
+
+void print_metrics(const service::BatchMetrics& m) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("jobs", static_cast<std::uint64_t>(m.jobs));
+  w.field("succeeded", static_cast<std::uint64_t>(m.succeeded));
+  w.field("failed", static_cast<std::uint64_t>(m.failed));
+  w.field("threads", static_cast<int>(m.threads));
+  w.field("cache_hits", m.cache_hits);
+  w.field("cache_misses", m.cache_misses);
+  w.field("cache_hit_rate", m.hit_rate());
+  w.field("wall_seconds", m.wall_seconds);
+  w.field("total_worker_seconds", m.total_worker_seconds);
+  w.field("speedup_vs_serial", m.speedup_vs_serial());
+  w.end_object();
+  std::cout << "metrics " << w.str() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace exten;
+  return tools::tool_main("xtc-batch", [&] {
+    const tools::Args args(argc, argv);
+    args.require_known({"model", "threads", "cache", "repeat", "json"});
+    if (args.positional().size() != 1 || !args.has("model")) {
+      std::cerr << "usage: xtc-batch jobs.jsonl --model FILE [--threads N] "
+                   "[--cache N] [--repeat N] [--json]\n";
+      return 2;
+    }
+
+    service::BatchOptions options;
+    if (auto threads = args.value("threads")) {
+      options.num_threads = static_cast<unsigned>(std::stoul(*threads));
+    }
+    if (auto cache = args.value("cache")) {
+      options.cache_capacity = std::stoul(*cache);
+    }
+    unsigned repeat = 1;
+    if (auto r = args.value("repeat")) {
+      repeat = static_cast<unsigned>(std::stoul(*r));
+      EXTEN_CHECK(repeat >= 1, "--repeat must be >= 1");
+    }
+
+    const std::vector<service::BatchJob> jobs =
+        load_jobs(args.positional()[0]);
+    service::BatchEstimator estimator(
+        model::EnergyMacroModel::deserialize(
+            tools::read_file(args.value("model").value())),
+        options);
+
+    for (unsigned pass = 1; pass <= repeat; ++pass) {
+      if (repeat > 1) std::cout << "--- pass " << pass << " ---\n";
+      const service::BatchResult batch = estimator.estimate(jobs);
+      if (args.has("json")) {
+        print_results_json(batch);
+      } else {
+        print_results_table(batch);
+      }
+      print_metrics(batch.metrics);
+    }
+    return 0;
+  });
+}
