@@ -1,0 +1,212 @@
+// Measures the two-tier execution engine against the reference
+// interpreter: bare-engine simulated MIPS (predecoded dispatch + TIE
+// bytecode vs per-step decode + Expr tree walk) and end-to-end macro-model
+// estimates per second (ISS + profiling + 21-term dot product).
+//
+// The engines produce bit-identical retirement streams and energy numbers
+// (tests/test_engine_diff.cpp); this harness quantifies only speed.
+//
+//   bench_sim_throughput [--json out.json] [--reps N]
+//
+// --json writes a machine-readable snapshot (the committed baseline lives
+// at BENCH_sim_throughput.json); --reps controls the repetitions per
+// measurement (default 5; the minimum is reported).
+
+#include <chrono>
+#include <fstream>
+
+#include "bench/bench_common.h"
+#include "model/estimate.h"
+#include "sim/cpu.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace exten;
+
+/// Retirement sink that discards everything: timing runs measure the bare
+/// engine, not observer cost.
+struct NullSink {
+  void on_run_begin() {}
+  void on_retire(const sim::RetiredInstruction&) {}
+  void on_run_end(std::uint64_t, std::uint64_t) {}
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct EngineTiming {
+  std::uint64_t instructions = 0;
+  double seconds = 0.0;
+
+  double mips() const {
+    return seconds > 0.0
+               ? static_cast<double>(instructions) / seconds / 1e6
+               : 0.0;
+  }
+};
+
+/// One >=10 ms sample of pure run() time over repeated fresh simulations
+/// (the smallest applications finish in tens of microseconds, far below
+/// timer resolution); setup — Cpu construction, program load, predecode —
+/// is excluded, so the number is the engine's steady-state simulation
+/// rate. Returns seconds per instruction.
+double sample_engine(const model::TestProgram& app, sim::Engine engine,
+                     std::uint64_t* run_instructions) {
+  constexpr double kMinSampleSeconds = 0.010;
+  std::uint64_t instructions = 0;
+  double elapsed = 0.0;
+  do {
+    sim::Cpu cpu({}, *app.tie, engine);
+    cpu.load_program(app.image);
+    NullSink sink;
+    const double start = now_seconds();
+    const sim::RunResult result = cpu.run_with_sink(sink);
+    elapsed += now_seconds() - start;
+    instructions += result.instructions;
+    *run_instructions = result.instructions;
+  } while (elapsed < kMinSampleSeconds);
+  return elapsed / static_cast<double>(instructions);
+}
+
+/// Times both engines on `app`, interleaving the samples (fast, reference,
+/// fast, reference, …) so a machine-load swing hits both engines rather
+/// than skewing the ratio; the minimum per engine over `reps` rounds is
+/// reported.
+void time_engines(const model::TestProgram& app, int reps, EngineTiming* fast,
+                  EngineTiming* ref) {
+  double fast_per_instr = 1e30;
+  double ref_per_instr = 1e30;
+  std::uint64_t instructions = 0;
+  for (int i = 0; i < reps; ++i) {
+    fast_per_instr = std::min(
+        fast_per_instr, sample_engine(app, sim::Engine::kFast, &instructions));
+    ref_per_instr = std::min(
+        ref_per_instr,
+        sample_engine(app, sim::Engine::kReference, &instructions));
+  }
+  fast->instructions = instructions;
+  fast->seconds = fast_per_instr * static_cast<double>(instructions);
+  ref->instructions = instructions;
+  ref->seconds = ref_per_instr * static_cast<double>(instructions);
+}
+
+/// Min-of-`reps` time to estimate every app in `suite` with the macro-model
+/// on the chosen engine. Returns estimates per second.
+double time_estimates(const model::EnergyMacroModel& macro,
+                      const std::vector<model::TestProgram>& suite,
+                      sim::Engine engine, int reps) {
+  double best = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    const double start = now_seconds();
+    for (const model::TestProgram& app : suite) {
+      const model::EnergyEstimate est = model::estimate_energy(
+          macro, app, {}, sim::Cpu::kDefaultBudget, engine);
+      if (est.energy_pj < 0) std::abort();  // keep the result observable
+    }
+    const double elapsed = now_seconds() - start;
+    if (elapsed < best) best = elapsed;
+  }
+  return static_cast<double>(suite.size()) / best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else {
+      std::cerr << "usage: bench_sim_throughput [--json out.json] [--reps N]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<model::TestProgram> suite = workloads::application_suite();
+
+  bench::heading("Simulated MIPS: fast engine vs reference interpreter");
+  AsciiTable table({"Application", "Instructions", "Fast (MIPS)",
+                    "Reference (MIPS)", "Ratio"});
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "sim_throughput");
+  json.field("reps", reps);
+  json.array_field("applications");
+
+  double total_fast_s = 0.0;
+  double total_ref_s = 0.0;
+  std::uint64_t total_instructions = 0;
+  for (const model::TestProgram& app : suite) {
+    EngineTiming fast;
+    EngineTiming ref;
+    time_engines(app, reps, &fast, &ref);
+    total_fast_s += fast.seconds;
+    total_ref_s += ref.seconds;
+    total_instructions += fast.instructions;
+    const double ratio = ref.seconds > 0.0 ? fast.mips() / ref.mips() : 0.0;
+    table.add_row({app.name, with_commas(fast.instructions),
+                   format_fixed(fast.mips(), 1), format_fixed(ref.mips(), 1),
+                   format_fixed(ratio, 2) + "x"});
+    json.element_object();
+    json.field("name", app.name);
+    json.field("instructions", fast.instructions);
+    json.field("fast_mips", fast.mips());
+    json.field("reference_mips", ref.mips());
+    json.field("ratio", ratio);
+    json.end_object();
+  }
+  table.print(std::cout);
+
+  const double agg_fast_mips =
+      static_cast<double>(total_instructions) / total_fast_s / 1e6;
+  const double agg_ref_mips =
+      static_cast<double>(total_instructions) / total_ref_s / 1e6;
+  const double agg_ratio = agg_fast_mips / agg_ref_mips;
+  std::cout << "\naggregate: fast " << format_fixed(agg_fast_mips, 1)
+            << " MIPS, reference " << format_fixed(agg_ref_mips, 1)
+            << " MIPS, ratio " << format_fixed(agg_ratio, 2) << "x\n";
+
+  // End-to-end estimation throughput: ISS + macro-model profiling + dot
+  // product. The coefficients only feed the final dot product, so a fixed
+  // synthetic model times identically to a characterized one.
+  linalg::Vector coeffs(model::kNumVariables);
+  for (std::size_t i = 0; i < model::kNumVariables; ++i) {
+    coeffs[i] = 1.0;
+  }
+  const model::EnergyMacroModel macro(coeffs);
+  const double est_fast = time_estimates(macro, suite, sim::Engine::kFast, reps);
+  const double est_ref =
+      time_estimates(macro, suite, sim::Engine::kReference, reps);
+  std::cout << "estimates/sec (suite of " << suite.size() << "): fast "
+            << format_fixed(est_fast, 1) << ", reference "
+            << format_fixed(est_ref, 1) << " ("
+            << format_fixed(est_fast / est_ref, 2) << "x)\n";
+
+  json.end_array();
+  json.field("aggregate_fast_mips", agg_fast_mips);
+  json.field("aggregate_reference_mips", agg_ref_mips);
+  json.field("aggregate_ratio", agg_ratio);
+  json.field("estimates_per_sec_fast", est_fast);
+  json.field("estimates_per_sec_reference", est_ref);
+  json.end_object();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << json.str() << "\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

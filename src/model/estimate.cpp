@@ -15,23 +15,44 @@ double seconds_since(
   const auto elapsed = std::chrono::steady_clock::now() - start;
   return std::chrono::duration<double>(elapsed).count();
 }
+
+/// Statically-dispatched profiler+stats sink: both observers are final, so
+/// their on_retire bodies inline straight into the Cpu::run_with_sink loop
+/// — no virtual call per retired instruction.
+struct ProfilerStatsSink {
+  MacroModelProfiler& profiler;
+  sim::StatsCollector& stats;
+
+  void on_run_begin() {
+    profiler.on_run_begin();
+    stats.on_run_begin();
+  }
+  void on_retire(const sim::RetiredInstruction& r) {
+    profiler.on_retire(r);
+    stats.on_retire(r);
+  }
+  void on_run_end(std::uint64_t instructions, std::uint64_t cycles) {
+    profiler.on_run_end(instructions, cycles);
+    stats.on_run_end(instructions, cycles);
+  }
+};
 }  // namespace
 
 EnergyEstimate estimate_energy(const EnergyMacroModel& model,
                                const TestProgram& program,
                                const sim::ProcessorConfig& processor,
-                               std::uint64_t max_instructions) {
+                               std::uint64_t max_instructions,
+                               sim::Engine engine) {
   EXTEN_CHECK(program.tie != nullptr, "program '", program.name,
               "' has no TIE configuration");
   const auto start = std::chrono::steady_clock::now();
 
-  sim::Cpu cpu(processor, *program.tie);
+  sim::Cpu cpu(processor, *program.tie, engine);
   cpu.load_program(program.image);
   MacroModelProfiler profiler(*program.tie);
   sim::StatsCollector stats;
-  cpu.add_observer(&profiler);
-  cpu.add_observer(&stats);
-  cpu.run(max_instructions);
+  ProfilerStatsSink sink{profiler, stats};
+  cpu.run_with_sink(sink, max_instructions);
 
   EnergyEstimate estimate;
   estimate.variables = profiler.variables();

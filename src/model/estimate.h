@@ -11,6 +11,7 @@
 #include "model/test_program.h"
 #include "power/technology.h"
 #include "sim/config.h"
+#include "sim/cpu.h"
 #include "sim/stats.h"
 
 namespace exten::model {
@@ -42,6 +43,12 @@ struct ReferenceResult {
 
 /// Estimates application energy with the macro-model (fast path).
 ///
+/// `engine` selects the execution engine: sim::Engine::kFast (default) runs
+/// the predecoded/bytecode engine through a statically-dispatched
+/// profiler+stats sink; sim::Engine::kReference runs the original
+/// interpreter through the observer list. Both produce bit-identical
+/// variables and energy (tests/test_engine_diff.cpp).
+///
 /// Thread safety: safe to call concurrently from many threads. Every
 /// mutable object (Cpu, Memory, caches, profiler, stats collector) is
 /// created per call; the shared inputs — the macro-model, the program
@@ -50,7 +57,8 @@ struct ReferenceResult {
 EnergyEstimate estimate_energy(const EnergyMacroModel& model,
                                const TestProgram& program,
                                const sim::ProcessorConfig& processor = {},
-                               std::uint64_t max_instructions = 200'000'000);
+                               std::uint64_t max_instructions = 200'000'000,
+                               sim::Engine engine = sim::Engine::kFast);
 
 /// Computes the ground-truth energy with the RTL-level estimator
 /// (slow path; stands in for ModelSim + WattWatcher).

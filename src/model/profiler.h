@@ -24,7 +24,10 @@ namespace exten::model {
 /// gating fraction times a typical operand-bus toggle rate.
 inline constexpr double kSideActivationWeight = 0.10;
 
-class MacroModelProfiler : public sim::RetireObserver {
+/// `final` matters for throughput: model/estimate.cpp drives the profiler
+/// through Cpu::run_with_sink, and the sealed type lets the compiler
+/// devirtualize/inline on_retire in that loop.
+class MacroModelProfiler final : public sim::RetireObserver {
  public:
   /// `tie` is the configuration the profiled program runs on (needed for
   /// the shared-bus side-effect weights); it must outlive the profiler.

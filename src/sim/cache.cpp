@@ -19,12 +19,13 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
               "cache set count ", sets, " must be a power of two >= 1");
   set_shift_ = static_cast<std::uint32_t>(std::countr_zero(config.line_bytes));
   set_mask_ = sets - 1;
+  tag_shift_ = set_shift_ + static_cast<std::uint32_t>(std::countr_zero(sets));
   lines_.resize(static_cast<std::size_t>(sets) * config.ways);
 }
 
 CacheOutcome Cache::lookup(std::uint32_t addr, bool allocate) {
   const std::uint32_t set = (addr >> set_shift_) & set_mask_;
-  const std::uint32_t tag = addr >> set_shift_ >> std::countr_zero(set_mask_ + 1);
+  const std::uint32_t tag = addr >> tag_shift_;
   Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
 
   Line* hit = nullptr;
@@ -45,6 +46,7 @@ CacheOutcome Cache::lookup(std::uint32_t addr, bool allocate) {
   if (hit != nullptr) {
     ++hits_;
     refresh(*hit);
+    remember(addr >> set_shift_, set);
     return CacheOutcome::kHit;
   }
   ++misses_;
@@ -62,20 +64,15 @@ CacheOutcome Cache::lookup(std::uint32_t addr, bool allocate) {
     victim->valid = true;
     victim->tag = tag;
     refresh(*victim);
+    remember(addr >> set_shift_, set);
   }
   return CacheOutcome::kMiss;
 }
 
-CacheOutcome Cache::access(std::uint32_t addr) {
-  return lookup(addr, /*allocate=*/true);
-}
-
-CacheOutcome Cache::probe(std::uint32_t addr) {
-  return lookup(addr, /*allocate=*/false);
-}
-
 void Cache::flush() {
   for (Line& line : lines_) line = Line{};
+  hot_line_[0] = kNoLine;
+  hot_line_[1] = kNoLine;
 }
 
 }  // namespace exten::sim

@@ -31,11 +31,35 @@ class Cache {
   explicit Cache(const CacheConfig& config);
 
   /// Looks up `addr`; on a miss the line is allocated (victim = LRU way).
-  CacheOutcome access(std::uint32_t addr);
+  ///
+  /// Hot-line memo: accesses to either of the last two distinct lines
+  /// (sequential fetches within a 32-byte line, and loops or load/store
+  /// streams alternating between two lines) skip the tag search and the
+  /// LRU refresh entirely. This is exact, not approximate — the memo only
+  /// ever holds lines that are currently most-recently-used within their
+  /// own set (lookup() evicts a memo entry whenever another line of its
+  /// set becomes MRU, and the two entries never share a set), and
+  /// re-refreshing a line that is already MRU of its set cannot change
+  /// the relative LRU order, so every future victim choice is identical.
+  CacheOutcome access(std::uint32_t addr) {
+    const std::uint32_t line = addr >> set_shift_;
+    if (line == hot_line_[0] || line == hot_line_[1]) {
+      ++hits_;
+      return CacheOutcome::kHit;
+    }
+    return lookup(addr, /*allocate=*/true);
+  }
 
   /// Looks up `addr` without allocating on miss (write-around stores).
   /// A hit still refreshes LRU state.
-  CacheOutcome probe(std::uint32_t addr);
+  CacheOutcome probe(std::uint32_t addr) {
+    const std::uint32_t line = addr >> set_shift_;
+    if (line == hot_line_[0] || line == hot_line_[1]) {
+      ++hits_;
+      return CacheOutcome::kHit;
+    }
+    return lookup(addr, /*allocate=*/false);
+  }
 
   /// Invalidates all lines.
   void flush();
@@ -54,9 +78,27 @@ class Cache {
   /// Finds the way holding `tag` in `set`, or the LRU victim.
   CacheOutcome lookup(std::uint32_t addr, bool allocate);
 
+  /// Records that `line` just became MRU of `set`: any memoized line of
+  /// the same set is no longer safe to short-circuit, so it is replaced;
+  /// otherwise the older memo entry is evicted.
+  void remember(std::uint32_t line, std::uint32_t set) {
+    if ((hot_line_[0] & set_mask_) == set) {
+      hot_line_[0] = line;
+      return;
+    }
+    hot_line_[1] = hot_line_[0];
+    hot_line_[0] = line;
+  }
+
+  /// Sentinel for "no memoized line": line addresses are addr >>
+  /// set_shift_ with set_shift_ >= 2, so they never reach 0xFFFFFFFF.
+  static constexpr std::uint32_t kNoLine = 0xFFFFFFFFu;
+
   CacheConfig config_;
   std::uint32_t set_shift_ = 0;   ///< log2(line_bytes)
   std::uint32_t set_mask_ = 0;    ///< num_sets - 1
+  std::uint32_t tag_shift_ = 0;   ///< log2(line_bytes * num_sets)
+  std::uint32_t hot_line_[2] = {kNoLine, kNoLine};  ///< per-set MRU lines
   std::vector<Line> lines_;       ///< sets x ways, row-major
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

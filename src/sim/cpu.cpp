@@ -6,19 +6,38 @@ namespace exten::sim {
 
 namespace {
 
-std::int32_t as_signed(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+/// Statically-typed sink forwarding to the registered observer list, so
+/// run() and run_with_sink() share one loop.
+struct ObserverListSink {
+  const std::vector<RetireObserver*>& observers;
+
+  void on_run_begin() {
+    for (RetireObserver* obs : observers) obs->on_run_begin();
+  }
+  void on_retire(const RetiredInstruction& retired) {
+    for (RetireObserver* obs : observers) obs->on_retire(retired);
+  }
+  void on_run_end(std::uint64_t instructions, std::uint64_t cycles) {
+    for (RetireObserver* obs : observers) obs->on_run_end(instructions, cycles);
+  }
+};
 
 }  // namespace
 
-Cpu::Cpu(const ProcessorConfig& config, const tie::TieConfiguration& tie)
+Cpu::Cpu(const ProcessorConfig& config, const tie::TieConfiguration& tie,
+         Engine engine)
     : config_(config),
       tie_(tie),
       icache_(config.icache),
       dcache_(config.dcache),
-      tie_state_(tie.make_state()) {}
+      tie_state_(tie.make_state()),
+      engine_(engine) {}
 
 void Cpu::load_program(const isa::ProgramImage& image) {
   memory_.load(image);
+  load_page_ = Memory::PageRef{};
+  store_page_ = Memory::PageRef{};
+  predecode_.build(image, tie_);
   pc_ = image.entry_point();
   set_reg(isa::kStackRegister, isa::kStackTop);
 }
@@ -41,28 +60,8 @@ void Cpu::set_reg(unsigned index, std::uint32_t value) {
 }
 
 RunResult Cpu::run(std::uint64_t max_instructions) {
-  for (RetireObserver* obs : observers_) obs->on_run_begin();
-
-  RunResult result;
-  while (result.instructions < max_instructions) {
-    RetiredInstruction retired;
-    const bool keep_going = step(&retired);
-    ++result.instructions;
-    cycles_ += retired.total_cycles;
-    for (RetireObserver* obs : observers_) obs->on_retire(retired);
-    if (!keep_going) {
-      result.halted = true;
-      break;
-    }
-  }
-  result.cycles = cycles_;
-  for (RetireObserver* obs : observers_) {
-    obs->on_run_end(result.instructions, result.cycles);
-  }
-  EXTEN_CHECK(result.halted, "instruction budget of ", max_instructions,
-              " exhausted without HALT (runaway program at pc=0x", std::hex,
-              pc_, ")");
-  return result;
+  ObserverListSink sink{observers_};
+  return run_with_sink(sink, max_instructions);
 }
 
 std::uint32_t Cpu::fetch(RetiredInstruction* retired) {
@@ -81,7 +80,7 @@ std::uint32_t Cpu::fetch(RetiredInstruction* retired) {
   return memory_.read32(fetch_pc);
 }
 
-bool Cpu::step(RetiredInstruction* retired) {
+bool Cpu::step_reference(RetiredInstruction* retired) {
   retired->pc = pc_;
   retired->base_cycles = 1;
   retired->total_cycles = 1;
@@ -111,209 +110,20 @@ bool Cpu::step(RetiredInstruction* retired) {
   }
   pending_load_rd_ = isa::kNumRegisters;
 
-  execute(d, retired);
+  execute(d, nullptr, retired);
   return d.op != isa::Opcode::kHalt;
 }
 
-void Cpu::execute(const isa::DecodedInstr& d, RetiredInstruction* retired) {
-  using isa::Opcode;
-  const std::uint32_t a = reg(d.rs1);
-  const std::uint32_t b = reg(d.rs2);
-  retired->rs1_value = a;
-  retired->rs2_value = b;
-  const std::uint32_t next_pc = pc_ + 4;
-  std::uint32_t target = next_pc;
-
-  auto write_rd = [&](std::uint32_t value) {
-    set_reg(d.rd, value);
-    retired->result = value;
-  };
-  auto do_load = [&](unsigned bytes, bool sign) {
-    const std::uint32_t addr = a + static_cast<std::uint32_t>(d.imm);
-    retired->mem_addr = addr;
-    retired->is_mem = true;
-    if (config_.is_uncached(addr)) {
-      retired->uncached_data = true;
-      retired->total_cycles += config_.uncached_data_penalty;
-      retired->memory_stall_cycles += config_.uncached_data_penalty;
-    } else if (dcache_.access(addr) == CacheOutcome::kMiss) {
-      retired->dcache_miss = true;
-      retired->total_cycles += config_.dcache_miss_penalty;
-      retired->memory_stall_cycles += config_.dcache_miss_penalty;
-    }
-    std::uint32_t value = 0;
-    switch (bytes) {
-      case 1:
-        value = memory_.read8(addr);
-        if (sign) value = static_cast<std::uint32_t>(
-            static_cast<std::int32_t>(static_cast<std::int8_t>(value)));
-        break;
-      case 2:
-        value = memory_.read16(addr);
-        if (sign) value = static_cast<std::uint32_t>(
-            static_cast<std::int32_t>(static_cast<std::int16_t>(value)));
-        break;
-      default:
-        value = memory_.read32(addr);
-        break;
-    }
-    write_rd(value);
-    pending_load_rd_ = d.rd;
-  };
-  auto do_store = [&](unsigned bytes) {
-    const std::uint32_t addr = a + static_cast<std::uint32_t>(d.imm);
-    retired->mem_addr = addr;
-    retired->is_mem = true;
-    retired->result = b;
-    if (!config_.is_uncached(addr)) {
-      // Write-through, write-around: update the cache only on hit; a store
-      // miss does not allocate and does not stall (write buffer).
-      dcache_.probe(addr);
-    } else {
-      retired->uncached_data = true;
-      retired->total_cycles += config_.uncached_data_penalty;
-      retired->memory_stall_cycles += config_.uncached_data_penalty;
-    }
-    switch (bytes) {
-      case 1:
-        memory_.write8(addr, static_cast<std::uint8_t>(b));
-        break;
-      case 2:
-        memory_.write16(addr, static_cast<std::uint16_t>(b));
-        break;
-      default:
-        memory_.write32(addr, b);
-        break;
-    }
-  };
-  auto do_branch = [&](bool taken) {
-    retired->branch_taken = taken;
-    if (taken) {
-      target = next_pc + static_cast<std::uint32_t>(d.imm) * 4;
-      retired->total_cycles += config_.taken_branch_penalty;
-      retired->redirect_cycles += config_.taken_branch_penalty;
-    }
-  };
-  auto do_jump_rel = [&](bool link) {
-    // JAL's J-type encoding has no rd field; the link register is
-    // architectural (r1).
-    if (link) {
-      set_reg(isa::kLinkRegister, next_pc);
-      retired->result = next_pc;
-    }
-    target = next_pc + static_cast<std::uint32_t>(d.imm) * 4;
-    retired->total_cycles += config_.jump_penalty;
-    retired->redirect_cycles += config_.jump_penalty;
-  };
-
-  switch (d.op) {
-    case Opcode::kAdd: write_rd(a + b); break;
-    case Opcode::kSub: write_rd(a - b); break;
-    case Opcode::kAnd: write_rd(a & b); break;
-    case Opcode::kOr: write_rd(a | b); break;
-    case Opcode::kXor: write_rd(a ^ b); break;
-    case Opcode::kNor: write_rd(~(a | b)); break;
-    case Opcode::kAndn: write_rd(a & ~b); break;
-    case Opcode::kSll: write_rd(a << (b & 31)); break;
-    case Opcode::kSrl: write_rd(a >> (b & 31)); break;
-    case Opcode::kSra:
-      write_rd(static_cast<std::uint32_t>(as_signed(a) >> (b & 31)));
-      break;
-    case Opcode::kSlt: write_rd(as_signed(a) < as_signed(b) ? 1 : 0); break;
-    case Opcode::kSltu: write_rd(a < b ? 1 : 0); break;
-    case Opcode::kMul: write_rd(a * b); break;
-    case Opcode::kMulh: {
-      const std::int64_t product = static_cast<std::int64_t>(as_signed(a)) *
-                                   static_cast<std::int64_t>(as_signed(b));
-      write_rd(static_cast<std::uint32_t>(product >> 32));
-      break;
-    }
-    case Opcode::kMin:
-      write_rd(as_signed(a) < as_signed(b) ? a : b);
-      break;
-    case Opcode::kMax:
-      write_rd(as_signed(a) > as_signed(b) ? a : b);
-      break;
-    case Opcode::kMinu: write_rd(a < b ? a : b); break;
-    case Opcode::kMaxu: write_rd(a > b ? a : b); break;
-
-    case Opcode::kAddi:
-      write_rd(a + static_cast<std::uint32_t>(d.imm));
-      break;
-    case Opcode::kAndi:
-      write_rd(a & static_cast<std::uint32_t>(d.imm));
-      break;
-    case Opcode::kOri:
-      write_rd(a | static_cast<std::uint32_t>(d.imm));
-      break;
-    case Opcode::kXori:
-      write_rd(a ^ static_cast<std::uint32_t>(d.imm));
-      break;
-    case Opcode::kSlli: write_rd(a << (d.imm & 31)); break;
-    case Opcode::kSrli: write_rd(a >> (d.imm & 31)); break;
-    case Opcode::kSrai:
-      write_rd(static_cast<std::uint32_t>(as_signed(a) >> (d.imm & 31)));
-      break;
-    case Opcode::kSlti:
-      write_rd(as_signed(a) < d.imm ? 1 : 0);
-      break;
-    case Opcode::kSltiu:
-      write_rd(a < static_cast<std::uint32_t>(d.imm) ? 1 : 0);
-      break;
-    case Opcode::kLui:
-      write_rd(static_cast<std::uint32_t>(d.imm));
-      break;
-
-    case Opcode::kLw: do_load(4, false); break;
-    case Opcode::kLh: do_load(2, true); break;
-    case Opcode::kLhu: do_load(2, false); break;
-    case Opcode::kLb: do_load(1, true); break;
-    case Opcode::kLbu: do_load(1, false); break;
-    case Opcode::kSw: do_store(4); break;
-    case Opcode::kSh: do_store(2); break;
-    case Opcode::kSb: do_store(1); break;
-
-    case Opcode::kJ: do_jump_rel(false); break;
-    case Opcode::kJal: do_jump_rel(true); break;
-    case Opcode::kJr:
-      target = a;
-      retired->total_cycles += config_.jump_penalty;
-      retired->redirect_cycles += config_.jump_penalty;
-      break;
-    case Opcode::kJalr:
-      write_rd(next_pc);
-      target = a;
-      retired->total_cycles += config_.jump_penalty;
-      retired->redirect_cycles += config_.jump_penalty;
-      break;
-
-    case Opcode::kBeq: do_branch(a == b); break;
-    case Opcode::kBne: do_branch(a != b); break;
-    case Opcode::kBlt: do_branch(as_signed(a) < as_signed(b)); break;
-    case Opcode::kBge: do_branch(as_signed(a) >= as_signed(b)); break;
-    case Opcode::kBltu: do_branch(a < b); break;
-    case Opcode::kBgeu: do_branch(a >= b); break;
-    case Opcode::kBeqz: do_branch(a == 0); break;
-    case Opcode::kBnez: do_branch(a != 0); break;
-
-    case Opcode::kNop: break;
-    case Opcode::kHalt: break;
-
-    case Opcode::kCustom: {
-      const tie::CustomInstruction& ci = tie_.instruction(d.func);
-      retired->custom = &ci;
-      retired->base_cycles = ci.latency;
-      retired->total_cycles += ci.latency - 1;
-      const std::uint32_t rd_value = tie_.execute(d.func, a, b, &tie_state_);
-      if (ci.writes_rd) write_rd(rd_value);
-      break;
-    }
-
-    case Opcode::kOpcodeCount:
-      throw Error("illegal instruction at pc=0x", std::hex, pc_);
+bool Cpu::step_fast_cold(const PredecodedInstr* p, RetiredInstruction* retired) {
+  if (p->status == PredecodedInstr::kStale) {
+    // Self-modifying code overwrote this word: re-decode it from memory.
+    p = predecode_.refresh(pc_, memory_.read32(pc_), tie_);
   }
-
-  pc_ = target;
+  // Illegal words (before or after refresh) take the reference path so
+  // the fault is raised with the original message.
+  if (p->status != PredecodedInstr::kReady) return step_reference(retired);
+  return dispatch_predecoded(p, retired);
 }
+
 
 }  // namespace exten::sim

@@ -7,6 +7,15 @@
 // macro-model needs (paper §III): per-class occupancy, instruction/data
 // cache misses, uncached fetches, load-use interlocks, taken-branch and
 // jump bubbles, and multi-cycle custom-instruction EX occupancy.
+//
+// Two execution engines share the timing model and produce bit-identical
+// retirement streams (proven by tests/test_engine_diff.cpp):
+//  - Engine::kFast (default): dispatches on a predecoded instruction window
+//    (sim/predecode.h) and runs custom-instruction semantics as compiled
+//    bytecode (tie/bytecode.h). PCs outside the window fall back to the
+//    reference path, so behaviour is unchanged.
+//  - Engine::kReference: the original interpreter — fetch through the page
+//    map, isa::decode every dynamic instruction, walk the TIE Expr tree.
 
 #include <cstdint>
 #include <vector>
@@ -16,8 +25,10 @@
 #include "sim/config.h"
 #include "sim/events.h"
 #include "sim/memory.h"
+#include "sim/predecode.h"
 #include "tie/compiler.h"
 #include "tie/state.h"
+#include "util/error.h"
 
 namespace exten::sim {
 
@@ -28,6 +39,12 @@ struct RunResult {
   bool halted = false;  ///< false when the instruction budget ran out
 };
 
+/// Execution-engine selection.
+enum class Engine : std::uint8_t {
+  kFast,       ///< predecoded dispatch + TIE bytecode
+  kReference,  ///< per-step decode + TIE tree walk (the original interpreter)
+};
+
 /// Thread safety: a Cpu instance is confined to one thread (no internal
 /// locking), but instances share no mutable state — each owns its Memory,
 /// caches, register file and TieState. Many Cpus may run concurrently on
@@ -36,23 +53,86 @@ struct RunResult {
 /// is what the service-layer thread pool relies on.
 class Cpu {
  public:
+  static constexpr std::uint64_t kDefaultBudget = 200'000'000;
+
   /// Builds a processor instance: base config + instruction-set extension.
   /// The TieConfiguration must outlive the Cpu.
-  Cpu(const ProcessorConfig& config, const tie::TieConfiguration& tie);
+  Cpu(const ProcessorConfig& config, const tie::TieConfiguration& tie,
+      Engine engine = Engine::kFast);
 
-  /// Loads a program image (copies segments to memory, sets the PC, and
-  /// initializes the stack pointer to isa::kStackTop).
+  /// Loads a program image (copies segments to memory, predecodes the text
+  /// segment, sets the PC, and initializes the stack pointer to
+  /// isa::kStackTop).
   void load_program(const isa::ProgramImage& image);
 
   /// Registers an observer of the retirement stream (not owned).
   void add_observer(RetireObserver* observer);
 
-  /// Runs until HALT or until `max_instructions` retire.
+  Engine engine() const { return engine_; }
+  void set_engine(Engine engine) { engine_ = engine; }
+
+  /// Marks the whole predecoded window stale so every word is re-decoded
+  /// from memory on next fetch. Required only after mutating text bytes
+  /// directly through memory() — stores executed by the program invalidate
+  /// affected words automatically.
+  void invalidate_predecode() { predecode_.mark_all_stale(); }
+
+  const PredecodeTable& predecode() const { return predecode_; }
+
+  /// Runs until HALT or until `max_instructions` retire, publishing every
+  /// retired instruction to the registered observers (virtual dispatch).
   /// Throws exten::Error on simulation faults (illegal instruction,
   /// alignment fault, fetch from unmapped non-zero region is permitted and
   /// yields NOPs only if genuinely zero-initialized — in practice programs
   /// fault with "illegal instruction" on wild jumps).
-  RunResult run(std::uint64_t max_instructions = 200'000'000);
+  RunResult run(std::uint64_t max_instructions = kDefaultBudget);
+
+  /// Runs with a statically-dispatched retirement sink: `sink` needs
+  /// on_run_begin() / on_retire(const RetiredInstruction&) /
+  /// on_run_end(instructions, cycles), called without virtual dispatch.
+  /// This is the hot path for the macro-model profiler (model/estimate.cpp
+  /// builds a profiler+stats sink); semantics match run() exactly.
+  template <typename Sink>
+  RunResult run_with_sink(Sink& sink,
+                          std::uint64_t max_instructions = kDefaultBudget) {
+    sink.on_run_begin();
+    RunResult result;
+    const bool fast = engine_ == Engine::kFast;
+    while (result.instructions < max_instructions) {
+      bool keep_going;
+      const PredecodedInstr* p = fast ? predecode_.lookup(pc_) : nullptr;
+      if (p != nullptr && p->status == PredecodedInstr::kReady) [[likely]] {
+        // Hot path. The RetiredInstruction is local to this branch and
+        // every function it reaches is inlined, so it provably never
+        // escapes: against a sink that ignores a field, the compiler
+        // drops that field's stores (and its share of the zero-init).
+        RetiredInstruction retired;
+        keep_going = dispatch_predecoded(p, &retired);
+        ++result.instructions;
+        cycles_ += retired.total_cycles;
+        sink.on_retire(retired);
+      } else {
+        // Reference engine, out-of-window pc, or a stale/illegal entry.
+        RetiredInstruction retired;
+        keep_going = !fast         ? step_reference(&retired)
+                     : p == nullptr ? step_reference(&retired)
+                                    : step_fast_cold(p, &retired);
+        ++result.instructions;
+        cycles_ += retired.total_cycles;
+        sink.on_retire(retired);
+      }
+      if (!keep_going) {
+        result.halted = true;
+        break;
+      }
+    }
+    result.cycles = cycles_;
+    sink.on_run_end(result.instructions, result.cycles);
+    EXTEN_CHECK(result.halted, "instruction budget of ", max_instructions,
+                " exhausted without HALT (runaway program at pc=0x", std::hex,
+                pc_, ")");
+    return result;
+  }
 
   /// Architectural register access (r0 reads as zero).
   std::uint32_t reg(unsigned index) const;
@@ -74,11 +154,64 @@ class Cpu {
   const tie::TieConfiguration& tie_config() const { return tie_; }
 
  private:
-  /// Executes one instruction; returns false on HALT.
-  bool step(RetiredInstruction* retired);
+  /// One reference-path step (per-step decode); returns false on HALT.
+  bool step_reference(RetiredInstruction* retired);
+
+  /// Executes a kReady predecoded entry: fetch timing, interlock check,
+  /// execute. The instruction word and the resolved custom-instruction
+  /// pointer come from the record — no page-map access, no decode.
+  bool dispatch_predecoded(const PredecodedInstr* p,
+                           RetiredInstruction* retired) {
+    const std::uint32_t fetch_pc = pc_;
+    retired->pc = fetch_pc;
+    retired->base_cycles = 1;
+    retired->total_cycles = 1;
+
+    if (config_.is_uncached(fetch_pc)) [[unlikely]] {
+      retired->uncached_fetch = true;
+      retired->total_cycles += config_.uncached_fetch_penalty;
+      retired->memory_stall_cycles += config_.uncached_fetch_penalty;
+    } else if (icache_.access(fetch_pc) == CacheOutcome::kMiss) [[unlikely]] {
+      retired->icache_miss = true;
+      retired->total_cycles += config_.icache_miss_penalty;
+      retired->memory_stall_cycles += config_.icache_miss_penalty;
+    }
+
+    const isa::DecodedInstr& d = p->instr;
+    retired->instr = d;
+    retired->cls = p->cls;
+
+    // pending_load_rd_ is never 0 (r0 loads record the sentinel) and the
+    // src fields are 0 for non-interlocking operands, so two compares
+    // decide the load-use interlock.
+    if (pending_load_rd_ == p->rs1_src || pending_load_rd_ == p->rs2_src)
+        [[unlikely]] {
+      retired->interlock_cycles = config_.load_use_interlock;
+      retired->total_cycles += config_.load_use_interlock;
+    }
+    pending_load_rd_ = isa::kNumRegisters;
+
+    execute(d, p->custom, retired);
+    return d.op != isa::Opcode::kHalt;
+  }
+
+  /// Cold half of step_fast: refreshes stale entries (self-modifying code)
+  /// and routes illegal words to the reference path.
+  bool step_fast_cold(const PredecodedInstr* p, RetiredInstruction* retired);
 
   std::uint32_t fetch(RetiredInstruction* retired);
-  void execute(const isa::DecodedInstr& d, RetiredInstruction* retired);
+  /// Executes a decoded instruction. `custom` is the resolved extension for
+  /// CUSTOM opcodes when the caller already knows it (the predecoded path);
+  /// null makes the slow lookup. Force-inlined: the body exceeds the
+  /// compiler's default inlining budget, but folding it into the
+  /// run_with_sink instantiation is what lets stores to RetiredInstruction
+  /// fields the sink never reads be eliminated.
+#if defined(__GNUC__) || defined(__clang__)
+  [[gnu::always_inline]]
+#endif
+  inline void execute(const isa::DecodedInstr& d,
+                      const tie::CustomInstruction* custom,
+                      RetiredInstruction* retired);
 
   ProcessorConfig config_;
   const tie::TieConfiguration& tie_;
@@ -86,6 +219,8 @@ class Cpu {
   Cache icache_;
   Cache dcache_;
   tie::TieState tie_state_;
+  PredecodeTable predecode_;
+  Engine engine_ = Engine::kFast;
 
   std::uint32_t regs_[isa::kNumRegisters] = {};
   std::uint32_t pc_ = isa::kTextBase;
@@ -95,7 +230,258 @@ class Cpu {
   // if it was a load, else an impossible register index.
   unsigned pending_load_rd_ = isa::kNumRegisters;
 
+  // Last pages touched by loads and by stores (see Memory::PageRef); kept
+  // separate so a loop streaming from one page while writing another does
+  // not thrash a single memo. Both engines share this path, so the saving
+  // is engine-neutral.
+  Memory::PageRef load_page_;
+  Memory::PageRef store_page_;
+
   std::vector<RetireObserver*> observers_;
 };
+
+
+namespace internal {
+inline std::int32_t as_signed(std::uint32_t v) {
+  return static_cast<std::int32_t>(v);
+}
+}  // namespace internal
+
+// Forces a multi-call-site lambda inline. Without this the compiler emits
+// do_load/do_store as shared out-of-line functions (they have 5 and 3 call
+// sites), which costs a call per memory op and — because they capture
+// `retired` by reference — makes the retirement record escape, defeating
+// the sink-specific dead-store elimination run_with_sink is shaped for.
+// Inlining also folds the constant size/sign arguments at each call site.
+#if defined(__GNUC__) || defined(__clang__)
+#define EXTEN_LAMBDA_INLINE __attribute__((always_inline))
+#else
+#define EXTEN_LAMBDA_INLINE
+#endif
+
+/// Defined inline (with step_fast/dispatch_predecoded) so the fast engine's
+/// whole step folds into the run_with_sink instantiation; the compiler then
+/// specializes it against the concrete sink — e.g. dead-store-eliminating
+/// event fields a NullSink never reads. The reference path calls the same
+/// function out of line from cpu.cpp, preserving the original structure.
+inline void Cpu::execute(const isa::DecodedInstr& d,
+                  const tie::CustomInstruction* custom,
+                  RetiredInstruction* retired) {
+  using isa::Opcode;
+  using internal::as_signed;
+  // Register fields are 6-bit at decode (always < kNumRegisters), so the
+  // bounds-checked reg()/set_reg() accessors are bypassed on this hot path.
+  // r0 reads as zero because writes to it are suppressed below.
+  const std::uint32_t a = regs_[d.rs1];
+  const std::uint32_t b = regs_[d.rs2];
+  retired->rs1_value = a;
+  retired->rs2_value = b;
+  const std::uint32_t next_pc = pc_ + 4;
+  std::uint32_t target = next_pc;
+
+  auto write_rd = [&](std::uint32_t value) {
+    if (d.rd != isa::kZeroRegister) regs_[d.rd] = value;
+    retired->result = value;
+  };
+  auto do_load = [&](unsigned bytes, bool sign) EXTEN_LAMBDA_INLINE {
+    const std::uint32_t addr = a + static_cast<std::uint32_t>(d.imm);
+    retired->mem_addr = addr;
+    retired->is_mem = true;
+    if (config_.is_uncached(addr)) {
+      retired->uncached_data = true;
+      retired->total_cycles += config_.uncached_data_penalty;
+      retired->memory_stall_cycles += config_.uncached_data_penalty;
+    } else if (dcache_.access(addr) == CacheOutcome::kMiss) {
+      retired->dcache_miss = true;
+      retired->total_cycles += config_.dcache_miss_penalty;
+      retired->memory_stall_cycles += config_.dcache_miss_penalty;
+    }
+    std::uint32_t value = 0;
+    switch (bytes) {
+      case 1:
+        value = memory_.read8_via(load_page_, addr);
+        if (sign) value = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(static_cast<std::int8_t>(value)));
+        break;
+      case 2:
+        value = memory_.read16_via(load_page_, addr);
+        if (sign) value = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(static_cast<std::int16_t>(value)));
+        break;
+      default:
+        value = memory_.read32_via(load_page_, addr);
+        break;
+    }
+    write_rd(value);
+    // A load into r0 can never interlock (r0 reads as zero regardless),
+    // so record the sentinel — this keeps pending_load_rd_ nonzero, which
+    // the predecoded interlock check relies on.
+    pending_load_rd_ =
+        d.rd != isa::kZeroRegister ? d.rd : isa::kNumRegisters;
+  };
+  auto do_store = [&](unsigned bytes) EXTEN_LAMBDA_INLINE {
+    const std::uint32_t addr = a + static_cast<std::uint32_t>(d.imm);
+    retired->mem_addr = addr;
+    retired->is_mem = true;
+    retired->result = b;
+    if (!config_.is_uncached(addr)) {
+      // Write-through, write-around: update the cache only on hit; a store
+      // miss does not allocate and does not stall (write buffer).
+      dcache_.probe(addr);
+    } else {
+      retired->uncached_data = true;
+      retired->total_cycles += config_.uncached_data_penalty;
+      retired->memory_stall_cycles += config_.uncached_data_penalty;
+    }
+    switch (bytes) {
+      case 1:
+        memory_.write8_via(store_page_, addr, static_cast<std::uint8_t>(b));
+        break;
+      case 2:
+        memory_.write16_via(store_page_, addr, static_cast<std::uint16_t>(b));
+        break;
+      default:
+        memory_.write32_via(store_page_, addr, b);
+        break;
+    }
+    // Self-modifying code: a store into the predecoded text window marks
+    // the containing word stale (re-decoded on next fetch).
+    predecode_.note_write(addr);
+  };
+  auto do_branch = [&](bool taken) {
+    retired->branch_taken = taken;
+    if (taken) {
+      target = next_pc + static_cast<std::uint32_t>(d.imm) * 4;
+      retired->total_cycles += config_.taken_branch_penalty;
+      retired->redirect_cycles += config_.taken_branch_penalty;
+    }
+  };
+  auto do_jump_rel = [&](bool link) {
+    // JAL's J-type encoding has no rd field; the link register is
+    // architectural (r1).
+    if (link) {
+      set_reg(isa::kLinkRegister, next_pc);
+      retired->result = next_pc;
+    }
+    target = next_pc + static_cast<std::uint32_t>(d.imm) * 4;
+    retired->total_cycles += config_.jump_penalty;
+    retired->redirect_cycles += config_.jump_penalty;
+  };
+
+  switch (d.op) {
+    case Opcode::kAdd: write_rd(a + b); break;
+    case Opcode::kSub: write_rd(a - b); break;
+    case Opcode::kAnd: write_rd(a & b); break;
+    case Opcode::kOr: write_rd(a | b); break;
+    case Opcode::kXor: write_rd(a ^ b); break;
+    case Opcode::kNor: write_rd(~(a | b)); break;
+    case Opcode::kAndn: write_rd(a & ~b); break;
+    case Opcode::kSll: write_rd(a << (b & 31)); break;
+    case Opcode::kSrl: write_rd(a >> (b & 31)); break;
+    case Opcode::kSra:
+      write_rd(static_cast<std::uint32_t>(as_signed(a) >> (b & 31)));
+      break;
+    case Opcode::kSlt: write_rd(as_signed(a) < as_signed(b) ? 1 : 0); break;
+    case Opcode::kSltu: write_rd(a < b ? 1 : 0); break;
+    case Opcode::kMul: write_rd(a * b); break;
+    case Opcode::kMulh: {
+      const std::int64_t product = static_cast<std::int64_t>(as_signed(a)) *
+                                   static_cast<std::int64_t>(as_signed(b));
+      write_rd(static_cast<std::uint32_t>(product >> 32));
+      break;
+    }
+    case Opcode::kMin:
+      write_rd(as_signed(a) < as_signed(b) ? a : b);
+      break;
+    case Opcode::kMax:
+      write_rd(as_signed(a) > as_signed(b) ? a : b);
+      break;
+    case Opcode::kMinu: write_rd(a < b ? a : b); break;
+    case Opcode::kMaxu: write_rd(a > b ? a : b); break;
+
+    case Opcode::kAddi:
+      write_rd(a + static_cast<std::uint32_t>(d.imm));
+      break;
+    case Opcode::kAndi:
+      write_rd(a & static_cast<std::uint32_t>(d.imm));
+      break;
+    case Opcode::kOri:
+      write_rd(a | static_cast<std::uint32_t>(d.imm));
+      break;
+    case Opcode::kXori:
+      write_rd(a ^ static_cast<std::uint32_t>(d.imm));
+      break;
+    case Opcode::kSlli: write_rd(a << (d.imm & 31)); break;
+    case Opcode::kSrli: write_rd(a >> (d.imm & 31)); break;
+    case Opcode::kSrai:
+      write_rd(static_cast<std::uint32_t>(as_signed(a) >> (d.imm & 31)));
+      break;
+    case Opcode::kSlti:
+      write_rd(as_signed(a) < d.imm ? 1 : 0);
+      break;
+    case Opcode::kSltiu:
+      write_rd(a < static_cast<std::uint32_t>(d.imm) ? 1 : 0);
+      break;
+    case Opcode::kLui:
+      write_rd(static_cast<std::uint32_t>(d.imm));
+      break;
+
+    case Opcode::kLw: do_load(4, false); break;
+    case Opcode::kLh: do_load(2, true); break;
+    case Opcode::kLhu: do_load(2, false); break;
+    case Opcode::kLb: do_load(1, true); break;
+    case Opcode::kLbu: do_load(1, false); break;
+    case Opcode::kSw: do_store(4); break;
+    case Opcode::kSh: do_store(2); break;
+    case Opcode::kSb: do_store(1); break;
+
+    case Opcode::kJ: do_jump_rel(false); break;
+    case Opcode::kJal: do_jump_rel(true); break;
+    case Opcode::kJr:
+      target = a;
+      retired->total_cycles += config_.jump_penalty;
+      retired->redirect_cycles += config_.jump_penalty;
+      break;
+    case Opcode::kJalr:
+      write_rd(next_pc);
+      target = a;
+      retired->total_cycles += config_.jump_penalty;
+      retired->redirect_cycles += config_.jump_penalty;
+      break;
+
+    case Opcode::kBeq: do_branch(a == b); break;
+    case Opcode::kBne: do_branch(a != b); break;
+    case Opcode::kBlt: do_branch(as_signed(a) < as_signed(b)); break;
+    case Opcode::kBge: do_branch(as_signed(a) >= as_signed(b)); break;
+    case Opcode::kBltu: do_branch(a < b); break;
+    case Opcode::kBgeu: do_branch(a >= b); break;
+    case Opcode::kBeqz: do_branch(a == 0); break;
+    case Opcode::kBnez: do_branch(a != 0); break;
+
+    case Opcode::kNop: break;
+    case Opcode::kHalt: break;
+
+    case Opcode::kCustom: {
+      const tie::CustomInstruction& ci =
+          custom != nullptr ? *custom : tie_.instruction(d.func);
+      retired->custom = &ci;
+      retired->base_cycles = ci.latency;
+      retired->total_cycles += ci.latency - 1;
+      const std::uint32_t rd_value =
+          engine_ == Engine::kFast
+              ? tie_.execute(ci, a, b, &tie_state_)
+              : tie_.execute_reference(ci, a, b, &tie_state_);
+      if (ci.writes_rd) write_rd(rd_value);
+      break;
+    }
+
+    case Opcode::kOpcodeCount:
+      throw Error("illegal instruction at pc=0x", std::hex, pc_);
+  }
+
+  pc_ = target;
+}
+
+#undef EXTEN_LAMBDA_INLINE
 
 }  // namespace exten::sim

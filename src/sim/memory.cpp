@@ -1,26 +1,8 @@
 #include "sim/memory.h"
 
-#include "util/error.h"
+#include <algorithm>
 
 namespace exten::sim {
-
-namespace {
-void check_aligned(std::uint32_t addr, std::uint32_t size) {
-  EXTEN_CHECK((addr & (size - 1)) == 0, "alignment fault: ", size,
-              "-byte access at 0x", std::hex, addr);
-}
-}  // namespace
-
-const Memory::Page* Memory::find_page(std::uint32_t addr) const {
-  auto it = pages_.find(addr / kPageBytes);
-  return it == pages_.end() ? nullptr : &it->second;
-}
-
-Memory::Page& Memory::touch_page(std::uint32_t addr) {
-  Page& page = pages_[addr / kPageBytes];
-  if (page.empty()) page.resize(kPageBytes, 0);
-  return page;
-}
 
 std::uint8_t Memory::read8(std::uint32_t addr) const {
   const Page* page = find_page(addr);
@@ -29,23 +11,22 @@ std::uint8_t Memory::read8(std::uint32_t addr) const {
 
 std::uint16_t Memory::read16(std::uint32_t addr) const {
   check_aligned(addr, 2);
-  return static_cast<std::uint16_t>(read8(addr) |
-                                    (static_cast<std::uint16_t>(read8(addr + 1))
-                                     << 8));
+  const Page* page = find_page(addr);
+  if (page == nullptr) return 0;
+  const std::size_t off = addr % kPageBytes;
+  return static_cast<std::uint16_t>(
+      (*page)[off] | (static_cast<std::uint16_t>((*page)[off + 1]) << 8));
 }
 
 std::uint32_t Memory::read32(std::uint32_t addr) const {
   check_aligned(addr, 4);
-  // Fast path: whole word within one resident page.
   const Page* page = find_page(addr);
-  if (page != nullptr) {
-    const std::size_t off = addr % kPageBytes;
-    return static_cast<std::uint32_t>((*page)[off]) |
-           (static_cast<std::uint32_t>((*page)[off + 1]) << 8) |
-           (static_cast<std::uint32_t>((*page)[off + 2]) << 16) |
-           (static_cast<std::uint32_t>((*page)[off + 3]) << 24);
-  }
-  return 0;
+  if (page == nullptr) return 0;
+  const std::size_t off = addr % kPageBytes;
+  return static_cast<std::uint32_t>((*page)[off]) |
+         (static_cast<std::uint32_t>((*page)[off + 1]) << 8) |
+         (static_cast<std::uint32_t>((*page)[off + 2]) << 16) |
+         (static_cast<std::uint32_t>((*page)[off + 3]) << 24);
 }
 
 void Memory::write8(std::uint32_t addr, std::uint8_t value) {
@@ -72,8 +53,17 @@ void Memory::write32(std::uint32_t addr, std::uint32_t value) {
 
 void Memory::load(const isa::ProgramImage& image) {
   for (const isa::Segment& segment : image.segments()) {
-    for (std::size_t i = 0; i < segment.bytes.size(); ++i) {
-      write8(segment.base + static_cast<std::uint32_t>(i), segment.bytes[i]);
+    // Bulk-copy the span of the segment that falls on each page instead of
+    // going byte-by-byte through the write8 page lookup.
+    std::size_t i = 0;
+    while (i < segment.bytes.size()) {
+      const std::uint32_t addr = segment.base + static_cast<std::uint32_t>(i);
+      const std::size_t page_off = addr % kPageBytes;
+      const std::size_t span =
+          std::min<std::size_t>(kPageBytes - page_off, segment.bytes.size() - i);
+      Page& page = touch_page(addr);
+      std::copy_n(segment.bytes.data() + i, span, page.data() + page_off);
+      i += span;
     }
   }
 }

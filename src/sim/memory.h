@@ -6,6 +6,9 @@
 // address space costs only what the program actually uses. Reads of
 // untouched memory return zero. Accesses must be naturally aligned;
 // misaligned accesses throw (the processor would raise an alignment fault).
+//
+// Thread safety: one Memory belongs to one Cpu and is confined to its
+// thread.
 
 #include <cstdint>
 #include <memory>
@@ -13,12 +16,24 @@
 #include <vector>
 
 #include "isa/program.h"
+#include "util/error.h"
 
 namespace exten::sim {
 
 class Memory {
  public:
   static constexpr std::uint32_t kPageBytes = 4096;
+
+  /// Caller-owned memo of the last page a `_via` accessor touched. Pages are
+  /// never erased and a page's storage never moves after creation
+  /// (unordered_map references are stable across rehash; the backing vector
+  /// is sized exactly once), so a cached pointer stays valid for the life of
+  /// the Memory. Absent pages are never cached, so a page created later —
+  /// by a store, load(), or an external write — is always observed.
+  struct PageRef {
+    std::uint32_t id = 0xFFFFFFFFu;
+    std::uint8_t* bytes = nullptr;
+  };
 
   std::uint8_t read8(std::uint32_t addr) const;
   std::uint16_t read16(std::uint32_t addr) const;
@@ -28,7 +43,59 @@ class Memory {
   void write16(std::uint32_t addr, std::uint16_t value);
   void write32(std::uint32_t addr, std::uint32_t value);
 
-  /// Copies every segment of a program image into memory.
+  // Memoized variants of the accessors above for a hot loop issuing many
+  // data accesses: same-page accesses skip the hash lookup. Results are
+  // identical to the plain accessors in every case.
+
+  std::uint8_t read8_via(PageRef& ref, std::uint32_t addr) {
+    const std::uint8_t* page = page_for_read(ref, addr);
+    return page ? page[addr % kPageBytes] : 0;
+  }
+
+  std::uint16_t read16_via(PageRef& ref, std::uint32_t addr) {
+    check_aligned(addr, 2);
+    const std::uint8_t* page = page_for_read(ref, addr);
+    if (page == nullptr) return 0;
+    const std::size_t off = addr % kPageBytes;
+    return static_cast<std::uint16_t>(
+        page[off] | (static_cast<std::uint16_t>(page[off + 1]) << 8));
+  }
+
+  std::uint32_t read32_via(PageRef& ref, std::uint32_t addr) {
+    check_aligned(addr, 4);
+    const std::uint8_t* page = page_for_read(ref, addr);
+    if (page == nullptr) return 0;
+    const std::size_t off = addr % kPageBytes;
+    return static_cast<std::uint32_t>(page[off]) |
+           (static_cast<std::uint32_t>(page[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(page[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(page[off + 3]) << 24);
+  }
+
+  void write8_via(PageRef& ref, std::uint32_t addr, std::uint8_t value) {
+    page_for_write(ref, addr)[addr % kPageBytes] = value;
+  }
+
+  void write16_via(PageRef& ref, std::uint32_t addr, std::uint16_t value) {
+    check_aligned(addr, 2);
+    std::uint8_t* page = page_for_write(ref, addr);
+    const std::size_t off = addr % kPageBytes;
+    page[off] = static_cast<std::uint8_t>(value);
+    page[off + 1] = static_cast<std::uint8_t>(value >> 8);
+  }
+
+  void write32_via(PageRef& ref, std::uint32_t addr, std::uint32_t value) {
+    check_aligned(addr, 4);
+    std::uint8_t* page = page_for_write(ref, addr);
+    const std::size_t off = addr % kPageBytes;
+    page[off] = static_cast<std::uint8_t>(value);
+    page[off + 1] = static_cast<std::uint8_t>(value >> 8);
+    page[off + 2] = static_cast<std::uint8_t>(value >> 16);
+    page[off + 3] = static_cast<std::uint8_t>(value >> 24);
+  }
+
+  /// Copies every segment of a program image into memory (bulk per-page
+  /// copies, not byte-by-byte stores).
   void load(const isa::ProgramImage& image);
 
   /// Number of resident pages (for tests / diagnostics).
@@ -37,8 +104,40 @@ class Memory {
  private:
   using Page = std::vector<std::uint8_t>;
 
-  const Page* find_page(std::uint32_t addr) const;
-  Page& touch_page(std::uint32_t addr);
+  static void check_aligned(std::uint32_t addr, std::uint32_t size) {
+    EXTEN_CHECK((addr & (size - 1)) == 0, "alignment fault: ", size,
+                "-byte access at 0x", std::hex, addr);
+  }
+
+  const Page* find_page(std::uint32_t addr) const {
+    auto it = pages_.find(addr / kPageBytes);
+    return it == pages_.end() ? nullptr : &it->second;
+  }
+
+  Page& touch_page(std::uint32_t addr) {
+    Page& page = pages_[addr / kPageBytes];
+    if (page.empty()) page.resize(kPageBytes, 0);
+    return page;
+  }
+
+  std::uint8_t* page_for_read(PageRef& ref, std::uint32_t addr) {
+    const std::uint32_t id = addr / kPageBytes;
+    if (id == ref.id) return ref.bytes;
+    auto it = pages_.find(id);
+    if (it == pages_.end()) return nullptr;  // absent: read as zero, no memo
+    ref.id = id;
+    ref.bytes = it->second.data();
+    return ref.bytes;
+  }
+
+  std::uint8_t* page_for_write(PageRef& ref, std::uint32_t addr) {
+    const std::uint32_t id = addr / kPageBytes;
+    if (id == ref.id) return ref.bytes;
+    Page& page = touch_page(addr);
+    ref.id = id;
+    ref.bytes = page.data();
+    return ref.bytes;
+  }
 
   std::unordered_map<std::uint32_t, Page> pages_;
 };

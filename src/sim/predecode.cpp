@@ -1,0 +1,92 @@
+#include "sim/predecode.h"
+
+#include "isa/isa.h"
+#include "tie/compiler.h"
+#include "util/error.h"
+
+namespace exten::sim {
+
+void PredecodeTable::decode_into(PredecodedInstr* entry, std::uint32_t word,
+                                 const tie::TieConfiguration& tie) {
+  isa::DecodedInstr d;
+  try {
+    d = isa::decode(word);
+  } catch (const Error&) {
+    // Undefined primary opcode: leave the entry illegal so execution of
+    // this pc takes the reference path and raises the original fault.
+    entry->status = PredecodedInstr::kIllegal;
+    entry->custom = nullptr;
+    return;
+  }
+
+  const isa::OpcodeInfo& info = isa::opcode_info(d.op);
+  entry->instr = d;
+  entry->cls = info.cls;
+  entry->custom = nullptr;
+  if (d.op == isa::Opcode::kCustom) {
+    if (d.func >= tie.instructions().size()) {
+      // Unassigned extension id: the reference path raises the
+      // illegal-custom-instruction fault with the exact message.
+      entry->status = PredecodedInstr::kIllegal;
+      return;
+    }
+    const tie::CustomInstruction& ci = tie.instruction(d.func);
+    entry->custom = &ci;
+    entry->reads_rs1 = ci.reads_rs1;
+    entry->reads_rs2 = ci.reads_rs2;
+  } else {
+    entry->reads_rs1 = info.reads_rs1;
+    entry->reads_rs2 = info.reads_rs2;
+  }
+  entry->rs1_src = entry->reads_rs1 ? d.rs1 : 0;
+  entry->rs2_src = entry->reads_rs2 ? d.rs2 : 0;
+  entry->status = PredecodedInstr::kReady;
+}
+
+void PredecodeTable::build(const isa::ProgramImage& image,
+                           const tie::TieConfiguration& tie) {
+  clear();
+
+  const isa::Segment* text = nullptr;
+  for (const isa::Segment& segment : image.segments()) {
+    if (image.entry_point() >= segment.base &&
+        image.entry_point() < segment.end()) {
+      text = &segment;
+      break;
+    }
+  }
+  if (text == nullptr || (text->base & 3u) != 0) return;
+
+  const std::size_t words = text->bytes.size() / 4;
+  if (words == 0) return;
+  base_ = text->base;
+  limit_ = static_cast<std::uint32_t>(words * 4);
+  entries_.resize(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::size_t off = i * 4;
+    const std::uint32_t word =
+        static_cast<std::uint32_t>(text->bytes[off]) |
+        (static_cast<std::uint32_t>(text->bytes[off + 1]) << 8) |
+        (static_cast<std::uint32_t>(text->bytes[off + 2]) << 16) |
+        (static_cast<std::uint32_t>(text->bytes[off + 3]) << 24);
+    decode_into(&entries_[i], word, tie);
+  }
+}
+
+void PredecodeTable::clear() {
+  base_ = 0;
+  limit_ = 0;
+  entries_.clear();
+}
+
+const PredecodedInstr* PredecodeTable::refresh(
+    std::uint32_t pc, std::uint32_t word, const tie::TieConfiguration& tie) {
+  const std::uint32_t off = pc - base_;
+  EXTEN_CHECK(off < limit_ && (off & 3u) == 0,
+              "predecode refresh outside window at pc=0x", std::hex, pc);
+  PredecodedInstr* entry = &entries_[off >> 2];
+  decode_into(entry, word, tie);
+  return entry;
+}
+
+}  // namespace exten::sim

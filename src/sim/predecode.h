@@ -1,0 +1,113 @@
+#pragma once
+
+// Predecoded instruction window for the fast execution engine.
+//
+// At load_program time the text segment (the segment containing the entry
+// point) is decoded ONCE into a dense array of PredecodedInstr records
+// indexed by (pc - base) >> 2. The dynamic loop then dispatches on the
+// record with no per-step isa::decode, no opcode_info table walk, no
+// TieConfiguration::instruction lookup, and no page-map fetch — the
+// instruction word and everything derived from it live in one contiguous
+// cache-friendly array.
+//
+// Invalidation rules (see docs/sim.md):
+//  - A store executed by the Cpu that lands inside the window marks the
+//    containing word kStale; the next fetch of that word re-decodes it from
+//    simulator memory (self-modifying code stays correct).
+//  - Direct writes through Cpu::memory() bypass the Cpu's store path; call
+//    Cpu::invalidate_predecode() afterwards if they may overlap text.
+//  - load_program rebuilds the whole table.
+//
+// PCs outside the window (or misaligned, or words that do not decode to a
+// legal instruction) fall back to the reference interpreter path, so
+// behaviour — including the exact fault messages — is unchanged.
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/encoding.h"
+#include "isa/program.h"
+
+namespace exten::tie {
+class TieConfiguration;
+struct CustomInstruction;
+}  // namespace exten::tie
+
+namespace exten::sim {
+
+/// Everything the dynamic loop needs about one static instruction.
+struct PredecodedInstr {
+  enum Status : std::uint8_t {
+    kReady,    ///< decoded; fields below are valid
+    kStale,    ///< overwritten by a store; re-decode before use
+    kIllegal,  ///< word does not decode (fall back, which faults)
+  };
+
+  isa::DecodedInstr instr;
+  isa::InstrClass cls = isa::InstrClass::Misc;
+  Status status = kIllegal;
+  /// Operand-read flags resolved through OpcodeInfo (and through the
+  /// custom instruction's declaration for CUSTOM opcodes).
+  bool reads_rs1 = false;
+  bool reads_rs2 = false;
+  /// Interlock sources: the register whose in-flight load this operand
+  /// would stall on, or 0 when no interlock is possible (operand not read,
+  /// or it is r0 — the Cpu's pending-load register is never 0, so 0 never
+  /// matches). Lets the dynamic loop check load-use interlocks with two
+  /// byte compares instead of flag + register-field tests.
+  std::uint8_t rs1_src = 0;
+  std::uint8_t rs2_src = 0;
+  /// Resolved extension for CUSTOM opcodes, else null.
+  const tie::CustomInstruction* custom = nullptr;
+};
+
+/// The predecoded window over a program's text segment.
+class PredecodeTable {
+ public:
+  /// Builds the table from the segment of `image` containing the entry
+  /// point. A missing or misaligned segment leaves the table empty (every
+  /// fetch then takes the reference path). The TieConfiguration must
+  /// outlive the table.
+  void build(const isa::ProgramImage& image, const tie::TieConfiguration& tie);
+
+  void clear();
+  bool built() const { return !entries_.empty(); }
+  std::uint32_t base() const { return base_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Entry for `pc`, or nullptr when pc is outside the window or not
+  /// word-aligned. The returned entry may be kStale/kIllegal.
+  const PredecodedInstr* lookup(std::uint32_t pc) const {
+    const std::uint32_t off = pc - base_;  // wraps below base -> large
+    if (off >= limit_ || (off & 3u) != 0) return nullptr;
+    return &entries_[off >> 2];
+  }
+
+  /// Re-decodes the entry for `pc` from `word` (after a store invalidated
+  /// it). Returns the refreshed entry.
+  const PredecodedInstr* refresh(std::uint32_t pc, std::uint32_t word,
+                                 const tie::TieConfiguration& tie);
+
+  /// Marks the word containing `addr` stale if it lies in the window.
+  void note_write(std::uint32_t addr) {
+    const std::uint32_t off = (addr & ~3u) - base_;
+    if (off < limit_) entries_[off >> 2].status = PredecodedInstr::kStale;
+  }
+
+  /// Marks every word stale (lazy full re-decode from memory).
+  void mark_all_stale() {
+    for (PredecodedInstr& entry : entries_) {
+      entry.status = PredecodedInstr::kStale;
+    }
+  }
+
+ private:
+  static void decode_into(PredecodedInstr* entry, std::uint32_t word,
+                          const tie::TieConfiguration& tie);
+
+  std::uint32_t base_ = 0;
+  std::uint32_t limit_ = 0;  ///< window length in bytes
+  std::vector<PredecodedInstr> entries_;
+};
+
+}  // namespace exten::sim

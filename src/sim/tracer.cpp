@@ -49,23 +49,56 @@ void TraceWriter::on_retire(const RetiredInstruction& r) {
   os_ << '\n';
 }
 
-std::vector<PcProfile::Entry> PcProfile::hottest(std::size_t n) const {
+void PcProfile::on_run_begin() {
+  flat_base_ = 0;
+  flat_.clear();
+  overflow_.clear();
+}
+
+void PcProfile::anchor(std::uint32_t pc) {
+  // 64 KiB of headroom below the first retired pc keeps backward jumps
+  // (functions linked before the entry point) inside the flat window.
+  constexpr std::uint32_t kHeadroom = 1u << 16;
+  flat_base_ = (pc > kHeadroom ? pc - kHeadroom : 0) & ~3u;
+  flat_.assign(kWindowBytes / 4, Slot{});
+}
+
+std::vector<PcProfile::Entry> PcProfile::all_entries() const {
   std::vector<Entry> entries;
-  entries.reserve(counts_.size());
-  for (const auto& [pc, slot] : counts_) {
+  for (std::size_t i = 0; i < flat_.size(); ++i) {
+    const Slot& slot = flat_[i];
+    if (slot.executions == 0) continue;
+    entries.push_back({flat_base_ + static_cast<std::uint32_t>(i * 4),
+                       slot.executions, slot.cycles});
+  }
+  for (const auto& [pc, slot] : overflow_) {
     entries.push_back({pc, slot.executions, slot.cycles});
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const Entry& a, const Entry& b) { return a.cycles > b.cycles; });
+  return entries;
+}
+
+std::size_t PcProfile::distinct_pcs() const {
+  std::size_t count = overflow_.size();
+  for (const Slot& slot : flat_) {
+    if (slot.executions != 0) ++count;
+  }
+  return count;
+}
+
+std::vector<PcProfile::Entry> PcProfile::hottest(std::size_t n) const {
+  std::vector<Entry> entries = all_entries();
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.cycles != b.cycles ? a.cycles > b.cycles : a.pc < b.pc;
+  });
   if (entries.size() > n) entries.resize(n);
   return entries;
 }
 
 double PcProfile::concentration(std::size_t n) const {
   std::uint64_t total = 0;
-  for (const auto& [pc, slot] : counts_) total += slot.cycles;
-  if (total == 0) return 0.0;
   std::uint64_t top = 0;
+  for (const Entry& entry : all_entries()) total += entry.cycles;
+  if (total == 0) return 0.0;
   for (const Entry& entry : hottest(n)) top += entry.cycles;
   return static_cast<double>(top) / static_cast<double>(total);
 }

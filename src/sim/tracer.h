@@ -50,6 +50,12 @@ class TraceWriter : public RetireObserver {
 };
 
 /// Accumulates executions and cycles per PC; reports hotspots.
+///
+/// The hot path is a flat table indexed from the first retired PC (a 1 MiB
+/// window covers any realistic text segment), so on_retire is two array
+/// adds — no tree walk per retired instruction. PCs outside the window
+/// (wild jumps, uncached stubs far from text) fall back to an ordered map.
+/// Sorting happens only in hottest().
 class PcProfile : public RetireObserver {
  public:
   struct Entry {
@@ -58,28 +64,49 @@ class PcProfile : public RetireObserver {
     std::uint64_t cycles = 0;
   };
 
-  void on_run_begin() override { counts_.clear(); }
+  /// Window length in bytes for the flat table.
+  static constexpr std::uint32_t kWindowBytes = 1u << 20;
+
+  void on_run_begin() override;
   void on_retire(const RetiredInstruction& r) override {
-    Slot& slot = counts_[r.pc];
+    const std::uint32_t off = r.pc - flat_base_;
+    if (off < kWindowBytes && (r.pc & 3u) == 0 && !flat_.empty()) {
+      Slot& slot = flat_[off >> 2];
+      ++slot.executions;
+      slot.cycles += r.total_cycles;
+      return;
+    }
+    if (flat_.empty()) {
+      // First retired instruction anchors the window at its pc.
+      anchor(r.pc);
+      return on_retire(r);
+    }
+    Slot& slot = overflow_[r.pc];
     ++slot.executions;
     slot.cycles += r.total_cycles;
   }
 
-  /// The `n` PCs with the most cycles, descending.
+  /// The `n` PCs with the most cycles, descending (ties: lower pc first).
   std::vector<Entry> hottest(std::size_t n) const;
 
   /// Total cycles attributed to the top `n` PCs divided by all cycles
   /// (how loop-dominated the program is).
   double concentration(std::size_t n) const;
 
-  std::size_t distinct_pcs() const { return counts_.size(); }
+  std::size_t distinct_pcs() const;
 
  private:
   struct Slot {
     std::uint64_t executions = 0;
     std::uint64_t cycles = 0;
   };
-  std::map<std::uint32_t, Slot> counts_;
+
+  void anchor(std::uint32_t pc);
+  std::vector<Entry> all_entries() const;
+
+  std::uint32_t flat_base_ = 0;
+  std::vector<Slot> flat_;
+  std::map<std::uint32_t, Slot> overflow_;
 };
 
 }  // namespace exten::sim

@@ -1,0 +1,442 @@
+#include "tie/bytecode.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace exten::tie {
+
+namespace {
+
+/// Emits postfix code for one expression tree, tracking stack depth.
+class Lowerer {
+ public:
+  Lowerer(const BytecodeSymbols& symbols, std::vector<BcInstr>* code,
+          std::vector<TableData>* tables)
+      : symbols_(symbols), code_(code), tables_(tables) {}
+
+  void emit_expr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kLiteral:
+        emit(BcOp::kPushLit, 0, expr.literal, +1);
+        return;
+      case ExprKind::kRs1:
+        emit(BcOp::kPushRs1, 0, 0, +1);
+        return;
+      case ExprKind::kRs2:
+        emit(BcOp::kPushRs2, 0, 0, +1);
+        return;
+      case ExprKind::kState:
+        emit(BcOp::kPushState, state_slot(expr.name), 0, +1);
+        return;
+      case ExprKind::kRegfile:
+        EXTEN_CHECK(expr.args.size() == 1, "regfile ref needs an index");
+        emit_expr(*expr.args[0]);
+        emit(BcOp::kPushRegfile, regfile_slot(expr.name), 0, 0);
+        return;
+      case ExprKind::kTable:
+        EXTEN_CHECK(expr.args.size() == 1, "table ref needs an index");
+        emit_expr(*expr.args[0]);
+        emit(BcOp::kPushTable, table_index(expr.name), 0, 0);
+        return;
+      case ExprKind::kUnary: {
+        EXTEN_CHECK(expr.args.size() == 1, "unary op needs one operand");
+        emit_expr(*expr.args[0]);
+        if (expr.op == "~") {
+          emit(BcOp::kNot, 0, 0, 0);
+        } else if (expr.op == "-") {
+          emit(BcOp::kNeg, 0, 0, 0);
+        } else {
+          throw Error("unknown unary operator '", expr.op, "'");
+        }
+        return;
+      }
+      case ExprKind::kBinary: {
+        EXTEN_CHECK(expr.args.size() == 2, "binary op needs two operands");
+        emit_expr(*expr.args[0]);
+        emit_expr(*expr.args[1]);
+        emit(binary_op(expr.op), 0, 0, -1);
+        return;
+      }
+      case ExprKind::kCall:
+        emit_call(expr);
+        return;
+    }
+    throw Error("corrupt expression node");
+  }
+
+  void emit_store(BcOp op, std::uint32_t arg, int delta) {
+    emit(op, arg, 0, delta);
+  }
+
+  std::uint32_t state_slot(const std::string& name) const {
+    auto it = symbols_.state_slots.find(name);
+    EXTEN_CHECK(it != symbols_.state_slots.end(), "unknown TIE state '", name,
+                "'");
+    return it->second;
+  }
+
+  std::uint32_t regfile_slot(const std::string& name) const {
+    auto it = symbols_.regfile_slots.find(name);
+    EXTEN_CHECK(it != symbols_.regfile_slots.end(), "unknown TIE regfile '",
+                name, "'");
+    return it->second;
+  }
+
+  unsigned max_stack() const { return max_stack_; }
+
+ private:
+  void emit(BcOp op, std::uint32_t arg, std::uint64_t imm, int delta) {
+    code_->push_back(BcInstr{op, arg, imm});
+    depth_ += delta;
+    EXTEN_CHECK(depth_ >= 0, "bytecode stack underflow while lowering");
+    if (static_cast<unsigned>(depth_) > max_stack_) {
+      max_stack_ = static_cast<unsigned>(depth_);
+    }
+  }
+
+  static BcOp binary_op(const std::string& op) {
+    if (op == "+") return BcOp::kAdd;
+    if (op == "-") return BcOp::kSub;
+    if (op == "*") return BcOp::kMul;
+    if (op == "&") return BcOp::kAnd;
+    if (op == "|") return BcOp::kOr;
+    if (op == "^") return BcOp::kXor;
+    if (op == "<<") return BcOp::kShl;
+    if (op == ">>") return BcOp::kShr;
+    if (op == "==") return BcOp::kEq;
+    if (op == "!=") return BcOp::kNe;
+    if (op == "<") return BcOp::kLt;
+    if (op == "<=") return BcOp::kLe;
+    if (op == ">") return BcOp::kGt;
+    if (op == ">=") return BcOp::kGe;
+    throw Error("unknown binary operator '", op, "'");
+  }
+
+  void emit_call(const Expr& expr) {
+    const auto argc = expr.args.size();
+    auto need = [&](std::size_t n) {
+      EXTEN_CHECK(argc == n, "builtin ", expr.name, " expects ", n,
+                  " argument(s), got ", argc);
+    };
+    auto args_then = [&](std::size_t n, BcOp op) {
+      need(n);
+      for (std::size_t i = 0; i < n; ++i) emit_expr(*expr.args[i]);
+      emit(op, 0, 0, 1 - static_cast<int>(n));
+    };
+
+    if (expr.name == "sext") return args_then(2, BcOp::kSext);
+    if (expr.name == "zext") return args_then(2, BcOp::kZext);
+    if (expr.name == "sel") return args_then(3, BcOp::kSel);
+    if (expr.name == "min") return args_then(2, BcOp::kMin);
+    if (expr.name == "max") return args_then(2, BcOp::kMax);
+    if (expr.name == "mins") return args_then(2, BcOp::kMinS);
+    if (expr.name == "maxs") return args_then(2, BcOp::kMaxS);
+    if (expr.name == "abs") return args_then(1, BcOp::kAbs);
+    if (expr.name == "popcount") return args_then(1, BcOp::kPopcount);
+    if (expr.name == "asr") return args_then(3, BcOp::kAsr);
+    throw Error("unknown builtin function '", expr.name, "'");
+  }
+
+  std::uint32_t table_index(const std::string& name) {
+    EXTEN_CHECK(symbols_.tables != nullptr, "no TIE tables bound");
+    auto it = symbols_.tables->find(name);
+    EXTEN_CHECK(it != symbols_.tables->end(), "unknown table '", name, "'");
+    // Intern: one copy per distinct table referenced by this program.
+    for (std::size_t i = 0; i < interned_.size(); ++i) {
+      if (interned_[i] == name) return static_cast<std::uint32_t>(i);
+    }
+    interned_.push_back(name);
+    tables_->push_back(it->second);
+    return static_cast<std::uint32_t>(interned_.size() - 1);
+  }
+
+  const BytecodeSymbols& symbols_;
+  std::vector<BcInstr>* code_;
+  std::vector<TableData>* tables_;
+  std::vector<std::string> interned_;
+  int depth_ = 0;
+  unsigned max_stack_ = 0;
+};
+
+/// Maps an op to its fused immediate form; false when the op has none (or
+/// when fusing would be unsound, e.g. kSel's popped else-branch).
+bool imm_variant(BcOp op, BcOp* out) {
+  switch (op) {
+    case BcOp::kAdd: *out = BcOp::kAddImm; return true;
+    case BcOp::kSub: *out = BcOp::kSubImm; return true;
+    case BcOp::kMul: *out = BcOp::kMulImm; return true;
+    case BcOp::kAnd: *out = BcOp::kAndImm; return true;
+    case BcOp::kOr: *out = BcOp::kOrImm; return true;
+    case BcOp::kXor: *out = BcOp::kXorImm; return true;
+    case BcOp::kShl: *out = BcOp::kShlImm; return true;
+    case BcOp::kShr: *out = BcOp::kShrImm; return true;
+    case BcOp::kEq: *out = BcOp::kEqImm; return true;
+    case BcOp::kNe: *out = BcOp::kNeImm; return true;
+    case BcOp::kLt: *out = BcOp::kLtImm; return true;
+    case BcOp::kLe: *out = BcOp::kLeImm; return true;
+    case BcOp::kGt: *out = BcOp::kGtImm; return true;
+    case BcOp::kGe: *out = BcOp::kGeImm; return true;
+    case BcOp::kSext: *out = BcOp::kSextImm; return true;
+    case BcOp::kZext: *out = BcOp::kZextImm; return true;
+    case BcOp::kMin: *out = BcOp::kMinImm; return true;
+    case BcOp::kMax: *out = BcOp::kMaxImm; return true;
+    case BcOp::kMinS: *out = BcOp::kMinSImm; return true;
+    case BcOp::kMaxS: *out = BcOp::kMaxSImm; return true;
+    case BcOp::kAsr: *out = BcOp::kAsrImm; return true;
+    case BcOp::kPushRegfile: *out = BcOp::kPushRegfileImm; return true;
+    case BcOp::kStoreRegfile: *out = BcOp::kStoreRegfileImm; return true;
+    default: return false;
+  }
+}
+
+/// Literal-fusion peephole. Every op above consumes its *top-of-stack*
+/// operand from the instruction immediately before it when that instruction
+/// is a kPushLit (postfix adjacency: the literal is the most recently
+/// pushed value), so the pair collapses to one immediate-form instruction
+/// with identical results. Left-to-right, so `lit lit +` still fuses the
+/// `lit +` pair after the first literal is kept.
+std::vector<BcInstr> fuse_literal_operands(const std::vector<BcInstr>& code) {
+  std::vector<BcInstr> out;
+  out.reserve(code.size());
+  for (const BcInstr& ins : code) {
+    BcOp fused;
+    if (!out.empty() && out.back().op == BcOp::kPushLit &&
+        imm_variant(ins.op, &fused)) {
+      out.back() = BcInstr{fused, ins.arg, out.back().imm};
+      continue;
+    }
+    out.push_back(ins);
+  }
+  return out;
+}
+
+}  // namespace
+
+BytecodeProgram BytecodeProgram::compile(const std::vector<Assignment>& body,
+                                         const BytecodeSymbols& symbols) {
+  BytecodeProgram program;
+  Lowerer lowerer(symbols, &program.code_, &program.tables_);
+  for (const Assignment& stmt : body) {
+    EXTEN_CHECK(stmt.value != nullptr, "assignment without value");
+    lowerer.emit_expr(*stmt.value);
+    switch (stmt.target) {
+      case Assignment::Target::kRd:
+        lowerer.emit_store(BcOp::kStoreRd, 0, -1);
+        break;
+      case Assignment::Target::kState:
+        lowerer.emit_store(BcOp::kStoreState, lowerer.state_slot(stmt.name),
+                           -1);
+        break;
+      case Assignment::Target::kRegfileElem:
+        EXTEN_CHECK(stmt.index != nullptr, "regfile assignment needs index");
+        lowerer.emit_expr(*stmt.index);
+        lowerer.emit_store(BcOp::kStoreRegfile,
+                           lowerer.regfile_slot(stmt.name), -2);
+        break;
+    }
+  }
+  program.code_ = fuse_literal_operands(program.code_);
+  // max_stack_ stays the pre-fusion depth: fusion can only lower the peak,
+  // so the lowerer's figure remains a valid (tight enough) bound.
+  program.max_stack_ = lowerer.max_stack();
+  return program;
+}
+
+std::uint32_t BytecodeProgram::run(std::uint32_t rs1, std::uint32_t rs2,
+                                   TieState* state) const {
+  // Semantics bodies are shallow; 32 slots covers every library instruction
+  // with a wide margin, and deeper programs fall back to a heap stack. The
+  // fallback lives in its own branch so the common path never constructs
+  // (or destroys) a vector.
+  constexpr unsigned kInlineStack = 32;
+  if (max_stack_ > kInlineStack) [[unlikely]] {
+    std::vector<std::uint64_t> heap_stack(max_stack_);
+    return run_on(heap_stack.data(), rs1, rs2, state);
+  }
+  std::uint64_t inline_stack[kInlineStack];
+  return run_on(inline_stack, rs1, rs2, state);
+}
+
+std::uint32_t BytecodeProgram::run_on(std::uint64_t* stack, std::uint32_t rs1,
+                                      std::uint32_t rs2,
+                                      TieState* state) const {
+  std::size_t sp = 0;
+  std::uint32_t rd = 0;
+  auto push = [&](std::uint64_t v) { stack[sp++] = v; };
+  auto pop = [&]() { return stack[--sp]; };
+
+  for (const BcInstr& ins : code_) {
+    switch (ins.op) {
+      case BcOp::kPushLit: push(ins.imm); break;
+      case BcOp::kPushRs1: push(rs1); break;
+      case BcOp::kPushRs2: push(rs2); break;
+      case BcOp::kPushState:
+        EXTEN_CHECK(state != nullptr, "no TIE state bound");
+        push(state->read_state_slot(ins.arg));
+        break;
+      case BcOp::kPushRegfile: {
+        EXTEN_CHECK(state != nullptr, "no TIE state bound");
+        const std::uint64_t index = pop();
+        push(state->read_regfile_slot(ins.arg, index));
+        break;
+      }
+      case BcOp::kPushTable: {
+        const std::uint64_t index = pop();
+        push(tables_[ins.arg].lookup(index));
+        break;
+      }
+      case BcOp::kNot: stack[sp - 1] = ~stack[sp - 1]; break;
+      case BcOp::kNeg: stack[sp - 1] = ~stack[sp - 1] + 1; break;
+      case BcOp::kAdd: { const std::uint64_t b = pop(); stack[sp - 1] += b; break; }
+      case BcOp::kSub: { const std::uint64_t b = pop(); stack[sp - 1] -= b; break; }
+      case BcOp::kMul: { const std::uint64_t b = pop(); stack[sp - 1] *= b; break; }
+      case BcOp::kAnd: { const std::uint64_t b = pop(); stack[sp - 1] &= b; break; }
+      case BcOp::kOr:  { const std::uint64_t b = pop(); stack[sp - 1] |= b; break; }
+      case BcOp::kXor: { const std::uint64_t b = pop(); stack[sp - 1] ^= b; break; }
+      case BcOp::kShl: {
+        const std::uint64_t b = pop();
+        stack[sp - 1] = b >= 64 ? 0 : stack[sp - 1] << b;
+        break;
+      }
+      case BcOp::kShr: {
+        const std::uint64_t b = pop();
+        stack[sp - 1] = b >= 64 ? 0 : stack[sp - 1] >> b;
+        break;
+      }
+      case BcOp::kEq: { const std::uint64_t b = pop(); stack[sp - 1] = stack[sp - 1] == b ? 1 : 0; break; }
+      case BcOp::kNe: { const std::uint64_t b = pop(); stack[sp - 1] = stack[sp - 1] != b ? 1 : 0; break; }
+      case BcOp::kLt: { const std::uint64_t b = pop(); stack[sp - 1] = stack[sp - 1] < b ? 1 : 0; break; }
+      case BcOp::kLe: { const std::uint64_t b = pop(); stack[sp - 1] = stack[sp - 1] <= b ? 1 : 0; break; }
+      case BcOp::kGt: { const std::uint64_t b = pop(); stack[sp - 1] = stack[sp - 1] > b ? 1 : 0; break; }
+      case BcOp::kGe: { const std::uint64_t b = pop(); stack[sp - 1] = stack[sp - 1] >= b ? 1 : 0; break; }
+      case BcOp::kSext: {
+        const std::uint64_t width = pop();
+        stack[sp - 1] =
+            sign_extend64(stack[sp - 1], static_cast<unsigned>(width));
+        break;
+      }
+      case BcOp::kZext: {
+        const std::uint64_t width = pop();
+        stack[sp - 1] =
+            mask_to_width(stack[sp - 1], static_cast<unsigned>(width));
+        break;
+      }
+      case BcOp::kSel: {
+        const std::uint64_t else_v = pop();
+        const std::uint64_t then_v = pop();
+        stack[sp - 1] = stack[sp - 1] != 0 ? then_v : else_v;
+        break;
+      }
+      case BcOp::kMin: { const std::uint64_t b = pop(); if (b < stack[sp - 1]) stack[sp - 1] = b; break; }
+      case BcOp::kMax: { const std::uint64_t b = pop(); if (b > stack[sp - 1]) stack[sp - 1] = b; break; }
+      case BcOp::kMinS: {
+        const auto b = static_cast<std::int64_t>(pop());
+        const auto a = static_cast<std::int64_t>(stack[sp - 1]);
+        stack[sp - 1] = static_cast<std::uint64_t>(a < b ? a : b);
+        break;
+      }
+      case BcOp::kMaxS: {
+        const auto b = static_cast<std::int64_t>(pop());
+        const auto a = static_cast<std::int64_t>(stack[sp - 1]);
+        stack[sp - 1] = static_cast<std::uint64_t>(a > b ? a : b);
+        break;
+      }
+      case BcOp::kAbs: {
+        const auto a = static_cast<std::int64_t>(stack[sp - 1]);
+        stack[sp - 1] = static_cast<std::uint64_t>(a < 0 ? -a : a);
+        break;
+      }
+      case BcOp::kPopcount:
+        stack[sp - 1] =
+            static_cast<std::uint64_t>(std::popcount(stack[sp - 1]));
+        break;
+      case BcOp::kAsr: {
+        const unsigned width = static_cast<unsigned>(pop());
+        const unsigned sh = static_cast<unsigned>(pop()) & 63;
+        const std::int64_t v =
+            static_cast<std::int64_t>(sign_extend64(stack[sp - 1], width));
+        stack[sp - 1] = static_cast<std::uint64_t>(v >> sh);
+        break;
+      }
+      case BcOp::kStoreRd:
+        rd = static_cast<std::uint32_t>(pop());
+        break;
+      case BcOp::kStoreState:
+        EXTEN_CHECK(state != nullptr, "no TIE state bound");
+        state->write_state_slot(ins.arg, pop());
+        break;
+      case BcOp::kStoreRegfile: {
+        EXTEN_CHECK(state != nullptr, "no TIE state bound");
+        const std::uint64_t index = pop();
+        const std::uint64_t value = pop();
+        state->write_regfile_slot(ins.arg, index, value);
+        break;
+      }
+      // Fused immediate forms: same semantics as the op they replace, with
+      // the literal operand read from `ins.imm` instead of the stack.
+      case BcOp::kAddImm: stack[sp - 1] += ins.imm; break;
+      case BcOp::kSubImm: stack[sp - 1] -= ins.imm; break;
+      case BcOp::kMulImm: stack[sp - 1] *= ins.imm; break;
+      case BcOp::kAndImm: stack[sp - 1] &= ins.imm; break;
+      case BcOp::kOrImm:  stack[sp - 1] |= ins.imm; break;
+      case BcOp::kXorImm: stack[sp - 1] ^= ins.imm; break;
+      case BcOp::kShlImm:
+        stack[sp - 1] = ins.imm >= 64 ? 0 : stack[sp - 1] << ins.imm;
+        break;
+      case BcOp::kShrImm:
+        stack[sp - 1] = ins.imm >= 64 ? 0 : stack[sp - 1] >> ins.imm;
+        break;
+      case BcOp::kEqImm: stack[sp - 1] = stack[sp - 1] == ins.imm ? 1 : 0; break;
+      case BcOp::kNeImm: stack[sp - 1] = stack[sp - 1] != ins.imm ? 1 : 0; break;
+      case BcOp::kLtImm: stack[sp - 1] = stack[sp - 1] < ins.imm ? 1 : 0; break;
+      case BcOp::kLeImm: stack[sp - 1] = stack[sp - 1] <= ins.imm ? 1 : 0; break;
+      case BcOp::kGtImm: stack[sp - 1] = stack[sp - 1] > ins.imm ? 1 : 0; break;
+      case BcOp::kGeImm: stack[sp - 1] = stack[sp - 1] >= ins.imm ? 1 : 0; break;
+      case BcOp::kSextImm:
+        stack[sp - 1] =
+            sign_extend64(stack[sp - 1], static_cast<unsigned>(ins.imm));
+        break;
+      case BcOp::kZextImm:
+        stack[sp - 1] =
+            mask_to_width(stack[sp - 1], static_cast<unsigned>(ins.imm));
+        break;
+      case BcOp::kMinImm:
+        if (ins.imm < stack[sp - 1]) stack[sp - 1] = ins.imm;
+        break;
+      case BcOp::kMaxImm:
+        if (ins.imm > stack[sp - 1]) stack[sp - 1] = ins.imm;
+        break;
+      case BcOp::kMinSImm: {
+        const auto b = static_cast<std::int64_t>(ins.imm);
+        const auto a = static_cast<std::int64_t>(stack[sp - 1]);
+        stack[sp - 1] = static_cast<std::uint64_t>(a < b ? a : b);
+        break;
+      }
+      case BcOp::kMaxSImm: {
+        const auto b = static_cast<std::int64_t>(ins.imm);
+        const auto a = static_cast<std::int64_t>(stack[sp - 1]);
+        stack[sp - 1] = static_cast<std::uint64_t>(a > b ? a : b);
+        break;
+      }
+      case BcOp::kAsrImm: {
+        const unsigned sh = static_cast<unsigned>(pop()) & 63;
+        const std::int64_t v = static_cast<std::int64_t>(
+            sign_extend64(stack[sp - 1], static_cast<unsigned>(ins.imm)));
+        stack[sp - 1] = static_cast<std::uint64_t>(v >> sh);
+        break;
+      }
+      case BcOp::kPushRegfileImm:
+        EXTEN_CHECK(state != nullptr, "no TIE state bound");
+        push(state->read_regfile_slot(ins.arg, ins.imm));
+        break;
+      case BcOp::kStoreRegfileImm:
+        EXTEN_CHECK(state != nullptr, "no TIE state bound");
+        state->write_regfile_slot(ins.arg, ins.imm, pop());
+        break;
+    }
+  }
+  return rd;
+}
+
+}  // namespace exten::tie

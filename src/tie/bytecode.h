@@ -1,0 +1,126 @@
+#pragma once
+
+// Flat postfix bytecode for TIE-lite semantics.
+//
+// The tree-walking evaluator (tie::eval / tie::execute) chases one heap
+// pointer per AST node and string-compares operator spellings on every
+// dynamic execution. The bytecode compiler lowers a custom instruction's
+// assignment list ONCE (at TieConfiguration::compile time) into a dense
+// vector of fixed-size ops executed by a stack machine, so the per-execution
+// cost is a linear scan over contiguous memory with an integer-dispatched
+// switch.
+//
+// Design notes for bit-exactness with the tree walker:
+//  - Values are uint64, exactly as in EvalContext; all arithmetic,
+//    comparisons and shifts replicate eval_binary / eval_call semantics
+//    (unsigned compares, shift >= 64 yields 0, unary '-' is ~v + 1, ...).
+//  - States and register files are addressed by declaration slot
+//    (TieState::*_slot); slots are resolved from names at compile time.
+//  - Lookup tables referenced by the semantics are copied into the program
+//    so execution needs no external table map and the program stays valid
+//    however the owning TieConfiguration is copied or moved.
+//  - sel() is evaluated eagerly (both branches) — semantics expressions are
+//    side-effect free, so the result is identical to the tree walker's lazy
+//    evaluation.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tie/expr.h"
+#include "tie/state.h"
+
+namespace exten::tie {
+
+/// Stack-machine operations. Value-stack effects in brackets.
+enum class BcOp : std::uint8_t {
+  kPushLit,      ///< [-0 +1] push `imm`
+  kPushRs1,      ///< [-0 +1] push rs1 operand
+  kPushRs2,      ///< [-0 +1] push rs2 operand
+  kPushState,    ///< [-0 +1] push state slot `arg`
+  kPushRegfile,  ///< [-1 +1] pop index, push regfile slot `arg` element
+  kPushTable,    ///< [-1 +1] pop index, push table `arg` entry (wrapped)
+  kNot,          ///< [-1 +1] bitwise complement
+  kNeg,          ///< [-1 +1] two's-complement negate (~v + 1)
+  kAdd, kSub, kMul, kAnd, kOr, kXor,    ///< [-2 +1]
+  kShl, kShr,                           ///< [-2 +1] shift >= 64 yields 0
+  kEq, kNe, kLt, kLe, kGt, kGe,         ///< [-2 +1] unsigned compares
+  kSext,      ///< [-2 +1] pop width then value; sign-extend
+  kZext,      ///< [-2 +1] pop width then value; zero-extend
+  kSel,       ///< [-3 +1] pop else, then, cond
+  kMin, kMax,      ///< [-2 +1] unsigned
+  kMinS, kMaxS,    ///< [-2 +1] signed
+  kAbs,            ///< [-1 +1] signed absolute value
+  kPopcount,       ///< [-1 +1]
+  kAsr,            ///< [-3 +1] pop width, shift, value; arithmetic shift
+  kStoreRd,        ///< [-1] pop value into the rd accumulator
+  kStoreState,     ///< [-1] pop value into state slot `arg`
+  kStoreRegfile,   ///< [-2] pop index then value into regfile slot `arg`
+
+  // Immediate forms produced by the literal-fusion peephole: a kPushLit
+  // whose value is consumed as the *top* stack operand of the next op folds
+  // into one instruction carrying the literal in `imm`. Postfix adjacency
+  // guarantees the literal is that operand, so results are unchanged — only
+  // the dispatch count drops. Semantics bodies are literal-heavy (every
+  // sext/zext width, constant masks, shifts and bounds), so this roughly
+  // halves the instruction count of typical programs.
+  kAddImm, kSubImm, kMulImm, kAndImm, kOrImm, kXorImm,  ///< [-1 +1]
+  kShlImm, kShrImm,            ///< [-1 +1] shift >= 64 yields 0
+  kEqImm, kNeImm, kLtImm, kLeImm, kGtImm, kGeImm,       ///< [-1 +1]
+  kSextImm, kZextImm,          ///< [-1 +1] width in `imm`
+  kMinImm, kMaxImm,            ///< [-1 +1] unsigned, bound in `imm`
+  kMinSImm, kMaxSImm,          ///< [-1 +1] signed, bound in `imm`
+  kAsrImm,             ///< [-2 +1] width in `imm`; pop shift then value
+  kPushRegfileImm,     ///< [-0 +1] push regfile slot `arg` element `imm`
+  kStoreRegfileImm,    ///< [-1] pop value into regfile slot `arg` elem `imm`
+};
+
+/// One fixed-size bytecode instruction.
+struct BcInstr {
+  BcOp op = BcOp::kPushLit;
+  std::uint32_t arg = 0;   ///< state / regfile slot or table index
+  std::uint64_t imm = 0;   ///< literal value (kPushLit)
+};
+
+/// Compile-time symbol resolution context: name -> slot for states and
+/// register files (declaration order, matching TieState), plus the bound
+/// lookup tables.
+struct BytecodeSymbols {
+  std::map<std::string, std::uint32_t> state_slots;
+  std::map<std::string, std::uint32_t> regfile_slots;
+  const std::map<std::string, TableData>* tables = nullptr;
+};
+
+/// A compiled, self-contained semantics program.
+class BytecodeProgram {
+ public:
+  /// Lowers an assignment list. Throws exten::Error on references to
+  /// symbols absent from `symbols` (the TIE compiler validates specs, so
+  /// this only fires on malformed hand-built ASTs).
+  static BytecodeProgram compile(const std::vector<Assignment>& body,
+                                 const BytecodeSymbols& symbols);
+
+  bool empty() const { return code_.empty(); }
+  std::size_t size() const { return code_.size(); }
+  unsigned max_stack() const { return max_stack_; }
+  const std::vector<BcInstr>& code() const { return code_; }
+
+  /// Executes the program; returns the final rd accumulator (0 when the
+  /// semantics never assign rd) and mutates `state` through slot accessors.
+  /// `state` may be null only for programs that reference no custom state.
+  std::uint32_t run(std::uint32_t rs1, std::uint32_t rs2,
+                    TieState* state) const;
+
+ private:
+  /// The interpreter loop over a caller-provided evaluation stack (sized
+  /// at least max_stack_).
+  std::uint32_t run_on(std::uint64_t* stack, std::uint32_t rs1,
+                       std::uint32_t rs2, TieState* state) const;
+
+  std::vector<BcInstr> code_;
+  std::vector<TableData> tables_;  ///< interned copies, indexed by BcInstr::arg
+  unsigned max_stack_ = 0;
+};
+
+}  // namespace exten::tie

@@ -93,7 +93,20 @@ TieState TieConfiguration::make_state() const {
 std::uint32_t TieConfiguration::execute(std::uint8_t func, std::uint32_t rs1,
                                         std::uint32_t rs2,
                                         TieState* state) const {
-  const CustomInstruction& ci = instruction(func);
+  return execute(instruction(func), rs1, rs2, state);
+}
+
+std::uint32_t TieConfiguration::execute_reference(std::uint8_t func,
+                                                  std::uint32_t rs1,
+                                                  std::uint32_t rs2,
+                                                  TieState* state) const {
+  return execute_reference(instruction(func), rs1, rs2, state);
+}
+
+std::uint32_t TieConfiguration::execute_reference(const CustomInstruction& ci,
+                                                  std::uint32_t rs1,
+                                                  std::uint32_t rs2,
+                                                  TieState* state) const {
   EvalContext ctx;
   ctx.rs1 = rs1;
   ctx.rs2 = rs2;
@@ -289,6 +302,23 @@ TieConfiguration TieConfiguration::compile(const TieSpec& spec) {
       }
     }
     config.instructions_.push_back(std::move(ci));
+  }
+
+  // --- Bytecode lowering ----------------------------------------------------
+  // Slots are declaration order, which is exactly the order make_state()
+  // declares them in the per-run TieState.
+  BytecodeSymbols symbols;
+  for (std::size_t i = 0; i < config.state_decls_.size(); ++i) {
+    symbols.state_slots.emplace(config.state_decls_[i].name,
+                                static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t i = 0; i < config.regfile_decls_.size(); ++i) {
+    symbols.regfile_slots.emplace(config.regfile_decls_[i].name,
+                                  static_cast<std::uint32_t>(i));
+  }
+  symbols.tables = &config.tables_;
+  for (CustomInstruction& ci : config.instructions_) {
+    ci.bytecode = BytecodeProgram::compile(ci.semantics, symbols);
   }
 
   return config;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "isa/assembler.h"
+#include "tie/bytecode.h"
 #include "tie/components.h"
 #include "tie/expr.h"
 #include "tie/spec.h"
@@ -49,6 +50,11 @@ struct CustomInstruction {
   std::vector<ComponentUse> components;
 
   std::vector<Assignment> semantics;
+
+  /// The semantics lowered to stack-machine bytecode (tie/bytecode.h) by
+  /// TieConfiguration::compile. Hand-built instructions may leave this
+  /// empty; execution then falls back to the tree-walking evaluator.
+  BytecodeProgram bytecode;
 
   /// Per-category weighted active-cycle contribution of ONE execution:
   /// sum over components of count x C(W) x (cycles active). This is what the
@@ -109,8 +115,24 @@ class TieConfiguration {
 
   /// Executes the semantics of instruction `func`: returns the rd result
   /// (0 when the instruction does not write rd) and mutates custom state.
+  /// Runs the compiled bytecode when available (the fast engine's path),
+  /// falling back to the tree walker for hand-built instructions.
   std::uint32_t execute(std::uint8_t func, std::uint32_t rs1,
                         std::uint32_t rs2, TieState* state) const;
+
+  /// Same, on an already-resolved instruction (no func bounds lookup); the
+  /// simulator's predecoded hot path calls this with its cached pointer.
+  std::uint32_t execute(const CustomInstruction& ci, std::uint32_t rs1,
+                        std::uint32_t rs2, TieState* state) const;
+
+  /// Reference path: always interprets the semantics by walking the Expr
+  /// tree (tie::eval), bypassing the bytecode. The differential tests pin
+  /// the bytecode against this.
+  std::uint32_t execute_reference(std::uint8_t func, std::uint32_t rs1,
+                                  std::uint32_t rs2, TieState* state) const;
+  std::uint32_t execute_reference(const CustomInstruction& ci,
+                                  std::uint32_t rs1, std::uint32_t rs2,
+                                  TieState* state) const;
 
   /// Sum of per-category input-stage weights over all non-isolated
   /// instructions; this is the custom hardware "visible" to base-processor
@@ -131,6 +153,19 @@ class TieConfiguration {
   std::map<std::string, TableData> tables_;
   std::array<double, kComponentClassCount> shared_bus_weights_{};
 };
+
+// Defined here so the simulator's per-custom-instruction call is one level
+// deep (straight into BytecodeProgram::run) instead of two.
+inline std::uint32_t TieConfiguration::execute(const CustomInstruction& ci,
+                                               std::uint32_t rs1,
+                                               std::uint32_t rs2,
+                                               TieState* state) const {
+  if (!ci.bytecode.empty()) {
+    const std::uint32_t rd = ci.bytecode.run(rs1, rs2, state);
+    return ci.writes_rd ? rd : 0;
+  }
+  return execute_reference(ci, rs1, rs2, state);
+}
 
 /// Parses and compiles TIE-lite source in one step.
 TieConfiguration compile_tie_source(std::string_view source);

@@ -1,6 +1,5 @@
 #include "tie/state.h"
 
-#include "tie/expr.h"
 #include "util/error.h"
 
 namespace exten::tie {
@@ -10,7 +9,8 @@ void TieState::declare_state(const std::string& name, unsigned width) {
               " out of range 1..64");
   EXTEN_CHECK(!has_state(name) && !has_regfile(name), "duplicate TIE symbol '",
               name, "'");
-  states_.emplace(name, Scalar{width, 0});
+  state_index_.emplace(name, scalars_.size());
+  scalars_.push_back(Scalar{width, 0});
 }
 
 void TieState::declare_regfile(const std::string& name, unsigned width,
@@ -21,30 +21,37 @@ void TieState::declare_regfile(const std::string& name, unsigned width,
               " out of range 1..256");
   EXTEN_CHECK(!has_state(name) && !has_regfile(name), "duplicate TIE symbol '",
               name, "'");
-  regfiles_.emplace(name, RegFile{width, std::vector<std::uint64_t>(size, 0)});
+  regfile_index_.emplace(name, files_.size());
+  files_.push_back(RegFile{width, std::vector<std::uint64_t>(size, 0)});
+}
+
+std::size_t TieState::state_slot(const std::string& name) const {
+  auto it = state_index_.find(name);
+  EXTEN_CHECK(it != state_index_.end(), "unknown TIE state '", name, "'");
+  return it->second;
+}
+
+std::size_t TieState::regfile_slot(const std::string& name) const {
+  auto it = regfile_index_.find(name);
+  EXTEN_CHECK(it != regfile_index_.end(), "unknown TIE regfile '", name, "'");
+  return it->second;
 }
 
 const TieState::Scalar& TieState::scalar(const std::string& name) const {
-  auto it = states_.find(name);
-  EXTEN_CHECK(it != states_.end(), "unknown TIE state '", name, "'");
-  return it->second;
+  return scalars_[state_slot(name)];
 }
 
 const TieState::RegFile& TieState::file(const std::string& name) const {
-  auto it = regfiles_.find(name);
-  EXTEN_CHECK(it != regfiles_.end(), "unknown TIE regfile '", name, "'");
-  return it->second;
+  return files_[regfile_slot(name)];
 }
 
 std::uint64_t TieState::read_state(const std::string& name) const {
   const Scalar& s = scalar(name);
-  return mask_to_width(s.value, s.width);
+  return mask(s.value, s.width);
 }
 
 void TieState::write_state(const std::string& name, std::uint64_t value) {
-  auto it = states_.find(name);
-  EXTEN_CHECK(it != states_.end(), "unknown TIE state '", name, "'");
-  it->second.value = mask_to_width(value, it->second.width);
+  write_state_slot(state_slot(name), value);
 }
 
 std::uint64_t TieState::read_regfile(const std::string& name,
@@ -55,19 +62,15 @@ std::uint64_t TieState::read_regfile(const std::string& name,
 
 void TieState::write_regfile(const std::string& name, std::uint64_t index,
                              std::uint64_t value) {
-  auto it = regfiles_.find(name);
-  EXTEN_CHECK(it != regfiles_.end(), "unknown TIE regfile '", name, "'");
-  RegFile& f = it->second;
-  f.regs[static_cast<std::size_t>(index) % f.regs.size()] =
-      mask_to_width(value, f.width);
+  write_regfile_slot(regfile_slot(name), index, value);
 }
 
 bool TieState::has_state(const std::string& name) const {
-  return states_.count(name) != 0;
+  return state_index_.count(name) != 0;
 }
 
 bool TieState::has_regfile(const std::string& name) const {
-  return regfiles_.count(name) != 0;
+  return regfile_index_.count(name) != 0;
 }
 
 unsigned TieState::state_width(const std::string& name) const {
@@ -83,8 +86,8 @@ unsigned TieState::regfile_size(const std::string& name) const {
 }
 
 void TieState::reset() {
-  for (auto& [name, s] : states_) s.value = 0;
-  for (auto& [name, f] : regfiles_) {
+  for (Scalar& s : scalars_) s.value = 0;
+  for (RegFile& f : files_) {
     for (auto& r : f.regs) r = 0;
   }
 }

@@ -5,6 +5,12 @@
 // A processor configuration may declare scalar `state` variables and custom
 // `regfile`s. The simulator owns one TieState per run; the TIE compiler
 // creates it pre-sized from the specification.
+//
+// Storage is slot-indexed: declarations are appended in order, and the
+// bytecode executor (tie/bytecode.h) addresses states and register files by
+// their declaration index so the per-execution hot path never touches a
+// name map. The name-based API remains for tests, tools and hand-built
+// configurations.
 
 #include <cstdint>
 #include <map>
@@ -17,7 +23,8 @@ namespace exten::tie {
 class TieState {
  public:
   /// Declares a scalar state variable of `width` bits (1..64), initial 0.
-  /// Throws exten::Error on duplicates or bad width.
+  /// Throws exten::Error on duplicates or bad width. The new state's slot
+  /// is the number of states declared before it.
   void declare_state(const std::string& name, unsigned width);
 
   /// Declares a register file with `size` entries of `width` bits each.
@@ -45,6 +52,35 @@ class TieState {
   unsigned regfile_width(const std::string& name) const;
   unsigned regfile_size(const std::string& name) const;
 
+  /// Slot lookup (declaration order). Throws on unknown name.
+  std::size_t state_slot(const std::string& name) const;
+  std::size_t regfile_slot(const std::string& name) const;
+
+  std::size_t num_states() const { return scalars_.size(); }
+  std::size_t num_regfiles() const { return files_.size(); }
+
+  // --- Slot-indexed hot path (no name lookup, no width re-mask: values are
+  // masked on write, so reads return them verbatim). ---------------------
+
+  std::uint64_t read_state_slot(std::size_t slot) const {
+    return scalars_[slot].value;
+  }
+  void write_state_slot(std::size_t slot, std::uint64_t value) {
+    Scalar& s = scalars_[slot];
+    s.value = mask(value, s.width);
+  }
+  std::uint64_t read_regfile_slot(std::size_t slot,
+                                  std::uint64_t index) const {
+    const RegFile& f = files_[slot];
+    return f.regs[static_cast<std::size_t>(index) % f.regs.size()];
+  }
+  void write_regfile_slot(std::size_t slot, std::uint64_t index,
+                          std::uint64_t value) {
+    RegFile& f = files_[slot];
+    f.regs[static_cast<std::size_t>(index) % f.regs.size()] =
+        mask(value, f.width);
+  }
+
   /// Resets every state and regfile element to zero.
   void reset();
 
@@ -58,11 +94,18 @@ class TieState {
     std::vector<std::uint64_t> regs;
   };
 
+  static std::uint64_t mask(std::uint64_t value, unsigned width) {
+    return width >= 64 ? value
+                       : (value & ((std::uint64_t{1} << width) - 1));
+  }
+
   const Scalar& scalar(const std::string& name) const;
   const RegFile& file(const std::string& name) const;
 
-  std::map<std::string, Scalar> states_;
-  std::map<std::string, RegFile> regfiles_;
+  std::vector<Scalar> scalars_;
+  std::vector<RegFile> files_;
+  std::map<std::string, std::size_t> state_index_;
+  std::map<std::string, std::size_t> regfile_index_;
 };
 
 }  // namespace exten::tie

@@ -1,0 +1,553 @@
+// Differential tests for the two-tier execution engine: the fast engine
+// (predecoded dispatch + TIE bytecode) must be bit-exact against the
+// reference interpreter (per-step decode + Expr tree walk) — same retired
+// stream, same cycle counts, same macro-model variables, same energy.
+//
+// These tests are what lets every fast-path shortcut (predecode, cache
+// hot-line memo, data-page memo, interlock source bytes) be treated as an
+// optimization rather than an approximation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "model/estimate.h"
+#include "model/profiler.h"
+#include "sim/cpu.h"
+#include "sim/tracer.h"
+#include "tie/compiler.h"
+#include "workloads/workloads.h"
+
+namespace exten {
+namespace {
+
+// --- Retirement-stream digest ------------------------------------------------
+
+/// FNV-1a over every field of every retired instruction, plus the run
+/// totals. Two runs with equal digests executed the same instructions with
+/// the same operands, timing, events, and custom-instruction identity.
+class DigestSink {
+ public:
+  void on_run_begin() { digest_ = 1469598103934665603ull; }
+  void on_retire(const sim::RetiredInstruction& r) {
+    mix(r.pc);
+    mix(static_cast<std::uint64_t>(r.instr.op));
+    mix(r.instr.rd);
+    mix(r.instr.rs1);
+    mix(r.instr.rs2);
+    mix(r.instr.func);
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.instr.imm)));
+    mix(static_cast<std::uint64_t>(r.cls));
+    mix(r.branch_taken);
+    mix(r.base_cycles);
+    mix(r.total_cycles);
+    mix(r.icache_miss);
+    mix(r.dcache_miss);
+    mix(r.uncached_fetch);
+    mix(r.uncached_data);
+    mix(r.interlock_cycles);
+    mix(r.redirect_cycles);
+    mix(r.memory_stall_cycles);
+    mix(r.rs1_value);
+    mix(r.rs2_value);
+    mix(r.result);
+    mix(r.mem_addr);
+    mix(r.is_mem);
+    // Pointer identity: both engines must resolve a CUSTOM opcode to the
+    // same CustomInstruction record of the shared TieConfiguration.
+    mix(reinterpret_cast<std::uintptr_t>(r.custom));
+  }
+  void on_run_end(std::uint64_t instructions, std::uint64_t cycles) {
+    mix(instructions);
+    mix(cycles);
+  }
+
+  std::uint64_t digest() const { return digest_; }
+
+ private:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      digest_ ^= (v >> (8 * i)) & 0xff;
+      digest_ *= 1099511628211ull;
+    }
+  }
+
+  std::uint64_t digest_ = 0;
+};
+
+struct EngineRun {
+  std::uint64_t digest = 0;
+  sim::RunResult result;
+};
+
+EngineRun run_digest(const model::TestProgram& app, sim::Engine engine,
+                     const sim::ProcessorConfig& config = {}) {
+  sim::Cpu cpu(config, *app.tie, engine);
+  cpu.load_program(app.image);
+  DigestSink sink;
+  EngineRun run;
+  run.result = cpu.run_with_sink(sink);
+  run.digest = sink.digest();
+  return run;
+}
+
+void expect_engines_match(const model::TestProgram& app,
+                          const sim::ProcessorConfig& config = {}) {
+  const EngineRun fast = run_digest(app, sim::Engine::kFast, config);
+  const EngineRun ref = run_digest(app, sim::Engine::kReference, config);
+  EXPECT_EQ(fast.digest, ref.digest) << app.name;
+  EXPECT_EQ(fast.result.instructions, ref.result.instructions) << app.name;
+  EXPECT_EQ(fast.result.cycles, ref.result.cycles) << app.name;
+  EXPECT_EQ(fast.result.halted, ref.result.halted) << app.name;
+}
+
+TEST(EngineDiff, CharacterizationSuiteBitExact) {
+  for (const model::TestProgram& app : workloads::characterization_suite()) {
+    expect_engines_match(app);
+  }
+}
+
+TEST(EngineDiff, ApplicationSuiteBitExact) {
+  for (const model::TestProgram& app : workloads::application_suite()) {
+    expect_engines_match(app);
+  }
+}
+
+TEST(EngineDiff, ExtrasSuiteBitExact) {
+  for (const model::TestProgram& app : workloads::extras_suite()) {
+    expect_engines_match(app);
+  }
+}
+
+TEST(EngineDiff, ReedSolomonBitExact) {
+  for (const model::TestProgram& app : workloads::reed_solomon_variants()) {
+    expect_engines_match(app);
+  }
+}
+
+TEST(EngineDiff, BitExactUnderNonDefaultTimingConfig) {
+  // Non-default penalties exercise the event/penalty accounting paths.
+  sim::ProcessorConfig config;
+  config.icache_miss_penalty = 13;
+  config.dcache_miss_penalty = 9;
+  config.taken_branch_penalty = 5;
+  config.load_use_interlock = 3;
+  for (const model::TestProgram& app : workloads::application_suite()) {
+    expect_engines_match(app, config);
+  }
+}
+
+/// run() (virtual observers) and run_with_sink (static dispatch) must
+/// publish the same stream.
+TEST(EngineDiff, ObserverPathMatchesSinkPath) {
+  class DigestObserver final : public sim::RetireObserver {
+   public:
+    void on_run_begin() override { sink.on_run_begin(); }
+    void on_retire(const sim::RetiredInstruction& r) override {
+      sink.on_retire(r);
+    }
+    void on_run_end(std::uint64_t instructions,
+                    std::uint64_t cycles) override {
+      sink.on_run_end(instructions, cycles);
+    }
+    DigestSink sink;
+  };
+
+  const std::vector<model::TestProgram> suite =
+      workloads::application_suite();
+  const model::TestProgram& app = suite.front();
+  for (const sim::Engine engine :
+       {sim::Engine::kFast, sim::Engine::kReference}) {
+    sim::Cpu observed(sim::ProcessorConfig{}, *app.tie, engine);
+    observed.load_program(app.image);
+    DigestObserver observer;
+    observed.add_observer(&observer);
+    observed.run();
+
+    const EngineRun sunk = run_digest(app, engine);
+    EXPECT_EQ(observer.sink.digest(), sunk.digest);
+  }
+}
+
+// --- Macro-model equivalence -------------------------------------------------
+
+model::MacroModelVariables profile_variables(const model::TestProgram& app,
+                                             sim::Engine engine) {
+  sim::Cpu cpu(sim::ProcessorConfig{}, *app.tie, engine);
+  cpu.load_program(app.image);
+  model::MacroModelProfiler profiler(*app.tie);
+  cpu.add_observer(&profiler);
+  cpu.run();
+  return profiler.variables();
+}
+
+TEST(EngineDiff, MacroModelVariablesBitExact) {
+  for (const model::TestProgram& app : workloads::application_suite()) {
+    const model::MacroModelVariables fast =
+        profile_variables(app, sim::Engine::kFast);
+    const model::MacroModelVariables ref =
+        profile_variables(app, sim::Engine::kReference);
+    for (std::size_t i = 0; i < model::kNumVariables; ++i) {
+      // Bit-exact, not approximately equal: both engines must accumulate
+      // the identical sequence of updates.
+      EXPECT_EQ(fast[i], ref[i])
+          << app.name << " variable " << model::variable_name(i);
+    }
+  }
+}
+
+TEST(EngineDiff, EstimateEnergyIdentical) {
+  linalg::Vector coeffs(model::kNumVariables);
+  for (std::size_t i = 0; i < model::kNumVariables; ++i) {
+    coeffs[i] = 0.5 + static_cast<double>(i);
+  }
+  const model::EnergyMacroModel macro(coeffs);
+  for (const model::TestProgram& app : workloads::application_suite()) {
+    const model::EnergyEstimate fast = model::estimate_energy(
+        macro, app, {}, sim::Cpu::kDefaultBudget, sim::Engine::kFast);
+    const model::EnergyEstimate ref = model::estimate_energy(
+        macro, app, {}, sim::Cpu::kDefaultBudget, sim::Engine::kReference);
+    EXPECT_EQ(fast.energy_pj, ref.energy_pj) << app.name;
+    EXPECT_EQ(fast.stats.cycles, ref.stats.cycles) << app.name;
+    EXPECT_EQ(fast.stats.instructions, ref.stats.instructions) << app.name;
+  }
+}
+
+// --- TIE bytecode vs Expr-tree reference -------------------------------------
+
+/// Deterministic 64-bit generator (SplitMix64) — no <random> engine state
+/// to worry about across library versions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+void expect_states_equal(const tie::TieState& a, const tie::TieState& b,
+                         const std::string& context) {
+  ASSERT_EQ(a.num_states(), b.num_states());
+  for (std::size_t s = 0; s < a.num_states(); ++s) {
+    EXPECT_EQ(a.read_state_slot(s), b.read_state_slot(s))
+        << context << " state slot " << s;
+  }
+  ASSERT_EQ(a.num_regfiles(), b.num_regfiles());
+  for (std::size_t f = 0; f < a.num_regfiles(); ++f) {
+    // Indices wrap to the file size, so probing a fixed range at least as
+    // large as any declared file compares every entry.
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      EXPECT_EQ(a.read_regfile_slot(f, i), b.read_regfile_slot(f, i))
+          << context << " regfile " << f << " index " << i;
+    }
+  }
+}
+
+TEST(EngineDiff, TieBytecodeMatchesTreeEvaluation) {
+  Rng rng(0x5eed);
+  for (const model::TestProgram& app : workloads::characterization_suite()) {
+    const tie::TieConfiguration& tie = *app.tie;
+    if (tie.instructions().empty()) continue;
+    tie::TieState fast_state = tie.make_state();
+    tie::TieState ref_state = tie.make_state();
+    // Evolve both states through a long interleaved random schedule: any
+    // divergence in a write (rd, scalar state, or regfile) propagates into
+    // later reads and the final state comparison.
+    for (int step = 0; step < 300; ++step) {
+      const std::size_t which = static_cast<std::size_t>(
+          rng.next() % tie.instructions().size());
+      const tie::CustomInstruction& ci = tie.instructions()[which];
+      const std::uint32_t rs1 = static_cast<std::uint32_t>(rng.next());
+      const std::uint32_t rs2 = static_cast<std::uint32_t>(rng.next());
+      const std::uint32_t fast_rd = tie.execute(ci, rs1, rs2, &fast_state);
+      const std::uint32_t ref_rd =
+          tie.execute_reference(ci, rs1, rs2, &ref_state);
+      EXPECT_EQ(fast_rd, ref_rd)
+          << app.name << " instruction " << ci.name << " step " << step;
+    }
+    expect_states_equal(fast_state, ref_state, app.name);
+  }
+}
+
+// --- Predecode invalidation --------------------------------------------------
+
+TEST(EngineDiff, SelfModifyingCodeBitExact) {
+  // The program overwrites an upcoming instruction word (addi r3, r0, 1 at
+  // label `patch`) with the word stored at `newinstr` (addi r3, r0, 42),
+  // then executes it. The fast engine must observe the store (note_write →
+  // stale → refresh) and retire the same stream as the reference engine.
+  const char* source = R"(
+      start:
+        li   r4, newinstr
+        lw   r1, 0(r4)
+        li   r2, patch
+        sw   r1, 0(r2)
+      patch:
+        addi r3, r0, 1
+        halt
+      newinstr:
+        .word 0
+  )";
+
+  // Encode the replacement word by assembling the wanted instruction alone
+  // and reading back its first text word.
+  isa::ProgramImage wanted = isa::assemble("addi r3, r0, 42\n");
+  std::uint32_t replacement = 0;
+  for (const isa::Segment& seg : wanted.segments()) {
+    if (wanted.entry_point() >= seg.base && wanted.entry_point() < seg.end()) {
+      replacement = static_cast<std::uint32_t>(seg.bytes[0]) |
+                    (static_cast<std::uint32_t>(seg.bytes[1]) << 8) |
+                    (static_cast<std::uint32_t>(seg.bytes[2]) << 16) |
+                    (static_cast<std::uint32_t>(seg.bytes[3]) << 24);
+    }
+  }
+  ASSERT_NE(replacement, 0u);
+
+  const tie::TieConfiguration empty_tie;
+  EngineRun runs[2];
+  std::uint32_t r3[2];
+  const sim::Engine engines[2] = {sim::Engine::kFast, sim::Engine::kReference};
+  for (int e = 0; e < 2; ++e) {
+    isa::ProgramImage image = isa::assemble(source);
+    sim::Cpu cpu(sim::ProcessorConfig{}, empty_tie, engines[e]);
+    cpu.load_program(image);
+    // Plant the replacement word in the data slot before running.
+    const auto newinstr = image.symbol("newinstr");
+    ASSERT_TRUE(newinstr.has_value());
+    cpu.memory().write32(*newinstr, replacement);
+    cpu.invalidate_predecode();  // text bytes changed behind the engine
+    DigestSink sink;
+    runs[e].result = cpu.run_with_sink(sink);
+    runs[e].digest = sink.digest();
+    r3[e] = cpu.reg(3);
+  }
+  EXPECT_EQ(r3[0], 42u);  // the patched instruction actually executed
+  EXPECT_EQ(runs[0].digest, runs[1].digest);
+  EXPECT_EQ(runs[0].result.cycles, runs[1].result.cycles);
+}
+
+TEST(EngineDiff, ExternalTextWriteNeedsInvalidate) {
+  // Writing text through memory() and calling invalidate_predecode() makes
+  // the fast engine pick up the new code.
+  isa::ProgramImage image = isa::assemble(R"(
+        addi r1, r0, 1
+        halt
+  )");
+  const tie::TieConfiguration empty_tie;
+  sim::Cpu cpu(sim::ProcessorConfig{}, empty_tie, sim::Engine::kFast);
+  cpu.load_program(image);
+
+  isa::ProgramImage wanted = isa::assemble("addi r1, r0, 7\n");
+  const isa::Segment& seg = wanted.segments().front();
+  const std::uint32_t word =
+      static_cast<std::uint32_t>(seg.bytes[0]) |
+      (static_cast<std::uint32_t>(seg.bytes[1]) << 8) |
+      (static_cast<std::uint32_t>(seg.bytes[2]) << 16) |
+      (static_cast<std::uint32_t>(seg.bytes[3]) << 24);
+  cpu.memory().write32(image.entry_point(), word);
+  cpu.invalidate_predecode();
+
+  cpu.run();
+  EXPECT_EQ(cpu.reg(1), 7u);
+}
+
+TEST(EngineDiff, IllegalInstructionFaultsMatch) {
+  // An undecodable word inside the text segment must raise the same fault
+  // from both engines (the fast engine routes illegal entries to the
+  // reference path).
+  const char* source = R"(
+        addi r1, r0, 5
+        .word 0xffffffff
+        halt
+  )";
+  const tie::TieConfiguration empty_tie;
+  std::string messages[2];
+  const sim::Engine engines[2] = {sim::Engine::kFast, sim::Engine::kReference};
+  for (int e = 0; e < 2; ++e) {
+    sim::Cpu cpu(sim::ProcessorConfig{}, empty_tie, engines[e]);
+    cpu.load_program(isa::assemble(source));
+    try {
+      cpu.run();
+      FAIL() << "expected an illegal-instruction fault";
+    } catch (const Error& error) {
+      messages[e] = error.what();
+    }
+  }
+  EXPECT_EQ(messages[0], messages[1]);
+  EXPECT_NE(messages[0].find("illegal"), std::string::npos);
+}
+
+// --- Cache hot-line memo exactness -------------------------------------------
+
+/// Bit-for-bit reference model of the set-associative true-LRU cache,
+/// without any memoization. Guards the 2-entry hot-line memo in
+/// sim::Cache.
+class NaiveLruCache {
+ public:
+  explicit NaiveLruCache(const sim::CacheConfig& config)
+      : config_(config),
+        lines_(config.num_sets() * config.ways) {}
+
+  bool access(std::uint32_t addr, bool allocate) {
+    const std::uint32_t line_bytes = config_.line_bytes;
+    const std::uint32_t sets = config_.num_sets();
+    const std::uint32_t set = (addr / line_bytes) % sets;
+    const std::uint64_t tag =
+        static_cast<std::uint64_t>(addr) / line_bytes / sets;
+    Line* base = &lines_[set * config_.ways];
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      if (base[w].valid && base[w].tag == tag) {
+        touch(base, w);
+        return true;
+      }
+    }
+    if (allocate) {
+      std::uint32_t victim = 0;
+      for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (!base[w].valid) {
+          victim = w;
+          break;
+        }
+        if (base[w].age > base[victim].age) victim = w;
+      }
+      base[victim].valid = true;
+      base[victim].tag = tag;
+      touch(base, victim);
+    }
+    return false;
+  }
+
+ private:
+  struct Line {
+    bool valid = false;
+    std::uint64_t tag = 0;
+    std::uint32_t age = 0;
+  };
+
+  void touch(Line* base, std::uint32_t used) {
+    for (std::uint32_t w = 0; w < config_.ways; ++w) ++base[w].age;
+    base[used].age = 0;
+  }
+
+  sim::CacheConfig config_;
+  std::vector<Line> lines_;
+};
+
+TEST(EngineDiff, CacheMemoMatchesNaiveLru) {
+  // Small cache (2 sets x 2 ways, 16-byte lines) so conflict evictions are
+  // frequent, plus streams crafted to alternate between lines of the same
+  // set and of different sets — the cases the memo must not distort.
+  sim::CacheConfig config;
+  config.size_bytes = 64;
+  config.line_bytes = 16;
+  config.ways = 2;
+
+  sim::Cache cache(config);
+  NaiveLruCache naive(config);
+  Rng rng(0xcafe);
+  std::uint64_t expected_hits = 0;
+  std::uint64_t expected_misses = 0;
+  for (int i = 0; i < 20000; ++i) {
+    // Mix patterns: random addresses in a small pool (conflict-heavy),
+    // same-set alternation, and different-set alternation.
+    std::uint32_t addr;
+    switch (i % 4) {
+      case 0: addr = static_cast<std::uint32_t>(rng.next() % 8) * 16; break;
+      case 1: addr = (i % 8 < 4) ? 0x00 : 0x40; break;   // same set 0
+      case 2: addr = (i % 8 < 4) ? 0x00 : 0x10; break;   // different sets
+      default: addr = static_cast<std::uint32_t>(rng.next() % 256); break;
+    }
+    const bool allocate = (rng.next() & 3) != 0;  // mix access and probe
+    const bool naive_hit = naive.access(addr, allocate);
+    const sim::CacheOutcome got =
+        allocate ? cache.access(addr) : cache.probe(addr);
+    EXPECT_EQ(got == sim::CacheOutcome::kHit, naive_hit)
+        << "access " << i << " addr 0x" << std::hex << addr;
+    (naive_hit ? expected_hits : expected_misses) += 1;
+  }
+  EXPECT_EQ(cache.hits(), expected_hits);
+  EXPECT_EQ(cache.misses(), expected_misses);
+}
+
+// --- Memory bulk load --------------------------------------------------------
+
+TEST(EngineDiff, MemoryBulkLoadMatchesByteStores) {
+  // A segment straddling page boundaries with an unaligned base: load()
+  // must place every byte exactly where write8 would have.
+  isa::Segment segment;
+  segment.base = sim::Memory::kPageBytes - 37;  // crosses into page 1 and 2
+  segment.bytes.resize(2 * sim::Memory::kPageBytes + 91);
+  Rng rng(0xb17e);
+  for (std::uint8_t& b : segment.bytes) {
+    b = static_cast<std::uint8_t>(rng.next());
+  }
+
+  isa::ProgramImage image;
+  image.add_segment(segment);
+
+  sim::Memory bulk;
+  bulk.load(image);
+  sim::Memory bytewise;
+  for (std::size_t i = 0; i < segment.bytes.size(); ++i) {
+    bytewise.write8(segment.base + static_cast<std::uint32_t>(i),
+                    segment.bytes[i]);
+  }
+
+  EXPECT_EQ(bulk.resident_pages(), bytewise.resident_pages());
+  for (std::size_t i = 0; i < segment.bytes.size(); ++i) {
+    const std::uint32_t addr = segment.base + static_cast<std::uint32_t>(i);
+    ASSERT_EQ(bulk.read8(addr), segment.bytes[i]) << "addr 0x" << std::hex
+                                                  << addr;
+  }
+  // Bytes around the segment stay zero.
+  EXPECT_EQ(bulk.read8(segment.base - 1), 0u);
+  EXPECT_EQ(bulk.read8(segment.base +
+                       static_cast<std::uint32_t>(segment.bytes.size())),
+            0u);
+}
+
+// --- PcProfile flat window ---------------------------------------------------
+
+TEST(EngineDiff, PcProfileFlatAndOverflowAgree) {
+  sim::PcProfile profile;
+  profile.on_run_begin();
+
+  auto retire_at = [&](std::uint32_t pc, unsigned cycles) {
+    sim::RetiredInstruction r;
+    r.pc = pc;
+    r.total_cycles = cycles;
+    profile.on_retire(r);
+  };
+
+  // In-window pcs (flat table) and a far-away pc (overflow map).
+  const std::uint32_t base = 0x0040'0000;
+  retire_at(base, 1);
+  retire_at(base + 4, 2);
+  retire_at(base + 4, 2);
+  const std::uint32_t far = base + sim::PcProfile::kWindowBytes + 0x100;
+  retire_at(far, 7);
+
+  EXPECT_EQ(profile.distinct_pcs(), 3u);
+  const auto hottest = profile.hottest(3);
+  ASSERT_EQ(hottest.size(), 3u);
+  EXPECT_EQ(hottest[0].pc, far);          // 7 cycles
+  EXPECT_EQ(hottest[0].cycles, 7u);
+  EXPECT_EQ(hottest[1].pc, base + 4);     // 4 cycles over 2 executions
+  EXPECT_EQ(hottest[1].executions, 2u);
+  EXPECT_EQ(hottest[2].pc, base);
+
+  // A new run clears both tables.
+  profile.on_run_begin();
+  EXPECT_EQ(profile.distinct_pcs(), 0u);
+}
+
+}  // namespace
+}  // namespace exten

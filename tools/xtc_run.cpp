@@ -2,6 +2,7 @@
 //
 //   xtc-run program.s|program.img [--tie spec.tie] [--trace [N]]
 //           [--profile [N]] [--max-instructions N] [--dump-regs]
+//           [--engine fast|reference]
 //
 // Prints the execution statistics (instructions, cycles, CPI, cache
 // behaviour, custom-instruction counts); --trace streams a disassembled
@@ -20,13 +21,24 @@ int main(int argc, char** argv) {
     if (args.positional().size() != 1) {
       std::cerr << "usage: xtc-run program.s|program.img [--tie spec.tie] "
                    "[--trace N] [--profile N] [--max-instructions N] "
-                   "[--dump-regs]\n";
+                   "[--dump-regs] [--engine fast|reference]\n";
       return 2;
     }
     const tools::LoadedProgram loaded =
         tools::load_program(args.positional()[0], args);
 
-    sim::Cpu cpu({}, *loaded.tie);
+    sim::Engine engine = sim::Engine::kFast;
+    if (auto v = args.value("engine")) {
+      if (*v == "fast") {
+        engine = sim::Engine::kFast;
+      } else if (*v == "reference") {
+        engine = sim::Engine::kReference;
+      } else {
+        throw Error("bad --engine '", *v, "' (expected fast or reference)");
+      }
+    }
+
+    sim::Cpu cpu({}, *loaded.tie, engine);
     cpu.load_program(loaded.image);
 
     sim::StatsCollector stats;
