@@ -1,0 +1,224 @@
+// bench_server_throughput: end-to-end request throughput of the xtc-serve
+// HTTP stack (event loop + parser + router + BatchEstimator) measured
+// with closed-loop keep-alive clients posting /v1/estimate over real
+// loopback sockets.
+//
+// The request body repeats the same small program, so after the first
+// request every evaluation is a content-addressed cache hit: the numbers
+// measure the serving overhead per request (read, parse, route, digest,
+// cache lookup, serialize, write), which is the warm path a DSE
+// re-ranking loop exercises thousands of times. A machine-readable JSON
+// snapshot prints at the end so BENCH_server_throughput.json can track
+// the req/s floor across PRs.
+//
+//   bench_server_throughput [--clients N] [--seconds S] [--reps R] [--json]
+//
+// --json suppresses the ASCII table (snapshot line only).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "net/http_client.h"
+#include "net/server.h"
+#include "service/batch_estimator.h"
+#include "tools/tool_common.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace exten;
+
+constexpr std::string_view kAsm =
+    "  addi r1, r0, 5\n"
+    "  addi r2, r0, 7\n"
+    "  add r3, r1, r2\n"
+    "  halt\n";
+
+std::string estimate_body() {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", std::string_view("bench"));
+  w.field("asm", kAsm);
+  w.end_object();
+  return w.str();
+}
+
+struct RepResult {
+  double wall_seconds = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t rejected = 0;  // 503 backpressure answers
+  std::uint64_t errors = 0;    // transport failures and other non-200s
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double requests_per_second() const {
+    return wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(requests) / wall_seconds;
+  }
+};
+
+double percentile(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted_ms.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_ms[lo] + (sorted_ms[hi] - sorted_ms[lo]) * frac;
+}
+
+RepResult run_rep(std::uint16_t port, unsigned clients, double seconds,
+                  const std::string& body) {
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> counts(clients, 0);
+  std::vector<std::uint64_t> rejected(clients, 0);
+  std::vector<std::uint64_t> errors(clients, 0);
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::HttpClient client("127.0.0.1", port);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+          const auto response = client.post("/v1/estimate", body);
+          if (response.status == 503) {
+            ++rejected[c];  // backpressure: by design under overload
+            continue;
+          }
+          if (response.status != 200) {
+            ++errors[c];
+            continue;
+          }
+        } catch (const Error&) {
+          ++errors[c];
+          continue;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        ++counts[c];
+        latencies[c].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  RepResult rep;
+  rep.wall_seconds = std::chrono::duration<double>(end - start).count();
+  std::vector<double> all;
+  for (unsigned c = 0; c < clients; ++c) {
+    rep.requests += counts[c];
+    rep.rejected += rejected[c];
+    rep.errors += errors[c];
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+  }
+  std::sort(all.begin(), all.end());
+  rep.p50_ms = percentile(all, 0.50);
+  rep.p99_ms = percentile(all, 0.99);
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return tools::tool_main("bench_server_throughput", [&] {
+    const tools::Args args(argc, argv);
+    args.require_known({"clients", "seconds", "reps", "json"});
+    unsigned clients = 4;
+    double seconds = 2.0;
+    unsigned reps = 3;
+    if (auto v = args.value("clients")) clients = std::stoul(*v);
+    if (auto v = args.value("seconds")) seconds = std::stod(*v);
+    if (auto v = args.value("reps")) reps = std::stoul(*v);
+    const bool json_only = args.has("json");
+
+    // Throughput does not depend on coefficient values; a flat synthetic
+    // model avoids the multi-minute characterization run.
+    linalg::Vector coefficients(model::kNumVariables, 100.0);
+    const model::EnergyMacroModel macro_model(std::move(coefficients));
+    // The queue must absorb every closed-loop client or the bench measures
+    // the 503 backpressure path instead of the serving path.
+    service::BatchOptions batch_options;
+    batch_options.queue_capacity = std::max<std::size_t>(64, clients * 4);
+    service::BatchEstimator estimator(macro_model, batch_options);
+
+    net::ServerOptions options;
+    options.max_inflight = 256;
+    net::HttpServer server(estimator, options);
+    std::thread loop([&] { server.run(); });
+
+    const std::string body = estimate_body();
+    // Warm-up: populate the eval cache and fault in the serving path.
+    run_rep(server.port(), 1, 0.2, body);
+
+    std::vector<RepResult> measurements;
+    for (unsigned r = 0; r < reps; ++r) {
+      measurements.push_back(run_rep(server.port(), clients, seconds, body));
+    }
+    server.request_stop();
+    loop.join();
+
+    double best_rps = 0.0;
+    for (const RepResult& m : measurements) {
+      best_rps = std::max(best_rps, m.requests_per_second());
+    }
+
+    if (!json_only) {
+      bench::heading("HTTP estimation server throughput (/v1/estimate, "
+                     "warm cache, " +
+                     std::to_string(clients) + " keep-alive clients)");
+      AsciiTable table(
+          {"Rep", "Wall (s)", "Requests", "503s", "Errors", "Req/s",
+           "p50 (ms)", "p99 (ms)"});
+      for (std::size_t i = 0; i < measurements.size(); ++i) {
+        const RepResult& m = measurements[i];
+        table.add_row({std::to_string(i + 1),
+                       format_fixed(m.wall_seconds, 3),
+                       std::to_string(m.requests), std::to_string(m.rejected),
+                       std::to_string(m.errors),
+                       format_fixed(m.requests_per_second(), 1),
+                       format_fixed(m.p50_ms, 3), format_fixed(m.p99_ms, 3)});
+      }
+      table.print(std::cout);
+      std::cout << "\nbest: " << format_fixed(best_rps, 1) << " req/s\n";
+    }
+
+    JsonWriter w;
+    w.begin_object();
+    w.field("benchmark", std::string_view("server_throughput"));
+    w.field("endpoint", std::string_view("/v1/estimate"));
+    w.field("clients", static_cast<int>(clients));
+    w.field("seconds_per_rep", seconds);
+    w.field("hardware_concurrency",
+            static_cast<int>(service::resolve_thread_count(0)));
+    w.field("best_requests_per_second", best_rps);
+    w.array_field("measurements");
+    for (const RepResult& m : measurements) {
+      w.element_object();
+      w.field("wall_seconds", m.wall_seconds);
+      w.field("requests", m.requests);
+      w.field("rejected_503", m.rejected);
+      w.field("errors", m.errors);
+      w.field("requests_per_second", m.requests_per_second());
+      w.field("p50_ms", m.p50_ms);
+      w.field("p99_ms", m.p99_ms);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::cout << "\njson " << w.str() << "\n";
+    return tools::kExitOk;
+  });
+}

@@ -1,0 +1,241 @@
+#include "net/api.h"
+
+#include <map>
+#include <utility>
+
+#include "model/variables.h"
+#include "util/error.h"
+
+namespace exten::net::api {
+
+namespace {
+
+/// Member `key` as a non-negative integer, or `fallback` when absent.
+std::int64_t int_or(const JsonValue& v, std::string_view key,
+                    std::int64_t fallback) {
+  const JsonValue* member = v.find(key);
+  if (member == nullptr || member->is_null()) return fallback;
+  const double number = member->as_number();
+  EXTEN_CHECK(number >= 0 && number == static_cast<double>(
+                                           static_cast<std::int64_t>(number)),
+              "\"", key, "\" must be a non-negative integer");
+  return static_cast<std::int64_t>(number);
+}
+
+/// Compiles a TIE source, memoizing identical sources within one request
+/// so batch jobs naming the same extension share a configuration.
+class TieCompiler {
+ public:
+  std::shared_ptr<const tie::TieConfiguration> compile(
+      const std::string& source) {
+    auto [it, inserted] = by_source_.try_emplace(source);
+    if (inserted) {
+      if (source.empty()) {
+        it->second = std::make_shared<const tie::TieConfiguration>();
+      } else {
+        it->second = std::make_shared<const tie::TieConfiguration>(
+            tie::compile_tie_source(source));
+      }
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::shared_ptr<const tie::TieConfiguration>>
+      by_source_;
+};
+
+EstimateRequest parse_one_estimate(const JsonValue& v, TieCompiler& tie) {
+  EXTEN_CHECK(v.is_object(), "request must be a JSON object");
+  EstimateRequest request;
+  const JsonValue* asm_member = v.find("asm");
+  EXTEN_CHECK(asm_member != nullptr, "missing \"asm\" member");
+  const std::string& asm_source = asm_member->as_string();
+  EXTEN_CHECK(!asm_source.empty(), "\"asm\" must be non-empty");
+
+  std::string tie_source;
+  if (const JsonValue* tie_member = v.find("tie");
+      tie_member != nullptr && !tie_member->is_null()) {
+    tie_source = tie_member->as_string();
+  }
+
+  request.job.name = v.string_or("name", "anonymous");
+  request.job.program = model::make_test_program(
+      request.job.name, asm_source, tie.compile(tie_source));
+  request.deadline_ms = static_cast<int>(int_or(v, "deadline_ms", 0));
+  request.job.max_instructions =
+      static_cast<std::uint64_t>(int_or(v, "max_instructions", 0));
+  return request;
+}
+
+}  // namespace
+
+EstimateRequest parse_estimate_request(const JsonValue& v) {
+  TieCompiler tie;
+  return parse_one_estimate(v, tie);
+}
+
+BatchRequest parse_batch_request(const JsonValue& v, std::size_t max_jobs) {
+  EXTEN_CHECK(v.is_object(), "request must be a JSON object");
+  const JsonValue* jobs = v.find("jobs");
+  EXTEN_CHECK(jobs != nullptr, "missing \"jobs\" member");
+  const JsonValue::Array& array = jobs->as_array();
+  EXTEN_CHECK(!array.empty(), "\"jobs\" must be non-empty");
+  EXTEN_CHECK(array.size() <= max_jobs, "\"jobs\" has ", array.size(),
+              " entries, limit is ", max_jobs);
+
+  BatchRequest request;
+  request.deadline_ms = static_cast<int>(int_or(v, "deadline_ms", 0));
+  TieCompiler tie;
+  request.jobs.reserve(array.size());
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    try {
+      request.jobs.push_back(parse_one_estimate(array[i], tie));
+    } catch (const Error& e) {
+      throw Error("jobs[", i, "]: ", e.what());
+    }
+  }
+  return request;
+}
+
+RankRequest parse_rank_request(const JsonValue& v, std::size_t max_jobs) {
+  EXTEN_CHECK(v.is_object(), "request must be a JSON object");
+  const JsonValue* candidates = v.find("candidates");
+  EXTEN_CHECK(candidates != nullptr, "missing \"candidates\" member");
+  const JsonValue::Array& array = candidates->as_array();
+  EXTEN_CHECK(!array.empty(), "\"candidates\" must be non-empty");
+  EXTEN_CHECK(array.size() <= max_jobs, "\"candidates\" has ", array.size(),
+              " entries, limit is ", max_jobs);
+
+  RankRequest request;
+  request.deadline_ms = static_cast<int>(int_or(v, "deadline_ms", 0));
+  const std::string objective = v.string_or("objective", "edp");
+  if (objective == "energy") {
+    request.objective = explore::Objective::kEnergy;
+  } else if (objective == "delay") {
+    request.objective = explore::Objective::kDelay;
+  } else if (objective == "edp") {
+    request.objective = explore::Objective::kEdp;
+  } else {
+    throw Error("unknown objective \"", objective,
+                "\" (energy|delay|edp)");
+  }
+
+  TieCompiler tie;
+  request.candidates.reserve(array.size());
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    try {
+      EstimateRequest parsed = parse_one_estimate(array[i], tie);
+      request.candidates.push_back(
+          {parsed.job.name, std::move(parsed.job.program)});
+    } catch (const Error& e) {
+      throw Error("candidates[", i, "]: ", e.what());
+    }
+  }
+  return request;
+}
+
+namespace {
+
+void write_job_result(JsonWriter& w, const service::JobResult& result,
+                      const model::EnergyMacroModel& model) {
+  w.field("name", std::string_view(result.name));
+  w.field("ok", result.ok);
+  if (!result.ok) {
+    w.field("error", std::string_view(result.error));
+    w.field("cancelled", result.cancelled);
+    return;
+  }
+  const model::EnergyEstimate& e = result.estimate;
+  w.field("energy_pj", e.energy_pj);
+  w.field("energy_uj", e.energy_uj());
+  w.field("cycles", static_cast<std::uint64_t>(e.stats.cycles));
+  w.field("instructions", static_cast<std::uint64_t>(e.stats.instructions));
+  w.field("cpi", e.stats.cpi());
+  w.field("cache_hit", result.cache_hit);
+  w.field("eval_seconds", e.elapsed_seconds);
+  w.field("worker_seconds", result.worker_seconds);
+  // Per-variable energy breakdown (Table I terms): only the variables
+  // that actually contribute, to keep warm-path responses small.
+  w.object_field("breakdown_pj");
+  for (std::size_t i = 0; i < model::kNumVariables; ++i) {
+    const double contribution = e.variables[i] * model.coefficient(i);
+    if (contribution != 0.0) {
+      w.field(model::variable_name(i), contribution);
+    }
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string job_result_body(const service::JobResult& result,
+                            const model::EnergyMacroModel& model) {
+  JsonWriter w;
+  w.begin_object();
+  write_job_result(w, result, model);
+  w.end_object();
+  return w.str();
+}
+
+std::string batch_result_body(const std::vector<service::JobResult>& results,
+                              const model::EnergyMacroModel& model) {
+  std::size_t succeeded = 0;
+  for (const service::JobResult& r : results) {
+    if (r.ok) ++succeeded;
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.field("jobs", static_cast<std::uint64_t>(results.size()));
+  w.field("succeeded", static_cast<std::uint64_t>(succeeded));
+  w.field("failed",
+          static_cast<std::uint64_t>(results.size() - succeeded));
+  w.array_field("results");
+  for (const service::JobResult& r : results) {
+    w.element_object();
+    write_job_result(w, r, model);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string rank_result_body(const explore::ExploreResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  switch (result.objective) {
+    case explore::Objective::kEnergy:
+      w.field("objective", std::string_view("energy"));
+      break;
+    case explore::Objective::kDelay:
+      w.field("objective", std::string_view("delay"));
+      break;
+    case explore::Objective::kEdp:
+      w.field("objective", std::string_view("edp"));
+      break;
+  }
+  w.array_field("ranked");
+  for (const explore::Evaluation& eval : result.ranked) {
+    w.element_object();
+    w.field("name", std::string_view(eval.name));
+    w.field("energy_pj", eval.energy_pj);
+    w.field("cycles", static_cast<std::uint64_t>(eval.cycles));
+    w.field("edp", eval.edp);
+    w.field("pareto_optimal", eval.pareto_optimal);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string error_body(std::string_view message) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("error", message);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace exten::net::api

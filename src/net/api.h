@@ -1,0 +1,76 @@
+#pragma once
+
+// JSON request/response schemas of the estimation API — the pure glue
+// between HTTP bodies and the service/explore layers, with no sockets or
+// event-loop state so it unit-tests directly.
+//
+//   POST /v1/estimate  {"name"?, "asm", "tie"?, "deadline_ms"?,
+//                       "max_instructions"?}
+//   POST /v1/batch     {"jobs": [<estimate request>, ...], "deadline_ms"?}
+//   POST /v1/rank      {"candidates": [{"name"?, "asm", "tie"?}, ...],
+//                       "objective"?: "energy"|"delay"|"edp",
+//                       "deadline_ms"?}
+//
+// Sources are inline (assembly text, TIE-lite text), unlike the file-path
+// convention of the CLI tools: a network client should not need a shared
+// filesystem with the server. Parsing throws exten::Error with a message
+// suitable for a 400 body.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "explore/explore.h"
+#include "service/batch_estimator.h"
+#include "util/json.h"
+
+namespace exten::net::api {
+
+struct EstimateRequest {
+  /// "max_instructions" lands in job.max_instructions (0 = server default).
+  service::BatchJob job;
+  /// 0 = use the server default.
+  int deadline_ms = 0;
+};
+
+struct BatchRequest {
+  std::vector<EstimateRequest> jobs;
+  int deadline_ms = 0;
+};
+
+struct RankRequest {
+  std::vector<explore::Candidate> candidates;
+  explore::Objective objective = explore::Objective::kEdp;
+  int deadline_ms = 0;
+};
+
+/// Parses and compiles one estimate request (assembles "asm" against the
+/// optional "tie" spec). Throws exten::Error on schema violations or
+/// assembly/TIE errors.
+EstimateRequest parse_estimate_request(const JsonValue& v);
+
+/// Parses {"jobs": [...]}; enforces 1 <= jobs <= max_jobs. Identical TIE
+/// sources across jobs share one compiled configuration (and therefore
+/// one eval-cache key component).
+BatchRequest parse_batch_request(const JsonValue& v, std::size_t max_jobs);
+
+RankRequest parse_rank_request(const JsonValue& v, std::size_t max_jobs);
+
+/// One JobResult as a JSON object: the energy breakdown (per-variable
+/// contributions in pJ against `model`), totals, and cache/timing info on
+/// success; {"ok": false, "error", "cancelled"} on failure.
+std::string job_result_body(const service::JobResult& result,
+                            const model::EnergyMacroModel& model);
+
+/// {"results": [...], "succeeded": N, "failed": N}
+std::string batch_result_body(const std::vector<service::JobResult>& results,
+                              const model::EnergyMacroModel& model);
+
+/// Ranked candidates with Pareto marks.
+std::string rank_result_body(const explore::ExploreResult& result);
+
+/// {"error": "<message>"}
+std::string error_body(std::string_view message);
+
+}  // namespace exten::net::api

@@ -1,0 +1,410 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace exten::net {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// RFC 7230 token characters (method and header names).
+bool is_token_char(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  return std::string_view("!#$%&'*+-.^_`|~").find(c) != std::string_view::npos;
+}
+
+bool is_token(std::string_view s) {
+  return !s.empty() && std::all_of(s.begin(), s.end(), is_token_char);
+}
+
+/// Strict decimal parse for Content-Length (no sign, no whitespace).
+bool parse_content_length(std::string_view s, std::size_t* out) {
+  if (s.empty() || s.size() > 15) return false;
+  std::size_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+const std::string* find_header(const std::vector<Header>& headers,
+                               std::string_view name) {
+  for (const Header& header : headers) {
+    if (iequals(header.name, name)) return &header.value;
+  }
+  return nullptr;
+}
+
+std::string_view HttpRequest::path() const {
+  const std::string_view t(target);
+  const std::size_t query = t.find('?');
+  return query == std::string_view::npos ? t : t.substr(0, query);
+}
+
+bool HttpRequest::keep_alive() const {
+  if (const std::string* connection = header("Connection")) {
+    if (iequals(*connection, "close")) return false;
+    if (iequals(*connection, "keep-alive")) return true;
+  }
+  return version != "HTTP/1.0";
+}
+
+std::string_view status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize_response(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += status_reason(response.status);
+  out += "\r\n";
+  if (!response.content_type.empty()) {
+    out += "Content-Type: ";
+    out += response.content_type;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\n";
+  for (const Header& header : response.extra_headers) {
+    out += header.name;
+    out += ": ";
+    out += header.value;
+    out += "\r\n";
+  }
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string serialize_request(std::string_view method, std::string_view target,
+                              std::string_view host, std::string_view body,
+                              std::string_view content_type,
+                              const std::vector<Header>& extra_headers) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += method;
+  out += ' ';
+  out += target;
+  out += " HTTP/1.1\r\nHost: ";
+  out += host;
+  out += "\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    if (!content_type.empty()) {
+      out += "Content-Type: ";
+      out += content_type;
+      out += "\r\n";
+    }
+    out += "Content-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\n";
+  }
+  for (const Header& header : extra_headers) {
+    out += header.name;
+    out += ": ";
+    out += header.value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RequestParser
+// ---------------------------------------------------------------------------
+
+RequestParser::Status RequestParser::feed(std::string_view bytes) {
+  if (status_ == Status::kError) return status_;
+  buffer_.append(bytes.data(), bytes.size());
+  if (status_ == Status::kComplete) return status_;  // pipelined bytes wait
+  advance();
+  return status_;
+}
+
+void RequestParser::fail(int status, std::string reason) {
+  status_ = Status::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+}
+
+bool RequestParser::next_line(std::string_view* line, std::size_t limit,
+                              int limit_status) {
+  const std::size_t nl = buffer_.find('\n', pos_);
+  if (nl == std::string::npos) {
+    if (buffer_.size() - pos_ > limit) {
+      fail(limit_status, "line exceeds limit");
+    }
+    return false;
+  }
+  if (nl - pos_ > limit) {
+    fail(limit_status, "line exceeds limit");
+    return false;
+  }
+  std::size_t end = nl;
+  if (end > pos_ && buffer_[end - 1] == '\r') --end;
+  *line = std::string_view(buffer_).substr(pos_, end - pos_);
+  pos_ = nl + 1;
+  return true;
+}
+
+bool RequestParser::parse_request_line(std::string_view line) {
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!is_token(method)) {
+    fail(400, "invalid method");
+    return false;
+  }
+  if (target.empty() || target[0] != '/') {
+    fail(400, "invalid request target");
+    return false;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    fail(505, "unsupported HTTP version");
+    return false;
+  }
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+  request_.version = std::string(version);
+  return true;
+}
+
+bool RequestParser::parse_header_line(std::string_view line) {
+  if (line[0] == ' ' || line[0] == '\t') {
+    fail(400, "obsolete header folding");
+    return false;
+  }
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    fail(400, "malformed header");
+    return false;
+  }
+  const std::string_view name = line.substr(0, colon);
+  if (!is_token(name)) {
+    fail(400, "invalid header name");
+    return false;
+  }
+  request_.headers.push_back(
+      {std::string(name), std::string(trim(line.substr(colon + 1)))});
+  return true;
+}
+
+bool RequestParser::finish_headers() {
+  if (request_.header("Transfer-Encoding") != nullptr) {
+    fail(501, "transfer encodings not supported");
+    return false;
+  }
+  body_length_ = 0;
+  if (const std::string* length = request_.header("Content-Length")) {
+    if (!parse_content_length(*length, &body_length_)) {
+      fail(400, "invalid Content-Length");
+      return false;
+    }
+    if (body_length_ > limits_.max_body_bytes) {
+      fail(413, "body exceeds limit");
+      return false;
+    }
+  }
+  return true;
+}
+
+void RequestParser::advance() {
+  while (status_ == Status::kNeedMore) {
+    if (phase_ == Phase::kRequestLine) {
+      std::string_view line;
+      if (!next_line(&line, limits_.max_request_line, 431)) return;
+      if (line.empty()) continue;  // tolerate leading blank lines (RFC 7230)
+      if (!parse_request_line(line)) return;
+      header_bytes_ = 0;
+      phase_ = Phase::kHeaders;
+    } else if (phase_ == Phase::kHeaders) {
+      const std::size_t before = pos_;
+      std::string_view line;
+      if (!next_line(&line, limits_.max_header_bytes, 431)) {
+        if (status_ != Status::kError &&
+            header_bytes_ + (buffer_.size() - pos_) >
+                limits_.max_header_bytes) {
+          fail(431, "header section exceeds limit");
+        }
+        return;
+      }
+      header_bytes_ += pos_ - before;
+      if (header_bytes_ > limits_.max_header_bytes) {
+        fail(431, "header section exceeds limit");
+        return;
+      }
+      if (line.empty()) {
+        if (!finish_headers()) return;
+        phase_ = Phase::kBody;
+      } else if (!parse_header_line(line)) {
+        return;
+      }
+    } else if (phase_ == Phase::kBody) {
+      if (buffer_.size() - pos_ < body_length_) return;
+      request_.body = buffer_.substr(pos_, body_length_);
+      pos_ += body_length_;
+      phase_ = Phase::kDone;
+      status_ = Status::kComplete;
+    }
+  }
+}
+
+void RequestParser::reset() {
+  if (status_ == Status::kError) return;
+  // Drop the consumed prefix, keep pipelined bytes.
+  buffer_.erase(0, pos_);
+  pos_ = 0;
+  header_bytes_ = 0;
+  body_length_ = 0;
+  request_ = HttpRequest{};
+  phase_ = Phase::kRequestLine;
+  status_ = Status::kNeedMore;
+  advance();
+}
+
+// ---------------------------------------------------------------------------
+// ResponseParser
+// ---------------------------------------------------------------------------
+
+ResponseParser::Status ResponseParser::feed(std::string_view bytes) {
+  if (status_ != Status::kNeedMore) return status_;
+  buffer_.append(bytes.data(), bytes.size());
+  advance();
+  return status_;
+}
+
+ResponseParser::Status ResponseParser::feed_eof() {
+  if (status_ != Status::kNeedMore) return status_;
+  if (phase_ == Phase::kBody && !have_length_) {
+    response_.body = buffer_.substr(pos_);
+    pos_ = buffer_.size();
+    phase_ = Phase::kDone;
+    status_ = Status::kComplete;
+  } else {
+    fail("connection closed mid-response");
+  }
+  return status_;
+}
+
+void ResponseParser::fail(std::string reason) {
+  status_ = Status::kError;
+  error_reason_ = std::move(reason);
+}
+
+bool ResponseParser::next_line(std::string_view* line) {
+  const std::size_t nl = buffer_.find('\n', pos_);
+  if (nl == std::string::npos) return false;
+  std::size_t end = nl;
+  if (end > pos_ && buffer_[end - 1] == '\r') --end;
+  *line = std::string_view(buffer_).substr(pos_, end - pos_);
+  pos_ = nl + 1;
+  return true;
+}
+
+void ResponseParser::advance() {
+  while (status_ == Status::kNeedMore) {
+    if (phase_ == Phase::kStatusLine) {
+      std::string_view line;
+      if (!next_line(&line)) return;
+      if (line.empty()) continue;
+      // "HTTP/1.1 200 OK" — the reason phrase may contain spaces.
+      const std::size_t sp1 = line.find(' ');
+      if (sp1 == std::string_view::npos || !starts_with(line, "HTTP/")) {
+        fail("malformed status line");
+        return;
+      }
+      const std::size_t sp2 = line.find(' ', sp1 + 1);
+      const std::string_view code = line.substr(
+          sp1 + 1, sp2 == std::string_view::npos ? line.size() : sp2 - sp1 - 1);
+      std::int64_t status = 0;
+      if (!parse_int(code, &status) || status < 100 || status > 599) {
+        fail("malformed status code");
+        return;
+      }
+      response_.version = std::string(line.substr(0, sp1));
+      response_.status = static_cast<int>(status);
+      response_.reason = sp2 == std::string_view::npos
+                             ? std::string()
+                             : std::string(line.substr(sp2 + 1));
+      phase_ = Phase::kHeaders;
+    } else if (phase_ == Phase::kHeaders) {
+      std::string_view line;
+      if (!next_line(&line)) return;
+      if (line.empty()) {
+        have_length_ = false;
+        body_length_ = 0;
+        if (const std::string* length =
+                response_.header("Content-Length")) {
+          if (!parse_content_length(*length, &body_length_)) {
+            fail("invalid Content-Length");
+            return;
+          }
+          have_length_ = true;
+        }
+        phase_ = Phase::kBody;
+      } else {
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos || colon == 0) {
+          fail("malformed header");
+          return;
+        }
+        response_.headers.push_back({std::string(line.substr(0, colon)),
+                                     std::string(trim(line.substr(colon + 1)))});
+      }
+    } else if (phase_ == Phase::kBody) {
+      if (!have_length_) return;  // close-delimited: wait for feed_eof()
+      if (buffer_.size() - pos_ < body_length_) return;
+      response_.body = buffer_.substr(pos_, body_length_);
+      pos_ += body_length_;
+      phase_ = Phase::kDone;
+      status_ = Status::kComplete;
+    }
+  }
+}
+
+}  // namespace exten::net

@@ -1,0 +1,175 @@
+#pragma once
+
+// HTTP/1.1 message handling as pure functions over byte buffers — no IO,
+// no fds. The server and client feed arbitrarily-split chunks (whatever
+// read(2) returned) into the incremental parsers; tests feed adversarial
+// splits directly.
+//
+// Scope: the subset the estimation service needs. Content-Length bodies
+// only (a Transfer-Encoding request is answered 501), HTTP/1.0 and /1.1,
+// keep-alive and pipelining, hard limits on request-line/header/body
+// sizes (431 / 431 / 413).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exten::net {
+
+struct Header {
+  std::string name;
+  std::string value;
+};
+
+/// Case-insensitive header lookup shared by requests and responses;
+/// returns nullptr when absent.
+const std::string* find_header(const std::vector<Header>& headers,
+                               std::string_view name);
+
+struct HttpRequest {
+  std::string method;   // uppercase token, e.g. "POST"
+  std::string target;   // origin-form, e.g. "/v1/estimate?x=1"
+  std::string version;  // "HTTP/1.1" or "HTTP/1.0"
+  std::vector<Header> headers;
+  std::string body;
+
+  const std::string* header(std::string_view name) const {
+    return find_header(headers, name);
+  }
+  /// Request target with any query string stripped ("/v1/estimate").
+  std::string_view path() const;
+  /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+  /// Connection header wins either way.
+  bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Extra headers (e.g. Retry-After); Content-Length, Content-Type and
+  /// Connection are emitted automatically.
+  std::vector<Header> extra_headers;
+};
+
+/// Reason phrase for every status the server emits ("Unknown" otherwise).
+std::string_view status_reason(int status);
+
+/// Serializes `response` onto the wire, appending Content-Length and
+/// Connection: keep-alive/close.
+std::string serialize_response(const HttpResponse& response, bool keep_alive);
+
+/// Serializes a request (used by HttpClient and tests).
+std::string serialize_request(std::string_view method, std::string_view target,
+                              std::string_view host, std::string_view body,
+                              std::string_view content_type,
+                              const std::vector<Header>& extra_headers = {});
+
+struct ParserLimits {
+  std::size_t max_request_line = 8 * 1024;
+  /// Total header-section bytes (all lines incl. terminators).
+  std::size_t max_header_bytes = 64 * 1024;
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+/// Incremental HTTP/1.1 request parser.
+///
+/// feed() consumes any chunking of the input; once status() is kComplete
+/// the request is available via request() and any extra bytes already
+/// received (pipelined next request) stay buffered — reset() re-arms the
+/// parser on them. On kError the connection should answer error_status()
+/// and close; the parser stays in the error state.
+class RequestParser {
+ public:
+  enum class Status { kNeedMore, kComplete, kError };
+
+  explicit RequestParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  /// Appends bytes and advances the state machine.
+  Status feed(std::string_view bytes);
+  Status status() const { return status_; }
+
+  /// Valid when kComplete.
+  const HttpRequest& request() const { return request_; }
+
+  /// Valid when kError: the status code to reject with + a reason line.
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// After kComplete: discards the parsed request and immediately parses
+  /// any buffered pipelined bytes (check status() again afterwards).
+  void reset();
+
+  /// Bytes received but not yet consumed by a completed request.
+  std::size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  enum class Phase { kRequestLine, kHeaders, kBody, kDone };
+
+  void advance();
+  /// Returns the next CRLF/LF-terminated line, or nullopt when incomplete.
+  bool next_line(std::string_view* line, std::size_t limit, int limit_status);
+  void fail(int status, std::string reason);
+  bool parse_request_line(std::string_view line);
+  bool parse_header_line(std::string_view line);
+  bool finish_headers();
+
+  ParserLimits limits_;
+  Status status_ = Status::kNeedMore;
+  Phase phase_ = Phase::kRequestLine;
+  std::string buffer_;
+  std::size_t pos_ = 0;           // consumed prefix of buffer_
+  std::size_t header_bytes_ = 0;  // header-section bytes seen so far
+  std::size_t body_length_ = 0;
+  HttpRequest request_;
+  int error_status_ = 400;
+  std::string error_reason_;
+};
+
+/// Incremental HTTP/1.1 response parser (client side). Content-Length
+/// bodies and bodies delimited by connection close (feed_eof()).
+class ResponseParser {
+ public:
+  enum class Status { kNeedMore, kComplete, kError };
+
+  struct Response {
+    std::string version;
+    int status = 0;
+    std::string reason;
+    std::vector<Header> headers;
+    std::string body;
+
+    const std::string* header(std::string_view name) const {
+      return find_header(headers, name);
+    }
+  };
+
+  Status feed(std::string_view bytes);
+  /// Signals end of stream: completes a close-delimited body, errors a
+  /// truncated one.
+  Status feed_eof();
+
+  Status status() const { return status_; }
+  const Response& response() const { return response_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+ private:
+  enum class Phase { kStatusLine, kHeaders, kBody, kDone };
+
+  void advance();
+  bool next_line(std::string_view* line);
+  void fail(std::string reason);
+
+  Status status_ = Status::kNeedMore;
+  Phase phase_ = Phase::kStatusLine;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  bool have_length_ = false;
+  std::size_t body_length_ = 0;
+  Response response_;
+  std::string error_reason_;
+};
+
+}  // namespace exten::net

@@ -1,0 +1,104 @@
+#include "net/http_client.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+
+namespace exten::net {
+
+HttpClient::HttpClient(std::string host, std::uint16_t port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+void HttpClient::ensure_connected() {
+  if (socket_.valid()) return;
+  socket_ = connect_tcp(host_, port_, timeout_ms_);
+  reused_ = false;
+}
+
+ResponseParser::Response HttpClient::get(std::string_view target) {
+  return round_trip("GET", target, "", "");
+}
+
+ResponseParser::Response HttpClient::post(std::string_view target,
+                                          std::string_view body,
+                                          std::string_view content_type) {
+  return round_trip("POST", target, body, content_type);
+}
+
+ResponseParser::Response HttpClient::round_trip(std::string_view method,
+                                                std::string_view target,
+                                                std::string_view body,
+                                                std::string_view content_type) {
+  const std::string wire =
+      serialize_request(method, target, host_, body, content_type);
+  ensure_connected();
+  const bool may_retry = reused_;
+  try {
+    return attempt(wire);
+  } catch (const Error&) {
+    // A keep-alive connection the server closed while idle fails exactly
+    // here, on the first reuse. Retry once on a fresh connection; a fresh
+    // connection that fails is a real error.
+    if (!may_retry) throw;
+    socket_.close();
+    ensure_connected();
+    return attempt(wire);
+  }
+}
+
+ResponseParser::Response HttpClient::attempt(const std::string& wire) {
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::write(socket_.fd(), wire.data() + sent, wire.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const int err = errno;
+    socket_.close();
+    throw Error("http send failed: ", std::strerror(err));
+  }
+
+  ResponseParser parser;
+  char buf[16 * 1024];
+  while (parser.status() == ResponseParser::Status::kNeedMore) {
+    const ssize_t n = ::read(socket_.fd(), buf, sizeof(buf));
+    if (n > 0) {
+      parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      parser.feed_eof();
+      if (parser.status() == ResponseParser::Status::kComplete) break;
+      socket_.close();
+      throw Error("http connection closed mid-response");
+    }
+    const int err = errno;
+    socket_.close();
+    throw Error("http receive failed: ",
+                err == EAGAIN || err == EWOULDBLOCK ? "timed out"
+                                                    : std::strerror(err));
+  }
+  if (parser.status() == ResponseParser::Status::kError) {
+    socket_.close();
+    throw Error("malformed http response: ", parser.error_reason());
+  }
+
+  ResponseParser::Response response = parser.response();
+  const std::string* connection = response.header("Connection");
+  if (connection != nullptr && *connection == "close") {
+    socket_.close();
+  } else {
+    reused_ = true;
+  }
+  return response;
+}
+
+}  // namespace exten::net

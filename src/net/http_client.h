@@ -1,0 +1,58 @@
+#pragma once
+
+// Minimal blocking HTTP/1.1 client for the estimation server: used by the
+// CI smoke test, the throughput benchmark, and the xtc-http CLI. One
+// connection, keep-alive, with a single transparent reconnect when the
+// server closed an idle connection between requests.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/http.h"
+#include "net/socket.h"
+
+namespace exten::net {
+
+class HttpClient {
+ public:
+  /// Lazily connects on the first request. `timeout_ms` bounds connect,
+  /// send and receive individually.
+  HttpClient(std::string host, std::uint16_t port, int timeout_ms = 10'000);
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&&) = default;
+  HttpClient& operator=(HttpClient&&) = default;
+
+  /// Sends one request and blocks for the response. Throws exten::Error on
+  /// transport failure or malformed response; HTTP error statuses are
+  /// returned, not thrown.
+  ResponseParser::Response get(std::string_view target);
+  ResponseParser::Response post(std::string_view target, std::string_view body,
+                                std::string_view content_type =
+                                    "application/json");
+
+  bool connected() const { return socket_.valid(); }
+  void disconnect() { socket_.close(); }
+
+ private:
+  ResponseParser::Response round_trip(std::string_view method,
+                                      std::string_view target,
+                                      std::string_view body,
+                                      std::string_view content_type);
+  /// One attempt on the current connection; throws on any transport error.
+  ResponseParser::Response attempt(const std::string& wire);
+  void ensure_connected();
+
+  std::string host_;
+  std::uint16_t port_;
+  int timeout_ms_;
+  Socket socket_;
+  /// True when at least one response arrived on this connection — i.e. a
+  /// subsequent failure may just be an idle keep-alive close, worth one
+  /// reconnect-and-retry.
+  bool reused_ = false;
+};
+
+}  // namespace exten::net

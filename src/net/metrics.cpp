@@ -1,0 +1,118 @@
+#include "net/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace exten::net {
+
+LatencyHistogram::LatencyHistogram() {
+  // 1-2.5-5 decade ladder from 100us to 10s: enough resolution to tell a
+  // cache hit (sub-ms) from a cold simulation (tens of ms to seconds).
+  for (double decade = 1e-4; decade < 10.0; decade *= 10.0) {
+    bounds_.push_back(decade);
+    bounds_.push_back(decade * 2.5);
+    bounds_.push_back(decade * 5.0);
+  }
+  bounds_.push_back(10.0);
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void LatencyHistogram::observe(double seconds) {
+  std::size_t bucket = bounds_.size();  // overflow
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (seconds <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_seconds_ += seconds;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+    }
+  }
+  return bounds_.back();
+}
+
+void ServerMetrics::record_request(std::string_view endpoint, int status,
+                                   double seconds) {
+  ++requests_[{std::string(endpoint), status}];
+  latency_.observe(seconds);
+}
+
+namespace {
+std::string format_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+}  // namespace
+
+std::string ServerMetrics::render(const MetricsGauges& gauges) const {
+  std::ostringstream out;
+  out << "# TYPE xtc_requests_total counter\n";
+  for (const auto& [key, count] : requests_) {
+    out << "xtc_requests_total{endpoint=\"" << key.first << "\",code=\""
+        << key.second << "\"} " << count << "\n";
+  }
+  out << "# TYPE xtc_request_duration_seconds histogram\n";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < latency_.bounds().size(); ++i) {
+    cumulative += latency_.counts()[i];
+    out << "xtc_request_duration_seconds_bucket{le=\""
+        << format_double(latency_.bounds()[i]) << "\"} " << cumulative
+        << "\n";
+  }
+  out << "xtc_request_duration_seconds_bucket{le=\"+Inf\"} "
+      << latency_.count() << "\n";
+  out << "xtc_request_duration_seconds_sum "
+      << format_double(latency_.sum_seconds()) << "\n";
+  out << "xtc_request_duration_seconds_count " << latency_.count() << "\n";
+
+  out << "# TYPE xtc_connections_accepted_total counter\n"
+      << "xtc_connections_accepted_total " << connections_accepted_ << "\n";
+  out << "# TYPE xtc_backpressure_rejections_total counter\n"
+      << "xtc_backpressure_rejections_total " << backpressure_rejections_
+      << "\n";
+  out << "# TYPE xtc_deadline_expiries_total counter\n"
+      << "xtc_deadline_expiries_total " << deadline_expiries_ << "\n";
+  out << "# TYPE xtc_parse_errors_total counter\n"
+      << "xtc_parse_errors_total " << parse_errors_ << "\n";
+
+  out << "# TYPE xtc_open_connections gauge\n"
+      << "xtc_open_connections " << gauges.open_connections << "\n";
+  out << "# TYPE xtc_inflight_requests gauge\n"
+      << "xtc_inflight_requests " << gauges.inflight_requests << "\n";
+  out << "# TYPE xtc_queue_depth gauge\n"
+      << "xtc_queue_depth " << gauges.queue_depth << "\n";
+  out << "# TYPE xtc_queue_capacity gauge\n"
+      << "xtc_queue_capacity " << gauges.queue_capacity << "\n";
+  out << "# TYPE xtc_draining gauge\n"
+      << "xtc_draining " << (gauges.draining ? 1 : 0) << "\n";
+
+  out << "# TYPE xtc_eval_cache_hits_total counter\n"
+      << "xtc_eval_cache_hits_total " << gauges.cache.hits << "\n";
+  out << "# TYPE xtc_eval_cache_misses_total counter\n"
+      << "xtc_eval_cache_misses_total " << gauges.cache.misses << "\n";
+  out << "# TYPE xtc_eval_cache_evictions_total counter\n"
+      << "xtc_eval_cache_evictions_total " << gauges.cache.evictions << "\n";
+  out << "# TYPE xtc_eval_cache_entries gauge\n"
+      << "xtc_eval_cache_entries " << gauges.cache.entries << "\n";
+  out << "# TYPE xtc_eval_cache_bytes gauge\n"
+      << "xtc_eval_cache_bytes " << gauges.cache.approx_bytes << "\n";
+  out << "# TYPE xtc_eval_cache_hit_rate gauge\n"
+      << "xtc_eval_cache_hit_rate " << format_double(gauges.cache.hit_rate())
+      << "\n";
+  return out.str();
+}
+
+}  // namespace exten::net

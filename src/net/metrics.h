@@ -1,0 +1,84 @@
+#pragma once
+
+// Server observability: request counters by (endpoint, status), a fixed-
+// bucket latency histogram, connection/backpressure counters, and a
+// text-exposition renderer (Prometheus style) for GET /metrics.
+//
+// Thread safety: none — every member is mutated and read exclusively on
+// the server's event-loop thread. Gauges that live elsewhere (queue depth,
+// eval-cache stats) are sampled at render time and passed in.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/eval_cache.h"
+
+namespace exten::net {
+
+/// Cumulative latency histogram with log-spaced bounds (100us .. 10s).
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void observe(double seconds);
+
+  std::uint64_t count() const { return count_; }
+  double sum_seconds() const { return sum_seconds_; }
+  /// Approximate quantile (upper bucket bound), 0 when empty.
+  double quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// counts()[i] = observations <= bounds()[i]; one extra overflow bucket
+  /// at the end.
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_seconds_ = 0.0;
+};
+
+/// Point-in-time gauges sampled by the renderer.
+struct MetricsGauges {
+  std::size_t open_connections = 0;
+  std::size_t inflight_requests = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  bool draining = false;
+  service::CacheStats cache;
+};
+
+class ServerMetrics {
+ public:
+  /// Records one finished HTTP exchange. `endpoint` is the route label
+  /// ("estimate", "batch", "rank", "healthz", "metrics", "other").
+  void record_request(std::string_view endpoint, int status, double seconds);
+
+  void on_connection_opened() { ++connections_accepted_; }
+  void on_backpressure_rejection() { ++backpressure_rejections_; }
+  void on_deadline_expiry() { ++deadline_expiries_; }
+  void on_parse_error() { ++parse_errors_; }
+
+  std::uint64_t requests_total() const { return latency_.count(); }
+  std::uint64_t backpressure_rejections() const {
+    return backpressure_rejections_;
+  }
+  std::uint64_t deadline_expiries() const { return deadline_expiries_; }
+
+  /// Renders the text exposition (text/plain; version=0.0.4).
+  std::string render(const MetricsGauges& gauges) const;
+
+ private:
+  std::map<std::pair<std::string, int>, std::uint64_t> requests_;
+  LatencyHistogram latency_;
+  std::uint64_t connections_accepted_ = 0;
+  std::uint64_t backpressure_rejections_ = 0;
+  std::uint64_t deadline_expiries_ = 0;
+  std::uint64_t parse_errors_ = 0;
+};
+
+}  // namespace exten::net

@@ -1,0 +1,157 @@
+#include "net/poller.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+
+#if defined(__linux__)
+#define EXTEN_HAVE_EPOLL 1
+#include <sys/epoll.h>
+#else
+#define EXTEN_HAVE_EPOLL 0
+#endif
+
+namespace exten::net {
+
+namespace {
+constexpr std::size_t kMaxEventsPerWait = 64;
+}  // namespace
+
+Poller::Poller(Backend backend) : backend_(backend) {
+  if (backend_ == Backend::kDefault) {
+    backend_ = EXTEN_HAVE_EPOLL ? Backend::kEpoll : Backend::kPoll;
+  }
+#if EXTEN_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(0);
+    EXTEN_CHECK(epoll_fd_ >= 0, "epoll_create1(): ", std::strerror(errno));
+  }
+#else
+  EXTEN_CHECK(backend_ != Backend::kEpoll,
+              "epoll backend requested on a non-Linux build");
+#endif
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+#if EXTEN_HAVE_EPOLL
+namespace {
+std::uint32_t epoll_mask(bool read, bool write) {
+  std::uint32_t mask = 0;
+  if (read) mask |= EPOLLIN;
+  if (write) mask |= EPOLLOUT;
+  return mask;  // EPOLLERR/EPOLLHUP are implicit
+}
+}  // namespace
+#endif
+
+void Poller::add(int fd, bool read, bool write) {
+  if (backend_ == Backend::kEpoll) {
+#if EXTEN_HAVE_EPOLL
+    epoll_event ev{};
+    ev.events = epoll_mask(read, write);
+    ev.data.fd = fd;
+    EXTEN_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+                "epoll_ctl(ADD): ", std::strerror(errno));
+#endif
+  } else {
+    short events = 0;
+    if (read) events |= POLLIN;
+    if (write) events |= POLLOUT;
+    poll_entries_.push_back({fd, events});
+  }
+  ++watched_;
+}
+
+void Poller::mod(int fd, bool read, bool write) {
+  if (backend_ == Backend::kEpoll) {
+#if EXTEN_HAVE_EPOLL
+    epoll_event ev{};
+    ev.events = epoll_mask(read, write);
+    ev.data.fd = fd;
+    EXTEN_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+                "epoll_ctl(MOD): ", std::strerror(errno));
+#endif
+  } else {
+    for (PollEntry& entry : poll_entries_) {
+      if (entry.fd == fd) {
+        entry.events = static_cast<short>((read ? POLLIN : 0) |
+                                          (write ? POLLOUT : 0));
+        return;
+      }
+    }
+    throw Error("poller: mod of unregistered fd ", fd);
+  }
+}
+
+void Poller::remove(int fd) {
+  if (backend_ == Backend::kEpoll) {
+#if EXTEN_HAVE_EPOLL
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+  } else {
+    for (std::size_t i = 0; i < poll_entries_.size(); ++i) {
+      if (poll_entries_[i].fd == fd) {
+        poll_entries_[i] = poll_entries_.back();
+        poll_entries_.pop_back();
+        break;
+      }
+    }
+  }
+  if (watched_ > 0) --watched_;
+}
+
+const std::vector<Poller::Event>& Poller::wait(int timeout_ms) {
+  events_.clear();
+  if (backend_ == Backend::kEpoll) {
+#if EXTEN_HAVE_EPOLL
+    epoll_event raw[kMaxEventsPerWait];
+    const int n = ::epoll_wait(epoll_fd_, raw,
+                               static_cast<int>(kMaxEventsPerWait),
+                               timeout_ms);
+    if (n < 0) {
+      EXTEN_CHECK(errno == EINTR, "epoll_wait(): ", std::strerror(errno));
+      return events_;  // interrupted by a signal: report no events
+    }
+    events_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Event event;
+      event.fd = raw[i].data.fd;
+      event.readable = (raw[i].events & EPOLLIN) != 0;
+      event.writable = (raw[i].events & EPOLLOUT) != 0;
+      event.hangup = (raw[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      events_.push_back(event);
+    }
+#endif
+  } else {
+    std::vector<pollfd> fds;
+    fds.reserve(poll_entries_.size());
+    for (const PollEntry& entry : poll_entries_) {
+      fds.push_back({entry.fd, entry.events, 0});
+    }
+    const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (n < 0) {
+      EXTEN_CHECK(errno == EINTR, "poll(): ", std::strerror(errno));
+      return events_;
+    }
+    for (const pollfd& pfd : fds) {
+      if (pfd.revents == 0) continue;
+      Event event;
+      event.fd = pfd.fd;
+      event.readable = (pfd.revents & POLLIN) != 0;
+      event.writable = (pfd.revents & POLLOUT) != 0;
+      event.hangup = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      events_.push_back(event);
+      if (events_.size() >= kMaxEventsPerWait) break;
+    }
+  }
+  return events_;
+}
+
+}  // namespace exten::net

@@ -1,0 +1,69 @@
+#pragma once
+
+// Readiness multiplexer: epoll on Linux, with a portable poll(2) backend
+// that is also selectable at runtime (ServerOptions::poller_backend) so
+// the fallback path stays tested on Linux CI rather than rotting until
+// someone builds on a BSD.
+//
+// Level-triggered semantics in both backends: an fd keeps reporting
+// readable/writable while the condition holds, so the event loop never
+// needs to drain a socket completely in one pass.
+
+#include <cstddef>
+#include <vector>
+
+namespace exten::net {
+
+class Poller {
+ public:
+  enum class Backend {
+    kDefault,  ///< epoll where available, poll otherwise
+    kEpoll,    ///< throws at construction on non-Linux builds
+    kPoll,
+  };
+
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Peer hangup or socket error — the connection should be torn down.
+    bool hangup = false;
+  };
+
+  explicit Poller(Backend backend = Backend::kDefault);
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// The backend actually in use (kDefault resolved).
+  Backend backend() const { return backend_; }
+
+  /// Registers `fd` with the given interest set (either flag may be false
+  /// — hangup/error conditions are always reported).
+  void add(int fd, bool read, bool write);
+  /// Updates the interest set of a registered fd.
+  void mod(int fd, bool read, bool write);
+  /// Deregisters; must be called before the fd is closed.
+  void remove(int fd);
+
+  std::size_t watched() const { return watched_; }
+
+  /// Waits up to `timeout_ms` (-1 = forever, 0 = poll) and returns the
+  /// ready events. The reference is valid until the next wait() call.
+  const std::vector<Event>& wait(int timeout_ms);
+
+ private:
+  struct PollEntry {
+    int fd;
+    short events;
+  };
+
+  Backend backend_;
+  std::size_t watched_ = 0;
+  int epoll_fd_ = -1;
+  std::vector<PollEntry> poll_entries_;  // poll backend registry
+  std::vector<Event> events_;
+};
+
+}  // namespace exten::net

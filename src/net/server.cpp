@@ -1,0 +1,656 @@
+#include "net/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <exception>
+#include <utility>
+
+#include "explore/explore.h"
+#include "net/api.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace exten::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 16 * 1024;
+
+HttpResponse json_response(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse error_response(int status, std::string_view message) {
+  return json_response(status, api::error_body(message));
+}
+
+std::chrono::milliseconds ms(int value) {
+  return std::chrono::milliseconds(value);
+}
+
+}  // namespace
+
+HttpServer::HttpServer(service::BatchEstimator& estimator,
+                       ServerOptions options)
+    : estimator_(estimator),
+      options_(std::move(options)),
+      port_(options_.port),
+      poller_(options_.poller_backend),
+      rank_pool_(std::max(1u, options_.rank_threads),
+                 std::max<std::size_t>(2, options_.rank_threads) * 2) {
+  listener_ = listen_tcp(options_.bind_address, &port_);
+  make_wake_pipe(wake_pipe_);
+}
+
+HttpServer::~HttpServer() {
+  // rank_pool_ joins in its own destructor; by then run() has already
+  // waited for outstanding_jobs_ == 0, so no callback touches *this.
+}
+
+void HttpServer::request_stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  // Nudge the loop out of wait(). A full pipe is fine: a pending byte
+  // already guarantees wakeup. Only async-signal-safe calls here.
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1].fd(), &byte, 1);
+}
+
+void HttpServer::post_completion(Completion completion) {
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.push_back(std::move(completion));
+  }
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1].fd(), &byte, 1);
+}
+
+int HttpServer::resolve_deadline_ms(int requested) const {
+  if (requested <= 0) return options_.default_deadline_ms;
+  return std::min(requested, options_.max_deadline_ms);
+}
+
+MetricsGauges HttpServer::gauges() const {
+  MetricsGauges g;
+  g.open_connections = connections_.size();
+  g.inflight_requests = inflight_;
+  g.queue_depth = estimator_.queue_depth();
+  g.queue_capacity = estimator_.queue_capacity();
+  g.draining = draining_;
+  g.cache = estimator_.cache_stats();
+  return g;
+}
+
+void HttpServer::run() {
+  EXTEN_CHECK(!running_, "HttpServer::run() may only be called once");
+  running_ = true;
+  poller_.add(listener_.fd(), /*read=*/true, /*write=*/false);
+  poller_.add(wake_pipe_[0].fd(), /*read=*/true, /*write=*/false);
+
+  while (true) {
+    const auto now = Clock::now();
+    const std::vector<Poller::Event>& events =
+        poller_.wait(next_timeout_ms(now));
+
+    for (const Poller::Event& event : events) {
+      if (event.fd == wake_pipe_[0].fd()) {
+        // Drain the self-pipe; completions/stop are handled below.
+        char buf[256];
+        while (::read(wake_pipe_[0].fd(), buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (event.fd == listener_.fd()) {
+        accept_connections();
+        continue;
+      }
+      auto it = connections_.find(event.fd);
+      if (it == connections_.end()) continue;  // closed earlier this pass
+      if (event.hangup) {
+        // Full peer close (both directions). Safe even mid-processing:
+        // close_connection releases the admission slot and cancels, and
+        // the generation check drops the eventual completion. Not closing
+        // here would spin the level-triggered loop on the hangup.
+        close_connection(event.fd);
+        continue;
+      }
+      if (event.writable &&
+          it->second->state == Connection::State::kWriting) {
+        on_writable(*it->second);
+        it = connections_.find(event.fd);  // may have closed itself
+        if (it == connections_.end()) continue;
+      }
+      if (event.readable &&
+          it->second->state == Connection::State::kReading) {
+        on_readable(*it->second);
+      }
+    }
+
+    handle_completions();
+
+    if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
+      begin_drain();
+    }
+
+    handle_timeouts(Clock::now());
+
+    if (draining_ && connections_.empty() &&
+        outstanding_jobs_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+  }
+
+  if (listener_.valid()) poller_.remove(listener_.fd());  // drain closed it
+  poller_.remove(wake_pipe_[0].fd());
+}
+
+int HttpServer::next_timeout_ms(Clock::time_point now) const {
+  Clock::time_point earliest = Clock::time_point::max();
+  for (const auto& [fd, conn] : connections_) {
+    earliest = std::min(earliest, conn->expiry);
+    if (conn->state == Connection::State::kProcessing) {
+      earliest = std::min(earliest, conn->deadline);
+    }
+  }
+  if (draining_) {
+    earliest = std::min(earliest, drain_deadline_);
+    // While draining we also wait for outstanding worker callbacks, which
+    // wake us via the pipe — but poll at least once per 50ms as a backstop.
+    if (connections_.empty()) {
+      earliest = std::min(earliest, now + ms(50));
+    }
+  }
+  if (earliest == Clock::time_point::max()) return -1;
+  const auto delta =
+      std::chrono::duration_cast<std::chrono::milliseconds>(earliest - now);
+  return static_cast<int>(std::clamp<long long>(delta.count(), 0, 60'000));
+}
+
+void HttpServer::accept_connections() {
+  while (true) {
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failure (ECONNABORTED, EMFILE, ...)
+    }
+    Socket socket(fd);
+    if (draining_ || connections_.size() >= options_.max_connections) {
+      continue;  // Socket destructor closes; client sees a reset.
+    }
+    try {
+      set_nonblocking(fd, true);
+      set_nodelay(fd);
+    } catch (const Error&) {
+      continue;
+    }
+    auto conn = std::make_unique<Connection>(std::move(socket),
+                                             options_.limits);
+    conn->expiry = Clock::now() + ms(options_.idle_timeout_ms);
+    poller_.add(fd, /*read=*/true, /*write=*/false);
+    connections_.emplace(fd, std::move(conn));
+    metrics_.on_connection_opened();
+  }
+}
+
+void HttpServer::close_connection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  if (conn.dispatched) {
+    // The peer vanished mid-request: release the admission slot and tell
+    // a still-queued job not to bother. A late completion is dropped by
+    // the generation check (the connection will be gone entirely).
+    --inflight_;
+    conn.dispatched = false;
+    if (conn.cancel) conn.cancel->cancel();
+    if (conn.batch && conn.batch->cancel) conn.batch->cancel->cancel();
+  }
+  poller_.remove(fd);
+  connections_.erase(it);
+}
+
+void HttpServer::on_readable(Connection& conn) {
+  char buf[kReadChunk];
+  while (conn.state == Connection::State::kReading) {
+    const ssize_t n = ::read(conn.socket.fd(), buf, sizeof(buf));
+    if (n > 0) {
+      const RequestParser::Status status =
+          conn.parser.feed(std::string_view(buf, static_cast<size_t>(n)));
+      if (status == RequestParser::Status::kComplete) {
+        handle_parsed_request(conn);
+        return;  // further pipelined bytes are handled after the response
+      }
+      if (status == RequestParser::Status::kError) {
+        metrics_.on_parse_error();
+        conn.endpoint = "other";
+        conn.request_start = Clock::now();
+        conn.response_keep_alive = false;
+        finish_request(conn, error_response(conn.parser.error_status(),
+                                            conn.parser.error_reason()));
+        return;
+      }
+      // Partial request: arm the stricter read timeout.
+      conn.expiry = Clock::now() + ms(options_.read_timeout_ms);
+      continue;
+    }
+    if (n == 0) {  // EOF
+      close_connection(conn.socket.fd());
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_connection(conn.socket.fd());
+    return;
+  }
+}
+
+void HttpServer::handle_parsed_request(Connection& conn) {
+  const HttpRequest& request = conn.parser.request();
+  conn.request_start = Clock::now();
+  conn.response_keep_alive = request.keep_alive() && !draining_;
+  route_request(conn, request);
+}
+
+void HttpServer::route_request(Connection& conn, const HttpRequest& request) {
+  const std::string_view path = request.path();
+
+  if (path == "/healthz") {
+    conn.endpoint = "healthz";
+    if (request.method != "GET") {
+      finish_request(conn, error_response(405, "method not allowed"));
+      return;
+    }
+    const int status = draining_ ? 503 : 200;
+    finish_request(
+        conn, json_response(status, draining_ ? "{\"status\":\"draining\"}"
+                                              : "{\"status\":\"ok\"}"));
+    return;
+  }
+
+  if (path == "/metrics") {
+    conn.endpoint = "metrics";
+    if (request.method != "GET") {
+      finish_request(conn, error_response(405, "method not allowed"));
+      return;
+    }
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4";
+    response.body = metrics_.render(gauges());
+    finish_request(conn, std::move(response));
+    return;
+  }
+
+  const bool is_estimate = path == "/v1/estimate";
+  const bool is_batch = path == "/v1/batch";
+  const bool is_rank = path == "/v1/rank";
+  if (!is_estimate && !is_batch && !is_rank) {
+    conn.endpoint = "other";
+    finish_request(conn, error_response(404, "no such endpoint"));
+    return;
+  }
+  conn.endpoint = is_estimate ? "estimate" : (is_batch ? "batch" : "rank");
+  if (request.method != "POST") {
+    finish_request(conn, error_response(405, "method not allowed"));
+    return;
+  }
+  if (draining_) {
+    finish_request(conn, error_response(503, "server is draining"));
+    return;
+  }
+  if (inflight_ >= options_.max_inflight) {
+    metrics_.on_backpressure_rejection();
+    HttpResponse response =
+        error_response(503, "server is at capacity, retry later");
+    response.extra_headers.push_back(
+        {"Retry-After", std::to_string(options_.retry_after_seconds)});
+    finish_request(conn, std::move(response));
+    return;
+  }
+
+  if (is_estimate) {
+    dispatch_estimate(conn, request);
+  } else if (is_batch) {
+    dispatch_batch(conn, request);
+  } else {
+    dispatch_rank(conn, request);
+  }
+}
+
+void HttpServer::dispatch_estimate(Connection& conn,
+                                   const HttpRequest& request) {
+  api::EstimateRequest parsed;
+  try {
+    parsed = api::parse_estimate_request(JsonValue::parse(request.body));
+  } catch (const std::exception& e) {
+    finish_request(conn, error_response(400, e.what()));
+    return;
+  }
+
+  const int fd = conn.socket.fd();
+  const std::uint64_t generation = ++conn.generation;
+  auto cancel = std::make_shared<service::CancelToken>();
+  outstanding_jobs_.fetch_add(1, std::memory_order_acq_rel);
+  const bool accepted = estimator_.try_submit(
+      std::move(parsed.job),
+      [this, fd, generation](service::JobResult result) {
+        Completion completion;
+        completion.fd = fd;
+        completion.generation = generation;
+        completion.is_job = true;
+        completion.result = std::move(result);
+        post_completion(std::move(completion));
+        outstanding_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+      },
+      cancel);
+  if (!accepted) {
+    outstanding_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_.on_backpressure_rejection();
+    HttpResponse response = error_response(503, "estimation queue is full");
+    response.extra_headers.push_back(
+        {"Retry-After", std::to_string(options_.retry_after_seconds)});
+    finish_request(conn, std::move(response));
+    return;
+  }
+
+  conn.state = Connection::State::kProcessing;
+  conn.cancel = std::move(cancel);
+  conn.dispatched = true;
+  ++inflight_;
+  conn.deadline =
+      Clock::now() + ms(resolve_deadline_ms(parsed.deadline_ms));
+  conn.expiry = Clock::time_point::max();
+  poller_.mod(fd, /*read=*/false, /*write=*/false);
+}
+
+void HttpServer::dispatch_batch(Connection& conn,
+                                const HttpRequest& request) {
+  api::BatchRequest parsed;
+  try {
+    parsed = api::parse_batch_request(JsonValue::parse(request.body),
+                                      options_.max_batch_jobs);
+  } catch (const std::exception& e) {
+    finish_request(conn, error_response(400, e.what()));
+    return;
+  }
+
+  auto batch = std::make_unique<BatchState>();
+  batch->jobs.reserve(parsed.jobs.size());
+  for (api::EstimateRequest& job : parsed.jobs) {
+    batch->jobs.push_back(std::move(job.job));
+  }
+  batch->results.resize(batch->jobs.size());
+  batch->cancel = std::make_shared<service::CancelToken>();
+
+  conn.batch = std::move(batch);
+  conn.state = Connection::State::kProcessing;
+  conn.dispatched = true;
+  ++inflight_;
+  ++conn.generation;
+  conn.deadline =
+      Clock::now() + ms(resolve_deadline_ms(parsed.deadline_ms));
+  conn.expiry = Clock::time_point::max();
+  poller_.mod(conn.socket.fd(), /*read=*/false, /*write=*/false);
+  pump_batch(conn);
+}
+
+void HttpServer::pump_batch(Connection& conn) {
+  BatchState& batch = *conn.batch;
+  const int fd = conn.socket.fd();
+  const std::uint64_t generation = conn.generation;
+  // Windowed submission: push as many jobs as the pool queue will take;
+  // the rest wait for the next completion drain to pump again. The whole
+  // batch holds one admission slot, so a giant batch cannot starve other
+  // requests of queue space forever — it just trickles.
+  while (batch.next < batch.jobs.size()) {
+    const std::size_t index = batch.next;
+    outstanding_jobs_.fetch_add(1, std::memory_order_acq_rel);
+    const bool accepted = estimator_.try_submit(
+        std::move(batch.jobs[index]),
+        [this, fd, generation, index](service::JobResult result) {
+          Completion completion;
+          completion.fd = fd;
+          completion.generation = generation;
+          completion.is_job = true;
+          completion.job_index = index;
+          completion.result = std::move(result);
+          post_completion(std::move(completion));
+          outstanding_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+        },
+        batch.cancel);
+    if (!accepted) {
+      outstanding_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+      return;  // queue full; re-pumped on the next completion drain
+    }
+    ++batch.next;
+  }
+}
+
+void HttpServer::dispatch_rank(Connection& conn, const HttpRequest& request) {
+  api::RankRequest parsed;
+  try {
+    parsed = api::parse_rank_request(JsonValue::parse(request.body),
+                                     options_.max_batch_jobs);
+  } catch (const std::exception& e) {
+    finish_request(conn, error_response(400, e.what()));
+    return;
+  }
+
+  const int fd = conn.socket.fd();
+  const std::uint64_t generation = ++conn.generation;
+  outstanding_jobs_.fetch_add(1, std::memory_order_acq_rel);
+  // rank_candidates() blocks until the estimator pool has run every
+  // candidate, so it must not run on the event loop (stalls everything)
+  // nor on the estimator pool itself (waits for jobs behind it in the
+  // same queue). Hence the dedicated rank lane.
+  const bool accepted = rank_pool_.try_submit(
+      [this, fd, generation, parsed = std::move(parsed)]() mutable {
+        Completion completion;
+        completion.fd = fd;
+        completion.generation = generation;
+        try {
+          explore::ExploreResult result = explore::rank_candidates(
+              parsed.candidates, estimator_, parsed.objective);
+          completion.response =
+              json_response(200, api::rank_result_body(result));
+        } catch (const std::exception& e) {
+          completion.response = error_response(400, e.what());
+        }
+        post_completion(std::move(completion));
+        outstanding_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+      });
+  if (!accepted) {
+    outstanding_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_.on_backpressure_rejection();
+    HttpResponse response = error_response(503, "rank lane is full");
+    response.extra_headers.push_back(
+        {"Retry-After", std::to_string(options_.retry_after_seconds)});
+    finish_request(conn, std::move(response));
+    return;
+  }
+
+  conn.state = Connection::State::kProcessing;
+  conn.dispatched = true;
+  ++inflight_;
+  conn.deadline =
+      Clock::now() + ms(resolve_deadline_ms(parsed.deadline_ms));
+  conn.expiry = Clock::time_point::max();
+  poller_.mod(fd, /*read=*/false, /*write=*/false);
+}
+
+void HttpServer::handle_completions() {
+  std::vector<Completion> drained;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    drained.swap(completions_);
+  }
+  for (Completion& completion : drained) {
+    auto it = connections_.find(completion.fd);
+    if (it == connections_.end()) continue;  // connection already closed
+    Connection& conn = *it->second;
+    if (conn.generation != completion.generation) continue;  // stale (504'd)
+
+    if (!completion.is_job) {  // rank lane: response is ready as-is
+      finish_request(conn, std::move(completion.response));
+      continue;
+    }
+    if (conn.batch) {
+      BatchState& batch = *conn.batch;
+      batch.results[completion.job_index] = std::move(completion.result);
+      ++batch.completed;
+      if (batch.completed == batch.results.size()) {
+        HttpResponse response = json_response(
+            200, api::batch_result_body(batch.results, estimator_.model()));
+        conn.batch.reset();
+        finish_request(conn, std::move(response));
+      }
+      continue;
+    }
+    finish_request(conn, json_response(200, api::job_result_body(
+                                                completion.result,
+                                                estimator_.model())));
+  }
+  if (!drained.empty()) {
+    // Queue slots freed up: give stalled batches another chance.
+    for (auto& [fd, conn] : connections_) {
+      if (conn->batch && conn->state == Connection::State::kProcessing &&
+          conn->batch->next < conn->batch->jobs.size()) {
+        pump_batch(*conn);
+      }
+    }
+  }
+}
+
+void HttpServer::finish_request(Connection& conn, HttpResponse response) {
+  if (conn.dispatched) {
+    --inflight_;
+    conn.dispatched = false;
+  }
+  conn.cancel.reset();
+  conn.batch.reset();
+  if (draining_) conn.response_keep_alive = false;
+
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - conn.request_start)
+          .count();
+  metrics_.record_request(conn.endpoint, response.status, seconds);
+
+  conn.outbox = serialize_response(response, conn.response_keep_alive);
+  conn.out_off = 0;
+  conn.state = Connection::State::kWriting;
+  conn.expiry = Clock::now() + ms(options_.write_timeout_ms);
+  on_writable(conn);  // optimistic write; usually completes in one call
+}
+
+void HttpServer::on_writable(Connection& conn) {
+  const int fd = conn.socket.fd();
+  while (conn.out_off < conn.outbox.size()) {
+    const ssize_t n = ::write(fd, conn.outbox.data() + conn.out_off,
+                              conn.outbox.size() - conn.out_off);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      poller_.mod(fd, /*read=*/false, /*write=*/true);
+      conn.state = Connection::State::kWriting;
+      return;
+    }
+    if (errno == EINTR) continue;
+    close_connection(fd);
+    return;
+  }
+
+  // Response fully written.
+  conn.outbox.clear();
+  conn.out_off = 0;
+  if (!conn.response_keep_alive ||
+      conn.parser.status() == RequestParser::Status::kError) {
+    close_connection(fd);
+    return;
+  }
+  conn.parser.reset();
+  if (conn.parser.status() == RequestParser::Status::kComplete) {
+    // A pipelined request was already buffered.
+    conn.state = Connection::State::kReading;
+    poller_.mod(fd, /*read=*/false, /*write=*/false);
+    handle_parsed_request(conn);
+    return;
+  }
+  if (conn.parser.status() == RequestParser::Status::kError) {
+    metrics_.on_parse_error();
+    conn.endpoint = "other";
+    conn.request_start = Clock::now();
+    conn.response_keep_alive = false;
+    conn.state = Connection::State::kReading;
+    finish_request(conn, error_response(conn.parser.error_status(),
+                                        conn.parser.error_reason()));
+    return;
+  }
+  start_reading(conn);
+}
+
+void HttpServer::start_reading(Connection& conn) {
+  conn.state = Connection::State::kReading;
+  conn.expiry = Clock::now() + ms(conn.parser.buffered_bytes() > 0
+                                      ? options_.read_timeout_ms
+                                      : options_.idle_timeout_ms);
+  poller_.mod(conn.socket.fd(), /*read=*/true, /*write=*/false);
+}
+
+void HttpServer::handle_timeouts(Clock::time_point now) {
+  std::vector<int> expired_close;
+  std::vector<int> expired_deadline;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->state == Connection::State::kProcessing) {
+      if (now >= conn->deadline) expired_deadline.push_back(fd);
+    } else if (now >= conn->expiry) {
+      expired_close.push_back(fd);
+    }
+  }
+  for (int fd : expired_deadline) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    Connection& conn = *it->second;
+    metrics_.on_deadline_expiry();
+    // Ask still-queued work to skip itself, then disown the request: the
+    // generation bump makes the eventual completion(s) no-ops.
+    if (conn.cancel) conn.cancel->cancel();
+    if (conn.batch && conn.batch->cancel) conn.batch->cancel->cancel();
+    ++conn.generation;
+    finish_request(conn, error_response(504, "deadline exceeded"));
+  }
+  for (int fd : expired_close) {
+    close_connection(fd);
+  }
+  if (draining_ && now >= drain_deadline_) {
+    std::vector<int> all;
+    all.reserve(connections_.size());
+    for (const auto& [fd, conn] : connections_) all.push_back(fd);
+    for (int fd : all) close_connection(fd);
+  }
+}
+
+void HttpServer::begin_drain() {
+  draining_ = true;
+  drain_deadline_ = Clock::now() + ms(options_.drain_timeout_ms);
+  poller_.remove(listener_.fd());
+  listener_.close();
+  // Idle connections (no request in progress, nothing buffered) can close
+  // immediately; everyone else gets Connection: close on their response.
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->state == Connection::State::kReading &&
+        conn->parser.status() == RequestParser::Status::kNeedMore &&
+        conn->parser.buffered_bytes() == 0) {
+      idle.push_back(fd);
+    }
+  }
+  for (int fd : idle) close_connection(fd);
+}
+
+}  // namespace exten::net

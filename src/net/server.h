@@ -1,0 +1,205 @@
+#pragma once
+
+// The estimation server: a single-threaded, non-blocking HTTP/1.1 event
+// loop in front of service::BatchEstimator.
+//
+// Architecture (one box per thread):
+//
+//   [event loop]  --try_submit-->  [estimator worker pool]
+//       ^   accept/read/parse/route      runs ISS jobs
+//       |   write/timeout/drain              |
+//       +---- completion queue + wake pipe <-+
+//       |
+//       +--- [rank lane] — a tiny ThreadPool for /v1/rank, whose
+//            blocking rank_candidates() call fans out onto the
+//            estimator pool and must not stall the loop.
+//
+// Request lifecycle: bytes -> RequestParser -> route. /healthz and
+// /metrics answer inline. Estimation routes are admitted only while
+// in-flight requests < max_inflight AND the pool queue accepts the job
+// (both violations answer 503 + Retry-After — the backpressure contract);
+// admitted work completes on a worker, which posts the result to the
+// completion queue and wakes the loop via the self-pipe. Each admitted
+// request carries a deadline; expiry answers 504, cancels still-queued
+// jobs through service::CancelToken, and drops the eventual stale
+// completion by generation check.
+//
+// Shutdown: request_stop() is async-signal-safe (flag + pipe write). The
+// loop then stops accepting, closes idle connections, finishes in-flight
+// requests (responses carry Connection: close), waits for outstanding
+// worker callbacks, and returns from run(). Connections that ignore the
+// drain are force-closed after drain_timeout_ms.
+//
+// Thread safety: the server object is owned by the thread calling run().
+// request_stop() may be called from any thread or signal handler. port()
+// is fixed at construction.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/http.h"
+#include "net/metrics.h"
+#include "net/poller.h"
+#include "net/socket.h"
+#include "service/batch_estimator.h"
+#include "service/thread_pool.h"
+
+namespace exten::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is available via HttpServer::port().
+  std::uint16_t port = 0;
+
+  /// Admitted-but-unanswered HTTP requests across all connections; the
+  /// 503 backpressure threshold.
+  std::size_t max_inflight = 64;
+  std::size_t max_connections = 256;
+  /// Jobs per /v1/batch request (and candidates per /v1/rank).
+  std::size_t max_batch_jobs = 1024;
+
+  /// Keep-alive connection with no request in progress.
+  int idle_timeout_ms = 30'000;
+  /// A request that has started arriving but is incomplete.
+  int read_timeout_ms = 10'000;
+  /// A response that is not being consumed.
+  int write_timeout_ms = 10'000;
+  /// Estimation deadline when the request does not set "deadline_ms".
+  int default_deadline_ms = 30'000;
+  int max_deadline_ms = 300'000;
+  /// Answer for 503 responses.
+  int retry_after_seconds = 1;
+  /// Grace period for in-flight work after request_stop().
+  int drain_timeout_ms = 10'000;
+
+  /// Worker threads for the blocking /v1/rank lane.
+  unsigned rank_threads = 2;
+
+  ParserLimits limits;
+  Poller::Backend poller_backend = Poller::Backend::kDefault;
+};
+
+class HttpServer {
+ public:
+  /// Binds and listens immediately (throws exten::Error on failure).
+  /// `estimator` must outlive the server.
+  HttpServer(service::BatchEstimator& estimator, ServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (useful with options.port == 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Runs the event loop until a requested stop has fully drained.
+  void run();
+
+  /// Initiates graceful shutdown; async-signal-safe, callable from any
+  /// thread. Idempotent.
+  void request_stop();
+
+  /// Lifetime request count (valid to read after run() returns).
+  std::uint64_t requests_served() const { return metrics_.requests_total(); }
+
+ private:
+  struct BatchState {
+    std::vector<service::BatchJob> jobs;
+    std::vector<service::JobResult> results;
+    std::size_t next = 0;       // submission cursor (windowed)
+    std::size_t completed = 0;
+    std::shared_ptr<service::CancelToken> cancel;
+  };
+
+  struct Connection {
+    Socket socket;
+    RequestParser parser;
+    enum class State { kReading, kProcessing, kWriting } state =
+        State::kReading;
+    std::string outbox;
+    std::size_t out_off = 0;
+    bool response_keep_alive = true;
+    /// Wall-clock timeout (idle/read/write depending on state).
+    std::chrono::steady_clock::time_point expiry;
+    /// Estimation deadline; meaningful while kProcessing.
+    std::chrono::steady_clock::time_point deadline;
+    /// Incremented per dispatched request; stale completions are dropped.
+    std::uint64_t generation = 0;
+    /// True between dispatch and response (the in-flight accounting bit).
+    bool dispatched = false;
+    std::shared_ptr<service::CancelToken> cancel;
+    std::unique_ptr<BatchState> batch;
+    /// Metrics label + start time of the request being handled.
+    std::string endpoint = "other";
+    std::chrono::steady_clock::time_point request_start;
+
+    explicit Connection(Socket s, ParserLimits limits)
+        : socket(std::move(s)), parser(limits) {}
+  };
+
+  struct Completion {
+    int fd = -1;
+    std::uint64_t generation = 0;
+    bool is_job = false;         // else `response` is ready to send
+    std::size_t job_index = 0;
+    service::JobResult result;
+    HttpResponse response;
+  };
+
+  using Clock = std::chrono::steady_clock;
+
+  // Event handlers (loop thread only).
+  void accept_connections();
+  void on_readable(Connection& conn);
+  void on_writable(Connection& conn);
+  void handle_parsed_request(Connection& conn);
+  void route_request(Connection& conn, const HttpRequest& request);
+  void dispatch_estimate(Connection& conn, const HttpRequest& request);
+  void dispatch_batch(Connection& conn, const HttpRequest& request);
+  void dispatch_rank(Connection& conn, const HttpRequest& request);
+  void pump_batch(Connection& conn);
+  void finish_request(Connection& conn, HttpResponse response);
+  void start_reading(Connection& conn);
+  void close_connection(int fd);
+  void handle_completions();
+  void handle_timeouts(Clock::time_point now);
+  void begin_drain();
+  int next_timeout_ms(Clock::time_point now) const;
+  int resolve_deadline_ms(int requested) const;
+  MetricsGauges gauges() const;
+
+  // Worker-side (any thread).
+  void post_completion(Completion completion);
+
+  service::BatchEstimator& estimator_;
+  ServerOptions options_;
+  std::uint16_t port_ = 0;
+
+  Socket listener_;
+  Socket wake_pipe_[2];
+  Poller poller_;
+  service::ThreadPool rank_pool_;
+
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  std::size_t inflight_ = 0;
+  ServerMetrics metrics_;
+  bool draining_ = false;
+  bool running_ = false;
+  Clock::time_point drain_deadline_;
+
+  std::atomic<bool> stop_requested_{false};
+  /// Worker callbacks not yet finished posting; run() waits for zero
+  /// before returning so no callback can outlive the server.
+  std::atomic<std::size_t> outstanding_jobs_{0};
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+};
+
+}  // namespace exten::net

@@ -1,0 +1,121 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace exten::net {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+sockaddr_in make_addr(const std::string& address, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXTEN_CHECK(::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) == 1,
+              "bad IPv4 address '", address, "'");
+  return addr;
+}
+
+void set_timeouts(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  EXTEN_CHECK(flags >= 0, "fcntl(F_GETFL): ", errno_text());
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  EXTEN_CHECK(::fcntl(fd, F_SETFL, next) == 0, "fcntl(F_SETFL): ",
+              errno_text());
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Socket listen_tcp(const std::string& address, std::uint16_t* port,
+                  int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  EXTEN_CHECK(sock.valid(), "socket(): ", errno_text());
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = make_addr(address, *port);
+  EXTEN_CHECK(::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0,
+              "bind(", address, ":", *port, "): ", errno_text());
+  EXTEN_CHECK(::listen(sock.fd(), backlog) == 0, "listen(): ", errno_text());
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  EXTEN_CHECK(::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound),
+                            &len) == 0,
+              "getsockname(): ", errno_text());
+  *port = ntohs(bound.sin_port);
+  set_nonblocking(sock.fd(), true);
+  return sock;
+}
+
+Socket connect_tcp(const std::string& address, std::uint16_t port,
+                   int timeout_ms) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  EXTEN_CHECK(sock.valid(), "socket(): ", errno_text());
+  set_nonblocking(sock.fd(), true);
+
+  sockaddr_in addr = make_addr(address, port);
+  const int rc =
+      ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    EXTEN_CHECK(errno == EINPROGRESS, "connect(", address, ":", port,
+                "): ", errno_text());
+    pollfd pfd{sock.fd(), POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    EXTEN_CHECK(ready > 0, "connect(", address, ":", port,
+                "): ", ready == 0 ? "timeout" : errno_text());
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len);
+    EXTEN_CHECK(err == 0, "connect(", address, ":", port,
+                "): ", std::strerror(err));
+  }
+  set_nonblocking(sock.fd(), false);
+  set_timeouts(sock.fd(), timeout_ms);
+  set_nodelay(sock.fd());
+  return sock;
+}
+
+void make_wake_pipe(Socket fds[2]) {
+  int raw[2];
+  EXTEN_CHECK(::pipe(raw) == 0, "pipe(): ", errno_text());
+  fds[0] = Socket(raw[0]);
+  fds[1] = Socket(raw[1]);
+  set_nonblocking(raw[0], true);
+  set_nonblocking(raw[1], true);
+}
+
+}  // namespace exten::net

@@ -1,0 +1,70 @@
+#pragma once
+
+// Thin POSIX TCP layer for the estimation server and its client: an RAII
+// file-descriptor wrapper plus listener/connect helpers. Everything above
+// this file (parser, event loop) works on plain fds and byte buffers, so
+// it stays unit-testable without a network.
+
+#include <cstdint>
+#include <string>
+
+namespace exten::net {
+
+/// Move-only owner of a file descriptor (socket or pipe end).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// O_NONBLOCK on/off; throws exten::Error on fcntl failure.
+void set_nonblocking(int fd, bool on);
+
+/// TCP_NODELAY (disable Nagle — the server exchanges small messages).
+void set_nodelay(int fd);
+
+/// Creates a listening TCP socket bound to `address`:`*port` (SO_REUSEADDR,
+/// non-blocking). `*port` == 0 picks an ephemeral port; the bound port is
+/// written back. Throws exten::Error on failure.
+Socket listen_tcp(const std::string& address, std::uint16_t* port,
+                  int backlog = 128);
+
+/// Blocking connect with a millisecond timeout; the returned socket is in
+/// blocking mode with SO_RCVTIMEO/SO_SNDTIMEO set to `timeout_ms`.
+/// Throws exten::Error on failure or timeout.
+Socket connect_tcp(const std::string& address, std::uint16_t port,
+                   int timeout_ms);
+
+/// Non-blocking wakeup pipe (self-pipe trick): `fds[0]` is the read end.
+/// Writing one byte to `fds[1]` is async-signal-safe, which is what lets a
+/// SIGTERM handler nudge the event loop.
+void make_wake_pipe(Socket fds[2]);
+
+}  // namespace exten::net

@@ -31,23 +31,37 @@ BatchEstimator::BatchEstimator(model::EnergyMacroModel model,
       cache_(options.cache_capacity),
       pool_(options.num_threads, options.queue_capacity) {}
 
-JobResult BatchEstimator::run_job(const BatchJob& job) {
+JobResult BatchEstimator::run_job(const BatchJob& job,
+                                  const CancelToken* cancel) {
   const auto start = std::chrono::steady_clock::now();
   JobResult result;
   result.name = job.name;
+  if (cancel != nullptr && cancel->cancelled()) {
+    result.cancelled = true;
+    result.error = "cancelled before execution";
+    return result;
+  }
   try {
     EXTEN_CHECK(job.program.tie != nullptr, "job '", job.name,
                 "' has no TIE configuration");
+    const std::uint64_t budget = job.max_instructions != 0
+                                     ? job.max_instructions
+                                     : options_.max_instructions;
+    // The budget is an input to the evaluation (it decides whether a long
+    // program errors out), so it participates in the cache key.
+    ContentHasher budget_hash;
+    budget_hash.u64(budget);
     const Digest key = combine_digests(
         {hash_program_image(job.program.image),
          hash_tie_configuration(*job.program.tie),
-         hash_processor_config(job.processor), model_digest_});
+         hash_processor_config(job.processor), model_digest_,
+         budget_hash.digest()});
     if (std::optional<model::EnergyEstimate> cached = cache_.lookup(key)) {
       result.estimate = std::move(*cached);
       result.cache_hit = true;
     } else {
-      result.estimate = model::estimate_energy(
-          model_, job.program, job.processor, options_.max_instructions);
+      result.estimate = model::estimate_energy(model_, job.program,
+                                               job.processor, budget);
       cache_.insert(key, result.estimate);
     }
     result.ok = true;
@@ -104,6 +118,16 @@ BatchResult BatchEstimator::estimate(std::span<const BatchJob> jobs) {
 JobResult BatchEstimator::estimate_one(const BatchJob& job) {
   BatchResult batch = estimate(std::span<const BatchJob>(&job, 1));
   return std::move(batch.results.front());
+}
+
+bool BatchEstimator::try_submit(BatchJob job,
+                                std::function<void(JobResult)> done,
+                                std::shared_ptr<CancelToken> cancel) {
+  // The closure owns the job, the token and the callback; run_job never
+  // throws (per-job errors are captured into the result).
+  return pool_.try_submit(
+      [this, job = std::move(job), done = std::move(done),
+       cancel = std::move(cancel)] { done(run_job(job, cancel.get())); });
 }
 
 }  // namespace exten::service

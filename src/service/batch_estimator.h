@@ -15,7 +15,10 @@
 // address, an illegal instruction, a TIE fault, ...) is captured into its
 // JobResult; the rest of the batch is unaffected.
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -45,6 +48,24 @@ struct BatchJob {
   std::string name;
   model::TestProgram program;
   sim::ProcessorConfig processor{};
+  /// Per-job instruction budget; 0 = BatchOptions::max_instructions.
+  std::uint64_t max_instructions = 0;
+};
+
+/// Cooperative cancellation handle shared between a submitter and the
+/// worker that eventually dequeues the job. cancel() is a request, not an
+/// interrupt: a job still *queued* is skipped entirely (its JobResult
+/// reports cancelled); a job already simulating runs to completion and the
+/// caller discards the result. Thread-safe.
+class CancelToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
 };
 
 /// Outcome of one job. Exactly one of {ok, !error.empty()} holds.
@@ -53,6 +74,9 @@ struct JobResult {
   bool ok = false;
   /// exten::Error (or std::exception) message when !ok.
   std::string error;
+  /// The job was skipped because its CancelToken fired while it was still
+  /// queued (ok is false and error says so).
+  bool cancelled = false;
   /// Result was served from the evaluation cache.
   bool cache_hit = false;
   /// Valid when ok. On a cache hit this is the original evaluation,
@@ -115,6 +139,21 @@ class BatchEstimator {
   /// Convenience: single job.
   JobResult estimate_one(const BatchJob& job);
 
+  /// Asynchronous, non-blocking single-job submission — the admission path
+  /// for callers with their own event loop (the HTTP server). Returns
+  /// false (and never calls `done`) when the pool queue is full or shut
+  /// down; otherwise `done` runs exactly once on a worker thread with the
+  /// job's result. A non-null `cancel` token lets the caller abandon a
+  /// still-queued job (deadline expiry): the worker then skips the
+  /// simulation and reports a cancelled JobResult.
+  bool try_submit(BatchJob job, std::function<void(JobResult)> done,
+                  std::shared_ptr<CancelToken> cancel = nullptr);
+
+  /// Jobs waiting in the pool queue right now (for /metrics and
+  /// backpressure decisions).
+  std::size_t queue_depth() const { return pool_.queue_depth(); }
+  std::size_t queue_capacity() const { return pool_.queue_capacity(); }
+
   const model::EnergyMacroModel& model() const { return model_; }
   unsigned num_threads() const { return pool_.num_threads(); }
 
@@ -123,7 +162,7 @@ class BatchEstimator {
   void clear_cache() { cache_.clear(); }
 
  private:
-  JobResult run_job(const BatchJob& job);
+  JobResult run_job(const BatchJob& job, const CancelToken* cancel = nullptr);
 
   model::EnergyMacroModel model_;
   Digest model_digest_;

@@ -2,6 +2,21 @@
 
 namespace exten::service {
 
+namespace {
+/// Approximate heap+inline footprint of one cached entry. The only
+/// dynamic member of an EnergyEstimate is the per-custom-instruction
+/// count map; 3 pointers stand in for the rb-tree node overhead.
+std::uint64_t entry_bytes(const model::EnergyEstimate& estimate) {
+  std::uint64_t bytes = sizeof(Digest) + sizeof(model::EnergyEstimate);
+  for (const auto& [name, count] : estimate.stats.custom_counts) {
+    (void)count;
+    bytes += sizeof(std::pair<const std::string, std::uint64_t>) +
+             3 * sizeof(void*) + name.capacity();
+  }
+  return bytes;
+}
+}  // namespace
+
 EvalCache::EvalCache(std::size_t capacity) : capacity_(capacity) {
   stats_.capacity = capacity;
   if (capacity_ > 0) index_.reserve(capacity_);
@@ -26,17 +41,21 @@ void EvalCache::insert(const Digest& key, model::EnergyEstimate estimate) {
   if (it != index_.end()) {
     // Concurrent miss on the same key: both threads computed the (equal)
     // result; refresh rather than grow.
+    stats_.approx_bytes -= entry_bytes(it->second->second);
     it->second->second = std::move(estimate);
+    stats_.approx_bytes += entry_bytes(it->second->second);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   if (lru_.size() >= capacity_) {
+    stats_.approx_bytes -= entry_bytes(lru_.back().second);
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++stats_.evictions;
   }
   lru_.emplace_front(key, std::move(estimate));
   index_.emplace(key, lru_.begin());
+  stats_.approx_bytes += entry_bytes(lru_.front().second);
   ++stats_.insertions;
 }
 
@@ -51,6 +70,7 @@ void EvalCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  stats_.approx_bytes = 0;
 }
 
 }  // namespace exten::service

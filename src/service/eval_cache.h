@@ -35,6 +35,10 @@ struct CacheStats {
   std::uint64_t evictions = 0;
   std::size_t entries = 0;
   std::size_t capacity = 0;
+  /// Approximate resident footprint of the cached entries (key + estimate
+  /// + dynamic members); tracked on insert/evict so /metrics can report
+  /// memory without walking the cache.
+  std::uint64_t approx_bytes = 0;
 
   double hit_rate() const {
     const std::uint64_t lookups = hits + misses;
@@ -63,7 +67,8 @@ class EvalCache {
 
   CacheStats stats() const;
 
-  /// Drops every entry (counters other than `entries` are preserved).
+  /// Drops every entry (counters other than `entries` / `approx_bytes`
+  /// are preserved).
   void clear();
 
  private:

@@ -26,6 +26,10 @@ bool ThreadPool::submit(std::function<void()> job) {
   return queue_.push(std::move(job));
 }
 
+bool ThreadPool::try_submit(std::function<void()> job) {
+  return queue_.try_push(std::move(job));
+}
+
 void ThreadPool::shutdown() {
   queue_.close();
   for (std::thread& worker : workers_) {

@@ -35,6 +35,11 @@ class ThreadPool {
   /// Returns false after shutdown() — the job is dropped, not run.
   bool submit(std::function<void()> job);
 
+  /// Non-blocking enqueue: false (dropping the job) when the queue is full
+  /// or shut down. The admission-control primitive for callers that must
+  /// not block — the HTTP server turns a false here into a 503.
+  bool try_submit(std::function<void()> job);
+
   /// Closes the queue, lets workers drain every queued job, joins them.
   /// Idempotent; submit() fails afterwards.
   void shutdown();
@@ -42,6 +47,11 @@ class ThreadPool {
   unsigned num_threads() const {
     return static_cast<unsigned>(workers_.size());
   }
+
+  /// Jobs waiting in the queue (excludes jobs already running on a
+  /// worker). Instantaneous snapshot; exposed for /metrics.
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_capacity() const { return queue_.capacity(); }
 
   /// Jobs whose exceptions escaped into a worker (see file comment).
   std::uint64_t escaped_exceptions() const;

@@ -174,6 +174,21 @@ class JsonParser {
     return v;
   }
 
+  /// Reads exactly four hex digits of a \uXXXX escape.
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return code;
+  }
+
   JsonValue parse_string() {
     JsonValue v;
     v.kind_ = JsonValue::Kind::kString;
@@ -201,25 +216,38 @@ class JsonParser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else fail("bad \\u escape");
+            unsigned code = parse_hex4();
+            // Surrogate pair: a high surrogate must be immediately
+            // followed by an escaped low surrogate; lone surrogates (in
+            // either order) are malformed JSON, not U+FFFD material —
+            // HTTP request bodies flow through here, so be strict.
+            if (code >= 0xd800 && code <= 0xdbff) {
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                fail("unpaired high surrogate");
+              }
+              pos_ += 2;
+              const unsigned low = parse_hex4();
+              if (low < 0xdc00 || low > 0xdfff) {
+                fail("invalid low surrogate");
+              }
+              code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+            } else if (code >= 0xdc00 && code <= 0xdfff) {
+              fail("unpaired low surrogate");
             }
-            // UTF-8 encode the BMP code point (surrogate pairs are not
-            // needed for the paths/names the tools exchange).
+            // UTF-8 encode (1-4 bytes).
             if (code < 0x80) {
               out += static_cast<char>(code);
             } else if (code < 0x800) {
               out += static_cast<char>(0xc0 | (code >> 6));
               out += static_cast<char>(0x80 | (code & 0x3f));
-            } else {
+            } else if (code < 0x10000) {
               out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xf0 | (code >> 18));
+              out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
               out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
               out += static_cast<char>(0x80 | (code & 0x3f));
             }

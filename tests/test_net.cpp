@@ -1,0 +1,757 @@
+// Tests for the net/ subsystem: the incremental HTTP parser under
+// adversarial inputs (truncated lines, oversized headers, bodies split
+// across arbitrary read boundaries, pipelining), the poller backends, the
+// latency histogram, and the HttpServer end to end over real sockets —
+// including the robustness contract: backpressure (503), deadline expiry
+// (504) cancelling queued jobs, malformed-input rejection, keep-alive and
+// graceful drain.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "model/test_program.h"
+#include "net/api.h"
+#include "net/http.h"
+#include "net/http_client.h"
+#include "net/metrics.h"
+#include "net/poller.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "service/batch_estimator.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace exten::net {
+namespace {
+
+// --- fixtures --------------------------------------------------------------
+
+model::EnergyMacroModel flat_model() {
+  linalg::Vector coefficients(model::kNumVariables, 100.0);
+  return model::EnergyMacroModel(std::move(coefficients));
+}
+
+constexpr const char* kTinyAsm =
+    "  addi r1, r0, 5\n  addi r2, r0, 7\n  add r3, r1, r2\n  halt\n";
+
+// Misaligned load: the simulator raises an alignment fault.
+constexpr const char* kFaultingAsm = "  li t1, 1\n  lw t0, 0(t1)\n  halt\n";
+
+// ~20M instructions: long enough that a short deadline expires while it
+// runs, short enough to keep the suite quick.
+constexpr const char* kSlowAsm =
+    "  li t0, 10000000\nloop:\n  addi t0, t0, -1\n  bnez t0, loop\n  halt\n";
+
+std::string estimate_body(std::string_view name, std::string_view asm_source,
+                          int deadline_ms = 0) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", name);
+  w.field("asm", asm_source);
+  if (deadline_ms > 0) w.field("deadline_ms", deadline_ms);
+  w.end_object();
+  return w.str();
+}
+
+std::string wire_post(std::string_view target, std::string_view body) {
+  return serialize_request("POST", target, "test", body, "application/json");
+}
+
+// --- RequestParser: happy paths --------------------------------------------
+
+TEST(RequestParser, ParsesSimpleGetInOneFeed) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            RequestParser::Status::kComplete);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/healthz");
+  EXPECT_EQ(parser.request().version, "HTTP/1.1");
+  EXPECT_TRUE(parser.request().keep_alive());
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(RequestParser, PathStripsQueryString) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("GET /metrics?format=text HTTP/1.1\r\n\r\n"),
+            RequestParser::Status::kComplete);
+  EXPECT_EQ(parser.request().path(), "/metrics");
+}
+
+// The core adversarial case: every possible split point of a POST with a
+// body must parse identically to the single-feed case.
+TEST(RequestParser, BodySplitAcrossEveryReadBoundary) {
+  const std::string wire = wire_post("/v1/estimate", "{\"asm\": \"halt\"}");
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    RequestParser parser;
+    parser.feed(std::string_view(wire).substr(0, split));
+    ASSERT_EQ(parser.feed(std::string_view(wire).substr(split)),
+              RequestParser::Status::kComplete)
+        << "split at " << split;
+    EXPECT_EQ(parser.request().body, "{\"asm\": \"halt\"}");
+    EXPECT_EQ(parser.request().method, "POST");
+  }
+}
+
+TEST(RequestParser, ByteAtATimeFeed) {
+  const std::string wire = wire_post("/v1/batch", "{\"jobs\": []}");
+  RequestParser parser;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    const auto status = parser.feed(std::string_view(&wire[i], 1));
+    if (i + 1 < wire.size()) {
+      ASSERT_EQ(status, RequestParser::Status::kNeedMore) << "byte " << i;
+    } else {
+      ASSERT_EQ(status, RequestParser::Status::kComplete);
+    }
+  }
+  EXPECT_EQ(parser.request().body, "{\"jobs\": []}");
+}
+
+TEST(RequestParser, PipelinedRequestsParseSequentially) {
+  const std::string wire =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+  RequestParser parser;
+  ASSERT_EQ(parser.feed(wire), RequestParser::Status::kComplete);
+  EXPECT_EQ(parser.request().target, "/a");
+  EXPECT_GT(parser.buffered_bytes(), 0u);
+  parser.reset();
+  ASSERT_EQ(parser.status(), RequestParser::Status::kComplete);
+  EXPECT_EQ(parser.request().target, "/b");
+  parser.reset();
+  EXPECT_EQ(parser.status(), RequestParser::Status::kNeedMore);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(RequestParser, ToleratesLeadingBlankLinesAndBareLf) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("\r\n\nPOST /x HTTP/1.1\nContent-Length: 2\n\nok"),
+            RequestParser::Status::kComplete);
+  EXPECT_EQ(parser.request().target, "/x");
+  EXPECT_EQ(parser.request().body, "ok");
+}
+
+TEST(RequestParser, HeaderLookupIsCaseInsensitive) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("GET / HTTP/1.1\r\nX-Foo:  bar \r\n\r\n"),
+            RequestParser::Status::kComplete);
+  const std::string* value = parser.request().header("x-foo");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, "bar");  // surrounding whitespace trimmed
+}
+
+TEST(RequestParser, KeepAliveSemantics) {
+  RequestParser p1;
+  p1.feed("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_FALSE(p1.request().keep_alive());
+  RequestParser p2;
+  p2.feed("GET / HTTP/1.0\r\n\r\n");
+  EXPECT_FALSE(p2.request().keep_alive());
+  RequestParser p3;
+  p3.feed("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+  EXPECT_TRUE(p3.request().keep_alive());
+}
+
+// --- RequestParser: malformed and oversized inputs -------------------------
+
+TEST(RequestParser, TruncatedRequestNeverCompletes) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("POST /v1/estimate HTTP/1.1\r\nContent-Le"),
+            RequestParser::Status::kNeedMore);
+  EXPECT_EQ(parser.feed("ngth: 100\r\n\r\nshort"),
+            RequestParser::Status::kNeedMore);  // body incomplete forever
+}
+
+TEST(RequestParser, MalformedRequestLineIs400) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("NONSENSE\r\n\r\n"), RequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParser, UnsupportedVersionIs505) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("GET / HTTP/2.0\r\n\r\n"),
+            RequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(RequestParser, OversizedRequestLineIs431) {
+  RequestParser parser(ParserLimits{.max_request_line = 64});
+  const std::string line = "GET /" + std::string(200, 'a') + " HTTP/1.1\r\n";
+  ASSERT_EQ(parser.feed(line), RequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParser, OversizedHeaderSectionIs431) {
+  ParserLimits limits;
+  limits.max_header_bytes = 128;
+  RequestParser parser(limits);
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 16; ++i) {
+    wire += "X-Padding-" + std::to_string(i) + ": " + std::string(32, 'x') +
+            "\r\n";
+  }
+  wire += "\r\n";
+  ASSERT_EQ(parser.feed(wire), RequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParser, OversizedBodyIs413) {
+  ParserLimits limits;
+  limits.max_body_bytes = 16;
+  RequestParser parser(limits);
+  ASSERT_EQ(parser.feed("POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n"),
+            RequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(RequestParser, BadContentLengthIs400) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            RequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParser, TransferEncodingIs501) {
+  RequestParser parser;
+  ASSERT_EQ(
+      parser.feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+      RequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(RequestParser, ObsFoldIs400) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("GET / HTTP/1.1\r\nX-A: 1\r\n  folded\r\n\r\n"),
+            RequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParser, StaysInErrorStateOnFurtherFeeds) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("BAD\r\n"), RequestParser::Status::kError);
+  EXPECT_EQ(parser.feed("GET / HTTP/1.1\r\n\r\n"),
+            RequestParser::Status::kError);
+}
+
+// --- Response serialization round trip -------------------------------------
+
+TEST(HttpMessages, ResponseRoundTripsThroughResponseParser) {
+  HttpResponse response;
+  response.status = 503;
+  response.body = "{\"error\":\"busy\"}";
+  response.extra_headers.push_back({"Retry-After", "1"});
+  const std::string wire = serialize_response(response, /*keep_alive=*/true);
+
+  ResponseParser parser;
+  ASSERT_EQ(parser.feed(wire), ResponseParser::Status::kComplete);
+  EXPECT_EQ(parser.response().status, 503);
+  EXPECT_EQ(parser.response().body, response.body);
+  const std::string* retry = parser.response().header("retry-after");
+  ASSERT_NE(retry, nullptr);
+  EXPECT_EQ(*retry, "1");
+}
+
+TEST(HttpMessages, ResponseParserHandlesCloseDelimitedBody) {
+  ResponseParser parser;
+  parser.feed("HTTP/1.1 200 OK\r\nConnection: close\r\n\r\npartial bo");
+  EXPECT_EQ(parser.status(), ResponseParser::Status::kNeedMore);
+  parser.feed("dy");
+  ASSERT_EQ(parser.feed_eof(), ResponseParser::Status::kComplete);
+  EXPECT_EQ(parser.response().body, "partial body");
+}
+
+// --- Poller ----------------------------------------------------------------
+
+class PollerBackends : public ::testing::TestWithParam<Poller::Backend> {};
+
+TEST_P(PollerBackends, ReportsPipeReadability) {
+  Poller poller(GetParam());
+  Socket pipe[2];
+  make_wake_pipe(pipe);
+  poller.add(pipe[0].fd(), /*read=*/true, /*write=*/false);
+
+  EXPECT_TRUE(poller.wait(0).empty());  // nothing pending
+  ASSERT_EQ(::write(pipe[1].fd(), "x", 1), 1);
+  const std::vector<Poller::Event>& events = poller.wait(1000);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].fd, pipe[0].fd());
+  EXPECT_TRUE(events[0].readable);
+
+  // Clearing the interest set silences the (level-triggered) event.
+  poller.mod(pipe[0].fd(), /*read=*/false, /*write=*/false);
+  EXPECT_TRUE(poller.wait(0).empty());
+  poller.remove(pipe[0].fd());
+  EXPECT_EQ(poller.watched(), 0u);
+}
+
+TEST_P(PollerBackends, ModOnUnregisteredFdThrows) {
+  Poller poller(GetParam());
+  EXPECT_THROW(poller.mod(42, true, false), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PollerBackends,
+                         ::testing::Values(Poller::Backend::kEpoll,
+                                           Poller::Backend::kPoll),
+                         [](const auto& info) {
+                           return info.param == Poller::Backend::kEpoll
+                                      ? "epoll"
+                                      : "poll";
+                         });
+
+// --- LatencyHistogram ------------------------------------------------------
+
+TEST(LatencyHistogram, QuantilesTrackObservations) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.observe(0.0002);  // -> 0.00025 bucket
+  h.observe(2.0);                                  // one slow outlier
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.00025);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.00025);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 2.5);  // upper bound of 2.0's bucket
+}
+
+TEST(LatencyHistogram, RendersPrometheusText) {
+  ServerMetrics metrics;
+  metrics.record_request("estimate", 200, 0.001);
+  metrics.on_backpressure_rejection();
+  const std::string text = metrics.render(MetricsGauges{});
+  EXPECT_NE(text.find("xtc_requests_total{endpoint=\"estimate\",code=\"200\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("xtc_backpressure_rejections_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("xtc_request_duration_seconds_bucket"),
+            std::string::npos);
+}
+
+// --- api request parsing ---------------------------------------------------
+
+TEST(Api, RejectsUnknownObjective) {
+  const JsonValue v = JsonValue::parse(
+      "{\"objective\": \"speed\", \"candidates\": [{\"asm\": \"halt\"}]}");
+  EXPECT_THROW(api::parse_rank_request(v, 10), Error);
+}
+
+TEST(Api, BatchErrorsNameTheOffendingJob) {
+  const JsonValue v =
+      JsonValue::parse("{\"jobs\": [{\"asm\": \"halt\"}, {\"name\": \"x\"}]}");
+  try {
+    api::parse_batch_request(v, 10);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("jobs[1]"), std::string::npos);
+  }
+}
+
+// --- HttpServer end to end -------------------------------------------------
+
+service::BatchOptions small_batch_options(unsigned threads = 2) {
+  service::BatchOptions options;
+  options.num_threads = threads;
+  options.cache_capacity = 64;
+  return options;
+}
+
+/// Runs a server on an ephemeral port in a background thread; stops and
+/// joins on destruction.
+class TestServer {
+ public:
+  explicit TestServer(
+      ServerOptions options = {},
+      service::BatchOptions batch_options = small_batch_options())
+      : estimator_(flat_model(), batch_options),
+        server_(estimator_, std::move(options)),
+        thread_([this] { server_.run(); }) {}
+
+  ~TestServer() {
+    server_.request_stop();
+    thread_.join();
+  }
+
+  std::uint16_t port() const { return server_.port(); }
+  HttpServer& server() { return server_; }
+  HttpClient client() { return HttpClient("127.0.0.1", port(), 30'000); }
+
+ private:
+  service::BatchEstimator estimator_;
+  HttpServer server_;
+  std::thread thread_;
+};
+
+TEST(HttpServer, HealthzAnswersOk) {
+  TestServer ts;
+  HttpClient client = ts.client();
+  const auto response = client.get("/healthz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "{\"status\":\"ok\"}");
+}
+
+TEST(HttpServer, EstimateReturnsEnergyAndBreakdown) {
+  TestServer ts;
+  HttpClient client = ts.client();
+  const auto response =
+      client.post("/v1/estimate", estimate_body("tiny", kTinyAsm));
+  ASSERT_EQ(response.status, 200);
+  const JsonValue body = JsonValue::parse(response.body);
+  EXPECT_TRUE(body.find("ok")->as_bool());
+  EXPECT_GT(body.find("energy_pj")->as_number(), 0.0);
+  EXPECT_GT(body.find("cycles")->as_number(), 0.0);
+  ASSERT_NE(body.find("breakdown_pj"), nullptr);
+  // Four instructions at 100 pJ each on the flat model.
+  EXPECT_DOUBLE_EQ(body.find("breakdown_pj")->find("N_a")->as_number(),
+                   400.0);
+}
+
+TEST(HttpServer, RepeatedEstimateHitsTheCache) {
+  TestServer ts;
+  HttpClient client = ts.client();
+  const std::string body = estimate_body("tiny", kTinyAsm);
+  const auto first = client.post("/v1/estimate", body);
+  const auto second = client.post("/v1/estimate", body);
+  ASSERT_EQ(first.status, 200);
+  ASSERT_EQ(second.status, 200);
+  EXPECT_FALSE(JsonValue::parse(first.body).find("cache_hit")->as_bool());
+  EXPECT_TRUE(JsonValue::parse(second.body).find("cache_hit")->as_bool());
+}
+
+TEST(HttpServer, KeepAliveReusesOneConnection) {
+  TestServer ts;
+  HttpClient client = ts.client();
+  for (int i = 0; i < 5; ++i) {
+    const auto response = client.get("/healthz");
+    EXPECT_EQ(response.status, 200);
+  }
+  EXPECT_TRUE(client.connected());
+}
+
+TEST(HttpServer, MalformedJsonIs400) {
+  TestServer ts;
+  HttpClient client = ts.client();
+  const auto response = client.post("/v1/estimate", "{not json");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(JsonValue::parse(response.body).find("error"), nullptr);
+}
+
+TEST(HttpServer, FaultingProgramIsIsolatedNotFatal) {
+  TestServer ts;
+  HttpClient client = ts.client();
+  const auto bad =
+      client.post("/v1/estimate", estimate_body("bad", kFaultingAsm));
+  ASSERT_EQ(bad.status, 200);  // transport ok; the job itself failed
+  const JsonValue body = JsonValue::parse(bad.body);
+  EXPECT_FALSE(body.find("ok")->as_bool());
+  EXPECT_FALSE(body.find("error")->as_string().empty());
+  // The server survives: a healthy request still works.
+  EXPECT_EQ(client.get("/healthz").status, 200);
+}
+
+TEST(HttpServer, UnknownEndpointIs404) {
+  TestServer ts;
+  HttpClient client = ts.client();
+  EXPECT_EQ(client.get("/nope").status, 404);
+}
+
+TEST(HttpServer, WrongMethodIs405) {
+  TestServer ts;
+  HttpClient client = ts.client();
+  EXPECT_EQ(client.get("/v1/estimate").status, 405);
+  EXPECT_EQ(client.post("/healthz", "{}").status, 405);
+}
+
+TEST(HttpServer, BatchMixesSuccessesAndFailures) {
+  TestServer ts;
+  HttpClient client = ts.client();
+  JsonWriter w;
+  w.begin_object();
+  w.array_field("jobs");
+  w.element_object();
+  w.field("name", std::string_view("good"));
+  w.field("asm", std::string_view(kTinyAsm));
+  w.end_object();
+  w.element_object();
+  w.field("name", std::string_view("bad"));
+  w.field("asm", std::string_view(kFaultingAsm));
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  const auto response = client.post("/v1/batch", w.str());
+  ASSERT_EQ(response.status, 200);
+  const JsonValue body = JsonValue::parse(response.body);
+  EXPECT_EQ(body.find("jobs")->as_number(), 2.0);
+  EXPECT_EQ(body.find("succeeded")->as_number(), 1.0);
+  EXPECT_EQ(body.find("failed")->as_number(), 1.0);
+  const JsonValue::Array& results = body.find("results")->as_array();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].find("ok")->as_bool());
+  EXPECT_FALSE(results[1].find("ok")->as_bool());
+}
+
+TEST(HttpServer, RankOrdersCandidatesByObjective) {
+  TestServer ts;
+  HttpClient client = ts.client();
+  JsonWriter w;
+  w.begin_object();
+  w.field("objective", std::string_view("energy"));
+  w.array_field("candidates");
+  w.element_object();
+  w.field("name", std::string_view("long"));
+  w.field("asm", std::string_view(
+                     "  addi r1, r0, 1\n  addi r2, r0, 2\n"
+                     "  addi r3, r0, 3\n  halt\n"));
+  w.end_object();
+  w.element_object();
+  w.field("name", std::string_view("short"));
+  w.field("asm", std::string_view("  addi r1, r0, 1\n  halt\n"));
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  const auto response = client.post("/v1/rank", w.str());
+  ASSERT_EQ(response.status, 200);
+  const JsonValue body = JsonValue::parse(response.body);
+  const JsonValue::Array& ranked = body.find("ranked")->as_array();
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].find("name")->as_string(), "short");
+  EXPECT_EQ(ranked[1].find("name")->as_string(), "long");
+}
+
+TEST(HttpServer, MetricsExposeRequestCounters) {
+  TestServer ts;
+  HttpClient client = ts.client();
+  ASSERT_EQ(client.post("/v1/estimate", estimate_body("t", kTinyAsm)).status,
+            200);
+  const auto response = client.get("/metrics");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find(
+                "xtc_requests_total{endpoint=\"estimate\",code=\"200\"} 1"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("xtc_eval_cache_misses_total 1"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("xtc_queue_capacity"), std::string::npos);
+}
+
+// Raw-socket tests: drive the server below the HttpClient abstraction.
+std::string raw_exchange(std::uint16_t port, std::string_view bytes) {
+  Socket socket = connect_tcp("127.0.0.1", port, 5000);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::write(socket.fd(), bytes.data() + sent, bytes.size() - sent);
+    if (n <= 0 && errno == EINTR) continue;
+    EXTEN_CHECK(n > 0, "raw write failed");
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string received;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(socket.fd(), buf, sizeof(buf));
+    if (n > 0) {
+      received.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF or timeout
+  }
+  return received;
+}
+
+TEST(HttpServer, GarbageRequestGets400AndClose) {
+  TestServer ts;
+  const std::string reply = raw_exchange(ts.port(), "THIS IS NOT HTTP\r\n");
+  EXPECT_NE(reply.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(reply.find("Connection: close"), std::string::npos);
+  // And the server is still alive for the next client.
+  HttpClient client = ts.client();
+  EXPECT_EQ(client.get("/healthz").status, 200);
+}
+
+TEST(HttpServer, OversizedHeadersGet431) {
+  ServerOptions options;
+  options.limits.max_header_bytes = 256;
+  TestServer ts(options);
+  std::string wire = "GET /healthz HTTP/1.1\r\n";
+  for (int i = 0; i < 32; ++i) {
+    wire += "X-P" + std::to_string(i) + ": " + std::string(64, 'x') + "\r\n";
+  }
+  wire += "\r\n";
+  const std::string reply = raw_exchange(ts.port(), wire);
+  EXPECT_NE(reply.find("HTTP/1.1 431"), std::string::npos);
+}
+
+TEST(HttpServer, OversizedBodyGets413) {
+  ServerOptions options;
+  options.limits.max_body_bytes = 64;
+  TestServer ts(options);
+  const std::string reply = raw_exchange(
+      ts.port(),
+      "POST /v1/estimate HTTP/1.1\r\nContent-Length: 100000\r\n\r\n");
+  EXPECT_NE(reply.find("HTTP/1.1 413"), std::string::npos);
+}
+
+TEST(HttpServer, Http10GetsConnectionClose) {
+  TestServer ts;
+  const std::string reply =
+      raw_exchange(ts.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(reply.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(reply.find("Connection: close"), std::string::npos);
+  EXPECT_NE(reply.find("{\"status\":\"ok\"}"), std::string::npos);
+}
+
+TEST(HttpServer, PipelinedRequestsAllAnswered) {
+  TestServer ts;
+  const std::string one = "GET /healthz HTTP/1.1\r\n\r\n";
+  const std::string last =
+      "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+  const std::string reply = raw_exchange(ts.port(), one + one + last);
+  std::size_t count = 0;
+  for (std::size_t pos = reply.find("HTTP/1.1 200");
+       pos != std::string::npos; pos = reply.find("HTTP/1.1 200", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(HttpServer, BackpressureRejectsWith503RetryAfter) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  TestServer ts(options, small_batch_options(/*threads=*/1));
+
+  std::thread slow([&] {
+    HttpClient client = ts.client();
+    const auto response =
+        client.post("/v1/estimate", estimate_body("slow", kSlowAsm));
+    EXPECT_EQ(response.status, 200);
+  });
+  // Give the slow request time to occupy the single in-flight slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  HttpClient client = ts.client();
+  const auto rejected =
+      client.post("/v1/estimate", estimate_body("tiny", kTinyAsm));
+  EXPECT_EQ(rejected.status, 503);
+  const std::string* retry_after = rejected.header("Retry-After");
+  ASSERT_NE(retry_after, nullptr);
+  EXPECT_EQ(*retry_after, "1");
+  slow.join();
+
+  // The rejection is visible in /metrics.
+  const auto metrics = client.get("/metrics");
+  EXPECT_NE(metrics.body.find("xtc_backpressure_rejections_total 1"),
+            std::string::npos);
+}
+
+TEST(HttpServer, DeadlineExpiryAnswers504AndCancelsQueuedJob) {
+  // One worker: the slow job occupies it, the deadlined job sits queued
+  // until its deadline fires.
+  TestServer ts({}, small_batch_options(/*threads=*/1));
+
+  std::thread slow([&] {
+    HttpClient client = ts.client();
+    const auto response =
+        client.post("/v1/estimate", estimate_body("slow", kSlowAsm));
+    EXPECT_EQ(response.status, 200);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  HttpClient client = ts.client();
+  const auto expired = client.post(
+      "/v1/estimate", estimate_body("queued", kTinyAsm, /*deadline_ms=*/50));
+  EXPECT_EQ(expired.status, 504);
+  EXPECT_NE(expired.body.find("deadline"), std::string::npos);
+  slow.join();
+
+  const auto metrics = client.get("/metrics");
+  EXPECT_NE(metrics.body.find("xtc_deadline_expiries_total 1"),
+            std::string::npos);
+}
+
+TEST(HttpServer, GracefulDrainFinishesInflightRequest) {
+  service::BatchEstimator estimator(flat_model(), small_batch_options());
+  // The slow job must finish inside the drain window even under a ~20x
+  // sanitizer slowdown, or the force-close path (not under test here)
+  // kicks in and the client sees a truncated response.
+  ServerOptions options;
+  options.drain_timeout_ms = 240'000;
+  options.default_deadline_ms = 240'000;
+  HttpServer server(estimator, options);
+  std::thread loop([&] { server.run(); });
+
+  HttpClient client("127.0.0.1", server.port(), 30'000);
+  std::thread inflight([&] {
+    try {
+      const auto response =
+          client.post("/v1/estimate", estimate_body("slow", kSlowAsm));
+      EXPECT_EQ(response.status, 200);
+      const std::string* connection = response.header("Connection");
+      ASSERT_NE(connection, nullptr);
+      EXPECT_EQ(*connection, "close");  // responses during drain close
+    } catch (const Error& e) {
+      ADD_FAILURE() << "in-flight request failed: " << e.what();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  server.request_stop();
+  loop.join();  // returns only after the in-flight response was written
+  inflight.join();
+  EXPECT_GE(server.requests_served(), 1u);
+}
+
+TEST(HttpServer, StopWithIdleKeepAliveConnectionDrainsImmediately) {
+  service::BatchEstimator estimator(flat_model(), small_batch_options());
+  HttpServer server(estimator);
+  std::thread loop([&] { server.run(); });
+
+  HttpClient client("127.0.0.1", server.port(), 5000);
+  EXPECT_EQ(client.get("/healthz").status, 200);
+  EXPECT_TRUE(client.connected());  // idle keep-alive connection held open
+
+  const auto stop_at = std::chrono::steady_clock::now();
+  server.request_stop();
+  loop.join();
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - stop_at)
+                             .count();
+  EXPECT_LT(seconds, 5.0);  // did not wait for idle/drain timeouts
+}
+
+TEST(HttpServer, PollBackendServesRequests) {
+  ServerOptions options;
+  options.poller_backend = Poller::Backend::kPoll;
+  TestServer ts(options);
+  HttpClient client = ts.client();
+  EXPECT_EQ(client.get("/healthz").status, 200);
+  const auto response =
+      client.post("/v1/estimate", estimate_body("tiny", kTinyAsm));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(JsonValue::parse(response.body).find("ok")->as_bool());
+}
+
+TEST(HttpServer, ConcurrentClientsAllServed) {
+  TestServer ts;
+  constexpr int kClients = 4;
+  constexpr int kRequestsEach = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      HttpClient client = ts.client();
+      for (int i = 0; i < kRequestsEach; ++i) {
+        const auto response = client.post(
+            "/v1/estimate",
+            estimate_body("c" + std::to_string(c), kTinyAsm));
+        if (response.status == 200) ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), kClients * kRequestsEach);
+}
+
+}  // namespace
+}  // namespace exten::net

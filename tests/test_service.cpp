@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <latch>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -271,6 +273,57 @@ TEST(EvalCache, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
+TEST(EvalCache, TracksApproximateBytes) {
+  EvalCache cache(2);
+  EXPECT_EQ(cache.stats().approx_bytes, 0u);
+  cache.insert(key_of(1), dummy_estimate(1.0));
+  const std::uint64_t one_entry = cache.stats().approx_bytes;
+  EXPECT_GT(one_entry, 0u);
+  cache.insert(key_of(2), dummy_estimate(2.0));
+  const std::uint64_t two_entries = cache.stats().approx_bytes;
+  EXPECT_EQ(two_entries, 2 * one_entry);  // identical-shape estimates
+  // Refreshing an existing key replaces, not grows.
+  cache.insert(key_of(2), dummy_estimate(2.5));
+  EXPECT_EQ(cache.stats().approx_bytes, two_entries);
+  // Eviction releases the evicted entry's bytes.
+  cache.insert(key_of(3), dummy_estimate(3.0));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().approx_bytes, two_entries);
+  cache.clear();
+  EXPECT_EQ(cache.stats().approx_bytes, 0u);
+}
+
+TEST(EvalCache, ConcurrentHitsAndEvictionsKeepCountersCoherent) {
+  // 4 threads churning 32 keys through an 8-slot cache: constant hits,
+  // misses and evictions racing. The invariants below must hold exactly
+  // regardless of interleaving (and the test doubles as the TSan probe
+  // for the lock discipline).
+  EvalCache cache(8);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const Digest key = key_of(static_cast<std::uint64_t>(
+            (i * (t + 1) + t) % 32));
+        if (!cache.lookup(key).has_value()) {
+          cache.insert(key, dummy_estimate(static_cast<double>(i)));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kOpsPerThread);
+  EXPECT_LE(stats.entries, 8u);
+  EXPECT_EQ(stats.entries, stats.insertions - stats.evictions);
+  EXPECT_GT(stats.approx_bytes, 0u);
+  EXPECT_EQ(stats.approx_bytes,
+            stats.entries * (sizeof(Digest) + sizeof(model::EnergyEstimate)));
+}
+
 TEST(EvalCache, ClearDropsEntriesKeepsCounters) {
   EvalCache cache(8);
   cache.insert(key_of(1), dummy_estimate(1.0));
@@ -454,6 +507,129 @@ TEST(ExploreService, FaultingCandidateStillThrows) {
   EXPECT_THROW(explore::rank_candidates(candidates, estimator), Error);
 }
 
+// --- try_submit + cancellation ----------------------------------------------
+
+// ~20M instructions: keeps a single worker busy long enough for the tests
+// below to observe jobs while they are still queued.
+constexpr const char* kSlowLoopAsm = R"(
+  li   t0, 10000000
+loop:
+  addi t0, t0, -1
+  bnez t0, loop
+  halt
+)";
+
+TEST(BatchEstimator, TrySubmitBackpressureAndQueueDepth) {
+  BatchOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 1;
+  BatchEstimator estimator(flat_model(), options);
+  EXPECT_EQ(estimator.queue_capacity(), 1u);
+
+  BatchJob blocker;
+  blocker.name = "blocker";
+  blocker.program = model::make_test_program("blocker", kSlowLoopAsm);
+  std::latch blocker_done(1);
+  ASSERT_TRUE(estimator.try_submit(std::move(blocker), [&](JobResult r) {
+    EXPECT_TRUE(r.ok);
+    blocker_done.count_down();
+  }));
+  // Wait for the worker to pick the blocker up, freeing the queue slot.
+  while (estimator.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  BatchJob queued;
+  queued.name = "queued";
+  queued.program = model::make_test_program("queued", kTinyAsm);
+  std::latch queued_done(1);
+  ASSERT_TRUE(estimator.try_submit(queued, [&](JobResult) {
+    queued_done.count_down();
+  }));
+  EXPECT_EQ(estimator.queue_depth(), 1u);
+
+  // Queue full while the worker is busy: non-blocking rejection.
+  BatchJob rejected;
+  rejected.name = "rejected";
+  rejected.program = model::make_test_program("rejected", kTinyAsm);
+  EXPECT_FALSE(estimator.try_submit(std::move(rejected), [](JobResult) {
+    FAIL() << "rejected job must never run";
+  }));
+
+  blocker_done.wait();
+  queued_done.wait();
+}
+
+TEST(BatchEstimator, CancelTokenSkipsStillQueuedJob) {
+  BatchOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 4;
+  BatchEstimator estimator(flat_model(), options);
+
+  BatchJob blocker;
+  blocker.name = "blocker";
+  blocker.program = model::make_test_program("blocker", kSlowLoopAsm);
+  std::latch blocker_done(1);
+  ASSERT_TRUE(estimator.try_submit(std::move(blocker),
+                                   [&](JobResult) { blocker_done.count_down(); }));
+
+  BatchJob doomed;
+  doomed.name = "doomed";
+  doomed.program = model::make_test_program("doomed", kTinyAsm);
+  auto token = std::make_shared<CancelToken>();
+  JobResult doomed_result;
+  std::latch doomed_done(1);
+  ASSERT_TRUE(estimator.try_submit(std::move(doomed),
+                                   [&](JobResult r) {
+                                     doomed_result = std::move(r);
+                                     doomed_done.count_down();
+                                   },
+                                   token));
+  // Cancel while it is still queued behind the blocker.
+  token->cancel();
+  blocker_done.wait();
+  doomed_done.wait();
+  EXPECT_FALSE(doomed_result.ok);
+  EXPECT_TRUE(doomed_result.cancelled);
+  EXPECT_NE(doomed_result.error.find("cancelled"), std::string::npos);
+  EXPECT_FALSE(doomed_result.cache_hit);
+}
+
+TEST(BatchEstimator, PerJobInstructionBudgetIsHonoredAndKeyedSeparately) {
+  BatchEstimator estimator(flat_model());
+  BatchJob unbounded;
+  unbounded.name = "unbounded";
+  unbounded.program = model::make_test_program("tiny", kTinyAsm);
+  BatchJob capped = unbounded;
+  capped.max_instructions = 2;  // stops mid-program, no halt reached
+
+  const JobResult full = estimator.estimate_one(unbounded);
+  ASSERT_TRUE(full.ok) << full.error;
+  EXPECT_FALSE(full.cache_hit);
+
+  // A budget too small to reach HALT is a runaway-program error — and
+  // crucially it must NOT be served from the unbounded run's cache entry,
+  // which would silently mask the error. Same program, different budget,
+  // different evaluation.
+  const JobResult partial = estimator.estimate_one(capped);
+  EXPECT_FALSE(partial.ok);
+  EXPECT_FALSE(partial.cache_hit);
+  EXPECT_NE(partial.error.find("budget"), std::string::npos) << partial.error;
+
+  // A third distinct budget that is still generous enough succeeds and
+  // computes the same energy — but under its own cache key (miss).
+  BatchJob roomy = unbounded;
+  roomy.max_instructions = 64;
+  const JobResult again = estimator.estimate_one(roomy);
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_DOUBLE_EQ(again.estimate.energy_pj, full.estimate.energy_pj);
+  // Re-running with an identical budget does hit.
+  const JobResult roomy_again = estimator.estimate_one(roomy);
+  ASSERT_TRUE(roomy_again.ok);
+  EXPECT_TRUE(roomy_again.cache_hit);
+}
+
 // --- util/json (service tooling dependency) --------------------------------
 
 TEST(Json, ParsesRequestLine) {
@@ -477,6 +653,43 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(JsonValue::parse("\"unterminated"), Error);
   EXPECT_THROW(JsonValue::parse("{} trailing"), Error);
   EXPECT_THROW(JsonValue::parse("nul"), Error);
+}
+
+TEST(Json, DecodesUnicodeEscapes) {
+  // BMP escapes: 1-, 2- and 3-byte UTF-8.
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(JsonValue::parse("\"\\u00e9\"").as_string(), "\xC3\xA9");
+  EXPECT_EQ(JsonValue::parse("\"\\u20AC\"").as_string(),
+            "\xE2\x82\xAC");  // euro sign
+  // Surrogate pair: U+1F600 as \uD83D\uDE00 -> 4-byte UTF-8.
+  EXPECT_EQ(JsonValue::parse("\"\\uD83D\\uDE00\"").as_string(),
+            "\xF0\x9F\x98\x80");
+  // Case-insensitive hex digits.
+  EXPECT_EQ(JsonValue::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, RejectsLoneAndMismatchedSurrogates) {
+  // High surrogate with no continuation.
+  EXPECT_THROW(JsonValue::parse("\"\\uD83D\""), Error);
+  // High surrogate followed by a non-escape.
+  EXPECT_THROW(JsonValue::parse("\"\\uD83Dxx\""), Error);
+  // High surrogate followed by a non-surrogate escape.
+  EXPECT_THROW(JsonValue::parse("\"\\uD83D\\u0041\""), Error);
+  // Lone low surrogate.
+  EXPECT_THROW(JsonValue::parse("\"\\uDE00\""), Error);
+  // Truncated hex.
+  EXPECT_THROW(JsonValue::parse("\"\\u00\""), Error);
+}
+
+TEST(Json, RejectsTrailingGarbageAfterAnyDocument) {
+  EXPECT_THROW(JsonValue::parse("{} {}"), Error);
+  EXPECT_THROW(JsonValue::parse("[1] 2"), Error);
+  EXPECT_THROW(JsonValue::parse("1 2"), Error);
+  EXPECT_THROW(JsonValue::parse("true false"), Error);
+  EXPECT_THROW(JsonValue::parse("\"a\" \"b\""), Error);
+  // ...but trailing whitespace is fine.
+  EXPECT_DOUBLE_EQ(JsonValue::parse(" 1 \n\t").as_number(), 1.0);
 }
 
 TEST(Json, WriterEmitsParseableOutput) {

@@ -11,6 +11,7 @@
 #include "isa/image_io.h"
 #include "sim/cpu.h"
 #include "sim/tracer.h"
+#include "tools/tool_common.h"
 #include "util/error.h"
 #include "workloads/tie_library.h"
 #include "workloads/workloads.h"
@@ -235,6 +236,80 @@ TEST(Explore, TableRendersAllCandidates) {
       explore::rank_candidates(candidates, flat_model());
   EXPECT_EQ(explore::to_table(result).row_count(), 1u);
   EXPECT_TRUE(result.best().pareto_optimal);
+}
+
+// --- tool_common: exit codes and --version -------------------------------
+
+/// Builds argv-style arguments from a list of strings (same shape the
+/// xtc-* main() functions receive).
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    pointers_.push_back(const_cast<char*>("tool"));
+    for (std::string& arg : storage_) {
+      pointers_.push_back(arg.data());
+    }
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(ToolCommon, ExitCodesAreStableContract) {
+  // Deployment scripts branch on these: 0 = success, 1 = the work failed,
+  // 2 = bad invocation. They are part of the CLI contract — renumbering
+  // them is a breaking change.
+  EXPECT_EQ(tools::kExitOk, 0);
+  EXPECT_EQ(tools::kExitError, 1);
+  EXPECT_EQ(tools::kExitUsage, 2);
+}
+
+TEST(ToolCommon, VersionLineNamesToolAndSemver) {
+  const std::string line = tools::version_line("xtc-asm");
+  EXPECT_EQ(line, std::string("xtc-asm ") + EXTEN_VERSION);
+  // The build wires PROJECT_VERSION through; probe scripts rely on the
+  // "<tool> <major>.<minor>.<patch>" shape.
+  EXPECT_EQ(line.rfind("xtc-asm ", 0), 0u);
+  EXPECT_NE(line.find('.'), std::string::npos);
+}
+
+TEST(ToolCommon, HandleVersionPrintsLineAndRequestsExit) {
+  ArgvBuilder argv({"--version"});
+  const tools::Args args(argv.argc(), argv.argv());
+  ::testing::internal::CaptureStdout();
+  const bool handled = tools::handle_version(args, "xtc-run");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_TRUE(handled);
+  EXPECT_EQ(out, tools::version_line("xtc-run") + "\n");
+}
+
+TEST(ToolCommon, HandleVersionIsANoOpWithoutTheFlag) {
+  ArgvBuilder argv({"input.s", "--out", "a.img"});
+  const tools::Args args(argv.argc(), argv.argv());
+  ::testing::internal::CaptureStdout();
+  EXPECT_FALSE(tools::handle_version(args, "xtc-run"));
+  EXPECT_TRUE(::testing::internal::GetCapturedStdout().empty());
+}
+
+TEST(ToolCommon, ToolMainPassesThroughBodyExitCode) {
+  EXPECT_EQ(tools::tool_main("t", [] { return tools::kExitOk; }),
+            tools::kExitOk);
+  EXPECT_EQ(tools::tool_main("t", [] { return tools::kExitUsage; }),
+            tools::kExitUsage);
+}
+
+TEST(ToolCommon, ToolMainMapsErrorsToExitError) {
+  ::testing::internal::CaptureStderr();
+  const int code = tools::tool_main(
+      "xtc-test", []() -> int { throw Error("model file is unreadable"); });
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(code, tools::kExitError);
+  EXPECT_NE(err.find("xtc-test: error: model file is unreadable"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -20,6 +20,21 @@
 
 namespace exten::tools {
 
+/// Unified exit codes across every xtc-* tool (scriptable: a wrapper can
+/// tell "bad invocation" from "the work itself failed").
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;  ///< runtime failure (bad input, IO, ...)
+inline constexpr int kExitUsage = 2;  ///< bad command line
+
+#ifndef EXTEN_VERSION
+#define EXTEN_VERSION "0.0.0-dev"
+#endif
+
+/// The "--version" line: "<tool> <semver>".
+inline std::string version_line(std::string_view tool) {
+  return std::string(tool) + " " + EXTEN_VERSION;
+}
+
 /// Reads a whole file; throws exten::Error when unreadable.
 inline std::string read_file(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
@@ -112,6 +127,15 @@ inline LoadedProgram load_program(const std::string& path, const Args& args) {
   return loaded;
 }
 
+/// Handles the uniform --version flag: prints the version line and
+/// returns true (caller exits kExitOk). Call before any usage check so
+/// `tool --version` works without the otherwise-required arguments.
+inline bool handle_version(const Args& args, std::string_view tool) {
+  if (!args.has("version")) return false;
+  std::cout << version_line(tool) << "\n";
+  return true;
+}
+
 /// Standard tool main wrapper: catches exten::Error and prints it.
 template <typename Body>
 int tool_main(const char* tool, Body&& body) {
@@ -119,7 +143,7 @@ int tool_main(const char* tool, Body&& body) {
     return body();
   } catch (const Error& e) {
     std::cerr << tool << ": error: " << e.what() << "\n";
-    return 1;
+    return kExitError;
   }
 }
 

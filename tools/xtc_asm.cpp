@@ -13,10 +13,11 @@ int main(int argc, char** argv) {
   using namespace exten;
   return tools::tool_main("xtc-asm", [&] {
     const tools::Args args(argc, argv);
+    if (tools::handle_version(args, "xtc-asm")) return tools::kExitOk;
     if (args.positional().size() != 1) {
       std::cerr << "usage: xtc-asm program.s [--tie spec.tie] "
                    "[--out program.img] [--list]\n";
-      return 2;
+      return tools::kExitUsage;
     }
     const std::string input = args.positional()[0];
 
@@ -55,6 +56,6 @@ int main(int argc, char** argv) {
         }
       }
     }
-    return 0;
+    return tools::kExitOk;
   });
 }

@@ -143,11 +143,13 @@ int main(int argc, char** argv) {
   using namespace exten;
   return tools::tool_main("xtc-batch", [&] {
     const tools::Args args(argc, argv);
-    args.require_known({"model", "threads", "cache", "repeat", "json"});
+    args.require_known(
+        {"model", "threads", "cache", "repeat", "json", "version"});
+    if (tools::handle_version(args, "xtc-batch")) return tools::kExitOk;
     if (args.positional().size() != 1 || !args.has("model")) {
       std::cerr << "usage: xtc-batch jobs.jsonl --model FILE [--threads N] "
                    "[--cache N] [--repeat N] [--json]\n";
-      return 2;
+      return tools::kExitUsage;
     }
 
     service::BatchOptions options;
@@ -180,6 +182,6 @@ int main(int argc, char** argv) {
       }
       print_metrics(batch.metrics);
     }
-    return 0;
+    return tools::kExitOk;
   });
 }

@@ -14,6 +14,9 @@ int main(int argc, char** argv) {
   using namespace exten;
   return tools::tool_main("xtc-characterize", [&] {
     const tools::Args args(argc, argv);
+    if (tools::handle_version(args, "xtc-characterize")) {
+      return tools::kExitOk;
+    }
 
     model::CharacterizeOptions options;
     if (auto method = args.value("method")) {
@@ -55,6 +58,6 @@ int main(int argc, char** argv) {
         args.value("out").value_or("xtc32.macromodel");
     tools::write_file(output, result.model.serialize());
     std::cout << "model written to " << output << "\n";
-    return 0;
+    return tools::kExitOk;
   });
 }

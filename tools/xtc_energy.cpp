@@ -17,10 +17,11 @@ int main(int argc, char** argv) {
   using namespace exten;
   return tools::tool_main("xtc-energy", [&] {
     const tools::Args args(argc, argv);
+    if (tools::handle_version(args, "xtc-energy")) return tools::kExitOk;
     if (args.positional().size() != 1) {
       std::cerr << "usage: xtc-energy program.s|program.img [--tie spec.tie] "
                    "[--model FILE] [--reference] [--breakdown]\n";
-      return 2;
+      return tools::kExitUsage;
     }
     tools::LoadedProgram loaded =
         tools::load_program(args.positional()[0], args);
@@ -69,6 +70,6 @@ int main(int argc, char** argv) {
         table.print(std::cout);
       }
     }
-    return 0;
+    return tools::kExitOk;
   });
 }

@@ -19,10 +19,11 @@ int main(int argc, char** argv) {
   using namespace exten;
   return tools::tool_main("xtc-explore", [&] {
     const tools::Args args(argc, argv);
+    if (tools::handle_version(args, "xtc-explore")) return tools::kExitOk;
     if (args.positional().size() != 1 || !args.has("model")) {
       std::cerr << "usage: xtc-explore manifest.txt --model FILE "
                    "[--objective energy|delay|edp]\n";
-      return 2;
+      return tools::kExitUsage;
     }
     const std::string manifest_path = args.positional()[0];
     const std::string dir =
@@ -72,6 +73,6 @@ int main(int argc, char** argv) {
     explore::to_table(result).print(std::cout);
     std::cout << "\nbest by the chosen objective: " << result.best().name
               << "\n";
-    return 0;
+    return tools::kExitOk;
   });
 }

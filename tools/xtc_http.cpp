@@ -1,0 +1,70 @@
+// xtc-http: tiny HTTP client for driving xtc-serve from scripts (CI
+// smoke tests, shell experiments) without needing curl in the image.
+//
+//   xtc-http get  HOST:PORT /healthz
+//   xtc-http post HOST:PORT /v1/estimate --body request.json
+//   xtc-http post HOST:PORT /v1/estimate --data '{"asm": "..."}'
+//
+// Prints the response body to stdout. Exit code: 0 for a 2xx response,
+// 1 for transport errors or non-2xx statuses (with the status line on
+// stderr). --status additionally prints "HTTP <code>" to stdout first.
+
+#include "net/http_client.h"
+#include "tools/tool_common.h"
+
+int main(int argc, char** argv) {
+  using namespace exten;
+  return tools::tool_main("xtc-http", [&] {
+    const tools::Args args(argc, argv);
+    args.require_known({"body", "data", "status", "timeout-ms", "version"});
+    if (tools::handle_version(args, "xtc-http")) return tools::kExitOk;
+    if (args.positional().size() != 3) {
+      std::cerr << "usage: xtc-http get|post HOST:PORT /path "
+                   "[--body FILE | --data JSON] [--status] "
+                   "[--timeout-ms N]\n";
+      return tools::kExitUsage;
+    }
+    const std::string& verb = args.positional()[0];
+    const std::string& endpoint = args.positional()[1];
+    const std::string& target = args.positional()[2];
+    EXTEN_CHECK(verb == "get" || verb == "post", "bad verb '", verb,
+                "' (get|post)");
+
+    const std::size_t colon = endpoint.rfind(':');
+    EXTEN_CHECK(colon != std::string::npos && colon + 1 < endpoint.size(),
+                "endpoint must be HOST:PORT, got '", endpoint, "'");
+    const std::string host = endpoint.substr(0, colon);
+    const std::uint16_t port =
+        static_cast<std::uint16_t>(std::stoul(endpoint.substr(colon + 1)));
+
+    int timeout_ms = 30'000;
+    if (auto t = args.value("timeout-ms")) {
+      timeout_ms = static_cast<int>(std::stoul(*t));
+    }
+
+    std::string body;
+    if (auto path = args.value("body")) {
+      body = tools::read_file(*path);
+    } else if (auto data = args.value("data")) {
+      body = *data;
+    }
+
+    net::HttpClient client(host, port, timeout_ms);
+    const net::ResponseParser::Response response =
+        verb == "get" ? client.get(target) : client.post(target, body);
+
+    if (args.has("status")) {
+      std::cout << "HTTP " << response.status << "\n";
+    }
+    std::cout << response.body;
+    if (!response.body.empty() && response.body.back() != '\n') {
+      std::cout << "\n";
+    }
+    if (response.status < 200 || response.status >= 300) {
+      std::cerr << "xtc-http: server answered " << response.status << " "
+                << response.reason << "\n";
+      return tools::kExitError;
+    }
+    return tools::kExitOk;
+  });
+}

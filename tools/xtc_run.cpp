@@ -18,11 +18,12 @@ int main(int argc, char** argv) {
   using namespace exten;
   return tools::tool_main("xtc-run", [&] {
     const tools::Args args(argc, argv);
+    if (tools::handle_version(args, "xtc-run")) return tools::kExitOk;
     if (args.positional().size() != 1) {
       std::cerr << "usage: xtc-run program.s|program.img [--tie spec.tie] "
                    "[--trace N] [--profile N] [--max-instructions N] "
                    "[--dump-regs] [--engine fast|reference]\n";
-      return 2;
+      return tools::kExitUsage;
     }
     const tools::LoadedProgram loaded =
         tools::load_program(args.positional()[0], args);
@@ -112,6 +113,6 @@ int main(int argc, char** argv) {
                     cpu.reg(r + 2), r + 3, cpu.reg(r + 3));
       }
     }
-    return 0;
+    return tools::kExitOk;
   });
 }

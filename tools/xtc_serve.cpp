@@ -1,0 +1,105 @@
+// xtc-serve: the HTTP estimation server.
+//
+//   xtc-serve --model xtc32.macromodel [--port N] [--port-file PATH]
+//             [--address A] [--threads N] [--cache N] [--max-inflight N]
+//             [--deadline-ms N] [--poller epoll|poll]
+//
+// Serves POST /v1/estimate, POST /v1/batch, POST /v1/rank plus
+// GET /healthz and GET /metrics (see docs/server.md for the API).
+// --port defaults to 0 (ephemeral); the bound port is printed on stdout
+// ("listening on ADDRESS:PORT") and, with --port-file, written to PATH so
+// scripts can find it without parsing output. SIGTERM/SIGINT trigger a
+// graceful drain: in-flight requests finish, new ones are refused, and
+// the process exits 0.
+
+#include <csignal>
+
+#include "net/server.h"
+#include "tools/tool_common.h"
+
+namespace {
+
+exten::net::HttpServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace exten;
+  return tools::tool_main("xtc-serve", [&] {
+    const tools::Args args(argc, argv);
+    args.require_known({"model", "port", "port-file", "address", "threads",
+                        "cache", "max-inflight", "deadline-ms", "poller",
+                        "version"});
+    if (tools::handle_version(args, "xtc-serve")) return tools::kExitOk;
+    if (!args.has("model") || !args.positional().empty()) {
+      std::cerr << "usage: xtc-serve --model FILE [--port N] "
+                   "[--port-file PATH] [--address A] [--threads N] "
+                   "[--cache N] [--max-inflight N] [--deadline-ms N] "
+                   "[--poller epoll|poll]\n";
+      return tools::kExitUsage;
+    }
+
+    service::BatchOptions batch_options;
+    if (auto threads = args.value("threads")) {
+      batch_options.num_threads = static_cast<unsigned>(std::stoul(*threads));
+    }
+    if (auto cache = args.value("cache")) {
+      batch_options.cache_capacity = std::stoul(*cache);
+    }
+
+    net::ServerOptions server_options;
+    if (auto address = args.value("address")) {
+      server_options.bind_address = *address;
+    }
+    if (auto port = args.value("port")) {
+      server_options.port = static_cast<std::uint16_t>(std::stoul(*port));
+    }
+    if (auto inflight = args.value("max-inflight")) {
+      server_options.max_inflight = std::stoul(*inflight);
+      EXTEN_CHECK(server_options.max_inflight >= 1,
+                  "--max-inflight must be >= 1");
+    }
+    if (auto deadline = args.value("deadline-ms")) {
+      server_options.default_deadline_ms =
+          static_cast<int>(std::stoul(*deadline));
+    }
+    if (auto poller = args.value("poller")) {
+      if (*poller == "epoll") {
+        server_options.poller_backend = net::Poller::Backend::kEpoll;
+      } else if (*poller == "poll") {
+        server_options.poller_backend = net::Poller::Backend::kPoll;
+      } else {
+        throw Error("bad --poller '", *poller, "' (epoll|poll)");
+      }
+    }
+
+    service::BatchEstimator estimator(
+        model::EnergyMacroModel::deserialize(
+            tools::read_file(args.value("model").value())),
+        batch_options);
+    net::HttpServer server(estimator, server_options);
+
+    g_server = &server;
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGPIPE, SIG_IGN);  // broken clients must not kill us
+
+    if (auto port_file = args.value("port-file")) {
+      tools::write_file(*port_file, std::to_string(server.port()) + "\n");
+    }
+    std::cout << "listening on " << server_options.bind_address << ":"
+              << server.port() << " (" << estimator.num_threads()
+              << " workers)\n"
+              << std::flush;
+
+    server.run();
+    g_server = nullptr;
+    std::cout << "drained after " << server.requests_served()
+              << " requests, exiting\n";
+    return tools::kExitOk;
+  });
+}
