@@ -1,0 +1,182 @@
+#include "fuzz/fuzz.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace exten::fuzz {
+
+Corpus Corpus::load_directory(const std::string& dir) {
+  Corpus corpus;
+  std::error_code ec;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec)) paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file.good()) continue;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    corpus.add(buffer.str());
+  }
+  return corpus;
+}
+
+void Corpus::append(const Corpus& other) {
+  for (const std::string& entry : other.entries_) entries_.push_back(entry);
+}
+
+std::optional<Failure> run_target(const Target& target,
+                                  const RunOptions& options) {
+  for (std::uint64_t i = 0; i < options.iterations; ++i) {
+    Rng rng(Rng::derive_seed(options.seed, i));
+    static const Corpus kEmpty;
+    const Corpus& corpus = options.corpus ? *options.corpus : kEmpty;
+    std::string payload = target.generate(rng, corpus);
+    Outcome outcome = target.run(payload);
+    if (!outcome.ok) {
+      Failure failure;
+      failure.target = std::string(target.name());
+      failure.seed = options.seed;
+      failure.iteration = i;
+      failure.message = std::move(outcome.message);
+      failure.payload = minimize(target, std::move(payload), &failure.message,
+                                 options.max_shrink_steps);
+      return failure;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Splits into lines, keeping the terminator with each line so joining is
+/// byte-exact.
+std::vector<std::string> chunk_lines(const std::string& payload) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < payload.size()) {
+    std::size_t end = payload.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(payload.substr(start));
+      break;
+    }
+    lines.push_back(payload.substr(start, end - start + 1));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string join(const std::vector<std::string>& chunks,
+                 std::size_t skip_begin, std::size_t skip_end) {
+  std::string out;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (i >= skip_begin && i < skip_end) continue;
+    out += chunks[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string minimize(const Target& target, std::string payload,
+                     std::string* message, std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  bool progress = true;
+  while (progress && steps < max_steps) {
+    progress = false;
+    std::vector<std::string> chunks;
+    if (target.shrink_lines()) {
+      chunks = chunk_lines(payload);
+    } else {
+      // Byte payloads shrink in fixed-size chunks refined per round.
+      chunks.reserve(payload.size());
+      for (char c : payload) chunks.emplace_back(1, c);
+    }
+    if (chunks.size() < 2) break;
+    // Try removing windows from large (half the payload) to single chunks.
+    for (std::size_t window = chunks.size() / 2; window >= 1; window /= 2) {
+      for (std::size_t begin = 0;
+           begin + window <= chunks.size() && steps < max_steps;
+           begin += window) {
+        const std::string candidate = join(chunks, begin, begin + window);
+        if (candidate.empty()) continue;
+        ++steps;
+        Outcome outcome = target.run(candidate);
+        if (!outcome.ok) {
+          payload = candidate;
+          *message = std::move(outcome.message);
+          progress = true;
+          break;
+        }
+      }
+      if (progress || window == 1) break;
+    }
+  }
+  return payload;
+}
+
+std::string write_repro_text(const Failure& failure) {
+  std::ostringstream os;
+  os << "xtc-fuzz repro v1\n";
+  os << "target " << failure.target << '\n';
+  os << "seed " << failure.seed << " iteration " << failure.iteration << '\n';
+  os << "payload " << failure.payload.size() << '\n';
+  os << failure.payload;
+  os << "\n--- message\n" << failure.message << '\n';
+  return os.str();
+}
+
+Failure parse_repro_text(std::string_view text) {
+  Failure failure;
+  auto take_line = [&text]() -> std::string_view {
+    const std::size_t end = text.find('\n');
+    EXTEN_CHECK(end != std::string_view::npos, "repro: truncated header");
+    std::string_view line = text.substr(0, end);
+    text.remove_prefix(end + 1);
+    return line;
+  };
+
+  EXTEN_CHECK(take_line() == "xtc-fuzz repro v1",
+              "repro: missing 'xtc-fuzz repro v1' header");
+  std::string_view line = take_line();
+  EXTEN_CHECK(starts_with(line, "target "), "repro: missing target line");
+  failure.target = std::string(line.substr(7));
+
+  line = take_line();
+  EXTEN_CHECK(starts_with(line, "seed "), "repro: missing seed line");
+  {
+    std::istringstream is{std::string(line)};
+    std::string word;
+    is >> word >> failure.seed >> word >> failure.iteration;
+  }
+
+  line = take_line();
+  EXTEN_CHECK(starts_with(line, "payload "), "repro: missing payload line");
+  std::int64_t length = 0;
+  EXTEN_CHECK(parse_int(line.substr(8), &length) && length >= 0,
+              "repro: bad payload length '", line.substr(8), "'");
+  EXTEN_CHECK(static_cast<std::size_t>(length) <= text.size(),
+              "repro: payload truncated (expected ", length, " bytes, have ",
+              text.size(), ")");
+  failure.payload = std::string(text.substr(0, static_cast<std::size_t>(length)));
+  text.remove_prefix(static_cast<std::size_t>(length));
+
+  // Optional trailing "--- message" block (human-readable only).
+  const std::size_t marker = text.find("--- message\n");
+  if (marker != std::string_view::npos) {
+    std::string_view message = text.substr(marker + 12);
+    while (ends_with(message, "\n")) message.remove_suffix(1);
+    failure.message = std::string(message);
+  }
+  return failure;
+}
+
+}  // namespace exten::fuzz

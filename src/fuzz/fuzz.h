@@ -1,0 +1,130 @@
+#pragma once
+
+// Deterministic, seed-reproducible fuzzing with differential oracles.
+//
+// Every fuzz target follows the same contract:
+//   - generate(rng, corpus) produces one concrete *payload* (a
+//     self-contained byte string: an assembly program, a TIE spec, raw
+//     HTTP bytes, ...). The payload is the whole case — replaying it needs
+//     no RNG state.
+//   - run(payload) executes the target's oracle and reports pass/fail.
+//     run must be a pure function of the payload, so a failure found at
+//     (seed, iteration) is one `xtc-fuzz --repro file` away from replay.
+//
+// The driver (run_target) derives iteration seeds with Rng::derive_seed —
+// a pure function of (seed, iteration) — so iteration N is reproducible
+// without generating iterations 0..N-1, and a CI failure names the exact
+// case. On failure the payload is greedily minimized (delta-debug style
+// chunk removal) before it is written to a repro artifact.
+//
+// Targets live in targets.cpp; tools/xtc_fuzz.cpp is the CLI driver and
+// tests/test_fuzz.cpp the budgeted in-tree smoke.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace exten::fuzz {
+
+/// Result of one oracle run.
+struct Outcome {
+  bool ok = true;
+  std::string message;  ///< failure description (empty when ok)
+
+  static Outcome pass() { return {}; }
+  static Outcome fail(std::string message) { return {false, std::move(message)}; }
+};
+
+/// Seed inputs for mutational targets. Entries are ordered (directory
+/// loads sort by file name) so corpus selection is deterministic.
+class Corpus {
+ public:
+  void add(std::string bytes) { entries_.push_back(std::move(bytes)); }
+  const std::vector<std::string>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  /// Loads every regular file under `dir` (sorted by path). Missing or
+  /// unreadable directories yield an empty corpus — targets fall back to
+  /// their built-in seeds.
+  static Corpus load_directory(const std::string& dir);
+
+  /// Merges `other`'s entries after this corpus's own.
+  void append(const Corpus& other);
+
+ private:
+  std::vector<std::string> entries_;
+};
+
+/// One fuzz target: a generator plus a differential oracle.
+class Target {
+ public:
+  virtual ~Target() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+
+  /// Generates one payload. `corpus` holds external seed inputs for
+  /// mutational targets (may be empty; targets keep built-in seeds).
+  virtual std::string generate(Rng& rng, const Corpus& corpus) const = 0;
+
+  /// Runs the oracle. Deterministic in `payload`; never throws (oracle
+  /// implementations convert expected exceptions into pass/fail).
+  virtual Outcome run(const std::string& payload) const = 0;
+
+  /// Minimization granularity: true shrinks whole lines (structured text
+  /// payloads), false shrinks byte ranges.
+  virtual bool shrink_lines() const { return false; }
+};
+
+/// The built-in target set (engine_diff, tie_diff, asm, disasm, image,
+/// json, http), in stable order.
+const std::vector<const Target*>& builtin_targets();
+
+/// Built-in target by name; nullptr when unknown.
+const Target* find_target(std::string_view name);
+
+/// A minimized failing case.
+struct Failure {
+  std::string target;
+  std::uint64_t seed = 0;
+  std::uint64_t iteration = 0;
+  std::string payload;  ///< minimized payload that still fails
+  std::string message;  ///< oracle message for the minimized payload
+};
+
+struct RunOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t iterations = 1000;
+  const Corpus* corpus = nullptr;   ///< optional external corpus
+  std::uint64_t max_shrink_steps = 600;  ///< oracle-run budget for minimize
+};
+
+/// Runs `iterations` cases of `target`; returns the first failure, already
+/// minimized, or nullopt when every case passed.
+std::optional<Failure> run_target(const Target& target, const RunOptions& options);
+
+/// Greedy payload minimization: repeatedly removes line/byte chunks while
+/// the oracle keeps failing, spending at most `max_steps` oracle runs.
+/// Updates `*message` to the minimized payload's failure message.
+std::string minimize(const Target& target, std::string payload,
+                     std::string* message, std::uint64_t max_steps);
+
+/// Repro artifact format:
+///   xtc-fuzz repro v1
+///   target <name>
+///   seed <n> iteration <n>
+///   payload <byte-count>
+///   <payload bytes, verbatim>
+///   --- message
+///   <free text, ignored by the parser>
+std::string write_repro_text(const Failure& failure);
+
+/// Parses a repro artifact (only target + payload are required for
+/// replay). Throws exten::Error on a malformed artifact.
+Failure parse_repro_text(std::string_view text);
+
+}  // namespace exten::fuzz

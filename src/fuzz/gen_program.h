@@ -1,0 +1,41 @@
+#pragma once
+
+// Structured generation of random-but-valid XTC-32 assembly programs.
+//
+// Generated programs always terminate: control flow is restricted to
+// forward branches/jumps and counted loops with dedicated counter
+// registers, so the dynamic instruction count is linear in the program
+// size. Optional features widen coverage: counted loops, self-modifying
+// stores that patch an upcoming instruction word, custom-instruction
+// mixes, and loads/stores into the uncached device region.
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace exten::fuzz {
+
+struct ProgramGenOptions {
+  /// Number of generator constructs (each emits 1..8 instructions).
+  unsigned blocks = 20;
+  bool allow_loops = true;
+  bool allow_self_modify = false;
+  bool allow_uncached = false;
+
+  /// Custom instructions available to the generator (operand shape as the
+  /// assembler sees it). Empty disables custom blocks.
+  struct CustomOp {
+    std::string name;
+    bool has_rd = false;
+    bool has_rs1 = false;
+    bool has_rs2 = false;
+  };
+  std::vector<CustomOp> customs;
+};
+
+/// Generates one assembly program (always ends in halt; always assembles
+/// against the mnemonics implied by `options.customs`).
+std::string generate_program(Rng& rng, const ProgramGenOptions& options);
+
+}  // namespace exten::fuzz

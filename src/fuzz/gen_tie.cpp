@@ -1,0 +1,198 @@
+#include "fuzz/gen_tie.h"
+
+#include <sstream>
+#include <vector>
+
+namespace exten::fuzz {
+
+namespace {
+
+struct Decls {
+  std::vector<std::string> states;
+  std::vector<std::string> regfiles;
+  std::vector<std::string> tables;
+};
+
+class SpecBuilder {
+ public:
+  SpecBuilder(Rng& rng, const TieGenOptions& options)
+      : rng_(rng), options_(options) {}
+
+  std::string build() {
+    emit_decls();
+    const unsigned instructions =
+        1 + static_cast<unsigned>(rng_.next_below(options_.max_instructions));
+    for (unsigned i = 0; i < instructions; ++i) emit_instruction(i);
+    return out_.str();
+  }
+
+ private:
+  void emit_decls() {
+    const unsigned states =
+        static_cast<unsigned>(rng_.next_below(options_.max_states + 1));
+    for (unsigned i = 0; i < states; ++i) {
+      const std::string name = "s" + std::to_string(i);
+      out_ << "state " << name << " width="
+           << rng_.next_in(1, 64) << "\n";
+      decls_.states.push_back(name);
+    }
+    const unsigned regfiles =
+        static_cast<unsigned>(rng_.next_below(options_.max_regfiles + 1));
+    for (unsigned i = 0; i < regfiles; ++i) {
+      const std::string name = "f" + std::to_string(i);
+      out_ << "regfile " << name << " width=" << rng_.next_in(1, 64)
+           << " size=" << (1u << rng_.next_below(5)) << "\n";
+      decls_.regfiles.push_back(name);
+    }
+    const unsigned tables =
+        static_cast<unsigned>(rng_.next_below(options_.max_tables + 1));
+    for (unsigned i = 0; i < tables; ++i) {
+      const std::string name = "t" + std::to_string(i);
+      const unsigned width = 1 + static_cast<unsigned>(rng_.next_below(16));
+      const std::size_t size = std::size_t{1} << (1 + rng_.next_below(6));
+      out_ << "table " << name << " size=" << size << " width=" << width
+           << " {";
+      for (std::size_t v = 0; v < size; ++v) {
+        const std::uint64_t mask =
+            width >= 64 ? ~std::uint64_t{0}
+                        : ((std::uint64_t{1} << width) - 1);
+        out_ << (v == 0 ? " " : ", ") << (rng_.next_u64() & mask);
+      }
+      out_ << " }\n";
+      decls_.tables.push_back(name);
+    }
+  }
+
+  /// Generates an expression, recording operand usage in the flags.
+  std::string expr(unsigned depth) {
+    // Leaves when the depth budget runs out or by chance.
+    if (depth == 0 || rng_.next_bool(0.3)) return leaf();
+    switch (rng_.next_below(4)) {
+      case 0: {  // binary
+        static const std::vector<std::string> kOps = {
+            "+", "-", "*", "&", "|", "^", "<<", ">>",
+            "==", "!=", "<", "<=", ">", ">="};
+        return "(" + expr(depth - 1) + " " + rng_.pick(kOps) + " " +
+               expr(depth - 1) + ")";
+      }
+      case 1:  // unary
+        return (rng_.next_bool() ? "~" : "-") + std::string("(") +
+               expr(depth - 1) + ")";
+      case 2: {  // builtin call
+        switch (rng_.next_below(7)) {
+          case 0:
+            return (rng_.next_bool() ? "sext(" : "zext(") + expr(depth - 1) +
+                   ", " + std::to_string(rng_.next_in(1, 63)) + ")";
+          case 1:
+            return "sel(" + expr(depth - 1) + ", " + expr(depth - 1) + ", " +
+                   expr(depth - 1) + ")";
+          case 2: {
+            static const std::vector<std::string> kPair = {"min", "max",
+                                                           "mins", "maxs"};
+            return rng_.pick(kPair) + "(" + expr(depth - 1) + ", " +
+                   expr(depth - 1) + ")";
+          }
+          case 3:
+            return "abs(" + expr(depth - 1) + ")";
+          case 4:
+            return "popcount(" + expr(depth - 1) + ")";
+          default:
+            return "asr(" + expr(depth - 1) + ", " + expr(depth - 1) + ", " +
+                   std::to_string(rng_.next_in(1, 63)) + ")";
+        }
+      }
+      default:  // indexed read
+        if (!decls_.tables.empty() && rng_.next_bool()) {
+          return rng_.pick(decls_.tables) + "[" + expr(depth - 1) + "]";
+        }
+        if (!decls_.regfiles.empty()) {
+          return rng_.pick(decls_.regfiles) + "[" + expr(depth - 1) + "]";
+        }
+        return leaf();
+    }
+  }
+
+  std::string leaf() {
+    switch (rng_.next_below(5)) {
+      case 0:
+        uses_rs1_ = true;
+        return "rs1";
+      case 1:
+        uses_rs2_ = true;
+        return "rs2";
+      case 2:
+        if (!decls_.states.empty()) return rng_.pick(decls_.states);
+        [[fallthrough]];
+      case 3:
+        // Small literals keep shifts and table indices interesting.
+        return std::to_string(rng_.next_below(256));
+      default:
+        return std::to_string(rng_.next_u32());
+    }
+  }
+
+  void emit_instruction(unsigned index) {
+    uses_rs1_ = uses_rs2_ = false;
+    const unsigned assignments =
+        1 + static_cast<unsigned>(rng_.next_below(options_.max_assignments));
+    bool writes_rd = false;
+    std::ostringstream semantics;
+    for (unsigned a = 0; a < assignments; ++a) {
+      const std::uint64_t target = rng_.next_below(3);
+      if (target == 0 || (decls_.states.empty() && decls_.regfiles.empty())) {
+        semantics << "    rd = " << expr(options_.max_expr_depth) << ";\n";
+        writes_rd = true;
+      } else if (target == 1 && !decls_.states.empty()) {
+        semantics << "    " << rng_.pick(decls_.states) << " = "
+                  << expr(options_.max_expr_depth) << ";\n";
+      } else if (!decls_.regfiles.empty()) {
+        semantics << "    " << rng_.pick(decls_.regfiles) << "["
+                  << expr(2) << "] = " << expr(options_.max_expr_depth)
+                  << ";\n";
+      } else {
+        semantics << "    rd = " << expr(options_.max_expr_depth) << ";\n";
+        writes_rd = true;
+      }
+    }
+
+    out_ << "instruction fz" << index << " {\n";
+    out_ << "  latency " << rng_.next_in(1, 4) << "\n";
+    if (uses_rs1_ && uses_rs2_) {
+      out_ << "  reads rs1, rs2\n";
+    } else if (uses_rs1_) {
+      out_ << "  reads rs1\n";
+    } else if (uses_rs2_) {
+      out_ << "  reads rs2\n";
+    }
+    if (writes_rd) out_ << "  writes rd\n";
+    if (rng_.next_bool(0.2)) out_ << "  isolated\n";
+    // Always at least one explicit component (the compiler rejects empty
+    // datapaths for instructions with no implicit state/table component).
+    static const std::vector<std::string> kComponents = {
+        "mult", "adder", "logic", "shifter", "tie_mult",
+        "tie_mac", "tie_add", "tie_csa"};
+    out_ << "  use logic width=8\n";
+    if (rng_.next_bool()) {
+      out_ << "  use " << rng_.pick(kComponents)
+           << " width=" << rng_.next_in(1, 64)
+           << " count=" << rng_.next_in(1, 4) << "\n";
+    }
+    out_ << "  semantics {\n" << semantics.str() << "  }\n";
+    out_ << "}\n";
+  }
+
+  Rng& rng_;
+  const TieGenOptions& options_;
+  Decls decls_;
+  std::ostringstream out_;
+  bool uses_rs1_ = false;
+  bool uses_rs2_ = false;
+};
+
+}  // namespace
+
+std::string generate_tie_spec(Rng& rng, const TieGenOptions& options) {
+  return SpecBuilder(rng, options).build();
+}
+
+}  // namespace exten::fuzz

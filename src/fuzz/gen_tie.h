@@ -1,0 +1,30 @@
+#pragma once
+
+// Random-but-valid TIE-lite specification generation.
+//
+// Specs exercise the whole semantics language — every operator, builtin
+// call, state/regfile/table access, multi-assignment instructions — while
+// respecting the compiler's validation rules (width/size/latency bounds,
+// reads/writes declarations consistent with the semantics, power-of-two
+// tables). Used by the tie_diff target (bytecode vs tree evaluation) and
+// by engine_diff custom-instruction mixes.
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace exten::fuzz {
+
+struct TieGenOptions {
+  unsigned max_states = 2;
+  unsigned max_regfiles = 1;
+  unsigned max_tables = 2;
+  unsigned max_instructions = 3;
+  unsigned max_assignments = 3;
+  unsigned max_expr_depth = 4;
+};
+
+/// Generates TIE-lite source text that tie::compile_tie_source accepts.
+std::string generate_tie_spec(Rng& rng, const TieGenOptions& options = {});
+
+}  // namespace exten::fuzz

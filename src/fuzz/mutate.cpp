@@ -1,0 +1,83 @@
+#include "fuzz/mutate.h"
+
+#include <algorithm>
+
+namespace exten::fuzz {
+
+namespace {
+
+// Boundary bytes that historically trip parsers: NUL, newline variants,
+// separators, sign characters, extremes.
+constexpr unsigned char kInterestingBytes[] = {
+    0x00, 0x09, 0x0a, 0x0d, 0x20, '"', ',', ':', ';', '#', '-', '+',
+    '0',  '9',  '{',  '}',  '[',  ']', 0x7f, 0x80, 0xff};
+
+std::size_t random_index(Rng& rng, std::size_t size) {
+  return static_cast<std::size_t>(rng.next_below(size));
+}
+
+}  // namespace
+
+std::string mutate_bytes(const std::string& base, Rng& rng, unsigned rounds,
+                         const std::vector<std::string>& dictionary) {
+  std::string bytes = base;
+  for (unsigned round = 0; round < rounds; ++round) {
+    if (bytes.empty()) bytes.push_back('a');
+    const std::uint64_t kind = rng.next_below(dictionary.empty() ? 7 : 8);
+    switch (kind) {
+      case 0: {  // single bit flip
+        const std::size_t i = random_index(rng, bytes.size());
+        bytes[i] = static_cast<char>(
+            static_cast<unsigned char>(bytes[i]) ^ (1u << rng.next_below(8)));
+        break;
+      }
+      case 1: {  // overwrite with a random byte
+        bytes[random_index(rng, bytes.size())] =
+            static_cast<char>(rng.next_below(256));
+        break;
+      }
+      case 2: {  // overwrite with an interesting byte
+        bytes[random_index(rng, bytes.size())] = static_cast<char>(
+            kInterestingBytes[rng.next_below(std::size(kInterestingBytes))]);
+        break;
+      }
+      case 3: {  // erase a short range
+        const std::size_t i = random_index(rng, bytes.size());
+        const std::size_t n = 1 + random_index(
+            rng, std::min<std::size_t>(16, bytes.size() - i));
+        bytes.erase(i, n);
+        break;
+      }
+      case 4: {  // duplicate a short range
+        const std::size_t i = random_index(rng, bytes.size());
+        const std::size_t n = 1 + random_index(
+            rng, std::min<std::size_t>(16, bytes.size() - i));
+        bytes.insert(i, bytes.substr(i, n));
+        break;
+      }
+      case 5: {  // insert a random byte
+        bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(
+                         random_index(rng, bytes.size() + 1)),
+                     static_cast<char>(rng.next_below(256)));
+        break;
+      }
+      case 6: {  // swap two bytes
+        const std::size_t i = random_index(rng, bytes.size());
+        const std::size_t j = random_index(rng, bytes.size());
+        std::swap(bytes[i], bytes[j]);
+        break;
+      }
+      default: {  // splice a dictionary token
+        const std::string& token =
+            dictionary[random_index(rng, dictionary.size())];
+        bytes.insert(random_index(rng, bytes.size() + 1), token);
+        break;
+      }
+    }
+    // Keep payloads bounded so oracle runs stay fast.
+    if (bytes.size() > 8192) bytes.resize(8192);
+  }
+  return bytes;
+}
+
+}  // namespace exten::fuzz

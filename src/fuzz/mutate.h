@@ -1,0 +1,21 @@
+#pragma once
+
+// Mutational byte fuzzing: deterministic havoc-style mutations over a
+// seed input. Used by the assembler / image / JSON / HTTP targets, which
+// take real corpus inputs and perturb them to probe parser edges.
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace exten::fuzz {
+
+/// Applies `rounds` random mutations to `base`. Mutations: bit flips,
+/// byte overwrites with random or "interesting" values, range erase /
+/// insert / duplicate, byte swaps, truncation, and token splices from
+/// `dictionary` (may be empty). Deterministic in (base, rng state).
+std::string mutate_bytes(const std::string& base, Rng& rng, unsigned rounds,
+                         const std::vector<std::string>& dictionary = {});
+
+}  // namespace exten::fuzz

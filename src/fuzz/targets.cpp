@@ -1,0 +1,1026 @@
+#include "fuzz/targets.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "fuzz/gen_program.h"
+#include "fuzz/gen_tie.h"
+#include "fuzz/mutate.h"
+#include "isa/assembler.h"
+#include "isa/disassembler.h"
+#include "isa/encoding.h"
+#include "isa/image_io.h"
+#include "isa/program.h"
+#include "net/http.h"
+#include "sim/cpu.h"
+#include "tie/compiler.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace exten::fuzz {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+/// FNV-1a accumulator over 64-bit values (byte order fixed: little-endian
+/// serialization of each value, so the digest is platform independent).
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<unsigned char>(v >> (8 * i));
+      h *= 0x100000001b3ULL;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// engine_diff: Engine::kFast vs Engine::kReference bit-exactness
+// ---------------------------------------------------------------------------
+
+/// Instruction budget for oracle runs. Generated programs retire far fewer
+/// instructions; the low ceiling keeps accidental runaways (e.g. shrink
+/// candidates that break a loop bound) cheap — both engines see the same
+/// retirement stream, so they exhaust the budget identically.
+constexpr std::uint64_t kRunBudget = 2'000'000;
+
+/// Digest of the full retirement stream. Mirrors the DigestSink of
+/// tests/test_engine_diff.cpp but mixes the custom instruction's func id
+/// instead of its pointer, so the digest is a pure function of execution.
+struct StreamDigest {
+  Fnv fnv;
+  void on_run_begin() {}
+  void on_retire(const sim::RetiredInstruction& r) {
+    fnv.mix(r.pc);
+    fnv.mix((std::uint64_t{static_cast<unsigned>(r.instr.op)} << 32) |
+            (std::uint64_t{r.instr.rd} << 24) |
+            (std::uint64_t{r.instr.rs1} << 16) |
+            (std::uint64_t{r.instr.rs2} << 8) | r.instr.func);
+    fnv.mix(static_cast<std::uint32_t>(r.instr.imm));
+    fnv.mix(static_cast<unsigned>(r.cls));
+    fnv.mix((std::uint64_t{r.branch_taken} << 1) | std::uint64_t{r.is_mem});
+    fnv.mix((std::uint64_t{r.base_cycles} << 32) | r.total_cycles);
+    fnv.mix((std::uint64_t{r.icache_miss} << 3) |
+            (std::uint64_t{r.dcache_miss} << 2) |
+            (std::uint64_t{r.uncached_fetch} << 1) |
+            std::uint64_t{r.uncached_data});
+    fnv.mix((std::uint64_t{r.interlock_cycles} << 40) |
+            (std::uint64_t{r.redirect_cycles} << 20) | r.memory_stall_cycles);
+    fnv.mix((std::uint64_t{r.rs1_value} << 32) | r.rs2_value);
+    fnv.mix((std::uint64_t{r.result} << 32) | r.mem_addr);
+    fnv.mix(r.custom != nullptr ? 0x100u + r.custom->func : 0u);
+  }
+  void on_run_end(std::uint64_t, std::uint64_t) {}
+};
+
+/// Everything observable about one engine's run of one case.
+struct Capture {
+  bool threw = false;
+  std::string error;
+  std::uint64_t stream_digest = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  bool halted = false;
+  std::array<std::uint32_t, isa::kNumRegisters> regs{};
+  std::uint32_t pc = 0;
+  std::uint64_t tie_digest = 0;
+  std::uint64_t mem_digest = 0;
+};
+
+Capture capture_run(const sim::ProcessorConfig& config,
+                    const tie::TieConfiguration& tie,
+                    const isa::ProgramImage& image, sim::Engine engine) {
+  Capture c;
+  sim::Cpu cpu(config, tie, engine);
+  cpu.load_program(image);
+  StreamDigest sink;
+  try {
+    const sim::RunResult r = cpu.run_with_sink(sink, kRunBudget);
+    c.instructions = r.instructions;
+    c.cycles = r.cycles;
+    c.halted = r.halted;
+  } catch (const Error& e) {
+    c.threw = true;
+    c.error = e.what();
+  }
+  c.stream_digest = sink.fnv.h;
+  for (unsigned i = 0; i < isa::kNumRegisters; ++i) c.regs[i] = cpu.reg(i);
+  c.pc = cpu.pc();
+
+  Fnv tf;
+  for (const tie::StateDecl& s : tie.state_decls()) {
+    tf.mix(cpu.tie_state().read_state(s.name));
+  }
+  for (const tie::RegfileDecl& f : tie.regfile_decls()) {
+    for (unsigned i = 0; i < f.size; ++i) {
+      tf.mix(cpu.tie_state().read_regfile(f.name, i));
+    }
+  }
+  c.tie_digest = tf.h;
+
+  Fnv mf;
+  for (std::uint32_t page : cpu.memory().resident_page_ids()) {
+    mf.mix(page);
+    const std::uint8_t* bytes = cpu.memory().page_bytes(page);
+    for (std::uint32_t i = 0; i < sim::Memory::kPageBytes; i += 8) {
+      std::uint64_t word = 0;
+      for (unsigned b = 0; b < 8; ++b) {
+        word |= std::uint64_t{bytes[i + b]} << (8 * b);
+      }
+      mf.mix(word);
+    }
+  }
+  c.mem_digest = mf.h;
+  return c;
+}
+
+Outcome compare_captures(const Capture& fast, const Capture& ref) {
+  std::ostringstream os;
+  os << "engine divergence (fast vs reference): ";
+  if (fast.threw != ref.threw) {
+    os << "fast " << (fast.threw ? "threw: " + fast.error : "completed")
+       << "; reference "
+       << (ref.threw ? "threw: " + ref.error : "completed");
+    return Outcome::fail(os.str());
+  }
+  if (fast.error != ref.error) {
+    os << "error message mismatch: fast=\"" << fast.error
+       << "\" reference=\"" << ref.error << "\"";
+    return Outcome::fail(os.str());
+  }
+  if (fast.stream_digest != ref.stream_digest) {
+    os << "retirement-stream digest mismatch: fast=" << std::hex
+       << fast.stream_digest << " reference=" << ref.stream_digest;
+    return Outcome::fail(os.str());
+  }
+  if (fast.instructions != ref.instructions || fast.cycles != ref.cycles ||
+      fast.halted != ref.halted) {
+    os << "totals mismatch: fast instr=" << fast.instructions
+       << " cycles=" << fast.cycles << " halted=" << fast.halted
+       << "; reference instr=" << ref.instructions
+       << " cycles=" << ref.cycles << " halted=" << ref.halted;
+    return Outcome::fail(os.str());
+  }
+  if (fast.pc != ref.pc) {
+    os << "final pc mismatch: fast=0x" << std::hex << fast.pc
+       << " reference=0x" << ref.pc;
+    return Outcome::fail(os.str());
+  }
+  for (unsigned i = 0; i < isa::kNumRegisters; ++i) {
+    if (fast.regs[i] != ref.regs[i]) {
+      os << "r" << i << " mismatch: fast=0x" << std::hex << fast.regs[i]
+         << " reference=0x" << ref.regs[i];
+      return Outcome::fail(os.str());
+    }
+  }
+  if (fast.tie_digest != ref.tie_digest) {
+    os << "TIE state digest mismatch: fast=" << std::hex << fast.tie_digest
+       << " reference=" << ref.tie_digest;
+    return Outcome::fail(os.str());
+  }
+  if (fast.mem_digest != ref.mem_digest) {
+    os << "memory digest mismatch: fast=" << std::hex << fast.mem_digest
+       << " reference=" << ref.mem_digest;
+    return Outcome::fail(os.str());
+  }
+  return Outcome::pass();
+}
+
+bool is_pow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+void apply_config_token(std::string_view token, sim::ProcessorConfig* config) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos) return;
+  const std::string_view key = token.substr(0, eq);
+  const std::string_view value = token.substr(eq + 1);
+
+  auto set_penalty = [&](unsigned* field) {
+    std::int64_t v = 0;
+    if (parse_int(value, &v) && v >= 0 && v <= 1000) {
+      *field = static_cast<unsigned>(v);
+    }
+  };
+  auto set_cache = [&](sim::CacheConfig* cache) {
+    const std::vector<std::string_view> parts = split(value, '/');
+    std::int64_t size = 0, line = 0, ways = 0;
+    if (parts.size() != 3 || !parse_int(parts[0], &size) ||
+        !parse_int(parts[1], &line) || !parse_int(parts[2], &ways)) {
+      return;
+    }
+    if (is_pow2(size) && is_pow2(line) && is_pow2(ways) && line >= 4 &&
+        line <= 256 && ways <= 16 && size >= line * ways &&
+        size <= (1 << 20)) {
+      cache->size_bytes = static_cast<std::uint32_t>(size);
+      cache->line_bytes = static_cast<std::uint32_t>(line);
+      cache->ways = static_cast<std::uint32_t>(ways);
+    }
+  };
+
+  if (key == "icache_miss") set_penalty(&config->icache_miss_penalty);
+  else if (key == "dcache_miss") set_penalty(&config->dcache_miss_penalty);
+  else if (key == "uncached_fetch") set_penalty(&config->uncached_fetch_penalty);
+  else if (key == "uncached_data") set_penalty(&config->uncached_data_penalty);
+  else if (key == "branch") set_penalty(&config->taken_branch_penalty);
+  else if (key == "jump") set_penalty(&config->jump_penalty);
+  else if (key == "interlock") set_penalty(&config->load_use_interlock);
+  else if (key == "icache") set_cache(&config->icache);
+  else if (key == "dcache") set_cache(&config->dcache);
+}
+
+// ---------------------------------------------------------------------------
+// Mutational-target helpers
+// ---------------------------------------------------------------------------
+
+/// Picks a mutation base: an external corpus entry when available, else one
+/// of the target's built-in seeds.
+const std::string& pick_seed(Rng& rng, const Corpus& corpus,
+                             const std::vector<std::string>& builtin) {
+  if (!corpus.empty() && (builtin.empty() || rng.next_bool(0.7))) {
+    return rng.pick(corpus.entries());
+  }
+  return rng.pick(builtin);
+}
+
+/// True when `payload` asks an allocation-sized directive for more than
+/// `limit` bytes (".space 99999999" style allocation bombs from byte
+/// mutations). Scans each line containing one of `directives` for integer
+/// literals above the limit. Oracles skip such payloads instead of letting
+/// the parser allocate unbounded memory.
+bool allocation_bomb(const std::string& payload,
+                     const std::vector<std::string_view>& directives,
+                     std::int64_t limit) {
+  for (std::string_view line : split_lines(payload)) {
+    bool relevant = false;
+    for (std::string_view d : directives) {
+      if (line.find(d) != std::string_view::npos) {
+        relevant = true;
+        break;
+      }
+    }
+    if (!relevant) continue;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      if (line[i] < '0' || line[i] > '9') {
+        ++i;
+        continue;
+      }
+      // Decimal or 0x/0b literal starting here; clamp while accumulating.
+      std::int64_t value = 0;
+      if (line[i] == '0' && i + 1 < line.size() &&
+          (line[i + 1] == 'x' || line[i + 1] == 'X')) {
+        i += 2;
+        while (i < line.size() && std::isxdigit(static_cast<unsigned char>(
+                                      line[i]))) {
+          const char c = static_cast<char>(
+              std::tolower(static_cast<unsigned char>(line[i])));
+          value = value * 16 + (c >= 'a' ? c - 'a' + 10 : c - '0');
+          if (value > limit) return true;
+          ++i;
+        }
+      } else {
+        while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+          value = value * 10 + (line[i] - '0');
+          if (value > limit) return true;
+          ++i;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Targets
+// ---------------------------------------------------------------------------
+
+class EngineDiffTarget final : public Target {
+ public:
+  std::string_view name() const override { return "engine_diff"; }
+  std::string_view description() const override {
+    return "fast engine vs reference interpreter bit-exactness on random "
+           "programs (self-modifying stores, custom-instruction mixes, "
+           "random cache/timing configs)";
+  }
+  bool shrink_lines() const override { return true; }
+
+  std::string generate(Rng& rng, const Corpus&) const override {
+    return make_engine_diff_payload(generate_engine_diff_case(rng));
+  }
+
+  Outcome run(const std::string& payload) const override {
+    try {
+      return run_engine_diff(parse_engine_diff_payload(payload));
+    } catch (const std::exception& e) {
+      return Outcome::fail(std::string("unexpected exception: ") + e.what());
+    }
+  }
+};
+
+class TieDiffTarget final : public Target {
+ public:
+  std::string_view name() const override { return "tie_diff"; }
+  std::string_view description() const override {
+    return "TIE bytecode vs Expr-tree evaluation on random specs (rd "
+           "results and final custom state over a fixed operand schedule)";
+  }
+  bool shrink_lines() const override { return true; }
+
+  std::string generate(Rng& rng, const Corpus& corpus) const override {
+    // Mostly structured specs; a slice of byte mutations exercises the
+    // parser/compiler error paths (which the oracle treats as pass — the
+    // sanitizers are the oracle there).
+    if (!corpus.empty() && rng.next_bool(0.25)) {
+      static const std::vector<std::string> kDict = {
+          "state ",  "regfile ", "table ",     "instruction ", "width=",
+          "size=",   "latency ", "reads rs1",  "writes rd",    "semantics {",
+          "}",       "rd = ",    "sext(",      "sel(",         "use adder ",
+          "isolated"};
+      return mutate_bytes(rng.pick(corpus.entries()), rng,
+                          1 + static_cast<unsigned>(rng.next_below(6)), kDict);
+    }
+    TieGenOptions options;
+    options.max_instructions =
+        1 + static_cast<unsigned>(rng.next_below(4));
+    options.max_expr_depth = 2 + static_cast<unsigned>(rng.next_below(4));
+    return generate_tie_spec(rng, options);
+  }
+
+  Outcome run(const std::string& payload) const override {
+    tie::TieConfiguration tie;
+    try {
+      tie = tie::compile_tie_source(payload);
+    } catch (const Error&) {
+      return Outcome::pass();  // invalid spec: rejection is the contract
+    } catch (const std::exception& e) {
+      return Outcome::fail(std::string("unexpected exception: ") + e.what());
+    }
+    if (tie.empty()) return Outcome::pass();
+
+    tie::TieState fast = tie.make_state();
+    tie::TieState ref = tie.make_state();
+    // Fixed schedule seed: the operand stream depends only on the step
+    // index, so removing spec lines during minimization does not reshuffle
+    // the schedule out from under the failure.
+    Rng schedule(0x5851f42d4c957f2dULL);
+    const std::size_t n = tie.instructions().size();
+    for (unsigned step = 0; step < 256; ++step) {
+      const tie::CustomInstruction& ci =
+          tie.instructions()[static_cast<std::size_t>(schedule.next_below(n))];
+      const std::uint32_t a = schedule.next_u32();
+      const std::uint32_t b = schedule.next_u32();
+      // A runtime fault (e.g. a non-literal sext width evaluating out of
+      // range) is legal semantics as long as BOTH paths fault identically;
+      // one-sided or differently-worded faults are divergences.
+      std::uint32_t rd_fast = 0;
+      std::uint32_t rd_ref = 0;
+      std::string fault_fast;
+      std::string fault_ref;
+      try {
+        rd_fast = tie.execute(ci, a, b, &fast);
+      } catch (const Error& e) {
+        fault_fast = e.what();
+      }
+      try {
+        rd_ref = tie.execute_reference(ci, a, b, &ref);
+      } catch (const Error& e) {
+        fault_ref = e.what();
+      }
+      if (fault_fast != fault_ref) {
+        return Outcome::fail(std::string("fault divergence at step ") +
+                             std::to_string(step) + " (" + ci.name +
+                             "): bytecode=[" + fault_fast + "] tree=[" +
+                             fault_ref + "]");
+      }
+      if (!fault_fast.empty()) continue;  // both faulted identically
+      if (rd_fast != rd_ref) {
+        std::ostringstream os;
+        os << "rd mismatch at step " << step << " (" << ci.name
+           << "): rs1=0x" << std::hex << a << " rs2=0x" << b
+           << " bytecode=0x" << rd_fast << " tree=0x" << rd_ref;
+        return Outcome::fail(os.str());
+      }
+    }
+    for (const tie::StateDecl& s : tie.state_decls()) {
+      if (fast.read_state(s.name) != ref.read_state(s.name)) {
+        std::ostringstream os;
+        os << "state " << s.name << " mismatch: bytecode=0x" << std::hex
+           << fast.read_state(s.name) << " tree=0x" << ref.read_state(s.name);
+        return Outcome::fail(os.str());
+      }
+    }
+    for (const tie::RegfileDecl& f : tie.regfile_decls()) {
+      for (unsigned i = 0; i < f.size; ++i) {
+        if (fast.read_regfile(f.name, i) != ref.read_regfile(f.name, i)) {
+          std::ostringstream os;
+          os << "regfile " << f.name << "[" << i << "] mismatch: bytecode=0x"
+             << std::hex << fast.read_regfile(f.name, i) << " tree=0x"
+             << ref.read_regfile(f.name, i);
+          return Outcome::fail(os.str());
+        }
+      }
+    }
+    return Outcome::pass();
+  }
+};
+
+class AsmTarget final : public Target {
+ public:
+  std::string_view name() const override { return "asm"; }
+  std::string_view description() const override {
+    return "assembler robustness + image serialization round-trip on "
+           "mutated assembly source";
+  }
+  bool shrink_lines() const override { return true; }
+
+  std::string generate(Rng& rng, const Corpus& corpus) const override {
+    static const std::vector<std::string> kSeeds = {
+        "  li r3, 10\n"
+        "loop:\n"
+        "  addi r3, r3, -1\n"
+        "  bnez r3, loop\n"
+        "  halt\n",
+        "_start:\n"
+        "  lui r4, %hi(value)\n"
+        "  ori r4, r4, %lo(value)\n"
+        "  lw r5, 0(r4)\n"
+        "  sw r5, 4(r4)\n"
+        "  halt\n"
+        ".data\n"
+        "value: .word 0x12345678, 42\n",
+        ".equ K, 12\n"
+        "  addi r6, r0, K\n"
+        "  jal helper\n"
+        "  halt\n"
+        "helper:\n"
+        "  mv r7, r6\n"
+        "  ret\n"
+        ".data\n"
+        "buf: .space 16\n"
+        "tail: .byte 1, 2, 3\n",
+    };
+    static const std::vector<std::string> kDict = {
+        ".word 0x",  ".data\n", ".text\n",  ".space 8\n", ".align 4\n",
+        ".byte 255", ".half 3", ".equ Q, 5\n", ".org 0x2000\n",
+        "addi r3, r3, 1\n", "lw r4, 0(r16)\n", "%hi(", "%lo(",
+        "label:\n",  ", ",    "\n",       "#",          ";"};
+    std::string base;
+    if (rng.next_bool(0.4)) {
+      ProgramGenOptions options;
+      options.blocks = 4 + static_cast<unsigned>(rng.next_below(8));
+      base = generate_program(rng, options);
+    } else {
+      base = pick_seed(rng, corpus, kSeeds);
+    }
+    return mutate_bytes(base, rng,
+                        1 + static_cast<unsigned>(rng.next_below(8)), kDict);
+  }
+
+  Outcome run(const std::string& payload) const override {
+    if (allocation_bomb(payload, {".space", ".align", ".org", ".equ"}, 4096)) {
+      return Outcome::pass();
+    }
+    isa::ProgramImage image;
+    try {
+      image = isa::assemble(payload);
+    } catch (const Error&) {
+      return Outcome::pass();  // rejection with a clean error is the contract
+    } catch (const std::exception& e) {
+      return Outcome::fail(std::string("unexpected exception: ") + e.what());
+    }
+    try {
+      const std::string text = isa::image_to_string(image);
+      isa::ProgramImage reparsed;
+      try {
+        reparsed = isa::parse_image(text);
+      } catch (const Error& e) {
+        return Outcome::fail(
+            std::string("image_io rejects assembler output: ") + e.what());
+      }
+      const std::string text2 = isa::image_to_string(reparsed);
+      if (text != text2) {
+        return Outcome::fail("image text round-trip not a fixpoint:\n--- "
+                             "first ---\n" + text + "--- second ---\n" + text2);
+      }
+      if (reparsed.entry_point() != image.entry_point()) {
+        return Outcome::fail("entry point lost in round-trip");
+      }
+      if (reparsed.symbols() != image.symbols()) {
+        return Outcome::fail("symbol table lost in round-trip");
+      }
+    } catch (const std::exception& e) {
+      return Outcome::fail(std::string("unexpected exception: ") + e.what());
+    }
+    return Outcome::pass();
+  }
+};
+
+class DisasmTarget final : public Target {
+ public:
+  std::string_view name() const override { return "disasm"; }
+  std::string_view description() const override {
+    return "decode/disassemble/encode canonicalization on raw instruction "
+           "words (decode(encode(decode(w))) == decode(w))";
+  }
+
+  std::string generate(Rng& rng, const Corpus&) const override {
+    std::string bytes;
+    const unsigned words = 1 + static_cast<unsigned>(rng.next_below(12));
+    for (unsigned w = 0; w < words; ++w) {
+      std::uint32_t word = rng.next_u32();
+      if (rng.next_bool(0.7)) {
+        // Bias the primary opcode into the defined range so most words
+        // decode (fully random words mostly hit illegal-opcode rejection).
+        word = (word & 0x03FF'FFFFu) |
+               (static_cast<std::uint32_t>(rng.next_below(isa::kOpcodeCount))
+                << 26);
+      }
+      for (unsigned b = 0; b < 4; ++b) {
+        bytes.push_back(static_cast<char>(word >> (8 * b)));
+      }
+    }
+    if (rng.next_bool(0.3)) {
+      bytes = mutate_bytes(bytes, rng,
+                           1 + static_cast<unsigned>(rng.next_below(3)), {});
+    }
+    return bytes;
+  }
+
+  Outcome run(const std::string& payload) const override {
+    for (std::size_t off = 0; off + 4 <= payload.size(); off += 4) {
+      std::uint32_t word = 0;
+      for (unsigned b = 0; b < 4; ++b) {
+        word |= std::uint32_t{static_cast<unsigned char>(payload[off + b])}
+                << (8 * b);
+      }
+      isa::DecodedInstr d;
+      try {
+        d = isa::decode(word);
+      } catch (const Error&) {
+        continue;  // illegal primary opcode: rejection is the contract
+      }
+      std::ostringstream ctx;
+      ctx << "word 0x" << std::hex << word << ": ";
+      try {
+        const std::string text = isa::disassemble(d);
+        if (text.empty()) {
+          return Outcome::fail(ctx.str() + "empty disassembly");
+        }
+        const std::uint32_t canonical = isa::encode(d);
+        const isa::DecodedInstr d2 = isa::decode(canonical);
+        if (!(d2 == d)) {
+          return Outcome::fail(ctx.str() +
+                               "decode(encode(decode(w))) != decode(w)");
+        }
+        if (isa::encode(d2) != canonical) {
+          return Outcome::fail(ctx.str() + "encode not a fixpoint");
+        }
+      } catch (const std::exception& e) {
+        return Outcome::fail(ctx.str() + "unexpected exception: " + e.what());
+      }
+    }
+    return Outcome::pass();
+  }
+};
+
+class ImageTarget final : public Target {
+ public:
+  std::string_view name() const override { return "image"; }
+  std::string_view description() const override {
+    return "image text format parser robustness + parse/write round-trip";
+  }
+  bool shrink_lines() const override { return true; }
+
+  std::string generate(Rng& rng, const Corpus& corpus) const override {
+    static const std::vector<std::string> kSeeds = [] {
+      std::vector<std::string> seeds;
+      seeds.push_back(isa::image_to_string(
+          isa::assemble("  li r3, 7\n  sw r3, 0(r16)\n  halt\n"
+                        ".data\nbuffer: .space 8\n")));
+      seeds.push_back(isa::image_to_string(
+          isa::assemble("_start:\n  addi r4, r0, 1\n  halt\n"
+                        ".data\nv: .word 1, 2, 3\n")));
+      return seeds;
+    }();
+    static const std::vector<std::string> kDict = {
+        "exten-image v1\n", "entry 0x00001000\n",
+        "symbol _start 0x00001000\n", "segment 0x00001000 4\n",
+        "00aabbcc", "ffffffff", "0x", "\n"};
+    return mutate_bytes(pick_seed(rng, corpus, kSeeds), rng,
+                        1 + static_cast<unsigned>(rng.next_below(8)), kDict);
+  }
+
+  Outcome run(const std::string& payload) const override {
+    if (allocation_bomb(payload, {"segment"}, 65536)) {
+      return Outcome::pass();
+    }
+    isa::ProgramImage image;
+    try {
+      image = isa::parse_image(payload);
+    } catch (const Error&) {
+      return Outcome::pass();
+    } catch (const std::exception& e) {
+      return Outcome::fail(std::string("unexpected exception: ") + e.what());
+    }
+    try {
+      const std::string text = isa::image_to_string(image);
+      isa::ProgramImage reparsed;
+      try {
+        reparsed = isa::parse_image(text);
+      } catch (const Error& e) {
+        return Outcome::fail(std::string("writer output rejected: ") +
+                             e.what());
+      }
+      const std::string text2 = isa::image_to_string(reparsed);
+      if (text != text2) {
+        return Outcome::fail("image text round-trip not a fixpoint:\n--- "
+                             "first ---\n" + text + "--- second ---\n" + text2);
+      }
+    } catch (const std::exception& e) {
+      return Outcome::fail(std::string("unexpected exception: ") + e.what());
+    }
+    return Outcome::pass();
+  }
+};
+
+class JsonTarget final : public Target {
+ public:
+  std::string_view name() const override { return "json"; }
+  std::string_view description() const override {
+    return "JSON parser robustness + parse/serialize round-trip stability";
+  }
+
+  std::string generate(Rng& rng, const Corpus& corpus) const override {
+    static const std::vector<std::string> kSeeds = {
+        R"({"jobs": 8, "hit_rate": 0.5, "name": "estimate"})",
+        R"([1, 2.5, -3e-2, true, false, null, "a\nbA"])",
+        R"({"nested": {"a": [{"b": []}, {}], "c": "\\"}, "n": 1e20})",
+        "42",
+        R"("plain \"string\" with éscapes")",
+        "[[[[0]]]]",
+    };
+    static const std::vector<std::string> kDict = {
+        "{", "}", "[", "]", ",", ":", "\"", "\\", "null", "true",
+        "false", "-1e308", "0.5", "\\u00e9", "e+", "1E-2", " "};
+    return mutate_bytes(pick_seed(rng, corpus, kSeeds), rng,
+                        1 + static_cast<unsigned>(rng.next_below(8)), kDict);
+  }
+
+  Outcome run(const std::string& payload) const override {
+    JsonValue value;
+    try {
+      value = JsonValue::parse(payload);
+    } catch (const Error&) {
+      return Outcome::pass();
+    } catch (const std::exception& e) {
+      return Outcome::fail(std::string("unexpected exception: ") + e.what());
+    }
+    try {
+      const std::string first = json_serialize(value);
+      JsonValue reparsed;
+      try {
+        reparsed = JsonValue::parse(first);
+      } catch (const Error& e) {
+        return Outcome::fail("serializer output rejected by parser: " +
+                             first + " (" + e.what() + ")");
+      }
+      const std::string second = json_serialize(reparsed);
+      if (first != second) {
+        return Outcome::fail("serialize/parse/serialize not a fixpoint:\n" +
+                             first + "\nvs\n" + second);
+      }
+    } catch (const std::exception& e) {
+      return Outcome::fail(std::string("unexpected exception: ") + e.what());
+    }
+    return Outcome::pass();
+  }
+};
+
+class HttpTarget final : public Target {
+ public:
+  std::string_view name() const override { return "http"; }
+  std::string_view description() const override {
+    return "HTTP request parser invariance under arbitrary byte-split "
+           "schedules (single feed vs per-byte vs random chunking)";
+  }
+
+  std::string generate(Rng& rng, const Corpus& corpus) const override {
+    static const std::vector<std::string> kSeeds = {
+        "GET / HTTP/1.1\r\nHost: a\r\n\r\n",
+        "POST /v1/estimate HTTP/1.1\r\nHost: x\r\n"
+        "Content-Type: application/json\r\nContent-Length: 13\r\n\r\n"
+        "{\"program\":1}",
+        "GET /a HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+        "PUT /u HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+        "GET /next HTTP/1.1\r\n\r\n",
+        "POST /b HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        "GET /q?x=1&y=2 HTTP/1.1\r\nX-Empty:\r\nHost:   spaced   \r\n\r\n",
+    };
+    static const std::vector<std::string> kDict = {
+        "GET ", "POST ", " HTTP/1.1", " HTTP/1.0", "\r\n", "\r\n\r\n",
+        "Content-Length: ", "Content-Length: 8\r\n",
+        "Transfer-Encoding: chunked\r\n", "Connection: close\r\n",
+        "Host: h\r\n", ": ", "\t", " ", "\n"};
+    return mutate_bytes(pick_seed(rng, corpus, kSeeds), rng,
+                        1 + static_cast<unsigned>(rng.next_below(8)), kDict);
+  }
+
+  Outcome run(const std::string& payload) const override {
+    const std::string whole = observe(payload, {payload.size()});
+
+    std::vector<std::size_t> ones(payload.size(), 1);
+    const std::string per_byte = observe(payload, ones);
+    if (per_byte != whole) {
+      return Outcome::fail("per-byte split diverges from single feed:\n--- "
+                           "single ---\n" + whole + "\n--- per-byte ---\n" +
+                           per_byte);
+    }
+
+    // Exhaustive two-chunk splits for small payloads.
+    if (payload.size() <= 96) {
+      for (std::size_t cut = 1; cut < payload.size(); ++cut) {
+        const std::string split =
+            observe(payload, {cut, payload.size() - cut});
+        if (split != whole) {
+          return Outcome::fail(
+              "two-chunk split at " + std::to_string(cut) +
+              " diverges:\n--- single ---\n" + whole + "\n--- split ---\n" +
+              split);
+        }
+      }
+    }
+
+    // Random chunk schedules, derived from the payload so replay is exact.
+    Rng rng(fnv1a64(payload));
+    for (unsigned round = 0; round < 6; ++round) {
+      std::vector<std::size_t> chunks;
+      std::size_t pos = 0;
+      while (pos < payload.size()) {
+        const std::size_t n = 1 + static_cast<std::size_t>(rng.next_below(7));
+        chunks.push_back(n);
+        pos += n;
+      }
+      const std::string split = observe(payload, chunks);
+      if (split != whole) {
+        std::ostringstream schedule;
+        for (std::size_t n : chunks) schedule << n << ' ';
+        return Outcome::fail("chunk schedule [" + schedule.str() +
+                             "] diverges:\n--- single ---\n" + whole +
+                             "\n--- split ---\n" + split);
+      }
+    }
+    return Outcome::pass();
+  }
+
+ private:
+  /// Feeds `payload` in the given chunk sizes and renders everything
+  /// observable about the final parser state as a comparable string.
+  static std::string observe(const std::string& payload,
+                             const std::vector<std::size_t>& chunks) {
+    net::RequestParser parser;
+    std::size_t pos = 0;
+    for (std::size_t n : chunks) {
+      if (pos >= payload.size()) break;
+      n = std::min(n, payload.size() - pos);
+      parser.feed(std::string_view(payload).substr(pos, n));
+      pos += n;
+    }
+    if (pos < payload.size()) {
+      parser.feed(std::string_view(payload).substr(pos));
+    }
+
+    std::ostringstream os;
+    switch (parser.status()) {
+      case net::RequestParser::Status::kNeedMore:
+        os << "need-more";
+        break;
+      case net::RequestParser::Status::kError:
+        // Error state: the connection is answered and closed, and feed()
+        // intentionally discards further input, so buffered_bytes() depends
+        // on where in the schedule the error surfaced — not comparable.
+        os << "error " << parser.error_status() << " "
+           << parser.error_reason();
+        return os.str();
+      case net::RequestParser::Status::kComplete: {
+        const net::HttpRequest& r = parser.request();
+        os << "complete " << r.method << " " << r.target << " " << r.version
+           << " keepalive=" << r.keep_alive() << "\n";
+        for (const net::Header& h : r.headers) {
+          os << h.name << "=" << h.value << "\n";
+        }
+        os << "body[" << r.body.size() << "]=" << r.body;
+        break;
+      }
+    }
+    os << "\nbuffered=" << parser.buffered_bytes();
+    return os.str();
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// engine_diff payload + oracle (exposed in targets.h)
+// ---------------------------------------------------------------------------
+
+std::string make_engine_diff_payload(const EngineDiffCase& c) {
+  const sim::ProcessorConfig& k = c.config;
+  std::ostringstream os;
+  os << "%config icache_miss=" << k.icache_miss_penalty
+     << " dcache_miss=" << k.dcache_miss_penalty
+     << " uncached_fetch=" << k.uncached_fetch_penalty
+     << " uncached_data=" << k.uncached_data_penalty
+     << " branch=" << k.taken_branch_penalty << " jump=" << k.jump_penalty
+     << " interlock=" << k.load_use_interlock << " icache="
+     << k.icache.size_bytes << "/" << k.icache.line_bytes << "/"
+     << k.icache.ways << " dcache=" << k.dcache.size_bytes << "/"
+     << k.dcache.line_bytes << "/" << k.dcache.ways << "\n";
+  if (!c.tie_source.empty()) {
+    os << "%tie\n" << c.tie_source;
+    if (!ends_with(c.tie_source, "\n")) os << "\n";
+  }
+  os << "%asm\n" << c.asm_source;
+  return os.str();
+}
+
+EngineDiffCase parse_engine_diff_payload(const std::string& payload) {
+  EngineDiffCase c;
+  std::string tie;
+  std::string program;
+  std::string* section = &program;
+  for (std::string_view line : split_lines(payload)) {
+    const std::string_view t = trim(line);
+    if (starts_with(t, "%config")) {
+      for (std::string_view token : split(t, ' ')) {
+        apply_config_token(token, &c.config);
+      }
+      continue;
+    }
+    if (t == "%tie") {
+      section = &tie;
+      continue;
+    }
+    if (t == "%asm") {
+      section = &program;
+      continue;
+    }
+    section->append(line);
+    section->push_back('\n');
+  }
+  c.tie_source = std::move(tie);
+  c.asm_source = std::move(program);
+  return c;
+}
+
+EngineDiffCase generate_engine_diff_case(Rng& rng) {
+  EngineDiffCase c;
+
+  static const std::vector<unsigned> kMissPenalties = {0, 2, 18};
+  c.config.icache_miss_penalty = rng.pick(kMissPenalties);
+  c.config.dcache_miss_penalty = rng.pick(kMissPenalties);
+  c.config.taken_branch_penalty = static_cast<unsigned>(rng.next_in(0, 3));
+  c.config.jump_penalty = static_cast<unsigned>(rng.next_in(0, 2));
+  c.config.load_use_interlock = static_cast<unsigned>(rng.next_in(0, 2));
+  // Tiny caches force the miss/refill paths that full-size caches never hit
+  // on short programs.
+  static const std::vector<std::uint32_t> kSizes = {256, 1024, 16384};
+  for (sim::CacheConfig* cache : {&c.config.icache, &c.config.dcache}) {
+    cache->size_bytes = rng.pick(kSizes);
+    cache->line_bytes = rng.next_bool() ? 16 : 32;
+    cache->ways = std::uint32_t{1} << rng.next_below(3);
+    if (cache->size_bytes < cache->line_bytes * cache->ways) {
+      cache->size_bytes = cache->line_bytes * cache->ways;
+    }
+  }
+
+  ProgramGenOptions program;
+  program.blocks = 8 + static_cast<unsigned>(rng.next_below(25));
+  program.allow_self_modify = rng.next_bool(0.5);
+  program.allow_uncached = rng.next_bool(0.35);
+
+  if (rng.next_bool(0.6)) {
+    c.tie_source = generate_tie_spec(rng);
+    try {
+      const tie::TieConfiguration tie =
+          tie::compile_tie_source(c.tie_source);
+      for (const auto& [name, mnemonic] : tie.assembler_mnemonics()) {
+        program.customs.push_back({name, mnemonic.has_rd, mnemonic.has_rs1,
+                                   mnemonic.has_rs2});
+      }
+    } catch (const Error&) {
+      // Generator produced an uncompilable spec (covered by its own unit
+      // tests); fall back to a base-processor case.
+      c.tie_source.clear();
+    }
+  }
+  c.asm_source = generate_program(rng, program);
+  return c;
+}
+
+Outcome run_engine_diff(const EngineDiffCase& c) {
+  tie::TieConfiguration tie;
+  if (!c.tie_source.empty()) {
+    try {
+      tie = tie::compile_tie_source(c.tie_source);
+    } catch (const Error&) {
+      return Outcome::pass();
+    } catch (const std::exception& e) {
+      return Outcome::fail(std::string("unexpected exception: ") + e.what());
+    }
+  }
+  isa::AssemblerOptions options;
+  options.custom_mnemonics = tie.assembler_mnemonics();
+  isa::ProgramImage image;
+  try {
+    image = isa::assemble(c.asm_source, options);
+  } catch (const Error&) {
+    return Outcome::pass();
+  } catch (const std::exception& e) {
+    return Outcome::fail(std::string("unexpected exception: ") + e.what());
+  }
+  try {
+    const Capture fast =
+        capture_run(c.config, tie, image, sim::Engine::kFast);
+    const Capture ref =
+        capture_run(c.config, tie, image, sim::Engine::kReference);
+    return compare_captures(fast, ref);
+  } catch (const std::exception& e) {
+    return Outcome::fail(std::string("unexpected exception: ") + e.what());
+  }
+}
+
+std::string json_serialize(const JsonValue& value) {
+  std::string out;
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      return "null";
+    case JsonValue::Kind::kBool:
+      return value.as_bool() ? "true" : "false";
+    case JsonValue::Kind::kNumber: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", value.as_number());
+      return buf;
+    }
+    case JsonValue::Kind::kString:
+      return "\"" + json_escape(value.as_string()) + "\"";
+    case JsonValue::Kind::kArray: {
+      out = "[";
+      bool first = true;
+      for (const JsonValue& element : value.as_array()) {
+        if (!first) out += ",";
+        first = false;
+        out += json_serialize(element);
+      }
+      out += "]";
+      return out;
+    }
+    case JsonValue::Kind::kObject: {
+      out = "{";
+      bool first = true;
+      for (const auto& [key, member] : value.as_object()) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + json_escape(key) + "\":" + json_serialize(member);
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return out;  // unreachable
+}
+
+// ---------------------------------------------------------------------------
+// Registry (declared in fuzz.h)
+// ---------------------------------------------------------------------------
+
+const std::vector<const Target*>& builtin_targets() {
+  static const EngineDiffTarget engine_diff;
+  static const TieDiffTarget tie_diff;
+  static const AsmTarget asm_target;
+  static const DisasmTarget disasm;
+  static const ImageTarget image;
+  static const JsonTarget json;
+  static const HttpTarget http;
+  static const std::vector<const Target*> all = {
+      &engine_diff, &tie_diff, &asm_target, &disasm, &image, &json, &http};
+  return all;
+}
+
+const Target* find_target(std::string_view name) {
+  for (const Target* target : builtin_targets()) {
+    if (target->name() == name) return target;
+  }
+  return nullptr;
+}
+
+}  // namespace exten::fuzz

@@ -1,0 +1,57 @@
+#pragma once
+
+// Internals of the built-in fuzz targets (fuzz.h: builtin_targets()),
+// exposed so tests can drive the oracles directly — test_engine_diff.cpp
+// reuses run_engine_diff on hand-picked generator settings, and
+// test_fuzz.cpp asserts payload round-trips.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz.h"
+#include "sim/config.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace exten::fuzz {
+
+/// One engine_diff case: timing/cache knobs, an optional TIE-lite spec and
+/// an assembly program. The payload text serializes all three:
+///   %config icache_miss=18 dcache_miss=18 branch=2 ... icache_size=16384
+///   %tie
+///   <spec lines>
+///   %asm
+///   <program lines>
+/// Lines before any marker are treated as program text, so a bare assembly
+/// file is a valid payload.
+struct EngineDiffCase {
+  sim::ProcessorConfig config;
+  std::string tie_source;  ///< empty = base processor only
+  std::string asm_source;
+};
+
+std::string make_engine_diff_payload(const EngineDiffCase& c);
+EngineDiffCase parse_engine_diff_payload(const std::string& payload);
+
+/// Generates one random case from the structured generators (random config
+/// knobs, optional random TIE spec, random-but-terminating program).
+EngineDiffCase generate_engine_diff_case(Rng& rng);
+
+/// The engine_diff oracle: runs the case on Engine::kFast and
+/// Engine::kReference and compares the full retirement-stream digest,
+/// final registers/pc/cycles, custom TIE state, resident memory, and
+/// error behaviour. Cases whose spec/program do not compile pass — that
+/// keeps greedy minimization from collapsing a real divergence into a
+/// trivially-invalid payload.
+Outcome run_engine_diff(const EngineDiffCase& c);
+
+/// Deterministic JSON serializer used by the json round-trip oracle:
+/// object keys in map order, numbers printed with up to 17 significant
+/// digits so JsonValue::parse(json_serialize(v)) is value-exact.
+std::string json_serialize(const JsonValue& value);
+
+/// FNV-1a 64-bit hash (schedule seeds derived from payload bytes).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+}  // namespace exten::fuzz

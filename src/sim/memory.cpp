@@ -68,4 +68,17 @@ void Memory::load(const isa::ProgramImage& image) {
   }
 }
 
+std::vector<std::uint32_t> Memory::resident_page_ids() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(pages_.size());
+  for (const auto& [id, unused] : pages_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+const std::uint8_t* Memory::page_bytes(std::uint32_t page_id) const {
+  auto it = pages_.find(page_id);
+  return it == pages_.end() ? nullptr : it->second.data();
+}
+
 }  // namespace exten::sim

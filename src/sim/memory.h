@@ -101,6 +101,15 @@ class Memory {
   /// Number of resident pages (for tests / diagnostics).
   std::size_t resident_pages() const { return pages_.size(); }
 
+  /// Resident page ids in ascending order. Together with page_bytes this
+  /// gives a deterministic full-memory walk (the differential fuzz oracle
+  /// digests all of memory after a run this way).
+  std::vector<std::uint32_t> resident_page_ids() const;
+
+  /// Read access to one resident page's kPageBytes bytes; nullptr when the
+  /// page was never touched (its contents read as zero).
+  const std::uint8_t* page_bytes(std::uint32_t page_id) const;
+
  private:
   using Page = std::vector<std::uint8_t>;
 

@@ -16,6 +16,56 @@ constexpr std::string_view kReservedMnemonics[] = {
 
 bool is_power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
+/// Builtin call signatures: name -> argument count. Must match eval_call in
+/// expr.cpp and the bytecode lowering.
+struct BuiltinSig {
+  std::string_view name;
+  std::size_t arity;
+  /// Index of a width argument that, when a literal, must be in 1..64
+  /// (npos when the builtin has no width parameter).
+  std::size_t width_arg;
+};
+
+constexpr std::size_t kNoWidthArg = static_cast<std::size_t>(-1);
+constexpr BuiltinSig kBuiltins[] = {
+    {"sext", 2, 1},          {"zext", 2, 1},
+    {"sel", 3, kNoWidthArg}, {"min", 2, kNoWidthArg},
+    {"max", 2, kNoWidthArg}, {"mins", 2, kNoWidthArg},
+    {"maxs", 2, kNoWidthArg}, {"abs", 1, kNoWidthArg},
+    {"popcount", 1, kNoWidthArg}, {"asr", 3, 2},
+};
+
+/// Rejects malformed builtin calls at compile time instead of letting them
+/// fault mid-execution: unknown names, wrong arity, and width arguments
+/// that are out-of-range literals. A width that is a non-literal expression
+/// is still range-checked at evaluation time.
+void validate_expr(const Expr& expr, unsigned line,
+                   const std::string& instr_name) {
+  if (expr.kind == ExprKind::kCall) {
+    const BuiltinSig* sig = nullptr;
+    for (const BuiltinSig& candidate : kBuiltins) {
+      if (candidate.name == expr.name) {
+        sig = &candidate;
+        break;
+      }
+    }
+    EXTEN_CHECK(sig != nullptr, "line ", line, ": '", instr_name,
+                "' calls unknown builtin '", expr.name, "'");
+    EXTEN_CHECK(expr.args.size() == sig->arity, "line ", line, ": '",
+                instr_name, "' builtin ", expr.name, " expects ", sig->arity,
+                " argument(s), got ", expr.args.size());
+    if (sig->width_arg != kNoWidthArg) {
+      const Expr& width = *expr.args[sig->width_arg];
+      if (width.kind == ExprKind::kLiteral) {
+        EXTEN_CHECK(width.literal >= 1 && width.literal <= 64, "line ", line,
+                    ": '", instr_name, "' builtin ", expr.name, " width ",
+                    width.literal, " out of range 1..64");
+      }
+    }
+  }
+  for (const ExprPtr& arg : expr.args) validate_expr(*arg, line, instr_name);
+}
+
 /// Collects every symbol referenced by an instruction's semantics, both in
 /// expressions and assignment targets.
 ReferencedSymbols collect_instruction_refs(const InstructionDecl& decl) {
@@ -182,6 +232,10 @@ TieConfiguration TieConfiguration::compile(const TieSpec& spec) {
                 decl.latency, " out of range 1..", kMaxLatency);
     EXTEN_CHECK(!decl.semantics.empty(), "line ", decl.line,
                 ": instruction '", decl.name, "' has no semantics");
+    for (const Assignment& stmt : decl.semantics) {
+      if (stmt.value) validate_expr(*stmt.value, decl.line, decl.name);
+      if (stmt.index) validate_expr(*stmt.index, decl.line, decl.name);
+    }
 
     // Operand usage must match the semantics.
     ReferencedSymbols refs = collect_instruction_refs(decl);

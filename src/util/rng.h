@@ -2,11 +2,20 @@
 
 // Deterministic pseudo-random number generation (xoshiro256**).
 //
-// Workload generators and data-dependent simulations must be reproducible
-// across runs and platforms, so we avoid std::mt19937 seeding subtleties
-// and implement a small, well-known generator with explicit semantics.
+// Workload generators, data-dependent simulations and the fuzzing
+// subsystem must be reproducible across runs, compilers and platforms, so
+// nothing here touches <random>: std::uniform_int_distribution and
+// std::shuffle are implementation-defined (the same seed yields different
+// sequences on libstdc++ vs libc++), which would make a fuzz seed
+// non-reproducible across toolchains. Every bound and permutation below
+// is an explicit algorithm over fixed-width integers — the exact output
+// sequences are pinned by golden tests (tests/test_util.cpp), so any
+// accidental change to the sequence is a test failure, not a silent
+// corpus invalidation.
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace exten {
 
@@ -43,7 +52,9 @@ class Rng {
   /// Next 32 random bits.
   std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
 
-  /// Uniform integer in [0, bound). bound must be nonzero.
+  /// Uniform integer in [0, bound). bound must be nonzero. Explicit
+  /// rejection sampling (no std distribution), so the draw sequence is
+  /// identical on every platform for a given seed.
   std::uint64_t next_below(std::uint64_t bound) {
     // Rejection sampling to avoid modulo bias.
     const std::uint64_t threshold = (0 - bound) % bound;
@@ -53,7 +64,9 @@ class Rng {
     }
   }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi and the
+  /// span hi - lo fits in a uint64 minus one (always true for the 32-bit
+  /// and small ranges the generators use).
   std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
     const std::uint64_t span =
         static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
@@ -67,6 +80,31 @@ class Rng {
 
   /// Bernoulli draw with probability p.
   bool next_bool(double p = 0.5) { return next_double() < p; }
+
+  /// Uniform element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(next_below(items.size()))];
+  }
+
+  /// In-place Fisher-Yates shuffle. std::shuffle's draw schedule is
+  /// implementation-defined, so fuzz paths must use this instead.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[next_below(i)]);
+    }
+  }
+
+  /// Derives the seed of an independent stream (e.g. fuzz iteration
+  /// `stream` of master seed `seed`) with splitmix64 — a pure function of
+  /// its inputs, so iteration N is replayable without generating 0..N-1.
+  static std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

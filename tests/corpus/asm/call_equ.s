@@ -1,0 +1,10 @@
+.equ K, 12
+  addi r6, r0, K
+  jal helper
+  halt
+helper:
+  mv r7, r6
+  ret
+.data
+buf: .space 16
+tail: .byte 1, 2, 3

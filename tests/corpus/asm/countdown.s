@@ -1,0 +1,5 @@
+  li r3, 10
+loop:
+  addi r3, r3, -1
+  bnez r3, loop
+  halt

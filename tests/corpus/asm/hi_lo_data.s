@@ -1,0 +1,8 @@
+_start:
+  lui r4, %hi(value)
+  ori r4, r4, %lo(value)
+  lw r5, 0(r4)
+  sw r5, 4(r4)
+  halt
+.data
+value: .word 0x12345678, 42

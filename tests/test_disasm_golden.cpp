@@ -1,0 +1,175 @@
+// Golden-file regression tests for the disassembler.
+//
+// Each case assembles a source program, disassembles every word of its
+// text segment into a listing, and compares the listing byte-for-byte
+// against tests/golden/<name>.dis. Any change to disassembler output —
+// mnemonic spelling, operand order, immediate formatting — shows up as a
+// readable text diff instead of a silent behaviour change.
+//
+// Updating the goldens after an intentional output change:
+//
+//   EXTEN_UPDATE_GOLDEN=1 ./build/tests/test_disasm_golden
+//
+// (or `EXTEN_UPDATE_GOLDEN=1 ctest -R DisasmGolden`). This rewrites the
+// files under tests/golden/ in the source tree; review the diff and commit
+// them with the change that motivated it. The tests PASS in update mode so
+// a full-suite run with the variable set regenerates everything in one go.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "isa/assembler.h"
+#include "isa/disassembler.h"
+#include "isa/program.h"
+
+namespace exten {
+namespace {
+
+bool update_mode() {
+  const char* env = std::getenv("EXTEN_UPDATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+std::string hex_word(std::uint32_t value) {
+  char buffer[11];
+  std::snprintf(buffer, sizeof(buffer), "0x%08x", value);
+  return buffer;
+}
+
+/// Disassembles every aligned word of every code segment (segments below
+/// kDataBase) and dumps data segments as raw words, producing a stable
+/// text listing.
+std::string make_listing(const isa::ProgramImage& image) {
+  std::ostringstream os;
+  os << "entry " << hex_word(image.entry_point()) << "\n";
+  for (const auto& [name, value] : image.symbols()) {
+    os << "symbol " << name << " " << hex_word(value) << "\n";
+  }
+  for (const isa::Segment& segment : image.segments()) {
+    os << "segment " << hex_word(segment.base) << " size "
+       << segment.bytes.size() << "\n";
+    const bool is_code = segment.base < isa::kDataBase;
+    for (std::size_t offset = 0; offset + 4 <= segment.bytes.size();
+         offset += 4) {
+      std::uint32_t word = 0;
+      for (unsigned b = 0; b < 4; ++b) {
+        word |= std::uint32_t{segment.bytes[offset + b]} << (8 * b);
+      }
+      const std::uint32_t addr = segment.base + static_cast<std::uint32_t>(offset);
+      os << hex_word(addr) << ": " << hex_word(word);
+      if (is_code) os << "  " << isa::disassemble_word(word);
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string read_file_or_empty(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) return {};
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+void check_golden(const std::string& name, const std::string& source) {
+  SCOPED_TRACE("golden case: " + name);
+  const std::string listing = make_listing(isa::assemble(source));
+  const std::string path = std::string(EXTEN_GOLDEN_DIR) + "/" + name + ".dis";
+  if (update_mode()) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << listing;
+    return;
+  }
+  const std::string golden = read_file_or_empty(path);
+  ASSERT_FALSE(golden.empty())
+      << path << " missing — regenerate with EXTEN_UPDATE_GOLDEN=1";
+  EXPECT_EQ(listing, golden)
+      << "disassembly drifted from " << path
+      << "; if intentional, regenerate with EXTEN_UPDATE_GOLDEN=1";
+}
+
+void check_golden_from_corpus(const std::string& name) {
+  const std::string source =
+      read_file_or_empty(std::string(EXTEN_CORPUS_DIR) + "/asm/" + name + ".s");
+  ASSERT_FALSE(source.empty()) << "corpus source " << name << ".s missing";
+  check_golden(name, source);
+}
+
+// One instruction per base-ISA mnemonic (plus pseudo-instruction
+// expansions), so a formatting change to any opcode class is caught.
+TEST(DisasmGolden, AllOpcodes) {
+  check_golden("opcodes",
+               "_start:\n"
+               "  add r3, r4, r5\n"
+               "  sub r3, r4, r5\n"
+               "  and r3, r4, r5\n"
+               "  or r3, r4, r5\n"
+               "  xor r3, r4, r5\n"
+               "  nor r3, r4, r5\n"
+               "  andn r3, r4, r5\n"
+               "  sll r3, r4, r5\n"
+               "  srl r3, r4, r5\n"
+               "  sra r3, r4, r5\n"
+               "  slt r3, r4, r5\n"
+               "  sltu r3, r4, r5\n"
+               "  mul r3, r4, r5\n"
+               "  mulh r3, r4, r5\n"
+               "  min r3, r4, r5\n"
+               "  max r3, r4, r5\n"
+               "  minu r3, r4, r5\n"
+               "  maxu r3, r4, r5\n"
+               "  addi r3, r4, -7\n"
+               "  andi r3, r4, 255\n"
+               "  ori r3, r4, 16\n"
+               "  xori r3, r4, 5\n"
+               "  slli r3, r4, 3\n"
+               "  srli r3, r4, 3\n"
+               "  srai r3, r4, 3\n"
+               "  slti r3, r4, -1\n"
+               "  sltiu r3, r4, 9\n"
+               "  lui r3, 0x48000\n"
+               "  lw r3, 8(r4)\n"
+               "  lh r3, 6(r4)\n"
+               "  lhu r3, 6(r4)\n"
+               "  lb r3, 1(r4)\n"
+               "  lbu r3, 1(r4)\n"
+               "  sw r3, 8(r4)\n"
+               "  sh r3, 6(r4)\n"
+               "  sb r3, 1(r4)\n"
+               "target:\n"
+               "  beq r3, r4, target\n"
+               "  bne r3, r4, target\n"
+               "  blt r3, r4, target\n"
+               "  bge r3, r4, target\n"
+               "  bltu r3, r4, target\n"
+               "  bgeu r3, r4, target\n"
+               "  beqz r3, target\n"
+               "  bnez r3, target\n"
+               "  j ahead\n"
+               "  jal ahead\n"
+               "ahead:\n"
+               "  jr r1\n"
+               "  jalr r4\n"
+               "  nop\n"
+               "  li r6, 0x1234567\n"
+               "  mv r7, r6\n"
+               "  not r8, r7\n"
+               "  neg r9, r8\n"
+               "  halt\n");
+}
+
+TEST(DisasmGolden, CorpusCountdown) { check_golden_from_corpus("countdown"); }
+
+TEST(DisasmGolden, CorpusHiLoData) { check_golden_from_corpus("hi_lo_data"); }
+
+TEST(DisasmGolden, CorpusCallEqu) { check_golden_from_corpus("call_equ"); }
+
+}  // namespace
+}  // namespace exten

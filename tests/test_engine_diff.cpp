@@ -12,6 +12,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "fuzz/gen_program.h"
+#include "fuzz/gen_tie.h"
+#include "fuzz/targets.h"
 #include "isa/assembler.h"
 #include "model/estimate.h"
 #include "model/profiler.h"
@@ -217,11 +220,13 @@ TEST(EngineDiff, EstimateEnergyIdentical) {
 
 // --- TIE bytecode vs Expr-tree reference -------------------------------------
 
-/// Deterministic 64-bit generator (SplitMix64) — no <random> engine state
-/// to worry about across library versions.
-class Rng {
+/// Deterministic 64-bit generator — no <random> engine state to worry
+/// about across library versions. (The structured fuzz generators use
+/// exten::Rng; this older splitmix stream is kept so the hand-written
+/// schedules below stay byte-identical.)
+class SplitMix64 {
  public:
-  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
   std::uint64_t next() {
     std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -252,7 +257,7 @@ void expect_states_equal(const tie::TieState& a, const tie::TieState& b,
 }
 
 TEST(EngineDiff, TieBytecodeMatchesTreeEvaluation) {
-  Rng rng(0x5eed);
+  SplitMix64 rng(0x5eed);
   for (const model::TestProgram& app : workloads::characterization_suite()) {
     const tie::TieConfiguration& tie = *app.tie;
     if (tie.instructions().empty()) continue;
@@ -452,7 +457,7 @@ TEST(EngineDiff, CacheMemoMatchesNaiveLru) {
 
   sim::Cache cache(config);
   NaiveLruCache naive(config);
-  Rng rng(0xcafe);
+  SplitMix64 rng(0xcafe);
   std::uint64_t expected_hits = 0;
   std::uint64_t expected_misses = 0;
   for (int i = 0; i < 20000; ++i) {
@@ -485,7 +490,7 @@ TEST(EngineDiff, MemoryBulkLoadMatchesByteStores) {
   isa::Segment segment;
   segment.base = sim::Memory::kPageBytes - 37;  // crosses into page 1 and 2
   segment.bytes.resize(2 * sim::Memory::kPageBytes + 91);
-  Rng rng(0xb17e);
+  SplitMix64 rng(0xb17e);
   for (std::uint8_t& b : segment.bytes) {
     b = static_cast<std::uint8_t>(rng.next());
   }
@@ -547,6 +552,127 @@ TEST(EngineDiff, PcProfileFlatAndOverflowAgree) {
   // A new run clears both tables.
   profile.on_run_begin();
   EXPECT_EQ(profile.distinct_pcs(), 0u);
+}
+
+// --- Generator-backed differential tests -------------------------------------
+//
+// The hand-written cases above pin down known-tricky behaviours; these
+// sweep the structured fuzz generators (src/fuzz/) over fixed seed ranges
+// so every CI run also covers a few hundred random-but-valid programs.
+// fuzz::run_engine_diff compares the full retirement-stream digest, final
+// registers/pc/cycles, custom TIE state, and resident memory pages, and
+// reports the first divergence in its message.
+
+void expect_case_passes(const fuzz::EngineDiffCase& c, std::uint64_t seed) {
+  const fuzz::Outcome outcome = fuzz::run_engine_diff(c);
+  EXPECT_TRUE(outcome.ok) << "seed " << seed << ": " << outcome.message
+                          << "\nprogram:\n" << c.asm_source;
+}
+
+TEST(EngineDiff, GeneratedBaseProgramsBitExact) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(Rng::derive_seed(0xBA5E, seed));
+    fuzz::ProgramGenOptions options;
+    options.blocks = 16;
+    fuzz::EngineDiffCase c;
+    c.asm_source = fuzz::generate_program(rng, options);
+    expect_case_passes(c, seed);
+  }
+}
+
+TEST(EngineDiff, GeneratedSelfModifyingProgramsBitExact) {
+  // Self-modifying stores exercise the predecode invalidation path that
+  // only the fast engine has; a stale predecoded word diverges instantly.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(Rng::derive_seed(0x5E1F, seed));
+    fuzz::ProgramGenOptions options;
+    options.blocks = 12;
+    options.allow_self_modify = true;
+    fuzz::EngineDiffCase c;
+    c.asm_source = fuzz::generate_program(rng, options);
+    c.config.icache.size_bytes = 1024;  // small cache: more refills of
+    c.config.icache.line_bytes = 16;    // freshly patched lines
+    c.config.icache.ways = 1;
+    expect_case_passes(c, seed);
+  }
+}
+
+TEST(EngineDiff, GeneratedUncachedAccessBitExact) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(Rng::derive_seed(0xD00D, seed));
+    fuzz::ProgramGenOptions options;
+    options.blocks = 10;
+    options.allow_uncached = true;
+    fuzz::EngineDiffCase c;
+    c.asm_source = fuzz::generate_program(rng, options);
+    c.config.uncached_fetch_penalty = 11;
+    c.config.uncached_data_penalty = 13;
+    expect_case_passes(c, seed);
+  }
+}
+
+TEST(EngineDiff, GeneratedCustomInstructionMixBitExact) {
+  // Random TIE spec + a program that interleaves its custom instructions
+  // with base-ISA code: bytecode evaluation inside the fast engine vs tree
+  // evaluation inside the reference engine, through the full pipeline.
+  unsigned cases_with_customs = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(Rng::derive_seed(0xC057, seed));
+    fuzz::EngineDiffCase c;
+    c.tie_source = fuzz::generate_tie_spec(rng);
+    const tie::TieConfiguration tie = tie::compile_tie_source(c.tie_source);
+
+    fuzz::ProgramGenOptions options;
+    options.blocks = 12;
+    for (const auto& [name, sig] : tie.assembler_mnemonics()) {
+      fuzz::ProgramGenOptions::CustomOp op;
+      op.name = name;
+      op.has_rd = sig.has_rd;
+      op.has_rs1 = sig.has_rs1;
+      op.has_rs2 = sig.has_rs2;
+      options.customs.push_back(op);
+    }
+    if (!options.customs.empty()) ++cases_with_customs;
+    c.asm_source = fuzz::generate_program(rng, options);
+    expect_case_passes(c, seed);
+  }
+  EXPECT_GT(cases_with_customs, 20u);
+}
+
+TEST(EngineDiff, GeneratedMixedScheduleWithTimingConfigsBitExact) {
+  // One program, swept across timing/cache configurations: penalties shift
+  // every cycle count, so any engine disagreement about an event (miss,
+  // interlock, redirect) becomes a digest mismatch under some config.
+  Rng rng(Rng::derive_seed(0x71E5, 0));
+  fuzz::ProgramGenOptions options;
+  options.blocks = 14;
+  options.allow_self_modify = true;
+  options.allow_uncached = true;
+  const std::string program = fuzz::generate_program(rng, options);
+
+  const unsigned penalties[] = {0, 1, 18};
+  for (unsigned miss : penalties) {
+    for (unsigned interlock : {0u, 2u}) {
+      fuzz::EngineDiffCase c;
+      c.asm_source = program;
+      c.config.icache_miss_penalty = miss;
+      c.config.dcache_miss_penalty = miss;
+      c.config.load_use_interlock = interlock;
+      c.config.taken_branch_penalty = 3;
+      c.config.jump_penalty = 2;
+      expect_case_passes(c, miss * 10 + interlock);
+    }
+  }
+}
+
+TEST(EngineDiff, GeneratedFullCaseSweepBitExact) {
+  // The exact generator the engine_diff fuzz target uses (random config
+  // knobs + optional TIE spec + program), over a fixed seed range.
+  for (std::uint64_t seed = 0; seed < 80; ++seed) {
+    Rng rng(Rng::derive_seed(0xF0CA, seed));
+    const fuzz::EngineDiffCase c = fuzz::generate_engine_diff_case(rng);
+    expect_case_passes(c, seed);
+  }
 }
 
 }  // namespace

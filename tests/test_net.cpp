@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "fuzz/fuzz.h"
 #include "model/test_program.h"
 #include "net/api.h"
 #include "net/http.h"
@@ -85,33 +86,109 @@ TEST(RequestParser, PathStripsQueryString) {
   EXPECT_EQ(parser.request().path(), "/metrics");
 }
 
-// The core adversarial case: every possible split point of a POST with a
-// body must parse identically to the single-feed case.
-TEST(RequestParser, BodySplitAcrossEveryReadBoundary) {
-  const std::string wire = wire_post("/v1/estimate", "{\"asm\": \"halt\"}");
-  for (std::size_t split = 0; split <= wire.size(); ++split) {
-    RequestParser parser;
-    parser.feed(std::string_view(wire).substr(0, split));
-    ASSERT_EQ(parser.feed(std::string_view(wire).substr(split)),
-              RequestParser::Status::kComplete)
-        << "split at " << split;
-    EXPECT_EQ(parser.request().body, "{\"asm\": \"halt\"}");
-    EXPECT_EQ(parser.request().method, "POST");
+// --- RequestParser: split-schedule invariance over the corpus ---------------
+//
+// The parser's contract is that feed() accepts ANY chunking of the input:
+// the final parse must not depend on where read(2) happened to split the
+// bytes. These tests enforce that exhaustively — every 2-chunk split point
+// and a full byte-at-a-time feed — over every wire in tests/corpus/http/
+// (good requests, pipelined requests, and ones the parser must reject)
+// plus the service wires the rest of this suite uses. The corpus lives on
+// disk so xtc-fuzz's http target mutates the same seed set.
+
+/// Everything observable about a finished parse. For kError only the
+/// status and rejection code are compared: feed() discards input once in
+/// the error state ("answer and close"), so buffered_bytes is legitimately
+/// schedule-dependent there.
+struct ParseObservation {
+  RequestParser::Status status = RequestParser::Status::kNeedMore;
+  int error_status = 0;
+  std::string method, target, version, body;
+  bool keep_alive = false;
+  std::size_t buffered = 0;
+
+  bool operator==(const ParseObservation& other) const {
+    if (status != other.status) return false;
+    if (status == RequestParser::Status::kError) {
+      return error_status == other.error_status;
+    }
+    return method == other.method && target == other.target &&
+           version == other.version && body == other.body &&
+           keep_alive == other.keep_alive && buffered == other.buffered;
+  }
+};
+
+ParseObservation observe(RequestParser& parser) {
+  ParseObservation o;
+  o.status = parser.status();
+  if (o.status == RequestParser::Status::kError) {
+    o.error_status = parser.error_status();
+    return o;
+  }
+  o.buffered = parser.buffered_bytes();
+  if (o.status == RequestParser::Status::kComplete) {
+    o.method = parser.request().method;
+    o.target = parser.request().target;
+    o.version = parser.request().version;
+    o.body = parser.request().body;
+    o.keep_alive = parser.request().keep_alive();
+  }
+  return o;
+}
+
+std::vector<std::string> corpus_wires() {
+  const fuzz::Corpus corpus =
+      fuzz::Corpus::load_directory(EXTEN_CORPUS_DIR "/http");
+  std::vector<std::string> wires = corpus.entries();
+  // The wires the service tests use must stay in the covered set even if
+  // the on-disk corpus changes.
+  wires.push_back(wire_post("/v1/estimate", "{\"asm\": \"halt\"}"));
+  wires.push_back(wire_post("/v1/batch", "{\"jobs\": []}"));
+  return wires;
+}
+
+TEST(RequestParser, CorpusEveryTwoChunkSplitMatchesSingleFeed) {
+  const std::vector<std::string> wires = corpus_wires();
+  ASSERT_GE(wires.size(), 10u) << "http corpus missing";
+  for (const std::string& wire : wires) {
+    RequestParser whole;
+    whole.feed(wire);
+    const ParseObservation expected = observe(whole);
+    for (std::size_t split = 0; split <= wire.size(); ++split) {
+      RequestParser parser;
+      parser.feed(std::string_view(wire).substr(0, split));
+      parser.feed(std::string_view(wire).substr(split));
+      EXPECT_TRUE(observe(parser) == expected)
+          << "split at " << split << " diverges on wire:\n" << wire;
+    }
   }
 }
 
-TEST(RequestParser, ByteAtATimeFeed) {
-  const std::string wire = wire_post("/v1/batch", "{\"jobs\": []}");
-  RequestParser parser;
-  for (std::size_t i = 0; i < wire.size(); ++i) {
-    const auto status = parser.feed(std::string_view(&wire[i], 1));
-    if (i + 1 < wire.size()) {
-      ASSERT_EQ(status, RequestParser::Status::kNeedMore) << "byte " << i;
-    } else {
-      ASSERT_EQ(status, RequestParser::Status::kComplete);
-    }
+TEST(RequestParser, CorpusByteAtATimeFeedMatchesSingleFeed) {
+  for (const std::string& wire : corpus_wires()) {
+    RequestParser whole;
+    whole.feed(wire);
+    const ParseObservation expected = observe(whole);
+    RequestParser parser;
+    for (char byte : wire) parser.feed(std::string_view(&byte, 1));
+    EXPECT_TRUE(observe(parser) == expected)
+        << "byte-at-a-time diverges on wire:\n" << wire;
   }
-  EXPECT_EQ(parser.request().body, "{\"jobs\": []}");
+}
+
+TEST(RequestParser, CorpusCompleteRequestsStayCompleteUnderSplits) {
+  // Sanity on the corpus itself: the known-good wires really complete and
+  // the known-bad ones really error, so the invariance tests above are not
+  // vacuously comparing error states.
+  unsigned complete = 0, error = 0;
+  for (const std::string& wire : corpus_wires()) {
+    RequestParser parser;
+    parser.feed(wire);
+    if (parser.status() == RequestParser::Status::kComplete) ++complete;
+    if (parser.status() == RequestParser::Status::kError) ++error;
+  }
+  EXPECT_GE(complete, 7u);
+  EXPECT_GE(error, 2u);  // chunked_rejected.req, bad_version.req
 }
 
 TEST(RequestParser, PipelinedRequestsParseSequentially) {

@@ -1,0 +1,156 @@
+// xtc-fuzz: deterministic differential fuzzer for the exten toolchain.
+//
+// Usage:
+//   xtc-fuzz --list
+//   xtc-fuzz --target engine_diff --seed 7 --iters 20000
+//   xtc-fuzz --target all --iters 1000 --corpus tests/corpus --out out/
+//   xtc-fuzz --repro repro-engine_diff-seed7-iter123.txt
+//
+// Every case is a pure function of (target, seed, iteration): two runs of
+// the same invocation behave bit-identically, and a failure found in CI
+// replays locally from either the printed (seed, iteration) pair or the
+// written repro artifact. On failure the payload is minimized before the
+// artifact is written and the exit code is 1.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz.h"
+#include "tool_common.h"
+
+namespace {
+
+using namespace exten;
+using namespace exten::tools;
+
+int usage() {
+  std::cerr
+      << "usage: xtc-fuzz [--target NAME|all] [--seed N] [--iters N]\n"
+      << "                [--corpus DIR] [--out DIR] [--repro FILE]\n"
+      << "                [--list] [--version]\n"
+      << "  --target NAME   fuzz one target (--list shows them); default all\n"
+      << "  --seed N        base seed (default 1)\n"
+      << "  --iters N       iterations per target (default 1000)\n"
+      << "  --corpus DIR    corpus root; target NAME reads DIR/<subdir>\n"
+      << "  --out DIR       directory for repro artifacts (default .)\n"
+      << "  --repro FILE    replay a repro artifact instead of fuzzing\n";
+  return kExitUsage;
+}
+
+/// Corpus subdirectory per target (matches tests/corpus/ layout); empty
+/// for purely structured targets.
+std::string corpus_subdir(std::string_view target) {
+  if (target == "asm") return "asm";
+  if (target == "image") return "image";
+  if (target == "json") return "json";
+  if (target == "http") return "http";
+  if (target == "tie_diff") return "tie";
+  return {};
+}
+
+std::uint64_t parse_u64_flag(const Args& args, const std::string& name,
+                             std::uint64_t fallback) {
+  const auto value = args.value(name);
+  if (!value) return fallback;
+  std::int64_t parsed = 0;
+  EXTEN_CHECK(parse_int(*value, &parsed) && parsed >= 0, "--", name,
+              " needs a non-negative integer, got '", *value, "'");
+  return static_cast<std::uint64_t>(parsed);
+}
+
+int replay(const std::string& path) {
+  const fuzz::Failure failure = fuzz::parse_repro_text(read_file(path));
+  const fuzz::Target* target = fuzz::find_target(failure.target);
+  EXTEN_CHECK(target != nullptr, "repro names unknown target '",
+              failure.target, "'");
+  const fuzz::Outcome outcome = target->run(failure.payload);
+  if (outcome.ok) {
+    std::cout << "repro " << path << ": target " << failure.target
+              << " PASSES (fixed or environment-dependent)\n";
+    return kExitOk;
+  }
+  std::cout << "repro " << path << ": target " << failure.target
+            << " still FAILS\n"
+            << outcome.message << "\n";
+  return kExitError;
+}
+
+int fuzz_one(const fuzz::Target& target, const Args& args,
+             std::uint64_t seed, std::uint64_t iters) {
+  fuzz::Corpus corpus;
+  fuzz::RunOptions options;
+  options.seed = seed;
+  options.iterations = iters;
+  if (const auto dir = args.value("corpus")) {
+    const std::string subdir = corpus_subdir(target.name());
+    if (!subdir.empty()) {
+      corpus = fuzz::Corpus::load_directory(*dir + "/" + subdir);
+      options.corpus = &corpus;
+    }
+  }
+
+  const std::optional<fuzz::Failure> failure =
+      fuzz::run_target(target, options);
+  if (!failure) {
+    std::cout << "target " << target.name() << ": " << iters
+              << " iterations from seed " << seed << ", all passed\n";
+    return kExitOk;
+  }
+
+  const std::string out_dir = args.value("out").value_or(".");
+  const std::string path = out_dir + "/repro-" + failure->target + "-seed" +
+                           std::to_string(failure->seed) + "-iter" +
+                           std::to_string(failure->iteration) + ".txt";
+  write_file(path, fuzz::write_repro_text(*failure));
+  std::cout << "target " << target.name() << ": FAILURE at seed "
+            << failure->seed << " iteration " << failure->iteration << "\n"
+            << failure->message << "\n"
+            << "minimized payload: " << failure->payload.size()
+            << " bytes -> " << path << "\n";
+  return kExitError;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return tool_main("xtc-fuzz", [&]() -> int {
+    const Args args(argc, argv);
+    args.require_known({"target", "seed", "iters", "corpus", "out", "repro",
+                        "list", "version", "help"});
+    if (handle_version(args, "xtc-fuzz")) return kExitOk;
+    if (args.has("help")) return usage();
+
+    if (args.has("list")) {
+      for (const fuzz::Target* target : fuzz::builtin_targets()) {
+        std::cout << target->name() << "\n    " << target->description()
+                  << "\n";
+      }
+      return kExitOk;
+    }
+    if (const auto repro_path = args.value("repro")) {
+      return replay(*repro_path);
+    }
+
+    const std::uint64_t seed = parse_u64_flag(args, "seed", 1);
+    const std::uint64_t iters = parse_u64_flag(args, "iters", 1000);
+    const std::string name = args.value("target").value_or("all");
+
+    std::vector<const fuzz::Target*> selected;
+    if (name == "all") {
+      selected = fuzz::builtin_targets();
+    } else {
+      const fuzz::Target* target = fuzz::find_target(name);
+      EXTEN_CHECK(target != nullptr, "unknown target '", name,
+                  "' (xtc-fuzz --list shows the available targets)");
+      selected.push_back(target);
+    }
+
+    int exit_code = kExitOk;
+    for (const fuzz::Target* target : selected) {
+      const int rc = fuzz_one(*target, args, seed, iters);
+      if (rc != kExitOk) exit_code = rc;
+    }
+    return exit_code;
+  });
+}
