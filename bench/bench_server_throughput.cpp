@@ -12,8 +12,16 @@
 // the req/s floor across PRs.
 //
 //   bench_server_throughput [--clients N] [--seconds S] [--reps R] [--json]
+//                           [--trace] [--baseline FILE] [--min-fraction F]
 //
-// --json suppresses the ASCII table (snapshot line only).
+// --json suppresses the ASCII table (snapshot line only). --trace runs
+// the whole bench with span collection enabled (to measure the tracing
+// overhead itself). --baseline compares best req/s against the
+// best_requests_per_second recorded in FILE (the committed
+// BENCH_server_throughput.json) and exits non-zero below
+// --min-fraction (default 0.97, i.e. a >3% regression fails); only
+// meaningful on hardware comparable to the one that produced the
+// baseline, so CI passes a much smaller fraction as a smoke floor.
 
 #include <algorithm>
 #include <atomic>
@@ -26,6 +34,7 @@
 
 #include "bench/bench_common.h"
 #include "net/http_client.h"
+#include "obs/trace.h"
 #include "net/server.h"
 #include "service/batch_estimator.h"
 #include "tools/tool_common.h"
@@ -135,7 +144,8 @@ RepResult run_rep(std::uint16_t port, unsigned clients, double seconds,
 int main(int argc, char** argv) {
   return tools::tool_main("bench_server_throughput", [&] {
     const tools::Args args(argc, argv);
-    args.require_known({"clients", "seconds", "reps", "json"});
+    args.require_known({"clients", "seconds", "reps", "json", "trace",
+                        "baseline", "min-fraction"});
     unsigned clients = 4;
     double seconds = 2.0;
     unsigned reps = 3;
@@ -143,6 +153,9 @@ int main(int argc, char** argv) {
     if (auto v = args.value("seconds")) seconds = std::stod(*v);
     if (auto v = args.value("reps")) reps = std::stoul(*v);
     const bool json_only = args.has("json");
+    if (args.has("trace")) obs::Tracer::instance().set_enabled(true);
+    double min_fraction = 0.97;
+    if (auto v = args.value("min-fraction")) min_fraction = std::stod(*v);
 
     // Throughput does not depend on coefficient values; a flat synthetic
     // model avoids the multi-minute characterization run.
@@ -219,6 +232,25 @@ int main(int argc, char** argv) {
     w.end_array();
     w.end_object();
     std::cout << "\njson " << w.str() << "\n";
+
+    if (auto baseline_path = args.value("baseline")) {
+      const JsonValue baseline =
+          JsonValue::parse(tools::read_file(*baseline_path));
+      const JsonValue* best = baseline.find("best_requests_per_second");
+      EXTEN_CHECK(best != nullptr,
+                  "baseline file lacks best_requests_per_second");
+      const double baseline_rps = best->as_number();
+      const double fraction =
+          baseline_rps <= 0.0 ? 1.0 : best_rps / baseline_rps;
+      std::cout << "baseline " << format_fixed(baseline_rps, 1)
+                << " req/s, this run " << format_fixed(best_rps, 1) << " ("
+                << format_fixed(fraction * 100.0, 1) << "%, floor "
+                << format_fixed(min_fraction * 100.0, 1) << "%)\n";
+      if (fraction < min_fraction) {
+        std::cerr << "FAIL: throughput regressed below --min-fraction\n";
+        return 1;
+      }
+    }
     return tools::kExitOk;
   });
 }

@@ -155,6 +155,13 @@ void write_job_result(JsonWriter& w, const service::JobResult& result,
   w.field("cache_hit", result.cache_hit);
   w.field("eval_seconds", e.elapsed_seconds);
   w.field("worker_seconds", result.worker_seconds);
+  // Per-stage attribution of the job's service-side time (queue wait is
+  // outside worker_seconds; the others are subsets of it).
+  w.object_field("stages");
+  w.field("queue_seconds", result.timings.queue_seconds);
+  w.field("cache_probe_seconds", result.timings.cache_probe_seconds);
+  w.field("evaluate_seconds", result.timings.evaluate_seconds);
+  w.end_object();
   // Per-variable energy breakdown (Table I terms): only the variables
   // that actually contribute, to keep warm-path responses small.
   w.object_field("breakdown_pj");

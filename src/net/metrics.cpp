@@ -1,6 +1,7 @@
 #include "net/metrics.h"
 
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 namespace exten::net {
@@ -30,17 +31,35 @@ void LatencyHistogram::observe(double seconds) {
   sum_seconds_ += seconds;
 }
 
-double LatencyHistogram::quantile(double q) const {
+double LatencyHistogram::quantile(double q, bool* is_overflow) const {
+  if (is_overflow != nullptr) *is_overflow = false;
   if (count_ == 0) return 0.0;
   const double target = q * static_cast<double>(count_);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     cumulative += counts_[i];
     if (static_cast<double>(cumulative) >= target) {
-      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+      if (i < bounds_.size()) return bounds_[i];
+      break;  // quantile lands in the overflow bucket
     }
   }
-  return bounds_.back();
+  // Observations above the top bound have no finite upper estimate;
+  // reporting bounds_.back() here would silently cap the p99 of a
+  // degraded server.
+  if (is_overflow != nullptr) *is_overflow = true;
+  return std::numeric_limits<double>::infinity();
+}
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kParse: return "parse";
+    case Stage::kRoute: return "route";
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kCacheProbe: return "cache_probe";
+    case Stage::kEvaluate: return "evaluate";
+    case Stage::kRespond: return "respond";
+  }
+  return "unknown";
 }
 
 void ServerMetrics::record_request(std::string_view endpoint, int status,
@@ -49,67 +68,139 @@ void ServerMetrics::record_request(std::string_view endpoint, int status,
   latency_.observe(seconds);
 }
 
+void ServerMetrics::observe_stage(Stage stage, double seconds) {
+  stage_latency_[static_cast<std::size_t>(stage)].observe(seconds);
+}
+
 namespace {
+
 std::string format_double(double value) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.9g", value);
   return buf;
 }
+
+/// Escapes a label value per the Prometheus text format: backslash,
+/// double quote and newline must be written as \\, \" and \n.
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+void render_histogram(std::ostream& out, const std::string& name,
+                      const std::string& extra_label,
+                      const LatencyHistogram& histogram) {
+  // `le` buckets are cumulative in the exposition; counts() is per-bucket.
+  const std::string labels_open =
+      extra_label.empty() ? "{" : "{" + extra_label + ",";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < histogram.bounds().size(); ++i) {
+    cumulative += histogram.counts()[i];
+    out << name << "_bucket" << labels_open << "le=\""
+        << format_double(histogram.bounds()[i]) << "\"} " << cumulative
+        << "\n";
+  }
+  out << name << "_bucket" << labels_open << "le=\"+Inf\"} "
+      << histogram.count() << "\n";
+  const std::string labels =
+      extra_label.empty() ? "" : "{" + extra_label + "}";
+  out << name << "_sum" << labels << " "
+      << format_double(histogram.sum_seconds()) << "\n";
+  out << name << "_count" << labels << " " << histogram.count() << "\n";
+}
+
 }  // namespace
 
 std::string ServerMetrics::render(const MetricsGauges& gauges) const {
   std::ostringstream out;
-  out << "# TYPE xtc_requests_total counter\n";
+  out << "# HELP xtc_requests_total Finished HTTP exchanges by endpoint "
+         "and status code.\n"
+      << "# TYPE xtc_requests_total counter\n";
   for (const auto& [key, count] : requests_) {
-    out << "xtc_requests_total{endpoint=\"" << key.first << "\",code=\""
-        << key.second << "\"} " << count << "\n";
+    out << "xtc_requests_total{endpoint=\"" << escape_label_value(key.first)
+        << "\",code=\"" << key.second << "\"} " << count << "\n";
   }
-  out << "# TYPE xtc_request_duration_seconds histogram\n";
-  std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < latency_.bounds().size(); ++i) {
-    cumulative += latency_.counts()[i];
-    out << "xtc_request_duration_seconds_bucket{le=\""
-        << format_double(latency_.bounds()[i]) << "\"} " << cumulative
-        << "\n";
-  }
-  out << "xtc_request_duration_seconds_bucket{le=\"+Inf\"} "
-      << latency_.count() << "\n";
-  out << "xtc_request_duration_seconds_sum "
-      << format_double(latency_.sum_seconds()) << "\n";
-  out << "xtc_request_duration_seconds_count " << latency_.count() << "\n";
 
-  out << "# TYPE xtc_connections_accepted_total counter\n"
+  out << "# HELP xtc_request_duration_seconds End-to-end request latency "
+         "(parse complete to response recorded).\n"
+      << "# TYPE xtc_request_duration_seconds histogram\n";
+  render_histogram(out, "xtc_request_duration_seconds", "", latency_);
+
+  out << "# HELP xtc_stage_duration_seconds Per-stage request processing "
+         "time (queueing, cache probe, evaluation, ...).\n"
+      << "# TYPE xtc_stage_duration_seconds histogram\n";
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    render_histogram(
+        out, "xtc_stage_duration_seconds",
+        "stage=\"" +
+            escape_label_value(stage_name(static_cast<Stage>(s))) + "\"",
+        stage_latency_[s]);
+  }
+
+  out << "# HELP xtc_connections_accepted_total TCP connections accepted.\n"
+      << "# TYPE xtc_connections_accepted_total counter\n"
       << "xtc_connections_accepted_total " << connections_accepted_ << "\n";
-  out << "# TYPE xtc_backpressure_rejections_total counter\n"
+  out << "# HELP xtc_backpressure_rejections_total Requests answered 503 "
+         "because the server or queue was full.\n"
+      << "# TYPE xtc_backpressure_rejections_total counter\n"
       << "xtc_backpressure_rejections_total " << backpressure_rejections_
       << "\n";
-  out << "# TYPE xtc_deadline_expiries_total counter\n"
+  out << "# HELP xtc_deadline_expiries_total Requests answered 504 after "
+         "their deadline expired.\n"
+      << "# TYPE xtc_deadline_expiries_total counter\n"
       << "xtc_deadline_expiries_total " << deadline_expiries_ << "\n";
-  out << "# TYPE xtc_parse_errors_total counter\n"
+  out << "# HELP xtc_parse_errors_total Malformed HTTP requests.\n"
+      << "# TYPE xtc_parse_errors_total counter\n"
       << "xtc_parse_errors_total " << parse_errors_ << "\n";
 
-  out << "# TYPE xtc_open_connections gauge\n"
+  out << "# HELP xtc_open_connections Currently open connections.\n"
+      << "# TYPE xtc_open_connections gauge\n"
       << "xtc_open_connections " << gauges.open_connections << "\n";
-  out << "# TYPE xtc_inflight_requests gauge\n"
+  out << "# HELP xtc_inflight_requests Admitted requests not yet "
+         "answered.\n"
+      << "# TYPE xtc_inflight_requests gauge\n"
       << "xtc_inflight_requests " << gauges.inflight_requests << "\n";
-  out << "# TYPE xtc_queue_depth gauge\n"
+  out << "# HELP xtc_queue_depth Jobs waiting in the estimator pool "
+         "queue.\n"
+      << "# TYPE xtc_queue_depth gauge\n"
       << "xtc_queue_depth " << gauges.queue_depth << "\n";
-  out << "# TYPE xtc_queue_capacity gauge\n"
+  out << "# HELP xtc_queue_capacity Estimator pool queue capacity.\n"
+      << "# TYPE xtc_queue_capacity gauge\n"
       << "xtc_queue_capacity " << gauges.queue_capacity << "\n";
-  out << "# TYPE xtc_draining gauge\n"
+  out << "# HELP xtc_draining 1 while a graceful drain is in progress.\n"
+      << "# TYPE xtc_draining gauge\n"
       << "xtc_draining " << (gauges.draining ? 1 : 0) << "\n";
 
-  out << "# TYPE xtc_eval_cache_hits_total counter\n"
+  out << "# HELP xtc_eval_cache_hits_total Evaluation-cache hits.\n"
+      << "# TYPE xtc_eval_cache_hits_total counter\n"
       << "xtc_eval_cache_hits_total " << gauges.cache.hits << "\n";
-  out << "# TYPE xtc_eval_cache_misses_total counter\n"
+  out << "# HELP xtc_eval_cache_misses_total Evaluation-cache misses.\n"
+      << "# TYPE xtc_eval_cache_misses_total counter\n"
       << "xtc_eval_cache_misses_total " << gauges.cache.misses << "\n";
-  out << "# TYPE xtc_eval_cache_evictions_total counter\n"
+  out << "# HELP xtc_eval_cache_evictions_total Evaluation-cache LRU "
+         "evictions.\n"
+      << "# TYPE xtc_eval_cache_evictions_total counter\n"
       << "xtc_eval_cache_evictions_total " << gauges.cache.evictions << "\n";
-  out << "# TYPE xtc_eval_cache_entries gauge\n"
+  out << "# HELP xtc_eval_cache_entries Evaluation-cache resident "
+         "entries.\n"
+      << "# TYPE xtc_eval_cache_entries gauge\n"
       << "xtc_eval_cache_entries " << gauges.cache.entries << "\n";
-  out << "# TYPE xtc_eval_cache_bytes gauge\n"
+  out << "# HELP xtc_eval_cache_bytes Approximate evaluation-cache "
+         "footprint in bytes.\n"
+      << "# TYPE xtc_eval_cache_bytes gauge\n"
       << "xtc_eval_cache_bytes " << gauges.cache.approx_bytes << "\n";
-  out << "# TYPE xtc_eval_cache_hit_rate gauge\n"
+  out << "# HELP xtc_eval_cache_hit_rate Lifetime evaluation-cache hit "
+         "rate.\n"
+      << "# TYPE xtc_eval_cache_hit_rate gauge\n"
       << "xtc_eval_cache_hit_rate " << format_double(gauges.cache.hit_rate())
       << "\n";
   return out.str();

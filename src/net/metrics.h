@@ -1,12 +1,16 @@
 #pragma once
 
 // Server observability: request counters by (endpoint, status), a fixed-
-// bucket latency histogram, connection/backpressure counters, and a
+// bucket latency histogram, per-stage latency histograms (queueing vs.
+// cache probe vs. ISS evaluation — the per-component attribution the
+// macro-model is about), connection/backpressure counters, and a
 // text-exposition renderer (Prometheus style) for GET /metrics.
 //
 // Thread safety: none — every member is mutated and read exclusively on
 // the server's event-loop thread. Gauges that live elsewhere (queue depth,
-// eval-cache stats) are sampled at render time and passed in.
+// eval-cache stats) are sampled at render time and passed in. Worker-side
+// stage timings travel back to the loop thread inside JobResult::timings
+// and are observed there.
 
 #include <cstdint>
 #include <map>
@@ -27,12 +31,19 @@ class LatencyHistogram {
 
   std::uint64_t count() const { return count_; }
   double sum_seconds() const { return sum_seconds_; }
-  /// Approximate quantile (upper bucket bound), 0 when empty.
-  double quantile(double q) const;
+  /// Approximate quantile (upper bucket bound), 0 when empty. A quantile
+  /// that falls in the overflow bucket (observations above bounds().back())
+  /// has no finite upper bound: it returns +infinity and sets
+  /// *is_overflow, so a degraded server's p99 can never be silently
+  /// capped at the top bound.
+  double quantile(double q, bool* is_overflow = nullptr) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
-  /// counts()[i] = observations <= bounds()[i]; one extra overflow bucket
-  /// at the end.
+  /// Per-bucket counts: counts()[i] is the number of observations that
+  /// landed in bucket i (bounds()[i-1], bounds()[i]], NOT a cumulative
+  /// total — the Prometheus renderer accumulates when it emits the
+  /// cumulative `le` buckets. One extra overflow bucket at the end holds
+  /// observations above bounds().back().
   const std::vector<std::uint64_t>& counts() const { return counts_; }
 
  private:
@@ -41,6 +52,21 @@ class LatencyHistogram {
   std::uint64_t count_ = 0;
   double sum_seconds_ = 0.0;
 };
+
+/// Request-processing stages attributed in xtc_stage_duration_seconds.
+/// Fixed set (array-indexed) so the per-request observe path costs an
+/// index, not a map lookup.
+enum class Stage : std::uint8_t {
+  kParse,       ///< HTTP bytes -> parsed request (summed feed() time)
+  kRoute,       ///< routing + body JSON/TIE parse + job dispatch
+  kQueueWait,   ///< job enqueue -> worker dequeue
+  kCacheProbe,  ///< content hash + eval-cache lookup
+  kEvaluate,    ///< ISS simulation + macro-model evaluation (cache miss)
+  kRespond,     ///< response serialization start -> last byte written
+};
+inline constexpr std::size_t kNumStages = 6;
+
+const char* stage_name(Stage stage);
 
 /// Point-in-time gauges sampled by the renderer.
 struct MetricsGauges {
@@ -55,8 +81,16 @@ struct MetricsGauges {
 class ServerMetrics {
  public:
   /// Records one finished HTTP exchange. `endpoint` is the route label
-  /// ("estimate", "batch", "rank", "healthz", "metrics", "other").
+  /// ("estimate", "batch", "rank", "healthz", "metrics", "trace",
+  /// "other").
   void record_request(std::string_view endpoint, int status, double seconds);
+
+  /// Records one stage duration (per request for server stages, per job
+  /// for worker stages).
+  void observe_stage(Stage stage, double seconds);
+  const LatencyHistogram& stage_latency(Stage stage) const {
+    return stage_latency_[static_cast<std::size_t>(stage)];
+  }
 
   void on_connection_opened() { ++connections_accepted_; }
   void on_backpressure_rejection() { ++backpressure_rejections_; }
@@ -69,12 +103,15 @@ class ServerMetrics {
   }
   std::uint64_t deadline_expiries() const { return deadline_expiries_; }
 
-  /// Renders the text exposition (text/plain; version=0.0.4).
+  /// Renders the text exposition (text/plain; version=0.0.4): every family
+  /// carries # HELP and # TYPE lines and label values are escaped per the
+  /// Prometheus text-format rules (backslash, double quote, newline).
   std::string render(const MetricsGauges& gauges) const;
 
  private:
   std::map<std::pair<std::string, int>, std::uint64_t> requests_;
   LatencyHistogram latency_;
+  LatencyHistogram stage_latency_[kNumStages];
   std::uint64_t connections_accepted_ = 0;
   std::uint64_t backpressure_rejections_ = 0;
   std::uint64_t deadline_expiries_ = 0;

@@ -10,6 +10,8 @@
 
 #include "explore/explore.h"
 #include "net/api.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/json.h"
 
@@ -18,6 +20,15 @@ namespace exten::net {
 namespace {
 
 constexpr std::size_t kReadChunk = 16 * 1024;
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+std::uint64_t to_dur_ns(double seconds) {
+  return seconds > 0.0 ? static_cast<std::uint64_t>(seconds * 1e9) : 0;
+}
 
 HttpResponse json_response(int status, std::string body) {
   HttpResponse response;
@@ -172,12 +183,17 @@ int HttpServer::next_timeout_ms(Clock::time_point now) const {
 }
 
 void HttpServer::accept_connections() {
+  obs::ScopedSpan span(obs::Category::kServer, "accept");
+  std::uint64_t accepted_count = 0;
   while (true) {
     const int fd = ::accept(listener_.fd(), nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-      return;  // transient accept failure (ECONNABORTED, EMFILE, ...)
+      // EAGAIN/EWOULDBLOCK/EINTR, or a transient failure (ECONNABORTED,
+      // EMFILE, ...): either way the accept pass is over.
+      span.add_counter("accepted", accepted_count);
+      return;
     }
+    ++accepted_count;
     Socket socket(fd);
     if (draining_ || connections_.size() >= options_.max_connections) {
       continue;  // Socket destructor closes; client sees a reset.
@@ -219,8 +235,10 @@ void HttpServer::on_readable(Connection& conn) {
   while (conn.state == Connection::State::kReading) {
     const ssize_t n = ::read(conn.socket.fd(), buf, sizeof(buf));
     if (n > 0) {
+      const auto feed_start = Clock::now();
       const RequestParser::Status status =
           conn.parser.feed(std::string_view(buf, static_cast<size_t>(n)));
+      conn.parse_seconds += seconds_between(feed_start, Clock::now());
       if (status == RequestParser::Status::kComplete) {
         handle_parsed_request(conn);
         return;  // further pipelined bytes are handled after the response
@@ -253,7 +271,26 @@ void HttpServer::handle_parsed_request(Connection& conn) {
   const HttpRequest& request = conn.parser.request();
   conn.request_start = Clock::now();
   conn.response_keep_alive = request.keep_alive() && !draining_;
-  route_request(conn, request);
+  conn.trace_id =
+      obs::Tracer::enabled() ? obs::Tracer::instance().next_id() : 0;
+  metrics_.observe_stage(Stage::kParse, conn.parse_seconds);
+  if (obs::Tracer::enabled()) {
+    // feed() time accumulates across reads; render it as one contiguous
+    // span ending at parse completion.
+    const std::uint64_t dur = to_dur_ns(conn.parse_seconds);
+    const std::uint64_t end = obs::Tracer::to_ns(conn.request_start);
+    obs::emit_span(obs::Category::kServer, "http_parse", conn.trace_id,
+                   end > dur ? end - dur : 0, dur);
+  }
+  conn.parse_seconds = 0.0;
+  const obs::ScopedId correlate(conn.trace_id);
+  const auto route_start = Clock::now();
+  {
+    obs::ScopedSpan route_span(obs::Category::kServer, "route");
+    route_request(conn, request);
+  }
+  metrics_.observe_stage(Stage::kRoute,
+                         seconds_between(route_start, Clock::now()));
 }
 
 void HttpServer::route_request(Connection& conn, const HttpRequest& request) {
@@ -282,6 +319,20 @@ void HttpServer::route_request(Connection& conn, const HttpRequest& request) {
     response.content_type = "text/plain; version=0.0.4";
     response.body = metrics_.render(gauges());
     finish_request(conn, std::move(response));
+    return;
+  }
+
+  if (path == "/v1/trace") {
+    conn.endpoint = "trace";
+    if (request.method != "GET") {
+      finish_request(conn, error_response(405, "method not allowed"));
+      return;
+    }
+    // Chrome trace-event JSON of every span currently buffered (empty
+    // trace when tracing is disabled). Snapshotting never blocks emitters.
+    finish_request(conn,
+                   json_response(200, obs::chrome_trace_json(
+                                          obs::Tracer::instance().snapshot())));
     return;
   }
 
@@ -330,6 +381,7 @@ void HttpServer::dispatch_estimate(Connection& conn,
     finish_request(conn, error_response(400, e.what()));
     return;
   }
+  parsed.job.trace_id = conn.trace_id;
 
   const int fd = conn.socket.fd();
   const std::uint64_t generation = ++conn.generation;
@@ -381,6 +433,7 @@ void HttpServer::dispatch_batch(Connection& conn,
   auto batch = std::make_unique<BatchState>();
   batch->jobs.reserve(parsed.jobs.size());
   for (api::EstimateRequest& job : parsed.jobs) {
+    job.job.trace_id = conn.trace_id;
     batch->jobs.push_back(std::move(job.job));
   }
   batch->results.resize(batch->jobs.size());
@@ -489,6 +542,19 @@ void HttpServer::handle_completions() {
     drained.swap(completions_);
   }
   for (Completion& completion : drained) {
+    if (completion.is_job) {
+      // Worker-side attribution; counted even when the requester is gone
+      // (the pool spent the time regardless). Cancelled jobs never probed
+      // the cache; hits never evaluated.
+      const service::JobTimings& t = completion.result.timings;
+      metrics_.observe_stage(Stage::kQueueWait, t.queue_seconds);
+      if (!completion.result.cancelled) {
+        metrics_.observe_stage(Stage::kCacheProbe, t.cache_probe_seconds);
+      }
+      if (t.evaluate_seconds > 0.0) {
+        metrics_.observe_stage(Stage::kEvaluate, t.evaluate_seconds);
+      }
+    }
     auto it = connections_.find(completion.fd);
     if (it == connections_.end()) continue;  // connection already closed
     Connection& conn = *it->second;
@@ -538,11 +604,19 @@ void HttpServer::finish_request(Connection& conn, HttpResponse response) {
       std::chrono::duration<double>(Clock::now() - conn.request_start)
           .count();
   metrics_.record_request(conn.endpoint, response.status, seconds);
+  if (obs::Tracer::enabled()) {
+    // The request span covers exactly what record_request measured, so a
+    // trace's per-stage durations can be reconciled against /metrics.
+    obs::emit_span(obs::Category::kServer, conn.endpoint, conn.trace_id,
+                   obs::Tracer::to_ns(conn.request_start), to_dur_ns(seconds),
+                   "status", static_cast<std::uint64_t>(response.status));
+  }
 
+  conn.respond_start = Clock::now();
   conn.outbox = serialize_response(response, conn.response_keep_alive);
   conn.out_off = 0;
   conn.state = Connection::State::kWriting;
-  conn.expiry = Clock::now() + ms(options_.write_timeout_ms);
+  conn.expiry = conn.respond_start + ms(options_.write_timeout_ms);
   on_writable(conn);  // optimistic write; usually completes in one call
 }
 
@@ -566,6 +640,15 @@ void HttpServer::on_writable(Connection& conn) {
   }
 
   // Response fully written.
+  const double respond_seconds =
+      seconds_between(conn.respond_start, Clock::now());
+  metrics_.observe_stage(Stage::kRespond, respond_seconds);
+  if (obs::Tracer::enabled()) {
+    obs::emit_span(obs::Category::kServer, "respond", conn.trace_id,
+                   obs::Tracer::to_ns(conn.respond_start),
+                   to_dur_ns(respond_seconds), "bytes",
+                   static_cast<std::uint64_t>(conn.outbox.size()));
+  }
   conn.outbox.clear();
   conn.out_off = 0;
   if (!conn.response_keep_alive ||

@@ -135,9 +135,18 @@ class HttpServer {
     bool dispatched = false;
     std::shared_ptr<service::CancelToken> cancel;
     std::unique_ptr<BatchState> batch;
-    /// Metrics label + start time of the request being handled.
-    std::string endpoint = "other";
+    /// Metrics label + start time of the request being handled. A string
+    /// literal: it doubles as the trace span name (static storage).
+    const char* endpoint = "other";
     std::chrono::steady_clock::time_point request_start;
+    /// Tracing correlation id for the request being handled (0 when
+    /// tracing is off); propagated into every BatchJob it spawns.
+    std::uint64_t trace_id = 0;
+    /// Accumulated RequestParser::feed() time for the in-progress request.
+    double parse_seconds = 0.0;
+    /// When finish_request began serializing (the respond stage runs until
+    /// the last byte is written).
+    std::chrono::steady_clock::time_point respond_start;
 
     explicit Connection(Socket s, ParserLimits limits)
         : socket(std::move(s)), parser(limits) {}

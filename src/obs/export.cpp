@@ -1,0 +1,105 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace exten::obs {
+
+std::string chrome_trace_json(const std::vector<Span>& spans) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", std::string_view("ms"));
+  w.array_field("traceEvents");
+
+  std::set<std::uint32_t> threads;
+  for (const Span& span : spans) threads.insert(span.thread);
+  for (std::uint32_t thread : threads) {
+    w.element_object();
+    w.field("ph", std::string_view("M"));
+    w.field("name", std::string_view("thread_name"));
+    w.field("pid", 1);
+    w.field("tid", static_cast<int>(thread));
+    w.object_field("args");
+    w.field("name", std::string_view("xtc-thread-" + std::to_string(thread)));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const Span& span : spans) {
+    w.element_object();
+    w.field("ph", std::string_view("X"));
+    w.field("name",
+            std::string_view(span.name != nullptr ? span.name : "unnamed"));
+    w.field("cat", std::string_view(category_name(span.category)));
+    // Chrome trace timestamps are microseconds (fractions allowed).
+    w.field("ts", static_cast<double>(span.start_ns) / 1000.0);
+    w.field("dur", static_cast<double>(span.dur_ns) / 1000.0);
+    w.field("pid", 1);
+    w.field("tid", static_cast<int>(span.thread));
+    w.object_field("args");
+    if (span.id != 0) w.field("id", span.id);
+    for (int c = 0; c < 2; ++c) {
+      if (span.counter_name[c] != nullptr) {
+        w.field(span.counter_name[c], span.counter_value[c]);
+      }
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::vector<StageStats> aggregate_stages(const std::vector<Span>& spans) {
+  std::map<std::string, StageStats> by_name;
+  for (const Span& span : spans) {
+    const std::string name = span.name != nullptr ? span.name : "unnamed";
+    StageStats& stats = by_name[name];
+    const double seconds = span.dur_seconds();
+    if (stats.count == 0) {
+      stats.name = name;
+      stats.category = span.category;
+      stats.min_seconds = seconds;
+      stats.max_seconds = seconds;
+    } else {
+      stats.min_seconds = std::min(stats.min_seconds, seconds);
+      stats.max_seconds = std::max(stats.max_seconds, seconds);
+    }
+    ++stats.count;
+    stats.total_seconds += seconds;
+  }
+  std::vector<StageStats> stages;
+  stages.reserve(by_name.size());
+  for (auto& [name, stats] : by_name) stages.push_back(std::move(stats));
+  std::sort(stages.begin(), stages.end(),
+            [](const StageStats& a, const StageStats& b) {
+              if (a.category != b.category) return a.category < b.category;
+              return a.total_seconds > b.total_seconds;
+            });
+  return stages;
+}
+
+std::string stage_summary_table(const std::vector<StageStats>& stages) {
+  if (stages.empty()) return std::string();
+  AsciiTable table({"Stage", "Category", "Count", "Total (ms)", "Mean (us)",
+                    "Min (us)", "Max (us)"});
+  for (const StageStats& s : stages) {
+    table.add_row({s.name, category_name(s.category), std::to_string(s.count),
+                   format_fixed(s.total_seconds * 1e3, 3),
+                   format_fixed(s.mean_seconds() * 1e6, 1),
+                   format_fixed(s.min_seconds * 1e6, 1),
+                   format_fixed(s.max_seconds * 1e6, 1)});
+  }
+  std::ostringstream out;
+  table.print(out);
+  return out.str();
+}
+
+}  // namespace exten::obs

@@ -1,0 +1,42 @@
+#pragma once
+
+// Span exporters: Chrome trace-event JSON (loadable in chrome://tracing
+// and https://ui.perfetto.dev) and a compact aggregated per-stage latency
+// summary for terminal reports.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace exten::obs {
+
+/// Serializes spans as a Chrome trace-event file: one complete ("ph":"X")
+/// event per span with microsecond timestamps, the category as "cat", the
+/// correlation id and counters under "args", plus thread-name metadata
+/// events. Deterministic for a given span list.
+std::string chrome_trace_json(const std::vector<Span>& spans);
+
+/// Aggregate of every span sharing one name.
+struct StageStats {
+  std::string name;
+  Category category = Category::kTool;
+  std::uint64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+
+  double mean_seconds() const {
+    return count == 0 ? 0.0 : total_seconds / static_cast<double>(count);
+  }
+};
+
+/// Groups spans by name (category order, then by total time descending).
+std::vector<StageStats> aggregate_stages(const std::vector<Span>& spans);
+
+/// Renders the aggregate as an ASCII table (ends with '\n'; empty string
+/// for an empty aggregate).
+std::string stage_summary_table(const std::vector<StageStats>& stages);
+
+}  // namespace exten::obs

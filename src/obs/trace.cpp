@@ -1,0 +1,269 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace exten::obs {
+
+namespace {
+
+/// Process-wide timebase anchor. Materialized eagerly by Tracer's
+/// constructor so spans converted from caller-held time_points (e.g. a
+/// connection's request_start) can never predate it by more than the
+/// window between process start and first Tracer use; to_ns clamps the
+/// remainder.
+std::chrono::steady_clock::time_point anchor() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+
+constexpr std::size_t kDefaultThreadCapacity = 16384;
+constexpr std::size_t kSpanWords = 9;
+
+thread_local std::uint64_t t_current_id = 0;
+thread_local std::uint32_t t_depth = 0;
+
+std::uint64_t ptr_word(const char* p) {
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p));
+}
+const char* word_ptr(std::uint64_t w) {
+  return reinterpret_cast<const char*>(static_cast<std::uintptr_t>(w));
+}
+
+void pack_span(const Span& span, std::uint64_t (&w)[kSpanWords]) {
+  w[0] = ptr_word(span.name);
+  w[1] = static_cast<std::uint64_t>(span.category) |
+         (static_cast<std::uint64_t>(span.depth) << 8) |
+         (static_cast<std::uint64_t>(span.thread) << 40);
+  w[2] = span.id;
+  w[3] = span.start_ns;
+  w[4] = span.dur_ns;
+  w[5] = ptr_word(span.counter_name[0]);
+  w[6] = span.counter_value[0];
+  w[7] = ptr_word(span.counter_name[1]);
+  w[8] = span.counter_value[1];
+}
+
+Span unpack_span(const std::uint64_t (&w)[kSpanWords]) {
+  Span span;
+  span.name = word_ptr(w[0]);
+  span.category = static_cast<Category>(w[1] & 0xff);
+  span.depth = static_cast<std::uint32_t>((w[1] >> 8) & 0xffffffffu);
+  span.thread = static_cast<std::uint32_t>(w[1] >> 40);
+  span.id = w[2];
+  span.start_ns = w[3];
+  span.dur_ns = w[4];
+  span.counter_name[0] = word_ptr(w[5]);
+  span.counter_value[0] = w[6];
+  span.counter_name[1] = word_ptr(w[7]);
+  span.counter_value[1] = w[8];
+  return span;
+}
+
+}  // namespace
+
+const char* category_name(Category category) {
+  switch (category) {
+    case Category::kServer: return "server";
+    case Category::kService: return "service";
+    case Category::kEngine: return "engine";
+    case Category::kTie: return "tie";
+    case Category::kTool: return "tool";
+  }
+  return "unknown";
+}
+
+/// One emitting thread's span storage. The owning thread is the only
+/// writer; any thread may snapshot. Each slot is a seqlock: the writer
+/// bumps `seq` to odd, stores the span as relaxed atomic words, then
+/// stores seq+2 with release; a reader that observes an odd or changed
+/// sequence discards the slot (see Boehm, "Can seqlocks get along with
+/// programming language memory models?").
+struct Tracer::Ring {
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> words[kSpanWords] = {};
+  };
+
+  Ring(std::size_t capacity_in, std::uint32_t thread_id_in)
+      : capacity(capacity_in), thread_id(thread_id_in), slots(capacity_in) {}
+
+  void push(const Span& span) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    Slot& slot = slots[h % capacity];
+    const std::uint64_t s = slot.seq.load(std::memory_order_relaxed);
+    slot.seq.store(s + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    std::uint64_t w[kSpanWords];
+    pack_span(span, w);
+    for (std::size_t i = 0; i < kSpanWords; ++i) {
+      slot.words[i].store(w[i], std::memory_order_relaxed);
+    }
+    slot.seq.store(s + 2, std::memory_order_release);
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  void read_into(std::vector<Span>* out) const {
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(h, capacity);
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      const Slot& slot = slots[i % capacity];
+      const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 & 1) continue;  // mid-write
+      std::uint64_t w[kSpanWords];
+      for (std::size_t j = 0; j < kSpanWords; ++j) {
+        w[j] = slot.words[j].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+      out->push_back(unpack_span(w));
+    }
+  }
+
+  std::atomic<std::uint64_t> head{0};
+  const std::size_t capacity;
+  const std::uint32_t thread_id;
+  std::vector<Slot> slots;
+};
+
+Tracer::Tracer() : thread_capacity_(kDefaultThreadCapacity) {
+  anchor();  // pin the timebase before any span exists
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_enabled(bool on) {
+  if (on) anchor();
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::set_thread_capacity(std::size_t spans) {
+  thread_capacity_.store(std::max<std::size_t>(spans, 2),
+                         std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::next_id() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::to_ns(std::chrono::steady_clock::time_point t) {
+  const auto delta = t - anchor();
+  if (delta.count() < 0) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count());
+}
+
+Tracer::Ring& Tracer::thread_ring() {
+  // The shared_ptr keeps the ring alive in the registry after the thread
+  // exits, so a snapshot can still export its spans.
+  thread_local std::shared_ptr<Ring> ring = [this] {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    auto r = std::make_shared<Ring>(
+        thread_capacity_.load(std::memory_order_relaxed),
+        static_cast<std::uint32_t>(rings_.size() + 1));
+    rings_.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+void Tracer::emit(const Span& span) {
+  Span stamped = span;
+  Ring& ring = thread_ring();
+  stamped.thread = ring.thread_id;
+  ring.push(stamped);
+}
+
+std::vector<Span> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings = rings_;
+  }
+  std::vector<Span> spans;
+  for (const auto& ring : rings) ring->read_into(&spans);
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Span& a, const Span& b) {
+                     if (a.start_ns != b.start_ns) {
+                       return a.start_ns < b.start_ns;
+                     }
+                     return a.depth < b.depth;
+                   });
+  return spans;
+}
+
+std::uint64_t Tracer::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    const std::uint64_t h = ring->head.load(std::memory_order_acquire);
+    if (h > ring->capacity) dropped += h - ring->capacity;
+  }
+  return dropped;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+std::uint64_t current_id() { return t_current_id; }
+
+ScopedId::ScopedId(std::uint64_t id) : prev_(t_current_id) {
+  t_current_id = id;
+}
+
+ScopedId::~ScopedId() { t_current_id = prev_; }
+
+ScopedSpan::ScopedSpan(Category category, const char* name, std::uint64_t id) {
+  if (!Tracer::enabled()) return;
+  armed_ = true;
+  span_.name = name;
+  span_.category = category;
+  span_.id = id != 0 ? id : t_current_id;
+  span_.depth = t_depth++;
+  span_.start_ns = Tracer::now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!armed_) return;
+  span_.dur_ns = Tracer::now_ns() - span_.start_ns;
+  --t_depth;
+  Tracer::instance().emit(span_);
+}
+
+void ScopedSpan::add_counter(const char* name, std::uint64_t value) {
+  if (!armed_) return;
+  for (int i = 0; i < 2; ++i) {
+    if (span_.counter_name[i] == nullptr) {
+      span_.counter_name[i] = name;
+      span_.counter_value[i] = value;
+      return;
+    }
+  }
+}
+
+void emit_span(Category category, const char* name, std::uint64_t id,
+               std::uint64_t start_ns, std::uint64_t dur_ns,
+               const char* counter_name, std::uint64_t counter_value) {
+  if (!Tracer::enabled()) return;
+  Span span;
+  span.name = name;
+  span.category = category;
+  span.id = id != 0 ? id : t_current_id;
+  span.depth = t_depth;
+  span.start_ns = start_ns;
+  span.dur_ns = dur_ns;
+  if (counter_name != nullptr) {
+    span.counter_name[0] = counter_name;
+    span.counter_value[0] = counter_value;
+  }
+  Tracer::instance().emit(span);
+}
+
+}  // namespace exten::obs

@@ -1,0 +1,176 @@
+#pragma once
+
+// Low-overhead cross-layer tracing: thread-local fixed-capacity span ring
+// buffers with a lock-free publish path, an RAII ScopedSpan, and a global
+// enabled flag that makes the whole subsystem ~free when off.
+//
+// Design (docs/observability.md):
+//  - A Span is a POD record: static-storage name, category, correlation id
+//    (request/job id), nanosecond start/duration from one process-wide
+//    steady_clock anchor, and up to two named counters. No allocation
+//    happens anywhere on the emit path.
+//  - Each emitting thread owns one Ring (registered with the Tracer on
+//    first emit). The owner publishes spans through a per-slot seqlock
+//    (odd/even sequence + relaxed atomic words), so snapshot() from any
+//    other thread never blocks a writer and never observes a torn span —
+//    a slot overwritten mid-read is detected and skipped.
+//  - When tracing is disabled (the default), ScopedSpan's constructor is a
+//    single relaxed atomic load; nothing else runs and nothing allocates
+//    (pinned by tests/test_obs.cpp).
+//
+// Thread safety: everything here is safe to call from any thread.
+// set_enabled / clear are for a coordinating thread (tool startup, the
+// trace endpoint); emits racing a clear() are benign (the span lands or
+// is dropped, never torn).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace exten::obs {
+
+/// Which layer a span belongs to (the paper's per-component attribution,
+/// lifted to the serving stack).
+enum class Category : std::uint8_t {
+  kServer,   ///< net::HttpServer event loop (accept/parse/route/respond)
+  kService,  ///< service::BatchEstimator (enqueue/queue_wait/cache/evaluate)
+  kEngine,   ///< sim::Cpu (predecode, run)
+  kTie,      ///< tie compile + aggregated custom-instruction execution
+  kTool,     ///< CLI-level phases (load, report)
+};
+inline constexpr std::size_t kNumCategories = 5;
+
+const char* category_name(Category category);
+
+/// One completed span. `name` and the counter names must point to
+/// static-storage strings (string literals): spans are POD and outlive
+/// the code region that emitted them.
+struct Span {
+  const char* name = nullptr;
+  Category category = Category::kTool;
+  /// Tracer-assigned emitting-thread index (1-based, registration order).
+  std::uint32_t thread = 0;
+  /// Nesting depth on the emitting thread at emission time.
+  std::uint32_t depth = 0;
+  /// Correlation id (request/job id); 0 = none.
+  std::uint64_t id = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  const char* counter_name[2] = {nullptr, nullptr};
+  std::uint64_t counter_value[2] = {0, 0};
+
+  double start_seconds() const { return static_cast<double>(start_ns) * 1e-9; }
+  double dur_seconds() const { return static_cast<double>(dur_ns) * 1e-9; }
+  std::uint64_t end_ns() const { return start_ns + dur_ns; }
+};
+
+namespace detail {
+/// Global enabled flag; relaxed loads on every hot path.
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  static bool enabled() {
+    return detail::g_enabled.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on);
+
+  /// Spans each thread's ring can hold before overwriting the oldest.
+  /// Applies to rings created afterwards (existing rings keep their size).
+  void set_thread_capacity(std::size_t spans);
+
+  /// Monotonic correlation ids (never 0).
+  std::uint64_t next_id();
+
+  /// Nanoseconds since the process-wide anchor.
+  static std::uint64_t now_ns() {
+    return to_ns(std::chrono::steady_clock::now());
+  }
+  /// Converts a caller-held steady_clock time to the tracer's timebase
+  /// (clamped to 0 for times predating the anchor).
+  static std::uint64_t to_ns(std::chrono::steady_clock::time_point t);
+
+  /// Publishes a finished span to the calling thread's ring. Callers
+  /// normally use ScopedSpan / emit_span; emit() itself does not check
+  /// enabled().
+  void emit(const Span& span);
+
+  /// Consistent copy of every ring, sorted by (start_ns, depth). Never
+  /// blocks writers; spans being overwritten during the read are skipped.
+  std::vector<Span> snapshot() const;
+
+  /// Spans lost to ring wraparound since the last clear().
+  std::uint64_t dropped_spans() const;
+
+  /// Empties every ring. Best-effort when writers are active; meant for
+  /// between-run resets with tracing disabled.
+  void clear();
+
+ private:
+  Tracer();
+  struct Ring;
+  Ring& thread_ring();
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> thread_capacity_;
+  mutable std::mutex rings_mu_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+
+  friend class ScopedSpan;
+};
+
+/// The thread's current correlation id (set by ScopedId), 0 when none.
+std::uint64_t current_id();
+
+/// RAII correlation-id scope: spans created while alive default their id
+/// to this value. Nests (restores the previous id on destruction). Cheap
+/// enough to use unconditionally.
+class ScopedId {
+ public:
+  explicit ScopedId(std::uint64_t id);
+  ~ScopedId();
+  ScopedId(const ScopedId&) = delete;
+  ScopedId& operator=(const ScopedId&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+/// RAII span: records start on construction, emits on destruction. When
+/// tracing is disabled at construction the object is inert (and stays
+/// inert even if tracing is enabled mid-scope).
+class ScopedSpan {
+ public:
+  /// `id` of 0 inherits the thread's current_id().
+  ScopedSpan(Category category, const char* name, std::uint64_t id = 0);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a counter (at most two; extras are ignored). `name` must be
+  /// a static-storage string.
+  void add_counter(const char* name, std::uint64_t value);
+
+  bool armed() const { return armed_; }
+
+ private:
+  Span span_;
+  bool armed_ = false;
+};
+
+/// Publishes a span whose start/duration were measured externally (e.g.
+/// queue wait: enqueue timestamp captured on one thread, emitted by the
+/// worker that dequeued the job). No-op when tracing is disabled. `id` of
+/// 0 inherits current_id(); depth is the emitting thread's current depth.
+void emit_span(Category category, const char* name, std::uint64_t id,
+               std::uint64_t start_ns, std::uint64_t dur_ns,
+               const char* counter_name = nullptr,
+               std::uint64_t counter_value = 0);
+
+}  // namespace exten::obs

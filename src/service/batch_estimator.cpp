@@ -5,6 +5,7 @@
 #include <exception>
 #include <latch>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace exten::service {
@@ -13,6 +14,13 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point start) {
   const auto elapsed = std::chrono::steady_clock::now() - start;
   return std::chrono::duration<double>(elapsed).count();
+}
+
+std::uint64_t ns_between(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  const auto delta =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count();
+  return delta > 0 ? static_cast<std::uint64_t>(delta) : 0;
 }
 }  // namespace
 
@@ -31,16 +39,30 @@ BatchEstimator::BatchEstimator(model::EnergyMacroModel model,
       cache_(options.cache_capacity),
       pool_(options.num_threads, options.queue_capacity) {}
 
-JobResult BatchEstimator::run_job(const BatchJob& job,
-                                  const CancelToken* cancel) {
+JobResult BatchEstimator::run_job(
+    const BatchJob& job, const CancelToken* cancel,
+    std::chrono::steady_clock::time_point enqueued) {
   const auto start = std::chrono::steady_clock::now();
   JobResult result;
   result.name = job.name;
+  result.timings.queue_seconds =
+      std::chrono::duration<double>(start - enqueued).count();
+  if (result.timings.queue_seconds < 0.0) result.timings.queue_seconds = 0.0;
   if (cancel != nullptr && cancel->cancelled()) {
     result.cancelled = true;
     result.error = "cancelled before execution";
     return result;
   }
+  // Propagate the request's correlation id to every span emitted below
+  // (including the engine/TIE spans deep inside estimate_energy).
+  const obs::ScopedId correlate(job.trace_id);
+  if (obs::Tracer::enabled()) {
+    // queue_wait is measured externally (submission happened on another
+    // thread); emit it on this worker's track just before the job span.
+    obs::emit_span(obs::Category::kService, "queue_wait", obs::current_id(),
+                   obs::Tracer::to_ns(enqueued), ns_between(enqueued, start));
+  }
+  obs::ScopedSpan job_span(obs::Category::kService, "job");
   try {
     EXTEN_CHECK(job.program.tie != nullptr, "job '", job.name,
                 "' has no TIE configuration");
@@ -49,6 +71,7 @@ JobResult BatchEstimator::run_job(const BatchJob& job,
                                      : options_.max_instructions;
     // The budget is an input to the evaluation (it decides whether a long
     // program errors out), so it participates in the cache key.
+    const auto probe_start = std::chrono::steady_clock::now();
     ContentHasher budget_hash;
     budget_hash.u64(budget);
     const Digest key = combine_digests(
@@ -56,18 +79,32 @@ JobResult BatchEstimator::run_job(const BatchJob& job,
          hash_tie_configuration(*job.program.tie),
          hash_processor_config(job.processor), model_digest_,
          budget_hash.digest()});
-    if (std::optional<model::EnergyEstimate> cached = cache_.lookup(key)) {
+    std::optional<model::EnergyEstimate> cached = cache_.lookup(key);
+    result.timings.cache_probe_seconds = seconds_since(probe_start);
+    if (obs::Tracer::enabled()) {
+      obs::emit_span(obs::Category::kService, "cache_probe",
+                     obs::current_id(), obs::Tracer::to_ns(probe_start),
+                     ns_between(probe_start, std::chrono::steady_clock::now()),
+                     "hit", cached.has_value() ? 1 : 0);
+    }
+    if (cached.has_value()) {
       result.estimate = std::move(*cached);
       result.cache_hit = true;
     } else {
-      result.estimate = model::estimate_energy(model_, job.program,
-                                               job.processor, budget);
+      const auto eval_start = std::chrono::steady_clock::now();
+      {
+        obs::ScopedSpan eval_span(obs::Category::kService, "evaluate");
+        result.estimate = model::estimate_energy(model_, job.program,
+                                                 job.processor, budget);
+      }
+      result.timings.evaluate_seconds = seconds_since(eval_start);
       cache_.insert(key, result.estimate);
     }
     result.ok = true;
   } catch (const std::exception& e) {
     result.error = e.what();
   }
+  job_span.add_counter("cache_hit", result.cache_hit ? 1 : 0);
   result.worker_seconds = seconds_since(start);
   return result;
 }
@@ -85,10 +122,12 @@ BatchResult BatchEstimator::estimate(std::span<const BatchJob> jobs) {
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     // submit() blocks on the bounded queue (backpressure) — with a live
     // pool it only returns false after shutdown.
-    const bool accepted = pool_.submit([this, &jobs, &batch, &done, i] {
-      batch.results[i] = run_job(jobs[i]);
-      done.count_down();
-    });
+    const auto enqueued = std::chrono::steady_clock::now();
+    const bool accepted =
+        pool_.submit([this, &jobs, &batch, &done, i, enqueued] {
+          batch.results[i] = run_job(jobs[i], nullptr, enqueued);
+          done.count_down();
+        });
     if (!accepted) {
       rejected = true;
       for (std::size_t j = i; j < jobs.size(); ++j) done.count_down();
@@ -125,9 +164,11 @@ bool BatchEstimator::try_submit(BatchJob job,
                                 std::shared_ptr<CancelToken> cancel) {
   // The closure owns the job, the token and the callback; run_job never
   // throws (per-job errors are captured into the result).
-  return pool_.try_submit(
-      [this, job = std::move(job), done = std::move(done),
-       cancel = std::move(cancel)] { done(run_job(job, cancel.get())); });
+  const auto enqueued = std::chrono::steady_clock::now();
+  return pool_.try_submit([this, job = std::move(job), done = std::move(done),
+                           cancel = std::move(cancel), enqueued] {
+    done(run_job(job, cancel.get(), enqueued));
+  });
 }
 
 }  // namespace exten::service

@@ -16,6 +16,7 @@
 // JobResult; the rest of the batch is unaffected.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -50,6 +51,23 @@ struct BatchJob {
   sim::ProcessorConfig processor{};
   /// Per-job instruction budget; 0 = BatchOptions::max_instructions.
   std::uint64_t max_instructions = 0;
+  /// Tracing correlation id (obs::Tracer::next_id()); 0 = no correlation.
+  /// Worker-side spans (queue_wait, cache_probe, evaluate, engine, TIE)
+  /// inherit it so a request can be followed across threads.
+  std::uint64_t trace_id = 0;
+};
+
+/// Worker-side stage attribution for one job, always measured (feeds the
+/// xtc_stage_duration_seconds histograms even when tracing is off). The
+/// stages are disjoint subsets of worker_seconds; evaluate_seconds is 0 on
+/// a cache hit.
+struct JobTimings {
+  /// Submission -> worker dequeue (time spent waiting in the pool queue).
+  double queue_seconds = 0.0;
+  /// Content hashing + evaluation-cache lookup.
+  double cache_probe_seconds = 0.0;
+  /// ISS simulation + macro-model evaluation (cache miss only).
+  double evaluate_seconds = 0.0;
 };
 
 /// Cooperative cancellation handle shared between a submitter and the
@@ -85,6 +103,8 @@ struct JobResult {
   /// Wall-clock seconds this job spent in its worker (hash + cache
   /// lookup + simulation; microseconds on a hit).
   double worker_seconds = 0.0;
+  /// Per-stage breakdown (queue wait, cache probe, evaluation).
+  JobTimings timings;
 };
 
 /// Per-batch metrics (the cache counters are scoped to the batch, not the
@@ -162,7 +182,8 @@ class BatchEstimator {
   void clear_cache() { cache_.clear(); }
 
  private:
-  JobResult run_job(const BatchJob& job, const CancelToken* cancel = nullptr);
+  JobResult run_job(const BatchJob& job, const CancelToken* cancel,
+                    std::chrono::steady_clock::time_point enqueued);
 
   model::EnergyMacroModel model_;
   Digest model_digest_;

@@ -34,12 +34,15 @@ Cpu::Cpu(const ProcessorConfig& config, const tie::TieConfiguration& tie,
       engine_(engine) {}
 
 void Cpu::load_program(const isa::ProgramImage& image) {
+  obs::ScopedSpan span(obs::Category::kEngine, "predecode");
   memory_.load(image);
   load_page_ = Memory::PageRef{};
   store_page_ = Memory::PageRef{};
   predecode_.build(image, tie_);
   pc_ = image.entry_point();
   set_reg(isa::kStackRegister, isa::kStackTop);
+  span.add_counter("text_words",
+                   static_cast<std::uint64_t>(predecode_.size()));
 }
 
 void Cpu::add_observer(RetireObserver* observer) {

@@ -17,10 +17,12 @@
 //  - Engine::kReference: the original interpreter — fetch through the page
 //    map, isa::decode every dynamic instruction, walk the TIE Expr tree.
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
 #include "isa/program.h"
+#include "obs/trace.h"
 #include "sim/cache.h"
 #include "sim/config.h"
 #include "sim/events.h"
@@ -98,6 +100,15 @@ class Cpu {
     sink.on_run_begin();
     RunResult result;
     const bool fast = engine_ == Engine::kFast;
+    // Inert when tracing is disabled (one relaxed load). The aggregated
+    // TIE-execution child span is emitted at run end from the per-custom-
+    // instruction accounting kept by execute().
+    obs::ScopedSpan run_span(obs::Category::kEngine,
+                             fast ? "run_fast" : "run_reference");
+    const std::uint64_t run_start_ns =
+        run_span.armed() ? obs::Tracer::now_ns() : 0;
+    const std::uint64_t tie_ns_before = tie_exec_ns_;
+    const std::uint64_t tie_count_before = tie_exec_count_;
     while (result.instructions < max_instructions) {
       bool keep_going;
       const PredecodedInstr* p = fast ? predecode_.lookup(pc_) : nullptr;
@@ -128,6 +139,17 @@ class Cpu {
     }
     result.cycles = cycles_;
     sink.on_run_end(result.instructions, result.cycles);
+    if (run_span.armed()) {
+      run_span.add_counter("instructions", result.instructions);
+      run_span.add_counter("cycles", result.cycles);
+      if (tie_exec_count_ > tie_count_before) {
+        // One aggregate span for all custom-instruction executions in this
+        // run (timing each individually would distort what it measures).
+        obs::emit_span(obs::Category::kTie, "tie_execute", 0, run_start_ns,
+                       tie_exec_ns_ - tie_ns_before, "custom_ops",
+                       tie_exec_count_ - tie_count_before);
+      }
+    }
     EXTEN_CHECK(result.halted, "instruction budget of ", max_instructions,
                 " exhausted without HALT (runaway program at pc=0x", std::hex,
                 pc_, ")");
@@ -149,6 +171,12 @@ class Cpu {
   Cache& dcache() { return dcache_; }
 
   std::uint64_t cycles() const { return cycles_; }
+
+  /// Tracing-only TIE attribution: wall nanoseconds spent inside custom-
+  /// instruction semantic execution and how many executed, accumulated
+  /// across runs while obs::Tracer::enabled(). Both stay 0 otherwise.
+  std::uint64_t tie_exec_ns() const { return tie_exec_ns_; }
+  std::uint64_t tie_exec_count() const { return tie_exec_count_; }
 
   const ProcessorConfig& config() const { return config_; }
   const tie::TieConfiguration& tie_config() const { return tie_; }
@@ -225,6 +253,8 @@ class Cpu {
   std::uint32_t regs_[isa::kNumRegisters] = {};
   std::uint32_t pc_ = isa::kTextBase;
   std::uint64_t cycles_ = 0;
+  std::uint64_t tie_exec_ns_ = 0;
+  std::uint64_t tie_exec_count_ = 0;
 
   // Load-use interlock tracking: destination of the previous instruction
   // if it was a load, else an impossible register index.
@@ -467,10 +497,24 @@ inline void Cpu::execute(const isa::DecodedInstr& d,
       retired->custom = &ci;
       retired->base_cycles = ci.latency;
       retired->total_cycles += ci.latency - 1;
-      const std::uint32_t rd_value =
-          engine_ == Engine::kFast
-              ? tie_.execute(ci, a, b, &tie_state_)
-              : tie_.execute_reference(ci, a, b, &tie_state_);
+      std::uint32_t rd_value;
+      if (obs::Tracer::enabled()) [[unlikely]] {
+        // Per-execution accounting for the aggregated tie_execute span;
+        // individual spans here would cost more than what they measure.
+        const auto tie_start = std::chrono::steady_clock::now();
+        rd_value = engine_ == Engine::kFast
+                       ? tie_.execute(ci, a, b, &tie_state_)
+                       : tie_.execute_reference(ci, a, b, &tie_state_);
+        tie_exec_ns_ += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - tie_start)
+                .count());
+        ++tie_exec_count_;
+      } else {
+        rd_value = engine_ == Engine::kFast
+                       ? tie_.execute(ci, a, b, &tie_state_)
+                       : tie_.execute_reference(ci, a, b, &tie_state_);
+      }
       if (ci.writes_rd) write_rd(rd_value);
       break;
     }

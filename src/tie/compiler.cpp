@@ -4,6 +4,7 @@
 #include <set>
 
 #include "isa/isa.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace exten::tie {
@@ -167,6 +168,9 @@ std::uint32_t TieConfiguration::execute_reference(const CustomInstruction& ci,
 }
 
 TieConfiguration TieConfiguration::compile(const TieSpec& spec) {
+  obs::ScopedSpan span(obs::Category::kTie, "tie_compile");
+  span.add_counter("instructions",
+                   static_cast<std::uint64_t>(spec.instructions.size()));
   TieConfiguration config;
 
   // --- Custom state declarations ------------------------------------------

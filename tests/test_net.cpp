@@ -13,6 +13,8 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,9 +28,11 @@
 #include "net/poller.h"
 #include "net/server.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 #include "service/batch_estimator.h"
 #include "util/error.h"
 #include "util/json.h"
+#include "util/strings.h"
 
 namespace exten::net {
 namespace {
@@ -407,6 +411,121 @@ TEST(LatencyHistogram, RendersPrometheusText) {
             std::string::npos);
 }
 
+TEST(LatencyHistogram, OverflowQuantileIsInfinityNotTopBound) {
+  LatencyHistogram h;
+  for (int i = 0; i < 9; ++i) h.observe(0.0002);
+  h.observe(50.0);  // above the 10s top bound -> overflow bucket
+  bool overflow = true;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5, &overflow), 0.00025);
+  EXPECT_FALSE(overflow);
+  // The p99.9 lands on the overflow observation. Reporting the top bound
+  // (10s) would understate it by an unknowable amount; the contract is
+  // +Inf plus the out-param.
+  EXPECT_TRUE(std::isinf(h.quantile(0.999, &overflow)));
+  EXPECT_TRUE(overflow);
+  EXPECT_TRUE(std::isinf(h.quantile(0.999)));  // out-param is optional
+}
+
+TEST(LatencyHistogram, CountsArePerBucketNotCumulative) {
+  LatencyHistogram h;
+  h.observe(0.00005);  // bucket 0: (0, 1e-4]
+  h.observe(0.0002);   // bucket 1: (1e-4, 2.5e-4]
+  h.observe(0.0002);
+  h.observe(50.0);  // overflow bucket
+  const std::vector<std::uint64_t>& counts = h.counts();
+  ASSERT_EQ(counts.size(), h.bounds().size() + 1);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);  // cumulative would be 3
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts.back(), 1u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  EXPECT_EQ(total, h.count());
+}
+
+/// The metric family a sample belongs to: histogram samples carry a
+/// _bucket/_sum/_count suffix on top of the family name.
+std::string family_of(const std::string& sample_name) {
+  for (const std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+    if (sample_name.size() > suffix.size() &&
+        sample_name.compare(sample_name.size() - suffix.size(),
+                            suffix.size(), suffix) == 0) {
+      return sample_name.substr(0, sample_name.size() - suffix.size());
+    }
+  }
+  return sample_name;
+}
+
+TEST(ServerMetrics, ExpositionHasHelpAndTypeForEveryFamily) {
+  ServerMetrics metrics;
+  metrics.record_request("estimate", 200, 0.001);
+  metrics.observe_stage(Stage::kEvaluate, 0.002);
+  metrics.on_backpressure_rejection();
+  const std::string text = metrics.render(MetricsGauges{});
+
+  // Walk the exposition like a Prometheus scraper: every sample line must
+  // have been preceded by # HELP and # TYPE lines for its family.
+  std::set<std::string> help_seen;
+  std::set<std::string> type_seen;
+  std::size_t samples = 0;
+  for (std::string_view line : split_lines(text)) {
+    if (line.empty()) continue;
+    if (starts_with(line, "# HELP ")) {
+      const std::string_view rest = line.substr(7);
+      help_seen.insert(std::string(rest.substr(0, rest.find(' '))));
+      continue;
+    }
+    if (starts_with(line, "# TYPE ")) {
+      const std::string_view rest = line.substr(7);
+      type_seen.insert(std::string(rest.substr(0, rest.find(' '))));
+      continue;
+    }
+    ASSERT_FALSE(starts_with(line, "#")) << "unknown comment: " << line;
+    ++samples;
+    const std::string name(line.substr(0, line.find_first_of("{ ")));
+    const std::string family = family_of(name);
+    EXPECT_TRUE(help_seen.count(family)) << "no # HELP before " << line;
+    EXPECT_TRUE(type_seen.count(family)) << "no # TYPE before " << line;
+  }
+  EXPECT_GT(samples, 20u);
+}
+
+TEST(ServerMetrics, EscapesLabelValues) {
+  ServerMetrics metrics;
+  // An endpoint label with every character the text format requires
+  // escaping: backslash, double quote, newline.
+  metrics.record_request("we\"ird\\end\npoint", 200, 0.001);
+  const std::string text = metrics.render(MetricsGauges{});
+  EXPECT_NE(text.find("endpoint=\"we\\\"ird\\\\end\\npoint\""),
+            std::string::npos);
+  EXPECT_EQ(text.find("end\npoint"), std::string::npos)
+      << "raw newline leaked into a label value";
+}
+
+TEST(ServerMetrics, StageHistogramsRenderWithStageLabel) {
+  ServerMetrics metrics;
+  metrics.observe_stage(Stage::kQueueWait, 0.0002);
+  metrics.observe_stage(Stage::kEvaluate, 0.05);
+  const std::string text = metrics.render(MetricsGauges{});
+  EXPECT_NE(text.find("# TYPE xtc_stage_duration_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("xtc_stage_duration_seconds_bucket{stage=\"queue_wait\""),
+      std::string::npos);
+  EXPECT_NE(text.find("xtc_stage_duration_seconds_count{stage=\"evaluate\"} 1"),
+            std::string::npos);
+  // All six stages render (zero-count ones included), so dashboards see a
+  // stable label set from the first scrape.
+  for (const char* stage :
+       {"parse", "route", "queue_wait", "cache_probe", "evaluate",
+        "respond"}) {
+    EXPECT_NE(text.find("xtc_stage_duration_seconds_count{stage=\"" +
+                        std::string(stage) + "\"}"),
+              std::string::npos)
+        << stage;
+  }
+}
+
 // --- api request parsing ---------------------------------------------------
 
 TEST(Api, RejectsUnknownObjective) {
@@ -610,6 +729,181 @@ TEST(HttpServer, MetricsExposeRequestCounters) {
   EXPECT_NE(response.body.find("xtc_eval_cache_misses_total 1"),
             std::string::npos);
   EXPECT_NE(response.body.find("xtc_queue_capacity"), std::string::npos);
+}
+
+TEST(HttpServer, MetricsExposeStageHistograms) {
+  TestServer ts;
+  HttpClient client = ts.client();
+  ASSERT_EQ(client.post("/v1/estimate", estimate_body("t", kTinyAsm)).status,
+            200);
+  const std::string text = client.get("/metrics").body;
+  // The estimate exchange observed every stage once. The /metrics request
+  // itself had its parse stage recorded before the exposition rendered
+  // (route/respond for it land after), hence parse = 2.
+  const struct {
+    const char* stage;
+    int count;
+  } kExpected[] = {{"parse", 2},       {"route", 1},    {"queue_wait", 1},
+                   {"cache_probe", 1}, {"evaluate", 1}, {"respond", 1}};
+  for (const auto& expected : kExpected) {
+    EXPECT_NE(text.find("xtc_stage_duration_seconds_count{stage=\"" +
+                        std::string(expected.stage) + "\"} " +
+                        std::to_string(expected.count)),
+              std::string::npos)
+        << expected.stage;
+  }
+}
+
+// --- tracing end to end ----------------------------------------------------
+
+constexpr const char* kNetMacTie = R"(
+state acc width=32
+instruction cma {
+  latency 2
+  reads rs1, rs2
+  use tie_mac width=32
+  semantics { acc = acc + rs1 * rs2; }
+}
+)";
+
+// ~3M instructions of TIE-bearing work: heavy enough that evaluation
+// dominates the request latency, so the stage-sum acceptance check below
+// is meaningful (a trivial program's latency is all event-loop wakeups).
+constexpr const char* kMacLoopAsm =
+    "  li r1, 3\n  li r2, 4\n  li r4, 1000000\n"
+    "loop:\n  cma r1, r2\n  addi r4, r4, -1\n  bnez r4, loop\n  halt\n";
+
+std::string batch_body_with_tie(std::string_view name) {
+  JsonWriter w;
+  w.begin_object();
+  w.array_field("jobs");
+  w.element_object();
+  w.field("name", name);
+  w.field("asm", std::string_view(kMacLoopAsm));
+  w.field("tie", std::string_view(kNetMacTie));
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+/// Leaves tracing disabled and the rings empty for the rest of the suite.
+class ScopedTracing {
+ public:
+  ScopedTracing() {
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().set_enabled(true);
+  }
+  ~ScopedTracing() {
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().clear();
+  }
+};
+
+TEST(HttpServer, TraceEndpointServesChromeTraceJson) {
+  TestServer ts;
+  HttpClient client = ts.client();
+  EXPECT_EQ(client.post("/v1/trace", "{}").status, 405);
+  const auto response = client.get("/v1/trace");
+  ASSERT_EQ(response.status, 200);
+  // Valid Chrome trace JSON even with tracing disabled (empty trace).
+  const JsonValue body = JsonValue::parse(response.body);
+  ASSERT_NE(body.find("traceEvents"), nullptr);
+}
+
+// The tentpole acceptance: a traced batch request produces spans that
+// nest server -> service -> engine -> tie under one correlation id, with
+// per-stage durations consistent with the request latency.
+TEST(HttpServer, TracedBatchNestsServerServiceEngineTie) {
+  ScopedTracing tracing;
+  TestServer ts;
+  HttpClient client = ts.client();
+  // Warm-up on a different program: registers the worker threads' span
+  // rings so the measured request doesn't pay their one-time allocation.
+  ASSERT_EQ(
+      client.post("/v1/estimate", estimate_body("warm", kTinyAsm)).status,
+      200);
+  obs::Tracer::instance().clear();
+
+  const auto response = client.post("/v1/batch", batch_body_with_tie("mac"));
+  ASSERT_EQ(response.status, 200);
+  const JsonValue body = JsonValue::parse(response.body);
+  const JsonValue::Array& results = body.find("results")->as_array();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].find("ok")->as_bool());
+  const JsonValue* stages = results[0].find("stages");
+  ASSERT_NE(stages, nullptr);  // per-job stage timings in the API response
+  EXPECT_GE(stages->find("queue_seconds")->as_number(), 0.0);
+  EXPECT_GT(stages->find("cache_probe_seconds")->as_number(), 0.0);
+  EXPECT_GT(stages->find("evaluate_seconds")->as_number(), 0.0);
+
+  obs::Tracer::instance().set_enabled(false);
+  const std::vector<obs::Span> spans = obs::Tracer::instance().snapshot();
+
+  const auto find = [&](std::string_view name) -> const obs::Span* {
+    for (const obs::Span& span : spans) {
+      if (span.name != nullptr && name == span.name) return &span;
+    }
+    return nullptr;
+  };
+
+  const obs::Span* request = find("batch");
+  ASSERT_NE(request, nullptr) << "no request span";
+  EXPECT_EQ(request->category, obs::Category::kServer);
+  ASSERT_NE(request->id, 0u);
+
+  // Every layer contributed a span carrying the request's correlation id.
+  const struct {
+    const char* name;
+    obs::Category category;
+  } kExpected[] = {
+      {"http_parse", obs::Category::kServer},
+      {"route", obs::Category::kServer},
+      {"tie_compile", obs::Category::kTie},
+      {"queue_wait", obs::Category::kService},
+      {"job", obs::Category::kService},
+      {"cache_probe", obs::Category::kService},
+      {"evaluate", obs::Category::kService},
+      {"run_fast", obs::Category::kEngine},
+      {"tie_execute", obs::Category::kTie},
+  };
+  for (const auto& expected : kExpected) {
+    const obs::Span* span = find(expected.name);
+    ASSERT_NE(span, nullptr) << expected.name;
+    EXPECT_EQ(span->category, expected.category) << expected.name;
+    EXPECT_EQ(span->id, request->id) << expected.name;
+  }
+
+  // Nesting: the service/engine work happens inside the request window
+  // (http_parse legitimately ends where the window begins).
+  for (const char* inner : {"route", "job", "evaluate", "run_fast"}) {
+    const obs::Span* span = find(inner);
+    EXPECT_GE(span->start_ns, request->start_ns) << inner;
+    EXPECT_LE(span->end_ns(), request->end_ns()) << inner;
+  }
+  const obs::Span* evaluate = find("evaluate");
+  const obs::Span* run = find("run_fast");
+  EXPECT_GE(run->start_ns, evaluate->start_ns);
+  EXPECT_LE(run->end_ns(), evaluate->end_ns());
+  EXPECT_EQ(run->depth, find("job")->depth + 2);  // job > evaluate > run
+
+  // The TIE attribution counted every cma the loop executed.
+  const obs::Span* tie = find("tie_execute");
+  ASSERT_STREQ(tie->counter_name[0], "custom_ops");
+  EXPECT_EQ(tie->counter_value[0], 1'000'000u);
+
+  // Per-stage durations reconcile with the request latency: the disjoint
+  // stages (route covers dispatch; queue wait, cache probe and the
+  // evaluation cover the worker) account for most of the request and
+  // never exceed it by more than bookkeeping noise.
+  const double dur = request->dur_seconds();
+  const double stage_sum =
+      find("route")->dur_seconds() + find("queue_wait")->dur_seconds() +
+      find("cache_probe")->dur_seconds() + find("evaluate")->dur_seconds();
+  EXPECT_LE(stage_sum, 1.10 * dur);
+  EXPECT_GE(stage_sum, 0.5 * dur)
+      << "stages only account for " << (100.0 * stage_sum / dur)
+      << "% of the request";
 }
 
 // Raw-socket tests: drive the server below the HttpClient abstraction.

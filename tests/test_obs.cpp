@@ -1,0 +1,363 @@
+// Tests for src/obs/: the thread-local seqlock span rings (nesting,
+// ordering, wraparound, concurrent snapshot), the disabled-mode contract
+// (inert and allocation-free), correlation ids, the Chrome trace-event
+// exporter, the stage aggregation, and the differential guarantee that
+// tracing never changes an estimate.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "model/estimate.h"
+#include "model/macro_model.h"
+#include "model/test_program.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+// --- global allocation counter ---------------------------------------------
+// Replaces the global allocation functions for this whole test binary so
+// the disabled-mode zero-allocation contract is pinned by an exact count
+// (not a heuristic). delete is malloc-matched, so the replacement is safe
+// under ASan/TSan too.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace exten::obs {
+namespace {
+
+/// Every test leaves the tracer disabled and empty for the next one.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+};
+
+const Span* find_span(const std::vector<Span>& spans, std::string_view name) {
+  for (const Span& span : spans) {
+    if (span.name != nullptr && name == span.name) return &span;
+  }
+  return nullptr;
+}
+
+// --- nesting, ordering, counters -------------------------------------------
+
+TEST_F(ObsTest, NestedSpansRecordDepthAndContainment) {
+  Tracer::instance().set_enabled(true);
+  {
+    ScopedSpan outer(Category::kServer, "outer");
+    outer.add_counter("requests", 3);
+    {
+      ScopedSpan inner(Category::kService, "inner");
+    }
+  }
+  Tracer::instance().set_enabled(false);
+
+  const std::vector<Span> spans = Tracer::instance().snapshot();
+  const Span* outer = find_span(spans, "outer");
+  const Span* inner = find_span(spans, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->category, Category::kServer);
+  EXPECT_EQ(inner->category, Category::kService);
+  EXPECT_EQ(inner->depth, outer->depth + 1);
+  // Time containment: the child starts after and ends before its parent.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->end_ns(), outer->end_ns());
+  // snapshot() orders by start time, so the parent sorts first even
+  // though the child was *emitted* first (RAII emits on destruction).
+  EXPECT_LT(outer - spans.data(), inner - spans.data());
+  ASSERT_STREQ(outer->counter_name[0], "requests");
+  EXPECT_EQ(outer->counter_value[0], 3u);
+  EXPECT_EQ(outer->thread, inner->thread);
+}
+
+TEST_F(ObsTest, ScopedIdPropagatesAndNests) {
+  Tracer::instance().set_enabled(true);
+  {
+    ScopedId request(42);
+    EXPECT_EQ(current_id(), 42u);
+    { ScopedSpan span(Category::kServer, "outer_id"); }
+    {
+      ScopedId job(7);
+      EXPECT_EQ(current_id(), 7u);
+      { ScopedSpan span(Category::kService, "inner_id"); }
+    }
+    EXPECT_EQ(current_id(), 42u);
+    { ScopedSpan span(Category::kServer, "explicit_id", 99); }
+  }
+  EXPECT_EQ(current_id(), 0u);
+  Tracer::instance().set_enabled(false);
+
+  const std::vector<Span> spans = Tracer::instance().snapshot();
+  ASSERT_NE(find_span(spans, "outer_id"), nullptr);
+  EXPECT_EQ(find_span(spans, "outer_id")->id, 42u);
+  EXPECT_EQ(find_span(spans, "inner_id")->id, 7u);
+  EXPECT_EQ(find_span(spans, "explicit_id")->id, 99u);
+}
+
+TEST_F(ObsTest, EmitSpanRecordsExternalTiming) {
+  Tracer::instance().set_enabled(true);
+  emit_span(Category::kService, "external", 5, 1000, 2000, "bytes", 7);
+  Tracer::instance().set_enabled(false);
+
+  const std::vector<Span> spans = Tracer::instance().snapshot();
+  const Span* span = find_span(spans, "external");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->id, 5u);
+  EXPECT_EQ(span->start_ns, 1000u);
+  EXPECT_EQ(span->dur_ns, 2000u);
+  ASSERT_STREQ(span->counter_name[0], "bytes");
+  EXPECT_EQ(span->counter_value[0], 7u);
+}
+
+TEST_F(ObsTest, NextIdIsMonotonicAndNonZero) {
+  const std::uint64_t a = Tracer::instance().next_id();
+  const std::uint64_t b = Tracer::instance().next_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_LT(a, b);
+}
+
+// --- ring wraparound --------------------------------------------------------
+
+TEST_F(ObsTest, RingWraparoundKeepsNewestAndCountsDrops) {
+  Tracer::instance().set_thread_capacity(16);
+  Tracer::instance().set_enabled(true);
+  // A fresh thread gets a fresh ring with the small capacity (the capacity
+  // applies to rings created after the call).
+  std::thread emitter([] {
+    for (int i = 0; i < 50; ++i) {
+      ScopedSpan span(Category::kTool, "wrap_span");
+    }
+  });
+  emitter.join();
+  Tracer::instance().set_enabled(false);
+  Tracer::instance().set_thread_capacity(16384);  // restore for later tests
+
+  const std::vector<Span> spans = Tracer::instance().snapshot();
+  std::size_t kept = 0;
+  for (const Span& span : spans) {
+    if (span.name != nullptr && std::string_view("wrap_span") == span.name) {
+      ++kept;
+    }
+  }
+  EXPECT_EQ(kept, 16u);  // ring holds exactly its capacity
+  EXPECT_GE(Tracer::instance().dropped_spans(), 34u);
+  Tracer::instance().clear();
+  EXPECT_EQ(Tracer::instance().dropped_spans(), 0u);
+}
+
+// --- disabled mode ----------------------------------------------------------
+
+TEST_F(ObsTest, DisabledSpansAreInertAndAllocationFree) {
+  // Warm every lazy path (ring registration, thread-locals) first.
+  Tracer::instance().set_enabled(true);
+  { ScopedSpan warm(Category::kTool, "warm"); }
+  Tracer::instance().set_enabled(false);
+  Tracer::instance().clear();
+
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    ScopedSpan span(Category::kTool, "disabled");
+    span.add_counter("counter", 1);
+    ScopedId id(static_cast<std::uint64_t>(i + 1));
+    emit_span(Category::kTool, "disabled_emit", 1, 0, 1);
+  }
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "disabled tracing must not allocate";
+  EXPECT_TRUE(Tracer::instance().snapshot().empty());
+}
+
+TEST_F(ObsTest, EnabledEmitPathDoesNotAllocateAfterRegistration) {
+  Tracer::instance().set_enabled(true);
+  { ScopedSpan warm(Category::kTool, "warm"); }  // registers this ring
+
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    ScopedSpan span(Category::kTool, "steady_state");
+    span.add_counter("i", static_cast<std::uint64_t>(i));
+  }
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  Tracer::instance().set_enabled(false);
+  EXPECT_EQ(after, before) << "steady-state emit must not allocate";
+}
+
+// --- concurrent emit + snapshot --------------------------------------------
+
+TEST_F(ObsTest, SnapshotWhileEmittingNeverYieldsTornSpans) {
+  Tracer::instance().set_thread_capacity(256);  // force constant wraparound
+  Tracer::instance().set_enabled(true);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ScopedSpan span(Category::kEngine, "concurrent");
+        span.add_counter("marker", 0xABCDABCDu);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<Span> spans = Tracer::instance().snapshot();
+    for (const Span& span : spans) {
+      // A torn slot would show mixed fields; the seqlock must never let
+      // one escape. Every published span is fully formed.
+      ASSERT_NE(span.name, nullptr);
+      ASSERT_EQ(std::string_view("concurrent"), span.name);
+      ASSERT_EQ(span.category, Category::kEngine);
+      ASSERT_EQ(span.counter_value[0], 0xABCDABCDu);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : writers) w.join();
+  Tracer::instance().set_enabled(false);
+  Tracer::instance().set_thread_capacity(16384);
+}
+
+// --- exporters --------------------------------------------------------------
+
+TEST_F(ObsTest, ChromeTraceJsonIsValidAndComplete) {
+  Tracer::instance().set_enabled(true);
+  {
+    ScopedId id(11);
+    ScopedSpan outer(Category::kServer, "request");
+    ScopedSpan inner(Category::kTie, "tie_compile");
+  }
+  Tracer::instance().set_enabled(false);
+
+  const std::string json =
+      chrome_trace_json(Tracer::instance().snapshot());
+  const JsonValue parsed = JsonValue::parse(json);  // throws if malformed
+  const JsonValue* events = parsed.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::set<std::string> names;
+  std::set<std::string> cats;
+  bool saw_thread_metadata = false;
+  for (const JsonValue& event : events->as_array()) {
+    const std::string ph = event.find("ph")->as_string();
+    if (ph == "M") {
+      saw_thread_metadata = true;
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    names.insert(event.find("name")->as_string());
+    cats.insert(event.find("cat")->as_string());
+    EXPECT_GE(event.find("dur")->as_number(), 0.0);
+    EXPECT_EQ(event.find("args")->find("id")->as_number(), 11.0);
+  }
+  EXPECT_TRUE(saw_thread_metadata);
+  EXPECT_TRUE(names.count("request"));
+  EXPECT_TRUE(names.count("tie_compile"));
+  EXPECT_TRUE(cats.count("server"));
+  EXPECT_TRUE(cats.count("tie"));
+}
+
+TEST_F(ObsTest, AggregateStagesComputesPerNameStatistics) {
+  std::vector<Span> spans(3);
+  spans[0].name = "evaluate";
+  spans[0].category = Category::kService;
+  spans[0].dur_ns = 1000;
+  spans[1].name = "evaluate";
+  spans[1].category = Category::kService;
+  spans[1].dur_ns = 3000;
+  spans[2].name = "run_fast";
+  spans[2].category = Category::kEngine;
+  spans[2].dur_ns = 500;
+
+  const std::vector<StageStats> stages = aggregate_stages(spans);
+  ASSERT_EQ(stages.size(), 2u);
+  const StageStats* eval = nullptr;
+  for (const StageStats& s : stages) {
+    if (s.name == "evaluate") eval = &s;
+  }
+  ASSERT_NE(eval, nullptr);
+  EXPECT_EQ(eval->count, 2u);
+  EXPECT_DOUBLE_EQ(eval->total_seconds, 4e-6);
+  EXPECT_DOUBLE_EQ(eval->min_seconds, 1e-6);
+  EXPECT_DOUBLE_EQ(eval->max_seconds, 3e-6);
+  EXPECT_DOUBLE_EQ(eval->mean_seconds(), 2e-6);
+
+  const std::string table = stage_summary_table(stages);
+  EXPECT_NE(table.find("evaluate"), std::string::npos);
+  EXPECT_NE(table.find("run_fast"), std::string::npos);
+  EXPECT_TRUE(stage_summary_table({}).empty());
+}
+
+// --- tracing must not perturb results ---------------------------------------
+
+constexpr std::string_view kMacTie = R"(state acc width=32
+instruction cma {
+  latency 2
+  reads rs1, rs2
+  use tie_mac width=32
+  semantics { acc = acc + rs1 * rs2; }
+}
+)";
+
+constexpr std::string_view kMacAsm =
+    "  li r1, 3\n"
+    "  li r2, 4\n"
+    "  li r4, 200\n"
+    "loop:\n"
+    "  cma r1, r2\n"
+    "  addi r4, r4, -1\n"
+    "  bnez r4, loop\n"
+    "  halt\n";
+
+TEST_F(ObsTest, TracedAndUntracedEstimatesAreBitIdentical) {
+  const model::TestProgram program =
+      model::make_test_program("differential", kMacAsm, kMacTie);
+  linalg::Vector coefficients(model::kNumVariables, 100.0);
+  const model::EnergyMacroModel macro_model(std::move(coefficients));
+
+  Tracer::instance().set_enabled(false);
+  const model::EnergyEstimate untraced =
+      model::estimate_energy(macro_model, program, {}, 1'000'000);
+  Tracer::instance().set_enabled(true);
+  const model::EnergyEstimate traced =
+      model::estimate_energy(macro_model, program, {}, 1'000'000);
+  Tracer::instance().set_enabled(false);
+
+  EXPECT_EQ(untraced.energy_pj, traced.energy_pj);  // bit-exact
+  EXPECT_EQ(untraced.stats.cycles, traced.stats.cycles);
+  EXPECT_EQ(untraced.stats.instructions, traced.stats.instructions);
+  for (std::size_t i = 0; i < model::kNumVariables; ++i) {
+    EXPECT_EQ(untraced.variables[i], traced.variables[i]) << "variable " << i;
+  }
+
+  // The traced run left engine + TIE spans behind.
+  const std::vector<Span> spans = Tracer::instance().snapshot();
+  EXPECT_NE(find_span(spans, "run_fast"), nullptr);
+  EXPECT_NE(find_span(spans, "tie_execute"), nullptr);
+  const Span* tie = find_span(spans, "tie_execute");
+  ASSERT_STREQ(tie->counter_name[0], "custom_ops");
+  EXPECT_EQ(tie->counter_value[0], 200u);
+}
+
+}  // namespace
+}  // namespace exten::obs

@@ -3,6 +3,12 @@
 //
 //   xtc-batch jobs.jsonl --model xtc32.macromodel
 //             [--threads N] [--cache N] [--repeat N] [--json]
+//             [--trace FILE]
+//
+// --trace enables span collection (docs/observability.md) and writes a
+// Chrome trace-event JSON file plus a per-stage summary after all passes;
+// each job carries its own correlation id, so one job's queue wait, cache
+// probe, simulation and TIE time line up in the viewer.
 //
 // The jobs file is JSON lines — one request object per line (blank lines
 // and lines starting with '#' are skipped):
@@ -24,6 +30,8 @@
 #include <iostream>
 #include <map>
 
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "service/batch_estimator.h"
 #include "tools/tool_common.h"
 #include "util/json.h"
@@ -144,12 +152,17 @@ int main(int argc, char** argv) {
   return tools::tool_main("xtc-batch", [&] {
     const tools::Args args(argc, argv);
     args.require_known(
-        {"model", "threads", "cache", "repeat", "json", "version"});
+        {"model", "threads", "cache", "repeat", "json", "trace", "version"});
     if (tools::handle_version(args, "xtc-batch")) return tools::kExitOk;
     if (args.positional().size() != 1 || !args.has("model")) {
       std::cerr << "usage: xtc-batch jobs.jsonl --model FILE [--threads N] "
-                   "[--cache N] [--repeat N] [--json]\n";
+                   "[--cache N] [--repeat N] [--json] [--trace FILE]\n";
       return tools::kExitUsage;
+    }
+
+    const std::optional<std::string> trace_file = args.value("trace");
+    if (trace_file.has_value()) {
+      obs::Tracer::instance().set_enabled(true);
     }
 
     service::BatchOptions options;
@@ -165,8 +178,12 @@ int main(int argc, char** argv) {
       EXTEN_CHECK(repeat >= 1, "--repeat must be >= 1");
     }
 
-    const std::vector<service::BatchJob> jobs =
-        load_jobs(args.positional()[0]);
+    std::vector<service::BatchJob> jobs = load_jobs(args.positional()[0]);
+    if (trace_file.has_value()) {
+      for (service::BatchJob& job : jobs) {
+        job.trace_id = obs::Tracer::instance().next_id();
+      }
+    }
     service::BatchEstimator estimator(
         model::EnergyMacroModel::deserialize(
             tools::read_file(args.value("model").value())),
@@ -181,6 +198,14 @@ int main(int argc, char** argv) {
         print_results_table(batch);
       }
       print_metrics(batch.metrics);
+    }
+    if (trace_file.has_value()) {
+      obs::Tracer::instance().set_enabled(false);
+      const std::vector<obs::Span> spans = obs::Tracer::instance().snapshot();
+      tools::write_file(*trace_file, obs::chrome_trace_json(spans));
+      std::cout << "wrote " << spans.size() << " spans to " << *trace_file
+                << "\n"
+                << obs::stage_summary_table(obs::aggregate_stages(spans));
     }
     return tools::kExitOk;
   });

@@ -2,12 +2,18 @@
 //
 //   xtc-run program.s|program.img [--tie spec.tie] [--trace [N]]
 //           [--profile [N]] [--max-instructions N] [--dump-regs]
-//           [--engine fast|reference]
+//           [--engine fast|reference] [--trace-json FILE]
 //
 // Prints the execution statistics (instructions, cycles, CPI, cache
 // behaviour, custom-instruction counts); --trace streams a disassembled
-// trace, --profile prints the hottest PCs.
+// trace, --profile prints the hottest PCs. --trace-json (the name
+// --trace already means the instruction trace here) collects timing
+// spans — TIE compile, predecode, the run itself, aggregated
+// custom-instruction execution — and writes Chrome trace-event JSON
+// (docs/observability.md).
 
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "sim/cpu.h"
 #include "sim/stats.h"
 #include "sim/tracer.h"
@@ -25,8 +31,16 @@ int main(int argc, char** argv) {
                    "[--dump-regs] [--engine fast|reference]\n";
       return tools::kExitUsage;
     }
-    const tools::LoadedProgram loaded =
-        tools::load_program(args.positional()[0], args);
+    const std::optional<std::string> trace_json = args.value("trace-json");
+    if (trace_json.has_value()) {
+      // Enabled before load_program so the TIE compile span is captured.
+      obs::Tracer::instance().set_enabled(true);
+    }
+
+    tools::LoadedProgram loaded = [&] {
+      obs::ScopedSpan span(obs::Category::kTool, "load_program");
+      return tools::load_program(args.positional()[0], args);
+    }();
 
     sim::Engine engine = sim::Engine::kFast;
     if (auto v = args.value("engine")) {
@@ -68,6 +82,14 @@ int main(int argc, char** argv) {
       budget = static_cast<std::uint64_t>(n);
     }
     const sim::RunResult result = cpu.run(budget);
+    if (trace_json.has_value()) {
+      obs::Tracer::instance().set_enabled(false);
+      const std::vector<obs::Span> spans = obs::Tracer::instance().snapshot();
+      tools::write_file(*trace_json, obs::chrome_trace_json(spans));
+      std::cout << "wrote " << spans.size() << " spans to " << *trace_json
+                << "\n"
+                << obs::stage_summary_table(obs::aggregate_stages(spans));
+    }
 
     const sim::ExecutionStats& s = stats.stats();
     AsciiTable table({"Statistic", "Value"});

@@ -2,10 +2,14 @@
 //
 //   xtc-serve --model xtc32.macromodel [--port N] [--port-file PATH]
 //             [--address A] [--threads N] [--cache N] [--max-inflight N]
-//             [--deadline-ms N] [--poller epoll|poll]
+//             [--deadline-ms N] [--poller epoll|poll] [--trace FILE]
 //
 // Serves POST /v1/estimate, POST /v1/batch, POST /v1/rank plus
-// GET /healthz and GET /metrics (see docs/server.md for the API).
+// GET /healthz, GET /metrics and GET /v1/trace (see docs/server.md for
+// the API). --trace enables span collection for the whole process and
+// writes a Chrome trace-event JSON file (plus a per-stage summary on
+// stdout) after the server drains; GET /v1/trace serves the same spans
+// live (see docs/observability.md).
 // --port defaults to 0 (ephemeral); the bound port is printed on stdout
 // ("listening on ADDRESS:PORT") and, with --port-file, written to PATH so
 // scripts can find it without parsing output. SIGTERM/SIGINT trigger a
@@ -15,6 +19,8 @@
 #include <csignal>
 
 #include "net/server.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "tools/tool_common.h"
 
 namespace {
@@ -33,14 +39,19 @@ int main(int argc, char** argv) {
     const tools::Args args(argc, argv);
     args.require_known({"model", "port", "port-file", "address", "threads",
                         "cache", "max-inflight", "deadline-ms", "poller",
-                        "version"});
+                        "trace", "version"});
     if (tools::handle_version(args, "xtc-serve")) return tools::kExitOk;
     if (!args.has("model") || !args.positional().empty()) {
       std::cerr << "usage: xtc-serve --model FILE [--port N] "
                    "[--port-file PATH] [--address A] [--threads N] "
                    "[--cache N] [--max-inflight N] [--deadline-ms N] "
-                   "[--poller epoll|poll]\n";
+                   "[--poller epoll|poll] [--trace FILE]\n";
       return tools::kExitUsage;
+    }
+
+    const std::optional<std::string> trace_file = args.value("trace");
+    if (trace_file.has_value()) {
+      obs::Tracer::instance().set_enabled(true);
     }
 
     service::BatchOptions batch_options;
@@ -100,6 +111,15 @@ int main(int argc, char** argv) {
     g_server = nullptr;
     std::cout << "drained after " << server.requests_served()
               << " requests, exiting\n";
+    if (trace_file.has_value()) {
+      obs::Tracer::instance().set_enabled(false);
+      const std::vector<obs::Span> spans = obs::Tracer::instance().snapshot();
+      tools::write_file(*trace_file, obs::chrome_trace_json(spans));
+      std::cout << "wrote " << spans.size() << " spans to " << *trace_file
+                << " (" << obs::Tracer::instance().dropped_spans()
+                << " dropped)\n"
+                << obs::stage_summary_table(obs::aggregate_stages(spans));
+    }
     return tools::kExitOk;
   });
 }
