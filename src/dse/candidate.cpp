@@ -1,0 +1,43 @@
+#include "dse/candidate.h"
+
+#include "fuzz/gen_program.h"
+#include "service/content_hash.h"
+
+namespace exten::dse {
+
+CandidateSources expand_candidate(const Genome& genome,
+                                  const GenomeOptions& options) {
+  CandidateSources sources;
+  sources.tie_source = to_tie_source(genome, options);
+  sources.tie = std::make_shared<const tie::TieConfiguration>(
+      tie::compile_tie_source(sources.tie_source));
+
+  // The harness is regenerated per candidate from the same fixed seed: the
+  // program *structure* draws are identical across candidates, while the
+  // custom-instruction blocks adapt to the candidate's own mnemonics.
+  fuzz::ProgramGenOptions program;
+  program.blocks = options.harness_blocks;
+  program.allow_loops = true;
+  for (const auto& [name, mnemonic] : sources.tie->assembler_mnemonics()) {
+    program.customs.push_back(
+        {name, mnemonic.has_rd, mnemonic.has_rs1, mnemonic.has_rs2});
+  }
+  Rng harness_rng(Rng::derive_seed(options.harness_seed, 0));
+  sources.asm_source = fuzz::generate_program(harness_rng, program);
+
+  service::ContentHasher hasher;
+  hasher.str(sources.tie_source);
+  hasher.str(sources.asm_source);
+  sources.name = "g" + hasher.digest().hex().substr(0, 16);
+  return sources;
+}
+
+service::BatchJob make_job(const CandidateSources& sources) {
+  service::BatchJob job;
+  job.name = sources.name;
+  job.program =
+      model::make_test_program(sources.name, sources.asm_source, sources.tie);
+  return job;
+}
+
+}  // namespace exten::dse

@@ -1,0 +1,47 @@
+#pragma once
+
+// Genome -> evaluatable candidate.
+//
+// A candidate evaluation needs two sources: the TIE-lite spec (the genome
+// expansion) and an application that exercises the candidate's custom
+// instructions. The application is a *harness program* derived from the
+// space's fixed harness_seed with fuzz::generate_program, compiled against
+// the candidate's mnemonics — the structured-generation analogue of the
+// paper's "rewrite the application per extension variant" step. Both
+// sources are pure functions of (genome, GenomeOptions), so the
+// content-addressed EvalCache key over (program image, TIE config,
+// processor, model) dedups re-visited genomes exactly.
+//
+// The candidate name is derived from a content digest of the two sources:
+// stable across runs and platforms, unique per distinct candidate, and
+// usable as the deterministic ranking tie-breaker.
+
+#include <string>
+
+#include "dse/genome.h"
+#include "service/batch_estimator.h"
+
+namespace exten::dse {
+
+/// The two expanded sources plus the content-derived name.
+struct CandidateSources {
+  std::string name;        ///< "g" + 16 hex digits of the content digest
+  std::string tie_source;  ///< TIE-lite spec text
+  std::string asm_source;  ///< harness assembly exercising the spec
+  /// The spec compiled once during expansion; make_job reuses it instead
+  /// of recompiling. Never null after expand_candidate.
+  std::shared_ptr<const tie::TieConfiguration> tie;
+};
+
+/// Expands a genome into its sources (pure; throws exten::Error only on a
+/// generator/compiler contract violation — generated specs always
+/// compile).
+CandidateSources expand_candidate(const Genome& genome,
+                                  const GenomeOptions& options);
+
+/// Compiles the sources into an estimation job (assembles the harness
+/// against the spec's mnemonics). Throws exten::Error on any TIE or
+/// assembly error.
+service::BatchJob make_job(const CandidateSources& sources);
+
+}  // namespace exten::dse

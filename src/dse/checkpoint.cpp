@@ -1,0 +1,229 @@
+#include "dse/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace exten::dse {
+
+namespace {
+
+constexpr int kCheckpointVersion = 1;
+
+std::uint64_t u64_field(const JsonValue& v, std::string_view key) {
+  const JsonValue* f = v.find(key);
+  EXTEN_CHECK(f != nullptr, "checkpoint missing '", key, "'");
+  return static_cast<std::uint64_t>(f->as_number());
+}
+
+double number_or(const JsonValue& v, std::string_view key, double fallback) {
+  const JsonValue* f = v.find(key);
+  return f == nullptr ? fallback : f->as_number();
+}
+
+}  // namespace
+
+const char* objective_name(explore::Objective objective) {
+  switch (objective) {
+    case explore::Objective::kEnergy: return "energy";
+    case explore::Objective::kDelay: return "delay";
+    case explore::Objective::kEdp: return "edp";
+  }
+  return "edp";
+}
+
+explore::Objective parse_objective(std::string_view name) {
+  if (name == "energy") return explore::Objective::kEnergy;
+  if (name == "delay") return explore::Objective::kDelay;
+  if (name == "edp") return explore::Objective::kEdp;
+  throw Error("unknown objective '", name,
+              "' (expected energy, delay or edp)");
+}
+
+std::string render_checkpoint(const CheckpointData& data,
+                              const Strategy& strategy) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("version", kCheckpointVersion);
+  w.field("strategy", std::string_view(data.strategy));
+  w.field("seed", data.seed);
+  w.field("objective", std::string_view(objective_name(data.objective)));
+  w.field("budget", data.budget);
+  w.field("frontier_size", static_cast<std::uint64_t>(data.frontier_size));
+
+  w.object_field("genome_options");
+  w.field("max_instructions",
+          static_cast<std::uint64_t>(data.genome.max_instructions));
+  w.field("harness_seed", data.genome.harness_seed);
+  w.field("harness_blocks",
+          static_cast<std::uint64_t>(data.genome.harness_blocks));
+  w.object_field("tie");
+  w.field("max_states", static_cast<std::uint64_t>(data.genome.tie.max_states));
+  w.field("max_regfiles",
+          static_cast<std::uint64_t>(data.genome.tie.max_regfiles));
+  w.field("max_tables", static_cast<std::uint64_t>(data.genome.tie.max_tables));
+  w.field("max_assignments",
+          static_cast<std::uint64_t>(data.genome.tie.max_assignments));
+  w.field("max_expr_depth",
+          static_cast<std::uint64_t>(data.genome.tie.max_expr_depth));
+  w.end_object();
+  w.end_object();
+
+  w.object_field("search_options");
+  w.field("population", static_cast<std::uint64_t>(data.search.population));
+  w.field("beam_width", static_cast<std::uint64_t>(data.search.beam_width));
+  w.field("elites", static_cast<std::uint64_t>(data.search.elites));
+  w.field("crossover_rate", data.search.crossover_rate);
+  w.field("mutation_rate", data.search.mutation_rate);
+  w.field("tournament", static_cast<std::uint64_t>(data.search.tournament));
+  w.end_object();
+
+  w.field("generation", data.generation);
+  w.field("evaluations", data.evaluations);
+  w.field("infeasible", data.infeasible);
+
+  w.array_field("frontier");
+  for (const ScoredGenome& s : data.frontier) {
+    w.element_object();
+    write_scored_genome_fields(w, s);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.object_field("strategy_state");
+  strategy.save_state(w);
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+CheckpointData parse_checkpoint(const std::string& text) {
+  const JsonValue v = JsonValue::parse(text);
+  EXTEN_CHECK(v.is_object(), "checkpoint must be a JSON object");
+  const std::uint64_t version = u64_field(v, "version");
+  EXTEN_CHECK(version == kCheckpointVersion, "checkpoint version ", version,
+              " is not supported (expected ", kCheckpointVersion, ")");
+
+  CheckpointData data;
+  data.strategy = v.string_or("strategy", "");
+  EXTEN_CHECK(!data.strategy.empty(), "checkpoint missing strategy");
+  data.seed = u64_field(v, "seed");
+  data.objective = parse_objective(v.string_or("objective", "edp"));
+  data.budget = u64_field(v, "budget");
+  data.frontier_size =
+      static_cast<std::size_t>(u64_field(v, "frontier_size"));
+
+  const JsonValue* genome = v.find("genome_options");
+  EXTEN_CHECK(genome != nullptr, "checkpoint missing genome_options");
+  data.genome.max_instructions =
+      static_cast<unsigned>(u64_field(*genome, "max_instructions"));
+  data.genome.harness_seed = u64_field(*genome, "harness_seed");
+  data.genome.harness_blocks =
+      static_cast<unsigned>(u64_field(*genome, "harness_blocks"));
+  const JsonValue* tie = genome->find("tie");
+  EXTEN_CHECK(tie != nullptr, "checkpoint missing genome_options.tie");
+  data.genome.tie.max_states =
+      static_cast<unsigned>(u64_field(*tie, "max_states"));
+  data.genome.tie.max_regfiles =
+      static_cast<unsigned>(u64_field(*tie, "max_regfiles"));
+  data.genome.tie.max_tables =
+      static_cast<unsigned>(u64_field(*tie, "max_tables"));
+  data.genome.tie.max_assignments =
+      static_cast<unsigned>(u64_field(*tie, "max_assignments"));
+  data.genome.tie.max_expr_depth =
+      static_cast<unsigned>(u64_field(*tie, "max_expr_depth"));
+
+  const JsonValue* search = v.find("search_options");
+  EXTEN_CHECK(search != nullptr, "checkpoint missing search_options");
+  data.search.population =
+      static_cast<std::size_t>(u64_field(*search, "population"));
+  data.search.beam_width =
+      static_cast<std::size_t>(u64_field(*search, "beam_width"));
+  data.search.elites = static_cast<std::size_t>(u64_field(*search, "elites"));
+  data.search.crossover_rate = number_or(*search, "crossover_rate", 0.7);
+  data.search.mutation_rate = number_or(*search, "mutation_rate", 0.9);
+  data.search.tournament =
+      static_cast<unsigned>(u64_field(*search, "tournament"));
+
+  data.generation = u64_field(v, "generation");
+  data.evaluations = u64_field(v, "evaluations");
+  data.infeasible = u64_field(v, "infeasible");
+
+  const JsonValue* frontier = v.find("frontier");
+  EXTEN_CHECK(frontier != nullptr, "checkpoint missing frontier");
+  for (const JsonValue& s : frontier->as_array()) {
+    data.frontier.push_back(parse_scored_genome(s));
+  }
+
+  const JsonValue* state = v.find("strategy_state");
+  EXTEN_CHECK(state != nullptr, "checkpoint missing strategy_state");
+  data.strategy_state = *state;
+  return data;
+}
+
+std::string render_frontier(std::uint64_t generation,
+                            std::uint64_t evaluations,
+                            const std::vector<ScoredGenome>& frontier) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("generation", generation);
+  w.field("evaluations", evaluations);
+  w.array_field("frontier");
+  for (const ScoredGenome& s : frontier) {
+    w.element_object();
+    write_scored_genome_fields(w, s);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void ensure_directory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  EXTEN_CHECK(!ec, "cannot create checkpoint directory '", dir, "': ",
+              ec.message());
+  EXTEN_CHECK(std::filesystem::is_directory(dir), "checkpoint path '", dir,
+              "' is not a directory");
+}
+
+std::string read_checkpoint_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXTEN_CHECK(file.good(), "cannot read '", path, "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+bool checkpoint_file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    EXTEN_CHECK(file.good(), "cannot write '", tmp, "'");
+    file << content;
+    file.flush();
+    EXTEN_CHECK(file.good(), "write to '", tmp, "' failed");
+  }
+  EXTEN_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0, "cannot rename '",
+              tmp, "' to '", path, "'");
+}
+
+void append_run_log(const std::string& path, const std::string& line) {
+  std::ofstream file(path, std::ios::binary | std::ios::app);
+  EXTEN_CHECK(file.good(), "cannot append to '", path, "'");
+  file << line << "\n";
+  file.flush();
+  EXTEN_CHECK(file.good(), "append to '", path, "' failed");
+}
+
+}  // namespace exten::dse

@@ -1,0 +1,89 @@
+#pragma once
+
+// Durable search state: JSON-lines run log + atomic checkpoint snapshot.
+//
+// A checkpoint directory holds three files:
+//
+//   run.jsonl        append-only audit log: one "start" record per process
+//                    segment, then one "generation" record per completed
+//                    generation (names + scores of every proposal).
+//   checkpoint.json  the full resumable state, rewritten atomically
+//                    (tmp + rename) after every generation: search
+//                    definition, progress counters, frontier, strategy
+//                    state. A kill at any point leaves the previous
+//                    complete snapshot in place.
+//   frontier.json    canonical frontier snapshot (generation, evaluations,
+//                    ranked frontier) with no timing or process-local
+//                    counters — byte-comparable across a rerun or a
+//                    kill + resume of the same seed (the CI smoke diffs
+//                    exactly this file).
+//
+// Bit-reproducible resume: everything the search's future depends on is a
+// pure function of (checkpoint state, seed, generation index) — strategy
+// RNG streams are derived per generation, scores are pure functions of the
+// candidate — so a resumed run's remaining generations are identical to
+// the uninterrupted run's. Wall-clock and cache counters are process-local
+// observations, deliberately kept out of frontier.json.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/strategy.h"
+#include "explore/explore.h"
+
+namespace exten::dse {
+
+const char* objective_name(explore::Objective objective);
+explore::Objective parse_objective(std::string_view name);
+
+/// Everything checkpoint.json persists.
+struct CheckpointData {
+  // Search definition (fixed at --resume; a changed definition would make
+  // the remaining generations incomparable).
+  std::string strategy;
+  std::uint64_t seed = 1;
+  explore::Objective objective = explore::Objective::kEdp;
+  std::uint64_t budget = 0;
+  std::size_t frontier_size = 16;
+  GenomeOptions genome{};
+  StrategyOptions search{};
+  // Progress.
+  std::uint64_t generation = 0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t infeasible = 0;
+  std::vector<ScoredGenome> frontier;
+  /// Parsed strategy state object (fed to Strategy::load_state); kept as
+  /// raw JSON so the checkpoint module needs no strategy knowledge.
+  JsonValue strategy_state;
+};
+
+/// Serializes the checkpoint (strategy state supplied by `strategy`).
+std::string render_checkpoint(const CheckpointData& data,
+                              const Strategy& strategy);
+
+/// Parses checkpoint.json text. Throws exten::Error on malformed or
+/// version-incompatible input.
+CheckpointData parse_checkpoint(const std::string& text);
+
+/// The canonical frontier snapshot (see header comment).
+std::string render_frontier(std::uint64_t generation,
+                            std::uint64_t evaluations,
+                            const std::vector<ScoredGenome>& frontier);
+
+/// Creates `dir` (and parents) when missing; throws exten::Error when the
+/// path exists but is not a directory.
+void ensure_directory(const std::string& dir);
+
+/// Whole-file read; throws exten::Error when unreadable.
+std::string read_checkpoint_file(const std::string& path);
+bool checkpoint_file_exists(const std::string& path);
+
+/// Write via tmp + rename so readers (and a kill mid-write) never observe
+/// a partial file.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Appends one line to the run log (creates the file when missing).
+void append_run_log(const std::string& path, const std::string& line);
+
+}  // namespace exten::dse

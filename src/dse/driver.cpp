@@ -1,0 +1,381 @@
+#include "dse/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "net/http_client.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace exten::dse {
+
+namespace {
+
+double objective_score(explore::Objective objective, double energy_pj,
+                       std::uint64_t cycles, double edp) {
+  switch (objective) {
+    case explore::Objective::kEnergy: return energy_pj;
+    case explore::Objective::kDelay: return static_cast<double>(cycles);
+    case explore::Objective::kEdp: return edp;
+  }
+  return edp;
+}
+
+/// EDP in uJ * Mcycles — the same unit explore::Evaluation reports.
+double edp_of(double energy_pj, std::uint64_t cycles) {
+  return energy_pj * 1e-6 * (static_cast<double>(cycles) * 1e-6);
+}
+
+/// Evaluation backend: scores one generation of expanded candidates.
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+  /// Returns one ScoredGenome per input, in input order; infeasible
+  /// candidates (evaluation faulted) come back with score = +inf.
+  virtual std::vector<ScoredGenome> evaluate(
+      const std::vector<Genome>& genomes,
+      const std::vector<CandidateSources>& sources,
+      explore::Objective objective) = 0;
+  /// Cumulative dedup counters for this process segment (zero when the
+  /// backend cannot observe them, i.e. remote).
+  virtual void cache_counters(std::uint64_t* hits,
+                              std::uint64_t* misses) const = 0;
+};
+
+class LocalEvaluator final : public Evaluator {
+ public:
+  LocalEvaluator(const model::EnergyMacroModel& model,
+                 const service::BatchOptions& options)
+      : estimator_(model, options) {}
+
+  std::vector<ScoredGenome> evaluate(
+      const std::vector<Genome>& genomes,
+      const std::vector<CandidateSources>& sources,
+      explore::Objective objective) override {
+    std::vector<service::BatchJob> jobs;
+    jobs.reserve(sources.size());
+    for (const CandidateSources& s : sources) jobs.push_back(make_job(s));
+    const service::BatchResult batch = estimator_.estimate(jobs);
+
+    std::vector<ScoredGenome> scored(genomes.size());
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+      ScoredGenome& s = scored[i];
+      s.genome = genomes[i];
+      s.name = sources[i].name;
+      const service::JobResult& job = batch.results[i];
+      if (!job.ok) continue;  // infeasible: score stays +inf
+      s.energy_pj = job.estimate.energy_pj;
+      s.cycles = job.estimate.stats.cycles;
+      s.edp = edp_of(s.energy_pj, s.cycles);
+      s.score = objective_score(objective, s.energy_pj, s.cycles, s.edp);
+    }
+    return scored;
+  }
+
+  void cache_counters(std::uint64_t* hits,
+                      std::uint64_t* misses) const override {
+    const service::CacheStats stats = estimator_.cache_stats();
+    *hits = stats.hits;
+    *misses = stats.misses;
+  }
+
+ private:
+  service::BatchEstimator estimator_;
+};
+
+/// Streams each generation through POST /v1/rank on an xtc-serve
+/// instance. Dedup then happens server-side (its EvalCache); the hit rate
+/// is visible in the server's /metrics (xtc_cache_*), not here.
+class RemoteEvaluator final : public Evaluator {
+ public:
+  explicit RemoteEvaluator(const std::string& host_port) {
+    const std::size_t colon = host_port.rfind(':');
+    EXTEN_CHECK(colon != std::string::npos && colon + 1 < host_port.size(),
+                "--remote expects HOST:PORT, got '", host_port, "'");
+    const std::string host = host_port.substr(0, colon);
+    const int port = std::stoi(host_port.substr(colon + 1));
+    EXTEN_CHECK(port > 0 && port <= 65535, "--remote port out of range in '",
+                host_port, "'");
+    client_ = std::make_unique<net::HttpClient>(
+        host, static_cast<std::uint16_t>(port));
+  }
+
+  std::vector<ScoredGenome> evaluate(
+      const std::vector<Genome>& genomes,
+      const std::vector<CandidateSources>& sources,
+      explore::Objective objective) override {
+    JsonWriter w;
+    w.begin_object();
+    w.field("objective", std::string_view(objective_name(objective)));
+    w.array_field("candidates");
+    for (const CandidateSources& s : sources) {
+      w.element_object();
+      w.field("name", std::string_view(s.name));
+      w.field("asm", std::string_view(s.asm_source));
+      w.field("tie", std::string_view(s.tie_source));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+
+    const auto response = client_->post("/v1/rank", w.str());
+    EXTEN_CHECK(response.status == 200, "/v1/rank returned ", response.status,
+                ": ", response.body);
+    const JsonValue body = JsonValue::parse(response.body);
+    const JsonValue* ranked = body.find("ranked");
+    EXTEN_CHECK(ranked != nullptr, "/v1/rank response missing 'ranked'");
+
+    std::map<std::string, const JsonValue*> by_name;
+    for (const JsonValue& entry : ranked->as_array()) {
+      by_name[entry.string_or("name", "")] = &entry;
+    }
+
+    std::vector<ScoredGenome> scored(genomes.size());
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+      ScoredGenome& s = scored[i];
+      s.genome = genomes[i];
+      s.name = sources[i].name;
+      const auto it = by_name.find(s.name);
+      EXTEN_CHECK(it != by_name.end(), "/v1/rank response missing candidate '",
+                  s.name, "'");
+      const JsonValue& entry = *it->second;
+      const JsonValue* energy = entry.find("energy_pj");
+      const JsonValue* cycles = entry.find("cycles");
+      EXTEN_CHECK(energy != nullptr && cycles != nullptr,
+                  "/v1/rank entry for '", s.name, "' missing energy/cycles");
+      s.energy_pj = energy->as_number();
+      s.cycles = static_cast<std::uint64_t>(cycles->as_number());
+      s.edp = edp_of(s.energy_pj, s.cycles);
+      s.score = objective_score(objective, s.energy_pj, s.cycles, s.edp);
+    }
+    return scored;
+  }
+
+  void cache_counters(std::uint64_t* hits,
+                      std::uint64_t* misses) const override {
+    *hits = 0;
+    *misses = 0;
+  }
+
+ private:
+  std::unique_ptr<net::HttpClient> client_;
+};
+
+std::unique_ptr<Evaluator> make_evaluator(const model::EnergyMacroModel& model,
+                                          const DseOptions& options) {
+  if (!options.remote_host.empty()) {
+    return std::make_unique<RemoteEvaluator>(options.remote_host);
+  }
+  return std::make_unique<LocalEvaluator>(model, options.batch);
+}
+
+/// Merges a scored generation into the frontier: feasible entries only,
+/// ranked by (score, name), truncated to `size`. Deterministic — no
+/// insertion-order or scheduling dependence survives the sort.
+std::vector<ScoredGenome> merge_frontier(std::vector<ScoredGenome> frontier,
+                                         const std::vector<ScoredGenome>& gen,
+                                         std::size_t size) {
+  for (const ScoredGenome& s : gen) {
+    if (s.feasible()) frontier.push_back(s);
+  }
+  std::stable_sort(frontier.begin(), frontier.end(), better);
+  std::vector<ScoredGenome> out;
+  out.reserve(std::min(size, frontier.size()));
+  for (ScoredGenome& s : frontier) {
+    if (out.size() >= size) break;
+    if (!out.empty() && out.back().name == s.name) continue;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string generation_log_line(std::uint64_t generation,
+                                std::uint64_t evaluations,
+                                const std::vector<ScoredGenome>& scored,
+                                const std::vector<ScoredGenome>& frontier) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("type", std::string_view("generation"));
+  w.field("generation", generation);
+  w.field("evaluations", evaluations);
+  w.field("proposed", static_cast<std::uint64_t>(scored.size()));
+  if (!frontier.empty()) {
+    w.field("best", std::string_view(frontier.front().name));
+    w.field("best_score", frontier.front().score);
+  }
+  w.array_field("scored");
+  for (const ScoredGenome& s : scored) {
+    w.element_object();
+    w.field("name", std::string_view(s.name));
+    w.field("score", s.score);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string start_log_line(const CheckpointData& data, bool resumed,
+                           bool remote) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("type", std::string_view("start"));
+  w.field("strategy", std::string_view(data.strategy));
+  w.field("seed", data.seed);
+  w.field("objective", std::string_view(objective_name(data.objective)));
+  w.field("budget", data.budget);
+  w.field("resumed", resumed);
+  w.field("remote", remote);
+  w.field("generation", data.generation);
+  w.field("evaluations", data.evaluations);
+  w.end_object();
+  return w.str();
+}
+
+DseResult run_loop(const model::EnergyMacroModel& model,
+                   const DseOptions& options, CheckpointData state,
+                   std::unique_ptr<Strategy> strategy, bool resumed) {
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_ptr<Evaluator> evaluator = make_evaluator(model, options);
+
+  const bool durable = !options.checkpoint_dir.empty();
+  const std::string log_path = options.checkpoint_dir + "/run.jsonl";
+  const std::string checkpoint_path =
+      options.checkpoint_dir + "/checkpoint.json";
+  const std::string frontier_path = options.checkpoint_dir + "/frontier.json";
+  if (durable) {
+    ensure_directory(options.checkpoint_dir);
+    append_run_log(log_path,
+                   start_log_line(state, resumed,
+                                  !options.remote_host.empty()));
+  }
+
+  DseStats stats;
+  const std::uint64_t start_evaluations = state.evaluations;
+  const std::uint64_t start_infeasible = state.infeasible;
+
+  while (state.evaluations < state.budget) {
+    const std::size_t limit = static_cast<std::size_t>(
+        std::min<std::uint64_t>(state.search.population,
+                                state.budget - state.evaluations));
+    // The generation stream is a pure function of (seed, generation):
+    // nothing about process history — cache contents, wall clock, resume
+    // segmentation — can perturb the search trajectory.
+    Rng generation_rng(Rng::derive_seed(state.seed, state.generation + 1));
+    const std::vector<Genome> proposals =
+        strategy->propose(generation_rng, limit, state.genome);
+    EXTEN_CHECK(!proposals.empty(), "strategy proposed no candidates");
+
+    std::vector<CandidateSources> sources;
+    sources.reserve(proposals.size());
+    for (const Genome& genome : proposals) {
+      sources.push_back(expand_candidate(genome, state.genome));
+    }
+
+    std::vector<ScoredGenome> scored =
+        evaluator->evaluate(proposals, sources, state.objective);
+    strategy->observe(scored);
+
+    state.frontier = merge_frontier(std::move(state.frontier), scored,
+                                    state.frontier_size);
+    state.generation += 1;
+    state.evaluations += proposals.size();
+    for (const ScoredGenome& s : scored) {
+      if (!s.feasible()) state.infeasible += 1;
+    }
+
+    if (durable) {
+      append_run_log(log_path,
+                     generation_log_line(state.generation, state.evaluations,
+                                         scored, state.frontier));
+      write_file_atomic(checkpoint_path,
+                        render_checkpoint(state, *strategy));
+      write_file_atomic(frontier_path,
+                        render_frontier(state.generation, state.evaluations,
+                                        state.frontier));
+    }
+
+    if (options.on_generation) {
+      GenerationSummary summary;
+      summary.generation = state.generation;
+      summary.proposed = proposals.size();
+      summary.evaluations = state.evaluations;
+      summary.budget = state.budget;
+      if (!state.frontier.empty()) {
+        summary.best_score = state.frontier.front().score;
+        summary.best_name = state.frontier.front().name;
+      }
+      evaluator->cache_counters(&summary.cache_hits, &summary.cache_misses);
+      options.on_generation(summary);
+    }
+  }
+
+  stats.generations = state.generation;
+  stats.evaluations = state.evaluations - start_evaluations;
+  stats.infeasible = state.infeasible - start_infeasible;
+  evaluator->cache_counters(&stats.cache_hits, &stats.cache_misses);
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  DseResult result;
+  result.frontier = std::move(state.frontier);
+  result.generation = state.generation;
+  result.evaluations = state.evaluations;
+  result.infeasible = state.infeasible;
+  result.objective = state.objective;
+  result.strategy = state.strategy;
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace
+
+DseResult run_dse(const model::EnergyMacroModel& model,
+                  const DseOptions& options) {
+  EXTEN_CHECK(options.budget > 0, "DSE budget must be positive");
+  EXTEN_CHECK(options.search.population > 0,
+              "DSE population must be positive");
+  if (!options.checkpoint_dir.empty()) {
+    EXTEN_CHECK(
+        !checkpoint_file_exists(options.checkpoint_dir + "/checkpoint.json"),
+        "checkpoint directory '", options.checkpoint_dir,
+        "' already holds a search — pass --resume to continue it, or use "
+        "a fresh directory");
+  }
+
+  CheckpointData state;
+  state.strategy = options.strategy;
+  state.seed = options.seed;
+  state.objective = options.objective;
+  state.budget = options.budget;
+  state.frontier_size = options.frontier_size;
+  state.genome = options.genome;
+  state.search = options.search;
+
+  std::unique_ptr<Strategy> strategy =
+      Strategy::create(options.strategy, options.search);
+  return run_loop(model, options, std::move(state), std::move(strategy),
+                  /*resumed=*/false);
+}
+
+DseResult resume_dse(const model::EnergyMacroModel& model,
+                     const DseOptions& options,
+                     std::uint64_t budget_override) {
+  EXTEN_CHECK(!options.checkpoint_dir.empty(),
+              "--resume needs a checkpoint directory");
+  const std::string checkpoint_path =
+      options.checkpoint_dir + "/checkpoint.json";
+  CheckpointData state =
+      parse_checkpoint(read_checkpoint_file(checkpoint_path));
+  if (budget_override > 0) state.budget = budget_override;
+
+  std::unique_ptr<Strategy> strategy =
+      Strategy::create(state.strategy, state.search);
+  strategy->load_state(state.strategy_state);
+  return run_loop(model, options, std::move(state), std::move(strategy),
+                  /*resumed=*/true);
+}
+
+}  // namespace exten::dse

@@ -1,0 +1,109 @@
+#pragma once
+
+// The population-scale design-space exploration driver.
+//
+// Turns the estimator into a search service: each generation, the chosen
+// strategy proposes candidate genomes, every genome expands into a
+// (TIE spec, harness application) pair, the batch is evaluated — locally
+// through service::BatchEstimator (worker pool + content-addressed
+// EvalCache) or remotely through POST /v1/rank on an xtc-serve instance —
+// and the scored generation is fed back into the strategy and merged into
+// the running frontier. With a checkpoint directory the whole state is
+// durable after every generation and a search can be killed and resumed
+// bit-reproducibly (docs/dse.md).
+//
+// Dedup: re-visited candidates (beam survivors, genetic elites, converged
+// mutations) expand to bit-identical inputs, so the EvalCache key matches
+// and the ISS never re-runs — DseStats reports the realized hit rate.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dse/candidate.h"
+#include "dse/checkpoint.h"
+#include "dse/strategy.h"
+#include "model/macro_model.h"
+#include "service/batch_estimator.h"
+
+namespace exten::dse {
+
+/// Progress report after each completed generation.
+struct GenerationSummary {
+  std::uint64_t generation = 0;   ///< index of the generation just finished
+  std::size_t proposed = 0;       ///< candidates evaluated this generation
+  std::uint64_t evaluations = 0;  ///< cumulative (across resume segments)
+  std::uint64_t budget = 0;
+  double best_score = 0.0;        ///< frontier best after the merge
+  std::string best_name;
+  std::uint64_t cache_hits = 0;   ///< cumulative, this process segment
+  std::uint64_t cache_misses = 0;
+};
+
+struct DseOptions {
+  /// Search definition (checkpointed; fixed across resume).
+  std::string strategy = "beam";
+  std::uint64_t budget = 1000;  ///< total candidate evaluations
+  std::uint64_t seed = 1;
+  explore::Objective objective = explore::Objective::kEdp;
+  std::size_t frontier_size = 16;
+  GenomeOptions genome{};
+  StrategyOptions search{};
+
+  /// Execution environment (process-local; resume may change these).
+  std::string checkpoint_dir;  ///< empty = no durability
+  std::string remote_host;     ///< "host:port" -> POST /v1/rank; empty = local
+  service::BatchOptions batch{};
+  std::function<void(const GenerationSummary&)> on_generation;
+};
+
+struct DseStats {
+  std::uint64_t generations = 0;  ///< completed in this process segment
+  std::uint64_t evaluations = 0;  ///< submitted in this process segment
+  std::uint64_t infeasible = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double wall_seconds = 0.0;
+
+  double hit_rate() const {
+    const std::uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
+  }
+  double candidates_per_second() const {
+    return wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(evaluations) / wall_seconds;
+  }
+};
+
+struct DseResult {
+  /// Best frontier_size feasible candidates, ranked by (score, name).
+  std::vector<ScoredGenome> frontier;
+  std::uint64_t generation = 0;   ///< generations completed overall
+  std::uint64_t evaluations = 0;  ///< evaluations submitted overall
+  std::uint64_t infeasible = 0;   ///< infeasible candidates overall
+  explore::Objective objective = explore::Objective::kEdp;
+  std::string strategy;
+  DseStats stats;  ///< this process segment only (timing, cache)
+};
+
+/// Runs a fresh search from `options`. With a checkpoint_dir, refuses to
+/// overwrite an existing checkpoint (resume instead, or use a fresh dir).
+DseResult run_dse(const model::EnergyMacroModel& model,
+                  const DseOptions& options);
+
+/// Resumes from options.checkpoint_dir: the search *definition* (strategy,
+/// seed, objective, genome/search options, frontier size) is restored from
+/// the checkpoint — the corresponding fields of `options` are ignored —
+/// while the execution environment (threads, remote, callbacks) is taken
+/// from `options`. `budget_override` > 0 replaces the checkpointed budget
+/// (extending or shortening the search); 0 keeps it. A search already at
+/// its budget returns immediately with the checkpointed frontier.
+DseResult resume_dse(const model::EnergyMacroModel& model,
+                     const DseOptions& options,
+                     std::uint64_t budget_override = 0);
+
+}  // namespace exten::dse

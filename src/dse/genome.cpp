@@ -1,0 +1,151 @@
+#include "dse/genome.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace exten::dse {
+
+namespace {
+
+std::string hex_u64(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out = "0x";
+  bool significant = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const unsigned nibble = static_cast<unsigned>((v >> shift) & 0xf);
+    if (nibble != 0) significant = true;
+    if (significant || shift == 0) out.push_back(kDigits[nibble]);
+  }
+  return out;
+}
+
+std::uint64_t parse_hex_u64(const std::string& s) {
+  EXTEN_CHECK(s.size() > 2 && s[0] == '0' && s[1] == 'x',
+              "genome seed must be a 0x-prefixed hex string, got '", s, "'");
+  std::uint64_t v = 0;
+  EXTEN_CHECK(s.size() <= 2 + 16, "genome seed '", s, "' overflows u64");
+  for (std::size_t i = 2; i < s.size(); ++i) {
+    const char c = s[i];
+    unsigned nibble = 0;
+    if (c >= '0' && c <= '9') nibble = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') nibble = static_cast<unsigned>(c - 'a') + 10;
+    else if (c >= 'A' && c <= 'F') nibble = static_cast<unsigned>(c - 'A') + 10;
+    else throw Error("genome seed '", s, "': bad hex digit '", c, "'");
+    v = (v << 4) | nibble;
+  }
+  return v;
+}
+
+}  // namespace
+
+Genome random_genome(Rng& rng, const GenomeOptions& options) {
+  Genome g;
+  g.decl_seed = rng.next_u64();
+  const unsigned count = 1 + static_cast<unsigned>(rng.next_below(
+                                 std::max(1u, options.max_instructions)));
+  g.instr_seeds.reserve(count);
+  for (unsigned i = 0; i < count; ++i) g.instr_seeds.push_back(rng.next_u64());
+  return g;
+}
+
+Genome mutate(const Genome& parent, Rng& rng, const GenomeOptions& options) {
+  Genome child = parent;
+  for (;;) {
+    switch (rng.next_below(4)) {
+      case 0: {  // replace one instruction gene
+        const std::size_t i = static_cast<std::size_t>(
+            rng.next_below(child.instr_seeds.size()));
+        child.instr_seeds[i] = rng.next_u64();
+        return child;
+      }
+      case 1: {  // add an instruction gene (when room)
+        if (child.instr_seeds.size() >= options.max_instructions) break;
+        const std::size_t at = static_cast<std::size_t>(
+            rng.next_below(child.instr_seeds.size() + 1));
+        child.instr_seeds.insert(
+            child.instr_seeds.begin() + static_cast<std::ptrdiff_t>(at),
+            rng.next_u64());
+        return child;
+      }
+      case 2: {  // drop an instruction gene (when more than one)
+        if (child.instr_seeds.size() <= 1) break;
+        const std::size_t i = static_cast<std::size_t>(
+            rng.next_below(child.instr_seeds.size()));
+        child.instr_seeds.erase(child.instr_seeds.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+        return child;
+      }
+      default:  // reroll the shared declarations, keep the instruction set
+        child.decl_seed = rng.next_u64();
+        return child;
+    }
+  }
+}
+
+Genome crossover(const Genome& a, const Genome& b, Rng& rng,
+                 const GenomeOptions& options) {
+  Genome child;
+  child.decl_seed = rng.next_bool() ? a.decl_seed : b.decl_seed;
+  // One-point splice: a prefix of one parent's genes + a suffix of the
+  // other's. Cut points include the ends, so a child can also be a pure
+  // prefix/suffix recombination.
+  const std::size_t cut_a =
+      static_cast<std::size_t>(rng.next_below(a.instr_seeds.size() + 1));
+  const std::size_t cut_b =
+      static_cast<std::size_t>(rng.next_below(b.instr_seeds.size() + 1));
+  child.instr_seeds.assign(a.instr_seeds.begin(),
+                           a.instr_seeds.begin() +
+                               static_cast<std::ptrdiff_t>(cut_a));
+  child.instr_seeds.insert(child.instr_seeds.end(),
+                           b.instr_seeds.begin() +
+                               static_cast<std::ptrdiff_t>(cut_b),
+                           b.instr_seeds.end());
+  if (child.instr_seeds.empty()) {
+    // Both cuts degenerate: inherit the first gene of parent a.
+    child.instr_seeds.push_back(a.instr_seeds.front());
+  }
+  if (child.instr_seeds.size() > options.max_instructions) {
+    child.instr_seeds.resize(options.max_instructions);
+  }
+  return child;
+}
+
+std::string to_tie_source(const Genome& genome, const GenomeOptions& options) {
+  EXTEN_CHECK(!genome.instr_seeds.empty(), "genome has no instruction genes");
+  Rng decl_rng(genome.decl_seed);
+  fuzz::TieDeclNames decls;
+  std::string source = fuzz::generate_tie_decls(decl_rng, options.tie, &decls);
+  for (std::size_t i = 0; i < genome.instr_seeds.size(); ++i) {
+    Rng instr_rng(genome.instr_seeds[i]);
+    source += fuzz::generate_tie_instruction(
+        instr_rng, "fz" + std::to_string(i), decls, options.tie);
+  }
+  return source;
+}
+
+void write_genome_fields(JsonWriter& w, const Genome& genome) {
+  w.field("decl_seed", std::string_view(hex_u64(genome.decl_seed)));
+  w.array_field("instr_seeds");
+  for (std::uint64_t seed : genome.instr_seeds) {
+    w.element(std::string_view(hex_u64(seed)));
+  }
+  w.end_array();
+}
+
+Genome parse_genome(const JsonValue& v) {
+  EXTEN_CHECK(v.is_object(), "genome must be a JSON object");
+  Genome g;
+  const JsonValue* decl = v.find("decl_seed");
+  EXTEN_CHECK(decl != nullptr, "genome missing decl_seed");
+  g.decl_seed = parse_hex_u64(decl->as_string());
+  const JsonValue* seeds = v.find("instr_seeds");
+  EXTEN_CHECK(seeds != nullptr, "genome missing instr_seeds");
+  for (const JsonValue& seed : seeds->as_array()) {
+    g.instr_seeds.push_back(parse_hex_u64(seed.as_string()));
+  }
+  EXTEN_CHECK(!g.instr_seeds.empty(), "genome has no instruction genes");
+  return g;
+}
+
+}  // namespace exten::dse

@@ -1,0 +1,94 @@
+#pragma once
+
+// The DSE genome: a candidate instruction-set extension as an evolvable
+// value.
+//
+// The paper ranks a handful of hand-written Reed-Solomon extension
+// variants; population-scale exploration (ByoRISC-style, see PAPERS.md)
+// needs the space itself to be *generated*. A Genome encodes one candidate
+// extension set as
+//
+//   - decl_seed    — expands (via fuzz::generate_tie_decls) into the
+//                    shared state/regfile/table declarations, and
+//   - instr_seeds  — one gene per custom instruction; each expands (via
+//                    fuzz::generate_tie_instruction) into one
+//                    `instruction` block referencing those declarations.
+//
+// Expansion is a pure function of the genome: the same seeds produce the
+// same TIE source on every platform (util/rng.h pins the draw sequences,
+// tests/test_fuzz.cpp pins golden digests). That purity is what makes the
+// whole search checkpointable — a genome is 9..N*8 bytes of seeds, not a
+// blob of source text — and what makes the content-addressed EvalCache a
+// perfect dedup: re-visiting a genome re-derives bit-identical inputs and
+// hits.
+//
+// Variation operators work at the extension-set granularity, which is the
+// granularity the search cares about:
+//   point mutation — replace/add/drop ONE instruction gene, or reroll the
+//                    shared declarations under the same instructions;
+//   crossover      — splice the two parents' instruction gene lists
+//                    (one-point) and inherit one parent's declarations.
+// An instruction gene re-expanded under a different declaration context
+// adapts to it (the generator picks among the declared names), so spliced
+// children are always valid specs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/gen_tie.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace exten::dse {
+
+/// Bounds of the candidate space (fixed for a whole search; checkpointed).
+struct GenomeOptions {
+  /// Maximum instruction genes per genome (random genomes draw 1..max).
+  unsigned max_instructions = 4;
+  /// Expansion bounds for declarations and instruction bodies.
+  /// (tie.max_instructions is unused here — the gene list decides.)
+  fuzz::TieGenOptions tie{};
+  /// Harness-application derivation (see candidate.h): the fixed seed and
+  /// size of the generated program that exercises each candidate's
+  /// instructions. Part of the space definition — changing it changes
+  /// every objective value.
+  std::uint64_t harness_seed = 0x9u;
+  unsigned harness_blocks = 14;
+};
+
+/// One candidate extension set. Ordering operators compare the raw seeds
+/// (used only for deterministic dedup/containers, not for search quality).
+struct Genome {
+  std::uint64_t decl_seed = 0;
+  std::vector<std::uint64_t> instr_seeds;
+
+  bool operator==(const Genome& other) const {
+    return decl_seed == other.decl_seed && instr_seeds == other.instr_seeds;
+  }
+};
+
+/// Uniform random genome within `options`.
+Genome random_genome(Rng& rng, const GenomeOptions& options);
+
+/// Point mutation: exactly one edit (replace / add / drop an instruction
+/// gene, or reroll decl_seed). Never returns the parent unchanged.
+Genome mutate(const Genome& parent, Rng& rng, const GenomeOptions& options);
+
+/// One-point crossover of the instruction gene lists; decl_seed comes from
+/// one parent (coin flip). The child respects options.max_instructions.
+Genome crossover(const Genome& a, const Genome& b, Rng& rng,
+                 const GenomeOptions& options);
+
+/// Expands the genome into TIE-lite source (pure function of genome +
+/// options; always compiles under tie::compile_tie_source).
+std::string to_tie_source(const Genome& genome, const GenomeOptions& options);
+
+/// JSON round-trip for checkpoints. Seeds are serialized as hex *strings*
+/// ("0x..."): the JSON parser holds numbers as double, which cannot
+/// represent every u64. write_genome_fields emits into an already-open
+/// object; parse_genome accepts the same object.
+void write_genome_fields(JsonWriter& w, const Genome& genome);
+Genome parse_genome(const JsonValue& v);
+
+}  // namespace exten::dse

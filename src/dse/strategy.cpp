@@ -1,0 +1,243 @@
+#include "dse/strategy.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace exten::dse {
+
+bool better(const ScoredGenome& a, const ScoredGenome& b) {
+  if (a.score != b.score) return a.score < b.score;
+  return a.name < b.name;
+}
+
+void write_scored_genome_fields(JsonWriter& w, const ScoredGenome& s) {
+  w.field("name", std::string_view(s.name));
+  // +inf (infeasible) serializes as null; parse_scored_genome maps it back.
+  w.field("score", s.score);
+  w.field("energy_pj", s.energy_pj);
+  w.field("cycles", s.cycles);
+  w.field("edp", s.edp);
+  w.object_field("genome");
+  write_genome_fields(w, s.genome);
+  w.end_object();
+}
+
+ScoredGenome parse_scored_genome(const JsonValue& v) {
+  EXTEN_CHECK(v.is_object(), "scored genome must be a JSON object");
+  ScoredGenome s;
+  s.name = v.string_or("name", "");
+  EXTEN_CHECK(!s.name.empty(), "scored genome missing name");
+  const JsonValue* score = v.find("score");
+  EXTEN_CHECK(score != nullptr, "scored genome missing score");
+  if (!score->is_null()) s.score = score->as_number();
+  if (const JsonValue* e = v.find("energy_pj")) s.energy_pj = e->as_number();
+  if (const JsonValue* c = v.find("cycles")) {
+    s.cycles = static_cast<std::uint64_t>(c->as_number());
+  }
+  if (const JsonValue* e = v.find("edp")) s.edp = e->as_number();
+  const JsonValue* genome = v.find("genome");
+  EXTEN_CHECK(genome != nullptr, "scored genome missing genome");
+  s.genome = parse_genome(*genome);
+  return s;
+}
+
+namespace {
+
+/// Sorts best-first, drops duplicate names (keeping the better entry) and
+/// truncates to `keep`.
+std::vector<ScoredGenome> top_unique(std::vector<ScoredGenome> scored,
+                                     std::size_t keep) {
+  std::stable_sort(scored.begin(), scored.end(), better);
+  std::vector<ScoredGenome> out;
+  out.reserve(std::min(keep, scored.size()));
+  for (ScoredGenome& s : scored) {
+    if (out.size() >= keep) break;
+    if (!out.empty() && out.back().name == s.name) continue;
+    const bool seen = std::any_of(
+        out.begin(), out.end(),
+        [&](const ScoredGenome& o) { return o.name == s.name; });
+    if (!seen) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void save_members(JsonWriter& w, const std::vector<ScoredGenome>& members) {
+  w.array_field("members");
+  for (const ScoredGenome& s : members) {
+    w.element_object();
+    write_scored_genome_fields(w, s);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::vector<ScoredGenome> load_members(const JsonValue& v) {
+  const JsonValue* members = v.find("members");
+  EXTEN_CHECK(members != nullptr, "strategy state missing members");
+  std::vector<ScoredGenome> out;
+  for (const JsonValue& m : members->as_array()) {
+    out.push_back(parse_scored_genome(m));
+  }
+  return out;
+}
+
+class RandomStrategy final : public Strategy {
+ public:
+  std::string_view name() const override { return "random"; }
+
+  std::vector<Genome> propose(Rng& rng, std::size_t limit,
+                              const GenomeOptions& genome_options) override {
+    std::vector<Genome> out;
+    out.reserve(limit);
+    for (std::size_t i = 0; i < limit; ++i) {
+      out.push_back(random_genome(rng, genome_options));
+    }
+    return out;
+  }
+
+  void observe(const std::vector<ScoredGenome>&) override {}
+
+  void save_state(JsonWriter&) const override {}
+  void load_state(const JsonValue&) override {}
+};
+
+class BeamStrategy final : public Strategy {
+ public:
+  explicit BeamStrategy(const StrategyOptions& options) : options_(options) {}
+
+  std::string_view name() const override { return "beam"; }
+
+  std::vector<Genome> propose(Rng& rng, std::size_t limit,
+                              const GenomeOptions& genome_options) override {
+    std::vector<Genome> out;
+    out.reserve(limit);
+    if (beam_.empty()) {
+      // Seeding generation: a random sweep.
+      for (std::size_t i = 0; i < limit; ++i) {
+        out.push_back(random_genome(rng, genome_options));
+      }
+      return out;
+    }
+    // Re-propose the surviving beam (EvalCache hits — free), then expand
+    // each member round-robin with point mutations until the budget slice
+    // is full.
+    for (const ScoredGenome& s : beam_) {
+      if (out.size() >= limit) break;
+      out.push_back(s.genome);
+    }
+    std::size_t parent = 0;
+    while (out.size() < limit) {
+      out.push_back(
+          mutate(beam_[parent % beam_.size()].genome, rng, genome_options));
+      ++parent;
+    }
+    return out;
+  }
+
+  void observe(const std::vector<ScoredGenome>& scored) override {
+    // The union of old beam and new scores is present in `scored` itself
+    // (the beam was re-proposed), so survivors come from one ranking.
+    std::vector<ScoredGenome> pool = scored;
+    pool.insert(pool.end(), beam_.begin(), beam_.end());
+    pool.erase(std::remove_if(
+                   pool.begin(), pool.end(),
+                   [](const ScoredGenome& s) { return !s.feasible(); }),
+               pool.end());
+    beam_ = top_unique(std::move(pool), options_.beam_width);
+  }
+
+  void save_state(JsonWriter& w) const override { save_members(w, beam_); }
+  void load_state(const JsonValue& v) override { beam_ = load_members(v); }
+
+ private:
+  StrategyOptions options_;
+  std::vector<ScoredGenome> beam_;  ///< sorted best-first, feasible only
+};
+
+class GeneticStrategy final : public Strategy {
+ public:
+  explicit GeneticStrategy(const StrategyOptions& options)
+      : options_(options) {}
+
+  std::string_view name() const override { return "genetic"; }
+
+  std::vector<Genome> propose(Rng& rng, std::size_t limit,
+                              const GenomeOptions& genome_options) override {
+    std::vector<Genome> out;
+    out.reserve(limit);
+    std::vector<const ScoredGenome*> feasible;
+    for (const ScoredGenome& s : population_) {
+      if (s.feasible()) feasible.push_back(&s);
+    }
+    if (feasible.empty()) {
+      // Seeding generation (or a fully-infeasible population): random.
+      for (std::size_t i = 0; i < limit; ++i) {
+        out.push_back(random_genome(rng, genome_options));
+      }
+      return out;
+    }
+    // Elites ride along verbatim (cache hits), offspring fill the rest.
+    for (std::size_t i = 0; i < options_.elites && i < feasible.size(); ++i) {
+      if (out.size() >= limit) break;
+      out.push_back(feasible[i]->genome);
+    }
+    while (out.size() < limit) {
+      const Genome& a = tournament(rng, feasible)->genome;
+      Genome child = rng.next_bool(options_.crossover_rate)
+                         ? crossover(a, tournament(rng, feasible)->genome,
+                                     rng, genome_options)
+                         : a;
+      if (rng.next_bool(options_.mutation_rate)) {
+        child = mutate(child, rng, genome_options);
+      }
+      out.push_back(std::move(child));
+    }
+    return out;
+  }
+
+  void observe(const std::vector<ScoredGenome>& scored) override {
+    // The new population is the generation just scored, best-first (the
+    // elites are in there because propose() re-submitted them).
+    population_ = top_unique(scored, options_.population);
+  }
+
+  void save_state(JsonWriter& w) const override {
+    save_members(w, population_);
+  }
+  void load_state(const JsonValue& v) override {
+    population_ = load_members(v);
+  }
+
+ private:
+  /// Best of `tournament` uniform draws (with replacement).
+  const ScoredGenome* tournament(
+      Rng& rng, const std::vector<const ScoredGenome*>& feasible) const {
+    const ScoredGenome* best = nullptr;
+    const unsigned rounds = std::max(1u, options_.tournament);
+    for (unsigned i = 0; i < rounds; ++i) {
+      const ScoredGenome* pick =
+          feasible[static_cast<std::size_t>(rng.next_below(feasible.size()))];
+      if (best == nullptr || better(*pick, *best)) best = pick;
+    }
+    return best;
+  }
+
+  StrategyOptions options_;
+  std::vector<ScoredGenome> population_;  ///< sorted best-first
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> Strategy::create(std::string_view strategy_name,
+                                           const StrategyOptions& options) {
+  if (strategy_name == "random") return std::make_unique<RandomStrategy>();
+  if (strategy_name == "beam") return std::make_unique<BeamStrategy>(options);
+  if (strategy_name == "genetic") {
+    return std::make_unique<GeneticStrategy>(options);
+  }
+  throw Error("unknown DSE strategy '", strategy_name,
+              "' (expected random, beam or genetic)");
+}
+
+}  // namespace exten::dse

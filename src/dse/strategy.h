@@ -1,0 +1,100 @@
+#pragma once
+
+// Pluggable search strategies over the genome space.
+//
+// The driver (dse/driver.h) runs a generation loop: the strategy proposes
+// up to `limit` genomes, the driver evaluates them (locally through
+// service::BatchEstimator or remotely through POST /v1/rank), and the
+// scored results are fed back through observe(). Strategies are
+// deterministic state machines: every random draw comes from the
+// per-generation Rng the driver passes in (derived as a pure function of
+// the search seed and the generation index), and the full strategy state
+// round-trips through JSON — together those two properties make a search
+// bit-reproducible and resumable from any generation boundary.
+//
+// Re-submission is deliberate: beam re-proposes the surviving beam and
+// genetic re-proposes its elites alongside the new offspring. The
+// content-addressed EvalCache turns those into hits (microseconds), the
+// union is ranked with fresh uniform scores, and the observed hit rate
+// doubles as a liveness check that dedup is working.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dse/genome.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace exten::dse {
+
+/// A genome with its evaluation. score is the objective value (lower is
+/// better); +inf marks an infeasible candidate (its evaluation faulted).
+struct ScoredGenome {
+  Genome genome;
+  std::string name;
+  double score = std::numeric_limits<double>::infinity();
+  double energy_pj = 0.0;
+  std::uint64_t cycles = 0;
+  double edp = 0.0;
+
+  bool feasible() const { return score < std::numeric_limits<double>::infinity(); }
+};
+
+/// Deterministic ranking order: by score, name-tie-broken (the same
+/// contract explore::rank_candidates follows).
+bool better(const ScoredGenome& a, const ScoredGenome& b);
+
+struct StrategyOptions {
+  /// Candidates proposed (and evaluated) per generation.
+  std::size_t population = 32;
+  /// Beam search: survivors kept per generation.
+  std::size_t beam_width = 8;
+  /// Genetic: elites re-proposed verbatim per generation.
+  std::size_t elites = 4;
+  /// Genetic: probability an offspring is a crossover of two parents
+  /// (otherwise a clone of one).
+  double crossover_rate = 0.7;
+  /// Genetic: probability an offspring is additionally point-mutated.
+  double mutation_rate = 0.9;
+  /// Genetic: tournament size for parent selection.
+  unsigned tournament = 3;
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Proposes up to `limit` genomes for the next generation. `rng` is the
+  /// generation's derived stream; consuming it is the only allowed source
+  /// of randomness.
+  virtual std::vector<Genome> propose(Rng& rng, std::size_t limit,
+                                      const GenomeOptions& genome_options) = 0;
+
+  /// Feeds back the scored proposals of the generation just evaluated, in
+  /// proposal order.
+  virtual void observe(const std::vector<ScoredGenome>& scored) = 0;
+
+  /// Checkpoint round-trip: save_state emits the strategy's private state
+  /// as fields of an already-open JSON object; load_state restores from
+  /// the parsed object.
+  virtual void save_state(JsonWriter& w) const = 0;
+  virtual void load_state(const JsonValue& v) = 0;
+
+  /// Factory over the CLI names: "random", "beam", "genetic". Throws
+  /// exten::Error on an unknown name.
+  static std::unique_ptr<Strategy> create(std::string_view strategy_name,
+                                          const StrategyOptions& options);
+};
+
+/// Shared (de)serialization of ScoredGenome lists for strategy state and
+/// the driver's frontier.
+void write_scored_genome_fields(JsonWriter& w, const ScoredGenome& s);
+ScoredGenome parse_scored_genome(const JsonValue& v);
+
+}  // namespace exten::dse

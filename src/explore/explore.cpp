@@ -64,17 +64,24 @@ ExploreResult rank_candidates(std::span<const Candidate> candidates,
         });
   }
 
+  // Equal-objective candidates rank in name order: the ranking must not
+  // depend on manifest (or generation) order, or two runs of the same
+  // design space could disagree on "the best" candidate.
+  const auto objective_value = [objective](const Evaluation& e) {
+    switch (objective) {
+      case Objective::kEnergy: return e.energy_pj;
+      case Objective::kDelay: return static_cast<double>(e.cycles);
+      case Objective::kEdp: return e.edp;
+    }
+    return e.edp;
+  };
   std::stable_sort(result.ranked.begin(), result.ranked.end(),
-                   [objective](const Evaluation& a, const Evaluation& b) {
-                     switch (objective) {
-                       case Objective::kEnergy:
-                         return a.energy_pj < b.energy_pj;
-                       case Objective::kDelay:
-                         return a.cycles < b.cycles;
-                       case Objective::kEdp:
-                         return a.edp < b.edp;
-                     }
-                     return false;
+                   [&objective_value](const Evaluation& a,
+                                      const Evaluation& b) {
+                     const double va = objective_value(a);
+                     const double vb = objective_value(b);
+                     if (va != vb) return va < vb;
+                     return a.name < b.name;
                    });
   return result;
 }

@@ -1,69 +1,18 @@
 #include "fuzz/gen_tie.h"
 
 #include <sstream>
-#include <vector>
 
 namespace exten::fuzz {
 
 namespace {
 
-struct Decls {
-  std::vector<std::string> states;
-  std::vector<std::string> regfiles;
-  std::vector<std::string> tables;
-};
-
-class SpecBuilder {
+/// Expression generation over a fixed declaration context. Records which
+/// of rs1/rs2 the generated expressions used so the instruction emitter
+/// can declare `reads` consistently.
+class ExprBuilder {
  public:
-  SpecBuilder(Rng& rng, const TieGenOptions& options)
-      : rng_(rng), options_(options) {}
+  ExprBuilder(Rng& rng, const TieDeclNames& decls) : rng_(rng), decls_(decls) {}
 
-  std::string build() {
-    emit_decls();
-    const unsigned instructions =
-        1 + static_cast<unsigned>(rng_.next_below(options_.max_instructions));
-    for (unsigned i = 0; i < instructions; ++i) emit_instruction(i);
-    return out_.str();
-  }
-
- private:
-  void emit_decls() {
-    const unsigned states =
-        static_cast<unsigned>(rng_.next_below(options_.max_states + 1));
-    for (unsigned i = 0; i < states; ++i) {
-      const std::string name = "s" + std::to_string(i);
-      out_ << "state " << name << " width="
-           << rng_.next_in(1, 64) << "\n";
-      decls_.states.push_back(name);
-    }
-    const unsigned regfiles =
-        static_cast<unsigned>(rng_.next_below(options_.max_regfiles + 1));
-    for (unsigned i = 0; i < regfiles; ++i) {
-      const std::string name = "f" + std::to_string(i);
-      out_ << "regfile " << name << " width=" << rng_.next_in(1, 64)
-           << " size=" << (1u << rng_.next_below(5)) << "\n";
-      decls_.regfiles.push_back(name);
-    }
-    const unsigned tables =
-        static_cast<unsigned>(rng_.next_below(options_.max_tables + 1));
-    for (unsigned i = 0; i < tables; ++i) {
-      const std::string name = "t" + std::to_string(i);
-      const unsigned width = 1 + static_cast<unsigned>(rng_.next_below(16));
-      const std::size_t size = std::size_t{1} << (1 + rng_.next_below(6));
-      out_ << "table " << name << " size=" << size << " width=" << width
-           << " {";
-      for (std::size_t v = 0; v < size; ++v) {
-        const std::uint64_t mask =
-            width >= 64 ? ~std::uint64_t{0}
-                        : ((std::uint64_t{1} << width) - 1);
-        out_ << (v == 0 ? " " : ", ") << (rng_.next_u64() & mask);
-      }
-      out_ << " }\n";
-      decls_.tables.push_back(name);
-    }
-  }
-
-  /// Generates an expression, recording operand usage in the flags.
   std::string expr(unsigned depth) {
     // Leaves when the depth budget runs out or by chance.
     if (depth == 0 || rng_.next_bool(0.3)) return leaf();
@@ -115,10 +64,10 @@ class SpecBuilder {
   std::string leaf() {
     switch (rng_.next_below(5)) {
       case 0:
-        uses_rs1_ = true;
+        uses_rs1 = true;
         return "rs1";
       case 1:
-        uses_rs2_ = true;
+        uses_rs2 = true;
         return "rs2";
       case 2:
         if (!decls_.states.empty()) return rng_.pick(decls_.states);
@@ -131,68 +80,121 @@ class SpecBuilder {
     }
   }
 
-  void emit_instruction(unsigned index) {
-    uses_rs1_ = uses_rs2_ = false;
-    const unsigned assignments =
-        1 + static_cast<unsigned>(rng_.next_below(options_.max_assignments));
-    bool writes_rd = false;
-    std::ostringstream semantics;
-    for (unsigned a = 0; a < assignments; ++a) {
-      const std::uint64_t target = rng_.next_below(3);
-      if (target == 0 || (decls_.states.empty() && decls_.regfiles.empty())) {
-        semantics << "    rd = " << expr(options_.max_expr_depth) << ";\n";
-        writes_rd = true;
-      } else if (target == 1 && !decls_.states.empty()) {
-        semantics << "    " << rng_.pick(decls_.states) << " = "
-                  << expr(options_.max_expr_depth) << ";\n";
-      } else if (!decls_.regfiles.empty()) {
-        semantics << "    " << rng_.pick(decls_.regfiles) << "["
-                  << expr(2) << "] = " << expr(options_.max_expr_depth)
-                  << ";\n";
-      } else {
-        semantics << "    rd = " << expr(options_.max_expr_depth) << ";\n";
-        writes_rd = true;
-      }
-    }
+  bool uses_rs1 = false;
+  bool uses_rs2 = false;
 
-    out_ << "instruction fz" << index << " {\n";
-    out_ << "  latency " << rng_.next_in(1, 4) << "\n";
-    if (uses_rs1_ && uses_rs2_) {
-      out_ << "  reads rs1, rs2\n";
-    } else if (uses_rs1_) {
-      out_ << "  reads rs1\n";
-    } else if (uses_rs2_) {
-      out_ << "  reads rs2\n";
-    }
-    if (writes_rd) out_ << "  writes rd\n";
-    if (rng_.next_bool(0.2)) out_ << "  isolated\n";
-    // Always at least one explicit component (the compiler rejects empty
-    // datapaths for instructions with no implicit state/table component).
-    static const std::vector<std::string> kComponents = {
-        "mult", "adder", "logic", "shifter", "tie_mult",
-        "tie_mac", "tie_add", "tie_csa"};
-    out_ << "  use logic width=8\n";
-    if (rng_.next_bool()) {
-      out_ << "  use " << rng_.pick(kComponents)
-           << " width=" << rng_.next_in(1, 64)
-           << " count=" << rng_.next_in(1, 4) << "\n";
-    }
-    out_ << "  semantics {\n" << semantics.str() << "  }\n";
-    out_ << "}\n";
-  }
-
+ private:
   Rng& rng_;
-  const TieGenOptions& options_;
-  Decls decls_;
-  std::ostringstream out_;
-  bool uses_rs1_ = false;
-  bool uses_rs2_ = false;
+  const TieDeclNames& decls_;
 };
 
 }  // namespace
 
+std::string generate_tie_decls(Rng& rng, const TieGenOptions& options,
+                               TieDeclNames* names) {
+  TieDeclNames discard;
+  if (names == nullptr) names = &discard;
+  std::ostringstream out;
+  const unsigned states =
+      static_cast<unsigned>(rng.next_below(options.max_states + 1));
+  for (unsigned i = 0; i < states; ++i) {
+    const std::string name = "s" + std::to_string(i);
+    out << "state " << name << " width=" << rng.next_in(1, 64) << "\n";
+    names->states.push_back(name);
+  }
+  const unsigned regfiles =
+      static_cast<unsigned>(rng.next_below(options.max_regfiles + 1));
+  for (unsigned i = 0; i < regfiles; ++i) {
+    const std::string name = "f" + std::to_string(i);
+    out << "regfile " << name << " width=" << rng.next_in(1, 64)
+        << " size=" << (1u << rng.next_below(5)) << "\n";
+    names->regfiles.push_back(name);
+  }
+  const unsigned tables =
+      static_cast<unsigned>(rng.next_below(options.max_tables + 1));
+  for (unsigned i = 0; i < tables; ++i) {
+    const std::string name = "t" + std::to_string(i);
+    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(16));
+    const std::size_t size = std::size_t{1} << (1 + rng.next_below(6));
+    out << "table " << name << " size=" << size << " width=" << width
+        << " {";
+    for (std::size_t v = 0; v < size; ++v) {
+      const std::uint64_t mask = width >= 64
+                                     ? ~std::uint64_t{0}
+                                     : ((std::uint64_t{1} << width) - 1);
+      out << (v == 0 ? " " : ", ") << (rng.next_u64() & mask);
+    }
+    out << " }\n";
+    names->tables.push_back(name);
+  }
+  return out.str();
+}
+
+std::string generate_tie_instruction(Rng& rng, std::string_view name,
+                                     const TieDeclNames& decls,
+                                     const TieGenOptions& options) {
+  ExprBuilder builder(rng, decls);
+  const unsigned assignments =
+      1 + static_cast<unsigned>(rng.next_below(options.max_assignments));
+  bool writes_rd = false;
+  std::ostringstream semantics;
+  for (unsigned a = 0; a < assignments; ++a) {
+    const std::uint64_t target = rng.next_below(3);
+    if (target == 0 || (decls.states.empty() && decls.regfiles.empty())) {
+      semantics << "    rd = " << builder.expr(options.max_expr_depth)
+                << ";\n";
+      writes_rd = true;
+    } else if (target == 1 && !decls.states.empty()) {
+      semantics << "    " << rng.pick(decls.states) << " = "
+                << builder.expr(options.max_expr_depth) << ";\n";
+    } else if (!decls.regfiles.empty()) {
+      semantics << "    " << rng.pick(decls.regfiles) << "["
+                << builder.expr(2)
+                << "] = " << builder.expr(options.max_expr_depth) << ";\n";
+    } else {
+      semantics << "    rd = " << builder.expr(options.max_expr_depth)
+                << ";\n";
+      writes_rd = true;
+    }
+  }
+
+  std::ostringstream out;
+  out << "instruction " << name << " {\n";
+  out << "  latency " << rng.next_in(1, 4) << "\n";
+  if (builder.uses_rs1 && builder.uses_rs2) {
+    out << "  reads rs1, rs2\n";
+  } else if (builder.uses_rs1) {
+    out << "  reads rs1\n";
+  } else if (builder.uses_rs2) {
+    out << "  reads rs2\n";
+  }
+  if (writes_rd) out << "  writes rd\n";
+  if (rng.next_bool(0.2)) out << "  isolated\n";
+  // Always at least one explicit component (the compiler rejects empty
+  // datapaths for instructions with no implicit state/table component).
+  static const std::vector<std::string> kComponents = {
+      "mult", "adder", "logic", "shifter", "tie_mult",
+      "tie_mac", "tie_add", "tie_csa"};
+  out << "  use logic width=8\n";
+  if (rng.next_bool()) {
+    out << "  use " << rng.pick(kComponents) << " width=" << rng.next_in(1, 64)
+        << " count=" << rng.next_in(1, 4) << "\n";
+  }
+  out << "  semantics {\n" << semantics.str() << "  }\n";
+  out << "}\n";
+  return out.str();
+}
+
 std::string generate_tie_spec(Rng& rng, const TieGenOptions& options) {
-  return SpecBuilder(rng, options).build();
+  TieDeclNames decls;
+  std::string out = generate_tie_decls(rng, options, &decls);
+  const unsigned instructions =
+      1 + static_cast<unsigned>(rng.next_below(options.max_instructions));
+  for (unsigned i = 0; i < instructions; ++i) {
+    out += generate_tie_instruction(rng, "fz" + std::to_string(i), decls,
+                                    options);
+  }
+  return out;
 }
 
 }  // namespace exten::fuzz

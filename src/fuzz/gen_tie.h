@@ -6,10 +6,22 @@
 // call, state/regfile/table access, multi-assignment instructions — while
 // respecting the compiler's validation rules (width/size/latency bounds,
 // reads/writes declarations consistent with the semantics, power-of-two
-// tables). Used by the tie_diff target (bytecode vs tree evaluation) and
-// by engine_diff custom-instruction mixes.
+// tables). Used by the tie_diff target (bytecode vs tree evaluation), by
+// engine_diff custom-instruction mixes, and — through the split
+// decls/instruction entry points below — by the design-space exploration
+// genome (src/dse/genome.h), which composes candidate extension *sets*
+// from independently-seeded instruction genes.
+//
+// Seed stability is part of the API contract: for a fixed seed and
+// options, every generator here emits byte-identical text on every
+// platform (the Rng draws are explicit fixed-width algorithms, see
+// util/rng.h). tests/test_fuzz.cpp pins golden digests so an accidental
+// change to the draw sequence fails a test instead of silently
+// invalidating fuzz corpora and DSE checkpoints.
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -24,7 +36,30 @@ struct TieGenOptions {
   unsigned max_expr_depth = 4;
 };
 
-/// Generates TIE-lite source text that tie::compile_tie_source accepts.
+/// Names of the shared declarations a generated instruction may reference.
+struct TieDeclNames {
+  std::vector<std::string> states;
+  std::vector<std::string> regfiles;
+  std::vector<std::string> tables;
+};
+
+/// Generates the shared declaration section (states, register files,
+/// tables) and records the declared names in `*names` (nullptr = discard).
+std::string generate_tie_decls(Rng& rng, const TieGenOptions& options,
+                               TieDeclNames* names);
+
+/// Generates one `instruction <name> { ... }` block whose semantics only
+/// reference declarations in `decls`. The same rng draw sequence always
+/// yields the same text, independent of the instruction name — which is
+/// what lets the DSE genome re-expand an instruction gene under a
+/// different name or declaration context.
+std::string generate_tie_instruction(Rng& rng, std::string_view name,
+                                     const TieDeclNames& decls,
+                                     const TieGenOptions& options);
+
+/// Generates a whole TIE-lite spec that tie::compile_tie_source accepts:
+/// declarations followed by 1..max_instructions instructions (fz0, fz1,
+/// ...), all drawn from `rng`.
 std::string generate_tie_spec(Rng& rng, const TieGenOptions& options = {});
 
 }  // namespace exten::fuzz

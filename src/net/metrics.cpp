@@ -180,28 +180,31 @@ std::string ServerMetrics::render(const MetricsGauges& gauges) const {
       << "# TYPE xtc_draining gauge\n"
       << "xtc_draining " << (gauges.draining ? 1 : 0) << "\n";
 
-  out << "# HELP xtc_eval_cache_hits_total Evaluation-cache hits.\n"
-      << "# TYPE xtc_eval_cache_hits_total counter\n"
-      << "xtc_eval_cache_hits_total " << gauges.cache.hits << "\n";
-  out << "# HELP xtc_eval_cache_misses_total Evaluation-cache misses.\n"
-      << "# TYPE xtc_eval_cache_misses_total counter\n"
-      << "xtc_eval_cache_misses_total " << gauges.cache.misses << "\n";
-  out << "# HELP xtc_eval_cache_evictions_total Evaluation-cache LRU "
+  out << "# HELP xtc_cache_hits_total Evaluation-cache hits.\n"
+      << "# TYPE xtc_cache_hits_total counter\n"
+      << "xtc_cache_hits_total " << gauges.cache.hits << "\n";
+  out << "# HELP xtc_cache_misses_total Evaluation-cache misses.\n"
+      << "# TYPE xtc_cache_misses_total counter\n"
+      << "xtc_cache_misses_total " << gauges.cache.misses << "\n";
+  out << "# HELP xtc_cache_insertions_total Evaluation-cache insertions.\n"
+      << "# TYPE xtc_cache_insertions_total counter\n"
+      << "xtc_cache_insertions_total " << gauges.cache.insertions << "\n";
+  out << "# HELP xtc_cache_evictions_total Evaluation-cache LRU "
          "evictions.\n"
-      << "# TYPE xtc_eval_cache_evictions_total counter\n"
-      << "xtc_eval_cache_evictions_total " << gauges.cache.evictions << "\n";
-  out << "# HELP xtc_eval_cache_entries Evaluation-cache resident "
+      << "# TYPE xtc_cache_evictions_total counter\n"
+      << "xtc_cache_evictions_total " << gauges.cache.evictions << "\n";
+  out << "# HELP xtc_cache_entries Evaluation-cache resident "
          "entries.\n"
-      << "# TYPE xtc_eval_cache_entries gauge\n"
-      << "xtc_eval_cache_entries " << gauges.cache.entries << "\n";
-  out << "# HELP xtc_eval_cache_bytes Approximate evaluation-cache "
+      << "# TYPE xtc_cache_entries gauge\n"
+      << "xtc_cache_entries " << gauges.cache.entries << "\n";
+  out << "# HELP xtc_cache_bytes Approximate evaluation-cache "
          "footprint in bytes.\n"
-      << "# TYPE xtc_eval_cache_bytes gauge\n"
-      << "xtc_eval_cache_bytes " << gauges.cache.approx_bytes << "\n";
-  out << "# HELP xtc_eval_cache_hit_rate Lifetime evaluation-cache hit "
+      << "# TYPE xtc_cache_bytes gauge\n"
+      << "xtc_cache_bytes " << gauges.cache.approx_bytes << "\n";
+  out << "# HELP xtc_cache_hit_rate Lifetime evaluation-cache hit "
          "rate.\n"
-      << "# TYPE xtc_eval_cache_hit_rate gauge\n"
-      << "xtc_eval_cache_hit_rate " << format_double(gauges.cache.hit_rate())
+      << "# TYPE xtc_cache_hit_rate gauge\n"
+      << "xtc_cache_hit_rate " << format_double(gauges.cache.hit_rate())
       << "\n";
   return out.str();
 }

@@ -1,0 +1,409 @@
+// Tests for the design-space exploration subsystem (src/dse/): genome
+// expansion and variation operators, candidate naming, strategy
+// determinism and state round-trips, checkpoint serialization, and the
+// driver's headline contracts — bit-reproducible reruns, bit-reproducible
+// kill + resume, and EvalCache dedup across generations.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dse/candidate.h"
+#include "dse/checkpoint.h"
+#include "dse/driver.h"
+#include "dse/genome.h"
+#include "dse/strategy.h"
+#include "tie/compiler.h"
+#include "util/error.h"
+
+namespace exten::dse {
+namespace {
+
+model::EnergyMacroModel flat_model() {
+  linalg::Vector coefficients(model::kNumVariables, 100.0);
+  return model::EnergyMacroModel(std::move(coefficients));
+}
+
+// --- genome ----------------------------------------------------------------
+
+TEST(Genome, RandomGenomesRespectTheGeneBudget) {
+  GenomeOptions options;
+  options.max_instructions = 3;
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const Genome g = random_genome(rng, options);
+    EXPECT_GE(g.instr_seeds.size(), 1u);
+    EXPECT_LE(g.instr_seeds.size(), 3u);
+  }
+}
+
+TEST(Genome, MutationAlwaysChangesTheGenome) {
+  GenomeOptions options;
+  Rng rng(12);
+  Genome parent = random_genome(rng, options);
+  for (int i = 0; i < 100; ++i) {
+    const Genome child = mutate(parent, rng, options);
+    EXPECT_FALSE(child == parent) << "iteration " << i;
+    EXPECT_GE(child.instr_seeds.size(), 1u);
+    EXPECT_LE(child.instr_seeds.size(), options.max_instructions);
+    parent = child;
+  }
+}
+
+TEST(Genome, CrossoverRespectsTheGeneBudget) {
+  GenomeOptions options;
+  options.max_instructions = 4;
+  Rng rng(13);
+  const Genome a = random_genome(rng, options);
+  const Genome b = random_genome(rng, options);
+  for (int i = 0; i < 50; ++i) {
+    const Genome child = crossover(a, b, rng, options);
+    EXPECT_GE(child.instr_seeds.size(), 1u);
+    EXPECT_LE(child.instr_seeds.size(), 4u);
+    EXPECT_TRUE(child.decl_seed == a.decl_seed ||
+                child.decl_seed == b.decl_seed);
+  }
+}
+
+TEST(Genome, JsonRoundTripPreservesFullU64Seeds) {
+  // 2^53 + 1 is not representable as a double: a numeric JSON encoding
+  // would corrupt it silently. The hex-string encoding must not.
+  Genome g;
+  g.decl_seed = (1ull << 53) + 1;
+  g.instr_seeds = {0xffffffffffffffffull, 0, 0x8000000000000001ull};
+  JsonWriter w;
+  w.begin_object();
+  write_genome_fields(w, g);
+  w.end_object();
+  const Genome back = parse_genome(JsonValue::parse(w.str()));
+  EXPECT_TRUE(back == g);
+}
+
+TEST(Genome, ExpansionCompilesAndIsDeterministic) {
+  GenomeOptions options;
+  Rng rng(21);
+  for (int i = 0; i < 20; ++i) {
+    const Genome g = random_genome(rng, options);
+    const std::string a = to_tie_source(g, options);
+    const std::string b = to_tie_source(g, options);
+    EXPECT_EQ(a, b);
+    EXPECT_NO_THROW(tie::compile_tie_source(a)) << a;
+  }
+}
+
+// --- candidate -------------------------------------------------------------
+
+TEST(Candidate, NamesAreContentDerivedAndStable) {
+  GenomeOptions options;
+  Rng rng(31);
+  const Genome g = random_genome(rng, options);
+  const CandidateSources a = expand_candidate(g, options);
+  const CandidateSources b = expand_candidate(g, options);
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.tie_source, b.tie_source);
+  EXPECT_EQ(a.asm_source, b.asm_source);
+  EXPECT_EQ(a.name.size(), 17u);  // "g" + 16 hex digits
+  EXPECT_EQ(a.name[0], 'g');
+  ASSERT_NE(a.tie, nullptr);
+
+  const Genome other = random_genome(rng, options);
+  EXPECT_NE(expand_candidate(other, options).name, a.name);
+}
+
+TEST(Candidate, MakeJobProducesAnEvaluatableJob) {
+  GenomeOptions options;
+  Rng rng(32);
+  const Genome g = random_genome(rng, options);
+  const CandidateSources sources = expand_candidate(g, options);
+  const service::BatchJob job = make_job(sources);
+  EXPECT_EQ(job.name, sources.name);
+  service::BatchEstimator estimator(flat_model());
+  const service::JobResult result = estimator.estimate_one(job);
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+// --- strategies ------------------------------------------------------------
+
+TEST(Strategy, BetterOrdersByScoreThenName) {
+  ScoredGenome a, b, c;
+  a.name = "b";
+  a.score = 1.0;
+  b.name = "a";
+  b.score = 2.0;
+  c.name = "a";
+  c.score = 1.0;
+  EXPECT_TRUE(better(a, b));   // lower score wins
+  EXPECT_TRUE(better(c, a));   // equal score: name order
+  EXPECT_FALSE(better(a, c));
+}
+
+TEST(Strategy, UnknownNameThrows) {
+  EXPECT_THROW(Strategy::create("hillclimb", {}), Error);
+}
+
+TEST(Strategy, ProposalsAreDeterministicPerGenerationSeed) {
+  for (const char* name : {"random", "beam", "genetic"}) {
+    StrategyOptions options;
+    GenomeOptions genome_options;
+    const auto propose_once = [&] {
+      const std::unique_ptr<Strategy> s = Strategy::create(name, options);
+      Rng rng(Rng::derive_seed(77, 1));
+      return s->propose(rng, 8, genome_options);
+    };
+    const std::vector<Genome> a = propose_once();
+    const std::vector<Genome> b = propose_once();
+    ASSERT_EQ(a.size(), b.size()) << name;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(a[i] == b[i]) << name << " proposal " << i;
+    }
+  }
+}
+
+TEST(Strategy, StateRoundTripsThroughJson) {
+  StrategyOptions options;
+  options.beam_width = 3;
+  GenomeOptions genome_options;
+  const std::unique_ptr<Strategy> s = Strategy::create("beam", options);
+
+  Rng rng(Rng::derive_seed(78, 1));
+  const std::vector<Genome> proposals = s->propose(rng, 6, genome_options);
+  std::vector<ScoredGenome> scored;
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    ScoredGenome sg;
+    sg.genome = proposals[i];
+    sg.name = "c" + std::to_string(i);
+    sg.score = static_cast<double>(i);
+    scored.push_back(sg);
+  }
+  scored[4].score = std::numeric_limits<double>::infinity();  // infeasible
+  s->observe(scored);
+
+  JsonWriter w;
+  w.begin_object();
+  s->save_state(w);
+  w.end_object();
+  const std::unique_ptr<Strategy> restored = Strategy::create("beam", options);
+  restored->load_state(JsonValue::parse(w.str()));
+
+  // The restored strategy proposes the same next generation.
+  Rng rng_a(Rng::derive_seed(78, 2));
+  Rng rng_b(Rng::derive_seed(78, 2));
+  const std::vector<Genome> next_a = s->propose(rng_a, 6, genome_options);
+  const std::vector<Genome> next_b = restored->propose(rng_b, 6, genome_options);
+  ASSERT_EQ(next_a.size(), next_b.size());
+  for (std::size_t i = 0; i < next_a.size(); ++i) {
+    EXPECT_TRUE(next_a[i] == next_b[i]) << "proposal " << i;
+  }
+}
+
+// --- checkpoint ------------------------------------------------------------
+
+TEST(Checkpoint, RoundTripPreservesTheSearchState) {
+  CheckpointData data;
+  data.strategy = "genetic";
+  data.seed = 99;
+  data.objective = explore::Objective::kEnergy;
+  data.budget = 500;
+  data.frontier_size = 4;
+  data.genome.max_instructions = 5;
+  data.search.population = 12;
+  data.generation = 3;
+  data.evaluations = 36;
+  data.infeasible = 2;
+  ScoredGenome s;
+  s.name = "gdeadbeef";
+  s.score = 1.5;
+  s.energy_pj = 1.5;
+  s.cycles = 123;
+  s.edp = 0.1;
+  s.genome.decl_seed = 5;
+  s.genome.instr_seeds = {6, 7};
+  data.frontier.push_back(s);
+
+  const std::unique_ptr<Strategy> strategy =
+      Strategy::create(data.strategy, data.search);
+  const std::string text = render_checkpoint(data, *strategy);
+  const CheckpointData back = parse_checkpoint(text);
+
+  EXPECT_EQ(back.strategy, "genetic");
+  EXPECT_EQ(back.seed, 99u);
+  EXPECT_EQ(back.objective, explore::Objective::kEnergy);
+  EXPECT_EQ(back.budget, 500u);
+  EXPECT_EQ(back.frontier_size, 4u);
+  EXPECT_EQ(back.genome.max_instructions, 5u);
+  EXPECT_EQ(back.search.population, 12u);
+  EXPECT_EQ(back.generation, 3u);
+  EXPECT_EQ(back.evaluations, 36u);
+  EXPECT_EQ(back.infeasible, 2u);
+  ASSERT_EQ(back.frontier.size(), 1u);
+  EXPECT_EQ(back.frontier[0].name, "gdeadbeef");
+  EXPECT_EQ(back.frontier[0].score, 1.5);
+  EXPECT_EQ(back.frontier[0].cycles, 123u);
+  EXPECT_TRUE(back.frontier[0].genome == s.genome);
+}
+
+TEST(Checkpoint, InfeasibleScoreSurvivesTheRoundTrip) {
+  ScoredGenome s;
+  s.name = "gbad";
+  s.genome.instr_seeds = {1};
+  JsonWriter w;
+  w.begin_object();
+  write_scored_genome_fields(w, s);
+  w.end_object();
+  const ScoredGenome back = parse_scored_genome(JsonValue::parse(w.str()));
+  EXPECT_FALSE(back.feasible());
+}
+
+TEST(Checkpoint, MalformedTextThrows) {
+  EXPECT_THROW(parse_checkpoint("{\"version\": 999}"), Error);
+  EXPECT_THROW(parse_checkpoint("not json"), Error);
+}
+
+// --- driver ----------------------------------------------------------------
+
+class DseDriver : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("exten_dse_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static DseOptions small_search(const std::string& strategy) {
+    DseOptions options;
+    options.strategy = strategy;
+    options.budget = 24;
+    options.seed = 42;
+    options.search.population = 8;
+    options.search.beam_width = 3;
+    options.batch.num_threads = 2;
+    return options;
+  }
+
+  static void expect_same_frontier(const DseResult& a, const DseResult& b) {
+    ASSERT_EQ(a.frontier.size(), b.frontier.size());
+    for (std::size_t i = 0; i < a.frontier.size(); ++i) {
+      EXPECT_EQ(a.frontier[i].name, b.frontier[i].name) << "rank " << i;
+      EXPECT_EQ(a.frontier[i].score, b.frontier[i].score) << "rank " << i;
+      EXPECT_TRUE(a.frontier[i].genome == b.frontier[i].genome)
+          << "rank " << i;
+    }
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DseDriver, RerunWithTheSameSeedIsBitIdentical) {
+  const model::EnergyMacroModel macro_model = flat_model();
+  for (const char* strategy : {"random", "beam", "genetic"}) {
+    const DseResult a = run_dse(macro_model, small_search(strategy));
+    const DseResult b = run_dse(macro_model, small_search(strategy));
+    expect_same_frontier(a, b);
+    EXPECT_EQ(a.evaluations, 24u) << strategy;
+  }
+}
+
+TEST_F(DseDriver, BeamSearchDedupsRevisitedCandidates) {
+  const DseResult result = run_dse(flat_model(), small_search("beam"));
+  // The beam is re-proposed every generation after the first; with a
+  // 24-eval budget across 3 generations the cache must have fired.
+  EXPECT_GT(result.stats.cache_hits, 0u);
+  EXPECT_GT(result.stats.hit_rate(), 0.0);
+}
+
+TEST_F(DseDriver, CheckpointedRunWritesAllThreeFiles) {
+  DseOptions options = small_search("beam");
+  options.checkpoint_dir = path("ck");
+  run_dse(flat_model(), options);
+  EXPECT_TRUE(std::filesystem::is_regular_file(path("ck/checkpoint.json")));
+  EXPECT_TRUE(std::filesystem::is_regular_file(path("ck/frontier.json")));
+  EXPECT_TRUE(std::filesystem::is_regular_file(path("ck/run.jsonl")));
+}
+
+TEST_F(DseDriver, RefusesToOverwriteAnExistingCheckpoint) {
+  DseOptions options = small_search("beam");
+  options.checkpoint_dir = path("ck");
+  run_dse(flat_model(), options);
+  EXPECT_THROW(run_dse(flat_model(), options), Error);
+}
+
+TEST_F(DseDriver, InterruptedRunResumesBitIdentically) {
+  const model::EnergyMacroModel macro_model = flat_model();
+
+  // The uninterrupted reference run.
+  DseOptions full = small_search("beam");
+  full.checkpoint_dir = path("full");
+  run_dse(macro_model, full);
+
+  // The same search stopped at a third of the budget, then resumed in a
+  // fresh process segment (fresh estimator, cold cache).
+  DseOptions partial = small_search("beam");
+  partial.budget = 8;
+  partial.checkpoint_dir = path("partial");
+  run_dse(macro_model, partial);
+  DseOptions resume_env;
+  resume_env.checkpoint_dir = path("partial");
+  resume_env.batch.num_threads = 2;
+  const DseResult resumed = resume_dse(macro_model, resume_env,
+                                       /*budget_override=*/24);
+
+  EXPECT_EQ(resumed.evaluations, 24u);
+  EXPECT_EQ(read_checkpoint_file(path("full/frontier.json")),
+            read_checkpoint_file(path("partial/frontier.json")));
+}
+
+TEST_F(DseDriver, ResumeOfACompleteSearchReturnsImmediately) {
+  DseOptions options = small_search("genetic");
+  options.checkpoint_dir = path("ck");
+  const DseResult first = run_dse(flat_model(), options);
+
+  DseOptions resume_env;
+  resume_env.checkpoint_dir = path("ck");
+  const DseResult again = resume_dse(flat_model(), resume_env);
+  EXPECT_EQ(again.stats.evaluations, 0u);  // nothing re-ran
+  expect_same_frontier(first, again);
+}
+
+TEST_F(DseDriver, FrontierIsRankedByScoreThenName) {
+  const DseResult result = run_dse(flat_model(), small_search("random"));
+  ASSERT_FALSE(result.frontier.empty());
+  std::set<std::string> names;
+  // Names are unique, so (score, name) is a strict total order: every
+  // adjacent pair must compare strictly better.
+  for (std::size_t i = 0; i + 1 < result.frontier.size(); ++i) {
+    EXPECT_TRUE(better(result.frontier[i], result.frontier[i + 1]))
+        << "rank " << i;
+  }
+  for (const ScoredGenome& s : result.frontier) {
+    EXPECT_TRUE(s.feasible());
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+  }
+}
+
+TEST_F(DseDriver, GenerationCallbackSeesMonotonicProgress) {
+  DseOptions options = small_search("beam");
+  std::uint64_t last_generation = 0;
+  std::uint64_t last_evaluations = 0;
+  options.on_generation = [&](const GenerationSummary& g) {
+    EXPECT_EQ(g.generation, last_generation + 1);
+    EXPECT_GT(g.evaluations, last_evaluations);
+    EXPECT_LE(g.evaluations, g.budget);
+    last_generation = g.generation;
+    last_evaluations = g.evaluations;
+  };
+  run_dse(flat_model(), options);
+  EXPECT_EQ(last_evaluations, 24u);
+}
+
+}  // namespace
+}  // namespace exten::dse

@@ -18,6 +18,7 @@
 #include "fuzz/gen_tie.h"
 #include "fuzz/targets.h"
 #include "isa/assembler.h"
+#include "service/content_hash.h"
 #include "sim/cpu.h"
 #include "tie/compiler.h"
 #include "util/error.h"
@@ -278,6 +279,64 @@ TEST(Fuzz, GeneratedTieSpecsCompile) {
     EXPECT_NO_THROW(tie::compile_tie_source(spec))
         << "iteration " << iteration << " spec:\n" << spec;
   }
+}
+
+// Seed-stability goldens: a fixed seed must expand to the same spec on
+// every platform and across refactors of the generator. The DSE genome
+// encoding (src/dse/genome.h) stores seeds, not source text, so any
+// change to the draw sequence silently remaps every checkpointed search
+// space — these digests turn that into a loud failure. If a generator
+// change is *intentional*, recompute the digests and note the break in
+// the commit message (old checkpoints stop being comparable).
+TEST(Fuzz, TieSpecDigestsAreSeedStable) {
+  const struct {
+    std::uint64_t seed;
+    const char* digest;
+    std::size_t length;
+  } kGolden[] = {
+      {1, "9578e5187901471f8002e5581b32dcaf", 604},
+      {42, "403fa923b07e27750af9ea5c0ca14127", 684},
+      {0xdeadbeef, "a91a0a4f1dbb2501ac0287e5c7e0c003", 750},
+  };
+  for (const auto& g : kGolden) {
+    Rng rng(g.seed);
+    const std::string spec = generate_tie_spec(rng);
+    service::ContentHasher hasher;
+    hasher.str(spec);
+    EXPECT_EQ(hasher.digest().hex(), g.digest) << "seed " << g.seed
+                                               << " spec:\n" << spec;
+    EXPECT_EQ(spec.size(), g.length) << "seed " << g.seed;
+  }
+}
+
+TEST(Fuzz, TieDeclAndInstructionDigestsAreSeedStable) {
+  Rng decl_rng(2);
+  TieDeclNames names;
+  const std::string decls = generate_tie_decls(decl_rng, {}, &names);
+  service::ContentHasher decl_hasher;
+  decl_hasher.str(decls);
+  EXPECT_EQ(decl_hasher.digest().hex(), "0047368ae4cf5be5295c29f0ac4edebb")
+      << decls;
+  ASSERT_EQ(names.states.size(), 2u);
+  ASSERT_EQ(names.regfiles.size(), 1u);
+  ASSERT_EQ(names.tables.size(), 1u);
+
+  // The instruction draw sequence is independent of the decl stream: the
+  // same instruction seed over the same declaration context is stable.
+  Rng instr_rng(9);
+  const std::string instr =
+      generate_tie_instruction(instr_rng, "fz0", names, {});
+  service::ContentHasher instr_hasher;
+  instr_hasher.str(instr);
+  EXPECT_EQ(instr_hasher.digest().hex(), "5a0c39655d8afda2ec45a843b0179cbe")
+      << instr;
+}
+
+TEST(Fuzz, DeclNamesPointerIsOptional) {
+  Rng a(2), b(2);
+  TieDeclNames names;
+  EXPECT_EQ(generate_tie_decls(a, {}, nullptr),
+            generate_tie_decls(b, {}, &names));
 }
 
 TEST(Fuzz, GeneratedProgramsAssembleAndTerminate) {

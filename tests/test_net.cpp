@@ -726,7 +726,9 @@ TEST(HttpServer, MetricsExposeRequestCounters) {
   EXPECT_NE(response.body.find(
                 "xtc_requests_total{endpoint=\"estimate\",code=\"200\"} 1"),
             std::string::npos);
-  EXPECT_NE(response.body.find("xtc_eval_cache_misses_total 1"),
+  EXPECT_NE(response.body.find("xtc_cache_misses_total 1"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("xtc_cache_insertions_total 1"),
             std::string::npos);
   EXPECT_NE(response.body.find("xtc_queue_capacity"), std::string::npos);
 }

@@ -499,6 +499,28 @@ TEST(ExploreService, ReRankingReusesTheCache) {
   EXPECT_EQ(after_second.insertions, after_first.insertions);
 }
 
+TEST(ExploreService, EqualObjectiveCandidatesRankInNameOrder) {
+  // Identical programs under different names: every objective value ties,
+  // so the ranking must fall back to name order — not manifest order,
+  // which would make "the best candidate" depend on input shuffling.
+  std::vector<explore::Candidate> candidates;
+  for (const char* name : {"zeta", "alpha", "mid", "beta"}) {
+    candidates.push_back({name, model::make_test_program(name, kTinyAsm)});
+  }
+  BatchEstimator estimator(flat_model());
+  for (const explore::Objective objective :
+       {explore::Objective::kEnergy, explore::Objective::kDelay,
+        explore::Objective::kEdp}) {
+    const explore::ExploreResult result =
+        explore::rank_candidates(candidates, estimator, objective);
+    ASSERT_EQ(result.ranked.size(), 4u);
+    EXPECT_EQ(result.ranked[0].name, "alpha");
+    EXPECT_EQ(result.ranked[1].name, "beta");
+    EXPECT_EQ(result.ranked[2].name, "mid");
+    EXPECT_EQ(result.ranked[3].name, "zeta");
+  }
+}
+
 TEST(ExploreService, FaultingCandidateStillThrows) {
   std::vector<explore::Candidate> candidates;
   candidates.push_back(

@@ -128,6 +128,23 @@ void print_results_json(const service::BatchResult& batch) {
   }
 }
 
+// Lifetime cache counters (across --repeat passes): the same families
+// /metrics exposes as xtc_cache_* on the server.
+void print_cache_summary(const service::CacheStats& s) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("hits", s.hits);
+  w.field("misses", s.misses);
+  w.field("insertions", s.insertions);
+  w.field("evictions", s.evictions);
+  w.field("entries", static_cast<std::uint64_t>(s.entries));
+  w.field("capacity", static_cast<std::uint64_t>(s.capacity));
+  w.field("approx_bytes", static_cast<std::uint64_t>(s.approx_bytes));
+  w.field("hit_rate", s.hit_rate());
+  w.end_object();
+  std::cout << "cache " << w.str() << "\n";
+}
+
 void print_metrics(const service::BatchMetrics& m) {
   JsonWriter w;
   w.begin_object();
@@ -199,6 +216,7 @@ int main(int argc, char** argv) {
       }
       print_metrics(batch.metrics);
     }
+    print_cache_summary(estimator.cache_stats());
     if (trace_file.has_value()) {
       obs::Tracer::instance().set_enabled(false);
       const std::vector<obs::Span> spans = obs::Tracer::instance().snapshot();

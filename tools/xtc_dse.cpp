@@ -1,0 +1,155 @@
+// xtc-dse: population-scale design-space exploration over generated
+// TIE-lite extension sets.
+//
+//   xtc-dse --model xtc32.macromodel
+//           [--strategy random|beam|genetic] [--budget N] [--seed N]
+//           [--objective energy|delay|edp] [--checkpoint DIR] [--resume]
+//           [--remote HOST:PORT] [--population N] [--beam-width N]
+//           [--frontier N] [--threads N] [--cache N] [--json] [--quiet]
+//
+// Each generation the chosen strategy proposes candidate genomes, every
+// genome expands deterministically into a TIE spec plus a harness
+// application, and the batch is scored locally (service::BatchEstimator)
+// or remotely (POST /v1/rank on an xtc-serve instance, --remote). With
+// --checkpoint the search is durable after every generation; --resume
+// continues a killed run bit-reproducibly (docs/dse.md). The final
+// frontier prints as a table (or JSON lines with --json), followed by a
+// `stats` JSON block with throughput and the EvalCache dedup hit rate.
+
+#include <iostream>
+
+#include "dse/driver.h"
+#include "tools/tool_common.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace exten;
+
+void print_frontier_table(const dse::DseResult& result) {
+  AsciiTable table({"Rank", "Candidate", "Score", "Energy (uJ)", "Cycles",
+                    "EDP (uJ*Mcyc)"});
+  int rank = 0;
+  for (const dse::ScoredGenome& s : result.frontier) {
+    table.add_row({std::to_string(++rank), s.name, format_fixed(s.score, 6),
+                   format_fixed(s.energy_pj * 1e-6, 2), with_commas(s.cycles),
+                   format_fixed(s.edp, 6)});
+  }
+  table.print(std::cout);
+}
+
+void print_frontier_json(const dse::DseResult& result) {
+  for (const dse::ScoredGenome& s : result.frontier) {
+    JsonWriter w;
+    w.begin_object();
+    dse::write_scored_genome_fields(w, s);
+    w.end_object();
+    std::cout << w.str() << "\n";
+  }
+}
+
+void print_stats(const dse::DseResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("strategy", std::string_view(result.strategy));
+  w.field("objective",
+          std::string_view(dse::objective_name(result.objective)));
+  w.field("generations", result.generation);
+  w.field("evaluations", result.evaluations);
+  w.field("infeasible", result.infeasible);
+  w.field("cache_hits", result.stats.cache_hits);
+  w.field("cache_misses", result.stats.cache_misses);
+  w.field("cache_hit_rate", result.stats.hit_rate());
+  w.field("wall_seconds", result.stats.wall_seconds);
+  w.field("candidates_per_second", result.stats.candidates_per_second());
+  w.end_object();
+  std::cout << "stats " << w.str() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace exten;
+  return tools::tool_main("xtc-dse", [&] {
+    const tools::Args args(argc, argv);
+    args.require_known({"model", "strategy", "budget", "seed", "objective",
+                        "checkpoint", "resume", "remote", "population",
+                        "beam-width", "frontier", "threads", "cache", "json",
+                        "quiet", "version"});
+    if (tools::handle_version(args, "xtc-dse")) return tools::kExitOk;
+    if (!args.has("model") || !args.positional().empty()) {
+      std::cerr
+          << "usage: xtc-dse --model FILE [--strategy random|beam|genetic]\n"
+             "               [--budget N] [--seed N] "
+             "[--objective energy|delay|edp]\n"
+             "               [--checkpoint DIR] [--resume] "
+             "[--remote HOST:PORT]\n"
+             "               [--population N] [--beam-width N] [--frontier N]"
+             "\n"
+             "               [--threads N] [--cache N] [--json] [--quiet]\n";
+      return tools::kExitUsage;
+    }
+
+    dse::DseOptions options;
+    if (auto v = args.value("strategy")) options.strategy = *v;
+    if (auto v = args.value("budget")) options.budget = std::stoull(*v);
+    if (auto v = args.value("seed")) options.seed = std::stoull(*v);
+    if (auto v = args.value("objective")) {
+      options.objective = dse::parse_objective(*v);
+    }
+    if (auto v = args.value("checkpoint")) options.checkpoint_dir = *v;
+    if (auto v = args.value("remote")) options.remote_host = *v;
+    if (auto v = args.value("population")) {
+      options.search.population = std::stoul(*v);
+    }
+    if (auto v = args.value("beam-width")) {
+      options.search.beam_width = std::stoul(*v);
+    }
+    if (auto v = args.value("frontier")) {
+      options.frontier_size = std::stoul(*v);
+    }
+    if (auto v = args.value("threads")) {
+      options.batch.num_threads = static_cast<unsigned>(std::stoul(*v));
+    }
+    if (auto v = args.value("cache")) {
+      options.batch.cache_capacity = std::stoul(*v);
+    }
+    if (!args.has("quiet")) {
+      options.on_generation = [](const dse::GenerationSummary& g) {
+        std::cerr << "generation " << g.generation << ": " << g.proposed
+                  << " proposed, " << g.evaluations << "/" << g.budget
+                  << " evaluated";
+        if (!g.best_name.empty()) {
+          std::cerr << ", best " << g.best_name << " score "
+                    << format_fixed(g.best_score, 6);
+        }
+        std::cerr << "\n";
+      };
+    }
+
+    const model::EnergyMacroModel macro_model =
+        model::EnergyMacroModel::deserialize(
+            tools::read_file(args.value("model").value()));
+
+    dse::DseResult result;
+    if (args.has("resume")) {
+      EXTEN_CHECK(!options.checkpoint_dir.empty(),
+                  "--resume needs --checkpoint DIR");
+      // A --budget given alongside --resume extends (or shortens) the
+      // checkpointed budget; otherwise the checkpoint's budget stands.
+      const std::uint64_t budget_override =
+          args.value("budget") ? options.budget : 0;
+      result = dse::resume_dse(macro_model, options, budget_override);
+    } else {
+      result = dse::run_dse(macro_model, options);
+    }
+
+    if (args.has("json")) {
+      print_frontier_json(result);
+    } else {
+      print_frontier_table(result);
+    }
+    print_stats(result);
+    return tools::kExitOk;
+  });
+}
