@@ -3,6 +3,7 @@
 // rate, per strategy.
 //
 //   bench_dse [--json out.json] [--budget N] [--threads N]
+//             [--baseline FILE] [--min-fraction F]
 //
 // Each strategy runs one complete search (fixed seed, fixed budget)
 // against a flat synthetic macro-model; throughput does not depend on
@@ -12,6 +13,13 @@
 // (fresh genomes every generation); beam and genetic show a substantial
 // one (survivors/elites re-proposed every generation), which is exactly
 // the dedup the search leans on.
+//
+// --baseline compares each strategy's candidates_per_second against the
+// matching strategy in FILE and exits non-zero when any falls below
+// --min-fraction (default 0.97, i.e. a >3% regression fails) — the same
+// gate bench_server_throughput has. Only meaningful on hardware
+// comparable to the baseline's; CI passes a small fraction as a smoke
+// floor.
 
 #include <cstdlib>
 #include <fstream>
@@ -20,6 +28,7 @@
 
 #include "bench/bench_common.h"
 #include "dse/driver.h"
+#include "tools/tool_common.h"
 #include "util/json.h"
 
 namespace {
@@ -39,23 +48,20 @@ struct Measurement {
 }  // namespace
 
 int main(int argc, char** argv) {
+  return tools::tool_main("bench_dse", [&] {
+  const tools::Args args(argc, argv);
+  args.require_known({"json", "budget", "threads", "baseline",
+                      "min-fraction"});
   std::string json_path;
   std::uint64_t budget = 512;
   unsigned threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (arg == "--budget" && i + 1 < argc) {
-      budget = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--threads" && i + 1 < argc) {
-      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
-    } else {
-      std::cerr << "usage: bench_dse [--json out.json] [--budget N] "
-                   "[--threads N]\n";
-      return 1;
-    }
+  double min_fraction = 0.97;
+  if (auto v = args.value("json")) json_path = *v;
+  if (auto v = args.value("budget")) budget = std::stoull(*v);
+  if (auto v = args.value("threads")) {
+    threads = static_cast<unsigned>(std::stoul(*v));
   }
+  if (auto v = args.value("min-fraction")) min_fraction = std::stod(*v);
 
   bench::heading("DSE throughput (generated extension sets, budget " +
                  std::to_string(budget) + ")");
@@ -123,5 +129,45 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  // Regression floor vs the committed baseline, per strategy (mirrors the
+  // bench_server_throughput gate).
+  if (auto baseline_path = args.value("baseline")) {
+    const JsonValue baseline =
+        JsonValue::parse(tools::read_file(*baseline_path));
+    const JsonValue* strategies = baseline.find("strategies");
+    EXTEN_CHECK(strategies != nullptr, "baseline file lacks strategies");
+    bool failed = false;
+    for (const Measurement& m : measurements) {
+      const JsonValue* entry = nullptr;
+      for (const JsonValue& candidate : strategies->as_array()) {
+        const JsonValue* name = candidate.find("strategy");
+        if (name != nullptr && name->as_string() == m.strategy) {
+          entry = &candidate;
+          break;
+        }
+      }
+      EXTEN_CHECK(entry != nullptr, "baseline lacks strategy '", m.strategy,
+                  "'");
+      const JsonValue* cps = entry->find("candidates_per_second");
+      EXTEN_CHECK(cps != nullptr, "baseline strategy '", m.strategy,
+                  "' lacks candidates_per_second");
+      const double baseline_cps = cps->as_number();
+      const double this_cps = m.result.stats.candidates_per_second();
+      const double fraction =
+          baseline_cps <= 0.0 ? 1.0 : this_cps / baseline_cps;
+      std::cout << "baseline " << m.strategy << " "
+                << format_fixed(baseline_cps, 1) << " cand/s, this run "
+                << format_fixed(this_cps, 1) << " ("
+                << format_fixed(fraction * 100.0, 1) << "%, floor "
+                << format_fixed(min_fraction * 100.0, 1) << "%)\n";
+      failed = failed || fraction < min_fraction;
+    }
+    if (failed) {
+      std::cerr << "FAIL: DSE throughput regressed below --min-fraction\n";
+      return 1;
+    }
+  }
   return 0;
+  });
 }

@@ -1,0 +1,23 @@
+#include "energy/backend.h"
+
+#include "energy/rapl.h"
+#include "energy/synthetic.h"
+
+namespace exten::energy {
+
+std::unique_ptr<EnergyBackend> detect_backend(const std::string& selector,
+                                              const std::string& sysfs_root) {
+  const std::string root =
+      sysfs_root.empty() ? kDefaultRaplSysfsRoot : sysfs_root;
+  if (selector == "synthetic") {
+    return std::make_unique<SyntheticBackend>();
+  }
+  if (selector == "rapl" || selector == "auto") {
+    if (auto rapl = RaplSysfsBackend::open(root)) return rapl;
+  }
+  // "none", an unknown selector, or no readable powercap tree: degrade to
+  // the null backend — detection never fails the process.
+  return std::make_unique<NullBackend>();
+}
+
+}  // namespace exten::energy

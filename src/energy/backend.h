@@ -1,0 +1,82 @@
+#pragma once
+
+// Host-energy measurement backends (docs/energy.md).
+//
+// The repo has two energy oracles for the macro-model: the synthetic
+// RTL-level estimator in src/power/ (target energy of the simulated
+// extensible processor) and — this subsystem — *measured* energy of the
+// host machine doing the work, read from the Linux powercap/RAPL counters.
+// The second oracle grounds characterization and serving telemetry in real
+// joules: xtc-serve reports joules-per-request next to its latency
+// histograms and xtc-power compares measured host energy against the
+// macro-model estimate and the RTL oracle per workload.
+//
+// Three backends sit behind one interface:
+//   RaplSysfsBackend  — /sys/class/powercap/intel-rapl* reader (rapl.h),
+//                       overflow-corrected per-domain counters.
+//   SyntheticBackend  — deterministic counters for hermetic tests
+//                       (synthetic.h).
+//   NullBackend       — the graceful fallback when powercap is absent or
+//                       unreadable. Detection NEVER fails the process: on
+//                       any problem detect_backend() degrades to the null
+//                       backend and callers keep running without host
+//                       energy.
+//
+// Thread safety: backends are NOT thread-safe; EnergyMeter (meter.h)
+// serializes reads and publishes lock-free snapshots.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace exten::energy {
+
+/// One powercap domain's cumulative energy since backend creation.
+struct DomainEnergy {
+  std::string name;     ///< e.g. "package-0", "core", "dram"
+  double joules = 0.0;  ///< cumulative, overflow-corrected
+
+  DomainEnergy() = default;
+  DomainEnergy(std::string n, double j) : name(std::move(n)), joules(j) {}
+};
+
+class EnergyBackend {
+ public:
+  virtual ~EnergyBackend() = default;
+
+  /// Stable backend identifier: "rapl", "synthetic" or "none". Exposed in
+  /// /healthz ("energy_backend") and the xtc_energy_backend_info metric.
+  virtual const char* kind() const = 0;
+
+  /// Domain names in a fixed order (stable across read() calls).
+  virtual std::vector<std::string> domains() const = 0;
+
+  /// Samples the counters and returns cumulative joules per domain since
+  /// backend creation, in domains() order. A domain that became unreadable
+  /// mid-run freezes at its last value — read() never throws.
+  virtual std::vector<DomainEnergy> read() = 0;
+
+  /// True when at least one domain is being measured.
+  bool available() const { return !domains().empty(); }
+};
+
+/// The graceful fallback: no domains, kind "none".
+class NullBackend final : public EnergyBackend {
+ public:
+  const char* kind() const override { return "none"; }
+  std::vector<std::string> domains() const override { return {}; }
+  std::vector<DomainEnergy> read() override { return {}; }
+};
+
+/// Backend selection. `selector` is one of:
+///   "auto"      — RAPL when a readable powercap tree exists, else null
+///   "rapl"      — RAPL or null (never throws, even on a bogus root)
+///   "synthetic" — the deterministic test backend
+///   "none"      — the null backend
+/// Any other selector degrades to null. `sysfs_root` overrides the
+/// powercap root so tests and CI run against a committed fake-sysfs
+/// fixture tree (tests/fixtures/rapl).
+std::unique_ptr<EnergyBackend> detect_backend(
+    const std::string& selector = "auto", const std::string& sysfs_root = "");
+
+}  // namespace exten::energy

@@ -1,0 +1,111 @@
+#include "energy/meter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace exten::energy {
+
+EnergyMeter::EnergyMeter(std::unique_ptr<EnergyBackend> backend,
+                         int sample_interval_ms)
+    : backend_(std::move(backend)),
+      names_(backend_->domains()),
+      interval_ms_(sample_interval_ms) {
+  cumulative_uj_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) cumulative_uj_[i] = 0;
+  if (interval_ms_ > 0 && live()) {
+    sampler_ = std::thread([this] { sampler_loop(); });
+  }
+}
+
+EnergyMeter::~EnergyMeter() {
+  if (sampler_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(stop_mu_);
+      stop_ = true;
+    }
+    stop_cv_.notify_all();
+    sampler_.join();
+  }
+}
+
+void EnergyMeter::sample_now() {
+  if (!live()) return;
+  const std::lock_guard<std::mutex> lock(backend_mu_);
+  store_reading(backend_->read());
+}
+
+void EnergyMeter::store_reading(const std::vector<DomainEnergy>& reading) {
+  for (std::size_t i = 0; i < reading.size() && i < names_.size(); ++i) {
+    const double uj = reading[i].joules * 1e6;
+    cumulative_uj_[i].store(
+        uj <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(uj)),
+        std::memory_order_relaxed);
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<DomainEnergy> EnergyMeter::snapshot() const {
+  std::vector<DomainEnergy> out;
+  out.reserve(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    out.emplace_back(
+        names_[i],
+        static_cast<double>(cumulative_uj_[i].load(std::memory_order_relaxed)) *
+            1e-6);
+  }
+  return out;
+}
+
+double EnergyMeter::total_joules() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    total +=
+        static_cast<double>(cumulative_uj_[i].load(std::memory_order_relaxed)) *
+        1e-6;
+  }
+  return total;
+}
+
+void EnergyMeter::sampler_loop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_) {
+    // Fixed-interval monotonic cadence: wait_for uses steady_clock, so
+    // wall-clock jumps cannot stall or burst the sampler.
+    if (stop_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                          [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    sample_now();
+    lock.lock();
+  }
+}
+
+EnergySection::EnergySection(EnergyMeter& meter) : meter_(meter) {
+  meter_.sample_now();
+  start_ = meter_.snapshot();
+  start_time_ = std::chrono::steady_clock::now();
+}
+
+EnergySection::Report EnergySection::stop() {
+  if (stopped_) return report_;
+  stopped_ = true;
+  meter_.sample_now();
+  const std::vector<DomainEnergy> end = meter_.snapshot();
+  report_.live = meter_.live();
+  report_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  report_.joules.reserve(end.size());
+  for (std::size_t i = 0; i < end.size(); ++i) {
+    const double begin = i < start_.size() ? start_[i].joules : 0.0;
+    report_.joules.emplace_back(end[i].name,
+                                std::max(0.0, end[i].joules - begin));
+  }
+  return report_;
+}
+
+}  // namespace exten::energy

@@ -1,0 +1,121 @@
+#pragma once
+
+// EnergyMeter: a background sampler over an EnergyBackend, publishing
+// per-domain cumulative joules as a lock-free snapshot; and
+// EnergySection, a scoped interval measurement on top of it.
+//
+// Why a sampler at all: RAPL counters wrap (every ~60 s at package power
+// on some parts), so a long-running server that only read the counter on
+// demand could miss whole wrap periods. The meter samples on a fixed
+// monotonic interval, keeps the overflow-corrected cumulative total, and
+// the serving hot path reads that total with two relaxed atomic loads per
+// domain — no locks, no syscalls, no sysfs I/O.
+//
+// Thread safety: sample_now() serializes backend reads behind a mutex
+// (the background thread and any EnergySection user share it); snapshot()
+// and total_joules() are wait-free and callable from any thread.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "energy/backend.h"
+
+namespace exten::energy {
+
+class EnergyMeter {
+ public:
+  /// Takes ownership of `backend` (never null; pass a NullBackend for the
+  /// disabled state). `sample_interval_ms > 0` starts the background
+  /// sampler thread; 0 means on-demand sampling only (sample_now /
+  /// EnergySection) — the deterministic mode the fixture tests use.
+  explicit EnergyMeter(std::unique_ptr<EnergyBackend> backend,
+                       int sample_interval_ms = 0);
+  ~EnergyMeter();
+
+  EnergyMeter(const EnergyMeter&) = delete;
+  EnergyMeter& operator=(const EnergyMeter&) = delete;
+
+  const char* kind() const { return backend_->kind(); }
+  /// True when at least one domain is measured (kind != "none").
+  bool live() const { return !names_.empty(); }
+  const std::vector<std::string>& domain_names() const { return names_; }
+
+  /// Forces one backend read now (thread-safe, blocking on sysfs I/O).
+  void sample_now();
+
+  /// Cumulative joules per domain since meter creation. Wait-free: reads
+  /// one atomic per domain, never touches the backend.
+  std::vector<DomainEnergy> snapshot() const;
+
+  /// Sum of snapshot() across domains that are not children of another
+  /// measured domain would double-count; this is the plain sum — callers
+  /// wanting "host energy" should prefer the package domain(s). Kept
+  /// simple: per-domain data is the exported contract.
+  double total_joules() const;
+
+  std::uint64_t samples_taken() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void sampler_loop();
+  void store_reading(const std::vector<DomainEnergy>& reading);
+
+  std::unique_ptr<EnergyBackend> backend_;
+  std::vector<std::string> names_;
+  /// Cumulative microjoules per domain, atomically published (a u64 of
+  /// integer microjoules cannot tear and is monotonic).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cumulative_uj_;
+  std::atomic<std::uint64_t> samples_{0};
+
+  std::mutex backend_mu_;
+
+  int interval_ms_ = 0;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread sampler_;
+};
+
+/// A measured interval of work: samples the meter at begin and end and
+/// reports the per-domain joules spent in between plus wall time.
+///
+///   energy::EnergySection section(meter);
+///   run_workload();
+///   const energy::EnergySection::Report report = section.stop();
+class EnergySection {
+ public:
+  struct Report {
+    bool live = false;  ///< false when the meter has no backend
+    double wall_seconds = 0.0;
+    std::vector<DomainEnergy> joules;  ///< per-domain delta over the section
+
+    double total_joules() const {
+      double total = 0.0;
+      for (const DomainEnergy& d : joules) total += d.joules;
+      return total;
+    }
+  };
+
+  /// Samples the meter immediately; `meter` must outlive the section.
+  explicit EnergySection(EnergyMeter& meter);
+
+  /// Samples again and returns the delta. Idempotent: the first stop()
+  /// freezes the report, later calls return the same one.
+  Report stop();
+
+ private:
+  EnergyMeter& meter_;
+  std::vector<DomainEnergy> start_;
+  std::chrono::steady_clock::time_point start_time_;
+  bool stopped_ = false;
+  Report report_;
+};
+
+}  // namespace exten::energy

@@ -1,0 +1,51 @@
+#include "energy/procfs.h"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace exten::energy {
+
+ProcSelfStats read_proc_self_stats(const std::string& proc_root) {
+  ProcSelfStats stats;
+
+  long page_size = ::sysconf(_SC_PAGESIZE);
+  if (page_size <= 0) page_size = 4096;
+  long clk_tck = ::sysconf(_SC_CLK_TCK);
+  if (clk_tck <= 0) clk_tck = 100;
+
+  // statm: "size resident shared text lib data dt" in pages.
+  std::ifstream statm(proc_root + "/self/statm");
+  std::uint64_t size_pages = 0;
+  std::uint64_t resident_pages = 0;
+  if (!(statm >> size_pages >> resident_pages)) return stats;
+
+  // stat: "pid (comm) state ppid ... utime stime ...". comm may contain
+  // spaces and parentheses; parse from the LAST ')'.
+  std::ifstream stat(proc_root + "/self/stat");
+  std::string line;
+  if (!std::getline(stat, line)) return stats;
+  const std::size_t close = line.rfind(')');
+  if (close == std::string::npos) return stats;
+  std::istringstream rest(line.substr(close + 1));
+  // After ')' the next field is state (field 3); utime/stime are fields
+  // 14/15, i.e. the 11th and 12th tokens from here.
+  std::string token;
+  std::uint64_t utime_ticks = 0;
+  std::uint64_t stime_ticks = 0;
+  for (int field = 3; field <= 15; ++field) {
+    if (!(rest >> token)) return stats;
+    if (field == 14) utime_ticks = std::strtoull(token.c_str(), nullptr, 10);
+    if (field == 15) stime_ticks = std::strtoull(token.c_str(), nullptr, 10);
+  }
+
+  stats.resident_bytes =
+      resident_pages * static_cast<std::uint64_t>(page_size);
+  stats.cpu_seconds = static_cast<double>(utime_ticks + stime_ticks) /
+                      static_cast<double>(clk_tck);
+  stats.ok = true;
+  return stats;
+}
+
+}  // namespace exten::energy

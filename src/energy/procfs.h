@@ -1,0 +1,26 @@
+#pragma once
+
+// Process self-telemetry from /proc/self, exported on /metrics as
+// xtc_process_resident_bytes and xtc_process_cpu_seconds_total so
+// joules-per-request can be read next to CPU and RSS. Reads never throw:
+// on a host without procfs (or a parse failure) `ok` stays false and the
+// metric families are simply omitted.
+
+#include <cstdint>
+#include <string>
+
+namespace exten::energy {
+
+struct ProcSelfStats {
+  bool ok = false;
+  /// Resident set size in bytes (/proc/self/statm field 2 x page size).
+  std::uint64_t resident_bytes = 0;
+  /// Cumulative user+system CPU time in seconds (/proc/self/stat fields
+  /// 14+15 / CLK_TCK).
+  double cpu_seconds = 0.0;
+};
+
+/// `proc_root` overrides "/proc" so tests can read committed fixtures.
+ProcSelfStats read_proc_self_stats(const std::string& proc_root = "/proc");
+
+}  // namespace exten::energy

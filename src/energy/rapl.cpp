@@ -1,0 +1,155 @@
+#include "energy/rapl.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+namespace exten::energy {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Reads every whitespace-separated u64 in `path`. Real sysfs files hold
+/// one value; fixture files may script a counter history. Empty result =
+/// unreadable (missing, permission denied, not a regular file, garbage).
+std::vector<std::uint64_t> read_counter_values(const std::string& path) {
+  std::vector<std::uint64_t> values;
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec)) return values;
+  std::ifstream file(path);
+  if (!file.good()) return values;
+  std::uint64_t value = 0;
+  while (file >> value) values.push_back(value);
+  return values;
+}
+
+std::optional<std::string> read_name(const fs::path& dir) {
+  std::ifstream file(dir / "name");
+  if (!file.good()) return std::nullopt;
+  std::string name;
+  std::getline(file, name);
+  if (name.empty()) return std::nullopt;
+  return name;
+}
+
+bool is_rapl_dir(const fs::path& path) {
+  const std::string leaf = path.filename().string();
+  return leaf.rfind("intel-rapl", 0) == 0;
+}
+
+}  // namespace
+
+std::uint64_t RaplSysfsBackend::corrected_delta_uj(std::uint64_t last_uj,
+                                                   std::uint64_t now_uj,
+                                                   std::uint64_t max_range_uj) {
+  if (now_uj >= last_uj) return now_uj - last_uj;
+  // Counter wrapped at max_energy_range_uj. Without a known range the
+  // wrap cannot be corrected; contributing 0 keeps cumulative monotonic.
+  if (max_range_uj <= last_uj) return 0;
+  return now_uj + (max_range_uj - last_uj);
+}
+
+std::unique_ptr<RaplSysfsBackend> RaplSysfsBackend::open(
+    const std::string& sysfs_root) {
+  std::vector<Domain> domains;
+
+  // Walk intel-rapl* directories (and symlinks — /sys/class/powercap is a
+  // flat view of symlinks into the device tree) up to a few levels deep.
+  // Everything is defensive: any unreadable piece skips that domain only.
+  std::vector<fs::path> queue;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(sysfs_root, ec)) {
+    if (is_rapl_dir(entry.path())) queue.push_back(entry.path());
+  }
+  std::sort(queue.begin(), queue.end());
+  for (std::size_t depth = 0; depth < 3 && !queue.empty(); ++depth) {
+    std::vector<fs::path> next;
+    for (const fs::path& dir : queue) {
+      if (!fs::is_directory(dir, ec)) continue;
+      const auto name = read_name(dir);
+      const std::string energy_path = (dir / "energy_uj").string();
+      const std::vector<std::uint64_t> baseline =
+          read_counter_values(energy_path);
+      if (name.has_value() && !baseline.empty()) {
+        Domain domain;
+        domain.name = *name;
+        domain.energy_path = energy_path;
+        const auto range = read_counter_values((dir / "max_energy_range_uj").string());
+        domain.max_range_uj = range.empty() ? 0 : range.front();
+        domain.last_raw_uj = baseline.front();
+        domain.reads = 1;
+        domains.push_back(std::move(domain));
+      }
+      for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        if (is_rapl_dir(entry.path())) next.push_back(entry.path());
+      }
+    }
+    std::sort(next.begin(), next.end());
+    queue = std::move(next);
+  }
+
+  if (domains.empty()) return nullptr;
+
+  // The domain label must be unique (it becomes a Prometheus label value);
+  // a second package's "core" child gets a numeric suffix.
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    unsigned duplicates = 0;
+    for (std::size_t j = 0; j < i; ++j) {
+      const std::string& prior = domains[j].name;
+      if (prior == domains[i].name ||
+          prior.rfind(domains[i].name + "#", 0) == 0) {
+        ++duplicates;
+      }
+    }
+    if (duplicates > 0) {
+      domains[i].name += "#" + std::to_string(duplicates + 1);
+    }
+  }
+
+  return std::unique_ptr<RaplSysfsBackend>(
+      new RaplSysfsBackend(std::move(domains)));
+}
+
+RaplSysfsBackend::RaplSysfsBackend(std::vector<Domain> domains)
+    : domains_(std::move(domains)) {}
+
+std::vector<std::string> RaplSysfsBackend::domains() const {
+  std::vector<std::string> names;
+  names.reserve(domains_.size());
+  for (const Domain& domain : domains_) names.push_back(domain.name);
+  return names;
+}
+
+std::vector<DomainEnergy> RaplSysfsBackend::read() {
+  std::vector<DomainEnergy> out;
+  out.reserve(domains_.size());
+  for (Domain& domain : domains_) {
+    if (domain.alive) {
+      const std::vector<std::uint64_t> values =
+          read_counter_values(domain.energy_path);
+      if (values.empty()) {
+        // Disappeared or unreadable mid-run: freeze, keep the others.
+        domain.alive = false;
+      } else {
+        // Fixture files may script several values; consume the next one
+        // and stick at the last. Real files have one value (index 0).
+        const std::size_t index =
+            std::min(domain.reads, values.size() - 1);
+        const std::uint64_t raw = values[index];
+        ++domain.reads;
+        domain.cumulative_uj +=
+            corrected_delta_uj(domain.last_raw_uj, raw, domain.max_range_uj);
+        domain.last_raw_uj = raw;
+      }
+    }
+    out.emplace_back(domain.name,
+                     static_cast<double>(domain.cumulative_uj) * 1e-6);
+  }
+  return out;
+}
+
+}  // namespace exten::energy

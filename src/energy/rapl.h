@@ -1,0 +1,81 @@
+#pragma once
+
+// RaplSysfsBackend: measured host energy from the Linux powercap
+// (intel-rapl) sysfs tree.
+//
+// Layout walked (both the flat /sys/class/powercap view and the
+// hierarchical /sys/devices/virtual/powercap/intel-rapl view work):
+//
+//   <root>/intel-rapl:0/               package domain
+//     name                             "package-0"
+//     energy_uj                        cumulative microjoules (u64, wraps)
+//     max_energy_range_uj              wrap modulus for overflow correction
+//     intel-rapl:0:0/                  child domain ("core", "dram", ...)
+//       name energy_uj max_energy_range_uj
+//
+// Overflow: energy_uj is a u64 microjoule counter that wraps at
+// max_energy_range_uj. Deltas are corrected with
+//   delta = now >= last ? now - last : now + max_range - last
+// so cumulative joules stay monotonic across wraps (a wrap with an
+// unknown/zero max range contributes 0 rather than a garbage delta).
+//
+// Fake-sysfs testing recipe (docs/energy.md): a fixture energy_uj file may
+// hold SEVERAL whitespace-separated counter values; the reader consumes
+// one per read() and sticks at the last. Real sysfs files always hold
+// exactly one value, for which this is the identity behavior — but a
+// committed fixture tree can script a deterministic counter history
+// (including a wrap) with zero hardware dependency.
+//
+// Degradation contract: construction never throws (open() returns nullptr
+// when no domain is readable, and detect_backend() turns that into
+// NullBackend); a domain whose energy_uj disappears or becomes unreadable
+// mid-run freezes at its last cumulative value while the others keep
+// counting.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/backend.h"
+
+namespace exten::energy {
+
+/// The real powercap root on a Linux host.
+inline constexpr const char* kDefaultRaplSysfsRoot = "/sys/class/powercap";
+
+class RaplSysfsBackend final : public EnergyBackend {
+ public:
+  /// Scans `sysfs_root` for intel-rapl* domains and records the baseline
+  /// counter of each readable one. Returns nullptr — never throws — when
+  /// the root is missing or no domain is readable.
+  static std::unique_ptr<RaplSysfsBackend> open(const std::string& sysfs_root);
+
+  const char* kind() const override { return "rapl"; }
+  std::vector<std::string> domains() const override;
+  std::vector<DomainEnergy> read() override;
+
+  /// Overflow-corrected counter delta (exposed for tests).
+  static std::uint64_t corrected_delta_uj(std::uint64_t last_uj,
+                                          std::uint64_t now_uj,
+                                          std::uint64_t max_range_uj);
+
+ private:
+  struct Domain {
+    std::string name;
+    std::string energy_path;
+    std::uint64_t max_range_uj = 0;
+    std::uint64_t last_raw_uj = 0;
+    std::uint64_t cumulative_uj = 0;
+    /// Fixture cursor: values already consumed from a multi-value file.
+    std::size_t reads = 0;
+    /// Cleared when energy_uj becomes unreadable; the domain then freezes.
+    bool alive = true;
+  };
+
+  explicit RaplSysfsBackend(std::vector<Domain> domains);
+
+  std::vector<Domain> domains_;
+};
+
+}  // namespace exten::energy

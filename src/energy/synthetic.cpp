@@ -1,0 +1,30 @@
+#include "energy/synthetic.h"
+
+namespace exten::energy {
+
+SyntheticBackend::SyntheticBackend()
+    : SyntheticBackend({{"package-0", 0.25},
+                        {"core", 0.125},
+                        {"dram", 0.0625}}) {}
+
+SyntheticBackend::SyntheticBackend(std::vector<SyntheticDomain> spec)
+    : spec_(std::move(spec)), cumulative_joules_(spec_.size(), 0.0) {}
+
+std::vector<std::string> SyntheticBackend::domains() const {
+  std::vector<std::string> names;
+  names.reserve(spec_.size());
+  for (const SyntheticDomain& domain : spec_) names.push_back(domain.name);
+  return names;
+}
+
+std::vector<DomainEnergy> SyntheticBackend::read() {
+  std::vector<DomainEnergy> out;
+  out.reserve(spec_.size());
+  for (std::size_t i = 0; i < spec_.size(); ++i) {
+    cumulative_joules_[i] += spec_[i].joules_per_read;
+    out.emplace_back(spec_[i].name, cumulative_joules_[i]);
+  }
+  return out;
+}
+
+}  // namespace exten::energy

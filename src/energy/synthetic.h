@@ -1,0 +1,39 @@
+#pragma once
+
+// SyntheticBackend: a deterministic EnergyBackend for hermetic tests and
+// demos. Every read() advances each domain's cumulative energy by a fixed
+// per-read increment, so a test that controls the number of reads knows
+// the exact joules to expect — no clocks, no hardware, no flakiness.
+
+#include <vector>
+
+#include "energy/backend.h"
+
+namespace exten::energy {
+
+struct SyntheticDomain {
+  std::string name;
+  double joules_per_read = 0.0;
+
+  SyntheticDomain() = default;
+  SyntheticDomain(std::string n, double j)
+      : name(std::move(n)), joules_per_read(j) {}
+};
+
+class SyntheticBackend final : public EnergyBackend {
+ public:
+  /// Default shape: one package domain and two children, mirroring a
+  /// typical single-socket RAPL tree.
+  SyntheticBackend();
+  explicit SyntheticBackend(std::vector<SyntheticDomain> spec);
+
+  const char* kind() const override { return "synthetic"; }
+  std::vector<std::string> domains() const override;
+  std::vector<DomainEnergy> read() override;
+
+ private:
+  std::vector<SyntheticDomain> spec_;
+  std::vector<double> cumulative_joules_;
+};
+
+}  // namespace exten::energy

@@ -1,5 +1,6 @@
 #include "net/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 #include <sstream>
@@ -179,6 +180,49 @@ std::string ServerMetrics::render(const MetricsGauges& gauges) const {
   out << "# HELP xtc_draining 1 while a graceful drain is in progress.\n"
       << "# TYPE xtc_draining gauge\n"
       << "xtc_draining " << (gauges.draining ? 1 : 0) << "\n";
+
+  out << "# HELP xtc_energy_backend_info Host-energy backend in use "
+         "(rapl|synthetic|none), as a labeled constant 1.\n"
+      << "# TYPE xtc_energy_backend_info gauge\n"
+      << "xtc_energy_backend_info{backend=\""
+      << escape_label_value(gauges.energy_backend) << "\"} 1\n";
+  if (!gauges.energy.empty()) {
+    out << "# HELP xtc_host_energy_joules_total Cumulative measured host "
+           "energy per powercap domain (overflow-corrected) since server "
+           "start.\n"
+        << "# TYPE xtc_host_energy_joules_total counter\n";
+    for (const energy::DomainEnergy& d : gauges.energy) {
+      out << "xtc_host_energy_joules_total{domain=\""
+          << escape_label_value(d.name) << "\"} " << format_double(d.joules)
+          << "\n";
+    }
+    // Lifetime average, the measured companion to the latency histograms:
+    // the same requests_total denominator, so joules-per-request and
+    // seconds-per-request line up.
+    const double requests =
+        static_cast<double>(std::max<std::uint64_t>(1, latency_.count()));
+    out << "# HELP xtc_energy_joules_per_request Lifetime measured host "
+           "joules per finished request, per powercap domain.\n"
+        << "# TYPE xtc_energy_joules_per_request gauge\n";
+    for (const energy::DomainEnergy& d : gauges.energy) {
+      out << "xtc_energy_joules_per_request{domain=\""
+          << escape_label_value(d.name) << "\"} "
+          << format_double(d.joules / requests) << "\n";
+    }
+  }
+
+  if (gauges.proc.ok) {
+    out << "# HELP xtc_process_resident_bytes Resident set size of this "
+           "process.\n"
+        << "# TYPE xtc_process_resident_bytes gauge\n"
+        << "xtc_process_resident_bytes " << gauges.proc.resident_bytes
+        << "\n";
+    out << "# HELP xtc_process_cpu_seconds_total Cumulative user+system "
+           "CPU time of this process.\n"
+        << "# TYPE xtc_process_cpu_seconds_total counter\n"
+        << "xtc_process_cpu_seconds_total "
+        << format_double(gauges.proc.cpu_seconds) << "\n";
+  }
 
   out << "# HELP xtc_cache_hits_total Evaluation-cache hits.\n"
       << "# TYPE xtc_cache_hits_total counter\n"

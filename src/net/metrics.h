@@ -18,6 +18,8 @@
 #include <string_view>
 #include <vector>
 
+#include "energy/backend.h"
+#include "energy/procfs.h"
 #include "service/eval_cache.h"
 
 namespace exten::net {
@@ -76,6 +78,13 @@ struct MetricsGauges {
   std::size_t queue_capacity = 0;
   bool draining = false;
   service::CacheStats cache;
+  /// Host-energy backend: "rapl"|"synthetic"|"none" plus the cumulative
+  /// per-domain joules (empty with the null backend — the energy families
+  /// are then omitted, everything else keeps working).
+  std::string energy_backend = "none";
+  std::vector<energy::DomainEnergy> energy;
+  /// Process self-telemetry; families omitted when !proc.ok.
+  energy::ProcSelfStats proc;
 };
 
 class ServerMetrics {

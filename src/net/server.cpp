@@ -94,6 +94,11 @@ MetricsGauges HttpServer::gauges() const {
   g.queue_capacity = estimator_.queue_capacity();
   g.draining = draining_;
   g.cache = estimator_.cache_stats();
+  if (options_.energy_meter != nullptr) {
+    g.energy_backend = options_.energy_meter->kind();
+    g.energy = options_.energy_meter->snapshot();
+  }
+  g.proc = energy::read_proc_self_stats();
   return g;
 }
 
@@ -303,9 +308,18 @@ void HttpServer::route_request(Connection& conn, const HttpRequest& request) {
       return;
     }
     const int status = draining_ ? 503 : 200;
+    // "energy_backend" tells an operator at a glance whether the
+    // joules-per-request families are measured (rapl), simulated
+    // (synthetic) or unavailable (none).
+    const char* backend = options_.energy_meter != nullptr
+                              ? options_.energy_meter->kind()
+                              : "none";
     finish_request(
-        conn, json_response(status, draining_ ? "{\"status\":\"draining\"}"
-                                              : "{\"status\":\"ok\"}"));
+        conn,
+        json_response(status, std::string("{\"status\":\"") +
+                                  (draining_ ? "draining" : "ok") +
+                                  "\",\"energy_backend\":\"" + backend +
+                                  "\"}"));
     return;
   }
 

@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "energy/meter.h"
 #include "net/http.h"
 #include "net/metrics.h"
 #include "net/poller.h"
@@ -80,6 +81,12 @@ struct ServerOptions {
 
   /// Worker threads for the blocking /v1/rank lane.
   unsigned rank_threads = 2;
+
+  /// Optional host-energy meter (not owned; must outlive the server).
+  /// When set and live, /metrics exports xtc_host_energy_joules_total and
+  /// xtc_energy_joules_per_request, and /healthz reports the backend kind.
+  /// nullptr behaves exactly like a NullBackend meter.
+  energy::EnergyMeter* energy_meter = nullptr;
 
   ParserLimits limits;
   Poller::Backend poller_backend = Poller::Backend::kDefault;

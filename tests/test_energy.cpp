@@ -1,0 +1,406 @@
+// Tests for src/energy/: RAPL sysfs backend (overflow-corrected deltas,
+// fake-sysfs fixture trees, mid-run degradation), the deterministic
+// synthetic backend, detection fallback to NullBackend, the EnergyMeter
+// sampler + EnergySection scoped measurement, /proc/self telemetry, and
+// the /metrics energy families.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "energy/backend.h"
+#include "energy/meter.h"
+#include "energy/procfs.h"
+#include "energy/rapl.h"
+#include "energy/synthetic.h"
+#include "net/metrics.h"
+
+namespace exten::energy {
+namespace {
+
+namespace fs = std::filesystem;
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream file(path);
+  ASSERT_TRUE(file.good()) << path;
+  file << content;
+}
+
+/// Builds a one-package fake-sysfs tree. `energy_values` is the scripted
+/// counter history ("v1 v2 v3"); `child_energy_values` adds one child
+/// domain ("core") when non-empty.
+fs::path make_tree(const std::string& tag, const std::string& energy_values,
+                   const std::string& max_range,
+                   const std::string& child_energy_values = "") {
+  const fs::path root = fs::path(::testing::TempDir()) / ("rapl_" + tag);
+  fs::remove_all(root);
+  const fs::path pkg = root / "intel-rapl:0";
+  fs::create_directories(pkg);
+  write_file(pkg / "name", "package-0\n");
+  write_file(pkg / "energy_uj", energy_values);
+  if (!max_range.empty()) {
+    write_file(pkg / "max_energy_range_uj", max_range);
+  }
+  if (!child_energy_values.empty()) {
+    const fs::path child = pkg / "intel-rapl:0:0";
+    fs::create_directories(child);
+    write_file(child / "name", "core\n");
+    write_file(child / "energy_uj", child_energy_values);
+    write_file(child / "max_energy_range_uj", max_range);
+  }
+  return root;
+}
+
+double joules_of(const std::vector<DomainEnergy>& reading,
+                 const std::string& name) {
+  for (const DomainEnergy& d : reading) {
+    if (d.name == name) return d.joules;
+  }
+  ADD_FAILURE() << "no domain " << name;
+  return -1.0;
+}
+
+// ---------------------------------------------------------------------------
+// Overflow-corrected delta arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(RaplDelta, MonotonicCounterIsPlainDifference) {
+  EXPECT_EQ(RaplSysfsBackend::corrected_delta_uj(100, 350, 1000), 250u);
+  EXPECT_EQ(RaplSysfsBackend::corrected_delta_uj(0, 0, 1000), 0u);
+}
+
+TEST(RaplDelta, WrapAtMaxRangeIsCorrected) {
+  // 900 -> wrap at 1000 -> 50: the counter really advanced 150.
+  EXPECT_EQ(RaplSysfsBackend::corrected_delta_uj(900, 50, 1000), 150u);
+  // The real package range.
+  EXPECT_EQ(RaplSysfsBackend::corrected_delta_uj(262143328849, 1,
+                                                 262143328850),
+            2u);
+}
+
+TEST(RaplDelta, WrapWithUnknownRangeContributesZero) {
+  // Range 0 (file missing): a wrap cannot be corrected; keep monotonic.
+  EXPECT_EQ(RaplSysfsBackend::corrected_delta_uj(900, 50, 0), 0u);
+  // Inconsistent range below the last reading: same degradation.
+  EXPECT_EQ(RaplSysfsBackend::corrected_delta_uj(900, 50, 800), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RaplSysfsBackend against fake-sysfs trees
+// ---------------------------------------------------------------------------
+
+TEST(RaplBackend, ReadsCommittedFixtureTreeExactly) {
+  auto backend = RaplSysfsBackend::open(EXTEN_FIXTURE_DIR "/rapl");
+  ASSERT_NE(backend, nullptr);
+  EXPECT_STREQ(backend->kind(), "rapl");
+  // Package first, then its children in sorted order; the non-RAPL
+  // "other-device:0" directory in the fixture tree is ignored.
+  const std::vector<std::string> expected = {"package-0", "core", "dram"};
+  EXPECT_EQ(backend->domains(), expected);
+
+  // Read 1 consumes the second scripted value of each counter.
+  auto first = backend->read();
+  EXPECT_DOUBLE_EQ(joules_of(first, "package-0"), 0.5);
+  EXPECT_DOUBLE_EQ(joules_of(first, "core"), 0.05);
+  EXPECT_DOUBLE_EQ(joules_of(first, "dram"), 0.0005);
+
+  // Read 2: the core counter wraps at max_energy_range_uj=65712999613
+  // (65712950000 -> 500000 = 49613 + 500000 = 549613 uJ more).
+  auto second = backend->read();
+  EXPECT_DOUBLE_EQ(joules_of(second, "package-0"), 2.0);
+  EXPECT_DOUBLE_EQ(joules_of(second, "core"), 0.599613);
+  EXPECT_DOUBLE_EQ(joules_of(second, "dram"), 0.002);
+
+  // Past the scripted history the counter sticks: cumulative is stable.
+  auto third = backend->read();
+  EXPECT_DOUBLE_EQ(joules_of(third, "package-0"), 2.0);
+  EXPECT_DOUBLE_EQ(joules_of(third, "core"), 0.599613);
+  EXPECT_DOUBLE_EQ(joules_of(third, "dram"), 0.002);
+}
+
+TEST(RaplBackend, MultiValueFixtureScriptsCounterHistory) {
+  const fs::path root =
+      make_tree("history", "100 250 400\n", "1000000\n");
+  auto backend = RaplSysfsBackend::open(root.string());
+  ASSERT_NE(backend, nullptr);
+  EXPECT_DOUBLE_EQ(joules_of(backend->read(), "package-0"), 150e-6);
+  EXPECT_DOUBLE_EQ(joules_of(backend->read(), "package-0"), 300e-6);
+  EXPECT_DOUBLE_EQ(joules_of(backend->read(), "package-0"), 300e-6);
+}
+
+TEST(RaplBackend, CounterWrapProducesCorrectedCumulative) {
+  const fs::path root = make_tree("wrap", "999900 150\n", "1000000\n");
+  auto backend = RaplSysfsBackend::open(root.string());
+  ASSERT_NE(backend, nullptr);
+  // 999900 -> 150 across a 1000000 uJ range: 100 + 150 = 250 uJ.
+  EXPECT_DOUBLE_EQ(joules_of(backend->read(), "package-0"), 250e-6);
+}
+
+TEST(RaplBackend, WrapWithoutMaxRangeFreezesInsteadOfGarbage) {
+  const fs::path root = make_tree("norange", "999900 150 250\n", "");
+  auto backend = RaplSysfsBackend::open(root.string());
+  ASSERT_NE(backend, nullptr);
+  // The wrap cannot be corrected without a range: delta 0, not negative.
+  EXPECT_DOUBLE_EQ(joules_of(backend->read(), "package-0"), 0.0);
+  // Later monotonic deltas resume from the new baseline.
+  EXPECT_DOUBLE_EQ(joules_of(backend->read(), "package-0"), 100e-6);
+}
+
+TEST(RaplBackend, DomainDisappearingMidRunFreezesWithoutError) {
+  const fs::path root =
+      make_tree("vanish", "100 200 300\n", "1000000\n", "1000 3000 5000\n");
+  auto backend = RaplSysfsBackend::open(root.string());
+  ASSERT_NE(backend, nullptr);
+  ASSERT_EQ(backend->domains().size(), 2u);
+  auto first = backend->read();
+  EXPECT_DOUBLE_EQ(joules_of(first, "core"), 2000e-6);
+
+  // The child domain's counter vanishes (hot-unplug / permission flip).
+  fs::remove(root / "intel-rapl:0" / "intel-rapl:0:0" / "energy_uj");
+  auto second = backend->read();
+  // core froze at its last cumulative value; package keeps counting.
+  EXPECT_DOUBLE_EQ(joules_of(second, "core"), 2000e-6);
+  EXPECT_DOUBLE_EQ(joules_of(second, "package-0"), 200e-6);
+  // Still frozen (and still no error) on subsequent reads.
+  auto third = backend->read();
+  EXPECT_DOUBLE_EQ(joules_of(third, "core"), 2000e-6);
+}
+
+TEST(RaplBackend, UnreadableEnergyFileIsSkippedAtOpen) {
+  // energy_uj exists but is a directory: unreadable, domain skipped, and
+  // with no other domain open() reports "nothing measurable".
+  const fs::path root = fs::path(::testing::TempDir()) / "rapl_unreadable";
+  fs::remove_all(root);
+  const fs::path pkg = root / "intel-rapl:0";
+  fs::create_directories(pkg / "energy_uj");
+  write_file(pkg / "name", "package-0\n");
+  EXPECT_EQ(RaplSysfsBackend::open(root.string()), nullptr);
+}
+
+TEST(RaplBackend, MissingRootGivesNoBackend) {
+  EXPECT_EQ(RaplSysfsBackend::open("/nonexistent/powercap"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Detection: never fails, degrades to NullBackend
+// ---------------------------------------------------------------------------
+
+TEST(DetectBackend, MissingPowercapDegradesToNull) {
+  auto backend = detect_backend("auto", "/nonexistent/powercap");
+  ASSERT_NE(backend, nullptr);
+  EXPECT_STREQ(backend->kind(), "none");
+  EXPECT_FALSE(backend->available());
+  EXPECT_TRUE(backend->read().empty());
+}
+
+TEST(DetectBackend, ExplicitRaplOnBogusRootStillDegrades) {
+  EXPECT_STREQ(detect_backend("rapl", "/nonexistent")->kind(), "none");
+}
+
+TEST(DetectBackend, SelectorsResolve) {
+  EXPECT_STREQ(detect_backend("none")->kind(), "none");
+  EXPECT_STREQ(detect_backend("synthetic")->kind(), "synthetic");
+  EXPECT_STREQ(detect_backend("bogus-selector", "/nonexistent")->kind(),
+               "none");
+  EXPECT_STREQ(detect_backend("auto", EXTEN_FIXTURE_DIR "/rapl")->kind(),
+               "rapl");
+}
+
+// ---------------------------------------------------------------------------
+// SyntheticBackend
+// ---------------------------------------------------------------------------
+
+TEST(SyntheticBackend, DeterministicPerReadIncrements) {
+  SyntheticBackend a({{"pkg", 0.5}, {"dram", 0.25}});
+  SyntheticBackend b({{"pkg", 0.5}, {"dram", 0.25}});
+  for (int i = 1; i <= 3; ++i) {
+    const auto ra = a.read();
+    const auto rb = b.read();
+    ASSERT_EQ(ra.size(), 2u);
+    EXPECT_DOUBLE_EQ(ra[0].joules, 0.5 * i);
+    EXPECT_DOUBLE_EQ(ra[1].joules, 0.25 * i);
+    EXPECT_DOUBLE_EQ(rb[0].joules, ra[0].joules);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EnergyMeter + EnergySection
+// ---------------------------------------------------------------------------
+
+TEST(EnergyMeter, SampleNowPublishesSnapshot) {
+  EnergyMeter meter(
+      std::make_unique<SyntheticBackend>(
+          std::vector<SyntheticDomain>{{"pkg", 1.0}, {"dram", 0.5}}),
+      /*sample_interval_ms=*/0);
+  EXPECT_TRUE(meter.live());
+  EXPECT_STREQ(meter.kind(), "synthetic");
+  // Nothing sampled yet: zeros, not garbage.
+  EXPECT_DOUBLE_EQ(meter.total_joules(), 0.0);
+
+  meter.sample_now();
+  meter.sample_now();
+  const auto snapshot = meter.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_DOUBLE_EQ(snapshot[0].joules, 2.0);
+  EXPECT_DOUBLE_EQ(snapshot[1].joules, 1.0);
+  EXPECT_DOUBLE_EQ(meter.total_joules(), 3.0);
+  EXPECT_EQ(meter.samples_taken(), 2u);
+}
+
+TEST(EnergyMeter, NullBackendMeterIsInertAndSafe) {
+  EnergyMeter meter(std::make_unique<NullBackend>(), 5);
+  EXPECT_FALSE(meter.live());
+  EXPECT_STREQ(meter.kind(), "none");
+  meter.sample_now();  // no-op, no crash
+  EXPECT_TRUE(meter.snapshot().empty());
+
+  EnergySection section(meter);
+  const auto report = section.stop();
+  EXPECT_FALSE(report.live);
+  EXPECT_TRUE(report.joules.empty());
+  EXPECT_DOUBLE_EQ(report.total_joules(), 0.0);
+}
+
+TEST(EnergyMeter, BackgroundSamplerAccumulates) {
+  EnergyMeter meter(std::make_unique<SyntheticBackend>(
+                        std::vector<SyntheticDomain>{{"pkg", 0.125}}),
+                    /*sample_interval_ms=*/1);
+  // The sampler thread must make progress without any sample_now() call.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (meter.samples_taken() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(meter.samples_taken(), 3u);
+  EXPECT_GT(meter.total_joules(), 0.0);
+}
+
+TEST(EnergySection, MeasuresExactDeltaOverTheSection) {
+  EnergyMeter meter(
+      std::make_unique<SyntheticBackend>(
+          std::vector<SyntheticDomain>{{"pkg", 2.0}, {"dram", 0.5}}),
+      /*sample_interval_ms=*/0);
+  EnergySection section(meter);  // samples once at start
+  const auto report = section.stop();  // and once at stop
+  EXPECT_TRUE(report.live);
+  ASSERT_EQ(report.joules.size(), 2u);
+  // Exactly one read between start and stop: one per-read increment.
+  EXPECT_DOUBLE_EQ(report.joules[0].joules, 2.0);
+  EXPECT_DOUBLE_EQ(report.joules[1].joules, 0.5);
+  EXPECT_DOUBLE_EQ(report.total_joules(), 2.5);
+  EXPECT_GE(report.wall_seconds, 0.0);
+  // stop() is idempotent: same frozen report.
+  EXPECT_DOUBLE_EQ(section.stop().total_joules(), 2.5);
+}
+
+TEST(EnergySection, SectionsOverFixtureTreeYieldExactJoules) {
+  // The xtc-power CI contract: open consumes the baseline value, the
+  // section start/stop consume the next two, so the reported section
+  // energy is exactly the scripted difference (wrap included).
+  EnergyMeter meter(detect_backend("rapl", EXTEN_FIXTURE_DIR "/rapl"), 0);
+  ASSERT_TRUE(meter.live());
+  EnergySection section(meter);
+  const auto report = section.stop();
+  EXPECT_DOUBLE_EQ(joules_of(report.joules, "package-0"), 1.5);
+  EXPECT_DOUBLE_EQ(joules_of(report.joules, "core"), 0.549613);
+  EXPECT_DOUBLE_EQ(joules_of(report.joules, "dram"), 0.0015);
+}
+
+// ---------------------------------------------------------------------------
+// /proc/self telemetry
+// ---------------------------------------------------------------------------
+
+TEST(ProcSelfStats, ReadsResidentBytesAndCpuSeconds) {
+  const ProcSelfStats stats = read_proc_self_stats();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_GT(stats.resident_bytes, 0u);
+  EXPECT_GE(stats.cpu_seconds, 0.0);
+}
+
+TEST(ProcSelfStats, MissingProcDegradesToNotOk) {
+  const ProcSelfStats stats = read_proc_self_stats("/nonexistent");
+  EXPECT_FALSE(stats.ok);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// /metrics rendering of the energy + process families
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRender, EnergyFamiliesWithLiveBackend) {
+  net::ServerMetrics metrics;
+  for (int i = 0; i < 4; ++i) {
+    metrics.record_request("estimate", 200, 0.001);
+  }
+  net::MetricsGauges gauges;
+  gauges.energy_backend = "rapl";
+  gauges.energy = {{"package-0", 10.0}, {"dram", 2.0}};
+  const std::string text = metrics.render(gauges);
+  EXPECT_NE(text.find("xtc_energy_backend_info{backend=\"rapl\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("xtc_host_energy_joules_total{domain=\"package-0\"} 10"),
+      std::string::npos);
+  EXPECT_NE(text.find("xtc_host_energy_joules_total{domain=\"dram\"} 2"),
+            std::string::npos);
+  // Lifetime average over the same requests_total denominator: 10 J / 4.
+  EXPECT_NE(
+      text.find("xtc_energy_joules_per_request{domain=\"package-0\"} 2.5"),
+      std::string::npos);
+  // Every family keeps the HELP/TYPE conformance contract.
+  EXPECT_NE(text.find("# TYPE xtc_host_energy_joules_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE xtc_energy_joules_per_request gauge"),
+            std::string::npos);
+}
+
+TEST(MetricsRender, EnergyFamiliesOmittedWithNullBackend) {
+  net::ServerMetrics metrics;
+  net::MetricsGauges gauges;  // energy_backend defaults to "none"
+  const std::string text = metrics.render(gauges);
+  EXPECT_NE(text.find("xtc_energy_backend_info{backend=\"none\"} 1"),
+            std::string::npos);
+  EXPECT_EQ(text.find("xtc_host_energy_joules_total"), std::string::npos);
+  EXPECT_EQ(text.find("xtc_energy_joules_per_request"), std::string::npos);
+}
+
+TEST(MetricsRender, ZeroRequestsDoesNotDivideByZero) {
+  net::ServerMetrics metrics;
+  net::MetricsGauges gauges;
+  gauges.energy_backend = "synthetic";
+  gauges.energy = {{"pkg", 5.0}};
+  const std::string text = metrics.render(gauges);
+  // 0 requests: per-request reports the whole total instead of inf/nan.
+  EXPECT_NE(text.find("xtc_energy_joules_per_request{domain=\"pkg\"} 5"),
+            std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  // Value position only: "xtc_energy_backend_info" contains "inf".
+  EXPECT_EQ(text.find(" inf"), std::string::npos);
+}
+
+TEST(MetricsRender, ProcessSelfTelemetry) {
+  net::ServerMetrics metrics;
+  net::MetricsGauges gauges;
+  gauges.proc.ok = true;
+  gauges.proc.resident_bytes = 12345678;
+  gauges.proc.cpu_seconds = 1.5;
+  const std::string text = metrics.render(gauges);
+  EXPECT_NE(text.find("xtc_process_resident_bytes 12345678"),
+            std::string::npos);
+  EXPECT_NE(text.find("xtc_process_cpu_seconds_total 1.5"),
+            std::string::npos);
+
+  // A host without procfs omits the families entirely.
+  const std::string without = metrics.render(net::MetricsGauges{});
+  EXPECT_EQ(without.find("xtc_process_resident_bytes"), std::string::npos);
+  EXPECT_EQ(without.find("xtc_process_cpu_seconds_total"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace exten::energy

@@ -585,7 +585,8 @@ TEST(HttpServer, HealthzAnswersOk) {
   HttpClient client = ts.client();
   const auto response = client.get("/healthz");
   EXPECT_EQ(response.status, 200);
-  EXPECT_EQ(response.body, "{\"status\":\"ok\"}");
+  EXPECT_EQ(response.body,
+            "{\"status\":\"ok\",\"energy_backend\":\"none\"}");
 }
 
 TEST(HttpServer, EstimateReturnsEnergyAndBreakdown) {
@@ -972,7 +973,8 @@ TEST(HttpServer, Http10GetsConnectionClose) {
       raw_exchange(ts.port(), "GET /healthz HTTP/1.0\r\n\r\n");
   EXPECT_NE(reply.find("HTTP/1.1 200"), std::string::npos);
   EXPECT_NE(reply.find("Connection: close"), std::string::npos);
-  EXPECT_NE(reply.find("{\"status\":\"ok\"}"), std::string::npos);
+  EXPECT_NE(reply.find("{\"status\":\"ok\",\"energy_backend\":\"none\"}"),
+            std::string::npos);
 }
 
 TEST(HttpServer, PipelinedRequestsAllAnswered) {

@@ -3,7 +3,14 @@
 //
 //   xtc-batch jobs.jsonl --model xtc32.macromodel
 //             [--threads N] [--cache N] [--repeat N] [--json]
-//             [--trace FILE]
+//             [--trace FILE] [--energy auto|rapl|synthetic|none]
+//             [--energy-sysfs-root PATH]
+//
+// --energy (default auto) measures host energy around each pass via the
+// powercap/RAPL backend (docs/energy.md); when a backend is live every
+// pass prints an "energy {...}" JSON line with per-domain joules, wall
+// seconds and average watts. Without a readable powercap tree the flag
+// degrades to none and the line is omitted.
 //
 // --trace enables span collection (docs/observability.md) and writes a
 // Chrome trace-event JSON file plus a per-stage summary after all passes;
@@ -30,6 +37,7 @@
 #include <iostream>
 #include <map>
 
+#include "energy/meter.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "service/batch_estimator.h"
@@ -162,14 +170,32 @@ void print_metrics(const service::BatchMetrics& m) {
   std::cout << "metrics " << w.str() << "\n";
 }
 
+// Per-pass measured host energy, next to the pass's "metrics" line.
+void print_energy(const energy::EnergySection::Report& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.object_field("joules");
+  for (const energy::DomainEnergy& d : report.joules) {
+    w.field(d.name, d.joules);
+  }
+  w.end_object();
+  w.field("total_joules", report.total_joules());
+  w.field("wall_seconds", report.wall_seconds);
+  w.field("watts", report.wall_seconds <= 0.0
+                       ? 0.0
+                       : report.total_joules() / report.wall_seconds);
+  w.end_object();
+  std::cout << "energy " << w.str() << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace exten;
   return tools::tool_main("xtc-batch", [&] {
     const tools::Args args(argc, argv);
-    args.require_known(
-        {"model", "threads", "cache", "repeat", "json", "trace", "version"});
+    args.require_known({"model", "threads", "cache", "repeat", "json",
+                        "trace", "energy", "energy-sysfs-root", "version"});
     if (tools::handle_version(args, "xtc-batch")) return tools::kExitOk;
     if (args.positional().size() != 1 || !args.has("model")) {
       std::cerr << "usage: xtc-batch jobs.jsonl --model FILE [--threads N] "
@@ -206,15 +232,25 @@ int main(int argc, char** argv) {
             tools::read_file(args.value("model").value())),
         options);
 
+    // On-demand sampling (interval 0): passes are bounded intervals, so
+    // two reads per pass suffice and fixture runs stay deterministic.
+    energy::EnergyMeter energy_meter(
+        energy::detect_backend(args.value("energy").value_or("auto"),
+                               args.value("energy-sysfs-root").value_or("")),
+        /*sample_interval_ms=*/0);
+
     for (unsigned pass = 1; pass <= repeat; ++pass) {
       if (repeat > 1) std::cout << "--- pass " << pass << " ---\n";
+      energy::EnergySection section(energy_meter);
       const service::BatchResult batch = estimator.estimate(jobs);
+      const energy::EnergySection::Report energy_report = section.stop();
       if (args.has("json")) {
         print_results_json(batch);
       } else {
         print_results_table(batch);
       }
       print_metrics(batch.metrics);
+      if (energy_report.live) print_energy(energy_report);
     }
     print_cache_summary(estimator.cache_stats());
     if (trace_file.has_value()) {

@@ -1,0 +1,296 @@
+// xtc-power: measure host energy around a workload run and report it side
+// by side with the macro-model estimate and the RTL-level oracle.
+//
+//   xtc-power --model xtc32.macromodel [--workload NAME] [--n N]
+//             [--seed S] [--sweep K] [--backend auto|rapl|synthetic|none]
+//             [--sysfs-root PATH] [--no-reference] [--json] [--list]
+//
+// The workload (one of the Table II / extras kernels, see --list) is
+// generated with embedded input data derived from --seed, then run end to
+// end: the macro-model estimate (fast path) and the RTL-level reference
+// (slow path, unless --no-reference) execute inside one EnergySection, so
+// the measured joules are the host energy of the whole run.
+//
+// --sweep K varies the workload's input-data distribution (seeds S..S+K-1,
+// per Morse, "Measuring the impact of input data on energy consumption of
+// software") and reports the measured-energy spread and the model-error
+// spread across inputs — the input-dependence of the macro-model's
+// accuracy.
+//
+// --sysfs-root points the RAPL backend at a fake-sysfs fixture tree
+// (tests/fixtures/rapl) for hermetic CI runs with exact expected joules;
+// docs/energy.md documents the fixture recipe. On a machine with no
+// readable powercap tree the backend degrades to "none": the model/oracle
+// columns still print, the measured column reads "-", and the exit code
+// stays 0.
+
+#include <algorithm>
+#include <functional>
+#include <iostream>
+#include <map>
+
+#include "energy/meter.h"
+#include "model/estimate.h"
+#include "tools/tool_common.h"
+#include "util/json.h"
+#include "util/table.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace exten;
+
+using WorkloadMaker =
+    std::function<model::TestProgram(unsigned n, std::uint64_t seed)>;
+
+// Name -> (maker, default size). Sizes keep a full sweep under a few
+// seconds per seed with the reference oracle on.
+const std::map<std::string, std::pair<WorkloadMaker, unsigned>>&
+workload_registry() {
+  using namespace exten::workloads;
+  static const std::map<std::string, std::pair<WorkloadMaker, unsigned>>
+      registry = {
+          {"ins_sort", {make_ins_sort, 128}},
+          {"gcd", {make_gcd, 128}},
+          {"alphablend", {make_alphablend, 512}},
+          {"add4", {make_add4, 512}},
+          {"bubsort", {make_bubsort, 96}},
+          {"des", {make_des, 64}},
+          {"accumulate", {make_accumulate, 512}},
+          {"drawline", {make_drawline, 64}},
+          {"multi_accumulate", {make_multi_accumulate, 512}},
+          {"seq_mult", {make_seq_mult, 512}},
+          {"fir", {make_fir, 512}},
+          {"crc32", {make_crc32, 512}},
+          {"sad", {make_sad, 8}},
+          {"rs_gfmac",
+           {[](unsigned n, std::uint64_t seed) {
+              return make_reed_solomon(RsConfig::kGfMac, n, seed);
+            },
+            16}},
+      };
+  return registry;
+}
+
+struct RunResult {
+  std::uint64_t seed = 0;
+  energy::EnergySection::Report measured;
+  double model_uj = 0.0;
+  double reference_uj = 0.0;  // 0 with --no-reference
+  bool has_reference = false;
+
+  double error_percent() const {
+    if (!has_reference || reference_uj <= 0.0) return 0.0;
+    return (model_uj - reference_uj) / reference_uj * 100.0;
+  }
+};
+
+struct Spread {
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+Spread spread_of(const std::vector<double>& values) {
+  Spread s;
+  if (values.empty()) return s;
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  return s;
+}
+
+void json_spread(JsonWriter& w, std::string_view key, const Spread& s) {
+  w.object_field(key);
+  w.field("min", s.min);
+  w.field("mean", s.mean);
+  w.field("max", s.max);
+  w.field("spread", s.max - s.min);
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace exten;
+  return tools::tool_main("xtc-power", [&] {
+    const tools::Args args(argc, argv);
+    args.require_known({"model", "workload", "n", "seed", "sweep", "backend",
+                        "sysfs-root", "no-reference", "json", "list",
+                        "version"});
+    if (tools::handle_version(args, "xtc-power")) return tools::kExitOk;
+    if (args.has("list")) {
+      for (const auto& [name, entry] : workload_registry()) {
+        std::cout << name << " (default n=" << entry.second << ")\n";
+      }
+      return tools::kExitOk;
+    }
+    if (!args.has("model") || !args.positional().empty()) {
+      std::cerr << "usage: xtc-power --model FILE [--workload NAME] [--n N] "
+                   "[--seed S] [--sweep K] "
+                   "[--backend auto|rapl|synthetic|none] "
+                   "[--sysfs-root PATH] [--no-reference] [--json] [--list]\n";
+      return tools::kExitUsage;
+    }
+
+    const std::string workload = args.value("workload").value_or("fir");
+    const auto it = workload_registry().find(workload);
+    EXTEN_CHECK(it != workload_registry().end(), "unknown workload '",
+                workload, "' (try --list)");
+    const WorkloadMaker& maker = it->second.first;
+    unsigned n = it->second.second;
+    if (auto v = args.value("n")) n = static_cast<unsigned>(std::stoul(*v));
+    std::uint64_t seed = 1;
+    if (auto v = args.value("seed")) seed = std::stoull(*v);
+    unsigned sweep = 1;
+    if (auto v = args.value("sweep")) {
+      sweep = static_cast<unsigned>(std::stoul(*v));
+      EXTEN_CHECK(sweep >= 1, "--sweep must be >= 1");
+    }
+    const bool want_reference = !args.has("no-reference");
+    const bool json_output = args.has("json");
+
+    const model::EnergyMacroModel macro_model =
+        model::EnergyMacroModel::deserialize(
+            tools::read_file(args.value("model").value()));
+
+    // On-demand sampling only: with a fixture tree the read count (one at
+    // open, two per section) fully determines the reported joules.
+    energy::EnergyMeter meter(
+        energy::detect_backend(args.value("backend").value_or("auto"),
+                               args.value("sysfs-root").value_or("")),
+        /*sample_interval_ms=*/0);
+
+    if (!json_output) {
+      std::cout << "workload " << workload << " (n=" << n << "), energy backend "
+                << meter.kind();
+      if (meter.live()) {
+        std::cout << ", domains:";
+        for (const std::string& name : meter.domain_names()) {
+          std::cout << " " << name;
+        }
+      } else {
+        std::cout << " — host energy unavailable (no readable powercap "
+                     "tree); model/oracle estimates only";
+      }
+      std::cout << "\n";
+    }
+
+    std::vector<RunResult> runs;
+    for (unsigned k = 0; k < sweep; ++k) {
+      RunResult run;
+      run.seed = seed + k;
+      const model::TestProgram program = maker(n, run.seed);
+      energy::EnergySection section(meter);
+      run.model_uj = model::estimate_energy(macro_model, program).energy_uj();
+      if (want_reference) {
+        run.reference_uj = model::reference_energy(program).energy_uj();
+        run.has_reference = true;
+      }
+      run.measured = section.stop();
+      runs.push_back(std::move(run));
+    }
+
+    if (json_output) {
+      JsonWriter w;
+      w.begin_object();
+      w.field("workload", std::string_view(workload));
+      w.field("n", static_cast<std::uint64_t>(n));
+      w.field("backend", std::string_view(meter.kind()));
+      w.array_field("domains");
+      for (const std::string& name : meter.domain_names()) w.element(name);
+      w.end_array();
+      w.array_field("runs");
+      for (const RunResult& run : runs) {
+        w.element_object();
+        w.field("seed", run.seed);
+        w.field("measured_live", run.measured.live);
+        w.object_field("measured_joules");
+        for (const energy::DomainEnergy& d : run.measured.joules) {
+          w.field(d.name, d.joules);
+        }
+        w.end_object();
+        w.field("measured_total_joules", run.measured.total_joules());
+        w.field("wall_seconds", run.measured.wall_seconds);
+        w.field("model_uj", run.model_uj);
+        if (run.has_reference) {
+          w.field("reference_uj", run.reference_uj);
+          w.field("error_percent", run.error_percent());
+        }
+        w.end_object();
+      }
+      w.end_array();
+      if (sweep > 1) {
+        // The Morse scenario: how much do measured energy and model error
+        // move when only the input-data distribution changes?
+        std::vector<double> measured, model_ujs, errors;
+        for (const RunResult& run : runs) {
+          measured.push_back(run.measured.total_joules());
+          model_ujs.push_back(run.model_uj);
+          if (run.has_reference) errors.push_back(run.error_percent());
+        }
+        w.object_field("sweep");
+        w.field("runs", static_cast<std::uint64_t>(runs.size()));
+        json_spread(w, "measured_total_joules", spread_of(measured));
+        json_spread(w, "model_uj", spread_of(model_ujs));
+        if (!errors.empty()) {
+          json_spread(w, "error_percent", spread_of(errors));
+        }
+        w.end_object();
+      }
+      w.end_object();
+      std::cout << w.str() << "\n";
+      return tools::kExitOk;
+    }
+
+    AsciiTable table({"Seed", "Measured (J)", "Wall (s)", "Model (uJ)",
+                      "Reference (uJ)", "Error (%)"});
+    for (const RunResult& run : runs) {
+      table.add_row(
+          {std::to_string(run.seed),
+           run.measured.live ? format_fixed(run.measured.total_joules(), 6)
+                             : std::string("-"),
+           format_fixed(run.measured.wall_seconds, 3),
+           format_fixed(run.model_uj, 3),
+           run.has_reference ? format_fixed(run.reference_uj, 3)
+                             : std::string("-"),
+           run.has_reference ? format_fixed(run.error_percent(), 2)
+                             : std::string("-")});
+    }
+    table.print(std::cout);
+    if (meter.live()) {
+      std::cout << "\nper-domain joules (last run):";
+      for (const energy::DomainEnergy& d : runs.back().measured.joules) {
+        std::cout << " " << d.name << "=" << format_fixed(d.joules, 6);
+      }
+      std::cout << "\n";
+    }
+    if (sweep > 1) {
+      std::vector<double> measured, errors;
+      for (const RunResult& run : runs) {
+        measured.push_back(run.measured.total_joules());
+        if (run.has_reference) errors.push_back(run.error_percent());
+      }
+      const Spread em = spread_of(measured);
+      std::cout << "sweep over " << sweep << " input distributions: ";
+      if (meter.live()) {
+        std::cout << "measured " << format_fixed(em.min, 6) << ".."
+                  << format_fixed(em.max, 6) << " J (mean "
+                  << format_fixed(em.mean, 6) << ")";
+      } else {
+        std::cout << "measured unavailable";
+      }
+      if (!errors.empty()) {
+        const Spread ee = spread_of(errors);
+        std::cout << ", model error " << format_fixed(ee.min, 2) << ".."
+                  << format_fixed(ee.max, 2) << " % (mean "
+                  << format_fixed(ee.mean, 2) << ", spread "
+                  << format_fixed(ee.max - ee.min, 2) << ")";
+      }
+      std::cout << "\n";
+    }
+    return tools::kExitOk;
+  });
+}

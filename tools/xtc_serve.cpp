@@ -3,6 +3,14 @@
 //   xtc-serve --model xtc32.macromodel [--port N] [--port-file PATH]
 //             [--address A] [--threads N] [--cache N] [--max-inflight N]
 //             [--deadline-ms N] [--poller epoll|poll] [--trace FILE]
+//             [--energy auto|rapl|synthetic|none] [--energy-sysfs-root P]
+//             [--energy-interval-ms N]
+//
+// --energy selects the host-energy backend (default auto: RAPL when the
+// powercap tree is readable, else none — never a startup failure). With a
+// live backend, /metrics exports xtc_host_energy_joules_total{domain=...}
+// and xtc_energy_joules_per_request, /healthz reports "energy_backend",
+// and a total-joules line prints after the drain (docs/energy.md).
 //
 // Serves POST /v1/estimate, POST /v1/batch, POST /v1/rank plus
 // GET /healthz, GET /metrics and GET /v1/trace (see docs/server.md for
@@ -18,6 +26,7 @@
 
 #include <csignal>
 
+#include "energy/meter.h"
 #include "net/server.h"
 #include "obs/export.h"
 #include "obs/trace.h"
@@ -39,7 +48,8 @@ int main(int argc, char** argv) {
     const tools::Args args(argc, argv);
     args.require_known({"model", "port", "port-file", "address", "threads",
                         "cache", "max-inflight", "deadline-ms", "poller",
-                        "trace", "version"});
+                        "trace", "energy", "energy-sysfs-root",
+                        "energy-interval-ms", "version"});
     if (tools::handle_version(args, "xtc-serve")) return tools::kExitOk;
     if (!args.has("model") || !args.positional().empty()) {
       std::cerr << "usage: xtc-serve --model FILE [--port N] "
@@ -88,6 +98,20 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Host-energy meter: detection degrades to "none" instead of failing,
+    // so a box without powercap serves exactly as before.
+    int energy_interval_ms = 100;
+    if (auto interval = args.value("energy-interval-ms")) {
+      energy_interval_ms = static_cast<int>(std::stol(*interval));
+      EXTEN_CHECK(energy_interval_ms >= 0,
+                  "--energy-interval-ms must be >= 0");
+    }
+    energy::EnergyMeter energy_meter(
+        energy::detect_backend(args.value("energy").value_or("auto"),
+                               args.value("energy-sysfs-root").value_or("")),
+        energy_interval_ms);
+    server_options.energy_meter = &energy_meter;
+
     service::BatchEstimator estimator(
         model::EnergyMacroModel::deserialize(
             tools::read_file(args.value("model").value())),
@@ -104,13 +128,21 @@ int main(int argc, char** argv) {
     }
     std::cout << "listening on " << server_options.bind_address << ":"
               << server.port() << " (" << estimator.num_threads()
-              << " workers)\n"
+              << " workers, energy backend " << energy_meter.kind() << ")\n"
               << std::flush;
 
     server.run();
     g_server = nullptr;
     std::cout << "drained after " << server.requests_served()
               << " requests, exiting\n";
+    if (energy_meter.live()) {
+      energy_meter.sample_now();
+      std::cout << "host energy (" << energy_meter.kind() << "):";
+      for (const energy::DomainEnergy& d : energy_meter.snapshot()) {
+        std::cout << " " << d.name << "=" << format_fixed(d.joules, 6) << "J";
+      }
+      std::cout << "\n";
+    }
     if (trace_file.has_value()) {
       obs::Tracer::instance().set_enabled(false);
       const std::vector<obs::Span> spans = obs::Tracer::instance().snapshot();
