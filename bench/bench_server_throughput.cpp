@@ -13,6 +13,7 @@
 //
 //   bench_server_throughput [--clients N] [--seconds S] [--reps R] [--json]
 //                           [--trace] [--baseline FILE] [--min-fraction F]
+//                           [--shards N] [--scaling-floor F]
 //
 // --json suppresses the ASCII table (snapshot line only). --trace runs
 // the whole bench with span collection enabled (to measure the tracing
@@ -22,6 +23,15 @@
 // --min-fraction (default 0.97, i.e. a >3% regression fails); only
 // meaningful on hardware comparable to the one that produced the
 // baseline, so CI passes a much smaller fraction as a smoke floor.
+//
+// --shards N additionally measures an N-shard ShardedServer after the
+// single-shard run and reports the scaling ratio (multi-shard best over
+// single-shard best); --scaling-floor F exits non-zero when the ratio
+// lands below F. The ratio only means anything with >= N free cores —
+// gate on nproc before asserting a floor. The JSON keeps the top-level
+// best_requests_per_second as the SINGLE-shard number (the committed
+// baseline gate tracks the classic serving path) and adds one
+// "shard_runs" entry per configuration.
 
 #include <algorithm>
 #include <atomic>
@@ -35,7 +45,7 @@
 #include "bench/bench_common.h"
 #include "net/http_client.h"
 #include "obs/trace.h"
-#include "net/server.h"
+#include "net/sharded_server.h"
 #include "service/batch_estimator.h"
 #include "tools/tool_common.h"
 #include "util/json.h"
@@ -139,13 +149,94 @@ RepResult run_rep(std::uint16_t port, unsigned clients, double seconds,
   return rep;
 }
 
+/// One full server lifecycle: boot a `shards`-shard server (1 = the
+/// classic single loop), warm the cache, run `reps` measured reps, drain.
+std::vector<RepResult> bench_config(unsigned shards, unsigned clients,
+                                    double seconds, unsigned reps,
+                                    const std::string& body) {
+  // Throughput does not depend on coefficient values; a flat synthetic
+  // model avoids the multi-minute characterization run.
+  linalg::Vector coefficients(model::kNumVariables, 100.0);
+  const model::EnergyMacroModel macro_model(std::move(coefficients));
+  // The queue must absorb every closed-loop client or the bench measures
+  // the 503 backpressure path instead of the serving path.
+  service::BatchOptions batch_options;
+  batch_options.queue_capacity = std::max<std::size_t>(64, clients * 4);
+  service::BatchEstimator estimator(macro_model, batch_options);
+
+  net::ShardedServerOptions options;
+  options.server.max_inflight = 256;
+  options.shards = shards;
+  net::ShardedServer server(estimator, options);
+  std::thread loop([&] { server.run(); });
+
+  // Warm-up: populate the eval cache and fault in the serving path.
+  run_rep(server.port(), 1, 0.2, body);
+
+  std::vector<RepResult> measurements;
+  for (unsigned r = 0; r < reps; ++r) {
+    measurements.push_back(run_rep(server.port(), clients, seconds, body));
+  }
+  server.request_stop();
+  loop.join();
+  return measurements;
+}
+
+double best_of(const std::vector<RepResult>& measurements) {
+  double best = 0.0;
+  for (const RepResult& m : measurements) {
+    best = std::max(best, m.requests_per_second());
+  }
+  return best;
+}
+
+void print_table(const std::vector<RepResult>& measurements,
+                 unsigned shards, unsigned clients) {
+  bench::heading("HTTP estimation server throughput (/v1/estimate, "
+                 "warm cache, " +
+                 std::to_string(clients) + " keep-alive clients, " +
+                 std::to_string(shards) +
+                 (shards == 1 ? " shard)" : " shards)"));
+  AsciiTable table({"Rep", "Wall (s)", "Requests", "503s", "Errors", "Req/s",
+                    "p50 (ms)", "p99 (ms)"});
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const RepResult& m = measurements[i];
+    table.add_row({std::to_string(i + 1), format_fixed(m.wall_seconds, 3),
+                   std::to_string(m.requests), std::to_string(m.rejected),
+                   std::to_string(m.errors),
+                   format_fixed(m.requests_per_second(), 1),
+                   format_fixed(m.p50_ms, 3), format_fixed(m.p99_ms, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nbest: " << format_fixed(best_of(measurements), 1)
+            << " req/s\n";
+}
+
+void write_measurements(JsonWriter& w,
+                        const std::vector<RepResult>& measurements) {
+  w.array_field("measurements");
+  for (const RepResult& m : measurements) {
+    w.element_object();
+    w.field("wall_seconds", m.wall_seconds);
+    w.field("requests", m.requests);
+    w.field("rejected_503", m.rejected);
+    w.field("errors", m.errors);
+    w.field("requests_per_second", m.requests_per_second());
+    w.field("p50_ms", m.p50_ms);
+    w.field("p99_ms", m.p99_ms);
+    w.end_object();
+  }
+  w.end_array();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   return tools::tool_main("bench_server_throughput", [&] {
     const tools::Args args(argc, argv);
     args.require_known({"clients", "seconds", "reps", "json", "trace",
-                        "baseline", "min-fraction"});
+                        "baseline", "min-fraction", "shards",
+                        "scaling-floor"});
     unsigned clients = 4;
     double seconds = 2.0;
     unsigned reps = 3;
@@ -156,56 +247,35 @@ int main(int argc, char** argv) {
     if (args.has("trace")) obs::Tracer::instance().set_enabled(true);
     double min_fraction = 0.97;
     if (auto v = args.value("min-fraction")) min_fraction = std::stod(*v);
-
-    // Throughput does not depend on coefficient values; a flat synthetic
-    // model avoids the multi-minute characterization run.
-    linalg::Vector coefficients(model::kNumVariables, 100.0);
-    const model::EnergyMacroModel macro_model(std::move(coefficients));
-    // The queue must absorb every closed-loop client or the bench measures
-    // the 503 backpressure path instead of the serving path.
-    service::BatchOptions batch_options;
-    batch_options.queue_capacity = std::max<std::size_t>(64, clients * 4);
-    service::BatchEstimator estimator(macro_model, batch_options);
-
-    net::ServerOptions options;
-    options.max_inflight = 256;
-    net::HttpServer server(estimator, options);
-    std::thread loop([&] { server.run(); });
+    unsigned shards = 1;
+    if (auto v = args.value("shards")) {
+      shards = static_cast<unsigned>(
+          tools::parse_count("shards", *v, 1, 256));
+    }
+    double scaling_floor = 0.0;
+    if (auto v = args.value("scaling-floor")) scaling_floor = std::stod(*v);
 
     const std::string body = estimate_body();
-    // Warm-up: populate the eval cache and fault in the serving path.
-    run_rep(server.port(), 1, 0.2, body);
-
-    std::vector<RepResult> measurements;
-    for (unsigned r = 0; r < reps; ++r) {
-      measurements.push_back(run_rep(server.port(), clients, seconds, body));
-    }
-    server.request_stop();
-    loop.join();
-
-    double best_rps = 0.0;
-    for (const RepResult& m : measurements) {
-      best_rps = std::max(best_rps, m.requests_per_second());
+    const std::vector<RepResult> single =
+        bench_config(1, clients, seconds, reps, body);
+    const double best_rps = best_of(single);
+    std::vector<RepResult> sharded;
+    double sharded_rps = 0.0;
+    if (shards > 1) {
+      sharded = bench_config(shards, clients, seconds, reps, body);
+      sharded_rps = best_of(sharded);
     }
 
     if (!json_only) {
-      bench::heading("HTTP estimation server throughput (/v1/estimate, "
-                     "warm cache, " +
-                     std::to_string(clients) + " keep-alive clients)");
-      AsciiTable table(
-          {"Rep", "Wall (s)", "Requests", "503s", "Errors", "Req/s",
-           "p50 (ms)", "p99 (ms)"});
-      for (std::size_t i = 0; i < measurements.size(); ++i) {
-        const RepResult& m = measurements[i];
-        table.add_row({std::to_string(i + 1),
-                       format_fixed(m.wall_seconds, 3),
-                       std::to_string(m.requests), std::to_string(m.rejected),
-                       std::to_string(m.errors),
-                       format_fixed(m.requests_per_second(), 1),
-                       format_fixed(m.p50_ms, 3), format_fixed(m.p99_ms, 3)});
-      }
-      table.print(std::cout);
-      std::cout << "\nbest: " << format_fixed(best_rps, 1) << " req/s\n";
+      print_table(single, 1, clients);
+      if (shards > 1) print_table(sharded, shards, clients);
+    }
+    const double scaling_ratio =
+        best_rps > 0.0 && shards > 1 ? sharded_rps / best_rps : 1.0;
+    if (shards > 1) {
+      std::cout << "scaling: " << shards << " shards at "
+                << format_fixed(sharded_rps, 1) << " req/s = "
+                << format_fixed(scaling_ratio, 2) << "x single-shard\n";
     }
 
     JsonWriter w;
@@ -217,21 +287,32 @@ int main(int argc, char** argv) {
     w.field("hardware_concurrency",
             static_cast<int>(service::resolve_thread_count(0)));
     w.field("best_requests_per_second", best_rps);
-    w.array_field("measurements");
-    for (const RepResult& m : measurements) {
+    write_measurements(w, single);
+    w.array_field("shard_runs");
+    w.element_object();
+    w.field("shards", 1);
+    w.field("best_requests_per_second", best_rps);
+    write_measurements(w, single);
+    w.end_object();
+    if (shards > 1) {
       w.element_object();
-      w.field("wall_seconds", m.wall_seconds);
-      w.field("requests", m.requests);
-      w.field("rejected_503", m.rejected);
-      w.field("errors", m.errors);
-      w.field("requests_per_second", m.requests_per_second());
-      w.field("p50_ms", m.p50_ms);
-      w.field("p99_ms", m.p99_ms);
+      w.field("shards", static_cast<int>(shards));
+      w.field("best_requests_per_second", sharded_rps);
+      w.field("scaling_ratio", scaling_ratio);
+      write_measurements(w, sharded);
       w.end_object();
     }
     w.end_array();
     w.end_object();
     std::cout << "\njson " << w.str() << "\n";
+
+    if (shards > 1 && scaling_floor > 0.0 &&
+        scaling_ratio < scaling_floor) {
+      std::cerr << "FAIL: " << shards << "-shard scaling "
+                << format_fixed(scaling_ratio, 2) << "x below --scaling-floor "
+                << format_fixed(scaling_floor, 2) << "x\n";
+      return 1;
+    }
 
     if (auto baseline_path = args.value("baseline")) {
       const JsonValue baseline =

@@ -51,6 +51,14 @@ double LatencyHistogram::quantile(double q, bool* is_overflow) const {
   return std::numeric_limits<double>::infinity();
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_seconds_ += other.sum_seconds_;
+}
+
 const char* stage_name(Stage stage) {
   switch (stage) {
     case Stage::kParse: return "parse";
@@ -63,14 +71,80 @@ const char* stage_name(Stage stage) {
   return "unknown";
 }
 
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [key, count] : other.requests) {
+    requests[key] += count;
+  }
+  latency.merge(other.latency);
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    stage_latency[s].merge(other.stage_latency[s]);
+  }
+  connections_accepted += other.connections_accepted;
+  backpressure_rejections += other.backpressure_rejections;
+  deadline_expiries += other.deadline_expiries;
+  parse_errors += other.parse_errors;
+}
+
 void ServerMetrics::record_request(std::string_view endpoint, int status,
                                    double seconds) {
-  ++requests_[{std::string(endpoint), status}];
-  latency_.observe(seconds);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.requests[{std::string(endpoint), status}];
+  counters_.latency.observe(seconds);
 }
 
 void ServerMetrics::observe_stage(Stage stage, double seconds) {
-  stage_latency_[static_cast<std::size_t>(stage)].observe(seconds);
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.stage_latency[static_cast<std::size_t>(stage)].observe(seconds);
+}
+
+LatencyHistogram ServerMetrics::stage_latency(Stage stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.stage_latency[static_cast<std::size_t>(stage)];
+}
+
+void ServerMetrics::on_connection_opened() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.connections_accepted;
+}
+
+void ServerMetrics::on_backpressure_rejection() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.backpressure_rejections;
+}
+
+void ServerMetrics::on_deadline_expiry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.deadline_expiries;
+}
+
+void ServerMetrics::on_parse_error() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.parse_errors;
+}
+
+std::uint64_t ServerMetrics::requests_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.requests_total();
+}
+
+std::uint64_t ServerMetrics::connections_accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.connections_accepted;
+}
+
+std::uint64_t ServerMetrics::backpressure_rejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.backpressure_rejections;
+}
+
+std::uint64_t ServerMetrics::deadline_expiries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.deadline_expiries;
+}
+
+MetricsSnapshot ServerMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
 }
 
 namespace {
@@ -122,11 +196,17 @@ void render_histogram(std::ostream& out, const std::string& name,
 }  // namespace
 
 std::string ServerMetrics::render(const MetricsGauges& gauges) const {
+  return render_metrics(snapshot(), gauges);
+}
+
+std::string render_metrics(const MetricsSnapshot& snapshot,
+                           const MetricsGauges& gauges,
+                           const std::vector<ShardSample>& shards) {
   std::ostringstream out;
   out << "# HELP xtc_requests_total Finished HTTP exchanges by endpoint "
          "and status code.\n"
       << "# TYPE xtc_requests_total counter\n";
-  for (const auto& [key, count] : requests_) {
+  for (const auto& [key, count] : snapshot.requests) {
     out << "xtc_requests_total{endpoint=\"" << escape_label_value(key.first)
         << "\",code=\"" << key.second << "\"} " << count << "\n";
   }
@@ -134,7 +214,8 @@ std::string ServerMetrics::render(const MetricsGauges& gauges) const {
   out << "# HELP xtc_request_duration_seconds End-to-end request latency "
          "(parse complete to response recorded).\n"
       << "# TYPE xtc_request_duration_seconds histogram\n";
-  render_histogram(out, "xtc_request_duration_seconds", "", latency_);
+  render_histogram(out, "xtc_request_duration_seconds", "",
+                   snapshot.latency);
 
   out << "# HELP xtc_stage_duration_seconds Per-stage request processing "
          "time (queueing, cache probe, evaluation, ...).\n"
@@ -144,24 +225,76 @@ std::string ServerMetrics::render(const MetricsGauges& gauges) const {
         out, "xtc_stage_duration_seconds",
         "stage=\"" +
             escape_label_value(stage_name(static_cast<Stage>(s))) + "\"",
-        stage_latency_[s]);
+        snapshot.stage_latency[s]);
   }
 
   out << "# HELP xtc_connections_accepted_total TCP connections accepted.\n"
       << "# TYPE xtc_connections_accepted_total counter\n"
-      << "xtc_connections_accepted_total " << connections_accepted_ << "\n";
+      << "xtc_connections_accepted_total " << snapshot.connections_accepted
+      << "\n";
   out << "# HELP xtc_backpressure_rejections_total Requests answered 503 "
          "because the server or queue was full.\n"
       << "# TYPE xtc_backpressure_rejections_total counter\n"
-      << "xtc_backpressure_rejections_total " << backpressure_rejections_
-      << "\n";
+      << "xtc_backpressure_rejections_total "
+      << snapshot.backpressure_rejections << "\n";
   out << "# HELP xtc_deadline_expiries_total Requests answered 504 after "
          "their deadline expired.\n"
       << "# TYPE xtc_deadline_expiries_total counter\n"
-      << "xtc_deadline_expiries_total " << deadline_expiries_ << "\n";
+      << "xtc_deadline_expiries_total " << snapshot.deadline_expiries << "\n";
   out << "# HELP xtc_parse_errors_total Malformed HTTP requests.\n"
       << "# TYPE xtc_parse_errors_total counter\n"
-      << "xtc_parse_errors_total " << parse_errors_ << "\n";
+      << "xtc_parse_errors_total " << snapshot.parse_errors << "\n";
+
+  out << "# HELP xtc_shards Event-loop shards serving this exposition.\n"
+      << "# TYPE xtc_shards gauge\n"
+      << "xtc_shards " << gauges.shards << "\n";
+  if (!shards.empty()) {
+    // Per-shard attribution on top of the aggregated families above: the
+    // sums across shard="N" must equal the aggregate counters, which is
+    // exactly what the multi-shard test battery asserts.
+    out << "# HELP xtc_shard_requests_total Finished HTTP exchanges per "
+           "event-loop shard.\n"
+        << "# TYPE xtc_shard_requests_total counter\n";
+    for (const ShardSample& s : shards) {
+      out << "xtc_shard_requests_total{shard=\"" << s.shard << "\"} "
+          << s.requests << "\n";
+    }
+    out << "# HELP xtc_shard_connections_accepted_total TCP connections "
+           "accepted per event-loop shard.\n"
+        << "# TYPE xtc_shard_connections_accepted_total counter\n";
+    for (const ShardSample& s : shards) {
+      out << "xtc_shard_connections_accepted_total{shard=\"" << s.shard
+          << "\"} " << s.connections_accepted << "\n";
+    }
+    out << "# HELP xtc_shard_backpressure_rejections_total 503 answers per "
+           "event-loop shard.\n"
+        << "# TYPE xtc_shard_backpressure_rejections_total counter\n";
+    for (const ShardSample& s : shards) {
+      out << "xtc_shard_backpressure_rejections_total{shard=\"" << s.shard
+          << "\"} " << s.backpressure_rejections << "\n";
+    }
+    out << "# HELP xtc_shard_deadline_expiries_total 504 answers per "
+           "event-loop shard.\n"
+        << "# TYPE xtc_shard_deadline_expiries_total counter\n";
+    for (const ShardSample& s : shards) {
+      out << "xtc_shard_deadline_expiries_total{shard=\"" << s.shard
+          << "\"} " << s.deadline_expiries << "\n";
+    }
+    out << "# HELP xtc_shard_open_connections Currently open connections "
+           "per event-loop shard.\n"
+        << "# TYPE xtc_shard_open_connections gauge\n";
+    for (const ShardSample& s : shards) {
+      out << "xtc_shard_open_connections{shard=\"" << s.shard << "\"} "
+          << s.open_connections << "\n";
+    }
+    out << "# HELP xtc_shard_inflight_requests Admitted-but-unanswered "
+           "requests per event-loop shard.\n"
+        << "# TYPE xtc_shard_inflight_requests gauge\n";
+    for (const ShardSample& s : shards) {
+      out << "xtc_shard_inflight_requests{shard=\"" << s.shard << "\"} "
+          << s.inflight_requests << "\n";
+    }
+  }
 
   out << "# HELP xtc_open_connections Currently open connections.\n"
       << "# TYPE xtc_open_connections gauge\n"
@@ -200,7 +333,8 @@ std::string ServerMetrics::render(const MetricsGauges& gauges) const {
     // the same requests_total denominator, so joules-per-request and
     // seconds-per-request line up.
     const double requests =
-        static_cast<double>(std::max<std::uint64_t>(1, latency_.count()));
+        static_cast<double>(
+            std::max<std::uint64_t>(1, snapshot.latency.count()));
     out << "# HELP xtc_energy_joules_per_request Lifetime measured host "
            "joules per finished request, per powercap domain.\n"
         << "# TYPE xtc_energy_joules_per_request gauge\n";

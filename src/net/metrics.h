@@ -6,14 +6,17 @@
 // macro-model is about), connection/backpressure counters, and a
 // text-exposition renderer (Prometheus style) for GET /metrics.
 //
-// Thread safety: none — every member is mutated and read exclusively on
-// the server's event-loop thread. Gauges that live elsewhere (queue depth,
-// eval-cache stats) are sampled at render time and passed in. Worker-side
-// stage timings travel back to the loop thread inside JobResult::timings
-// and are observed there.
+// Thread safety: every ServerMetrics method takes one internal mutex. Each
+// event-loop shard owns its own ServerMetrics, so in steady state the lock
+// is uncontended (same-thread); contention only happens when another
+// shard's /metrics handler snapshots this shard for cluster aggregation.
+// Gauges that live elsewhere (queue depth, eval-cache stats) are sampled
+// at render time and passed in. Worker-side stage timings travel back to
+// the loop thread inside JobResult::timings and are observed there.
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -47,6 +50,11 @@ class LatencyHistogram {
   /// cumulative `le` buckets. One extra overflow bucket at the end holds
   /// observations above bounds().back().
   const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Adds another histogram's observations into this one (bucket-wise; the
+  /// bounds ladder is identical by construction). The cross-shard
+  /// aggregation primitive.
+  void merge(const LatencyHistogram& other);
 
  private:
   std::vector<double> bounds_;
@@ -85,7 +93,47 @@ struct MetricsGauges {
   std::vector<energy::DomainEnergy> energy;
   /// Process self-telemetry; families omitted when !proc.ok.
   energy::ProcSelfStats proc;
+  /// Event-loop shards behind this exposition (1 for a plain HttpServer).
+  std::size_t shards = 1;
 };
+
+/// A consistent copy of every cumulative counter in a ServerMetrics —
+/// what one shard contributes to a cluster-wide /metrics exposition.
+struct MetricsSnapshot {
+  std::map<std::pair<std::string, int>, std::uint64_t> requests;
+  LatencyHistogram latency;
+  LatencyHistogram stage_latency[kNumStages];
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t backpressure_rejections = 0;
+  std::uint64_t deadline_expiries = 0;
+  std::uint64_t parse_errors = 0;
+
+  std::uint64_t requests_total() const { return latency.count(); }
+
+  /// Adds another shard's counters into this one.
+  void merge(const MetricsSnapshot& other);
+};
+
+/// Per-shard sample rendered as the xtc_shard_* families so an operator
+/// can see load (im)balance without losing the aggregated view.
+struct ShardSample {
+  unsigned shard = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t backpressure_rejections = 0;
+  std::uint64_t deadline_expiries = 0;
+  std::size_t open_connections = 0;
+  std::size_t inflight_requests = 0;
+};
+
+/// Renders the text exposition (text/plain; version=0.0.4) for a (possibly
+/// merged) snapshot. Every family carries # HELP and # TYPE lines; label
+/// values are escaped per the Prometheus text-format rules. A non-empty
+/// `shards` adds the per-shard families (xtc_shard_requests_total, ...)
+/// with shard="N" labels on top of the aggregated ones.
+std::string render_metrics(const MetricsSnapshot& snapshot,
+                           const MetricsGauges& gauges,
+                           const std::vector<ShardSample>& shards = {});
 
 class ServerMetrics {
  public:
@@ -97,34 +145,30 @@ class ServerMetrics {
   /// Records one stage duration (per request for server stages, per job
   /// for worker stages).
   void observe_stage(Stage stage, double seconds);
-  const LatencyHistogram& stage_latency(Stage stage) const {
-    return stage_latency_[static_cast<std::size_t>(stage)];
-  }
+  /// Copy (not reference): the underlying histogram may be mutated by the
+  /// owning shard while the caller inspects it.
+  LatencyHistogram stage_latency(Stage stage) const;
 
-  void on_connection_opened() { ++connections_accepted_; }
-  void on_backpressure_rejection() { ++backpressure_rejections_; }
-  void on_deadline_expiry() { ++deadline_expiries_; }
-  void on_parse_error() { ++parse_errors_; }
+  void on_connection_opened();
+  void on_backpressure_rejection();
+  void on_deadline_expiry();
+  void on_parse_error();
 
-  std::uint64_t requests_total() const { return latency_.count(); }
-  std::uint64_t backpressure_rejections() const {
-    return backpressure_rejections_;
-  }
-  std::uint64_t deadline_expiries() const { return deadline_expiries_; }
+  std::uint64_t requests_total() const;
+  std::uint64_t connections_accepted() const;
+  std::uint64_t backpressure_rejections() const;
+  std::uint64_t deadline_expiries() const;
 
-  /// Renders the text exposition (text/plain; version=0.0.4): every family
-  /// carries # HELP and # TYPE lines and label values are escaped per the
-  /// Prometheus text-format rules (backslash, double quote, newline).
+  /// A consistent copy of every counter; safe from any thread.
+  MetricsSnapshot snapshot() const;
+
+  /// Renders this object's own counters (single-shard exposition);
+  /// equivalent to render_metrics(snapshot(), gauges).
   std::string render(const MetricsGauges& gauges) const;
 
  private:
-  std::map<std::pair<std::string, int>, std::uint64_t> requests_;
-  LatencyHistogram latency_;
-  LatencyHistogram stage_latency_[kNumStages];
-  std::uint64_t connections_accepted_ = 0;
-  std::uint64_t backpressure_rejections_ = 0;
-  std::uint64_t deadline_expiries_ = 0;
-  std::uint64_t parse_errors_ = 0;
+  mutable std::mutex mu_;
+  MetricsSnapshot counters_;
 };
 
 }  // namespace exten::net

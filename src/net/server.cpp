@@ -55,7 +55,10 @@ HttpServer::HttpServer(service::BatchEstimator& estimator,
       poller_(options_.poller_backend),
       rank_pool_(std::max(1u, options_.rank_threads),
                  std::max<std::size_t>(2, options_.rank_threads) * 2) {
-  listener_ = listen_tcp(options_.bind_address, &port_);
+  if (options_.own_listener) {
+    listener_ = listen_tcp(options_.bind_address, &port_, /*backlog=*/128,
+                           options_.reuse_port);
+  }
   make_wake_pipe(wake_pipe_);
 }
 
@@ -105,7 +108,9 @@ MetricsGauges HttpServer::gauges() const {
 void HttpServer::run() {
   EXTEN_CHECK(!running_, "HttpServer::run() may only be called once");
   running_ = true;
-  poller_.add(listener_.fd(), /*read=*/true, /*write=*/false);
+  if (listener_.valid()) {
+    poller_.add(listener_.fd(), /*read=*/true, /*write=*/false);
+  }
   poller_.add(wake_pipe_[0].fd(), /*read=*/true, /*write=*/false);
 
   while (true) {
@@ -121,7 +126,7 @@ void HttpServer::run() {
         }
         continue;
       }
-      if (event.fd == listener_.fd()) {
+      if (listener_.valid() && event.fd == listener_.fd()) {
         accept_connections();
         continue;
       }
@@ -147,6 +152,7 @@ void HttpServer::run() {
       }
     }
 
+    adopt_pending();
     handle_completions();
 
     if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
@@ -214,6 +220,48 @@ void HttpServer::accept_connections() {
     conn->expiry = Clock::now() + ms(options_.idle_timeout_ms);
     poller_.add(fd, /*read=*/true, /*write=*/false);
     connections_.emplace(fd, std::move(conn));
+    open_connections_mirror_.store(connections_.size(),
+                                   std::memory_order_relaxed);
+    metrics_.on_connection_opened();
+  }
+}
+
+void HttpServer::adopt_socket(Socket socket) {
+  {
+    std::lock_guard<std::mutex> lock(adopted_mu_);
+    adopted_.push_back(std::move(socket));
+  }
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1].fd(), &byte, 1);
+}
+
+void HttpServer::adopt_pending() {
+  std::vector<Socket> adopted;
+  {
+    std::lock_guard<std::mutex> lock(adopted_mu_);
+    if (adopted_.empty()) return;
+    adopted.swap(adopted_);
+  }
+  for (Socket& socket : adopted) {
+    const int fd = socket.fd();
+    if (draining_ || connections_.size() >= options_.max_connections) {
+      continue;  // Socket destructor closes; client sees a reset.
+    }
+    try {
+      set_nonblocking(fd, true);
+      set_nodelay(fd);
+    } catch (const Error&) {
+      continue;
+    }
+    auto conn = std::make_unique<Connection>(std::move(socket),
+                                             options_.limits);
+    conn->expiry = Clock::now() + ms(options_.idle_timeout_ms);
+    // Level-triggered polling picks up any bytes the client already sent
+    // while the connection sat in the handoff queue.
+    poller_.add(fd, /*read=*/true, /*write=*/false);
+    connections_.emplace(fd, std::move(conn));
+    open_connections_mirror_.store(connections_.size(),
+                                   std::memory_order_relaxed);
     metrics_.on_connection_opened();
   }
 }
@@ -233,6 +281,8 @@ void HttpServer::close_connection(int fd) {
   }
   poller_.remove(fd);
   connections_.erase(it);
+  open_connections_mirror_.store(connections_.size(),
+                                 std::memory_order_relaxed);
 }
 
 void HttpServer::on_readable(Connection& conn) {
@@ -331,7 +381,8 @@ void HttpServer::route_request(Connection& conn, const HttpRequest& request) {
     }
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4";
-    response.body = metrics_.render(gauges());
+    response.body = options_.metrics_override ? options_.metrics_override()
+                                              : metrics_.render(gauges());
     finish_request(conn, std::move(response));
     return;
   }
@@ -735,8 +786,10 @@ void HttpServer::handle_timeouts(Clock::time_point now) {
 void HttpServer::begin_drain() {
   draining_ = true;
   drain_deadline_ = Clock::now() + ms(options_.drain_timeout_ms);
-  poller_.remove(listener_.fd());
-  listener_.close();
+  if (listener_.valid()) {
+    poller_.remove(listener_.fd());
+    listener_.close();
+  }
   // Idle connections (no request in progress, nothing buffered) can close
   // immediately; everyone else gets Connection: close on their response.
   std::vector<int> idle;

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -90,6 +91,20 @@ struct ServerOptions {
 
   ParserLimits limits;
   Poller::Backend poller_backend = Poller::Backend::kDefault;
+
+  /// Set SO_REUSEPORT on this server's listener so several shards can bind
+  /// the same address:port (ShardedServer's reuseport accept mode).
+  bool reuse_port = false;
+  /// When false the server binds no listener at all and only serves
+  /// connections handed to it via adopt_socket() (ShardedServer's
+  /// accept-handoff mode).
+  bool own_listener = true;
+  /// This server's shard index within a ShardedServer (labels only).
+  unsigned shard_id = 0;
+  /// When set, GET /metrics answers with this body instead of the
+  /// shard-local exposition — ShardedServer installs its cluster-aggregated
+  /// renderer here. Must be callable from any shard's loop thread.
+  std::function<std::string()> metrics_override;
 };
 
 class HttpServer {
@@ -114,6 +129,22 @@ class HttpServer {
 
   /// Lifetime request count (valid to read after run() returns).
   std::uint64_t requests_served() const { return metrics_.requests_total(); }
+
+  /// Hands an accepted connection to this server's event loop; safe from
+  /// any thread (ShardedServer's accept-handoff mode). The loop adopts it
+  /// on its next wakeup; while draining or at max_connections the socket
+  /// is simply closed (the client sees a reset, same as a refused accept).
+  void adopt_socket(Socket socket);
+
+  // Cross-thread gauges + counters for cluster aggregation (safe from any
+  // thread; the mirrors are relaxed atomics updated by the loop thread).
+  std::size_t open_connections() const {
+    return open_connections_mirror_.load(std::memory_order_relaxed);
+  }
+  std::size_t inflight_requests() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
 
  private:
   struct BatchState {
@@ -183,6 +214,7 @@ class HttpServer {
   void finish_request(Connection& conn, HttpResponse response);
   void start_reading(Connection& conn);
   void close_connection(int fd);
+  void adopt_pending();
   void handle_completions();
   void handle_timeouts(Clock::time_point now);
   void begin_drain();
@@ -203,7 +235,10 @@ class HttpServer {
   service::ThreadPool rank_pool_;
 
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;
-  std::size_t inflight_ = 0;
+  /// Atomic only so other shards can read it for the aggregated gauges;
+  /// all writes happen on the loop thread.
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> open_connections_mirror_{0};
   ServerMetrics metrics_;
   bool draining_ = false;
   bool running_ = false;
@@ -216,6 +251,11 @@ class HttpServer {
 
   std::mutex completions_mu_;
   std::vector<Completion> completions_;
+
+  /// Connections handed over by ShardedServer's acceptor, waiting for the
+  /// loop thread to adopt them.
+  std::mutex adopted_mu_;
+  std::vector<Socket> adopted_;
 };
 
 }  // namespace exten::net

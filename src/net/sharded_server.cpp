@@ -1,0 +1,158 @@
+#include "net/sharded_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.h"
+
+namespace exten::net {
+
+ShardedServer::ShardedServer(service::BatchEstimator& estimator,
+                             ShardedServerOptions options)
+    : estimator_(estimator), options_(std::move(options)) {
+  EXTEN_CHECK(options_.shards >= 1, "ShardedServer needs >= 1 shard");
+
+  using AcceptMode = ShardedServerOptions::AcceptMode;
+  AcceptMode mode = options_.accept_mode;
+  if (mode == AcceptMode::kAuto) {
+    mode = reuse_port_supported() ? AcceptMode::kReusePort
+                                  : AcceptMode::kHandoff;
+  }
+  // One shard needs no balancing at all: plain listener, no acceptor.
+  reuse_port_ = options_.shards > 1 && mode == AcceptMode::kReusePort;
+  const bool handoff = options_.shards > 1 && mode == AcceptMode::kHandoff;
+
+  port_ = options_.server.port;
+  if (handoff) {
+    listener_ = listen_tcp(options_.server.bind_address, &port_);
+    make_wake_pipe(acceptor_wake_);
+  }
+
+  shards_.reserve(options_.shards);
+  for (unsigned i = 0; i < options_.shards; ++i) {
+    ServerOptions shard_options = options_.server;
+    shard_options.shard_id = i;
+    shard_options.port = port_;
+    shard_options.reuse_port = reuse_port_;
+    shard_options.own_listener = !handoff;
+    shard_options.metrics_override = [this] {
+      return render_cluster_metrics();
+    };
+    shards_.push_back(std::make_unique<HttpServer>(
+        estimator_, std::move(shard_options)));
+    if (i == 0 && !handoff) {
+      // Shard 0 resolved the ephemeral port; later reuseport listeners
+      // must bind the same one.
+      port_ = shards_[0]->port();
+    }
+  }
+}
+
+ShardedServer::~ShardedServer() = default;
+
+void ShardedServer::request_stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  // Nudge the acceptor (no-op pipe in reuseport mode) and every shard.
+  // Only async-signal-safe calls here; shards_ is structurally frozen
+  // after construction.
+  const char byte = 1;
+  if (acceptor_wake_[1].valid()) {
+    [[maybe_unused]] ssize_t n = ::write(acceptor_wake_[1].fd(), &byte, 1);
+  }
+  for (const auto& shard : shards_) shard->request_stop();
+}
+
+void ShardedServer::acceptor_loop() {
+  // Round-robin handoff: connection k goes to shard k % N — deterministic,
+  // which is what lets a test saturate one specific shard.
+  std::size_t next = 0;
+  pollfd fds[2] = {{listener_.fd(), POLLIN, 0},
+                   {acceptor_wake_[0].fd(), POLLIN, 0}};
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    fds[0].revents = 0;
+    fds[1].revents = 0;
+    const int ready = ::poll(fds, 2, /*timeout_ms=*/1000);
+    if (ready <= 0) continue;  // timeout/EINTR: re-check the stop flag
+    if (fds[1].revents != 0) {
+      char buf[64];
+      while (::read(acceptor_wake_[0].fd(), buf, sizeof(buf)) > 0) {
+      }
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    while (true) {
+      const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN/EINTR/transient: pass is over
+      shards_[next]->adopt_socket(Socket(fd));
+      next = (next + 1) % shards_.size();
+    }
+  }
+  // Stop accepting before the shards drain; pending-but-unserved backlog
+  // connections get a reset, same as a plain HttpServer closing its
+  // listener in begin_drain().
+  listener_.close();
+}
+
+void ShardedServer::run() {
+  EXTEN_CHECK(!running_, "ShardedServer::run() may only be called once");
+  running_ = true;
+
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size() + 1);
+  for (const auto& shard : shards_) {
+    threads.emplace_back([&server = *shard] { server.run(); });
+  }
+  if (listener_.valid()) {
+    threads.emplace_back([this] { acceptor_loop(); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+std::uint64_t ShardedServer::requests_served() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->requests_served();
+  return total;
+}
+
+std::string ShardedServer::render_cluster_metrics() const {
+  MetricsSnapshot total;
+  std::vector<ShardSample> samples;
+  samples.reserve(shards_.size());
+  std::size_t open_connections = 0;
+  std::size_t inflight = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const MetricsSnapshot snap = shards_[i]->metrics_snapshot();
+    ShardSample sample;
+    sample.shard = static_cast<unsigned>(i);
+    sample.requests = snap.requests_total();
+    sample.connections_accepted = snap.connections_accepted;
+    sample.backpressure_rejections = snap.backpressure_rejections;
+    sample.deadline_expiries = snap.deadline_expiries;
+    sample.open_connections = shards_[i]->open_connections();
+    sample.inflight_requests = shards_[i]->inflight_requests();
+    open_connections += sample.open_connections;
+    inflight += sample.inflight_requests;
+    samples.push_back(sample);
+    total.merge(snap);
+  }
+
+  MetricsGauges gauges;
+  gauges.open_connections = open_connections;
+  gauges.inflight_requests = inflight;
+  gauges.queue_depth = estimator_.queue_depth();
+  gauges.queue_capacity = estimator_.queue_capacity();
+  gauges.draining = stop_requested_.load(std::memory_order_acquire);
+  gauges.cache = estimator_.cache_stats();
+  if (options_.server.energy_meter != nullptr) {
+    gauges.energy_backend = options_.server.energy_meter->kind();
+    gauges.energy = options_.server.energy_meter->snapshot();
+  }
+  gauges.proc = energy::read_proc_self_stats();
+  gauges.shards = shards_.size();
+  return render_metrics(total, gauges, samples);
+}
+
+}  // namespace exten::net

@@ -1,0 +1,117 @@
+#pragma once
+
+// Multi-core scale-out for the estimation server: N independent HttpServer
+// event loops ("shards"), one thread each, in front of one shared
+// BatchEstimator (whose striped EvalCache and bounded MPMC queue are
+// already thread-safe).
+//
+// Accept models:
+//
+//   kReusePort — every shard binds its own SO_REUSEPORT listener on the
+//     same address:port and the kernel load-balances incoming connections
+//     across them. Zero cross-shard coordination on the accept path; this
+//     is the default wherever SO_REUSEPORT exists.
+//
+//   kHandoff — one acceptor thread owns the single listener and hands
+//     accepted sockets to shards round-robin via HttpServer::adopt_socket
+//     (mutex-protected queue + self-pipe wakeup). Portable fallback, and
+//     the mode the deterministic tests use: connection k lands on shard
+//     k % num_shards, so a test can aim traffic at one specific shard.
+//
+// /metrics on ANY shard answers with the cluster-aggregated exposition:
+// per-shard MetricsSnapshots merged into one set of xtc_* families (so the
+// single-shard dashboards keep working unchanged) plus per-shard
+// xtc_shard_* families labeled shard="N" for load-balance visibility.
+//
+// Shutdown: request_stop() is async-signal-safe (atomic flags + pipe
+// writes, no locks). The acceptor stops and closes the shared listener,
+// every shard drains independently (503s new estimation work, finishes
+// in-flight requests, closes idle connections), and run() joins all shard
+// threads before returning.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.h"
+#include "net/socket.h"
+
+namespace exten::net {
+
+struct ShardedServerOptions {
+  /// Per-shard template. `port`/`bind_address` describe the shared
+  /// endpoint; `reuse_port`, `own_listener`, `shard_id` and
+  /// `metrics_override` are overwritten per shard by the accept mode.
+  ServerOptions server;
+  /// Event-loop shards (>= 1). 1 behaves exactly like a plain HttpServer
+  /// with a normal listener.
+  unsigned shards = 1;
+
+  enum class AcceptMode {
+    kAuto,       ///< kReusePort when the platform has it, else kHandoff.
+    kReusePort,  ///< per-shard SO_REUSEPORT listeners (kernel balancing)
+    kHandoff,    ///< single acceptor thread, round-robin adopt_socket
+  };
+  AcceptMode accept_mode = AcceptMode::kAuto;
+};
+
+class ShardedServer {
+ public:
+  /// Binds all listeners immediately (throws exten::Error on failure).
+  /// `estimator` must be shared-safe (BatchEstimator is) and outlive the
+  /// server.
+  ShardedServer(service::BatchEstimator& estimator,
+                ShardedServerOptions options);
+  ~ShardedServer();
+
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  /// The shared bound port (useful with options.server.port == 0).
+  std::uint16_t port() const { return port_; }
+  unsigned num_shards() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+  /// True when the reuseport accept model is active (false = handoff).
+  bool using_reuse_port() const { return reuse_port_; }
+
+  /// Runs every shard (plus the acceptor in handoff mode) until a
+  /// requested stop has fully drained all of them. Call from one thread.
+  void run();
+
+  /// Initiates graceful shutdown of every shard; async-signal-safe,
+  /// callable from any thread. Idempotent.
+  void request_stop();
+
+  /// Lifetime request count summed over shards (valid after run()).
+  std::uint64_t requests_served() const;
+
+  /// Shard accessor for tests ( i < num_shards() ).
+  HttpServer& shard(std::size_t i) { return *shards_[i]; }
+
+  /// The cluster-aggregated /metrics body (what any shard's /metrics
+  /// route serves); exposed for tests and for scraping without HTTP.
+  std::string render_cluster_metrics() const;
+
+ private:
+  void acceptor_loop();
+
+  service::BatchEstimator& estimator_;
+  ShardedServerOptions options_;
+  std::uint16_t port_ = 0;
+  bool reuse_port_ = false;
+
+  std::vector<std::unique_ptr<HttpServer>> shards_;
+
+  // Handoff mode only: the shared listener + the acceptor's wake pipe.
+  Socket listener_;
+  Socket acceptor_wake_[2];
+
+  std::atomic<bool> stop_requested_{false};
+  bool running_ = false;
+};
+
+}  // namespace exten::net

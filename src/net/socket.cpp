@@ -58,12 +58,29 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+bool reuse_port_supported() {
+#ifdef SO_REUSEPORT
+  return true;
+#else
+  return false;
+#endif
+}
+
 Socket listen_tcp(const std::string& address, std::uint16_t* port,
-                  int backlog) {
+                  int backlog, bool reuse_port) {
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   EXTEN_CHECK(sock.valid(), "socket(): ", errno_text());
   const int one = 1;
   ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+#ifdef SO_REUSEPORT
+    EXTEN_CHECK(::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEPORT, &one,
+                             sizeof(one)) == 0,
+                "setsockopt(SO_REUSEPORT): ", errno_text());
+#else
+    throw Error("SO_REUSEPORT is not supported on this platform");
+#endif
+  }
 
   sockaddr_in addr = make_addr(address, *port);
   EXTEN_CHECK(::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr),

@@ -52,9 +52,16 @@ void set_nodelay(int fd);
 
 /// Creates a listening TCP socket bound to `address`:`*port` (SO_REUSEADDR,
 /// non-blocking). `*port` == 0 picks an ephemeral port; the bound port is
-/// written back. Throws exten::Error on failure.
+/// written back. With `reuse_port`, SO_REUSEPORT is also set so several
+/// listeners (one per server shard) can bind the same address:port and let
+/// the kernel load-balance accepts across them; throws when the platform
+/// has no SO_REUSEPORT. Throws exten::Error on failure.
 Socket listen_tcp(const std::string& address, std::uint16_t* port,
-                  int backlog = 128);
+                  int backlog = 128, bool reuse_port = false);
+
+/// True when this build/platform supports SO_REUSEPORT listeners (the
+/// sharded server falls back to accept-handoff when it does not).
+bool reuse_port_supported();
 
 /// Blocking connect with a millisecond timeout; the returned socket is in
 /// blocking mode with SO_RCVTIMEO/SO_SNDTIMEO set to `timeout_ms`.

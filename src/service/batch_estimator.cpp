@@ -36,7 +36,7 @@ BatchEstimator::BatchEstimator(model::EnergyMacroModel model,
     : model_(std::move(model)),
       model_digest_(hash_macro_model(model_)),
       options_(options),
-      cache_(options.cache_capacity),
+      cache_(options.cache_capacity, options.cache_stripes),
       pool_(options.num_threads, options.queue_capacity) {}
 
 JobResult BatchEstimator::run_job(

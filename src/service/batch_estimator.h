@@ -38,6 +38,8 @@ struct BatchOptions {
   unsigned num_threads = 0;
   /// Maximum cached evaluations (LRU); 0 disables the cache.
   std::size_t cache_capacity = 1024;
+  /// Evaluation-cache lock stripes; 0 = auto (see EvalCache).
+  std::size_t cache_stripes = 0;
   /// Job-queue depth; 0 = 2x worker count.
   std::size_t queue_capacity = 0;
   /// Per-job instruction budget forwarded to the simulator.

@@ -1,5 +1,7 @@
 #include "service/eval_cache.h"
 
+#include <algorithm>
+
 namespace exten::service {
 
 namespace {
@@ -15,62 +17,110 @@ std::uint64_t entry_bytes(const model::EnergyEstimate& estimate) {
   }
   return bytes;
 }
+
+/// Stripe selector: mixes the digest differently from DigestHash (which
+/// feeds the per-stripe index buckets) so stripe choice and bucket choice
+/// stay decorrelated.
+std::size_t stripe_index(const Digest& key, std::size_t num_stripes) {
+  const std::uint64_t mixed = key.lo ^ (key.hi * 0x9e3779b97f4a7c15ull);
+  return static_cast<std::size_t>(mixed % num_stripes);
+}
 }  // namespace
 
-EvalCache::EvalCache(std::size_t capacity) : capacity_(capacity) {
-  stats_.capacity = capacity;
-  if (capacity_ > 0) index_.reserve(capacity_);
+EvalCache::EvalCache(std::size_t capacity, std::size_t stripes)
+    : capacity_(capacity) {
+  if (stripes == 0) {
+    stripes = capacity < kAutoStripeThreshold ? 1 : kMaxAutoStripes;
+  }
+  if (capacity > 0) stripes = std::min(stripes, capacity);
+  stripes = std::max<std::size_t>(1, stripes);
+
+  stripes_.reserve(stripes);
+  const std::size_t base = capacity / stripes;
+  const std::size_t remainder = capacity % stripes;
+  for (std::size_t i = 0; i < stripes; ++i) {
+    auto stripe = std::make_unique<Stripe>();
+    stripe->capacity = base + (i < remainder ? 1 : 0);
+    stripe->stats.capacity = stripe->capacity;
+    if (stripe->capacity > 0) stripe->index.reserve(stripe->capacity);
+    stripes_.push_back(std::move(stripe));
+  }
+}
+
+std::size_t EvalCache::stripe_of(const Digest& key) const {
+  return stripe_index(key, stripes_.size());
 }
 
 std::optional<model::EnergyEstimate> EvalCache::lookup(const Digest& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
+  Stripe& stripe = *stripes_[stripe_of(key)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.index.find(key);
+  if (it == stripe.index.end()) {
+    ++stripe.stats.misses;
     return std::nullopt;
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh to MRU
+  ++stripe.stats.hits;
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru,
+                    it->second);  // refresh to MRU
   return it->second->second;
 }
 
 void EvalCache::insert(const Digest& key, model::EnergyEstimate estimate) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+  Stripe& stripe = *stripes_[stripe_of(key)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.index.find(key);
+  if (it != stripe.index.end()) {
     // Concurrent miss on the same key: both threads computed the (equal)
     // result; refresh rather than grow.
-    stats_.approx_bytes -= entry_bytes(it->second->second);
+    stripe.stats.approx_bytes -= entry_bytes(it->second->second);
     it->second->second = std::move(estimate);
-    stats_.approx_bytes += entry_bytes(it->second->second);
-    lru_.splice(lru_.begin(), lru_, it->second);
+    stripe.stats.approx_bytes += entry_bytes(it->second->second);
+    stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
     return;
   }
-  if (lru_.size() >= capacity_) {
-    stats_.approx_bytes -= entry_bytes(lru_.back().second);
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++stats_.evictions;
+  if (stripe.lru.size() >= stripe.capacity) {
+    stripe.stats.approx_bytes -= entry_bytes(stripe.lru.back().second);
+    stripe.index.erase(stripe.lru.back().first);
+    stripe.lru.pop_back();
+    ++stripe.stats.evictions;
   }
-  lru_.emplace_front(key, std::move(estimate));
-  index_.emplace(key, lru_.begin());
-  stats_.approx_bytes += entry_bytes(lru_.front().second);
-  ++stats_.insertions;
+  stripe.lru.emplace_front(key, std::move(estimate));
+  stripe.index.emplace(key, stripe.lru.begin());
+  stripe.stats.approx_bytes += entry_bytes(stripe.lru.front().second);
+  ++stripe.stats.insertions;
 }
 
 CacheStats EvalCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  CacheStats snapshot = stats_;
-  snapshot.entries = lru_.size();
+  CacheStats total;
+  total.capacity = capacity_;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total.hits += stripe->stats.hits;
+    total.misses += stripe->stats.misses;
+    total.insertions += stripe->stats.insertions;
+    total.evictions += stripe->stats.evictions;
+    total.entries += stripe->lru.size();
+    total.approx_bytes += stripe->stats.approx_bytes;
+  }
+  return total;
+}
+
+CacheStats EvalCache::stripe_stats(std::size_t stripe_id) const {
+  const Stripe& stripe = *stripes_[stripe_id];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  CacheStats snapshot = stripe.stats;
+  snapshot.entries = stripe.lru.size();
   return snapshot;
 }
 
 void EvalCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  index_.clear();
-  stats_.approx_bytes = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->lru.clear();
+    stripe->index.clear();
+    stripe->stats.approx_bytes = 0;
+  }
 }
 
 }  // namespace exten::service

@@ -8,19 +8,25 @@
 // is exactly as good as re-running the ISS — which is what makes repeated
 // design-space exploration over overlapping candidate sets cheap.
 //
-// Thread safety: all methods are safe to call concurrently (one internal
-// mutex; an evaluation is microseconds of copying against the
-// milliseconds-to-seconds of a simulation, so a sharded design is not
-// warranted yet). Note there is no in-flight dedup: two threads missing on
-// the same key simultaneously both compute and both insert (last write
-// wins, results are identical by construction).
+// Thread safety: all methods are safe to call concurrently. The cache is
+// lock-striped: the digest selects one of `num_stripes()` independent LRU
+// shards (own mutex, own list/index/counters), so concurrent lookups from
+// several server shards stop serializing on one lock. Striping trades
+// global LRU order for per-stripe LRU order — eviction accuracy degrades
+// only when one stripe's share of the capacity is hot — so small caches
+// (< 128 entries by default) keep a single stripe and the exact global
+// LRU behavior the unit tests pin down. Note there is no in-flight dedup:
+// two threads missing on the same key simultaneously both compute and
+// both insert (last write wins, results are identical by construction).
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "model/estimate.h"
 #include "service/content_hash.h"
@@ -28,6 +34,8 @@
 namespace exten::service {
 
 /// Counter snapshot (monotonic over the cache's lifetime, except entries).
+/// For a striped cache, stats() sums these across stripes; the invariant
+/// `entries == insertions - evictions` holds per stripe and in total.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -50,36 +58,59 @@ struct CacheStats {
 
 class EvalCache {
  public:
-  /// `capacity` = maximum resident entries; 0 disables caching entirely
-  /// (every lookup misses, inserts are dropped).
-  explicit EvalCache(std::size_t capacity);
+  /// `capacity` = maximum resident entries across all stripes; 0 disables
+  /// caching entirely (every lookup misses, inserts are dropped).
+  /// `stripes` = number of independent lock-striped LRU shards; 0 picks
+  /// automatically (1 below kAutoStripeThreshold entries, else
+  /// kMaxAutoStripes). The value is always clamped to [1, capacity] when
+  /// capacity > 0, so no stripe ends up with zero capacity.
+  explicit EvalCache(std::size_t capacity, std::size_t stripes = 0);
 
   EvalCache(const EvalCache&) = delete;
   EvalCache& operator=(const EvalCache&) = delete;
 
-  /// Returns a copy of the cached estimate and refreshes its LRU position;
-  /// std::nullopt on miss. Counts a hit or a miss.
+  /// Returns a copy of the cached estimate and refreshes its LRU position
+  /// within its stripe; std::nullopt on miss. Counts a hit or a miss.
   std::optional<model::EnergyEstimate> lookup(const Digest& key);
 
   /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
-  /// when at capacity.
+  /// of the key's stripe when that stripe is at capacity.
   void insert(const Digest& key, model::EnergyEstimate estimate);
 
+  /// Aggregated over every stripe.
   CacheStats stats() const;
+
+  std::size_t num_stripes() const { return stripes_.size(); }
+  /// Which stripe `key` maps to (stable for the cache's lifetime).
+  std::size_t stripe_of(const Digest& key) const;
+  /// One stripe's counters (entries/capacity are that stripe's share).
+  CacheStats stripe_stats(std::size_t stripe) const;
 
   /// Drops every entry (counters other than `entries` / `approx_bytes`
   /// are preserved).
   void clear();
 
+  /// Caches below this capacity default to a single stripe (exact global
+  /// LRU); at or above it, auto-striping kicks in.
+  static constexpr std::size_t kAutoStripeThreshold = 128;
+  static constexpr std::size_t kMaxAutoStripes = 16;
+
  private:
-  // MRU at the front of lru_; map values point into the list.
+  // MRU at the front of each stripe's lru; index values point into it.
   using LruList = std::list<std::pair<Digest, model::EnergyEstimate>>;
 
+  struct Stripe {
+    mutable std::mutex mu;
+    std::size_t capacity = 0;
+    LruList lru;
+    std::unordered_map<Digest, LruList::iterator, DigestHash> index;
+    CacheStats stats;
+  };
+
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  LruList lru_;
-  std::unordered_map<Digest, LruList::iterator, DigestHash> index_;
-  CacheStats stats_;
+  // unique_ptr because Stripe holds a mutex (immovable) and the vector is
+  // sized once in the constructor.
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 
 }  // namespace exten::service

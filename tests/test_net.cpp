@@ -27,6 +27,7 @@
 #include "net/metrics.h"
 #include "net/poller.h"
 #include "net/server.h"
+#include "net/sharded_server.h"
 #include "net/socket.h"
 #include "obs/trace.h"
 #include "service/batch_estimator.h"
@@ -1126,6 +1127,327 @@ TEST(HttpServer, ConcurrentClientsAllServed) {
   }
   for (std::thread& t : clients) t.join();
   EXPECT_EQ(ok_count.load(), kClients * kRequestsEach);
+}
+
+// --- ShardedServer ---------------------------------------------------------
+
+ShardedServerOptions sharded_options(
+    unsigned shards,
+    ShardedServerOptions::AcceptMode mode =
+        ShardedServerOptions::AcceptMode::kAuto) {
+  ShardedServerOptions options;
+  options.shards = shards;
+  options.accept_mode = mode;
+  return options;
+}
+
+/// TestServer's multi-shard sibling: N event-loop shards over one shared
+/// estimator, stopped and joined on destruction.
+class ShardedTestServer {
+ public:
+  explicit ShardedTestServer(
+      ShardedServerOptions options = sharded_options(4),
+      service::BatchOptions batch_options = small_batch_options())
+      : estimator_(flat_model(), batch_options),
+        server_(estimator_, std::move(options)),
+        thread_([this] { server_.run(); }) {}
+
+  ~ShardedTestServer() {
+    server_.request_stop();
+    thread_.join();
+  }
+
+  std::uint16_t port() const { return server_.port(); }
+  ShardedServer& server() { return server_; }
+  HttpClient client() { return HttpClient("127.0.0.1", port(), 30'000); }
+
+ private:
+  service::BatchEstimator estimator_;
+  ShardedServer server_;
+  std::thread thread_;
+};
+
+/// Extracts the value of `family{label}` (or `family` with empty label)
+/// from a Prometheus text exposition; -1 when absent.
+long long metric_value(const std::string& body, const std::string& name) {
+  const std::size_t pos = body.find("\n" + name + " ");
+  if (pos == std::string::npos) return -1;
+  return std::stoll(body.substr(pos + name.size() + 2));
+}
+
+TEST(ShardedServer, FourShardsServeConcurrentMixedClients) {
+  // The battery: 6 concurrent keep-alive clients firing estimates and
+  // health checks at a 4-shard server. Every response must be well-formed
+  // regardless of which shard the kernel (or the handoff acceptor) picked.
+  // 4 workers -> queue capacity 8 > 6 concurrent posts, so backpressure
+  // cannot trigger and every request must answer 200.
+  ShardedTestServer ts(sharded_options(4), small_batch_options(/*threads=*/4));
+  EXPECT_EQ(ts.server().num_shards(), 4u);
+  constexpr int kClients = 6;
+  constexpr int kRequestsEach = 10;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      HttpClient client = ts.client();
+      for (int i = 0; i < kRequestsEach; ++i) {
+        if (i % 3 == 2) {
+          if (client.get("/healthz").status == 200) ok_count.fetch_add(1);
+          continue;
+        }
+        const auto response = client.post(
+            "/v1/estimate",
+            estimate_body("c" + std::to_string(c), kTinyAsm));
+        if (response.status != 200) continue;
+        const JsonValue body = JsonValue::parse(response.body);
+        if (body.find("ok")->as_bool() &&
+            body.find("energy_pj")->as_number() > 0.0) {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), kClients * kRequestsEach);
+  EXPECT_GE(ts.server().requests_served(),
+            static_cast<std::uint64_t>(kClients * kRequestsEach));
+}
+
+TEST(ShardedServer, MetricsCountersSumAcrossShards) {
+  ShardedTestServer ts(sharded_options(
+      4, ShardedServerOptions::AcceptMode::kHandoff));
+  constexpr int kClients = 8;  // two round-robin laps over 4 shards
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      HttpClient client = ts.client();
+      for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(client.get("/healthz").status, 200);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  HttpClient scraper = ts.client();
+  const auto metrics = scraper.get("/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  const std::string& body = metrics.body;
+  EXPECT_EQ(metric_value(body, "xtc_shards"), 4);
+
+  // The per-shard families must sum exactly to the aggregated ones (the
+  // scrape itself is shard-served, so compare against the merged counters
+  // rendered in the same exposition — one consistent pass).
+  long long shard_requests = 0;
+  long long shard_connections = 0;
+  for (int s = 0; s < 4; ++s) {
+    const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+    const long long requests =
+        metric_value(body, "xtc_shard_requests_total" + label);
+    const long long connections =
+        metric_value(body, "xtc_shard_connections_accepted_total" + label);
+    ASSERT_GE(requests, 0) << "missing shard " << s;
+    ASSERT_GE(connections, 0) << "missing shard " << s;
+    shard_requests += requests;
+    shard_connections += connections;
+  }
+  EXPECT_EQ(shard_requests,
+            metric_value(body, "xtc_request_duration_seconds_count"));
+  EXPECT_EQ(shard_connections,
+            metric_value(body, "xtc_connections_accepted_total"));
+  // Round-robin handoff spread the 9 connections over all 4 shards.
+  for (int s = 0; s < 4; ++s) {
+    const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+    EXPECT_GE(metric_value(
+                  body, "xtc_shard_connections_accepted_total" + label),
+              2)
+        << "shard " << s << " starved";
+  }
+}
+
+TEST(ShardedServer, PipelinedKeepAliveAndSplitRequestsAcrossShards) {
+  ShardedTestServer ts(sharded_options(
+      4, ShardedServerOptions::AcceptMode::kHandoff));
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_responses{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      // Two pipelined requests plus a third, deliberately split
+      // mid-request-line and mid-headers, on one keep-alive connection.
+      Socket socket = connect_tcp("127.0.0.1", ts.port(), 5000);
+      const std::string pipelined =
+          "GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n";
+      const std::string split_a = "GET /heal";
+      const std::string split_b = "thz HTTP/1.1\r\nConnection: cl";
+      const std::string split_c = "ose\r\n\r\n";
+      for (const std::string* part :
+           {&pipelined, &split_a, &split_b, &split_c}) {
+        std::size_t sent = 0;
+        while (sent < part->size()) {
+          const ssize_t n = ::write(socket.fd(), part->data() + sent,
+                                    part->size() - sent);
+          if (n <= 0 && errno == EINTR) continue;
+          ASSERT_GT(n, 0);
+          sent += static_cast<std::size_t>(n);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      std::string received;
+      char buf[4096];
+      while (true) {
+        const ssize_t n = ::read(socket.fd(), buf, sizeof(buf));
+        if (n > 0) {
+          received.append(buf, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        break;  // EOF after Connection: close
+      }
+      int count = 0;
+      for (std::size_t pos = received.find("HTTP/1.1 200");
+           pos != std::string::npos;
+           pos = received.find("HTTP/1.1 200", pos + 1)) {
+        ++count;
+      }
+      EXPECT_EQ(count, 3) << "connection got: " << received;
+      ok_responses.fetch_add(count);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok_responses.load(), kClients * 3);
+}
+
+TEST(ShardedServer, StopDrainsEveryShardWithIdleConnections) {
+  // One idle keep-alive connection parked on each shard (round-robin
+  // handoff guarantees the spread); request_stop must close all of them
+  // and join all four loops promptly — a stuck shard would hang here.
+  service::BatchEstimator estimator(flat_model(), small_batch_options());
+  ShardedServer server(
+      estimator,
+      sharded_options(4, ShardedServerOptions::AcceptMode::kHandoff));
+  std::thread loop([&] { server.run(); });
+
+  std::vector<HttpClient> parked;
+  for (int c = 0; c < 4; ++c) {
+    parked.emplace_back("127.0.0.1", server.port(), 5000);
+    EXPECT_EQ(parked.back().get("/healthz").status, 200);
+    EXPECT_TRUE(parked.back().connected());
+  }
+  EXPECT_EQ(server.requests_served(), 4u);
+
+  const auto stop_at = std::chrono::steady_clock::now();
+  server.request_stop();
+  loop.join();
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - stop_at)
+                             .count();
+  EXPECT_LT(seconds, 5.0);  // no shard waited for idle/drain timeouts
+}
+
+TEST(ShardedServer, ReusePortModeServesWhenSupported) {
+  if (!reuse_port_supported()) {
+    GTEST_SKIP() << "platform has no SO_REUSEPORT";
+  }
+  ShardedTestServer ts(sharded_options(
+      2, ShardedServerOptions::AcceptMode::kReusePort));
+  EXPECT_TRUE(ts.server().using_reuse_port());
+  HttpClient client = ts.client();
+  EXPECT_EQ(client.get("/healthz").status, 200);
+  const auto response =
+      client.post("/v1/estimate", estimate_body("tiny", kTinyAsm));
+  EXPECT_EQ(response.status, 200);
+}
+
+TEST(ShardedServer, BackpressureOn503SaturatedShardIsDeterministic) {
+  // Handoff round-robin makes connection k land on shard k % 2: the slow
+  // request's connection (#0) and the probe connection (#2) both hit
+  // shard 0, while its single admission slot is held — the same 503 +
+  // Retry-After contract as the single-loop server, now provably
+  // exercised on a specific saturated shard.
+  ShardedServerOptions options =
+      sharded_options(2, ShardedServerOptions::AcceptMode::kHandoff);
+  options.server.max_inflight = 1;
+  ShardedTestServer ts(options, small_batch_options(/*threads=*/1));
+
+  std::thread slow([&] {
+    HttpClient client = ts.client();  // connection #0 -> shard 0
+    const auto response =
+        client.post("/v1/estimate", estimate_body("slow", kSlowAsm));
+    EXPECT_EQ(response.status, 200);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  HttpClient occupy_shard1 = ts.client();  // connection #1 -> shard 1
+  EXPECT_EQ(occupy_shard1.get("/healthz").status, 200);
+
+  HttpClient probe = ts.client();  // connection #2 -> shard 0 (saturated)
+  const auto rejected =
+      probe.post("/v1/estimate", estimate_body("tiny", kTinyAsm));
+  EXPECT_EQ(rejected.status, 503);
+  const std::string* retry_after = rejected.header("Retry-After");
+  ASSERT_NE(retry_after, nullptr);
+  EXPECT_EQ(*retry_after, "1");
+  slow.join();
+
+  // The rejection is attributed to shard 0 and to the aggregate.
+  const auto metrics = occupy_shard1.get("/metrics");
+  const std::string& body = metrics.body;
+  EXPECT_EQ(metric_value(body, "xtc_backpressure_rejections_total"), 1);
+  EXPECT_EQ(
+      metric_value(body, "xtc_shard_backpressure_rejections_total{shard=\"0\"}"),
+      1);
+  EXPECT_EQ(
+      metric_value(body, "xtc_shard_backpressure_rejections_total{shard=\"1\"}"),
+      0);
+}
+
+TEST(ShardedServer, DeadlineExpiry504InShardedPathDropsStaleCompletion) {
+  // One shared worker: the slow job (via shard 0) occupies it; the
+  // deadlined job (via shard 1) sits queued until its 50ms deadline
+  // fires. Shard 1 must answer 504 and drop the eventual stale completion
+  // by generation check — identical to the single-loop contract.
+  ShardedTestServer ts(
+      sharded_options(2, ShardedServerOptions::AcceptMode::kHandoff),
+      small_batch_options(/*threads=*/1));
+
+  std::thread slow([&] {
+    HttpClient client = ts.client();  // connection #0 -> shard 0
+    const auto response =
+        client.post("/v1/estimate", estimate_body("slow", kSlowAsm));
+    EXPECT_EQ(response.status, 200);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  HttpClient client = ts.client();  // connection #1 -> shard 1
+  const auto expired = client.post(
+      "/v1/estimate", estimate_body("queued", kTinyAsm, /*deadline_ms=*/50));
+  EXPECT_EQ(expired.status, 504);
+  EXPECT_NE(expired.body.find("deadline"), std::string::npos);
+  slow.join();
+
+  // The same connection keeps working after its 504 (stale completion was
+  // dropped, not delivered), and the expiry is attributed to shard 1.
+  const auto metrics = client.get("/metrics");
+  const std::string& body = metrics.body;
+  EXPECT_EQ(metric_value(body, "xtc_deadline_expiries_total"), 1);
+  EXPECT_EQ(
+      metric_value(body, "xtc_shard_deadline_expiries_total{shard=\"1\"}"), 1);
+  EXPECT_EQ(
+      metric_value(body, "xtc_shard_deadline_expiries_total{shard=\"0\"}"), 0);
+}
+
+TEST(ShardedServer, SingleShardBehavesLikePlainServer) {
+  ShardedTestServer ts(sharded_options(1));
+  EXPECT_EQ(ts.server().num_shards(), 1u);
+  EXPECT_FALSE(ts.server().using_reuse_port());
+  HttpClient client = ts.client();
+  EXPECT_EQ(client.get("/healthz").status, 200);
+  const auto metrics = client.get("/metrics");
+  EXPECT_EQ(metric_value(metrics.body, "xtc_shards"), 1);
+  // Single shard: aggregated families only, no per-shard breakdown... but
+  // the ShardedServer still renders the cluster view with one sample.
+  EXPECT_NE(metrics.body.find("xtc_shard_requests_total{shard=\"0\"}"),
+            std::string::npos);
 }
 
 }  // namespace

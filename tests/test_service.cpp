@@ -334,6 +334,124 @@ TEST(EvalCache, ClearDropsEntriesKeepsCounters) {
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
+TEST(EvalCache, AutoStripingKeepsSmallCachesExactGlobalLru) {
+  // Below the threshold: one stripe, so the global-LRU tests above keep
+  // pinning exact eviction order. At/above it: the full auto stripe count.
+  EXPECT_EQ(EvalCache(2).num_stripes(), 1u);
+  EXPECT_EQ(EvalCache(EvalCache::kAutoStripeThreshold - 1).num_stripes(), 1u);
+  EXPECT_EQ(EvalCache(EvalCache::kAutoStripeThreshold).num_stripes(),
+            EvalCache::kMaxAutoStripes);
+  EXPECT_EQ(EvalCache(4096).num_stripes(), EvalCache::kMaxAutoStripes);
+  // Explicit stripe counts are honored but clamped to the capacity so no
+  // stripe ends up unable to hold anything.
+  EXPECT_EQ(EvalCache(64, 8).num_stripes(), 8u);
+  EXPECT_EQ(EvalCache(4, 16).num_stripes(), 4u);
+  EXPECT_EQ(EvalCache(0).num_stripes(), 1u);
+}
+
+TEST(EvalCache, StripeCapacitiesPartitionTheTotal) {
+  EvalCache cache(100, 8);  // 100 = 8*12 + 4: four stripes get 13
+  ASSERT_EQ(cache.num_stripes(), 8u);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < cache.num_stripes(); ++i) {
+    const CacheStats stripe = cache.stripe_stats(i);
+    EXPECT_GE(stripe.capacity, 12u);
+    EXPECT_LE(stripe.capacity, 13u);
+    total += stripe.capacity;
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(cache.stats().capacity, 100u);
+}
+
+TEST(EvalCache, StripeOfIsStableAndInRange) {
+  EvalCache cache(256, 8);
+  for (std::uint64_t n = 0; n < 100; ++n) {
+    const std::size_t stripe = cache.stripe_of(key_of(n));
+    EXPECT_LT(stripe, cache.num_stripes());
+    EXPECT_EQ(stripe, cache.stripe_of(key_of(n)));  // deterministic
+  }
+}
+
+TEST(EvalCache, StripedStressInvariantsHoldPerStripeAndInTotal) {
+  // The striped counterpart of ConcurrentHitsAndEvictionsKeepCountersCoherent:
+  // 8 threads hammering 96 overlapping keys through a 48-slot, 8-stripe
+  // cache — concurrent hits, inserts, refreshes and evictions on every
+  // stripe. Capacity and byte accounting must hold exactly per stripe AND
+  // summed, regardless of interleaving (this is the TSan probe for the
+  // striped lock discipline).
+  constexpr std::size_t kCapacity = 48;
+  constexpr std::size_t kStripes = 8;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr std::uint64_t kKeySpace = 96;
+  EvalCache cache(kCapacity, kStripes);
+  ASSERT_EQ(cache.num_stripes(), kStripes);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const Digest key = key_of(static_cast<std::uint64_t>(
+            (i * (t + 3) + t) % kKeySpace));
+        if (!cache.lookup(key).has_value()) {
+          cache.insert(key, dummy_estimate(static_cast<double>(i)));
+        } else if (i % 17 == 0) {
+          // Deliberate refresh of a resident key: exercises the
+          // replace-not-grow path under contention.
+          cache.insert(key, dummy_estimate(static_cast<double>(i) + 0.5));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  constexpr std::uint64_t kEntryBytes =
+      sizeof(Digest) + sizeof(model::EnergyEstimate);
+  CacheStats summed;
+  for (std::size_t i = 0; i < cache.num_stripes(); ++i) {
+    const CacheStats stripe = cache.stripe_stats(i);
+    EXPECT_LE(stripe.entries, stripe.capacity) << "stripe " << i;
+    EXPECT_EQ(stripe.entries, stripe.insertions - stripe.evictions)
+        << "stripe " << i;
+    EXPECT_EQ(stripe.approx_bytes, stripe.entries * kEntryBytes)
+        << "stripe " << i;
+    summed.hits += stripe.hits;
+    summed.misses += stripe.misses;
+    summed.insertions += stripe.insertions;
+    summed.evictions += stripe.evictions;
+    summed.entries += stripe.entries;
+    summed.approx_bytes += stripe.approx_bytes;
+  }
+  const CacheStats total = cache.stats();
+  EXPECT_EQ(total.hits, summed.hits);
+  EXPECT_EQ(total.misses, summed.misses);
+  EXPECT_EQ(total.insertions, summed.insertions);
+  EXPECT_EQ(total.evictions, summed.evictions);
+  EXPECT_EQ(total.entries, summed.entries);
+  EXPECT_EQ(total.approx_bytes, summed.approx_bytes);
+  EXPECT_LE(total.entries, kCapacity);
+  EXPECT_EQ(total.entries, total.insertions - total.evictions);
+  EXPECT_EQ(total.approx_bytes, total.entries * kEntryBytes);
+  // Every lookup was either a hit or a miss; refreshes don't count as
+  // lookups but do count as insertions.
+  EXPECT_GE(total.hits + total.misses,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST(EvalCache, StripedKeysLandInTheirOwnStripeOnly) {
+  EvalCache cache(256, 8);
+  for (std::uint64_t n = 0; n < 64; ++n) {
+    cache.insert(key_of(n), dummy_estimate(static_cast<double>(n)));
+  }
+  std::vector<std::size_t> expected(cache.num_stripes(), 0);
+  for (std::uint64_t n = 0; n < 64; ++n) {
+    ++expected[cache.stripe_of(key_of(n))];
+  }
+  for (std::size_t i = 0; i < cache.num_stripes(); ++i) {
+    EXPECT_EQ(cache.stripe_stats(i).entries, expected[i]) << "stripe " << i;
+  }
+}
+
 // --- BatchEstimator --------------------------------------------------------
 
 std::vector<BatchJob> tiny_batch(std::size_t copies) {

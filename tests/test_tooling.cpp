@@ -302,6 +302,45 @@ TEST(ToolCommon, ToolMainPassesThroughBodyExitCode) {
             tools::kExitUsage);
 }
 
+TEST(ToolCommon, ParseCountAcceptsPlainUnsignedIntegers) {
+  EXPECT_EQ(tools::parse_count("clients", "4"), 4u);
+  EXPECT_EQ(tools::parse_count("clients", "0"), 0u);
+  EXPECT_EQ(tools::parse_count("clients", "1024"), 1024u);
+  EXPECT_EQ(tools::parse_count("shards", "18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ToolCommon, ParseCountEnforcesInclusiveBounds) {
+  EXPECT_EQ(tools::parse_count("clients", "1", 1, 1024), 1u);
+  EXPECT_EQ(tools::parse_count("clients", "1024", 1, 1024), 1024u);
+  EXPECT_THROW(tools::parse_count("clients", "0", 1, 1024), Error);
+  EXPECT_THROW(tools::parse_count("clients", "1025", 1, 1024), Error);
+}
+
+TEST(ToolCommon, ParseCountRejectsGarbage) {
+  // std::stoul would silently accept "8x" (-> 8), "-1" (-> huge), and
+  // leading whitespace; tool flags must not. The error text names the
+  // flag so "--clients banana" produces an actionable message.
+  EXPECT_THROW(tools::parse_count("clients", ""), Error);
+  EXPECT_THROW(tools::parse_count("clients", "banana"), Error);
+  EXPECT_THROW(tools::parse_count("clients", "8x"), Error);
+  EXPECT_THROW(tools::parse_count("clients", "4 "), Error);
+  EXPECT_THROW(tools::parse_count("clients", " 4"), Error);
+  EXPECT_THROW(tools::parse_count("clients", "-1"), Error);
+  EXPECT_THROW(tools::parse_count("clients", "+4"), Error);
+  EXPECT_THROW(tools::parse_count("clients", "0x10"), Error);
+  EXPECT_THROW(tools::parse_count("clients", "4.5"), Error);
+  EXPECT_THROW(tools::parse_count("clients", "99999999999999999999999"),
+               Error);  // overflows uint64
+  try {
+    tools::parse_count("clients", "banana");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--clients"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+  }
+}
+
 TEST(ToolCommon, ToolMainMapsErrorsToExitError) {
   ::testing::internal::CaptureStderr();
   const int code = tools::tool_main(

@@ -4,8 +4,11 @@
 // and loading a program (assembly source or serialized image) together
 // with its optional TIE-lite extension.
 
+#include <charconv>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -98,6 +101,24 @@ class Args {
   std::vector<std::string> positional_;
   std::map<std::string, std::string> flags_;
 };
+
+/// Parses a flag's value as an unsigned integer with range validation;
+/// throws exten::Error naming the flag on garbage, a sign, trailing junk,
+/// or an out-of-range value — so `--clients banana` (or `--clients -4`)
+/// fails loudly instead of silently becoming 0 via std::stoul.
+inline std::uint64_t parse_count(
+    std::string_view flag, std::string_view text, std::uint64_t min_value = 0,
+    std::uint64_t max_value = std::numeric_limits<std::uint64_t>::max()) {
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  EXTEN_CHECK(!text.empty() && ec == std::errc() && ptr == end, "--", flag,
+              " expects an unsigned integer, got '", text, "'");
+  EXTEN_CHECK(value >= min_value && value <= max_value, "--", flag,
+              " must be in [", min_value, ", ", max_value, "], got ", value);
+  return value;
+}
 
 /// A loaded program: image + extension (never null).
 struct LoadedProgram {

@@ -1,34 +1,85 @@
 // xtc-http: tiny HTTP client for driving xtc-serve from scripts (CI
 // smoke tests, shell experiments) without needing curl in the image.
 //
-//   xtc-http get  HOST:PORT /healthz
-//   xtc-http post HOST:PORT /v1/estimate --body request.json
-//   xtc-http post HOST:PORT /v1/estimate --data '{"asm": "..."}'
+//   xtc-http get   HOST:PORT /healthz
+//   xtc-http post  HOST:PORT /v1/estimate --body request.json
+//   xtc-http post  HOST:PORT /v1/estimate --data '{"asm": "..."}'
+//   xtc-http bench HOST:PORT /v1/estimate --clients 8 --requests 200
+//             --data '{"asm": "..."}' [--seconds S] [--json]
 //
-// Prints the response body to stdout. Exit code: 0 for a 2xx response,
-// 1 for transport errors or non-2xx statuses (with the status line on
-// stderr). --status additionally prints "HTTP <code>" to stdout first.
+// get/post print the response body to stdout. Exit code: 0 for a 2xx
+// response, 1 for transport errors or non-2xx statuses (with the status
+// line on stderr). --status additionally prints "HTTP <code>" to stdout
+// first.
+//
+// bench opens --clients concurrent keep-alive connections (one thread
+// each) and hammers the endpoint with --requests requests per connection
+// (or for --seconds wall seconds), then reports latency percentiles *per
+// connection* — p50/p95/p99 computed over each connection's own samples,
+// so a shard serving one connection slowly shows up instead of drowning
+// in the aggregate mean — plus the aggregate throughput. --json emits the
+// same numbers as a JSON object. Any non-2xx response fails the run.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
 
 #include "net/http_client.h"
 #include "tools/tool_common.h"
+#include "util/strings.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Nearest-rank percentile over an already-sorted sample vector.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+struct ClientStats {
+  std::vector<double> latencies_ms;  // sorted after the run
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;  // non-2xx statuses (transport errors throw)
+  std::string error;           // first transport error, if any
+
+  double mean_ms() const {
+    if (latencies_ms.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : latencies_ms) sum += v;
+    return sum / static_cast<double>(latencies_ms.size());
+  }
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace exten;
   return tools::tool_main("xtc-http", [&] {
     const tools::Args args(argc, argv);
-    args.require_known({"body", "data", "status", "timeout-ms", "version"});
+    args.require_known({"body", "data", "status", "timeout-ms", "clients",
+                        "requests", "seconds", "json", "version"});
     if (tools::handle_version(args, "xtc-http")) return tools::kExitOk;
     if (args.positional().size() != 3) {
-      std::cerr << "usage: xtc-http get|post HOST:PORT /path "
+      std::cerr << "usage: xtc-http get|post|bench HOST:PORT /path "
                    "[--body FILE | --data JSON] [--status] "
-                   "[--timeout-ms N]\n";
+                   "[--timeout-ms N] [--clients N] [--requests N] "
+                   "[--seconds S] [--json]\n";
       return tools::kExitUsage;
     }
     const std::string& verb = args.positional()[0];
     const std::string& endpoint = args.positional()[1];
     const std::string& target = args.positional()[2];
-    EXTEN_CHECK(verb == "get" || verb == "post", "bad verb '", verb,
-                "' (get|post)");
+    EXTEN_CHECK(verb == "get" || verb == "post" || verb == "bench",
+                "bad verb '", verb, "' (get|post|bench)");
 
     const std::size_t colon = endpoint.rfind(':');
     EXTEN_CHECK(colon != std::string::npos && colon + 1 < endpoint.size(),
@@ -39,7 +90,8 @@ int main(int argc, char** argv) {
 
     int timeout_ms = 30'000;
     if (auto t = args.value("timeout-ms")) {
-      timeout_ms = static_cast<int>(std::stoul(*t));
+      timeout_ms =
+          static_cast<int>(tools::parse_count("timeout-ms", *t, 1, 3'600'000));
     }
 
     std::string body;
@@ -49,20 +101,146 @@ int main(int argc, char** argv) {
       body = *data;
     }
 
-    net::HttpClient client(host, port, timeout_ms);
-    const net::ResponseParser::Response response =
-        verb == "get" ? client.get(target) : client.post(target, body);
+    if (verb != "bench") {
+      net::HttpClient client(host, port, timeout_ms);
+      const net::ResponseParser::Response response =
+          verb == "get" ? client.get(target) : client.post(target, body);
 
-    if (args.has("status")) {
-      std::cout << "HTTP " << response.status << "\n";
+      if (args.has("status")) {
+        std::cout << "HTTP " << response.status << "\n";
+      }
+      std::cout << response.body;
+      if (!response.body.empty() && response.body.back() != '\n') {
+        std::cout << "\n";
+      }
+      if (response.status < 200 || response.status >= 300) {
+        std::cerr << "xtc-http: server answered " << response.status << " "
+                  << response.reason << "\n";
+        return tools::kExitError;
+      }
+      return tools::kExitOk;
     }
-    std::cout << response.body;
-    if (!response.body.empty() && response.body.back() != '\n') {
-      std::cout << "\n";
+
+    // ---- bench ----
+    const unsigned clients = static_cast<unsigned>(tools::parse_count(
+        "clients", args.value("clients").value_or("4"), 1, 1024));
+    const std::uint64_t requests_per_client = tools::parse_count(
+        "requests", args.value("requests").value_or("100"), 1, 100'000'000);
+    double seconds_budget = 0.0;  // 0 = run by request count
+    if (auto s = args.value("seconds")) {
+      seconds_budget = static_cast<double>(
+          tools::parse_count("seconds", *s, 1, 86'400));
     }
-    if (response.status < 200 || response.status >= 300) {
-      std::cerr << "xtc-http: server answered " << response.status << " "
-                << response.reason << "\n";
+    const bool is_post = !body.empty();
+
+    std::vector<ClientStats> stats(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    const auto bench_start = Clock::now();
+    for (unsigned c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        ClientStats& mine = stats[c];
+        try {
+          net::HttpClient client(host, port, timeout_ms);
+          for (std::uint64_t i = 0; i < requests_per_client ||
+                                    seconds_budget > 0.0;
+               ++i) {
+            const auto start = Clock::now();
+            const net::ResponseParser::Response response =
+                is_post ? client.post(target, body) : client.get(target);
+            const double ms =
+                std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          start)
+                    .count();
+            ++mine.requests;
+            mine.latencies_ms.push_back(ms);
+            if (response.status < 200 || response.status >= 300) {
+              ++mine.failures;
+            }
+            if (seconds_budget > 0.0 &&
+                std::chrono::duration<double>(Clock::now() - bench_start)
+                        .count() >= seconds_budget) {
+              break;
+            }
+          }
+        } catch (const std::exception& e) {
+          mine.error = e.what();
+        }
+        std::sort(mine.latencies_ms.begin(), mine.latencies_ms.end());
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall_seconds =
+        std::chrono::duration<double>(Clock::now() - bench_start).count();
+
+    std::uint64_t total_requests = 0;
+    std::uint64_t total_failures = 0;
+    std::vector<double> all;
+    for (const ClientStats& s : stats) {
+      total_requests += s.requests;
+      total_failures += s.failures;
+      all.insert(all.end(), s.latencies_ms.begin(), s.latencies_ms.end());
+    }
+    std::sort(all.begin(), all.end());
+    const double rps =
+        wall_seconds > 0.0
+            ? static_cast<double>(total_requests) / wall_seconds
+            : 0.0;
+
+    bool transport_error = false;
+    if (args.has("json")) {
+      std::ostringstream out;
+      out << "{\"clients\":" << clients
+          << ",\"requests\":" << total_requests
+          << ",\"failures\":" << total_failures
+          << ",\"wall_seconds\":" << format_fixed(wall_seconds, 6)
+          << ",\"requests_per_second\":" << format_fixed(rps, 2)
+          << ",\"aggregate_ms\":{\"p50\":"
+          << format_fixed(percentile(all, 50), 3)
+          << ",\"p95\":" << format_fixed(percentile(all, 95), 3)
+          << ",\"p99\":" << format_fixed(percentile(all, 99), 3)
+          << "},\"connections\":[";
+      for (unsigned c = 0; c < clients; ++c) {
+        const ClientStats& s = stats[c];
+        if (c > 0) out << ",";
+        out << "{\"client\":" << c << ",\"requests\":" << s.requests
+            << ",\"failures\":" << s.failures
+            << ",\"mean_ms\":" << format_fixed(s.mean_ms(), 3)
+            << ",\"p50_ms\":" << format_fixed(percentile(s.latencies_ms, 50), 3)
+            << ",\"p95_ms\":" << format_fixed(percentile(s.latencies_ms, 95), 3)
+            << ",\"p99_ms\":" << format_fixed(percentile(s.latencies_ms, 99), 3)
+            << "}";
+        if (!s.error.empty()) transport_error = true;
+      }
+      out << "]}";
+      std::cout << out.str() << "\n";
+    } else {
+      for (unsigned c = 0; c < clients; ++c) {
+        const ClientStats& s = stats[c];
+        std::cout << "client " << c << ": requests=" << s.requests
+                  << " failures=" << s.failures
+                  << " mean=" << format_fixed(s.mean_ms(), 3)
+                  << "ms p50=" << format_fixed(percentile(s.latencies_ms, 50), 3)
+                  << "ms p95=" << format_fixed(percentile(s.latencies_ms, 95), 3)
+                  << "ms p99=" << format_fixed(percentile(s.latencies_ms, 99), 3)
+                  << "ms";
+        if (!s.error.empty()) {
+          std::cout << " error=\"" << s.error << "\"";
+          transport_error = true;
+        }
+        std::cout << "\n";
+      }
+      std::cout << "total: " << total_requests << " requests ("
+                << total_failures << " failed) in "
+                << format_fixed(wall_seconds, 3) << "s = "
+                << format_fixed(rps, 1) << " req/s, aggregate p50="
+                << format_fixed(percentile(all, 50), 3) << "ms p99="
+                << format_fixed(percentile(all, 99), 3) << "ms\n";
+    }
+    if (transport_error || total_failures > 0) {
+      std::cerr << "xtc-http: bench saw " << total_failures
+                << " non-2xx responses"
+                << (transport_error ? " and transport errors" : "") << "\n";
       return tools::kExitError;
     }
     return tools::kExitOk;

@@ -1,10 +1,19 @@
 // xtc-serve: the HTTP estimation server.
 //
 //   xtc-serve --model xtc32.macromodel [--port N] [--port-file PATH]
-//             [--address A] [--threads N] [--cache N] [--max-inflight N]
-//             [--deadline-ms N] [--poller epoll|poll] [--trace FILE]
-//             [--energy auto|rapl|synthetic|none] [--energy-sysfs-root P]
-//             [--energy-interval-ms N]
+//             [--address A] [--shards N] [--accept auto|reuseport|handoff]
+//             [--threads N] [--cache N] [--cache-stripes N]
+//             [--max-inflight N] [--deadline-ms N] [--poller epoll|poll]
+//             [--trace FILE] [--energy auto|rapl|synthetic|none]
+//             [--energy-sysfs-root P] [--energy-interval-ms N]
+//
+// --shards N runs N independent event-loop shards (0 = hardware
+// concurrency; default 1 = the classic single loop) in front of one shared
+// estimator pool; --accept picks how connections reach them (see
+// docs/server.md — auto uses SO_REUSEPORT kernel balancing when available,
+// handoff is the portable round-robin fallback). --threads sizes the
+// shared estimator worker pool, --cache-stripes the evaluation cache's
+// lock striping (0 = auto).
 //
 // --energy selects the host-energy backend (default auto: RAPL when the
 // powercap tree is readable, else none — never a startup failure). With a
@@ -26,15 +35,17 @@
 
 #include <csignal>
 
+#include <thread>
+
 #include "energy/meter.h"
-#include "net/server.h"
+#include "net/sharded_server.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "tools/tool_common.h"
 
 namespace {
 
-exten::net::HttpServer* g_server = nullptr;
+exten::net::ShardedServer* g_server = nullptr;
 
 void handle_signal(int) {
   if (g_server != nullptr) g_server->request_stop();
@@ -46,16 +57,18 @@ int main(int argc, char** argv) {
   using namespace exten;
   return tools::tool_main("xtc-serve", [&] {
     const tools::Args args(argc, argv);
-    args.require_known({"model", "port", "port-file", "address", "threads",
-                        "cache", "max-inflight", "deadline-ms", "poller",
-                        "trace", "energy", "energy-sysfs-root",
-                        "energy-interval-ms", "version"});
+    args.require_known({"model", "port", "port-file", "address", "shards",
+                        "accept", "threads", "cache", "cache-stripes",
+                        "max-inflight", "deadline-ms", "poller", "trace",
+                        "energy", "energy-sysfs-root", "energy-interval-ms",
+                        "version"});
     if (tools::handle_version(args, "xtc-serve")) return tools::kExitOk;
     if (!args.has("model") || !args.positional().empty()) {
       std::cerr << "usage: xtc-serve --model FILE [--port N] "
-                   "[--port-file PATH] [--address A] [--threads N] "
-                   "[--cache N] [--max-inflight N] [--deadline-ms N] "
-                   "[--poller epoll|poll] [--trace FILE]\n";
+                   "[--port-file PATH] [--address A] [--shards N] "
+                   "[--accept auto|reuseport|handoff] [--threads N] "
+                   "[--cache N] [--cache-stripes N] [--max-inflight N] "
+                   "[--deadline-ms N] [--poller epoll|poll] [--trace FILE]\n";
       return tools::kExitUsage;
     }
 
@@ -71,8 +84,36 @@ int main(int argc, char** argv) {
     if (auto cache = args.value("cache")) {
       batch_options.cache_capacity = std::stoul(*cache);
     }
+    if (auto stripes = args.value("cache-stripes")) {
+      batch_options.cache_stripes = static_cast<std::size_t>(
+          tools::parse_count("cache-stripes", *stripes, 0, 1024));
+    }
 
-    net::ServerOptions server_options;
+    net::ShardedServerOptions sharded_options;
+    sharded_options.shards = 1;
+    if (auto shards = args.value("shards")) {
+      sharded_options.shards = static_cast<unsigned>(
+          tools::parse_count("shards", *shards, 0, 256));
+      if (sharded_options.shards == 0) {
+        sharded_options.shards =
+            std::max(1u, std::thread::hardware_concurrency());
+      }
+    }
+    if (auto accept = args.value("accept")) {
+      using AcceptMode = net::ShardedServerOptions::AcceptMode;
+      if (*accept == "auto") {
+        sharded_options.accept_mode = AcceptMode::kAuto;
+      } else if (*accept == "reuseport") {
+        sharded_options.accept_mode = AcceptMode::kReusePort;
+      } else if (*accept == "handoff") {
+        sharded_options.accept_mode = AcceptMode::kHandoff;
+      } else {
+        throw Error("bad --accept '", *accept,
+                    "' (auto|reuseport|handoff)");
+      }
+    }
+
+    net::ServerOptions& server_options = sharded_options.server;
     if (auto address = args.value("address")) {
       server_options.bind_address = *address;
     }
@@ -116,7 +157,7 @@ int main(int argc, char** argv) {
         model::EnergyMacroModel::deserialize(
             tools::read_file(args.value("model").value())),
         batch_options);
-    net::HttpServer server(estimator, server_options);
+    net::ShardedServer server(estimator, sharded_options);
 
     g_server = &server;
     std::signal(SIGTERM, handle_signal);
@@ -127,7 +168,13 @@ int main(int argc, char** argv) {
       tools::write_file(*port_file, std::to_string(server.port()) + "\n");
     }
     std::cout << "listening on " << server_options.bind_address << ":"
-              << server.port() << " (" << estimator.num_threads()
+              << server.port() << " (" << server.num_shards() << " shard"
+              << (server.num_shards() == 1 ? "" : "s")
+              << (server.num_shards() > 1
+                      ? (server.using_reuse_port() ? " via reuseport"
+                                                   : " via handoff")
+                      : "")
+              << ", " << estimator.num_threads()
               << " workers, energy backend " << energy_meter.kind() << ")\n"
               << std::flush;
 
