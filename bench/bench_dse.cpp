@@ -57,9 +57,11 @@ int main(int argc, char** argv) {
   unsigned threads = 0;
   double min_fraction = 0.97;
   if (auto v = args.value("json")) json_path = *v;
-  if (auto v = args.value("budget")) budget = std::stoull(*v);
+  if (auto v = args.value("budget")) {
+    budget = tools::parse_count("budget", *v, 1);
+  }
   if (auto v = args.value("threads")) {
-    threads = static_cast<unsigned>(std::stoul(*v));
+    threads = static_cast<unsigned>(tools::parse_count("threads", *v));
   }
   if (auto v = args.value("min-fraction")) min_fraction = std::stod(*v);
 

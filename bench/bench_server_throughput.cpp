@@ -240,9 +240,13 @@ int main(int argc, char** argv) {
     unsigned clients = 4;
     double seconds = 2.0;
     unsigned reps = 3;
-    if (auto v = args.value("clients")) clients = std::stoul(*v);
+    if (auto v = args.value("clients")) {
+      clients = static_cast<unsigned>(tools::parse_count("clients", *v, 1));
+    }
     if (auto v = args.value("seconds")) seconds = std::stod(*v);
-    if (auto v = args.value("reps")) reps = std::stoul(*v);
+    if (auto v = args.value("reps")) {
+      reps = static_cast<unsigned>(tools::parse_count("reps", *v, 1));
+    }
     const bool json_only = args.has("json");
     if (args.has("trace")) obs::Tracer::instance().set_enabled(true);
     double min_fraction = 0.97;

@@ -1,16 +1,25 @@
-// Measures the two-tier execution engine against the reference
-// interpreter: bare-engine simulated MIPS (predecoded dispatch + TIE
-// bytecode vs per-step decode + Expr tree walk) and end-to-end macro-model
-// estimates per second (ISS + profiling + 21-term dot product).
+// Measures the three execution engines against each other: bare-engine
+// simulated MIPS for the threaded superblock interpreter (computed-goto
+// dispatch + fused handlers), the fast engine (predecoded dispatch + TIE
+// bytecode), and the reference interpreter (per-step decode + Expr tree
+// walk) — plus end-to-end macro-model estimates per second (ISS +
+// profiling + 21-term dot product).
 //
 // The engines produce bit-identical retirement streams and energy numbers
-// (tests/test_engine_diff.cpp); this harness quantifies only speed.
+// (tests/test_engine_diff.cpp, fuzz engine_diff); this harness quantifies
+// only speed. The headline `ratio` is threaded vs reference;
+// `fast_ratio` tracks the middle tier.
 //
 //   bench_sim_throughput [--json out.json] [--reps N]
+//                        [--baseline FILE] [--min-fraction F]
 //
 // --json writes a machine-readable snapshot (the committed baseline lives
 // at BENCH_sim_throughput.json); --reps controls the repetitions per
-// measurement (default 5; the minimum is reported).
+// measurement (default 5; the minimum is reported). --baseline compares
+// this run's aggregate engine ratios against a previous snapshot and
+// fails when either falls below --min-fraction (default 0.75) of the
+// baseline — ratios rather than raw MIPS so the gate is insensitive to
+// the absolute speed of the machine running it.
 
 #include <chrono>
 #include <fstream>
@@ -18,6 +27,7 @@
 #include "bench/bench_common.h"
 #include "model/estimate.h"
 #include "sim/cpu.h"
+#include "tools/tool_common.h"
 #include "util/json.h"
 
 namespace {
@@ -25,8 +35,11 @@ namespace {
 using namespace exten;
 
 /// Retirement sink that discards everything: timing runs measure the bare
-/// engine, not observer cost.
+/// engine, not observer cost. kDiscardsRecords lets the threaded engine
+/// skip building the per-instruction records entirely (architectural
+/// results are bit-identical either way — see docs/sim.md).
 struct NullSink {
+  static constexpr bool kDiscardsRecords = true;
   void on_run_begin() {}
   void on_retire(const sim::RetiredInstruction&) {}
   void on_run_end(std::uint64_t, std::uint64_t) {}
@@ -72,22 +85,29 @@ double sample_engine(const model::TestProgram& app, sim::Engine engine,
   return elapsed / static_cast<double>(instructions);
 }
 
-/// Times both engines on `app`, interleaving the samples (fast, reference,
-/// fast, reference, …) so a machine-load swing hits both engines rather
-/// than skewing the ratio; the minimum per engine over `reps` rounds is
-/// reported.
-void time_engines(const model::TestProgram& app, int reps, EngineTiming* fast,
+/// Times all three engines on `app`, interleaving the samples (threaded,
+/// fast, reference, threaded, …) so a machine-load swing hits every
+/// engine rather than skewing the ratios; the minimum per engine over
+/// `reps` rounds is reported.
+void time_engines(const model::TestProgram& app, int reps,
+                  EngineTiming* threaded, EngineTiming* fast,
                   EngineTiming* ref) {
+  double threaded_per_instr = 1e30;
   double fast_per_instr = 1e30;
   double ref_per_instr = 1e30;
   std::uint64_t instructions = 0;
   for (int i = 0; i < reps; ++i) {
+    threaded_per_instr =
+        std::min(threaded_per_instr,
+                 sample_engine(app, sim::Engine::kThreaded, &instructions));
     fast_per_instr = std::min(
         fast_per_instr, sample_engine(app, sim::Engine::kFast, &instructions));
     ref_per_instr = std::min(
         ref_per_instr,
         sample_engine(app, sim::Engine::kReference, &instructions));
   }
+  threaded->instructions = instructions;
+  threaded->seconds = threaded_per_instr * static_cast<double>(instructions);
   fast->instructions = instructions;
   fast->seconds = fast_per_instr * static_cast<double>(instructions);
   ref->instructions = instructions;
@@ -116,25 +136,24 @@ double time_estimates(const model::EnergyMacroModel& macro,
 }  // namespace
 
 int main(int argc, char** argv) {
+  return tools::tool_main("bench_sim_throughput", [&] {
+  const tools::Args args(argc, argv);
+  args.require_known({"json", "reps", "baseline", "min-fraction"});
   std::string json_path;
   int reps = 5;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (arg == "--reps" && i + 1 < argc) {
-      reps = std::max(1, std::atoi(argv[++i]));
-    } else {
-      std::cerr << "usage: bench_sim_throughput [--json out.json] [--reps N]\n";
-      return 2;
-    }
+  double min_fraction = 0.75;
+  if (auto v = args.value("json")) json_path = *v;
+  if (auto v = args.value("reps")) {
+    reps = static_cast<int>(tools::parse_count("reps", *v, 1, 1000));
   }
+  if (auto v = args.value("min-fraction")) min_fraction = std::stod(*v);
 
   const std::vector<model::TestProgram> suite = workloads::application_suite();
 
-  bench::heading("Simulated MIPS: fast engine vs reference interpreter");
-  AsciiTable table({"Application", "Instructions", "Fast (MIPS)",
-                    "Reference (MIPS)", "Ratio"});
+  bench::heading(
+      "Simulated MIPS: threaded / fast engines vs reference interpreter");
+  AsciiTable table({"Application", "Instructions", "Threaded (MIPS)",
+                    "Fast (MIPS)", "Reference (MIPS)", "Ratio"});
 
   JsonWriter json;
   json.begin_object();
@@ -142,38 +161,53 @@ int main(int argc, char** argv) {
   json.field("reps", reps);
   json.array_field("applications");
 
+  double total_threaded_s = 0.0;
   double total_fast_s = 0.0;
   double total_ref_s = 0.0;
   std::uint64_t total_instructions = 0;
   for (const model::TestProgram& app : suite) {
+    EngineTiming threaded;
     EngineTiming fast;
     EngineTiming ref;
-    time_engines(app, reps, &fast, &ref);
+    time_engines(app, reps, &threaded, &fast, &ref);
+    total_threaded_s += threaded.seconds;
     total_fast_s += fast.seconds;
     total_ref_s += ref.seconds;
     total_instructions += fast.instructions;
-    const double ratio = ref.seconds > 0.0 ? fast.mips() / ref.mips() : 0.0;
+    const double ratio =
+        ref.seconds > 0.0 ? threaded.mips() / ref.mips() : 0.0;
+    const double fast_ratio =
+        ref.seconds > 0.0 ? fast.mips() / ref.mips() : 0.0;
     table.add_row({app.name, with_commas(fast.instructions),
+                   format_fixed(threaded.mips(), 1),
                    format_fixed(fast.mips(), 1), format_fixed(ref.mips(), 1),
                    format_fixed(ratio, 2) + "x"});
     json.element_object();
     json.field("name", app.name);
     json.field("instructions", fast.instructions);
+    json.field("threaded_mips", threaded.mips());
     json.field("fast_mips", fast.mips());
     json.field("reference_mips", ref.mips());
     json.field("ratio", ratio);
+    json.field("fast_ratio", fast_ratio);
     json.end_object();
   }
   table.print(std::cout);
 
+  const double agg_threaded_mips =
+      static_cast<double>(total_instructions) / total_threaded_s / 1e6;
   const double agg_fast_mips =
       static_cast<double>(total_instructions) / total_fast_s / 1e6;
   const double agg_ref_mips =
       static_cast<double>(total_instructions) / total_ref_s / 1e6;
-  const double agg_ratio = agg_fast_mips / agg_ref_mips;
-  std::cout << "\naggregate: fast " << format_fixed(agg_fast_mips, 1)
+  const double agg_ratio = agg_threaded_mips / agg_ref_mips;
+  const double agg_fast_ratio = agg_fast_mips / agg_ref_mips;
+  std::cout << "\naggregate: threaded " << format_fixed(agg_threaded_mips, 1)
+            << " MIPS, fast " << format_fixed(agg_fast_mips, 1)
             << " MIPS, reference " << format_fixed(agg_ref_mips, 1)
-            << " MIPS, ratio " << format_fixed(agg_ratio, 2) << "x\n";
+            << " MIPS, threaded/reference " << format_fixed(agg_ratio, 2)
+            << "x, fast/reference " << format_fixed(agg_fast_ratio, 2)
+            << "x\n";
 
   // End-to-end estimation throughput: ISS + macro-model profiling + dot
   // product. The coefficients only feed the final dot product, so a fixed
@@ -183,18 +217,24 @@ int main(int argc, char** argv) {
     coeffs[i] = 1.0;
   }
   const model::EnergyMacroModel macro(coeffs);
+  const double est_threaded =
+      time_estimates(macro, suite, sim::Engine::kThreaded, reps);
   const double est_fast = time_estimates(macro, suite, sim::Engine::kFast, reps);
   const double est_ref =
       time_estimates(macro, suite, sim::Engine::kReference, reps);
-  std::cout << "estimates/sec (suite of " << suite.size() << "): fast "
+  std::cout << "estimates/sec (suite of " << suite.size() << "): threaded "
+            << format_fixed(est_threaded, 1) << ", fast "
             << format_fixed(est_fast, 1) << ", reference "
             << format_fixed(est_ref, 1) << " ("
-            << format_fixed(est_fast / est_ref, 2) << "x)\n";
+            << format_fixed(est_threaded / est_ref, 2) << "x)\n";
 
   json.end_array();
+  json.field("aggregate_threaded_mips", agg_threaded_mips);
   json.field("aggregate_fast_mips", agg_fast_mips);
   json.field("aggregate_reference_mips", agg_ref_mips);
   json.field("aggregate_ratio", agg_ratio);
+  json.field("aggregate_fast_ratio", agg_fast_ratio);
+  json.field("estimates_per_sec_threaded", est_threaded);
   json.field("estimates_per_sec_fast", est_fast);
   json.field("estimates_per_sec_reference", est_ref);
   json.end_object();
@@ -208,5 +248,33 @@ int main(int argc, char** argv) {
     out << json.str() << "\n";
     std::cout << "wrote " << json_path << "\n";
   }
+
+  // Regression floor vs the committed baseline (mirrors the bench_dse
+  // gate). Engine ratios are compared, not raw MIPS: CI machines are
+  // slower than the one that produced the baseline, but the speedup of
+  // one engine over another should hold anywhere.
+  if (auto baseline_path = args.value("baseline")) {
+    const JsonValue baseline =
+        JsonValue::parse(tools::read_file(*baseline_path));
+    bool failed = false;
+    const auto gate = [&](const char* key, double this_value) {
+      const JsonValue* entry = baseline.find(key);
+      EXTEN_CHECK(entry != nullptr, "baseline file lacks ", key);
+      const double base = entry->as_number();
+      const double fraction = base <= 0.0 ? 1.0 : this_value / base;
+      std::cout << "baseline " << key << " " << format_fixed(base, 2)
+                << ", this run " << format_fixed(this_value, 2) << " ("
+                << format_fixed(fraction * 100.0, 1) << "%, floor "
+                << format_fixed(min_fraction * 100.0, 1) << "%)\n";
+      failed = failed || fraction < min_fraction;
+    };
+    gate("aggregate_ratio", agg_ratio);
+    gate("aggregate_fast_ratio", agg_fast_ratio);
+    if (failed) {
+      std::cerr << "FAIL: engine speedup regressed below --min-fraction\n";
+      return 1;
+    }
+  }
   return 0;
+  });
 }

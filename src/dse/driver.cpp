@@ -1,6 +1,7 @@
 #include "dse/driver.h"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <map>
 
@@ -94,8 +95,15 @@ class RemoteEvaluator final : public Evaluator {
     EXTEN_CHECK(colon != std::string::npos && colon + 1 < host_port.size(),
                 "--remote expects HOST:PORT, got '", host_port, "'");
     const std::string host = host_port.substr(0, colon);
-    const int port = std::stoi(host_port.substr(colon + 1));
-    EXTEN_CHECK(port > 0 && port <= 65535, "--remote port out of range in '",
+    // from_chars rather than stoi: "80x" and "-1" must fail loudly, not
+    // parse partially (stoi stops at the first non-digit).
+    unsigned port = 0;
+    const char* pbegin = host_port.data() + colon + 1;
+    const char* pend = host_port.data() + host_port.size();
+    const auto [pptr, pec] = std::from_chars(pbegin, pend, port);
+    EXTEN_CHECK(pec == std::errc() && pptr == pend && port >= 1 &&
+                    port <= 65'535,
+                "--remote port must be an integer in [1, 65535], got '",
                 host_port, "'");
     client_ = std::make_unique<net::HttpClient>(
         host, static_cast<std::uint16_t>(port));

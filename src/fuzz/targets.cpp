@@ -46,7 +46,8 @@ struct Fnv {
 };
 
 // ---------------------------------------------------------------------------
-// engine_diff: Engine::kFast vs Engine::kReference bit-exactness
+// engine_diff: Engine::kFast / Engine::kThreaded vs Engine::kReference
+// bit-exactness (all three pairwise comparisons, labeled)
 // ---------------------------------------------------------------------------
 
 /// Instruction budget for oracle runs. Generated programs retire far fewer
@@ -145,53 +146,55 @@ Capture capture_run(const sim::ProcessorConfig& config,
   return c;
 }
 
-Outcome compare_captures(const Capture& fast, const Capture& ref) {
+Outcome compare_captures(const Capture& fast, const Capture& ref,
+                         const char* lhs_name = "fast",
+                         const char* rhs_name = "reference") {
   std::ostringstream os;
-  os << "engine divergence (fast vs reference): ";
+  os << "engine divergence (" << lhs_name << " vs " << rhs_name << "): ";
   if (fast.threw != ref.threw) {
-    os << "fast " << (fast.threw ? "threw: " + fast.error : "completed")
-       << "; reference "
+    os << lhs_name << " " << (fast.threw ? "threw: " + fast.error : "completed")
+       << "; " << rhs_name << " "
        << (ref.threw ? "threw: " + ref.error : "completed");
     return Outcome::fail(os.str());
   }
   if (fast.error != ref.error) {
-    os << "error message mismatch: fast=\"" << fast.error
-       << "\" reference=\"" << ref.error << "\"";
+    os << "error message mismatch: " << lhs_name << "=\"" << fast.error
+       << "\" " << rhs_name << "=\"" << ref.error << "\"";
     return Outcome::fail(os.str());
   }
   if (fast.stream_digest != ref.stream_digest) {
-    os << "retirement-stream digest mismatch: fast=" << std::hex
-       << fast.stream_digest << " reference=" << ref.stream_digest;
+    os << "retirement-stream digest mismatch: " << lhs_name << "=" << std::hex
+       << fast.stream_digest << " " << rhs_name << "=" << ref.stream_digest;
     return Outcome::fail(os.str());
   }
   if (fast.instructions != ref.instructions || fast.cycles != ref.cycles ||
       fast.halted != ref.halted) {
-    os << "totals mismatch: fast instr=" << fast.instructions
+    os << "totals mismatch: " << lhs_name << " instr=" << fast.instructions
        << " cycles=" << fast.cycles << " halted=" << fast.halted
-       << "; reference instr=" << ref.instructions
+       << "; " << rhs_name << " instr=" << ref.instructions
        << " cycles=" << ref.cycles << " halted=" << ref.halted;
     return Outcome::fail(os.str());
   }
   if (fast.pc != ref.pc) {
-    os << "final pc mismatch: fast=0x" << std::hex << fast.pc
-       << " reference=0x" << ref.pc;
+    os << "final pc mismatch: " << lhs_name << "=0x" << std::hex << fast.pc
+       << " " << rhs_name << "=0x" << ref.pc;
     return Outcome::fail(os.str());
   }
   for (unsigned i = 0; i < isa::kNumRegisters; ++i) {
     if (fast.regs[i] != ref.regs[i]) {
-      os << "r" << i << " mismatch: fast=0x" << std::hex << fast.regs[i]
-         << " reference=0x" << ref.regs[i];
+      os << "r" << i << " mismatch: " << lhs_name << "=0x" << std::hex
+         << fast.regs[i] << " " << rhs_name << "=0x" << ref.regs[i];
       return Outcome::fail(os.str());
     }
   }
   if (fast.tie_digest != ref.tie_digest) {
-    os << "TIE state digest mismatch: fast=" << std::hex << fast.tie_digest
-       << " reference=" << ref.tie_digest;
+    os << "TIE state digest mismatch: " << lhs_name << "=" << std::hex
+       << fast.tie_digest << " " << rhs_name << "=" << ref.tie_digest;
     return Outcome::fail(os.str());
   }
   if (fast.mem_digest != ref.mem_digest) {
-    os << "memory digest mismatch: fast=" << std::hex << fast.mem_digest
-       << " reference=" << ref.mem_digest;
+    os << "memory digest mismatch: " << lhs_name << "=" << std::hex
+       << fast.mem_digest << " " << rhs_name << "=" << ref.mem_digest;
     return Outcome::fail(os.str());
   }
   return Outcome::pass();
@@ -953,7 +956,13 @@ Outcome run_engine_diff(const EngineDiffCase& c) {
         capture_run(c.config, tie, image, sim::Engine::kFast);
     const Capture ref =
         capture_run(c.config, tie, image, sim::Engine::kReference);
-    return compare_captures(fast, ref);
+    const Capture threaded =
+        capture_run(c.config, tie, image, sim::Engine::kThreaded);
+    Outcome o = compare_captures(fast, ref);
+    if (!o.ok) return o;
+    o = compare_captures(threaded, ref, "threaded", "reference");
+    if (!o.ok) return o;
+    return compare_captures(threaded, fast, "threaded", "fast");
   } catch (const std::exception& e) {
     return Outcome::fail(std::string("unexpected exception: ") + e.what());
   }

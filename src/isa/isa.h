@@ -20,6 +20,7 @@
 //   J-type:  [25:0] imm26 signed word offset from the next instruction
 //   Custom:  [25:20] rd   [19:14] rs1  [13:8] rs2  [7:0] func (extension id)
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string_view>
@@ -48,6 +49,9 @@ enum class InstrClass : std::uint8_t {
   Custom,      ///< TIE-lite extension instruction
   Misc,        ///< NOP / HALT (counted with arithmetic for energy purposes)
 };
+
+/// Number of InstrClass values (for per-class counter arrays).
+inline constexpr std::size_t kInstrClassCount = 7;
 
 /// Instruction word formats.
 enum class Format : std::uint8_t {

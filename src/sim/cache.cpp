@@ -71,8 +71,7 @@ CacheOutcome Cache::lookup(std::uint32_t addr, bool allocate) {
 
 void Cache::flush() {
   for (Line& line : lines_) line = Line{};
-  hot_line_[0] = kNoLine;
-  hot_line_[1] = kNoLine;
+  for (std::uint32_t k = 0; k < kMemoEntries; ++k) hot_line_[k] = kNoLine;
 }
 
 }  // namespace exten::sim

@@ -32,18 +32,20 @@ class Cache {
 
   /// Looks up `addr`; on a miss the line is allocated (victim = LRU way).
   ///
-  /// Hot-line memo: accesses to either of the last two distinct lines
-  /// (sequential fetches within a 32-byte line, and loops or load/store
-  /// streams alternating between two lines) skip the tag search and the
-  /// LRU refresh entirely. This is exact, not approximate — the memo only
-  /// ever holds lines that are currently most-recently-used within their
-  /// own set (lookup() evicts a memo entry whenever another line of its
-  /// set becomes MRU, and the two entries never share a set), and
-  /// re-refreshing a line that is already MRU of its set cannot change
-  /// the relative LRU order, so every future victim choice is identical.
+  /// Hot-line memo: accesses to any of the last kMemoEntries distinct
+  /// lines (sequential fetches within a 32-byte line, loop bodies spanning
+  /// a few lines, load/store streams alternating between lines) skip the
+  /// tag search and the LRU refresh entirely. This is exact, not
+  /// approximate — the memo only ever holds lines that are currently
+  /// most-recently-used within their own set (lookup() evicts a memo
+  /// entry whenever another line of its set becomes MRU, and no two
+  /// entries ever share a set), and re-refreshing a line that is already
+  /// MRU of its set cannot change the relative LRU order, so every future
+  /// victim choice is identical.
   CacheOutcome access(std::uint32_t addr) {
     const std::uint32_t line = addr >> set_shift_;
-    if (line == hot_line_[0] || line == hot_line_[1]) {
+    if (line == hot_line_[0] || line == hot_line_[1] ||
+        line == hot_line_[2] || line == hot_line_[3]) {
       ++hits_;
       return CacheOutcome::kHit;
     }
@@ -54,12 +56,21 @@ class Cache {
   /// A hit still refreshes LRU state.
   CacheOutcome probe(std::uint32_t addr) {
     const std::uint32_t line = addr >> set_shift_;
-    if (line == hot_line_[0] || line == hot_line_[1]) {
+    if (line == hot_line_[0] || line == hot_line_[1] ||
+        line == hot_line_[2] || line == hot_line_[3]) {
       ++hits_;
       return CacheOutcome::kHit;
     }
     return lookup(addr, /*allocate=*/false);
   }
+
+  /// Counts `n` hits without touching tag or LRU state. Only valid when
+  /// the caller has proven the accesses hit and were already MRU of their
+  /// set — the threaded engine uses this for sequential fetches within one
+  /// line, where the preceding access() made the line MRU and nothing else
+  /// can have touched this cache since; the hits are credited in bulk at
+  /// block (or run) granularity. Keeps hits() + misses() == accesses.
+  void add_hits(std::uint64_t n) { hits_ += n; }
 
   /// Invalidates all lines.
   void flush();
@@ -79,16 +90,21 @@ class Cache {
   CacheOutcome lookup(std::uint32_t addr, bool allocate);
 
   /// Records that `line` just became MRU of `set`: any memoized line of
-  /// the same set is no longer safe to short-circuit, so it is replaced;
-  /// otherwise the older memo entry is evicted.
+  /// the same set is no longer safe to short-circuit, so it is displaced;
+  /// otherwise the oldest memo entry is evicted.
   void remember(std::uint32_t line, std::uint32_t set) {
-    if ((hot_line_[0] & set_mask_) == set) {
-      hot_line_[0] = line;
-      return;
+    std::uint32_t evict = kMemoEntries - 1;
+    for (std::uint32_t k = 0; k < kMemoEntries; ++k) {
+      if ((hot_line_[k] & set_mask_) == set) {
+        evict = k;
+        break;
+      }
     }
-    hot_line_[1] = hot_line_[0];
+    for (; evict > 0; --evict) hot_line_[evict] = hot_line_[evict - 1];
     hot_line_[0] = line;
   }
+
+  static constexpr std::uint32_t kMemoEntries = 4;
 
   /// Sentinel for "no memoized line": line addresses are addr >>
   /// set_shift_ with set_shift_ >= 2, so they never reach 0xFFFFFFFF.
@@ -98,7 +114,8 @@ class Cache {
   std::uint32_t set_shift_ = 0;   ///< log2(line_bytes)
   std::uint32_t set_mask_ = 0;    ///< num_sets - 1
   std::uint32_t tag_shift_ = 0;   ///< log2(line_bytes * num_sets)
-  std::uint32_t hot_line_[2] = {kNoLine, kNoLine};  ///< per-set MRU lines
+  std::uint32_t hot_line_[kMemoEntries] = {kNoLine, kNoLine, kNoLine,
+                                           kNoLine};  ///< per-set MRU lines
   std::vector<Line> lines_;       ///< sets x ways, row-major
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -8,15 +8,19 @@
 // cache misses, uncached fetches, load-use interlocks, taken-branch and
 // jump bubbles, and multi-cycle custom-instruction EX occupancy.
 //
-// Two execution engines share the timing model and produce bit-identical
+// Three execution engines share the timing model and produce bit-identical
 // retirement streams (proven by tests/test_engine_diff.cpp):
 //  - Engine::kFast (default): dispatches on a predecoded instruction window
 //    (sim/predecode.h) and runs custom-instruction semantics as compiled
 //    bytecode (tie/bytecode.h). PCs outside the window fall back to the
 //    reference path, so behaviour is unchanged.
+//  - Engine::kThreaded: computed-goto threaded dispatch over superblocks
+//    fused from the predecoded window, with block-level event accounting
+//    (sim/threaded.h). Fastest; same records, same faults, same cycles.
 //  - Engine::kReference: the original interpreter — fetch through the page
 //    map, isa::decode every dynamic instruction, walk the TIE Expr tree.
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <vector>
@@ -45,6 +49,23 @@ struct RunResult {
 enum class Engine : std::uint8_t {
   kFast,       ///< predecoded dispatch + TIE bytecode
   kReference,  ///< per-step decode + TIE tree walk (the original interpreter)
+  kThreaded,   ///< threaded-code superblock dispatch + TIE bytecode
+};
+
+/// Block-level event accounting kept by the threaded engine: the model's
+/// N_* retirement events are attributed once per superblock execution
+/// (class_counts summed at block granularity, plus a prefix walk for the
+/// rare partially-executed block) instead of once per instruction. The
+/// totals reconcile exactly with the per-instruction retirement stream —
+/// tests/test_engine_diff.cpp pins this against a StatsCollector.
+/// Accumulates across runs, like Cpu::cycles().
+struct ThreadedCounters {
+  std::uint64_t instructions = 0;  ///< instructions retired under kThreaded
+  std::uint64_t superblocks = 0;   ///< superblock executions (incl. partial)
+  std::uint64_t singles = 0;       ///< single-step fallbacks
+  std::uint64_t fused = 0;         ///< fused-pair handler executions
+  /// Retired instructions per static class (index = isa::InstrClass).
+  std::array<std::uint64_t, isa::kInstrClassCount> class_instrs{};
 };
 
 /// Thread safety: a Cpu instance is confined to one thread (no internal
@@ -73,13 +94,19 @@ class Cpu {
   Engine engine() const { return engine_; }
   void set_engine(Engine engine) { engine_ = engine; }
 
-  /// Marks the whole predecoded window stale so every word is re-decoded
-  /// from memory on next fetch. Required only after mutating text bytes
-  /// directly through memory() — stores executed by the program invalidate
-  /// affected words automatically.
+  /// Marks the whole predecoded window stale (and drops every fused
+  /// superblock) so every word is re-decoded from memory on next fetch.
+  /// Required only after mutating text bytes directly through memory() —
+  /// stores executed by the program invalidate affected words (and the
+  /// superblocks covering them) automatically.
   void invalidate_predecode() { predecode_.mark_all_stale(); }
 
   const PredecodeTable& predecode() const { return predecode_; }
+
+  /// Block-level accounting from Engine::kThreaded runs (zeros otherwise).
+  const ThreadedCounters& threaded_counters() const {
+    return threaded_counters_;
+  }
 
   /// Runs until HALT or until `max_instructions` retire, publishing every
   /// retired instruction to the registered observers (virtual dispatch).
@@ -97,6 +124,9 @@ class Cpu {
   template <typename Sink>
   RunResult run_with_sink(Sink& sink,
                           std::uint64_t max_instructions = kDefaultBudget) {
+    if (engine_ == Engine::kThreaded) {
+      return run_threaded(sink, max_instructions);
+    }
     sink.on_run_begin();
     RunResult result;
     const bool fast = engine_ == Engine::kFast;
@@ -182,6 +212,14 @@ class Cpu {
   const tie::TieConfiguration& tie_config() const { return tie_; }
 
  private:
+  /// The threaded-code superblock loop (Engine::kThreaded); defined in
+  /// sim/threaded.h, included at the bottom of this header. Semantics —
+  /// retirement records, cycles, faults, budget handling — match
+  /// run_with_sink exactly; only the dispatch strategy and the granularity
+  /// of the accounting differ.
+  template <typename Sink>
+  RunResult run_threaded(Sink& sink, std::uint64_t max_instructions);
+
   /// One reference-path step (per-step decode); returns false on HALT.
   bool step_reference(RetiredInstruction* retired);
 
@@ -253,6 +291,7 @@ class Cpu {
   std::uint32_t regs_[isa::kNumRegisters] = {};
   std::uint32_t pc_ = isa::kTextBase;
   std::uint64_t cycles_ = 0;
+  ThreadedCounters threaded_counters_;
   std::uint64_t tie_exec_ns_ = 0;
   std::uint64_t tie_exec_count_ = 0;
 
@@ -502,7 +541,7 @@ inline void Cpu::execute(const isa::DecodedInstr& d,
         // Per-execution accounting for the aggregated tie_execute span;
         // individual spans here would cost more than what they measure.
         const auto tie_start = std::chrono::steady_clock::now();
-        rd_value = engine_ == Engine::kFast
+        rd_value = engine_ != Engine::kReference
                        ? tie_.execute(ci, a, b, &tie_state_)
                        : tie_.execute_reference(ci, a, b, &tie_state_);
         tie_exec_ns_ += static_cast<std::uint64_t>(
@@ -511,7 +550,7 @@ inline void Cpu::execute(const isa::DecodedInstr& d,
                 .count());
         ++tie_exec_count_;
       } else {
-        rd_value = engine_ == Engine::kFast
+        rd_value = engine_ != Engine::kReference
                        ? tie_.execute(ci, a, b, &tie_state_)
                        : tie_.execute_reference(ci, a, b, &tie_state_);
       }
@@ -526,6 +565,11 @@ inline void Cpu::execute(const isa::DecodedInstr& d,
   pc_ = target;
 }
 
-#undef EXTEN_LAMBDA_INLINE
-
 }  // namespace exten::sim
+
+// Defines the Cpu::run_threaded template (Engine::kThreaded). Included
+// last so the interpreter sees the complete Cpu definition, including the
+// force-inlined execute() it reuses for fused tails.
+#include "sim/threaded.h"  // IWYU pragma: keep
+
+#undef EXTEN_LAMBDA_INLINE

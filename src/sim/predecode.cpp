@@ -1,5 +1,7 @@
 #include "sim/predecode.h"
 
+#include <algorithm>
+
 #include "isa/isa.h"
 #include "tie/compiler.h"
 #include "util/error.h"
@@ -62,6 +64,7 @@ void PredecodeTable::build(const isa::ProgramImage& image,
   base_ = text->base;
   limit_ = static_cast<std::uint32_t>(words * 4);
   entries_.resize(words);
+  block_at_.assign(words, -1);
   for (std::size_t i = 0; i < words; ++i) {
     const std::size_t off = i * 4;
     const std::uint32_t word =
@@ -77,6 +80,297 @@ void PredecodeTable::clear() {
   base_ = 0;
   limit_ = 0;
   entries_.clear();
+  block_at_.clear();
+  blocks_.clear();
+  free_blocks_.clear();
+  pending_cycles_ = 0;
+  pending_hits_ = 0;
+  pending_class_.fill(0);
+}
+
+Superblock* PredecodeTable::build_superblock(std::uint32_t word,
+                                             const ProcessorConfig& config) {
+  using isa::InstrClass;
+  using isa::Opcode;
+  if (entries_[word].status != PredecodedInstr::kReady) return nullptr;
+
+  // Extent: consecutive kReady words, stopping after the first
+  // *unconditional* transfer (jump/halt — which may only ever be the last
+  // instruction of the block) or at the length cap. Conditional branches
+  // stay inside the block — an extended basic block: not taken, execution
+  // falls through to the next op; taken, the block exits early at that op
+  // (the engine bumps exit_counts there). A full execution retires exactly
+  // n_instr instructions; taken branches, store kills, and faults retire a
+  // prefix.
+  const auto total_words = static_cast<std::uint32_t>(entries_.size());
+  std::uint32_t n = 0;
+  bool ends_in_control_flow = false;
+  while (word + n < total_words && n < Superblock::kMaxInstrs) {
+    const PredecodedInstr& e = entries_[word + n];
+    if (e.status != PredecodedInstr::kReady) break;
+    ++n;
+    if (e.cls == InstrClass::Jump || e.instr.op == Opcode::kHalt) {
+      ends_in_control_flow = true;
+      break;
+    }
+  }
+  if (n == 0) return nullptr;
+
+  std::uint32_t id;
+  if (!free_blocks_.empty()) {
+    id = free_blocks_.back();
+    free_blocks_.pop_back();
+  } else {
+    id = static_cast<std::uint32_t>(blocks_.size());
+    blocks_.emplace_back();
+  }
+  Superblock& b = blocks_[id];
+  flush_exec_counts(b);  // recycled slot: don't leak old execution counts
+  b.first_word = word;
+  b.n_instr = n;
+  b.n_elided = 0;
+  b.n_ops = 0;
+  b.static_cycles = 0;
+  b.class_counts.fill(0);
+  b.valid = true;
+
+  // Fetch-timing classification. Elision is only exact for power-of-two
+  // line sizes (the same assumption Cache's shift-based indexing makes);
+  // anything else degrades to a probe per instruction.
+  const std::uint32_t line_bytes = config.icache.line_bytes;
+  const bool can_elide =
+      line_bytes >= 4 && (line_bytes & (line_bytes - 1)) == 0;
+  auto fetch_class = [&](std::uint32_t i) -> std::uint8_t {
+    const std::uint32_t addr = base_ + (word + i) * 4;
+    if (config.is_uncached(addr)) return kFetchUncached;
+    if (i == 0 || !can_elide) return kFetchProbe;
+    const std::uint32_t prev = addr - 4;
+    if (config.is_uncached(prev)) return kFetchProbe;
+    return (addr & ~(line_bytes - 1)) == (prev & ~(line_bytes - 1))
+               ? kFetchElided
+               : kFetchProbe;
+  };
+
+  std::uint32_t i = 0;
+  while (i < n) {
+    const PredecodedInstr& e = entries_[word + i];
+    b.static_cycles += e.custom != nullptr ? e.custom->latency : 1;
+    b.class_counts[static_cast<std::size_t>(e.cls)] += 1;
+
+    SuperOp sop;
+    sop.idx = word + i;
+    sop.fetch = fetch_class(i);
+    std::uint8_t kind = static_cast<std::uint8_t>(e.instr.op);
+
+    if (i + 1 < n) {
+      const PredecodedInstr& f = entries_[word + i + 1];
+      const Opcode op1 = e.instr.op;
+      const Opcode op2 = f.instr.op;
+      const bool compare = op1 == Opcode::kSlt || op1 == Opcode::kSltu ||
+                           op1 == Opcode::kSlti || op1 == Opcode::kSltiu;
+      if (compare && (op2 == Opcode::kBeqz || op2 == Opcode::kBnez) &&
+          e.instr.rd != isa::kZeroRegister && f.instr.rs1 == e.instr.rd) {
+        // The branch tests exactly the register the compare just wrote, so
+        // the fused handler can branch on the compare result directly
+        // (rd = r0 is excluded: the write would be suppressed and the
+        // branch would read a hardwired zero instead).
+        kind = kSopFuseCmpBranch;
+      } else if (op1 == Opcode::kLw && f.cls == InstrClass::Arithmetic &&
+                 e.instr.rd != isa::kZeroRegister &&
+                 (f.rs1_src == e.instr.rd || f.rs2_src == e.instr.rd)) {
+        kind = kSopFuseLoadUse;
+      } else if (op1 == Opcode::kCustom && op2 == Opcode::kCustom &&
+                 e.custom != nullptr && f.custom != nullptr &&
+                 !e.custom->bytecode.empty() && !f.custom->bytecode.empty()) {
+        // Hot TIE sequence: back-to-back bytecode-backed customs run
+        // through one handler that enters the bytecode VM directly
+        // (TieConfiguration::execute_bytecode), skipping the per-call
+        // empty() test of the generic path.
+        kind = kSopFuseCustomPair;
+      } else if (op1 == Opcode::kLw && op2 == Opcode::kLw) {
+        kind = kSopFuseLwLw;
+      } else if (op1 == Opcode::kLw && f.cls == InstrClass::Branch) {
+        kind = kSopFuseLwBranch;
+      } else if (op1 == Opcode::kSlli && op2 == Opcode::kAdd) {
+        kind = kSopFuseSlliAdd;
+      } else if (op1 == Opcode::kAddi && op2 == Opcode::kAddi) {
+        kind = kSopFuseAddiAddi;
+      } else if (op1 == Opcode::kAddi && op2 == Opcode::kSlli) {
+        kind = kSopFuseAddiSlli;
+      } else if (op1 == Opcode::kLui && op2 == Opcode::kOri) {
+        kind = kSopFuseLuiOri;
+      } else if (op1 == Opcode::kSub && op2 == Opcode::kJ) {
+        kind = kSopFuseSubJ;
+      } else if (op1 == Opcode::kAddi && op2 == Opcode::kJ) {
+        kind = kSopFuseAddiJ;
+      } else if (op1 == Opcode::kBeq && op2 == Opcode::kBltu) {
+        kind = kSopFuseBeqBltu;
+      } else if (op1 == Opcode::kBge && op2 == Opcode::kSlli) {
+        kind = kSopFuseBgeSlli;
+      } else if (op1 == Opcode::kBeqz && op2 == Opcode::kAddi) {
+        kind = kSopFuseBeqzAddi;
+      } else if (op1 == Opcode::kAdd && op2 == Opcode::kLw) {
+        kind = kSopFuseAddLw;
+      } else if (op1 == Opcode::kAdd && op2 == Opcode::kSw) {
+        kind = kSopFuseAddSw;
+      } else if (op1 == Opcode::kSw && op2 == Opcode::kAddi) {
+        kind = kSopFuseSwAddi;
+      } else if (op1 == Opcode::kSw && op2 == Opcode::kSw) {
+        kind = kSopFuseSwSw;
+      }
+      if (kind >= isa::kOpcodeCount) {
+        sop.fetch2 = fetch_class(i + 1);
+        b.static_cycles += f.custom != nullptr ? f.custom->latency : 1;
+        b.class_counts[static_cast<std::size_t>(f.cls)] += 1;
+        b.n_elided += (sop.fetch == kFetchElided ? 1u : 0u) +
+                      (sop.fetch2 == kFetchElided ? 1u : 0u);
+        sop.kind = kind;
+        b.ops[b.n_ops++] = sop;
+        i += 2;
+        continue;
+      }
+    }
+    sop.kind = kind;
+    b.n_elided += sop.fetch == kFetchElided ? 1u : 0u;
+    b.ops[b.n_ops++] = sop;
+    ++i;
+  }
+
+  // Blocks that end at a control transfer exit from that op's handler;
+  // everything else (length cap, stale/illegal successor) falls off the
+  // end through an explicit terminator.
+  if (!ends_in_control_flow) {
+    SuperOp sop;
+    sop.kind = kSopBlockEnd;
+    sop.idx = word + n;
+    b.ops[b.n_ops++] = sop;
+  }
+
+  block_at_[word] = static_cast<std::int32_t>(id);
+  return &b;
+}
+
+void PredecodeTable::invalidate_blocks_covering(std::uint32_t word) {
+  // A block covering `word` must start within kMaxInstrs - 1 words before
+  // it (blocks never exceed kMaxInstrs instructions).
+  const std::uint32_t lo = word >= Superblock::kMaxInstrs - 1
+                               ? word - (Superblock::kMaxInstrs - 1)
+                               : 0;
+  for (std::uint32_t start = lo; start <= word; ++start) {
+    const std::int32_t id = block_at_[start];
+    if (id < 0) continue;
+    Superblock& b = blocks_[static_cast<std::size_t>(id)];
+    if (start + b.n_instr > word) {
+      flush_exec_counts(b);
+      b.valid = false;
+      block_at_[start] = -1;
+      free_blocks_.push_back(static_cast<std::uint32_t>(id));
+    }
+  }
+}
+
+void PredecodeTable::drop_all_superblocks() {
+  for (Superblock& b : blocks_) flush_exec_counts(b);
+  blocks_.clear();
+  free_blocks_.clear();
+  std::fill(block_at_.begin(), block_at_.end(), -1);
+}
+
+void PredecodeTable::flush_exec_counts(Superblock& block) {
+  if (block.exec_exits != 0) {
+    // Expand the deferred taken-branch exits: one walk accumulates the
+    // running prefix sums, and each op with a nonzero exit count
+    // contributes count * prefix-through-that-op. The walk reads the
+    // window entries the ops index, which still hold the pre-invalidation
+    // decode: any store into the block's range lands here (via
+    // invalidate_blocks_covering) before the entry can be refreshed.
+    std::uint64_t cyc = 0;
+    std::uint64_t eli = 0;
+    std::array<std::uint64_t, isa::kInstrClassCount> cls{};
+    for (std::uint32_t j = 0; j < block.n_ops; ++j) {
+      const SuperOp& op = block.ops[j];
+      if (op.kind == kSopBlockEnd) break;
+      const PredecodedInstr& e = entries_[op.idx];
+      cyc += e.custom != nullptr ? e.custom->latency : 1;
+      cls[static_cast<std::size_t>(e.cls)] += 1;
+      eli += op.fetch == kFetchElided ? 1u : 0u;
+      if (op.kind >= isa::kOpcodeCount) {  // fused pair: second instruction
+        const PredecodedInstr& f = entries_[op.idx + 1];
+        cyc += f.custom != nullptr ? f.custom->latency : 1;
+        cls[static_cast<std::size_t>(f.cls)] += 1;
+        eli += op.fetch2 == kFetchElided ? 1u : 0u;
+      }
+      if (const std::uint64_t n = block.exit_counts[j]; n != 0) {
+        block.exit_counts[j] = 0;
+        pending_cycles_ += n * cyc;
+        pending_hits_ += n * eli;
+        for (std::size_t c = 0; c < cls.size(); ++c) {
+          pending_class_[c] += n * cls[c];
+        }
+      }
+    }
+    block.exec_exits = 0;
+  }
+  if (block.exec_full != 0) {
+    const std::uint64_t n = block.exec_full;
+    block.exec_full = 0;
+    pending_cycles_ += n * block.static_cycles;
+    pending_hits_ += n * block.n_elided;
+    for (std::size_t c = 0; c < block.class_counts.size(); ++c) {
+      pending_class_[c] += n * block.class_counts[c];
+    }
+  }
+}
+
+std::uint64_t PredecodeTable::block_base_prefix(const Superblock& block,
+                                                std::uint32_t n_done) const {
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < n_done; ++i) {
+    const PredecodedInstr& e = entries_[block.first_word + i];
+    total += e.custom != nullptr ? e.custom->latency : 1;
+  }
+  return total;
+}
+
+void PredecodeTable::add_class_prefix(const Superblock& block,
+                                      std::uint32_t n_done,
+                                      std::uint64_t* counts) const {
+  for (std::uint32_t i = 0; i < n_done; ++i) {
+    const PredecodedInstr& e = entries_[block.first_word + i];
+    counts[static_cast<std::size_t>(e.cls)] += 1;
+  }
+}
+
+std::uint64_t PredecodeTable::count_elided_prefix(const Superblock& block,
+                                                  std::uint32_t n_done) const {
+  std::uint64_t elided = 0;
+  std::uint32_t i = 0;
+  for (std::uint32_t o = 0; o < block.n_ops; ++o) {
+    const SuperOp& op = block.ops[o];
+    if (i >= n_done || op.kind == kSopBlockEnd) break;
+    elided += op.fetch == kFetchElided ? 1u : 0u;
+    ++i;
+    if (op.kind >= isa::kOpcodeCount) {  // fused pair: a second instruction
+      if (i >= n_done) break;
+      elided += op.fetch2 == kFetchElided ? 1u : 0u;
+      ++i;
+    }
+  }
+  return elided;
+}
+
+void PredecodeTable::harvest_block_counts(std::uint64_t* class_counts,
+                                          std::uint64_t* cycles,
+                                          std::uint64_t* icache_hits) {
+  for (Superblock& b : blocks_) flush_exec_counts(b);
+  *cycles += pending_cycles_;
+  *icache_hits += pending_hits_;
+  for (std::size_t c = 0; c < pending_class_.size(); ++c) {
+    class_counts[c] += pending_class_[c];
+  }
+  pending_cycles_ = 0;
+  pending_hits_ = 0;
+  pending_class_.fill(0);
 }
 
 const PredecodedInstr* PredecodeTable::refresh(

@@ -21,12 +21,25 @@
 // PCs outside the window (or misaligned, or words that do not decode to a
 // legal instruction) fall back to the reference interpreter path, so
 // behaviour — including the exact fault messages — is unchanged.
+//
+// On top of the flat window, the threaded engine (sim/threaded.h) asks for
+// superblocks: extended basic blocks of consecutive kReady instructions
+// ending at the first unconditional transfer (conditional branches stay
+// inside the block and exit it only when taken), with compare+branch /
+// load-use / custom-custom pairs fused into single ops and per-instruction
+// fetch timing classified at build time. Blocks are built lazily per entry pc and invalidated by the
+// same events that mark words stale (stores into the window; a store that
+// lands inside a block's range kills that block so the executing run exits
+// it after the current instruction).
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "isa/encoding.h"
+#include "isa/isa.h"
 #include "isa/program.h"
+#include "sim/config.h"
 
 namespace exten::tie {
 class TieConfiguration;
@@ -61,6 +74,95 @@ struct PredecodedInstr {
   const tie::CustomInstruction* custom = nullptr;
 };
 
+/// Fetch-timing class of one superblock op, resolved at block-build time.
+/// Within a block instructions execute strictly in sequence, so a fetch
+/// from the same icache line as its predecessor is a guaranteed hit that
+/// cannot change LRU order — the threaded engine skips the cache probe
+/// entirely and credits the hits in bulk (Superblock::n_elided hits per
+/// full execution via Cache::add_hits; partial executions reconcile
+/// through count_elided_prefix).
+enum : std::uint8_t {
+  kFetchElided = 0,    ///< same line as the previous op: counted hit
+  kFetchProbe = 1,     ///< first access to its line: real icache access
+  kFetchUncached = 2,  ///< uncached region: fixed penalty, no cache access
+};
+
+/// Kind space of superblock ops: values below isa::kOpcodeCount execute a
+/// single instruction and equal its opcode's enumerator; fused pairs and
+/// the block terminator follow.
+enum : std::uint8_t {
+  kSopFuseCmpBranch = isa::kOpcodeCount,  ///< slt/sltu/slti/sltiu + beqz/bnez
+  kSopFuseLoadUse,                        ///< lw + dependent base-ALU op
+  kSopFuseCustomPair,                     ///< two bytecode-backed customs
+  // Hot adjacent pairs measured on the application suite; each saves one
+  // dispatch (and the repeated-opcode ones an indirect-branch alias slot).
+  kSopFuseSlliAdd,                        ///< slli + add (address scaling)
+  kSopFuseAddiAddi,                       ///< addi + addi
+  kSopFuseAddiSlli,                       ///< addi + slli
+  kSopFuseLuiOri,                         ///< lui + ori (constant build)
+  kSopFuseLwLw,                           ///< two loads (lw + lw)
+  kSopFuseLwBranch,                       ///< lw + any conditional branch
+  kSopFuseSubJ,                           ///< sub + j (loop backedge)
+  kSopFuseAddiJ,                          ///< addi + j (loop backedge)
+  kSopFuseBeqBltu,                        ///< beq + bltu (compare ladder)
+  kSopFuseBgeSlli,                        ///< bge + slli (guarded shift)
+  kSopFuseBeqzAddi,                       ///< beqz + addi (guarded bump)
+  kSopFuseAddLw,                          ///< add + lw (indexed load)
+  kSopFuseAddSw,                          ///< add + sw (indexed store)
+  kSopFuseSwAddi,                         ///< sw + addi (store, bump index)
+  kSopFuseSwSw,                           ///< two stores (sw + sw)
+  kSopBlockEnd,                           ///< fall off the end of the block
+  kSopKindCount,
+};
+
+/// One dispatch unit of a superblock (a single instruction or a fused
+/// pair). `idx` is the window word index of the (first) instruction.
+struct SuperOp {
+  std::uint8_t kind = kSopBlockEnd;
+  std::uint8_t fetch = kFetchProbe;   ///< fetch class of the instruction
+  std::uint8_t fetch2 = kFetchProbe;  ///< fetch class of a fused second
+  std::uint8_t pad = 0;
+  std::uint32_t idx = 0;
+};
+
+/// A superblock: an extended basic block of consecutive kReady
+/// instructions ending at the first *unconditional* transfer (jump, halt)
+/// or the length cap. Conditional branches stay inside the block: not
+/// taken, execution falls through to the next op; taken, the block exits
+/// early at that op. Event totals that are static per block — base-cycle
+/// occupancy, per-class retirement counts (the macro-model's N_* inputs),
+/// and elided-fetch hits — are attributed per block execution instead of
+/// per instruction; the per-instruction retirement records the threaded
+/// engine emits reconcile exactly with these sums. Executions are counted,
+/// not summed, on the hot path: a full execution bumps `exec_full`, a
+/// taken-branch exit bumps that op's `exit_counts` slot, and
+/// PredecodeTable::harvest_block_counts expands the counts into the
+/// counters at run end (and at invalidation, so recycled slots never leak
+/// counts).
+struct Superblock {
+  static constexpr std::uint32_t kMaxInstrs = 32;
+
+  std::uint32_t first_word = 0;
+  std::uint32_t n_instr = 0;        ///< instructions covered (= words)
+  std::uint32_t n_elided = 0;       ///< fetches classified kFetchElided
+  std::uint32_t n_ops = 0;          ///< ops in use (<= kMaxInstrs + 1)
+  std::uint64_t static_cycles = 0;  ///< sum of per-instruction base cycles
+  std::uint64_t exec_full = 0;      ///< unharvested full executions
+  std::uint64_t exec_exits = 0;     ///< unharvested early exits (total)
+  std::array<std::uint32_t, isa::kInstrClassCount> class_counts{};
+  bool valid = false;  ///< flipped by stores landing inside the block
+  /// Inline op storage (a block has at most kMaxInstrs instructions plus
+  /// the kSopBlockEnd terminator): entering a block costs no pointer chase
+  /// through a separate heap allocation — the block-transition latency is
+  /// the dominant cost of the threaded engine on short blocks.
+  std::array<SuperOp, kMaxInstrs + 1> ops;
+  /// exit_counts[j]: executions that left the block at op j via a taken
+  /// branch, retiring the prefix through op j inclusive. Slots are zeroed
+  /// as flush_exec_counts drains them, so the array never needs a bulk
+  /// reset on slot recycling.
+  std::array<std::uint64_t, kMaxInstrs + 1> exit_counts{};
+};
+
 /// The predecoded window over a program's text segment.
 class PredecodeTable {
  public:
@@ -88,26 +190,120 @@ class PredecodeTable {
   const PredecodedInstr* refresh(std::uint32_t pc, std::uint32_t word,
                                  const tie::TieConfiguration& tie);
 
-  /// Marks the word containing `addr` stale if it lies in the window.
+  /// Marks the word containing `addr` stale if it lies in the window, and
+  /// kills every superblock whose range covers that word (the threaded
+  /// engine checks the flag after each store and exits the block early).
   void note_write(std::uint32_t addr) {
     const std::uint32_t off = (addr & ~3u) - base_;
-    if (off < limit_) entries_[off >> 2].status = PredecodedInstr::kStale;
+    if (off < limit_) [[unlikely]] {
+      const std::uint32_t word = off >> 2;
+      entries_[word].status = PredecodedInstr::kStale;
+      if (!blocks_.empty()) invalidate_blocks_covering(word);
+    }
   }
 
-  /// Marks every word stale (lazy full re-decode from memory).
+  /// Marks every word stale (lazy full re-decode from memory) and drops
+  /// every superblock — a block caches decoded semantics just like an
+  /// entry does, so anything that staleness-invalidates the window must
+  /// invalidate the blocks too.
   void mark_all_stale() {
     for (PredecodedInstr& entry : entries_) {
       entry.status = PredecodedInstr::kStale;
     }
+    drop_all_superblocks();
   }
+
+  /// Superblock starting at `pc`, built on first request. Returns nullptr
+  /// when pc is outside the window, misaligned, or its entry is not
+  /// kReady. The pointer stays valid until the next superblock() call or
+  /// invalidation (the threaded engine holds it only while executing the
+  /// block). `config` supplies the icache line size and the uncached
+  /// boundary for fetch-timing classification.
+  Superblock* superblock(std::uint32_t pc, const ProcessorConfig& config) {
+    const std::uint32_t off = pc - base_;
+    if (off >= limit_ || (off & 3u) != 0) return nullptr;
+    const std::uint32_t word = off >> 2;
+    const std::int32_t id = block_at_[word];
+    if (id >= 0) [[likely]] return &blocks_[static_cast<std::size_t>(id)];
+    return build_superblock(word, config);
+  }
+
+  /// Raw window access for the threaded engine's op records (SuperOp::idx
+  /// indexes this array).
+  const PredecodedInstr* entries_data() const { return entries_.data(); }
+
+  /// Raw table access for the threaded engine's block-transition fast
+  /// path, which caches these pointers in registers for a whole run
+  /// instead of re-deriving them through the accessors every block.
+  /// block_at_data()/entries_data() stay stable for the lifetime of the
+  /// program (only their contents change); blocks_data() is invalidated by
+  /// every build_superblock call (the vector may grow), i.e. after any
+  /// superblock() call that could build.
+  std::uint32_t limit_bytes() const { return limit_; }
+  const std::int32_t* block_at_data() const { return block_at_.data(); }
+  Superblock* blocks_data() { return blocks_.data(); }
+
+  /// Base-cycle sum of the first `n_done` instructions of `block` — the
+  /// partial-execution (self-modifying store / fault) counterpart of
+  /// Superblock::static_cycles.
+  std::uint64_t block_base_prefix(const Superblock& block,
+                                  std::uint32_t n_done) const;
+
+  /// Adds the per-class retirement counts of the first `n_done`
+  /// instructions of `block` into `counts` (length isa::kInstrClassCount).
+  void add_class_prefix(const Superblock& block, std::uint32_t n_done,
+                        std::uint64_t* counts) const;
+
+  /// Number of kFetchElided fetches among the first `n_done` instructions
+  /// of `block` — the partial-execution counterpart of
+  /// Superblock::n_elided.
+  std::uint64_t count_elided_prefix(const Superblock& block,
+                                    std::uint32_t n_done) const;
+
+  /// Drains every unharvested full-block execution count (and anything
+  /// invalidation parked in the pending accumulators) into the caller's
+  /// counters: per-execution base cycles into *cycles, elided-fetch hits
+  /// into *icache_hits, per-class retirement counts into `class_counts`
+  /// (length isa::kInstrClassCount). The threaded engine calls this at
+  /// every run exit — normal or faulting — so Cpu-visible totals are
+  /// always exact between runs.
+  void harvest_block_counts(std::uint64_t* class_counts,
+                            std::uint64_t* cycles,
+                            std::uint64_t* icache_hits);
 
  private:
   static void decode_into(PredecodedInstr* entry, std::uint32_t word,
                           const tie::TieConfiguration& tie);
 
+  Superblock* build_superblock(std::uint32_t word,
+                               const ProcessorConfig& config);
+  void invalidate_blocks_covering(std::uint32_t word);
+  void drop_all_superblocks();
+
+  /// Moves a block's unharvested execution counts (full executions and
+  /// per-op taken-branch exits) into the pending accumulators. Must run
+  /// before the block's slot is recycled or its static sums rewritten —
+  /// exit expansion walks the window entries the block's ops still index.
+  void flush_exec_counts(Superblock& block);
+
   std::uint32_t base_ = 0;
   std::uint32_t limit_ = 0;  ///< window length in bytes
   std::vector<PredecodedInstr> entries_;
+
+  // Superblock store: block_at_[word] is the id of the block *starting* at
+  // that word (-1 when none; overlapping blocks with different entry
+  // points may coexist). Invalidation flips Superblock::valid and recycles
+  // the id through free_blocks_ — blocks_ itself only grows at build time,
+  // never while a block is executing, so a held Superblock* stays stable.
+  std::vector<std::int32_t> block_at_;
+  std::vector<Superblock> blocks_;
+  std::vector<std::uint32_t> free_blocks_;
+
+  // Execution counts flushed out of invalidated blocks, waiting for the
+  // next harvest_block_counts().
+  std::uint64_t pending_cycles_ = 0;
+  std::uint64_t pending_hits_ = 0;
+  std::array<std::uint64_t, isa::kInstrClassCount> pending_class_{};
 };
 
 }  // namespace exten::sim

@@ -21,9 +21,9 @@ struct ExecutionStats {
   std::uint64_t cycles = 0;
 
   /// Retired-instruction counts per static class (index = isa::InstrClass).
-  std::array<std::uint64_t, 7> class_counts{};
+  std::array<std::uint64_t, isa::kInstrClassCount> class_counts{};
   /// Base-occupancy cycles per static class.
-  std::array<std::uint64_t, 7> class_cycles{};
+  std::array<std::uint64_t, isa::kInstrClassCount> class_cycles{};
 
   std::uint64_t branches_taken = 0;
   std::uint64_t branches_untaken = 0;

@@ -1,0 +1,1337 @@
+#pragma once
+
+// Tier-3 execution engine: threaded-code dispatch over fused superblocks.
+//
+// The fast engine (Engine::kFast) already predecodes, but still pays — per
+// dynamic instruction — a window lookup + status check, a budget compare, a
+// shared dispatch branch, an icache probe, and a cycles_ accumulation. This
+// tier removes all of them:
+//
+//  - Superblocks (sim/predecode.h): extended basic blocks — runs of
+//    consecutive ready instructions ending at the first unconditional
+//    transfer, with conditional branches falling through in-block and
+//    exiting only when taken — are translated once into a dense op list;
+//    the dynamic loop looks up pc and checks the budget once per block,
+//    not once per instruction.
+//  - Threaded dispatch: every handler ends in its own indirect jump through
+//    the op-kind table (computed goto), giving the branch predictor one
+//    history slot per handler instead of one polymorphic dispatch branch.
+//    A portable switch-in-a-loop shares the same handler bodies when the
+//    extension is unavailable (or -DEXTEN_THREADED_FORCE_SWITCH=ON).
+//  - Superinstruction fusion: compare+branch, load-use, back-to-back
+//    bytecode-backed custom pairs, and the hot adjacent pairs measured on
+//    the application suite (slli+add, addi+addi, addi+slli, lui+ori,
+//    lw+lw, lw+branch, sub/addi+j) execute as single fused handlers
+//    (still emitting both per-instruction retirement records).
+//  - Block-level event accounting: base-cycle occupancy, per-class N_*
+//    retirement counts, and elided-fetch hits are attributed per block
+//    from build-time sums (Superblock::static_cycles / class_counts /
+//    n_elided); only dynamic penalties are accumulated per instruction, as
+//    the `extra` penalty sum. A fully executed block costs one counter
+//    bump (Superblock::exec_full) and a taken-branch exit one bump of that
+//    op's Superblock::exit_counts slot, both expanded into the totals by
+//    PredecodeTable::harvest_block_counts at every run exit; the rare
+//    partial executions (self-modifying store, fault) reconcile through a
+//    prefix walk. Totals are therefore exactly the per-instruction sums.
+//  - Fetch elision: within a block, a fetch from the same icache line as
+//    its predecessor is a guaranteed hit that cannot change LRU order
+//    (classified at build time), so the probe disappears entirely; the
+//    hits are credited in bulk (Cache::add_hits) through the same
+//    block-level accounting.
+//  - Record elision: a sink that declares
+//    `static constexpr bool kDiscardsRecords = true` promises to ignore
+//    every RetiredInstruction passed to on_retire. For such sinks the
+//    handlers skip building the ~64-byte record altogether — compilers
+//    cannot prove those stores dead across the exception edges and the
+//    address-taken dispatch labels, so the elision is done explicitly via
+//    `if constexpr`. Architectural state, cycles, cache hit/miss counters,
+//    fault behavior, and block-level counts are bit-exact either way
+//    (tests/test_engine_diff.cpp pins a discarding run against a
+//    publishing one).
+//
+// Correctness contract: bit-exact with Engine::kFast and kReference — the
+// same RetiredInstruction stream (every field), the same cycles, the same
+// faults with pc_ parked on the faulting instruction, and the same
+// self-modifying-code semantics (a store landing inside the running block
+// invalidates it; the block exits after the current instruction completes).
+// tests/test_engine_diff.cpp and the fuzz engine_diff oracle enforce this.
+//
+// This header is included at the bottom of sim/cpu.h (it defines the
+// Cpu::run_threaded member template) — do not include it directly.
+
+#include <cstdint>
+
+#include "util/error.h"
+
+// Computed goto is a GNU extension; MSVC (or an explicit
+// -DEXTEN_THREADED_FORCE_SWITCH=ON) gets the portable switch fallback.
+#if !defined(EXTEN_THREADED_FORCE_SWITCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define EXTEN_THREADED_COMPUTED_GOTO 1
+#else
+#define EXTEN_THREADED_COMPUTED_GOTO 0
+#endif
+
+namespace exten::sim {
+
+namespace threaded_detail {
+
+// Every opcode, in enumerator order — SuperOp kinds below isa::kOpcodeCount
+// are the opcode value itself, so the dispatch table is generated from this
+// list and the static_asserts below pin the order against the enum.
+#define EXTEN_SOP_OPCODES(X)                                                  \
+  X(kAdd) X(kSub) X(kAnd) X(kOr) X(kXor) X(kNor) X(kAndn) X(kSll) X(kSrl)    \
+  X(kSra) X(kSlt) X(kSltu) X(kMul) X(kMulh) X(kMin) X(kMax) X(kMinu)         \
+  X(kMaxu) X(kAddi) X(kAndi) X(kOri) X(kXori) X(kSlli) X(kSrli) X(kSrai)     \
+  X(kSlti) X(kSltiu) X(kLui) X(kLw) X(kLh) X(kLhu) X(kLb) X(kLbu) X(kSw)     \
+  X(kSh) X(kSb) X(kJ) X(kJal) X(kJr) X(kJalr) X(kBeq) X(kBne) X(kBlt)        \
+  X(kBge) X(kBltu) X(kBgeu) X(kBeqz) X(kBnez) X(kNop) X(kHalt) X(kCustom)
+
+inline constexpr isa::Opcode kOpcodeOrder[] = {
+#define EXTEN_SOP_ORDER(name) isa::Opcode::name,
+    EXTEN_SOP_OPCODES(EXTEN_SOP_ORDER)
+#undef EXTEN_SOP_ORDER
+};
+
+constexpr bool opcode_order_consecutive() {
+  for (std::size_t i = 0; i < std::size(kOpcodeOrder); ++i) {
+    if (static_cast<std::size_t>(kOpcodeOrder[i]) != i) return false;
+  }
+  return true;
+}
+
+static_assert(std::size(kOpcodeOrder) == isa::kOpcodeCount,
+              "threaded dispatch list must name every opcode");
+static_assert(opcode_order_consecutive(),
+              "threaded dispatch list must match the Opcode enum order");
+
+// Numeric kind constants for the switch fallback's case labels (shared
+// tags with the computed-goto labels).
+#define EXTEN_SOP_KIND(name)                  \
+  inline constexpr std::uint8_t kKind_##name = \
+      static_cast<std::uint8_t>(isa::Opcode::name);
+EXTEN_SOP_OPCODES(EXTEN_SOP_KIND)
+#undef EXTEN_SOP_KIND
+inline constexpr std::uint8_t kKind_FuseCmpBranch = kSopFuseCmpBranch;
+inline constexpr std::uint8_t kKind_FuseLoadUse = kSopFuseLoadUse;
+inline constexpr std::uint8_t kKind_FuseCustomPair = kSopFuseCustomPair;
+inline constexpr std::uint8_t kKind_FuseSlliAdd = kSopFuseSlliAdd;
+inline constexpr std::uint8_t kKind_FuseAddiAddi = kSopFuseAddiAddi;
+inline constexpr std::uint8_t kKind_FuseAddiSlli = kSopFuseAddiSlli;
+inline constexpr std::uint8_t kKind_FuseLuiOri = kSopFuseLuiOri;
+inline constexpr std::uint8_t kKind_FuseLwLw = kSopFuseLwLw;
+inline constexpr std::uint8_t kKind_FuseLwBranch = kSopFuseLwBranch;
+inline constexpr std::uint8_t kKind_FuseSubJ = kSopFuseSubJ;
+inline constexpr std::uint8_t kKind_FuseAddiJ = kSopFuseAddiJ;
+inline constexpr std::uint8_t kKind_FuseBeqBltu = kSopFuseBeqBltu;
+inline constexpr std::uint8_t kKind_FuseBgeSlli = kSopFuseBgeSlli;
+inline constexpr std::uint8_t kKind_FuseBeqzAddi = kSopFuseBeqzAddi;
+inline constexpr std::uint8_t kKind_FuseAddLw = kSopFuseAddLw;
+inline constexpr std::uint8_t kKind_FuseAddSw = kSopFuseAddSw;
+inline constexpr std::uint8_t kKind_FuseSwAddi = kSopFuseSwAddi;
+inline constexpr std::uint8_t kKind_FuseSwSw = kSopFuseSwSw;
+inline constexpr std::uint8_t kKind_BlockEnd = kSopBlockEnd;
+
+/// True when `Sink` declared kDiscardsRecords = true: retirement records
+/// are never read, so the handlers need not build them.
+template <typename Sink>
+constexpr bool sink_discards_records() {
+  if constexpr (requires { Sink::kDiscardsRecords; }) {
+    return Sink::kDiscardsRecords;
+  } else {
+    return false;
+  }
+}
+
+/// Stack space for one retirement record — or nothing, for sinks that
+/// discard records. ptr() keeps the handler bodies uniform; every
+/// dereference sits behind `if constexpr (kPub)`.
+template <bool kPublish>
+struct RecordStorage {
+  RetiredInstruction rec;
+  RetiredInstruction* ptr() { return &rec; }
+};
+template <>
+struct RecordStorage<false> {
+  RetiredInstruction* ptr() { return nullptr; }
+};
+
+}  // namespace threaded_detail
+
+// Handler scaffolding. EXTEN_OP opens a handler for one SuperOp kind;
+// EXTEN_NEXT advances to the following op of the block and re-dispatches;
+// EXTEN_RETIRE folds an instruction's dynamic penalty cycles into the
+// block's `extra` accumulator and publishes the record (when the sink
+// consumes records, the penalties are read back off the record so the two
+// accountings can never diverge). Handlers that end the block jump to
+// block_done instead of EXTEN_NEXT.
+#if EXTEN_THREADED_COMPUTED_GOTO
+#define EXTEN_OP(tag) H_##tag:
+#define EXTEN_NEXT()             \
+  do {                           \
+    ++op;                        \
+    goto* kDispatch[op->kind];   \
+  } while (0)
+#else
+#define EXTEN_OP(tag) case threaded_detail::kKind_##tag:
+#define EXTEN_NEXT()     \
+  do {                   \
+    ++op;                \
+    goto dispatch_next;  \
+  } while (0)
+#endif
+
+#define EXTEN_RETIRE(rp, pen)                          \
+  do {                                                 \
+    if constexpr (kPub) {                              \
+      extra += (rp)->total_cycles - (rp)->base_cycles; \
+      sink.on_retire(*(rp));                           \
+    } else {                                           \
+      extra += (pen);                                  \
+    }                                                  \
+    ++done;                                            \
+  } while (0)
+
+// ALU with a register rs2 (the expression reads `b`).
+#define EXTEN_ALU(name, expr)                                    \
+  EXTEN_OP(name) {                                               \
+    const PredecodedInstr& e = win[op->idx];                     \
+    const std::uint32_t a = regs_[e.instr.rs1];                  \
+    const std::uint32_t b = regs_[e.instr.rs2];                  \
+    threaded_detail::RecordStorage<kPub> rs;                     \
+    RetiredInstruction* const r = rs.ptr();                      \
+    const std::uint32_t pen = begin_instr(e, op->fetch, a, b, r); \
+    const std::uint32_t v = (expr);                              \
+    if (e.instr.rd != isa::kZeroRegister) regs_[e.instr.rd] = v; \
+    if constexpr (kPub) r->result = v;                           \
+    vpc += 4;                                                    \
+    EXTEN_RETIRE(r, pen);                                        \
+    EXTEN_NEXT();                                                \
+  }
+
+// ALU with an immediate: rs2 is read only to fill the record's rs2_value.
+#define EXTEN_ALU_IMM(name, expr)                                \
+  EXTEN_OP(name) {                                               \
+    const PredecodedInstr& e = win[op->idx];                     \
+    const std::uint32_t a = regs_[e.instr.rs1];                  \
+    const std::uint32_t b = kPub ? regs_[e.instr.rs2] : 0u;      \
+    threaded_detail::RecordStorage<kPub> rs;                     \
+    RetiredInstruction* const r = rs.ptr();                      \
+    const std::uint32_t pen = begin_instr(e, op->fetch, a, b, r); \
+    const std::uint32_t v = (expr);                              \
+    if (e.instr.rd != isa::kZeroRegister) regs_[e.instr.rd] = v; \
+    if constexpr (kPub) r->result = v;                           \
+    vpc += 4;                                                    \
+    EXTEN_RETIRE(r, pen);                                        \
+    EXTEN_NEXT();                                                \
+  }
+
+#define EXTEN_LOAD(name, bytes, sign)                       \
+  EXTEN_OP(name) {                                          \
+    const PredecodedInstr& e = win[op->idx];                \
+    const std::uint32_t a = regs_[e.instr.rs1];             \
+    const std::uint32_t b = kPub ? regs_[e.instr.rs2] : 0u; \
+    threaded_detail::RecordStorage<kPub> rs;                \
+    RetiredInstruction* const r = rs.ptr();                 \
+    std::uint32_t pen = begin_instr(e, op->fetch, a, b, r); \
+    pen += do_load(e, a, bytes, sign, r);                   \
+    vpc += 4;                                               \
+    EXTEN_RETIRE(r, pen);                                   \
+    EXTEN_NEXT();                                           \
+  }
+
+#define EXTEN_STORE(name, bytes)                            \
+  EXTEN_OP(name) {                                          \
+    const PredecodedInstr& e = win[op->idx];                \
+    const std::uint32_t a = regs_[e.instr.rs1];             \
+    const std::uint32_t b = regs_[e.instr.rs2];             \
+    threaded_detail::RecordStorage<kPub> rs;                \
+    RetiredInstruction* const r = rs.ptr();                 \
+    std::uint32_t pen = begin_instr(e, op->fetch, a, b, r); \
+    pen += do_store(e, a, b, bytes, r);                     \
+    vpc += 4;                                               \
+    EXTEN_RETIRE(r, pen);                                   \
+    if (sb->valid) [[likely]] EXTEN_NEXT();                 \
+    /* the store landed inside this block */                \
+    goto block_done;                                        \
+  }
+
+// Branch on a two-register condition. Not taken falls through to the next
+// op of the same (extended basic) block; taken exits the block — the
+// epilogue defers the prefix attribution via this op's exit-count slot.
+#define EXTEN_BRANCH(name, cond)                            \
+  EXTEN_OP(name) {                                          \
+    const PredecodedInstr& e = win[op->idx];                \
+    const std::uint32_t a = regs_[e.instr.rs1];             \
+    const std::uint32_t b = regs_[e.instr.rs2];             \
+    threaded_detail::RecordStorage<kPub> rs;                \
+    RetiredInstruction* const r = rs.ptr();                 \
+    std::uint32_t pen = begin_instr(e, op->fetch, a, b, r); \
+    const bool taken = (cond);                              \
+    pen += do_branch(e, taken, r);                          \
+    EXTEN_RETIRE(r, pen);                                   \
+    if (!taken) EXTEN_NEXT();                               \
+    goto block_done;                                        \
+  }
+
+// Branch against zero: rs2 is record-only.
+#define EXTEN_BRANCH_Z(name, cond)                          \
+  EXTEN_OP(name) {                                          \
+    const PredecodedInstr& e = win[op->idx];                \
+    const std::uint32_t a = regs_[e.instr.rs1];             \
+    const std::uint32_t b = kPub ? regs_[e.instr.rs2] : 0u; \
+    threaded_detail::RecordStorage<kPub> rs;                \
+    RetiredInstruction* const r = rs.ptr();                 \
+    std::uint32_t pen = begin_instr(e, op->fetch, a, b, r); \
+    const bool taken = (cond);                              \
+    pen += do_branch(e, taken, r);                          \
+    EXTEN_RETIRE(r, pen);                                   \
+    if (!taken) EXTEN_NEXT();                               \
+    goto block_done;                                        \
+  }
+
+// One ALU half of a fused pair: `expr` reads a/b/e like EXTEN_ALU; `breal`
+// says whether rs2 is architecturally read (reg-reg form) or record-only
+// (immediate form). The second half needs no special interlock handling —
+// begin_instr's `pending` check covers any dependence on a load retired by
+// the first half.
+#define EXTEN_FUSE_ALU_HALF(eN, fetchN, breal, expr)              \
+  {                                                               \
+    const PredecodedInstr& e = (eN);                              \
+    const std::uint32_t a = regs_[e.instr.rs1];                   \
+    const std::uint32_t b = (breal) || kPub ? regs_[e.instr.rs2] : 0u; \
+    threaded_detail::RecordStorage<kPub> rs;                      \
+    RetiredInstruction* const r = rs.ptr();                       \
+    const std::uint32_t pen = begin_instr(e, (fetchN), a, b, r);  \
+    const std::uint32_t v = (expr);                               \
+    if (e.instr.rd != isa::kZeroRegister) regs_[e.instr.rd] = v;  \
+    if constexpr (kPub) r->result = v;                            \
+    vpc += 4;                                                     \
+    EXTEN_RETIRE(r, pen);                                         \
+  }
+
+// Fused conditional-branch + ALU pair. Not taken falls through into the
+// ALU half; taken exits the block after only the branch half retired —
+// a *mid-op* exit of a live block, which cannot use the deferred
+// exit-count slot (that encodes whole-op prefixes), so it leaves through
+// block_done_partial, which attributes the odd prefix eagerly.
+#define EXTEN_FUSE_BRANCH_ALU(name, breal, cond, b2, expr2)              \
+  EXTEN_OP(name) {                                                       \
+    const PredecodedInstr& e1 = win[op->idx];                            \
+    const PredecodedInstr& e2 = win[op->idx + 1];                        \
+    {                                                                    \
+      const PredecodedInstr& e = e1;                                     \
+      const std::uint32_t a = regs_[e.instr.rs1];                        \
+      const std::uint32_t b = (breal) || kPub ? regs_[e.instr.rs2] : 0u; \
+      threaded_detail::RecordStorage<kPub> rs;                           \
+      RetiredInstruction* const r = rs.ptr();                            \
+      std::uint32_t pen = begin_instr(e, op->fetch, a, b, r);            \
+      const bool taken = (cond);                                         \
+      pen += do_branch(e, taken, r);                                     \
+      EXTEN_RETIRE(r, pen);                                              \
+      if (taken) [[unlikely]] goto block_done_partial;                   \
+    }                                                                    \
+    EXTEN_FUSE_ALU_HALF(e2, op->fetch2, b2, expr2)                       \
+    ++fused_acc;                                                         \
+    EXTEN_NEXT();                                                        \
+  }
+
+// One sw half of a fused pair. A store may land inside the current block
+// and invalidate it — including overwriting the *other* half's word — so
+// every handler using this macro must test sb->valid immediately after the
+// store half and exit via block_done when it fails; the mid-op prefix
+// (odd retirement count) is attributed by the store-kill partial path.
+#define EXTEN_FUSE_STORE_HALF(eN, fetchN)                  \
+  {                                                        \
+    const PredecodedInstr& e = (eN);                       \
+    const std::uint32_t a = regs_[e.instr.rs1];            \
+    const std::uint32_t b = regs_[e.instr.rs2];            \
+    threaded_detail::RecordStorage<kPub> rs;               \
+    RetiredInstruction* const r = rs.ptr();                \
+    std::uint32_t pen = begin_instr(e, (fetchN), a, b, r); \
+    pen += do_store(e, a, b, 4, r);                        \
+    vpc += 4;                                              \
+    EXTEN_RETIRE(r, pen);                                  \
+  }
+
+// Fused ALU+ALU pair: both halves retire, one dispatch.
+#define EXTEN_FUSE_ALU_ALU(name, b1, expr1, b2, expr2) \
+  EXTEN_OP(name) {                                     \
+    const PredecodedInstr& e1 = win[op->idx];          \
+    const PredecodedInstr& e2 = win[op->idx + 1];      \
+    EXTEN_FUSE_ALU_HALF(e1, op->fetch, b1, expr1)      \
+    EXTEN_FUSE_ALU_HALF(e2, op->fetch2, b2, expr2)     \
+    ++fused_acc;                                       \
+    EXTEN_NEXT();                                      \
+  }
+
+// Fused ALU+j loop backedge: the jump always ends the block, so the pair
+// is always the block's last op and exits through block_done.
+#define EXTEN_FUSE_ALU_J(name, b1, expr1)                          \
+  EXTEN_OP(name) {                                                 \
+    const PredecodedInstr& e1 = win[op->idx];                      \
+    const PredecodedInstr& e2 = win[op->idx + 1];                  \
+    EXTEN_FUSE_ALU_HALF(e1, op->fetch, b1, expr1)                  \
+    {                                                              \
+      const PredecodedInstr& e = e2;                               \
+      const std::uint32_t a = kPub ? regs_[e.instr.rs1] : 0u;      \
+      const std::uint32_t b = kPub ? regs_[e.instr.rs2] : 0u;      \
+      threaded_detail::RecordStorage<kPub> rs;                     \
+      RetiredInstruction* const r = rs.ptr();                      \
+      std::uint32_t pen = begin_instr(e, op->fetch2, a, b, r);     \
+      vpc += 4 + static_cast<std::uint32_t>(e.instr.imm) * 4;      \
+      pen += config_.jump_penalty;                                 \
+      if constexpr (kPub) {                                        \
+        r->total_cycles += config_.jump_penalty;                   \
+        r->redirect_cycles += config_.jump_penalty;                \
+      }                                                            \
+      EXTEN_RETIRE(r, pen);                                        \
+    }                                                              \
+    ++fused_acc;                                                   \
+    goto block_done;                                               \
+  }
+
+template <typename Sink>
+RunResult Cpu::run_threaded(Sink& sink, std::uint64_t max_instructions) {
+  using internal::as_signed;
+  // Publish per-instruction records to the sink? Sinks that declare
+  // kDiscardsRecords opt out; everything architectural stays identical.
+  constexpr bool kPub = !threaded_detail::sink_discards_records<Sink>();
+  sink.on_run_begin();
+  RunResult result;
+  obs::ScopedSpan run_span(obs::Category::kEngine, "run_threaded");
+  const std::uint64_t run_start_ns =
+      run_span.armed() ? obs::Tracer::now_ns() : 0;
+  const std::uint64_t tie_ns_before = tie_exec_ns_;
+  const std::uint64_t tie_count_before = tie_exec_count_;
+
+  // Run-local accumulators: totals the old loop read-modify-wrote on
+  // members per instruction or per block stay in registers for the whole
+  // run and are flushed once at every exit. The scope guard keeps the flush
+  // on the fault path too (a fault anywhere — hot block, cold step — must
+  // leave the Cpu's observable totals exact); flushing is idempotent, so
+  // the explicit call on the normal path plus the guard's is safe.
+  std::uint64_t executed = 0;    // becomes result.instructions
+  std::uint64_t hot_instrs = 0;  // instructions retired inside superblocks
+  std::uint64_t hot_blocks = 0;  // superblocks entered
+  std::uint64_t fused_acc = 0;   // fused pairs executed
+  std::uint64_t extra_acc = 0;   // dynamic penalty cycles beyond base
+  const auto flush_run_totals = [&] {
+    threaded_counters_.instructions += hot_instrs;
+    threaded_counters_.superblocks += hot_blocks;
+    threaded_counters_.fused += fused_acc;
+    cycles_ += extra_acc;
+    hot_instrs = hot_blocks = fused_acc = extra_acc = 0;
+    std::uint64_t harvested_cycles = 0;
+    std::uint64_t harvested_hits = 0;
+    predecode_.harvest_block_counts(threaded_counters_.class_instrs.data(),
+                                    &harvested_cycles, &harvested_hits);
+    cycles_ += harvested_cycles;
+    icache_.add_hits(harvested_hits);
+  };
+  struct FlushOnExit {
+    const decltype(flush_run_totals)& flush;
+    ~FlushOnExit() { flush(); }
+  } flush_on_exit{flush_run_totals};
+
+  // Block-transition fast path. The window geometry and the entry /
+  // block-id table bases are invariant for the lifetime of the loaded
+  // program (only their contents change — see block_at_data()), and pc
+  // lives in a register for the whole run; the member pc_ is synced
+  // wherever other code can observe it (cold steps, FuseLoadUse's
+  // execute(), faults, run exit). blocks_data() is re-fetched after any
+  // build, which is the only thing that can move it.
+  const PredecodedInstr* const win = predecode_.entries_data();
+  const std::int32_t* const block_at = predecode_.block_at_data();
+  Superblock* blocks = predecode_.blocks_data();
+  const std::uint32_t window_base = predecode_.base();
+  const std::uint32_t window_limit = predecode_.limit_bytes();
+  std::uint32_t pc = pc_;
+  // Interlock source (destination register of an immediately preceding
+  // load): run-local like pc, synced with the member around cold steps and
+  // at every run exit.
+  unsigned pending = pending_load_rd_;
+
+  while (executed < max_instructions) {
+    Superblock* sb = nullptr;
+    const std::uint32_t woff = pc - window_base;  // wraps below base -> large
+    if (woff < window_limit && (woff & 3u) == 0) [[likely]] {
+      const std::int32_t id = block_at[woff >> 2];
+      if (id >= 0) [[likely]] {
+        // block_at_ only ever maps to valid blocks (invalidation resets
+        // the slot to -1 as it flips Superblock::valid), so neither the
+        // entry status nor block validity needs re-checking here.
+        sb = blocks + id;
+      } else if (win[woff >> 2].status == PredecodedInstr::kReady) {
+        sb = predecode_.superblock(pc, config_);
+        blocks = predecode_.blocks_data();  // the build may have grown it
+      }
+    }
+    if (sb == nullptr ||
+        sb->n_instr > max_instructions - executed) [[unlikely]] {
+      // Cold path: out-of-window pc, stale/illegal entry, or fewer budget
+      // instructions left than the block would retire. One step, exactly
+      // like the fast engine's loop (which is what keeps budget-truncated
+      // runs bit-exact), attributed as a single-instruction "block".
+      pc_ = pc;
+      pending_load_rd_ = pending;
+      const PredecodedInstr* p = predecode_.lookup(pc);
+      RetiredInstruction retired;
+      const bool keep_going = p == nullptr ? step_reference(&retired)
+                              : p->status == PredecodedInstr::kReady
+                                  ? dispatch_predecoded(p, &retired)
+                                  : step_fast_cold(p, &retired);
+      pc = pc_;
+      pending = pending_load_rd_;
+      ++executed;
+      cycles_ += retired.total_cycles;
+      threaded_counters_.instructions += 1;
+      threaded_counters_.singles += 1;
+      threaded_counters_.class_instrs[static_cast<std::size_t>(retired.cls)] +=
+          1;
+      sink.on_retire(retired);
+      if (!keep_going) {
+        result.halted = true;
+        break;
+      }
+      continue;
+    }
+
+    const SuperOp* op = sb->ops.data();
+    std::uint32_t bpc = pc;     // block entry pc (self-loop detection)
+    std::uint32_t vpc = pc;     // block-local pc; written back at every exit
+    std::uint32_t done = 0;     // instructions retired in this block
+    std::uint64_t extra = 0;    // dynamic penalty cycles beyond base
+    bool halted = false;
+
+    try {
+      // Per-instruction prologue shared by every handler: fetch timing
+      // (probe / counted hit / uncached penalty) and the load-use
+      // interlock check, plus — for record-consuming sinks — the identity
+      // and operand fields. Returns the penalty cycles it charged; a
+      // field-for-field mirror of dispatch_predecoded.
+      auto begin_instr = [&](const PredecodedInstr& e, std::uint8_t fetch,
+                             std::uint32_t a, std::uint32_t b,
+                             RetiredInstruction* r) EXTEN_LAMBDA_INLINE
+          -> std::uint32_t {
+        if constexpr (kPub) {
+          r->pc = vpc;
+          r->instr = e.instr;
+          r->cls = e.cls;
+          r->rs1_value = a;
+          r->rs2_value = b;
+        }
+        std::uint32_t pen = 0;
+        // kFetchElided needs no action here: elided hits are credited in
+        // bulk from Superblock::n_elided by the block-level accounting.
+        if (fetch == kFetchProbe) {
+          if (icache_.access(vpc) == CacheOutcome::kMiss) [[unlikely]] {
+            pen += config_.icache_miss_penalty;
+            if constexpr (kPub) {
+              r->icache_miss = true;
+              r->total_cycles += config_.icache_miss_penalty;
+              r->memory_stall_cycles += config_.icache_miss_penalty;
+            }
+          }
+        } else if (fetch == kFetchUncached) {
+          pen += config_.uncached_fetch_penalty;
+          if constexpr (kPub) {
+            r->uncached_fetch = true;
+            r->total_cycles += config_.uncached_fetch_penalty;
+            r->memory_stall_cycles += config_.uncached_fetch_penalty;
+          }
+        }
+        if (pending == e.rs1_src || pending == e.rs2_src) [[unlikely]] {
+          pen += config_.load_use_interlock;
+          if constexpr (kPub) {
+            r->interlock_cycles = config_.load_use_interlock;
+            r->total_cycles += config_.load_use_interlock;
+          }
+        }
+        pending = isa::kNumRegisters;
+        return pen;
+      };
+      auto do_load = [&](const PredecodedInstr& e, std::uint32_t a,
+                         unsigned bytes, bool sign,
+                         RetiredInstruction* r) EXTEN_LAMBDA_INLINE
+          -> std::uint32_t {
+        const std::uint32_t addr = a + static_cast<std::uint32_t>(e.instr.imm);
+        std::uint32_t pen = 0;
+        if (config_.is_uncached(addr)) {
+          pen += config_.uncached_data_penalty;
+          if constexpr (kPub) {
+            r->uncached_data = true;
+            r->total_cycles += config_.uncached_data_penalty;
+            r->memory_stall_cycles += config_.uncached_data_penalty;
+          }
+        } else if (dcache_.access(addr) == CacheOutcome::kMiss) {
+          pen += config_.dcache_miss_penalty;
+          if constexpr (kPub) {
+            r->dcache_miss = true;
+            r->total_cycles += config_.dcache_miss_penalty;
+            r->memory_stall_cycles += config_.dcache_miss_penalty;
+          }
+        }
+        std::uint32_t value = 0;
+        switch (bytes) {
+          case 1:
+            value = memory_.read8_via(load_page_, addr);
+            if (sign) {
+              value = static_cast<std::uint32_t>(
+                  static_cast<std::int32_t>(static_cast<std::int8_t>(value)));
+            }
+            break;
+          case 2:
+            value = memory_.read16_via(load_page_, addr);
+            if (sign) {
+              value = static_cast<std::uint32_t>(
+                  static_cast<std::int32_t>(static_cast<std::int16_t>(value)));
+            }
+            break;
+          default:
+            value = memory_.read32_via(load_page_, addr);
+            break;
+        }
+        if (e.instr.rd != isa::kZeroRegister) regs_[e.instr.rd] = value;
+        if constexpr (kPub) {
+          r->mem_addr = addr;
+          r->is_mem = true;
+          r->result = value;
+        }
+        pending =
+            e.instr.rd != isa::kZeroRegister ? e.instr.rd : isa::kNumRegisters;
+        return pen;
+      };
+      auto do_store = [&](const PredecodedInstr& e, std::uint32_t a,
+                          std::uint32_t b, unsigned bytes,
+                          RetiredInstruction* r) EXTEN_LAMBDA_INLINE
+          -> std::uint32_t {
+        const std::uint32_t addr = a + static_cast<std::uint32_t>(e.instr.imm);
+        std::uint32_t pen = 0;
+        if constexpr (kPub) {
+          r->mem_addr = addr;
+          r->is_mem = true;
+          r->result = b;
+        }
+        if (!config_.is_uncached(addr)) {
+          dcache_.probe(addr);
+        } else {
+          pen += config_.uncached_data_penalty;
+          if constexpr (kPub) {
+            r->uncached_data = true;
+            r->total_cycles += config_.uncached_data_penalty;
+            r->memory_stall_cycles += config_.uncached_data_penalty;
+          }
+        }
+        switch (bytes) {
+          case 1:
+            memory_.write8_via(store_page_, addr,
+                               static_cast<std::uint8_t>(b));
+            break;
+          case 2:
+            memory_.write16_via(store_page_, addr,
+                                static_cast<std::uint16_t>(b));
+            break;
+          default:
+            memory_.write32_via(store_page_, addr, b);
+            break;
+        }
+        // May invalidate superblocks — including the one being executed;
+        // the store handlers check sb->valid and exit the block early.
+        predecode_.note_write(addr);
+        return pen;
+      };
+      auto do_branch = [&](const PredecodedInstr& e, bool taken,
+                           RetiredInstruction* r) EXTEN_LAMBDA_INLINE
+          -> std::uint32_t {
+        if constexpr (kPub) r->branch_taken = taken;
+        if (taken) {
+          vpc += 4 + static_cast<std::uint32_t>(e.instr.imm) * 4;
+          if constexpr (kPub) {
+            r->total_cycles += config_.taken_branch_penalty;
+            r->redirect_cycles += config_.taken_branch_penalty;
+          }
+          return config_.taken_branch_penalty;
+        }
+        vpc += 4;
+        return 0;
+      };
+      auto do_custom = [&](const PredecodedInstr& e, std::uint32_t a,
+                           std::uint32_t b, bool bytecode_known,
+                           RetiredInstruction* r) EXTEN_LAMBDA_INLINE {
+        const tie::CustomInstruction& ci = *e.custom;
+        if constexpr (kPub) {
+          r->custom = &ci;
+          r->base_cycles = ci.latency;
+          r->total_cycles += ci.latency - 1;
+        }
+        std::uint32_t rd_value;
+        if (obs::Tracer::enabled()) [[unlikely]] {
+          const auto tie_start = std::chrono::steady_clock::now();
+          rd_value = bytecode_known
+                         ? tie_.execute_bytecode(ci, a, b, &tie_state_)
+                         : tie_.execute(ci, a, b, &tie_state_);
+          tie_exec_ns_ += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - tie_start)
+                  .count());
+          ++tie_exec_count_;
+        } else {
+          rd_value = bytecode_known
+                         ? tie_.execute_bytecode(ci, a, b, &tie_state_)
+                         : tie_.execute(ci, a, b, &tie_state_);
+        }
+        if (ci.writes_rd) {
+          if (e.instr.rd != isa::kZeroRegister) regs_[e.instr.rd] = rd_value;
+          if constexpr (kPub) r->result = rd_value;
+        }
+      };
+
+#if EXTEN_THREADED_COMPUTED_GOTO
+      static const void* const kDispatch[] = {
+#define EXTEN_SOP_LABEL(name) &&H_##name,
+          EXTEN_SOP_OPCODES(EXTEN_SOP_LABEL)
+#undef EXTEN_SOP_LABEL
+          &&H_FuseCmpBranch,
+          &&H_FuseLoadUse,
+          &&H_FuseCustomPair,
+          &&H_FuseSlliAdd,
+          &&H_FuseAddiAddi,
+          &&H_FuseAddiSlli,
+          &&H_FuseLuiOri,
+          &&H_FuseLwLw,
+          &&H_FuseLwBranch,
+          &&H_FuseSubJ,
+          &&H_FuseAddiJ,
+          &&H_FuseBeqBltu,
+          &&H_FuseBgeSlli,
+          &&H_FuseBeqzAddi,
+          &&H_FuseAddLw,
+          &&H_FuseAddSw,
+          &&H_FuseSwAddi,
+          &&H_FuseSwSw,
+          &&H_BlockEnd,
+      };
+      static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) == kSopKindCount,
+                    "dispatch table must cover every SuperOp kind");
+      goto* kDispatch[op->kind];
+#else
+    dispatch_next:
+      switch (op->kind) {
+#endif
+
+      EXTEN_ALU(kAdd, a + b)
+      EXTEN_ALU(kSub, a - b)
+      EXTEN_ALU(kAnd, a & b)
+      EXTEN_ALU(kOr, a | b)
+      EXTEN_ALU(kXor, a ^ b)
+      EXTEN_ALU(kNor, ~(a | b))
+      EXTEN_ALU(kAndn, a & ~b)
+      EXTEN_ALU(kSll, a << (b & 31))
+      EXTEN_ALU(kSrl, a >> (b & 31))
+      EXTEN_ALU(kSra, static_cast<std::uint32_t>(as_signed(a) >> (b & 31)))
+      EXTEN_ALU(kSlt, as_signed(a) < as_signed(b) ? 1u : 0u)
+      EXTEN_ALU(kSltu, a < b ? 1u : 0u)
+      EXTEN_ALU(kMul, a * b)
+      EXTEN_ALU(kMulh,
+                static_cast<std::uint32_t>(
+                    (static_cast<std::int64_t>(as_signed(a)) *
+                     static_cast<std::int64_t>(as_signed(b))) >>
+                    32))
+      EXTEN_ALU(kMin, as_signed(a) < as_signed(b) ? a : b)
+      EXTEN_ALU(kMax, as_signed(a) > as_signed(b) ? a : b)
+      EXTEN_ALU(kMinu, a < b ? a : b)
+      EXTEN_ALU(kMaxu, a > b ? a : b)
+      EXTEN_ALU_IMM(kAddi, a + static_cast<std::uint32_t>(e.instr.imm))
+      EXTEN_ALU_IMM(kAndi, a & static_cast<std::uint32_t>(e.instr.imm))
+      EXTEN_ALU_IMM(kOri, a | static_cast<std::uint32_t>(e.instr.imm))
+      EXTEN_ALU_IMM(kXori, a ^ static_cast<std::uint32_t>(e.instr.imm))
+      EXTEN_ALU_IMM(kSlli, a << (e.instr.imm & 31))
+      EXTEN_ALU_IMM(kSrli, a >> (e.instr.imm & 31))
+      EXTEN_ALU_IMM(kSrai,
+                    static_cast<std::uint32_t>(as_signed(a) >>
+                                               (e.instr.imm & 31)))
+      EXTEN_ALU_IMM(kSlti, as_signed(a) < e.instr.imm ? 1u : 0u)
+      EXTEN_ALU_IMM(kSltiu,
+                    a < static_cast<std::uint32_t>(e.instr.imm) ? 1u : 0u)
+      EXTEN_ALU_IMM(kLui, static_cast<std::uint32_t>(e.instr.imm))
+
+      EXTEN_LOAD(kLw, 4, false)
+      EXTEN_LOAD(kLh, 2, true)
+      EXTEN_LOAD(kLhu, 2, false)
+      EXTEN_LOAD(kLb, 1, true)
+      EXTEN_LOAD(kLbu, 1, false)
+
+      EXTEN_STORE(kSw, 4)
+      EXTEN_STORE(kSh, 2)
+      EXTEN_STORE(kSb, 1)
+
+      EXTEN_OP(kJ) {
+        const PredecodedInstr& e = win[op->idx];
+        const std::uint32_t a = kPub ? regs_[e.instr.rs1] : 0u;
+        const std::uint32_t b = kPub ? regs_[e.instr.rs2] : 0u;
+        threaded_detail::RecordStorage<kPub> rs;
+        RetiredInstruction* const r = rs.ptr();
+        std::uint32_t pen = begin_instr(e, op->fetch, a, b, r);
+        vpc += 4 + static_cast<std::uint32_t>(e.instr.imm) * 4;
+        pen += config_.jump_penalty;
+        if constexpr (kPub) {
+          r->total_cycles += config_.jump_penalty;
+          r->redirect_cycles += config_.jump_penalty;
+        }
+        EXTEN_RETIRE(r, pen);
+        goto block_done;
+      }
+      EXTEN_OP(kJal) {
+        const PredecodedInstr& e = win[op->idx];
+        const std::uint32_t a = kPub ? regs_[e.instr.rs1] : 0u;
+        const std::uint32_t b = kPub ? regs_[e.instr.rs2] : 0u;
+        threaded_detail::RecordStorage<kPub> rs;
+        RetiredInstruction* const r = rs.ptr();
+        std::uint32_t pen = begin_instr(e, op->fetch, a, b, r);
+        const std::uint32_t link = vpc + 4;
+        regs_[isa::kLinkRegister] = link;
+        if constexpr (kPub) r->result = link;
+        vpc = link + static_cast<std::uint32_t>(e.instr.imm) * 4;
+        pen += config_.jump_penalty;
+        if constexpr (kPub) {
+          r->total_cycles += config_.jump_penalty;
+          r->redirect_cycles += config_.jump_penalty;
+        }
+        EXTEN_RETIRE(r, pen);
+        goto block_done;
+      }
+      EXTEN_OP(kJr) {
+        const PredecodedInstr& e = win[op->idx];
+        const std::uint32_t a = regs_[e.instr.rs1];
+        const std::uint32_t b = kPub ? regs_[e.instr.rs2] : 0u;
+        threaded_detail::RecordStorage<kPub> rs;
+        RetiredInstruction* const r = rs.ptr();
+        std::uint32_t pen = begin_instr(e, op->fetch, a, b, r);
+        vpc = a;
+        pen += config_.jump_penalty;
+        if constexpr (kPub) {
+          r->total_cycles += config_.jump_penalty;
+          r->redirect_cycles += config_.jump_penalty;
+        }
+        EXTEN_RETIRE(r, pen);
+        goto block_done;
+      }
+      EXTEN_OP(kJalr) {
+        const PredecodedInstr& e = win[op->idx];
+        const std::uint32_t a = regs_[e.instr.rs1];
+        const std::uint32_t b = kPub ? regs_[e.instr.rs2] : 0u;
+        threaded_detail::RecordStorage<kPub> rs;
+        RetiredInstruction* const r = rs.ptr();
+        std::uint32_t pen = begin_instr(e, op->fetch, a, b, r);
+        const std::uint32_t link = vpc + 4;
+        if (e.instr.rd != isa::kZeroRegister) regs_[e.instr.rd] = link;
+        if constexpr (kPub) r->result = link;
+        vpc = a;
+        pen += config_.jump_penalty;
+        if constexpr (kPub) {
+          r->total_cycles += config_.jump_penalty;
+          r->redirect_cycles += config_.jump_penalty;
+        }
+        EXTEN_RETIRE(r, pen);
+        goto block_done;
+      }
+
+      EXTEN_BRANCH(kBeq, a == b)
+      EXTEN_BRANCH(kBne, a != b)
+      EXTEN_BRANCH(kBlt, as_signed(a) < as_signed(b))
+      EXTEN_BRANCH(kBge, as_signed(a) >= as_signed(b))
+      EXTEN_BRANCH(kBltu, a < b)
+      EXTEN_BRANCH(kBgeu, a >= b)
+      EXTEN_BRANCH_Z(kBeqz, a == 0)
+      EXTEN_BRANCH_Z(kBnez, a != 0)
+
+      EXTEN_OP(kNop) {
+        const PredecodedInstr& e = win[op->idx];
+        const std::uint32_t a = kPub ? regs_[e.instr.rs1] : 0u;
+        const std::uint32_t b = kPub ? regs_[e.instr.rs2] : 0u;
+        threaded_detail::RecordStorage<kPub> rs;
+        RetiredInstruction* const r = rs.ptr();
+        const std::uint32_t pen = begin_instr(e, op->fetch, a, b, r);
+        vpc += 4;
+        EXTEN_RETIRE(r, pen);
+        EXTEN_NEXT();
+      }
+      EXTEN_OP(kHalt) {
+        const PredecodedInstr& e = win[op->idx];
+        const std::uint32_t a = kPub ? regs_[e.instr.rs1] : 0u;
+        const std::uint32_t b = kPub ? regs_[e.instr.rs2] : 0u;
+        threaded_detail::RecordStorage<kPub> rs;
+        RetiredInstruction* const r = rs.ptr();
+        const std::uint32_t pen = begin_instr(e, op->fetch, a, b, r);
+        vpc += 4;
+        EXTEN_RETIRE(r, pen);
+        halted = true;
+        goto block_done;
+      }
+      EXTEN_OP(kCustom) {
+        const PredecodedInstr& e = win[op->idx];
+        const std::uint32_t a = regs_[e.instr.rs1];
+        const std::uint32_t b = regs_[e.instr.rs2];
+        threaded_detail::RecordStorage<kPub> rs;
+        RetiredInstruction* const r = rs.ptr();
+        const std::uint32_t pen = begin_instr(e, op->fetch, a, b, r);
+        do_custom(e, a, b, /*bytecode_known=*/false, r);
+        vpc += 4;
+        EXTEN_RETIRE(r, pen);
+        EXTEN_NEXT();
+      }
+
+      EXTEN_OP(FuseCmpBranch) {
+        // slt/sltu/slti/sltiu immediately consumed by beqz/bnez on the
+        // register it wrote (builder guarantees rd != r0): the branch
+        // condition comes straight from the compare result instead of a
+        // register re-read. Both retirement records are still emitted.
+        const PredecodedInstr& e1 = win[op->idx];
+        const PredecodedInstr& e2 = win[op->idx + 1];
+        std::uint32_t cmp;
+        {
+          const std::uint32_t a = regs_[e1.instr.rs1];
+          const std::uint32_t b = regs_[e1.instr.rs2];
+          threaded_detail::RecordStorage<kPub> rs;
+          RetiredInstruction* const r = rs.ptr();
+          const std::uint32_t pen = begin_instr(e1, op->fetch, a, b, r);
+          switch (e1.instr.op) {
+            case isa::Opcode::kSlt:
+              cmp = as_signed(a) < as_signed(b) ? 1u : 0u;
+              break;
+            case isa::Opcode::kSltu:
+              cmp = a < b ? 1u : 0u;
+              break;
+            case isa::Opcode::kSlti:
+              cmp = as_signed(a) < e1.instr.imm ? 1u : 0u;
+              break;
+            default:  // kSltiu — the builder admits no other compare
+              cmp = a < static_cast<std::uint32_t>(e1.instr.imm) ? 1u : 0u;
+              break;
+          }
+          regs_[e1.instr.rd] = cmp;
+          if constexpr (kPub) r->result = cmp;
+          vpc += 4;
+          EXTEN_RETIRE(r, pen);
+        }
+        bool taken;
+        {
+          threaded_detail::RecordStorage<kPub> rs;
+          RetiredInstruction* const r = rs.ptr();
+          const std::uint32_t b2 = kPub ? regs_[e2.instr.rs2] : 0u;
+          std::uint32_t pen = begin_instr(e2, op->fetch2, cmp, b2, r);
+          taken = e2.instr.op == isa::Opcode::kBnez ? cmp != 0 : cmp == 0;
+          pen += do_branch(e2, taken, r);
+          EXTEN_RETIRE(r, pen);
+        }
+        ++fused_acc;
+        if (!taken) EXTEN_NEXT();
+        goto block_done;
+      }
+      EXTEN_OP(FuseLoadUse) {
+        // lw + dependent base-ALU consumer. The load half is inline; the
+        // consumer half reuses the force-inlined generic execute() (its
+        // interlock fires naturally through pending_load_rd_). execute()
+        // works on the member pc_, so the block-local pc is synced around
+        // it; it always needs a real record as its working buffer.
+        const PredecodedInstr& e1 = win[op->idx];
+        const PredecodedInstr& e2 = win[op->idx + 1];
+        {
+          const std::uint32_t a = regs_[e1.instr.rs1];
+          const std::uint32_t b = kPub ? regs_[e1.instr.rs2] : 0u;
+          threaded_detail::RecordStorage<kPub> rs;
+          RetiredInstruction* const r = rs.ptr();
+          std::uint32_t pen = begin_instr(e1, op->fetch, a, b, r);
+          pen += do_load(e1, a, 4, false, r);
+          vpc += 4;
+          EXTEN_RETIRE(r, pen);
+        }
+        {
+          RetiredInstruction r;
+          const std::uint32_t pen =
+              begin_instr(e2, op->fetch2, regs_[e2.instr.rs1],
+                          regs_[e2.instr.rs2], &r);
+          pc_ = vpc;
+          execute(e2.instr, nullptr, &r);
+          vpc = pc_;
+          if constexpr (kPub) {
+            extra += r.total_cycles - r.base_cycles;
+            sink.on_retire(r);
+          } else {
+            // begin_instr charged `pen` without touching the record, so
+            // the record's own delta only holds execute()'s penalties.
+            extra += pen + (r.total_cycles - r.base_cycles);
+          }
+          ++done;
+        }
+        ++fused_acc;
+        EXTEN_NEXT();
+      }
+      EXTEN_OP(FuseCustomPair) {
+        // Back-to-back customs, both known at build time to carry compiled
+        // bytecode: one handler, two direct entries into the bytecode VM.
+        const PredecodedInstr& e1 = win[op->idx];
+        const PredecodedInstr& e2 = win[op->idx + 1];
+        {
+          const std::uint32_t a = regs_[e1.instr.rs1];
+          const std::uint32_t b = regs_[e1.instr.rs2];
+          threaded_detail::RecordStorage<kPub> rs;
+          RetiredInstruction* const r = rs.ptr();
+          const std::uint32_t pen = begin_instr(e1, op->fetch, a, b, r);
+          do_custom(e1, a, b, /*bytecode_known=*/true, r);
+          vpc += 4;
+          EXTEN_RETIRE(r, pen);
+        }
+        {
+          const std::uint32_t a = regs_[e2.instr.rs1];
+          const std::uint32_t b = regs_[e2.instr.rs2];
+          threaded_detail::RecordStorage<kPub> rs;
+          RetiredInstruction* const r = rs.ptr();
+          const std::uint32_t pen = begin_instr(e2, op->fetch2, a, b, r);
+          do_custom(e2, a, b, /*bytecode_known=*/true, r);
+          vpc += 4;
+          EXTEN_RETIRE(r, pen);
+        }
+        ++fused_acc;
+        EXTEN_NEXT();
+      }
+      EXTEN_FUSE_ALU_ALU(FuseSlliAdd, false, a << (e.instr.imm & 31), true,
+                         a + b)
+      EXTEN_FUSE_ALU_ALU(FuseAddiAddi, false,
+                         a + static_cast<std::uint32_t>(e.instr.imm), false,
+                         a + static_cast<std::uint32_t>(e.instr.imm))
+      EXTEN_FUSE_ALU_ALU(FuseAddiSlli, false,
+                         a + static_cast<std::uint32_t>(e.instr.imm), false,
+                         a << (e.instr.imm & 31))
+      EXTEN_FUSE_ALU_ALU(FuseLuiOri, false,
+                         static_cast<std::uint32_t>(e.instr.imm), false,
+                         a | static_cast<std::uint32_t>(e.instr.imm))
+      EXTEN_FUSE_ALU_J(FuseSubJ, true, a - b)
+      EXTEN_FUSE_ALU_J(FuseAddiJ, false,
+                       a + static_cast<std::uint32_t>(e.instr.imm))
+
+      EXTEN_OP(FuseLwLw) {
+        // Two adjacent loads; the second half reads its base register only
+        // after the first retires, and a base-address dependence on the
+        // first load's rd interlocks through `pending` as usual.
+        const PredecodedInstr& e1 = win[op->idx];
+        const PredecodedInstr& e2 = win[op->idx + 1];
+        {
+          const std::uint32_t a = regs_[e1.instr.rs1];
+          const std::uint32_t b = kPub ? regs_[e1.instr.rs2] : 0u;
+          threaded_detail::RecordStorage<kPub> rs;
+          RetiredInstruction* const r = rs.ptr();
+          std::uint32_t pen = begin_instr(e1, op->fetch, a, b, r);
+          pen += do_load(e1, a, 4, false, r);
+          vpc += 4;
+          EXTEN_RETIRE(r, pen);
+        }
+        {
+          const std::uint32_t a = regs_[e2.instr.rs1];
+          const std::uint32_t b = kPub ? regs_[e2.instr.rs2] : 0u;
+          threaded_detail::RecordStorage<kPub> rs;
+          RetiredInstruction* const r = rs.ptr();
+          std::uint32_t pen = begin_instr(e2, op->fetch2, a, b, r);
+          pen += do_load(e2, a, 4, false, r);
+          vpc += 4;
+          EXTEN_RETIRE(r, pen);
+        }
+        ++fused_acc;
+        EXTEN_NEXT();
+      }
+      EXTEN_OP(FuseLwBranch) {
+        // lw + any conditional branch (typically testing the value the
+        // load just produced — the interlock fires through `pending`
+        // exactly as in the unfused form).
+        const PredecodedInstr& e1 = win[op->idx];
+        const PredecodedInstr& e2 = win[op->idx + 1];
+        {
+          const std::uint32_t a = regs_[e1.instr.rs1];
+          const std::uint32_t b = kPub ? regs_[e1.instr.rs2] : 0u;
+          threaded_detail::RecordStorage<kPub> rs;
+          RetiredInstruction* const r = rs.ptr();
+          std::uint32_t pen = begin_instr(e1, op->fetch, a, b, r);
+          pen += do_load(e1, a, 4, false, r);
+          vpc += 4;
+          EXTEN_RETIRE(r, pen);
+        }
+        bool taken;
+        {
+          const std::uint32_t a = regs_[e2.instr.rs1];
+          const std::uint32_t b = regs_[e2.instr.rs2];
+          threaded_detail::RecordStorage<kPub> rs;
+          RetiredInstruction* const r = rs.ptr();
+          std::uint32_t pen = begin_instr(e2, op->fetch2, a, b, r);
+          switch (e2.instr.op) {
+            case isa::Opcode::kBeq: taken = a == b; break;
+            case isa::Opcode::kBne: taken = a != b; break;
+            case isa::Opcode::kBlt: taken = as_signed(a) < as_signed(b); break;
+            case isa::Opcode::kBge:
+              taken = as_signed(a) >= as_signed(b);
+              break;
+            case isa::Opcode::kBltu: taken = a < b; break;
+            case isa::Opcode::kBgeu: taken = a >= b; break;
+            case isa::Opcode::kBeqz: taken = a == 0; break;
+            default: taken = a != 0; break;  // kBnez — Branch class is closed
+          }
+          pen += do_branch(e2, taken, r);
+          EXTEN_RETIRE(r, pen);
+        }
+        ++fused_acc;
+        if (!taken) EXTEN_NEXT();
+        goto block_done;
+      }
+
+      EXTEN_OP(FuseBeqBltu) {
+        // Compare ladder (beq exits, bltu picks a side): both halves are
+        // branches, so a taken *first* half is a mid-op exit through
+        // block_done_partial while a taken second half is a normal
+        // whole-op exit through the deferred exit-count slot.
+        const PredecodedInstr& e1 = win[op->idx];
+        const PredecodedInstr& e2 = win[op->idx + 1];
+        {
+          const std::uint32_t a = regs_[e1.instr.rs1];
+          const std::uint32_t b = regs_[e1.instr.rs2];
+          threaded_detail::RecordStorage<kPub> rs;
+          RetiredInstruction* const r = rs.ptr();
+          std::uint32_t pen = begin_instr(e1, op->fetch, a, b, r);
+          const bool taken = a == b;
+          pen += do_branch(e1, taken, r);
+          EXTEN_RETIRE(r, pen);
+          if (taken) [[unlikely]] goto block_done_partial;
+        }
+        {
+          const std::uint32_t a = regs_[e2.instr.rs1];
+          const std::uint32_t b = regs_[e2.instr.rs2];
+          threaded_detail::RecordStorage<kPub> rs;
+          RetiredInstruction* const r = rs.ptr();
+          std::uint32_t pen = begin_instr(e2, op->fetch2, a, b, r);
+          const bool taken = a < b;
+          pen += do_branch(e2, taken, r);
+          EXTEN_RETIRE(r, pen);
+          ++fused_acc;
+          if (!taken) EXTEN_NEXT();
+          goto block_done;
+        }
+      }
+      EXTEN_FUSE_BRANCH_ALU(FuseBgeSlli, true,
+                            as_signed(a) >= as_signed(b), false,
+                            a << (e.instr.imm & 31))
+      EXTEN_FUSE_BRANCH_ALU(FuseBeqzAddi, false, a == 0, false,
+                            a + static_cast<std::uint32_t>(e.instr.imm))
+      EXTEN_OP(FuseAddLw) {
+        // add + lw: indexed-load idiom. An address dependence on the add's
+        // rd is safe — the second half reads registers only after the
+        // first half's write (and a load-use interlock on a *preceding*
+        // load still fires through `pending` in begin_instr).
+        const PredecodedInstr& e1 = win[op->idx];
+        const PredecodedInstr& e2 = win[op->idx + 1];
+        EXTEN_FUSE_ALU_HALF(e1, op->fetch, true, a + b)
+        {
+          const std::uint32_t a = regs_[e2.instr.rs1];
+          const std::uint32_t b = kPub ? regs_[e2.instr.rs2] : 0u;
+          threaded_detail::RecordStorage<kPub> rs;
+          RetiredInstruction* const r = rs.ptr();
+          std::uint32_t pen = begin_instr(e2, op->fetch2, a, b, r);
+          pen += do_load(e2, a, 4, false, r);
+          vpc += 4;
+          EXTEN_RETIRE(r, pen);
+        }
+        ++fused_acc;
+        EXTEN_NEXT();
+      }
+      EXTEN_OP(FuseAddSw) {
+        // add + sw: indexed-store idiom. Only the trailing store can
+        // invalidate the block, so the validity test sits where the
+        // unfused EXTEN_STORE puts it — after both halves retired.
+        const PredecodedInstr& e1 = win[op->idx];
+        const PredecodedInstr& e2 = win[op->idx + 1];
+        EXTEN_FUSE_ALU_HALF(e1, op->fetch, true, a + b)
+        EXTEN_FUSE_STORE_HALF(e2, op->fetch2)
+        ++fused_acc;
+        if (sb->valid) [[likely]] EXTEN_NEXT();
+        goto block_done;
+      }
+      EXTEN_OP(FuseSwAddi) {
+        // sw + addi: store-then-bump-index idiom. The *first* half is the
+        // store, so it can overwrite the fused addi's own word: if it
+        // killed the block, exit before the second half runs — done holds
+        // the half-op retirement count and the store-kill path attributes
+        // the odd prefix exactly. Only a both-halves execution counts as
+        // a fused dispatch.
+        const PredecodedInstr& e1 = win[op->idx];
+        const PredecodedInstr& e2 = win[op->idx + 1];
+        EXTEN_FUSE_STORE_HALF(e1, op->fetch)
+        if (!sb->valid) [[unlikely]] goto block_done;
+        EXTEN_FUSE_ALU_HALF(e2, op->fetch2, false,
+                            a + static_cast<std::uint32_t>(e.instr.imm))
+        ++fused_acc;
+        EXTEN_NEXT();
+      }
+      EXTEN_OP(FuseSwSw) {
+        // Two adjacent stores; either may kill the block, so each half is
+        // followed by its own validity exit.
+        const PredecodedInstr& e1 = win[op->idx];
+        const PredecodedInstr& e2 = win[op->idx + 1];
+        EXTEN_FUSE_STORE_HALF(e1, op->fetch)
+        if (!sb->valid) [[unlikely]] goto block_done;
+        EXTEN_FUSE_STORE_HALF(e2, op->fetch2)
+        ++fused_acc;
+        if (sb->valid) [[likely]] EXTEN_NEXT();
+        goto block_done;
+      }
+
+      EXTEN_OP(BlockEnd) { goto block_done; }
+
+#if !EXTEN_THREADED_COMPUTED_GOTO
+        default:
+          EXTEN_CHECK(false, "threaded dispatch: invalid superop kind ",
+                      static_cast<unsigned>(op->kind));
+      }
+#endif
+
+    block_done:;
+      // Block epilogue. It lives inside the try so the tight-loop fast
+      // path below can legally re-enter the dispatch; everything here is
+      // nonthrowing integer accounting, so a fault can never reach the
+      // catch with a half-applied epilogue.
+      executed += done;
+      hot_instrs += done;
+      hot_blocks += 1;
+      extra_acc += extra;
+      if (done == sb->n_instr) {
+        if (sb->valid) [[likely]] {
+          // Full execution of a live block: the whole static attribution
+          // (base cycles, class counts, elided hits) is one counter bump,
+          // expanded by harvest_block_counts at run exit.
+          ++sb->exec_full;
+        } else {
+          // Fully executed, but the block's own final store invalidated
+          // it; the slot may be recycled before the next harvest, so
+          // attribute the static sums directly.
+          cycles_ += sb->static_cycles;
+          icache_.add_hits(sb->n_elided);
+          for (std::size_t c = 0; c < sb->class_counts.size(); ++c) {
+            threaded_counters_.class_instrs[c] += sb->class_counts[c];
+          }
+        }
+      } else if (sb->valid) [[likely]] {
+        // Early exit via a taken conditional branch (the only way a live
+        // block retires fewer than n_instr instructions): defer the
+        // prefix attribution — harvest_block_counts expands count *
+        // prefix per exit op. `op` still points at the exiting branch.
+        ++sb->exit_counts[static_cast<std::size_t>(op - sb->ops.data())];
+        ++sb->exec_exits;
+      } else {
+        // A store invalidated this block mid-flight: attribute the
+        // executed prefix (the entries still hold the pre-store decode,
+        // which is what actually ran — the stale refresh happens on next
+        // fetch).
+        cycles_ += predecode_.block_base_prefix(*sb, done);
+        icache_.add_hits(predecode_.count_elided_prefix(*sb, done));
+        predecode_.add_class_prefix(*sb, done,
+                                    threaded_counters_.class_instrs.data());
+      }
+      goto chain_check;
+
+    block_done_partial:;
+      // Mid-op exit of a live block — a fused pair whose first (branch)
+      // half took. The odd instruction prefix cannot ride an exit-count
+      // slot (those encode whole-op prefixes), so attribute it eagerly,
+      // exactly like the store-kill path above.
+      executed += done;
+      hot_instrs += done;
+      hot_blocks += 1;
+      extra_acc += extra;
+      cycles_ += predecode_.block_base_prefix(*sb, done);
+      icache_.add_hits(predecode_.count_elided_prefix(*sb, done));
+      predecode_.add_class_prefix(*sb, done,
+                                  threaded_counters_.class_instrs.data());
+
+    chain_check:;
+      // Tight-loop fast path: a backedge landing on this block's own
+      // entry re-dispatches directly, skipping the loop-top window /
+      // block-id lookup. The guards mirror the loop top: the block must
+      // still be live and must fit the remaining instruction budget.
+      // (Chaining to *other* blocks from here measures slower than the
+      // loop top — the extra inline lookup dilutes the hot path.)
+      if (!halted && vpc == bpc && sb->valid &&
+          sb->n_instr <= max_instructions - executed) {
+        op = sb->ops.data();
+        done = 0;
+        extra = 0;
+#if EXTEN_THREADED_COMPUTED_GOTO
+        goto* kDispatch[op->kind];
+#else
+        goto dispatch_next;
+#endif
+      }
+      pc = vpc;
+    } catch (...) {
+      // Simulation fault mid-block (e.g. a TIE semantic fault): flush the
+      // completed prefix so cycles and block-level counts reflect exactly
+      // the instructions that retired — identical to the fast engine,
+      // which accumulates per instruction and never counts the faulting
+      // one. pc_ is parked on the faulting instruction, whose fetch *was*
+      // performed before the fault (hence done + 1 in the elided-hit
+      // prefix — the fast engine's fetch-then-execute order). The
+      // run-level accumulators are flushed by the scope guard as the
+      // exception leaves the run.
+      pc_ = vpc;
+      pending_load_rd_ = pending;
+      executed += done;
+      hot_instrs += done;
+      hot_blocks += 1;
+      extra_acc += extra;
+      cycles_ += predecode_.block_base_prefix(*sb, done);
+      icache_.add_hits(predecode_.count_elided_prefix(*sb, done + 1));
+      predecode_.add_class_prefix(*sb, done,
+                                  threaded_counters_.class_instrs.data());
+      throw;
+    }
+
+    if (halted) {
+      result.halted = true;
+      break;
+    }
+  }
+
+  pc_ = pc;
+  pending_load_rd_ = pending;
+  flush_run_totals();
+  result.instructions = executed;
+  result.cycles = cycles_;
+  sink.on_run_end(result.instructions, result.cycles);
+  if (run_span.armed()) {
+    run_span.add_counter("instructions", result.instructions);
+    run_span.add_counter("cycles", result.cycles);
+    if (tie_exec_count_ > tie_count_before) {
+      obs::emit_span(obs::Category::kTie, "tie_execute", 0, run_start_ns,
+                     tie_exec_ns_ - tie_ns_before, "custom_ops",
+                     tie_exec_count_ - tie_count_before);
+    }
+  }
+  EXTEN_CHECK(result.halted, "instruction budget of ", max_instructions,
+              " exhausted without HALT (runaway program at pc=0x", std::hex,
+              pc_, ")");
+  return result;
+}
+
+#undef EXTEN_SOP_OPCODES
+#undef EXTEN_OP
+#undef EXTEN_NEXT
+#undef EXTEN_RETIRE
+#undef EXTEN_ALU
+#undef EXTEN_ALU_IMM
+#undef EXTEN_LOAD
+#undef EXTEN_STORE
+#undef EXTEN_BRANCH
+#undef EXTEN_BRANCH_Z
+#undef EXTEN_FUSE_ALU_HALF
+#undef EXTEN_FUSE_STORE_HALF
+#undef EXTEN_FUSE_BRANCH_ALU
+#undef EXTEN_FUSE_ALU_ALU
+#undef EXTEN_FUSE_ALU_J
+
+}  // namespace exten::sim

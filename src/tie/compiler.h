@@ -125,6 +125,14 @@ class TieConfiguration {
   std::uint32_t execute(const CustomInstruction& ci, std::uint32_t rs1,
                         std::uint32_t rs2, TieState* state) const;
 
+  /// Threaded-tier entry point: runs an instruction the caller has already
+  /// proven to carry compiled bytecode (the superblock builder checks once
+  /// per block instead of once per execution), entering the bytecode VM
+  /// directly. Precondition: !ci.bytecode.empty().
+  std::uint32_t execute_bytecode(const CustomInstruction& ci,
+                                 std::uint32_t rs1, std::uint32_t rs2,
+                                 TieState* state) const;
+
   /// Reference path: always interprets the semantics by walking the Expr
   /// tree (tie::eval), bypassing the bytecode. The differential tests pin
   /// the bytecode against this.
@@ -165,6 +173,13 @@ inline std::uint32_t TieConfiguration::execute(const CustomInstruction& ci,
     return ci.writes_rd ? rd : 0;
   }
   return execute_reference(ci, rs1, rs2, state);
+}
+
+inline std::uint32_t TieConfiguration::execute_bytecode(
+    const CustomInstruction& ci, std::uint32_t rs1, std::uint32_t rs2,
+    TieState* state) const {
+  const std::uint32_t rd = ci.bytecode.run(rs1, rs2, state);
+  return ci.writes_rd ? rd : 0;
 }
 
 /// Parses and compiles TIE-lite source in one step.

@@ -1,11 +1,14 @@
-// Differential tests for the two-tier execution engine: the fast engine
-// (predecoded dispatch + TIE bytecode) must be bit-exact against the
-// reference interpreter (per-step decode + Expr tree walk) — same retired
-// stream, same cycle counts, same macro-model variables, same energy.
+// Differential tests for the three-tier execution engine: the fast engine
+// (predecoded dispatch + TIE bytecode) and the threaded engine (superblock
+// dispatch + fused pairs + block-level event accounting) must be bit-exact
+// against the reference interpreter (per-step decode + Expr tree walk) —
+// same retired stream, same cycle counts, same macro-model variables, same
+// energy.
 //
 // These tests are what lets every fast-path shortcut (predecode, cache
-// hot-line memo, data-page memo, interlock source bytes) be treated as an
-// optimization rather than an approximation.
+// hot-line memo, data-page memo, interlock source bytes, superinstruction
+// fusion, deferred exit counting) be treated as an optimization rather
+// than an approximation.
 
 #include <gtest/gtest.h>
 
@@ -98,12 +101,20 @@ EngineRun run_digest(const model::TestProgram& app, sim::Engine engine,
 
 void expect_engines_match(const model::TestProgram& app,
                           const sim::ProcessorConfig& config = {}) {
-  const EngineRun fast = run_digest(app, sim::Engine::kFast, config);
   const EngineRun ref = run_digest(app, sim::Engine::kReference, config);
-  EXPECT_EQ(fast.digest, ref.digest) << app.name;
-  EXPECT_EQ(fast.result.instructions, ref.result.instructions) << app.name;
-  EXPECT_EQ(fast.result.cycles, ref.result.cycles) << app.name;
-  EXPECT_EQ(fast.result.halted, ref.result.halted) << app.name;
+  for (const sim::Engine engine :
+       {sim::Engine::kFast, sim::Engine::kThreaded}) {
+    const EngineRun run = run_digest(app, engine, config);
+    const char* name =
+        engine == sim::Engine::kFast ? "fast" : "threaded";
+    EXPECT_EQ(run.digest, ref.digest) << app.name << " " << name;
+    EXPECT_EQ(run.result.instructions, ref.result.instructions)
+        << app.name << " " << name;
+    EXPECT_EQ(run.result.cycles, ref.result.cycles)
+        << app.name << " " << name;
+    EXPECT_EQ(run.result.halted, ref.result.halted)
+        << app.name << " " << name;
+  }
 }
 
 TEST(EngineDiff, CharacterizationSuiteBitExact) {
@@ -162,7 +173,7 @@ TEST(EngineDiff, ObserverPathMatchesSinkPath) {
       workloads::application_suite();
   const model::TestProgram& app = suite.front();
   for (const sim::Engine engine :
-       {sim::Engine::kFast, sim::Engine::kReference}) {
+       {sim::Engine::kFast, sim::Engine::kReference, sim::Engine::kThreaded}) {
     sim::Cpu observed(sim::ProcessorConfig{}, *app.tie, engine);
     observed.load_program(app.image);
     DigestObserver observer;
@@ -317,10 +328,11 @@ TEST(EngineDiff, SelfModifyingCodeBitExact) {
   ASSERT_NE(replacement, 0u);
 
   const tie::TieConfiguration empty_tie;
-  EngineRun runs[2];
-  std::uint32_t r3[2];
-  const sim::Engine engines[2] = {sim::Engine::kFast, sim::Engine::kReference};
-  for (int e = 0; e < 2; ++e) {
+  EngineRun runs[3];
+  std::uint32_t r3[3];
+  const sim::Engine engines[3] = {sim::Engine::kFast, sim::Engine::kReference,
+                                  sim::Engine::kThreaded};
+  for (int e = 0; e < 3; ++e) {
     isa::ProgramImage image = isa::assemble(source);
     sim::Cpu cpu(sim::ProcessorConfig{}, empty_tie, engines[e]);
     cpu.load_program(image);
@@ -337,46 +349,248 @@ TEST(EngineDiff, SelfModifyingCodeBitExact) {
   EXPECT_EQ(r3[0], 42u);  // the patched instruction actually executed
   EXPECT_EQ(runs[0].digest, runs[1].digest);
   EXPECT_EQ(runs[0].result.cycles, runs[1].result.cycles);
+  EXPECT_EQ(r3[2], 42u);
+  EXPECT_EQ(runs[2].digest, runs[1].digest);
+  EXPECT_EQ(runs[2].result.cycles, runs[1].result.cycles);
 }
 
 TEST(EngineDiff, ExternalTextWriteNeedsInvalidate) {
   // Writing text through memory() and calling invalidate_predecode() makes
-  // the fast engine pick up the new code.
+  // the predecoding engines pick up the new code.
+  isa::ProgramImage wanted = isa::assemble("addi r1, r0, 7\n");
+  const isa::Segment& wseg = wanted.segments().front();
+  const std::uint32_t word =
+      static_cast<std::uint32_t>(wseg.bytes[0]) |
+      (static_cast<std::uint32_t>(wseg.bytes[1]) << 8) |
+      (static_cast<std::uint32_t>(wseg.bytes[2]) << 16) |
+      (static_cast<std::uint32_t>(wseg.bytes[3]) << 24);
+
+  const tie::TieConfiguration empty_tie;
+  for (const sim::Engine engine :
+       {sim::Engine::kFast, sim::Engine::kThreaded}) {
+    isa::ProgramImage image = isa::assemble(R"(
+          addi r1, r0, 1
+          halt
+    )");
+    sim::Cpu cpu(sim::ProcessorConfig{}, empty_tie, engine);
+    cpu.load_program(image);
+    cpu.memory().write32(image.entry_point(), word);
+    cpu.invalidate_predecode();
+    cpu.run();
+    EXPECT_EQ(cpu.reg(1), 7u)
+        << (engine == sim::Engine::kFast ? "fast" : "threaded");
+  }
+}
+
+TEST(EngineDiff, InvalidatePredecodeMarksEveryEntryStale) {
+  // The documented contract of Cpu::invalidate_predecode(): writes through
+  // memory() bypass the store-path staleness tracking, so entries stay
+  // kReady until the explicit invalidation marks the whole window stale
+  // (and drops every superblock with it).
   isa::ProgramImage image = isa::assemble(R"(
         addi r1, r0, 1
+        addi r2, r0, 2
         halt
   )");
   const tie::TieConfiguration empty_tie;
-  sim::Cpu cpu(sim::ProcessorConfig{}, empty_tie, sim::Engine::kFast);
-  cpu.load_program(image);
+  sim::Cpu cpu(sim::ProcessorConfig{}, empty_tie, sim::Engine::kThreaded);
+  cpu.load_program(image);  // predecodes the text segment eagerly
 
-  isa::ProgramImage wanted = isa::assemble("addi r1, r0, 7\n");
-  const isa::Segment& seg = wanted.segments().front();
-  const std::uint32_t word =
-      static_cast<std::uint32_t>(seg.bytes[0]) |
-      (static_cast<std::uint32_t>(seg.bytes[1]) << 8) |
-      (static_cast<std::uint32_t>(seg.bytes[2]) << 16) |
-      (static_cast<std::uint32_t>(seg.bytes[3]) << 24);
-  cpu.memory().write32(image.entry_point(), word);
+  const std::uint32_t entry = image.entry_point();
+  const sim::PredecodedInstr* first = cpu.predecode().lookup(entry);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->status, sim::PredecodedInstr::kReady);
+  EXPECT_EQ(cpu.predecode().lookup(entry + 4)->status,
+            sim::PredecodedInstr::kReady);
+
+  // A raw memory() write is invisible to the table — still kReady.
+  cpu.memory().write32(entry, 0xffffffffu);
+  EXPECT_EQ(cpu.predecode().lookup(entry)->status,
+            sim::PredecodedInstr::kReady);
+
   cpu.invalidate_predecode();
+  EXPECT_EQ(cpu.predecode().lookup(entry)->status,
+            sim::PredecodedInstr::kStale);
+  EXPECT_EQ(cpu.predecode().lookup(entry + 4)->status,
+            sim::PredecodedInstr::kStale);
+  EXPECT_EQ(cpu.predecode().lookup(entry + 8)->status,
+            sim::PredecodedInstr::kStale);
 
-  cpu.run();
-  EXPECT_EQ(cpu.reg(1), 7u);
+  // Misaligned and out-of-window pcs stay unmapped.
+  EXPECT_EQ(cpu.predecode().lookup(entry + 2), nullptr);
+  EXPECT_EQ(cpu.predecode().lookup(entry - 4), nullptr);
+}
+
+TEST(EngineDiff, SelfModifyingStoreIntoFusedPairBitExact) {
+  // The store is the *first* half of a fused sw+addi pair and its target is
+  // the pair's own second word: the block dies mid-op, the threaded engine
+  // must exit with an odd done-count, attribute the executed prefix, and
+  // re-decode the patched word — retiring the same stream as the reference
+  // interpreter. A second program patches a word later in the same block
+  // (store-kill at an op boundary instead of mid-pair).
+  const char* programs[] = {
+      // sw's fused partner is the patched instruction itself.
+      R"(
+        start:
+          li   r4, newinstr
+          lw   r1, 0(r4)
+          li   r2, patch
+          sw   r1, 0(r2)
+        patch:
+          addi r3, r0, 1
+          halt
+        newinstr:
+          .word 0
+      )",
+      // Patched word is further down the same straight-line block.
+      R"(
+        start:
+          li   r4, newinstr
+          lw   r1, 0(r4)
+          li   r2, patch
+          sw   r1, 0(r2)
+          addi r5, r0, 3
+          addi r6, r0, 4
+        patch:
+          addi r3, r0, 1
+          halt
+        newinstr:
+          .word 0
+      )",
+  };
+
+  isa::ProgramImage wanted = isa::assemble("addi r3, r0, 42\n");
+  const isa::Segment& wseg = wanted.segments().front();
+  const std::uint32_t replacement =
+      static_cast<std::uint32_t>(wseg.bytes[0]) |
+      (static_cast<std::uint32_t>(wseg.bytes[1]) << 8) |
+      (static_cast<std::uint32_t>(wseg.bytes[2]) << 16) |
+      (static_cast<std::uint32_t>(wseg.bytes[3]) << 24);
+
+  const tie::TieConfiguration empty_tie;
+  for (const char* source : programs) {
+    const EngineRun ref = [&] {
+      isa::ProgramImage image = isa::assemble(source);
+      sim::Cpu cpu(sim::ProcessorConfig{}, empty_tie, sim::Engine::kReference);
+      cpu.load_program(image);
+      cpu.memory().write32(*image.symbol("newinstr"), replacement);
+      cpu.invalidate_predecode();
+      DigestSink sink;
+      EngineRun run;
+      run.result = cpu.run_with_sink(sink);
+      run.digest = sink.digest();
+      EXPECT_EQ(cpu.reg(3), 42u);
+      return run;
+    }();
+
+    isa::ProgramImage image = isa::assemble(source);
+    sim::Cpu cpu(sim::ProcessorConfig{}, empty_tie, sim::Engine::kThreaded);
+    cpu.load_program(image);
+    cpu.memory().write32(*image.symbol("newinstr"), replacement);
+    cpu.invalidate_predecode();
+    DigestSink sink;
+    const sim::RunResult result = cpu.run_with_sink(sink);
+    EXPECT_EQ(cpu.reg(3), 42u);
+    EXPECT_EQ(sink.digest(), ref.digest);
+    EXPECT_EQ(result.instructions, ref.result.instructions);
+    EXPECT_EQ(result.cycles, ref.result.cycles);
+    // Running the (now stable) patched program again must still match:
+    // the rebuilt superblocks cover the patched text.
+    sim::Cpu again(sim::ProcessorConfig{}, empty_tie, sim::Engine::kThreaded);
+    again.load_program(image);
+    again.memory().write32(*image.symbol("newinstr"), replacement);
+    again.invalidate_predecode();
+    again.run();
+    EXPECT_EQ(again.reg(3), 42u);
+  }
+}
+
+TEST(EngineDiff, ThreadedBlockCountsReconcileWithRetirementStream) {
+  // The threaded engine counts events at superblock granularity
+  // (exec_full / exit_counts harvested into ThreadedCounters); those block
+  // totals must reconcile *exactly* with a per-instruction count of the
+  // same run's retirement stream.
+  for (const model::TestProgram& app : workloads::application_suite()) {
+    sim::Cpu cpu(sim::ProcessorConfig{}, *app.tie, sim::Engine::kThreaded);
+    cpu.load_program(app.image);
+    sim::StatsCollector stats;
+    cpu.add_observer(&stats);
+    const sim::RunResult result = cpu.run();
+
+    const sim::ExecutionStats& s = stats.stats();
+    const sim::ThreadedCounters& tc = cpu.threaded_counters();
+    EXPECT_EQ(tc.instructions, s.instructions) << app.name;
+    EXPECT_EQ(tc.instructions, result.instructions) << app.name;
+    for (std::size_t c = 0; c < isa::kInstrClassCount; ++c) {
+      EXPECT_EQ(tc.class_instrs[c], s.class_counts[c])
+          << app.name << " class " << c;
+    }
+    // Sanity on the block-execution shape: real workloads must actually
+    // run through superblocks, with single-step fallbacks a strict subset.
+    EXPECT_GT(tc.superblocks, 0u) << app.name;
+    EXPECT_LE(tc.singles, tc.instructions) << app.name;
+  }
+}
+
+/// Sink that opts into record elision (threaded.h skips materialising
+/// RetiredInstruction for it). Namespace-scope because local classes
+/// cannot declare static data members.
+struct NullSink {
+  static constexpr bool kDiscardsRecords = true;
+  void on_run_begin() {}
+  void on_retire(const sim::RetiredInstruction&) {}
+  void on_run_end(std::uint64_t, std::uint64_t) {}
+};
+
+TEST(EngineDiff, ThreadedDiscardingSinkMatchesPublishingSink) {
+  // A sink declaring kDiscardsRecords lets the threaded engine skip
+  // materialising RetiredInstruction records entirely; architectural
+  // state, run totals, and the block-level counters must be identical to
+  // a publishing run.
+  for (const model::TestProgram& app : workloads::application_suite()) {
+    sim::Cpu pub(sim::ProcessorConfig{}, *app.tie, sim::Engine::kThreaded);
+    pub.load_program(app.image);
+    DigestSink digest;
+    const sim::RunResult rp = pub.run_with_sink(digest);
+
+    sim::Cpu disc(sim::ProcessorConfig{}, *app.tie, sim::Engine::kThreaded);
+    disc.load_program(app.image);
+    NullSink null;
+    const sim::RunResult rd = disc.run_with_sink(null);
+
+    EXPECT_EQ(rp.instructions, rd.instructions) << app.name;
+    EXPECT_EQ(rp.cycles, rd.cycles) << app.name;
+    EXPECT_EQ(rp.halted, rd.halted) << app.name;
+    for (unsigned r = 0; r < isa::kNumRegisters; ++r) {
+      EXPECT_EQ(pub.reg(r), disc.reg(r)) << app.name << " r" << r;
+    }
+    const sim::ThreadedCounters& a = pub.threaded_counters();
+    const sim::ThreadedCounters& b = disc.threaded_counters();
+    EXPECT_EQ(a.instructions, b.instructions) << app.name;
+    EXPECT_EQ(a.superblocks, b.superblocks) << app.name;
+    EXPECT_EQ(a.singles, b.singles) << app.name;
+    EXPECT_EQ(a.fused, b.fused) << app.name;
+    for (std::size_t c = 0; c < isa::kInstrClassCount; ++c) {
+      EXPECT_EQ(a.class_instrs[c], b.class_instrs[c])
+          << app.name << " class " << c;
+    }
+  }
 }
 
 TEST(EngineDiff, IllegalInstructionFaultsMatch) {
   // An undecodable word inside the text segment must raise the same fault
-  // from both engines (the fast engine routes illegal entries to the
-  // reference path).
+  // from all engines (the fast and threaded engines route illegal entries
+  // to the reference path).
   const char* source = R"(
         addi r1, r0, 5
         .word 0xffffffff
         halt
   )";
   const tie::TieConfiguration empty_tie;
-  std::string messages[2];
-  const sim::Engine engines[2] = {sim::Engine::kFast, sim::Engine::kReference};
-  for (int e = 0; e < 2; ++e) {
+  std::string messages[3];
+  const sim::Engine engines[3] = {sim::Engine::kFast, sim::Engine::kReference,
+                                  sim::Engine::kThreaded};
+  for (int e = 0; e < 3; ++e) {
     sim::Cpu cpu(sim::ProcessorConfig{}, empty_tie, engines[e]);
     cpu.load_program(isa::assemble(source));
     try {
@@ -387,6 +601,7 @@ TEST(EngineDiff, IllegalInstructionFaultsMatch) {
     }
   }
   EXPECT_EQ(messages[0], messages[1]);
+  EXPECT_EQ(messages[2], messages[1]);
   EXPECT_NE(messages[0].find("illegal"), std::string::npos);
 }
 

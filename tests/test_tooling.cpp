@@ -317,6 +317,27 @@ TEST(ToolCommon, ParseCountEnforcesInclusiveBounds) {
   EXPECT_THROW(tools::parse_count("clients", "1025", 1, 1024), Error);
 }
 
+TEST(ToolCommon, PortFlagsRejectOutOfRangeValues) {
+  // xtc-http's --endpoint HOST:PORT and the DSE --remote worker spec
+  // validate connect ports through the inclusive [1, 65535] bound
+  // (xtc-serve's listen flag additionally allows 0 = ephemeral); values
+  // past 65535 used to truncate silently through uint16_t and must now
+  // fail with the flag named in the message.
+  EXPECT_EQ(tools::parse_count("port", "1", 1, 65'535), 1u);
+  EXPECT_EQ(tools::parse_count("port", "65535", 1, 65'535), 65'535u);
+  EXPECT_EQ(tools::parse_count("port", "0", 0, 65'535), 0u);
+  EXPECT_THROW(tools::parse_count("port", "0", 1, 65'535), Error);
+  EXPECT_THROW(tools::parse_count("port", "65536", 1, 65'535), Error);
+  EXPECT_THROW(tools::parse_count("port", "-1", 1, 65'535), Error);
+  try {
+    tools::parse_count("port", "70000", 1, 65'535);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--port"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("65535"), std::string::npos);
+  }
+}
+
 TEST(ToolCommon, ParseCountRejectsGarbage) {
   // std::stoul would silently accept "8x" (-> 8), "-1" (-> huge), and
   // leading whitespace; tool flags must not. The error text names the

@@ -210,15 +210,16 @@ int main(int argc, char** argv) {
 
     service::BatchOptions options;
     if (auto threads = args.value("threads")) {
-      options.num_threads = static_cast<unsigned>(std::stoul(*threads));
+      options.num_threads =
+          static_cast<unsigned>(tools::parse_count("threads", *threads, 1));
     }
     if (auto cache = args.value("cache")) {
-      options.cache_capacity = std::stoul(*cache);
+      options.cache_capacity = tools::parse_count("cache", *cache);
     }
     unsigned repeat = 1;
     if (auto r = args.value("repeat")) {
-      repeat = static_cast<unsigned>(std::stoul(*r));
-      EXTEN_CHECK(repeat >= 1, "--repeat must be >= 1");
+      repeat = static_cast<unsigned>(
+          tools::parse_count("repeat", *r, 1, 1'000'000));
     }
 
     std::vector<service::BatchJob> jobs = load_jobs(args.positional()[0]);

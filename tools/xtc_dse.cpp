@@ -92,27 +92,32 @@ int main(int argc, char** argv) {
 
     dse::DseOptions options;
     if (auto v = args.value("strategy")) options.strategy = *v;
-    if (auto v = args.value("budget")) options.budget = std::stoull(*v);
-    if (auto v = args.value("seed")) options.seed = std::stoull(*v);
+    if (auto v = args.value("budget")) {
+      options.budget = tools::parse_count("budget", *v, 1);
+    }
+    if (auto v = args.value("seed")) {
+      options.seed = tools::parse_count("seed", *v);
+    }
     if (auto v = args.value("objective")) {
       options.objective = dse::parse_objective(*v);
     }
     if (auto v = args.value("checkpoint")) options.checkpoint_dir = *v;
     if (auto v = args.value("remote")) options.remote_host = *v;
     if (auto v = args.value("population")) {
-      options.search.population = std::stoul(*v);
+      options.search.population = tools::parse_count("population", *v, 1);
     }
     if (auto v = args.value("beam-width")) {
-      options.search.beam_width = std::stoul(*v);
+      options.search.beam_width = tools::parse_count("beam-width", *v, 1);
     }
     if (auto v = args.value("frontier")) {
-      options.frontier_size = std::stoul(*v);
+      options.frontier_size = tools::parse_count("frontier", *v, 1);
     }
     if (auto v = args.value("threads")) {
-      options.batch.num_threads = static_cast<unsigned>(std::stoul(*v));
+      options.batch.num_threads =
+          static_cast<unsigned>(tools::parse_count("threads", *v, 1));
     }
     if (auto v = args.value("cache")) {
-      options.batch.cache_capacity = std::stoul(*v);
+      options.batch.cache_capacity = tools::parse_count("cache", *v);
     }
     if (!args.has("quiet")) {
       options.on_generation = [](const dse::GenerationSummary& g) {

@@ -85,8 +85,9 @@ int main(int argc, char** argv) {
     EXTEN_CHECK(colon != std::string::npos && colon + 1 < endpoint.size(),
                 "endpoint must be HOST:PORT, got '", endpoint, "'");
     const std::string host = endpoint.substr(0, colon);
-    const std::uint16_t port =
-        static_cast<std::uint16_t>(std::stoul(endpoint.substr(colon + 1)));
+    const std::uint16_t port = static_cast<std::uint16_t>(
+        tools::parse_count("endpoint PORT", endpoint.substr(colon + 1), 1,
+                           65'535));
 
     int timeout_ms = 30'000;
     if (auto t = args.value("timeout-ms")) {

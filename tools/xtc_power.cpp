@@ -141,13 +141,15 @@ int main(int argc, char** argv) {
                 workload, "' (try --list)");
     const WorkloadMaker& maker = it->second.first;
     unsigned n = it->second.second;
-    if (auto v = args.value("n")) n = static_cast<unsigned>(std::stoul(*v));
+    if (auto v = args.value("n")) {
+      n = static_cast<unsigned>(tools::parse_count("n", *v, 1, 1'000'000'000));
+    }
     std::uint64_t seed = 1;
-    if (auto v = args.value("seed")) seed = std::stoull(*v);
+    if (auto v = args.value("seed")) seed = tools::parse_count("seed", *v);
     unsigned sweep = 1;
     if (auto v = args.value("sweep")) {
-      sweep = static_cast<unsigned>(std::stoul(*v));
-      EXTEN_CHECK(sweep >= 1, "--sweep must be >= 1");
+      sweep =
+          static_cast<unsigned>(tools::parse_count("sweep", *v, 1, 1'000'000));
     }
     const bool want_reference = !args.has("no-reference");
     const bool json_output = args.has("json");

@@ -2,7 +2,7 @@
 //
 //   xtc-run program.s|program.img [--tie spec.tie] [--trace [N]]
 //           [--profile [N]] [--max-instructions N] [--dump-regs]
-//           [--engine fast|reference] [--trace-json FILE]
+//           [--engine fast|reference|threaded] [--trace-json FILE]
 //
 // Prints the execution statistics (instructions, cycles, CPI, cache
 // behaviour, custom-instruction counts); --trace streams a disassembled
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     if (args.positional().size() != 1) {
       std::cerr << "usage: xtc-run program.s|program.img [--tie spec.tie] "
                    "[--trace N] [--profile N] [--max-instructions N] "
-                   "[--dump-regs] [--engine fast|reference]\n";
+                   "[--dump-regs] [--engine fast|reference|threaded]\n";
       return tools::kExitUsage;
     }
     const std::optional<std::string> trace_json = args.value("trace-json");
@@ -48,8 +48,11 @@ int main(int argc, char** argv) {
         engine = sim::Engine::kFast;
       } else if (*v == "reference") {
         engine = sim::Engine::kReference;
+      } else if (*v == "threaded") {
+        engine = sim::Engine::kThreaded;
       } else {
-        throw Error("bad --engine '", *v, "' (expected fast or reference)");
+        throw Error("bad --engine '", *v,
+                    "' (expected fast, reference, or threaded)");
       }
     }
 

@@ -79,10 +79,11 @@ int main(int argc, char** argv) {
 
     service::BatchOptions batch_options;
     if (auto threads = args.value("threads")) {
-      batch_options.num_threads = static_cast<unsigned>(std::stoul(*threads));
+      batch_options.num_threads =
+          static_cast<unsigned>(tools::parse_count("threads", *threads, 1));
     }
     if (auto cache = args.value("cache")) {
-      batch_options.cache_capacity = std::stoul(*cache);
+      batch_options.cache_capacity = tools::parse_count("cache", *cache);
     }
     if (auto stripes = args.value("cache-stripes")) {
       batch_options.cache_stripes = static_cast<std::size_t>(
@@ -118,16 +119,18 @@ int main(int argc, char** argv) {
       server_options.bind_address = *address;
     }
     if (auto port = args.value("port")) {
-      server_options.port = static_cast<std::uint16_t>(std::stoul(*port));
+      // 0 is the documented ephemeral bind (OS-assigned, reported via
+      // --port-file); anything past 65535 used to truncate silently.
+      server_options.port = static_cast<std::uint16_t>(
+          tools::parse_count("port", *port, 0, 65'535));
     }
     if (auto inflight = args.value("max-inflight")) {
-      server_options.max_inflight = std::stoul(*inflight);
-      EXTEN_CHECK(server_options.max_inflight >= 1,
-                  "--max-inflight must be >= 1");
+      server_options.max_inflight =
+          tools::parse_count("max-inflight", *inflight, 1);
     }
     if (auto deadline = args.value("deadline-ms")) {
-      server_options.default_deadline_ms =
-          static_cast<int>(std::stoul(*deadline));
+      server_options.default_deadline_ms = static_cast<int>(
+          tools::parse_count("deadline-ms", *deadline, 1, 3'600'000));
     }
     if (auto poller = args.value("poller")) {
       if (*poller == "epoll") {
